@@ -1,0 +1,112 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4.4). Each benchmark runs the corresponding experiment from
+// internal/bench on the calibrated simulated testbed and reports the key
+// measured values as benchmark metrics, next to the paper's numbers
+// (recorded in EXPERIMENTS.md).
+//
+// Durations here are *virtual* time: the middleware stack really executes,
+// but the clock is the deterministic simulator's, so results are stable
+// across machines.
+package padico_test
+
+import (
+	"strings"
+	"testing"
+
+	"padico/internal/bench"
+)
+
+// report attaches an experiment's measurements as benchmark metrics.
+func report(b *testing.B, r bench.Result, keys ...string) {
+	b.Helper()
+	for _, m := range r.Meas {
+		for _, k := range keys {
+			if strings.Contains(m.Name, k) {
+				name := strings.NewReplacer(" ", "_", "/", "_").Replace(m.Name)
+				b.ReportMetric(m.Value, name+"_"+m.Unit)
+			}
+		}
+	}
+	if dev := r.Deviation(); dev > 0 {
+		b.ReportMetric(dev*100, "max_paper_deviation_%")
+	}
+}
+
+// BenchmarkFig7_Bandwidth regenerates Figure 7: CORBA and MPI bandwidth on
+// PadicoTM over Myrinet-2000 plus the TCP/Ethernet-100 reference.
+func BenchmarkFig7_Bandwidth(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Fig7Bandwidth()
+	}
+	report(b, r, "@ 1MB")
+}
+
+// BenchmarkLatency regenerates §4.4's latency numbers (MPI 11 µs, omniORB
+// 20 µs, Mico 62 µs, ORBacus 54 µs).
+func BenchmarkLatency(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Latency()
+	}
+	report(b, r, "")
+}
+
+// BenchmarkFig7Concurrent regenerates the concurrent-sharing claim: CORBA
+// and MPI each obtain ~120 MB/s of one Myrinet wire.
+func BenchmarkFig7Concurrent(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Concurrent()
+	}
+	report(b, r, "sharing")
+}
+
+// BenchmarkFig8_NxN regenerates Figure 8: GridCCM latency and aggregate
+// bandwidth between two parallel components for 1/2/4/8 nodes a side.
+func BenchmarkFig8_NxN(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.Fig8GridCCM()
+	}
+	report(b, r, "latency", "aggregate")
+}
+
+// BenchmarkEthernetScaling regenerates §4.4's Fast-Ethernet scaling (Mico
+// 9.8→78.4 MB/s, OpenCCM/Java 8.3→66.4 MB/s).
+func BenchmarkEthernetScaling(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.EthernetScaling()
+	}
+	report(b, r, "1 to 1", "8 to 8")
+}
+
+// BenchmarkPadicoOverhead regenerates the ablation behind "PadicoTM adds no
+// significant overhead" vs raw Madeleine.
+func BenchmarkPadicoOverhead(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.PadicoOverhead()
+	}
+	report(b, r, "latency", "bandwidth")
+}
+
+// BenchmarkCrossParadigm measures the §4.3.2 mappings: Circuit and VLink,
+// straight and cross-paradigm.
+func BenchmarkCrossParadigm(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.CrossParadigm()
+	}
+	report(b, r, "Circuit", "VLink")
+}
+
+// BenchmarkSecurityZones measures the §2/§6 security-zone policies.
+func BenchmarkSecurityZones(b *testing.B) {
+	var r bench.Result
+	for i := 0; i < b.N; i++ {
+		r = bench.SecurityZones()
+	}
+	report(b, r, "SAN", "WAN")
+}

@@ -1,0 +1,69 @@
+// Command gridccm-gen is the GridCCM compiler of the paper's Figure 5: it
+// reads a component's IDL description and the XML description of its
+// parallelism, and emits the derived internal interface the GridCCM layer
+// invokes (distributed sequence arguments replaced by chunk+view).
+//
+// Usage:
+//
+//	gridccm-gen -idl component.idl -par parallel.xml [-iface Module::Iface]
+//
+// Without -iface, every interface referenced by the descriptor's ports is
+// derived.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"padico/internal/gridccm"
+	"padico/internal/idl"
+)
+
+func main() {
+	idlPath := flag.String("idl", "", "IDL file of the component interface")
+	parPath := flag.String("par", "", "XML parallelism descriptor")
+	ifaceName := flag.String("iface", "", "interface to derive (default: all parsed interfaces)")
+	flag.Parse()
+	if *idlPath == "" || *parPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: gridccm-gen -idl component.idl -par parallel.xml [-iface Module::Iface]")
+		os.Exit(2)
+	}
+	idlSrc, err := os.ReadFile(*idlPath)
+	die(err)
+	parSrc, err := os.ReadFile(*parPath)
+	die(err)
+
+	repo := idl.NewRepository()
+	die(repo.Parse(string(idlSrc)))
+	desc, err := gridccm.ParseParallelDesc(parSrc)
+	die(err)
+
+	names := repo.Interfaces()
+	if *ifaceName != "" {
+		names = []string{*ifaceName}
+	}
+	for _, name := range names {
+		iface, ok := repo.Interface(name)
+		if !ok {
+			die(fmt.Errorf("interface %q not found in %s", name, *idlPath))
+		}
+		for _, port := range desc.Ports {
+			port := port
+			derived, err := gridccm.Derive(repo, iface, &port)
+			if err != nil {
+				die(fmt.Errorf("deriving %s port %s: %w", name, port.Name, err))
+			}
+			fmt.Printf("// Component %s, port %s, original interface %s\n",
+				desc.Component, port.Name, name)
+			fmt.Println(gridccm.RenderIDL(derived))
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridccm-gen:", err)
+		os.Exit(1)
+	}
+}

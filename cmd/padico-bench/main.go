@@ -1,0 +1,45 @@
+// Command padico-bench regenerates the paper's evaluation: every table and
+// figure of §4.4 plus the ablations listed in DESIGN.md, printing measured
+// values next to the published ones.
+//
+// Usage:
+//
+//	padico-bench            # run everything
+//	padico-bench -run fig8  # run one experiment (fig7|lat|concurrent|fig8|eth|overhead|cross|security)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"padico/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by id")
+	flag.Parse()
+
+	experiments := map[string]func() bench.Result{
+		"fig7":       bench.Fig7Bandwidth,
+		"lat":        bench.Latency,
+		"concurrent": bench.Concurrent,
+		"fig8":       bench.Fig8GridCCM,
+		"eth":        bench.EthernetScaling,
+		"overhead":   bench.PadicoOverhead,
+		"cross":      bench.CrossParadigm,
+		"security":   bench.SecurityZones,
+	}
+	if *run != "" {
+		f, ok := experiments[*run]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "padico-bench: unknown experiment %q\n", *run)
+			os.Exit(2)
+		}
+		fmt.Print(f().Format())
+		return
+	}
+	for _, r := range bench.All() {
+		fmt.Println(r.Format())
+	}
+}

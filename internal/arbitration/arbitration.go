@@ -1,0 +1,441 @@
+// Package arbitration implements PadicoTM's arbitration layer (§4.3.1): the
+// unique entry point to every networking device.
+//
+// Problems it solves, as in the paper: exclusive-access drivers (Myrinet
+// through BIP/GM admits a single owner per fabric — see madeleine's
+// ErrDeviceBusy), competition between middleware for the same wire, and
+// incoherent polling policies. The Arbiter opens each device exactly once
+// and multiplexes it: parallel devices (SAN) expose tagged message Ports
+// demultiplexed by a per-node progress loop under one marcel.Manager;
+// distributed devices (LAN/WAN) expose socket Providers. Paradigm
+// differences are deliberately preserved — bending both into one API is, per
+// the paper, "an awkward model and sub-optimal performance"; cross-paradigm
+// adaptation belongs to the abstraction layer (packages circuit and vlink).
+package arbitration
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"padico/internal/madeleine"
+	"padico/internal/marcel"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// ErrNoDevice is returned when no registered device can serve a request.
+var ErrNoDevice = errors.New("arbitration: no suitable device")
+
+// ErrPortTaken is returned when a (node, tag) port is already open.
+var ErrPortTaken = errors.New("arbitration: port tag already open on this node")
+
+// Arbiter is the grid-wide arbitration core: the single owner of every
+// device. Each simulated process obtains a per-node Access from it.
+type Arbiter struct {
+	net *simnet.Net
+	mgr *marcel.Manager
+
+	mu      sync.Mutex
+	devices map[string]*Device
+	closed  bool
+}
+
+// New returns an arbiter for the grid's network.
+func New(net *simnet.Net) *Arbiter {
+	return &Arbiter{
+		net:     net,
+		mgr:     marcel.NewManager(net.Runtime()),
+		devices: make(map[string]*Device),
+	}
+}
+
+// Device is one network under arbitration.
+type Device struct {
+	Name   string
+	Kind   simnet.DeviceKind
+	Fabric *simnet.Fabric
+
+	arb  *Arbiter
+	mad  *madeleine.Channel // SAN only
+	sock *sockets.SimStack  // LAN/WAN only
+
+	mu      sync.Mutex
+	ports   map[portKey]*Port
+	pending map[portKey][]PortMsg // early messages for not-yet-opened ports
+	rankOf  map[*simnet.Node]int
+	routed  int64
+	dropped int64
+}
+
+type portKey struct {
+	rank int
+	tag  string
+}
+
+// AddSAN places a parallel-oriented fabric under arbitration: the exclusive
+// driver is acquired once and a demultiplexing progress loop is started for
+// every node.
+func (a *Arbiter) AddSAN(fab *simnet.Fabric) (*Device, error) {
+	if fab.Kind != simnet.SAN {
+		return nil, fmt.Errorf("arbitration: fabric %q is %v, not a SAN", fab.Name, fab.Kind)
+	}
+	ch, err := madeleine.Open(fab)
+	if err != nil {
+		return nil, fmt.Errorf("arbitration: acquiring %q: %w", fab.Name, err)
+	}
+	d := a.newDevice(fab)
+	d.mad = ch
+	for rank := range fab.Nodes() {
+		ep, err := ch.Endpoint(rank)
+		if err != nil {
+			return nil, err
+		}
+		a.mgr.Daemon("arb:"+fab.Name+":demux", func() { /* channel close unblocks */ }, func() {
+			d.demux(ep)
+		})
+	}
+	return d, a.register(d)
+}
+
+// AddSock places a distributed-oriented fabric under arbitration with a
+// simulated TCP stack.
+func (a *Arbiter) AddSock(fab *simnet.Fabric) (*Device, error) {
+	if fab.Kind == simnet.SAN {
+		return nil, fmt.Errorf("arbitration: fabric %q is a SAN; use AddSAN", fab.Name)
+	}
+	d := a.newDevice(fab)
+	d.sock = sockets.NewSimStack(fab)
+	return d, a.register(d)
+}
+
+func (a *Arbiter) newDevice(fab *simnet.Fabric) *Device {
+	d := &Device{
+		Name:    fab.Name,
+		Kind:    fab.Kind,
+		Fabric:  fab,
+		arb:     a,
+		ports:   make(map[portKey]*Port),
+		pending: make(map[portKey][]PortMsg),
+		rankOf:  make(map[*simnet.Node]int),
+	}
+	for rank, nd := range fab.Nodes() {
+		d.rankOf[nd] = rank
+	}
+	return d
+}
+
+func (a *Arbiter) register(d *Device) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.devices[d.Name]; dup {
+		return fmt.Errorf("arbitration: device %q already registered", d.Name)
+	}
+	a.devices[d.Name] = d
+	return nil
+}
+
+// Device looks a registered device up by name.
+func (a *Arbiter) Device(name string) (*Device, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.devices[name]
+	return d, ok
+}
+
+// Devices returns every registered device, sorted by name.
+func (a *Arbiter) Devices() []*Device {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Device, 0, len(a.devices))
+	for _, d := range a.devices {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Select returns the best device attaching all given nodes: highest
+// bottleneck bandwidth wins (SAN > LAN > WAN on the paper's testbed). This
+// is the automatic choice the abstraction layer relies on.
+func (a *Arbiter) Select(nodes ...*simnet.Node) (*Device, error) {
+	var best *Device
+	var bestBps float64
+	for _, d := range a.Devices() {
+		ok := true
+		for _, nd := range nodes {
+			if !d.Fabric.Attached(nd) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var bps float64
+		if len(nodes) >= 2 {
+			p, err := d.Fabric.Path(nodes[0], nodes[1])
+			if err != nil {
+				continue
+			}
+			bps = p.Bottleneck()
+		} else if len(nodes) == 1 {
+			p, err := d.Fabric.Path(nodes[0], nodes[0])
+			if err != nil {
+				continue
+			}
+			bps = p.Bottleneck()
+		}
+		if best == nil || bps > bestBps {
+			best, bestBps = d, bps
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w covering %v", ErrNoDevice, nodes)
+	}
+	return best, nil
+}
+
+// Runtime returns the runtime the arbiter schedules on.
+func (a *Arbiter) Runtime() vtime.Runtime { return a.net.Runtime() }
+
+// Net returns the simulated network.
+func (a *Arbiter) Net() *simnet.Net { return a.net }
+
+// Manager returns the marcel manager owning all arbitration progress loops.
+func (a *Arbiter) Manager() *marcel.Manager { return a.mgr }
+
+// Close releases every device and stops every progress loop.
+func (a *Arbiter) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	devices := make([]*Device, 0, len(a.devices))
+	for _, d := range a.devices {
+		devices = append(devices, d)
+	}
+	a.mu.Unlock()
+	for _, d := range devices {
+		d.close()
+	}
+	a.mgr.StopAll()
+}
+
+func (d *Device) close() {
+	if d.mad != nil {
+		d.mad.Close()
+	}
+	d.mu.Lock()
+	ports := make([]*Port, 0, len(d.ports))
+	for _, p := range d.ports {
+		ports = append(ports, p)
+	}
+	d.ports = make(map[portKey]*Port)
+	d.mu.Unlock()
+	for _, p := range ports {
+		p.in.Close()
+	}
+}
+
+// Stats reports messages demultiplexed and dropped (malformed envelope).
+func (d *Device) Stats() (routed, dropped int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.routed, d.dropped
+}
+
+// PendingMsgs reports messages held for ports that have not been opened.
+func (d *Device) PendingMsgs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, ms := range d.pending {
+		n += len(ms)
+	}
+	return n
+}
+
+// Rank returns a node's logical rank on this device.
+func (d *Device) Rank(nd *simnet.Node) (int, error) {
+	r, ok := d.rankOf[nd]
+	if !ok {
+		return 0, fmt.Errorf("arbitration: node %s not attached to device %s", nd, d.Name)
+	}
+	return r, nil
+}
+
+// Size returns the number of nodes attached to the device.
+func (d *Device) Size() int { return len(d.rankOf) }
+
+// demux is the device's per-node progress loop: it receives from the single
+// Madeleine endpoint and routes to the open Port matching the envelope tag.
+// Messages for a tag nobody has opened yet are held pending and drained when
+// the port opens (eager delivery with an unexpected queue, as on real SAN
+// libraries); malformed envelopes are counted and dropped.
+func (d *Device) demux(ep *madeleine.Endpoint) {
+	for {
+		del, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		tag, userHdr, ok := splitEnvelope(del.Msg.Header)
+		d.mu.Lock()
+		if !ok {
+			d.dropped++
+			d.mu.Unlock()
+			continue
+		}
+		key := portKey{rank: ep.Rank(), tag: tag}
+		msg := PortMsg{Src: del.Src, Header: userHdr, Payload: del.Msg.Payload}
+		p, found := d.ports[key]
+		if !found {
+			d.pending[key] = append(d.pending[key], msg)
+			d.mu.Unlock()
+			continue
+		}
+		d.routed++
+		d.mu.Unlock()
+		p.in.Push(msg)
+	}
+}
+
+// envelope: [2B tag length][tag][user header]
+func makeEnvelope(tag string, hdr []byte) []byte {
+	out := make([]byte, 2+len(tag)+len(hdr))
+	binary.BigEndian.PutUint16(out, uint16(len(tag)))
+	copy(out[2:], tag)
+	copy(out[2+len(tag):], hdr)
+	return out
+}
+
+func splitEnvelope(b []byte) (tag string, hdr []byte, ok bool) {
+	if len(b) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if 2+n > len(b) {
+		return "", nil, false
+	}
+	return string(b[2 : 2+n]), b[2+n:], true
+}
+
+// PortMsg is a message received on a Port.
+type PortMsg struct {
+	Src     int
+	Header  []byte
+	Payload []byte
+}
+
+// Port is a multiplexed parallel-paradigm endpoint: one (node, tag) slot on
+// a SAN device. Several middleware systems open distinct tags over the same
+// wire — the arbitration that lets CORBA and MPI share Myrinet.
+type Port struct {
+	dev  *Device
+	node *simnet.Node
+	rank int
+	tag  string
+	in   *vtime.Queue[PortMsg]
+}
+
+// OpenPort opens the (node, tag) slot on a SAN device.
+func (d *Device) OpenPort(nd *simnet.Node, tag string) (*Port, error) {
+	if d.mad == nil {
+		return nil, fmt.Errorf("arbitration: device %q is not parallel-oriented", d.Name)
+	}
+	rank, err := d.Rank(nd)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := portKey{rank: rank, tag: tag}
+	if _, dup := d.ports[key]; dup {
+		return nil, fmt.Errorf("%w: %q on %s", ErrPortTaken, tag, nd)
+	}
+	p := &Port{
+		dev:  d,
+		node: nd,
+		rank: rank,
+		tag:  tag,
+		in: vtime.NewQueue[PortMsg](d.arb.Runtime(),
+			fmt.Sprintf("arbitration: recv %q on %s", tag, nd.Name)),
+	}
+	// Drain messages that arrived before the port opened.
+	for _, m := range d.pending[key] {
+		d.routed++
+		p.in.Push(m)
+	}
+	delete(d.pending, key)
+	d.ports[key] = p
+	return p, nil
+}
+
+// Provider returns the node's socket stack on a distributed device.
+func (d *Device) Provider(nd *simnet.Node) (sockets.Provider, error) {
+	if d.sock == nil {
+		return nil, fmt.Errorf("arbitration: device %q is not distributed-oriented", d.Name)
+	}
+	if !d.Fabric.Attached(nd) {
+		return nil, fmt.Errorf("arbitration: node %s not attached to device %s", nd, d.Name)
+	}
+	return d.sock.Host(nd), nil
+}
+
+// Rank returns the port's logical rank on the device.
+func (p *Port) Rank() int { return p.rank }
+
+// Size returns the device's node count.
+func (p *Port) Size() int { return p.dev.Size() }
+
+// Tag returns the multiplexing tag.
+func (p *Port) Tag() string { return p.tag }
+
+// Node returns the hosting machine.
+func (p *Port) Node() *simnet.Node { return p.node }
+
+// Send transmits a tagged message to the destination rank on this device,
+// targeting the same tag on the peer.
+func (p *Port) Send(dst int, hdr, payload []byte) error {
+	return p.SendTo(dst, p.tag, hdr, payload)
+}
+
+// SendTo transmits to an explicit tag on the destination rank (used by
+// protocols whose two endpoints own asymmetric tags, e.g. VLink's SAN
+// streams, which must self-connect on a single node).
+func (p *Port) SendTo(dst int, tag string, hdr, payload []byte) error {
+	ep, err := p.dev.mad.Endpoint(p.rank)
+	if err != nil {
+		return err
+	}
+	return ep.Send(dst, madeleine.Message{
+		Header:  makeEnvelope(tag, hdr),
+		Payload: payload,
+	})
+}
+
+// Recv blocks until a message with this port's tag arrives.
+func (p *Port) Recv() (PortMsg, error) {
+	m, err := p.in.Pop()
+	if err != nil {
+		return PortMsg{}, err
+	}
+	return m, nil
+}
+
+// TryRecv returns a pending message without blocking.
+func (p *Port) TryRecv() (PortMsg, bool) { return p.in.TryPop() }
+
+// Close releases the (node, tag) slot.
+func (p *Port) Close() {
+	d := p.dev
+	d.mu.Lock()
+	delete(d.ports, portKey{rank: p.rank, tag: p.tag})
+	d.mu.Unlock()
+	p.in.Close()
+}

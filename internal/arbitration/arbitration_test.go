@@ -1,0 +1,291 @@
+package arbitration
+
+import (
+	"errors"
+	"testing"
+
+	"padico/internal/madeleine"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+type grid struct {
+	sim   *vtime.Sim
+	net   *simnet.Net
+	nodes []*simnet.Node
+	san   *simnet.Fabric
+	lan   *simnet.Fabric
+}
+
+func newGrid(n int) *grid {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	g := &grid{sim: s, net: net}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, net.NewNode("n"+string(rune('0'+i))))
+	}
+	g.san = net.NewMyrinet2000("myri0", g.nodes)
+	g.lan = net.NewEthernet100("eth0", g.nodes)
+	return g
+}
+
+func TestArbiterResolvesExclusiveConflict(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		// Raw double-open of the exclusive device fails...
+		ch, err := madeleine.Open(g.san)
+		if err != nil {
+			t.Fatalf("raw open: %v", err)
+		}
+		if _, err := madeleine.Open(g.san); !errors.Is(err, madeleine.ErrDeviceBusy) {
+			t.Fatalf("raw second open = %v", err)
+		}
+		ch.Close()
+
+		// ...but the arbiter opens once and multiplexes: two middleware
+		// tags coexist on one wire.
+		arb := New(g.net)
+		defer arb.Close()
+		dev, err := arb.AddSAN(g.san)
+		if err != nil {
+			t.Fatalf("AddSAN: %v", err)
+		}
+		mpiPort, err := dev.OpenPort(g.nodes[0], "mpi")
+		if err != nil {
+			t.Fatalf("open mpi port: %v", err)
+		}
+		corbaPort, err := dev.OpenPort(g.nodes[0], "giop")
+		if err != nil {
+			t.Fatalf("open giop port: %v", err)
+		}
+		if mpiPort.Tag() == corbaPort.Tag() {
+			t.Fatal("tags collide")
+		}
+	})
+}
+
+func TestPortDemultiplexing(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		dev, _ := arb.AddSAN(g.san)
+		mpi0, _ := dev.OpenPort(g.nodes[0], "mpi")
+		giop0, _ := dev.OpenPort(g.nodes[0], "giop")
+		mpi1, _ := dev.OpenPort(g.nodes[1], "mpi")
+		giop1, _ := dev.OpenPort(g.nodes[1], "giop")
+
+		g.sim.Go("sender", func() {
+			_ = mpi0.Send(1, []byte("m-h"), []byte("m-p"))
+			_ = giop0.Send(1, []byte("g-h"), []byte("g-p"))
+		})
+		gm, err := giop1.Recv()
+		if err != nil || string(gm.Header) != "g-h" || string(gm.Payload) != "g-p" {
+			t.Fatalf("giop recv = %+v, %v", gm, err)
+		}
+		mm, err := mpi1.Recv()
+		if err != nil || string(mm.Header) != "m-h" || string(mm.Payload) != "m-p" {
+			t.Fatalf("mpi recv = %+v, %v", mm, err)
+		}
+		if mm.Src != 0 || gm.Src != 0 {
+			t.Fatalf("src = %d/%d", mm.Src, gm.Src)
+		}
+		routed, dropped := dev.Stats()
+		if routed != 2 || dropped != 0 {
+			t.Fatalf("stats = %d routed, %d dropped", routed, dropped)
+		}
+	})
+}
+
+func TestEarlyMessageHeldUntilPortOpens(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		dev, _ := arb.AddSAN(g.san)
+		p0, _ := dev.OpenPort(g.nodes[0], "early")
+		done := vtime.NewWaitGroup(g.sim, "join")
+		done.Add(1)
+		g.sim.Go("sender", func() {
+			_ = p0.Send(1, nil, []byte("kept")) // no port open on node 1 yet
+			done.Done()
+		})
+		_ = done.Wait()
+		g.sim.Sleep(1)
+		if n := dev.PendingMsgs(); n != 1 {
+			t.Fatalf("pending = %d, want 1", n)
+		}
+		// Opening the port drains the held message.
+		p1, err := dev.OpenPort(g.nodes[1], "early")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		m, err := p1.Recv()
+		if err != nil || string(m.Payload) != "kept" {
+			t.Fatalf("recv = %+v, %v", m, err)
+		}
+		if n := dev.PendingMsgs(); n != 0 {
+			t.Fatalf("pending after drain = %d", n)
+		}
+	})
+}
+
+func TestPortTagConflictAndClose(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		dev, _ := arb.AddSAN(g.san)
+		p, err := dev.OpenPort(g.nodes[0], "x")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := dev.OpenPort(g.nodes[0], "x"); !errors.Is(err, ErrPortTaken) {
+			t.Fatalf("dup open = %v", err)
+		}
+		p.Close()
+		if _, err := dev.OpenPort(g.nodes[0], "x"); err != nil {
+			t.Fatalf("reopen after close: %v", err)
+		}
+	})
+}
+
+func TestSelectPrefersFastestDevice(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		san, _ := arb.AddSAN(g.san)
+		_, _ = arb.AddSock(g.lan)
+		dev, err := arb.Select(g.nodes[0], g.nodes[1])
+		if err != nil {
+			t.Fatalf("select: %v", err)
+		}
+		if dev != san {
+			t.Fatalf("selected %s, want SAN", dev.Name)
+		}
+	})
+}
+
+func TestSelectFallsBackWhenSANPartial(t *testing.T) {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	a, b, c := net.NewNode("a"), net.NewNode("b"), net.NewNode("c")
+	san := net.NewMyrinet2000("myri", []*simnet.Node{a, b})
+	lan := net.NewEthernet100("eth", []*simnet.Node{a, b, c})
+	s.Run(func() {
+		arb := New(net)
+		defer arb.Close()
+		_, _ = arb.AddSAN(san)
+		ethDev, _ := arb.AddSock(lan)
+		dev, err := arb.Select(a, c)
+		if err != nil {
+			t.Fatalf("select: %v", err)
+		}
+		if dev != ethDev {
+			t.Fatalf("selected %s, want eth (SAN does not reach c)", dev.Name)
+		}
+		if _, err := arb.Select(net.NewNode("offgrid")); !errors.Is(err, ErrNoDevice) {
+			t.Fatalf("select offgrid = %v", err)
+		}
+	})
+}
+
+func TestKindMismatchErrors(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		if _, err := arb.AddSAN(g.lan); err == nil {
+			t.Error("AddSAN accepted a LAN")
+		}
+		if _, err := arb.AddSock(g.san); err == nil {
+			t.Error("AddSock accepted a SAN")
+		}
+		sanDev, _ := arb.AddSAN(g.san)
+		lanDev, _ := arb.AddSock(g.lan)
+		if _, err := sanDev.Provider(g.nodes[0]); err == nil {
+			t.Error("Provider on SAN device succeeded")
+		}
+		if _, err := lanDev.OpenPort(g.nodes[0], "t"); err == nil {
+			t.Error("OpenPort on LAN device succeeded")
+		}
+	})
+}
+
+func TestSockProviderThroughArbiter(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		dev, _ := arb.AddSock(g.lan)
+		srv, err := dev.Provider(g.nodes[0])
+		if err != nil {
+			t.Fatalf("provider: %v", err)
+		}
+		cli, _ := dev.Provider(g.nodes[1])
+		l, err := srv.Listen(4242)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		g.sim.Go("srv", func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 2)
+			_, _ = c.Read(buf)
+			_, _ = c.Write(buf)
+			c.Close()
+		})
+		c, err := cli.Dial("n0:4242")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		_, _ = c.Write([]byte("ok"))
+		buf := make([]byte, 2)
+		if _, err := c.Read(buf); err != nil || string(buf) != "ok" {
+			t.Fatalf("read = %q, %v", buf, err)
+		}
+		l.Close()
+	})
+}
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	for _, tc := range []struct {
+		tag string
+		hdr []byte
+	}{{"", nil}, {"mpi", []byte{}}, {"a-very-long-tag-name", []byte{1, 2, 3}}} {
+		env := makeEnvelope(tc.tag, tc.hdr)
+		tag, hdr, ok := splitEnvelope(env)
+		if !ok || tag != tc.tag || len(hdr) != len(tc.hdr) {
+			t.Fatalf("roundtrip(%q) = %q,%v,%v", tc.tag, tag, hdr, ok)
+		}
+	}
+	if _, _, ok := splitEnvelope([]byte{0}); ok {
+		t.Error("truncated envelope accepted")
+	}
+	if _, _, ok := splitEnvelope([]byte{0xFF, 0xFF, 'x'}); ok {
+		t.Error("overlong tag length accepted")
+	}
+}
+
+func TestDuplicateDeviceRegistration(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		arb := New(g.net)
+		defer arb.Close()
+		if _, err := arb.AddSock(g.lan); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		if _, err := arb.AddSock(g.lan); err == nil {
+			t.Fatal("duplicate device registration succeeded")
+		}
+		if _, ok := arb.Device("eth0"); !ok {
+			t.Fatal("device lookup failed")
+		}
+		if len(arb.Devices()) != 1 {
+			t.Fatalf("devices = %d", len(arb.Devices()))
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/circuit"
+	"padico/internal/madeleine"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// PadicoOverhead checks §4.4's claim that PadicoTM "adds no significant
+// overhead neither for bandwidth nor for latency" over the underlying
+// Madeleine library: raw Madeleine vs the full arbitration+Circuit stack
+// vs MPI.
+func PadicoOverhead() Result {
+	res := Result{ID: "overhead", Title: "PadicoTM overhead vs raw Madeleine (§4.4)"}
+	const size = 1 << 20
+
+	// Raw Madeleine on a dedicated fabric (no arbitration).
+	{
+		sim := vtime.NewSim()
+		net := simnet.New(sim)
+		a, b := net.NewNode("a"), net.NewNode("b")
+		fab := net.NewMyrinet2000("raw", []*simnet.Node{a, b})
+		var lat, bw float64
+		sim.Run(func() {
+			ch, err := madeleine.Open(fab)
+			if err != nil {
+				panic(err)
+			}
+			defer ch.Close()
+			e0, _ := ch.Endpoint(0)
+			e1, _ := ch.Endpoint(1)
+			done := vtime.NewWaitGroup(sim, "echo")
+			done.Add(1)
+			sim.Go("echoer", func() {
+				defer done.Done()
+				for {
+					d, err := e1.Recv()
+					if err != nil {
+						return
+					}
+					if len(d.Msg.Payload) == 0 && len(d.Msg.Header) == 0 {
+						return
+					}
+					if err := e1.Send(0, d.Msg); err != nil {
+						return
+					}
+				}
+			})
+			const iters = 10
+			start := sim.Now()
+			for i := 0; i < iters; i++ {
+				_ = e0.Send(1, madeleine.Message{Header: []byte{1}})
+				_, _ = e0.Recv()
+			}
+			lat = float64(sim.Now().Sub(start).Microseconds()) / (2 * iters)
+			start = sim.Now()
+			payload := make([]byte, size)
+			for i := 0; i < 3; i++ {
+				_ = e0.Send(1, madeleine.Message{Payload: payload})
+				_, _ = e0.Recv()
+			}
+			bw = mbps(size, sim.Now().Sub(start)/(3*2))
+			ch.Close()
+			_ = done.Wait()
+		})
+		res.Meas = append(res.Meas,
+			Measurement{Name: "raw Madeleine latency", Value: lat, Unit: "µs"},
+			Measurement{Name: "raw Madeleine bandwidth", Value: bw, Unit: "MB/s"},
+		)
+	}
+
+	// Full PadicoTM stack: arbitration + Circuit.
+	{
+		tb := newTestbed(2, true, false)
+		var lat, bw float64
+		tb.run(func() {
+			cs := make([]*circuit.Circuit, 2)
+			wg := vtime.NewWaitGroup(tb.sim, "open")
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				tb.sim.Go("open", func() {
+					defer wg.Done()
+					c, err := circuit.Open(tb.arb, "overhead", tb.nodes, i)
+					if err != nil {
+						panic(err)
+					}
+					cs[i] = c
+				})
+			}
+			_ = wg.Wait()
+			done := vtime.NewWaitGroup(tb.sim, "echo")
+			done.Add(1)
+			tb.sim.Go("echoer", func() {
+				defer done.Done()
+				for {
+					m, err := cs[1].Recv()
+					if err != nil {
+						return
+					}
+					if err := cs[1].Send(0, m.Header, m.Payload); err != nil {
+						return
+					}
+				}
+			})
+			const iters = 10
+			start := tb.sim.Now()
+			for i := 0; i < iters; i++ {
+				_ = cs[0].Send(1, []byte{1}, nil)
+				_, _ = cs[0].Recv()
+			}
+			lat = float64(tb.sim.Now().Sub(start).Microseconds()) / (2 * iters)
+			start = tb.sim.Now()
+			payload := make([]byte, size)
+			for i := 0; i < 3; i++ {
+				_ = cs[0].Send(1, nil, payload)
+				_, _ = cs[0].Recv()
+			}
+			bw = mbps(size, tb.sim.Now().Sub(start)/(3*2))
+			for _, c := range cs {
+				c.Close()
+			}
+			_ = done.Wait()
+		})
+		res.Meas = append(res.Meas,
+			Measurement{Name: "PadicoTM Circuit latency", Value: lat, Unit: "µs",
+				Footnote: "arbitrated, multiplexed"},
+			Measurement{Name: "PadicoTM Circuit bandwidth", Value: bw, Unit: "MB/s"},
+		)
+	}
+
+	// MPI on top of the stack (paper: 11 µs / 240 MB/s).
+	{
+		tb := newTestbed(2, true, false)
+		var lat, bw float64
+		tb.run(func() {
+			comms := joinWorld(tb, 2)
+			defer freeAll(comms)
+			done := vtime.NewWaitGroup(tb.sim, "echo")
+			done.Add(2)
+			const iters = 10
+			tb.sim.Go("rank0", func() {
+				defer done.Done()
+				start := tb.sim.Now()
+				for i := 0; i < iters; i++ {
+					_ = comms[0].Send(1, 0, []byte{1})
+					_, _, _ = comms[0].Recv(1, 0)
+				}
+				lat = float64(tb.sim.Now().Sub(start).Microseconds()) / (2 * iters)
+				start = tb.sim.Now()
+				payload := make([]byte, size)
+				for i := 0; i < 3; i++ {
+					_ = comms[0].Send(1, 0, payload)
+					_, _, _ = comms[0].Recv(1, 0)
+				}
+				bw = mbps(size, tb.sim.Now().Sub(start)/(3*2))
+			})
+			tb.sim.Go("rank1", func() {
+				defer done.Done()
+				for i := 0; i < iters+3; i++ {
+					data, _, err := comms[1].Recv(0, 0)
+					if err != nil {
+						return
+					}
+					_ = comms[1].Send(0, 0, data)
+				}
+			})
+			_ = done.Wait()
+		})
+		res.Meas = append(res.Meas,
+			Measurement{Name: "MPI latency", Value: lat, Unit: "µs", Paper: 11},
+			Measurement{Name: "MPI bandwidth", Value: bw, Unit: "MB/s", Paper: 240},
+		)
+	}
+	return res
+}
+
+// CrossParadigm exercises §4.3.2's mappings: the parallel abstraction over
+// sockets and the distributed abstraction over the SAN, against their
+// straight counterparts.
+func CrossParadigm() Result {
+	res := Result{ID: "cross", Title: "Straight vs cross-paradigm mappings (§4.3.2)"}
+	const size = 1 << 20
+
+	// Circuit: straight (Myrinet) vs cross-paradigm (framed TCP mesh).
+	for _, devName := range []string{"myri0", "eth0"} {
+		tb := newTestbed(2, true, true)
+		var bw float64
+		var mapping string
+		tb.run(func() {
+			dev, _ := tb.arb.Device(devName)
+			cs := make([]*circuit.Circuit, 2)
+			wg := vtime.NewWaitGroup(tb.sim, "open")
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				tb.sim.Go("open", func() {
+					defer wg.Done()
+					c, err := circuit.OpenOn(tb.arb, dev, "xp", tb.nodes, i)
+					if err != nil {
+						panic(err)
+					}
+					cs[i] = c
+				})
+			}
+			_ = wg.Wait()
+			mapping = cs[0].Mapping()
+			done := vtime.NewWaitGroup(tb.sim, "echo")
+			done.Add(1)
+			tb.sim.Go("echoer", func() {
+				defer done.Done()
+				m, err := cs[1].Recv()
+				if err != nil {
+					return
+				}
+				_ = cs[1].Send(0, m.Header, m.Payload)
+			})
+			start := tb.sim.Now()
+			_ = cs[0].Send(1, nil, make([]byte, size))
+			_, _ = cs[0].Recv()
+			bw = mbps(size, tb.sim.Now().Sub(start)/2)
+			for _, c := range cs {
+				c.Close()
+			}
+			_ = done.Wait()
+		})
+		res.Meas = append(res.Meas, Measurement{
+			Name: "Circuit/" + devName + " (" + mapping + ")", Value: bw, Unit: "MB/s",
+		})
+	}
+
+	// VLink: cross-paradigm (stream over Myrinet ports) vs straight (TCP).
+	for _, devName := range []string{"myri0", "eth0"} {
+		tb := newTestbed(2, true, true)
+		var bw float64
+		tb.run(func() {
+			dev, _ := tb.arb.Device(devName)
+			l, err := tb.linkers[0].Listen("xpsink")
+			if err != nil {
+				panic(err)
+			}
+			tb.sim.Go("sink", func() {
+				st, err := l.Accept()
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 64*1024)
+				for {
+					if _, err := st.Read(buf); err != nil {
+						return
+					}
+				}
+			})
+			st, err := tb.linkers[1].DialOn(dev, tb.nodes[0], "xpsink")
+			if err != nil {
+				panic(err)
+			}
+			start := tb.sim.Now()
+			if _, err := st.Write(make([]byte, size)); err != nil {
+				panic(err)
+			}
+			bw = mbps(size, tb.sim.Now().Sub(start))
+			st.Close()
+		})
+		mapping := "straight"
+		if devName == "myri0" {
+			mapping = "cross-paradigm"
+		}
+		res.Meas = append(res.Meas, Measurement{
+			Name: "VLink/" + devName + " (" + mapping + ")", Value: bw, Unit: "MB/s",
+		})
+	}
+	return res
+}
+
+// SecurityZones exercises §2/§6: encryption applies exactly on insecure
+// paths under the automatic policy, and the paper's proposed optimization
+// (clear text inside a parallel machine) is measurable.
+func SecurityZones() Result {
+	res := Result{ID: "security", Title: "Security zones: encryption policy (§2, §6)"}
+	const size = 1 << 20
+	measure := func(devName string, mode vlink.SecurityMode) float64 {
+		sim := vtime.NewSim()
+		net := simnet.New(sim)
+		tb := &testbed{sim: sim, net: net, arb: arbitration.New(net)}
+		tb.nodes = []*simnet.Node{net.NewNode("node0"), net.NewNode("node1")}
+		if _, err := tb.arb.AddSAN(net.NewMyrinet2000("myri0", tb.nodes)); err != nil {
+			panic(err)
+		}
+		if _, err := tb.arb.AddSock(net.NewWAN("wan0", tb.nodes, 25e6, time.Millisecond)); err != nil {
+			panic(err)
+		}
+		for _, nd := range tb.nodes {
+			tb.linkers = append(tb.linkers, vlink.NewLinker(tb.arb, nd))
+		}
+		var d time.Duration
+		tb.run(func() {
+			dev, _ := tb.arb.Device(devName)
+			ln0, ln1 := tb.linkers[0], tb.linkers[1]
+			ln1.Mode = mode
+			l, _ := ln0.Listen("sink")
+			tb.sim.Go("sink", func() {
+				st, err := l.Accept()
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 64*1024)
+				for {
+					if _, err := st.Read(buf); err != nil {
+						return
+					}
+				}
+			})
+			st, err := ln1.DialOn(dev, tb.nodes[0], "sink")
+			if err != nil {
+				panic(err)
+			}
+			start := tb.sim.Now()
+			if _, err := st.Write(make([]byte, size)); err != nil {
+				panic(err)
+			}
+			d = time.Duration(tb.sim.Now().Sub(start))
+			st.Close()
+		})
+		return mbps(size, d)
+	}
+	for _, c := range []struct {
+		name   string
+		device string
+		mode   vlink.SecurityMode
+	}{
+		{"SAN auto (secure: clear)", "myri0", vlink.SecureAuto},
+		{"SAN always-encrypt (coarse CORBA policy)", "myri0", vlink.SecureAlways},
+		{"WAN auto (insecure: encrypted)", "wan0", vlink.SecureAuto},
+		{"WAN never (trusted-grid baseline)", "wan0", vlink.SecureNever},
+	} {
+		res.Meas = append(res.Meas, Measurement{
+			Name: c.name, Value: measure(c.device, c.mode), Unit: "MB/s",
+		})
+	}
+	return res
+}

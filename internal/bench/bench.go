@@ -1,0 +1,221 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4.4), plus the ablations DESIGN.md calls out. Each
+// experiment builds the calibrated simulated testbed (dual-PIII-class
+// nodes, Myrinet-2000, Fast Ethernet), runs the real middleware stack under
+// virtual time, and reports measured values next to the paper's published
+// numbers. See EXPERIMENTS.md for the recorded outcomes.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/idl"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Measurement is one reported value, with the paper's number when the
+// paper states one (Paper == 0 means not reported).
+type Measurement struct {
+	Name     string
+	Value    float64
+	Unit     string
+	Paper    float64
+	Footnote string
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Meas  []Measurement
+}
+
+// Format renders the result as an aligned text table.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	name := len("measurement")
+	for _, m := range r.Meas {
+		if len(m.Name) > name {
+			name = len(m.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %s\n", name, "measurement", "measured", "paper", "unit")
+	for _, m := range r.Meas {
+		paper := "-"
+		if m.Paper != 0 {
+			paper = fmt.Sprintf("%.1f", m.Paper)
+		}
+		fmt.Fprintf(&b, "%-*s  %12.1f  %12s  %s", name, m.Name, m.Value, paper, m.Unit)
+		if m.Footnote != "" {
+			fmt.Fprintf(&b, "  (%s)", m.Footnote)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Deviation returns the worst relative deviation from the paper's values
+// (over measurements that have one).
+func (r Result) Deviation() float64 {
+	worst := 0.0
+	for _, m := range r.Meas {
+		if m.Paper == 0 {
+			continue
+		}
+		d := (m.Value - m.Paper) / m.Paper
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// testbed is the simulated evaluation platform of §4.4.
+type testbed struct {
+	sim     *vtime.Sim
+	net     *simnet.Net
+	arb     *arbitration.Arbiter
+	nodes   []*simnet.Node
+	linkers []*vlink.Linker
+	orbs    []*orb.ORB
+
+	mu       sync.Mutex
+	cleanups []func()
+}
+
+// addCleanup registers a teardown action (run before the stack closes).
+func (tb *testbed) addCleanup(f func()) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.cleanups = append(tb.cleanups, f)
+}
+
+// newTestbed builds n nodes; san/lan select the attached fabrics.
+func newTestbed(n int, san, lan bool) *testbed {
+	sim := vtime.NewSim()
+	net := simnet.New(sim)
+	tb := &testbed{sim: sim, net: net, arb: arbitration.New(net)}
+	for i := 0; i < n; i++ {
+		tb.nodes = append(tb.nodes, net.NewNode(fmt.Sprintf("node%d", i)))
+	}
+	if san {
+		if _, err := tb.arb.AddSAN(net.NewMyrinet2000("myri0", tb.nodes)); err != nil {
+			panic(err)
+		}
+	}
+	if lan {
+		if _, err := tb.arb.AddSock(net.NewEthernet100("eth0", tb.nodes)); err != nil {
+			panic(err)
+		}
+	}
+	for _, nd := range tb.nodes {
+		tb.linkers = append(tb.linkers, vlink.NewLinker(tb.arb, nd))
+	}
+	return tb
+}
+
+func (tb *testbed) close() {
+	tb.mu.Lock()
+	cleanups := tb.cleanups
+	tb.cleanups = nil
+	tb.mu.Unlock()
+	for _, f := range cleanups {
+		f()
+	}
+	tb.mu.Lock()
+	orbs := tb.orbs
+	tb.orbs = nil
+	tb.mu.Unlock()
+	for _, o := range orbs {
+		o.Shutdown()
+	}
+	for _, ln := range tb.linkers {
+		ln.Close()
+	}
+	tb.arb.Close()
+}
+
+// run executes body as the root actor and tears the testbed down.
+func (tb *testbed) run(body func()) {
+	tb.sim.Run(func() {
+		defer tb.close()
+		body()
+	})
+}
+
+const echoIDL = `
+module Bench {
+    typedef sequence<octet> Blob;
+    interface Echo {
+        Blob echo(in Blob data);
+        void sink(in Blob data);
+    };
+};
+`
+
+// newORB builds an ORB with the given profile on node i; it is shut down
+// with the testbed.
+func (tb *testbed) newORB(i int, profile simnet.ORBProfile) *orb.ORB {
+	return tb.newORBIDL(i, profile, echoIDL)
+}
+
+func (tb *testbed) newORBIDL(i int, profile simnet.ORBProfile, idlSrc string) *orb.ORB {
+	repo := idl.NewRepository()
+	repo.MustParse(idlSrc)
+	o, err := orb.New(orb.Config{
+		Transport: orb.VLinkTransport{Linker: tb.linkers[i]},
+		Repo:      repo,
+		Profile:   profile,
+		Runtime:   tb.sim,
+		Node:      tb.nodes[i],
+		Service:   "giop:" + profile.Name,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tb.mu.Lock()
+	tb.orbs = append(tb.orbs, o)
+	tb.mu.Unlock()
+	return o
+}
+
+// echoServant returns data unchanged (the classic bandwidth workload); sink
+// discards it (one-directional streaming).
+var echoServant = orb.HandlerMap{
+	"echo": func(args []any) ([]any, error) { return []any{args[0]}, nil },
+	"sink": func(args []any) ([]any, error) { return []any{}, nil },
+}
+
+// mbps converts bytes over a virtual duration to MB/s (decimal, like the
+// paper).
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(d) / 1e9) / 1e6
+}
+
+// All runs every experiment and returns the results in paper order.
+func All() []Result {
+	return []Result{
+		Fig7Bandwidth(),
+		Latency(),
+		Concurrent(),
+		Fig8GridCCM(),
+		EthernetScaling(),
+		PadicoOverhead(),
+		CrossParadigm(),
+		SecurityZones(),
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment harness is itself under test: every reproduced number must
+// stay within tolerance of the paper's published value, so a regression in
+// any layer of the stack (costs, protocols, schedulers) fails CI here.
+
+func checkDeviation(t *testing.T, r Result, tol float64) {
+	t.Helper()
+	for _, m := range r.Meas {
+		if m.Paper == 0 {
+			continue
+		}
+		dev := (m.Value - m.Paper) / m.Paper
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > tol {
+			t.Errorf("%s: %s = %.1f %s, paper %.1f (%.0f%% off, tolerance %.0f%%)",
+				r.ID, m.Name, m.Value, m.Unit, m.Paper, dev*100, tol*100)
+		}
+	}
+	if len(r.Meas) == 0 {
+		t.Errorf("%s produced no measurements", r.ID)
+	}
+	if !strings.Contains(r.Format(), r.Title) {
+		t.Errorf("%s Format misses title", r.ID)
+	}
+}
+
+func TestFig7WithinTolerance(t *testing.T) {
+	r := Fig7Bandwidth()
+	checkDeviation(t, r, 0.05)
+	// Shape: omniORB ≈ MPI >> ORBacus > Mico at 1 MB.
+	peak := map[string]float64{}
+	for _, m := range r.Meas {
+		if strings.Contains(m.Name, "@ 1MB") {
+			peak[m.Name] = m.Value
+		}
+	}
+	omni := peak["omniORB-3.0.2/Myrinet-2000 @ 1MB"]
+	mico := peak["Mico-2.3.7/Myrinet-2000 @ 1MB"]
+	orbacus := peak["ORBacus-4.0.5/Myrinet-2000 @ 1MB"]
+	if !(omni > orbacus && orbacus > mico) {
+		t.Errorf("ordering broken: omni %.1f, orbacus %.1f, mico %.1f", omni, orbacus, mico)
+	}
+	if omni/mico < 3.5 {
+		t.Errorf("omniORB/Mico ratio %.1f, paper ≈4.4", omni/mico)
+	}
+}
+
+func TestLatencyWithinTolerance(t *testing.T) {
+	checkDeviation(t, Latency(), 0.06)
+}
+
+func TestConcurrentSharing(t *testing.T) {
+	checkDeviation(t, Concurrent(), 0.06)
+}
+
+func TestFig8WithinTolerance(t *testing.T) {
+	checkDeviation(t, Fig8GridCCM(), 0.06)
+}
+
+func TestEthernetScalingWithinTolerance(t *testing.T) {
+	checkDeviation(t, EthernetScaling(), 0.06)
+}
+
+func TestOverheadClaim(t *testing.T) {
+	r := PadicoOverhead()
+	checkDeviation(t, r, 0.05)
+	vals := map[string]float64{}
+	for _, m := range r.Meas {
+		vals[m.Name] = m.Value
+	}
+	// "No significant overhead": the arbitrated stack within 5% of raw.
+	if raw, stack := vals["raw Madeleine bandwidth"], vals["PadicoTM Circuit bandwidth"]; stack < raw*0.95 {
+		t.Errorf("stack bandwidth %.1f vs raw %.1f", stack, raw)
+	}
+	if raw, stack := vals["raw Madeleine latency"], vals["PadicoTM Circuit latency"]; stack > raw*1.05 {
+		t.Errorf("stack latency %.1f vs raw %.1f", stack, raw)
+	}
+}
+
+func TestCrossParadigmShapes(t *testing.T) {
+	r := CrossParadigm()
+	vals := map[string]float64{}
+	for _, m := range r.Meas {
+		vals[m.Name] = m.Value
+	}
+	if vals["Circuit/myri0 (straight)"] < 10*vals["Circuit/eth0 (cross-paradigm)"] {
+		t.Errorf("circuit mapping speeds: %v", vals)
+	}
+	if vals["VLink/myri0 (cross-paradigm)"] < 10*vals["VLink/eth0 (straight)"] {
+		t.Errorf("vlink mapping speeds: %v", vals)
+	}
+}
+
+func TestSecurityZoneShapes(t *testing.T) {
+	r := SecurityZones()
+	vals := map[string]float64{}
+	for _, m := range r.Meas {
+		vals[m.Name] = m.Value
+	}
+	if vals["SAN auto (secure: clear)"] <= vals["SAN always-encrypt (coarse CORBA policy)"] {
+		t.Errorf("SAN encryption not measurable: %v", vals)
+	}
+	if vals["WAN never (trusted-grid baseline)"] <= vals["WAN auto (insecure: encrypted)"] {
+		t.Errorf("WAN encryption not measurable: %v", vals)
+	}
+}

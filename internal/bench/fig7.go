@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// fig7Sizes is the paper's x-axis: 32 B to 1 MB.
+var fig7Sizes = []int{32, 1024, 32 * 1024, 1024 * 1024}
+
+// fig7ORBs are the CORBA implementations of Figure 7.
+var fig7ORBs = []simnet.ORBProfile{
+	simnet.OmniORB3, simnet.OmniORB4, simnet.Mico, simnet.ORBacus,
+}
+
+// orbEcho measures the ORB echo bandwidth (MB/s) for one message size over
+// the given testbed. The connection is warmed first.
+func orbEcho(tb *testbed, client *orb.ObjRef, size, iters int) float64 {
+	payload := make([]byte, size)
+	start := tb.sim.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := client.Invoke("echo", payload); err != nil {
+			panic(err)
+		}
+	}
+	rt := tb.sim.Now().Sub(start) / time.Duration(iters)
+	return mbps(size, rt/2)
+}
+
+// mpiEcho measures MPI ping-pong bandwidth between ranks 0 and 1.
+func mpiEcho(tb *testbed, comms []*mpi.Comm, size, iters int) float64 {
+	payload := make([]byte, size)
+	done := vtime.NewWaitGroup(tb.sim, "pingpong")
+	var rt time.Duration
+	done.Add(2)
+	tb.sim.Go("rank0", func() {
+		defer done.Done()
+		start := tb.sim.Now()
+		for i := 0; i < iters; i++ {
+			if err := comms[0].Send(1, 0, payload); err != nil {
+				panic(err)
+			}
+			if _, _, err := comms[0].Recv(1, 0); err != nil {
+				panic(err)
+			}
+		}
+		rt = tb.sim.Now().Sub(start) / time.Duration(iters)
+	})
+	tb.sim.Go("rank1", func() {
+		defer done.Done()
+		for i := 0; i < iters; i++ {
+			data, _, err := comms[1].Recv(0, 0)
+			if err != nil {
+				panic(err)
+			}
+			if err := comms[1].Send(0, 0, data); err != nil {
+				panic(err)
+			}
+		}
+	})
+	_ = done.Wait()
+	return mbps(size, rt/2)
+}
+
+// tcpEcho measures a raw socket echo over the Ethernet device (the
+// reference curve of Figure 7).
+func tcpEcho(tb *testbed, size, iters int) float64 {
+	dev, _ := tb.arb.Device("eth0")
+	srvProv, _ := dev.Provider(tb.nodes[0])
+	cliProv, _ := dev.Provider(tb.nodes[1])
+	l, err := srvProv.Listen(9000)
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	tb.sim.Go("tcp-echo-server", func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, size)
+		for {
+			if err := sockets.ReadFull(c, buf); err != nil {
+				return
+			}
+			if _, err := c.Write(buf); err != nil {
+				return
+			}
+		}
+	})
+	c, err := cliProv.Dial("node0:9000")
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	payload := make([]byte, size)
+	start := tb.sim.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := c.Write(payload); err != nil {
+			panic(err)
+		}
+		if err := sockets.ReadFull(c, payload); err != nil {
+			panic(err)
+		}
+	}
+	rt := tb.sim.Now().Sub(start) / time.Duration(iters)
+	return mbps(size, rt/2)
+}
+
+// Fig7Bandwidth reproduces Figure 7: CORBA and MPI bandwidth on PadicoTM
+// over Myrinet-2000, with the TCP/Ethernet-100 reference.
+func Fig7Bandwidth() Result {
+	res := Result{ID: "fig7", Title: "CORBA and MPI bandwidth on PadicoTM (Figure 7)"}
+	paperPeak := map[string]float64{
+		simnet.OmniORB3.Name: 240, simnet.OmniORB4.Name: 240,
+		simnet.Mico.Name: 55, simnet.ORBacus.Name: 63,
+	}
+	// CORBA curves.
+	for _, profile := range fig7ORBs {
+		tb := newTestbed(2, true, true)
+		tb.run(func() {
+			server := tb.newORB(0, profile)
+			clientORB := tb.newORB(1, profile)
+			defer server.Shutdown()
+			defer clientORB.Shutdown()
+			ior, err := server.Activate("echo", "Bench::Echo", echoServant)
+			if err != nil {
+				panic(err)
+			}
+			ref, err := clientORB.Object(ior)
+			if err != nil {
+				panic(err)
+			}
+			orbEcho(tb, ref, 32, 1) // warm connection
+			for _, size := range fig7Sizes {
+				bw := orbEcho(tb, ref, size, 3)
+				m := Measurement{
+					Name:  fmt.Sprintf("%s/Myrinet-2000 @ %s", profile.Name, sizeLabel(size)),
+					Value: bw, Unit: "MB/s",
+				}
+				if size == 1024*1024 {
+					m.Paper = paperPeak[profile.Name]
+				}
+				res.Meas = append(res.Meas, m)
+			}
+		})
+	}
+	// MPI curve.
+	{
+		tb := newTestbed(2, true, false)
+		tb.run(func() {
+			comms := joinWorld(tb, 2)
+			defer freeAll(comms)
+			for _, size := range fig7Sizes {
+				bw := mpiEcho(tb, comms, size, 3)
+				m := Measurement{
+					Name:  fmt.Sprintf("MPICH/Myrinet-2000 @ %s", sizeLabel(size)),
+					Value: bw, Unit: "MB/s",
+				}
+				if size == 1024*1024 {
+					m.Paper = 240
+				}
+				res.Meas = append(res.Meas, m)
+			}
+		})
+	}
+	// TCP/Ethernet reference.
+	{
+		tb := newTestbed(2, false, true)
+		tb.run(func() {
+			for _, size := range fig7Sizes {
+				bw := tcpEcho(tb, size, 3)
+				res.Meas = append(res.Meas, Measurement{
+					Name:  fmt.Sprintf("TCP/Ethernet-100 @ %s", sizeLabel(size)),
+					Value: bw, Unit: "MB/s",
+					Footnote: "reference curve",
+				})
+			}
+		})
+	}
+	return res
+}
+
+// Latency reproduces §4.4's latency figures: half round trip of a minimal
+// message.
+func Latency() Result {
+	res := Result{ID: "lat", Title: "Latency on PadicoTM over Myrinet-2000 (§4.4)"}
+	paper := map[string]float64{
+		simnet.OmniORB3.Name: 20, simnet.Mico.Name: 62, simnet.ORBacus.Name: 54,
+	}
+	for _, profile := range fig7ORBs {
+		tb := newTestbed(2, true, true)
+		tb.run(func() {
+			server := tb.newORB(0, profile)
+			client := tb.newORB(1, profile)
+			defer server.Shutdown()
+			defer client.Shutdown()
+			ior, _ := server.Activate("echo", "Bench::Echo", echoServant)
+			ref, _ := client.Object(ior)
+			orbEcho(tb, ref, 1, 1) // warm
+			payload := make([]byte, 1)
+			const iters = 20
+			start := tb.sim.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := ref.Invoke("echo", payload); err != nil {
+					panic(err)
+				}
+			}
+			half := tb.sim.Now().Sub(start).Microseconds()
+			res.Meas = append(res.Meas, Measurement{
+				Name:  profile.Name,
+				Value: float64(half) / (2 * iters), Unit: "µs",
+				Paper: paper[profile.Name],
+			})
+		})
+	}
+	// MPI latency.
+	tb := newTestbed(2, true, false)
+	tb.run(func() {
+		comms := joinWorld(tb, 2)
+		defer freeAll(comms)
+		const iters = 20
+		done := vtime.NewWaitGroup(tb.sim, "lat")
+		var half float64
+		done.Add(2)
+		tb.sim.Go("rank0", func() {
+			defer done.Done()
+			start := tb.sim.Now()
+			for i := 0; i < iters; i++ {
+				_ = comms[0].Send(1, 0, []byte{1})
+				_, _, _ = comms[0].Recv(1, 0)
+			}
+			half = float64(tb.sim.Now().Sub(start).Microseconds()) / (2 * iters)
+		})
+		tb.sim.Go("rank1", func() {
+			defer done.Done()
+			for i := 0; i < iters; i++ {
+				_, _, _ = comms[1].Recv(0, 0)
+				_ = comms[1].Send(0, 0, []byte{1})
+			}
+		})
+		_ = done.Wait()
+		res.Meas = append(res.Meas, Measurement{
+			Name: "MPICH", Value: half, Unit: "µs", Paper: 11,
+		})
+	})
+	return res
+}
+
+// Concurrent reproduces §4.4's sharing claim: CORBA and MPI streaming at
+// the same time over one Myrinet NIC pair each obtain ~120 MB/s.
+func Concurrent() Result {
+	res := Result{ID: "concurrent", Title: "Concurrent CORBA + MPI bandwidth sharing (§4.4)"}
+	tb := newTestbed(2, true, true)
+	tb.run(func() {
+		// Both streams flow node0 → node1 so they compete for the same
+		// wire (full-duplex NICs never contend on opposite directions).
+		server := tb.newORB(1, simnet.OmniORB3)
+		client := tb.newORB(0, simnet.OmniORB3)
+		defer server.Shutdown()
+		defer client.Shutdown()
+		ior, _ := server.Activate("echo", "Bench::Echo", echoServant)
+		ref, _ := client.Object(ior)
+		comms := joinWorld(tb, 2)
+		defer freeAll(comms)
+		orbEcho(tb, ref, 32, 1) // warm
+
+		// Both middleware stream one-directionally over the same NIC
+		// pair at the same time (the paper's sharing scenario): the
+		// fluid model splits the wire between the two flows.
+		const size = 1 << 20
+		const iters = 8
+		var corbaBW, mpiBW float64
+		done := vtime.NewWaitGroup(tb.sim, "streams")
+		done.Add(3)
+		tb.sim.Go("corba-stream", func() {
+			defer done.Done()
+			start := tb.sim.Now()
+			payload := make([]byte, size)
+			for i := 0; i < iters; i++ {
+				if _, err := ref.Invoke("sink", payload); err != nil {
+					panic(err)
+				}
+			}
+			corbaBW = mbps(iters*size, tb.sim.Now().Sub(start))
+		})
+		tb.sim.Go("mpi-stream-0", func() {
+			defer done.Done()
+			start := tb.sim.Now()
+			payload := make([]byte, size)
+			for i := 0; i < iters; i++ {
+				_ = comms[0].Send(1, 0, payload)
+			}
+			mpiBW = mbps(iters*size, tb.sim.Now().Sub(start))
+		})
+		tb.sim.Go("mpi-stream-1", func() {
+			defer done.Done()
+			for i := 0; i < iters; i++ {
+				_, _, _ = comms[1].Recv(0, 0)
+			}
+		})
+		_ = done.Wait()
+		res.Meas = append(res.Meas,
+			Measurement{Name: "omniORB while sharing", Value: corbaBW, Unit: "MB/s", Paper: 120},
+			Measurement{Name: "MPI while sharing", Value: mpiBW, Unit: "MB/s", Paper: 120},
+		)
+	})
+	return res
+}
+
+func joinWorld(tb *testbed, n int) []*mpi.Comm {
+	comms := make([]*mpi.Comm, n)
+	wg := vtime.NewWaitGroup(tb.sim, "join")
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		tb.sim.Go("join", func() {
+			defer wg.Done()
+			c, err := mpi.Join(tb.arb, "bench", tb.nodes[:n], i)
+			if err != nil {
+				panic(err)
+			}
+			comms[i] = c
+		})
+	}
+	_ = wg.Wait()
+	return comms
+}
+
+func freeAll(comms []*mpi.Comm) {
+	for _, c := range comms {
+		c.Free()
+	}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1024:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

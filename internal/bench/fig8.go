@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"padico/internal/gridccm"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+const gridccmIDL = `
+module Bench {
+    typedef sequence<long> LongVec;
+    interface Parallel { void op(in LongVec v); };
+};
+`
+
+const gridccmXML = `
+<parallel component="BenchComp">
+  <port name="p">
+    <operation name="op"><argument name="v" distribution="block"/></operation>
+  </port>
+</parallel>`
+
+// barrierServant runs MPI_Barrier inside the operation, the exact workload
+// of Figure 8 ("the invoked operation only contains a MPI_Barrier").
+type barrierServant struct{ comm *mpi.Comm }
+
+func (b *barrierServant) Invoke(op string, args []any) ([]any, error) {
+	if b.comm != nil {
+		if err := b.comm.Barrier(); err != nil {
+			return nil, err
+		}
+	}
+	return []any{}, nil
+}
+
+// gridccmSetup builds an n→n parallel pair on 2n nodes and returns the
+// client-side parallel references.
+func gridccmSetup(tb *testbed, n int, profile simnet.ORBProfile) []*gridccm.ParallelRef {
+	desc, err := gridccm.ParseParallelDesc([]byte(gridccmXML))
+	if err != nil {
+		panic(err)
+	}
+	port, _ := desc.Port("p")
+
+	mkORB := func(i int) *orb.ORB { return tb.newORBIDL(i, profile, gridccmIDL) }
+
+	serverNodes := tb.nodes[n : 2*n]
+	clientNodes := tb.nodes[:n]
+	servedCh := make(chan *gridccm.ServedParallel, n)
+	wg := vtime.NewWaitGroup(tb.sim, "serve")
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		tb.sim.Go("server-member", func() {
+			defer wg.Done()
+			var comm *mpi.Comm
+			if n > 1 {
+				var err error
+				comm, err = mpi.Join(tb.arb, "fig8srv", serverNodes, r)
+				if err != nil {
+					panic(err)
+				}
+				tb.addCleanup(comm.Free)
+			}
+			served, err := gridccm.Serve(gridccm.Member{
+				ORB: mkORB(n + r), Comm: comm, Rank: r, Size: n, Node: tb.nodes[n+r],
+			}, "bench", "Bench::Parallel", port, &barrierServant{comm: comm})
+			if err != nil {
+				panic(err)
+			}
+			servedCh <- served
+		})
+	}
+	_ = wg.Wait()
+	served := <-servedCh
+
+	refs := make([]*gridccm.ParallelRef, n)
+	wg2 := vtime.NewWaitGroup(tb.sim, "bind")
+	for r := 0; r < n; r++ {
+		wg2.Add(1)
+		tb.sim.Go("client-member", func() {
+			defer wg2.Done()
+			var comm *mpi.Comm
+			if n > 1 {
+				var err error
+				comm, err = mpi.Join(tb.arb, "fig8cli", clientNodes, r)
+				if err != nil {
+					panic(err)
+				}
+				tb.addCleanup(comm.Free)
+			}
+			ref, err := gridccm.Bind(gridccm.Member{
+				ORB: mkORB(r), Comm: comm, Rank: r, Size: n, Node: tb.nodes[r],
+			}, "fig8client", "Bench::Parallel", port, served.Derived)
+			if err != nil {
+				panic(err)
+			}
+			refs[r] = ref
+		})
+	}
+	_ = wg2.Wait()
+	return refs
+}
+
+// gridccmInvoke performs one collective invocation of total elements and
+// returns the virtual wall time of the whole invocation.
+func gridccmInvoke(tb *testbed, refs []*gridccm.ParallelRef, total int) time.Duration {
+	n := len(refs)
+	start := tb.sim.Now()
+	wg := vtime.NewWaitGroup(tb.sim, "invoke")
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		tb.sim.Go("invoker", func() {
+			defer wg.Done()
+			cnt := blockCount(total, n, r)
+			chunk := make([]int32, cnt)
+			err := refs[r].Invoke("op", gridccm.Distributed{Total: total, Chunk: chunk})
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	_ = wg.Wait()
+	return time.Duration(tb.sim.Now().Sub(start))
+}
+
+func blockCount(total, parts, p int) int {
+	q, r := total/parts, total%parts
+	if p < r {
+		return q + 1
+	}
+	return q
+}
+
+// Fig8GridCCM reproduces Figure 8: latency and aggregate bandwidth between
+// two parallel components over Myrinet-2000 with the MicoCCM-based
+// GridCCM, for 1/2/4/8 nodes a side.
+func Fig8GridCCM() Result {
+	res := Result{ID: "fig8", Title: "GridCCM n→n over Myrinet-2000, MicoCCM (Figure 8)"}
+	paperLat := map[int]float64{1: 62, 2: 93, 4: 123, 8: 148}
+	paperBW := map[int]float64{1: 43, 2: 76, 4: 144, 8: 280}
+	for _, n := range []int{1, 2, 4, 8} {
+		tb := newTestbed(2*n, true, false)
+		var lat, agg float64
+		tb.run(func() {
+			refs := gridccmSetup(tb, n, simnet.Mico)
+			gridccmInvoke(tb, refs, n) // warm-up
+			// Latency: half round trip of a minimal invocation.
+			const iters = 4
+			var sum time.Duration
+			for i := 0; i < iters; i++ {
+				sum += gridccmInvoke(tb, refs, n)
+			}
+			lat = float64(sum.Microseconds()) / (2 * iters)
+			// Aggregate bandwidth: one 4 M-element (16 MB) vector.
+			const totalBytes = 4 << 20 // elements; 4 bytes each
+			d := gridccmInvoke(tb, refs, totalBytes)
+			agg = mbps(totalBytes*4, d)
+		})
+		res.Meas = append(res.Meas,
+			Measurement{Name: fmt.Sprintf("%d to %d latency", n, n), Value: lat, Unit: "µs", Paper: paperLat[n]},
+			Measurement{Name: fmt.Sprintf("%d to %d aggregate bandwidth", n, n), Value: agg, Unit: "MB/s", Paper: paperBW[n]},
+		)
+	}
+	return res
+}
+
+// EthernetScaling reproduces §4.4's last paragraph: GridCCM bandwidth
+// scaling on Fast Ethernet with MicoCCM and OpenCCM (Java), 1→8 nodes.
+func EthernetScaling() Result {
+	res := Result{ID: "eth", Title: "GridCCM bandwidth scaling on Fast-Ethernet (§4.4)"}
+	paper := map[string]map[int]float64{
+		simnet.Mico.Name:        {1: 9.8, 8: 78.4},
+		simnet.OpenCCMJava.Name: {1: 8.3, 8: 66.4},
+	}
+	for _, profile := range []simnet.ORBProfile{simnet.Mico, simnet.OpenCCMJava} {
+		for _, n := range []int{1, 2, 4, 8} {
+			tb := newTestbed(2*n, false, true)
+			var agg float64
+			tb.run(func() {
+				refs := gridccmSetup(tb, n, profile)
+				gridccmInvoke(tb, refs, n) // warm-up
+				const totalElems = 1 << 20 // 4 MB total
+				d := gridccmInvoke(tb, refs, totalElems)
+				agg = mbps(totalElems*4, d)
+			})
+			res.Meas = append(res.Meas, Measurement{
+				Name:  fmt.Sprintf("%s %d to %d", profile.Name, n, n),
+				Value: agg, Unit: "MB/s", Paper: paper[profile.Name][n],
+			})
+		}
+	}
+	return res
+}

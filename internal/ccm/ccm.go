@@ -1,0 +1,472 @@
+// Package ccm implements the CORBA Component Model subset Padico builds on
+// (§3.2): component classes with facets, receptacles, event sources/sinks
+// and attributes; homes and containers; the CCMObject equivalent interface
+// for third-party wiring; XML software-package and assembly descriptors;
+// and a deployment engine that instantiates and connects components across
+// the grid through plain CORBA calls.
+package ccm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"padico/internal/cdr"
+	"padico/internal/idl"
+	"padico/internal/orb"
+)
+
+// Impl is a component implementation ("executor" in CCM terms). The
+// container calls it; user code implements it (or embeds Base for
+// defaults).
+type Impl interface {
+	// Facet returns the servant implementing a provided port.
+	Facet(name string) orb.Servant
+	// Connect injects a reference into a receptacle.
+	Connect(receptacle string, ref *orb.ObjRef) error
+	// Disconnect clears a receptacle.
+	Disconnect(receptacle string) error
+	// Consume delivers an event to a sink.
+	Consume(sink string, event map[string]any)
+	// SetAttr configures an attribute.
+	SetAttr(name string, v any) error
+	// ConfigurationComplete ends the configuration phase.
+	ConfigurationComplete() error
+}
+
+// Base provides no-op defaults for Impl; embed it and override what the
+// component uses.
+type Base struct{}
+
+// Facet implements Impl.
+func (Base) Facet(string) orb.Servant { return nil }
+
+// Connect implements Impl.
+func (Base) Connect(string, *orb.ObjRef) error { return nil }
+
+// Disconnect implements Impl.
+func (Base) Disconnect(string) error { return nil }
+
+// Consume implements Impl.
+func (Base) Consume(string, map[string]any) {}
+
+// SetAttr implements Impl.
+func (Base) SetAttr(string, any) error { return nil }
+
+// ConfigurationComplete implements Impl.
+func (Base) ConfigurationComplete() error { return nil }
+
+// Class statically describes a component type (the contents of its
+// software package): its ports and an implementation factory.
+type Class struct {
+	Name        string
+	Version     string
+	Facets      map[string]string // facet name → IDL interface
+	Receptacles map[string]string // receptacle name → IDL interface
+	Emits       map[string]string // event source → IDL struct type
+	Consumes    map[string]string // event sink → IDL struct type
+	Attrs       map[string]string // attribute → IDL basic type name
+	New         func() Impl
+}
+
+// CCMObjectIface is the equivalent interface every component instance
+// exposes for third-party composition and deployment.
+const CCMObjectIface = "Components::CCMObject"
+
+// EventConsumerIface is the interface of event sink ports.
+const EventConsumerIface = "Components::EventConsumer"
+
+// RegisterComponentIDL installs the CCM infrastructure interfaces.
+func RegisterComponentIDL(repo *idl.Repository) {
+	if _, ok := repo.Interface(CCMObjectIface); ok {
+		return
+	}
+	str := idl.Basic(idl.KindString)
+	void := idl.Basic(idl.KindVoid)
+	repo.RegisterInterface(&idl.Interface{
+		Name: CCMObjectIface,
+		Ops: []*idl.Operation{
+			{Name: "provide_facet", Result: str, Params: []idl.Param{
+				{Name: "name", Dir: idl.In, Type: str}}},
+			{Name: "connect", Result: void, Params: []idl.Param{
+				{Name: "receptacle", Dir: idl.In, Type: str},
+				{Name: "ref", Dir: idl.In, Type: str}}},
+			{Name: "disconnect", Result: void, Params: []idl.Param{
+				{Name: "receptacle", Dir: idl.In, Type: str}}},
+			{Name: "subscribe", Result: void, Params: []idl.Param{
+				{Name: "source", Dir: idl.In, Type: str},
+				{Name: "consumer", Dir: idl.In, Type: str}}},
+			{Name: "configure", Result: void, Params: []idl.Param{
+				{Name: "attr", Dir: idl.In, Type: str},
+				{Name: "value", Dir: idl.In, Type: str}}},
+			{Name: "configuration_complete", Result: void},
+			{Name: "describe", Result: idl.SequenceOf(str)},
+		},
+	})
+	repo.RegisterInterface(&idl.Interface{
+		Name: EventConsumerIface,
+		Ops: []*idl.Operation{
+			{Name: "push", Result: void, Params: []idl.Param{
+				{Name: "type", Dir: idl.In, Type: str},
+				{Name: "data", Dir: idl.In, Type: idl.SequenceOf(idl.Basic(idl.KindOctet))}}},
+		},
+	})
+}
+
+// Container hosts component instances on one Padico process, hiding system
+// services from them (the CCM execution model).
+type Container struct {
+	orb  *orb.ORB
+	name string
+
+	mu        sync.Mutex
+	classes   map[string]*Class
+	instances map[string]*Instance
+}
+
+// NewContainer builds a container on an ORB and exposes its daemon servant
+// so deployers can create components remotely.
+func NewContainer(o *orb.ORB, name string) (*Container, error) {
+	RegisterComponentIDL(o.Repo())
+	registerContainerIDL(o.Repo())
+	c := &Container{
+		orb:       o,
+		name:      name,
+		classes:   make(map[string]*Class),
+		instances: make(map[string]*Instance),
+	}
+	if _, err := o.Activate(ContainerKey, ContainerIface, &containerServant{c: c}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ORB returns the hosting broker.
+func (c *Container) ORB() *orb.ORB { return c.orb }
+
+// Name returns the container's name.
+func (c *Container) Name() string { return c.name }
+
+// Install registers a component class (deploying its package).
+func (c *Container) Install(class *Class) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.classes[class.Name]; dup {
+		return fmt.Errorf("ccm: class %q already installed in %s", class.Name, c.name)
+	}
+	c.classes[class.Name] = class
+	return nil
+}
+
+// Classes lists installed component classes.
+func (c *Container) Classes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for n := range c.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Create instantiates a component (the home's create operation) and
+// activates its ports on the ORB.
+func (c *Container) Create(className, instName string) (*Instance, error) {
+	c.mu.Lock()
+	class, ok := c.classes[className]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ccm: class %q not installed in %s", className, c.name)
+	}
+	if _, dup := c.instances[instName]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ccm: instance %q already exists", instName)
+	}
+	c.mu.Unlock()
+
+	inst := &Instance{
+		Name:        instName,
+		class:       class,
+		impl:        class.New(),
+		container:   c,
+		facets:      make(map[string]orb.IOR),
+		subscribers: make(map[string][]orb.IOR),
+	}
+	// Activate facet servants.
+	for facet, iface := range class.Facets {
+		sv := inst.impl.Facet(facet)
+		if sv == nil {
+			return nil, fmt.Errorf("ccm: %s has no servant for facet %q", className, facet)
+		}
+		ior, err := c.orb.Activate(instName+"."+facet, iface, sv)
+		if err != nil {
+			return nil, err
+		}
+		inst.facets[facet] = ior
+	}
+	// Activate event sinks.
+	for sink := range class.Consumes {
+		ior, err := c.orb.Activate(instName+"#"+sink, EventConsumerIface,
+			&sinkServant{inst: inst, sink: sink})
+		if err != nil {
+			return nil, err
+		}
+		inst.facets["#"+sink] = ior
+	}
+	// Activate the equivalent interface.
+	ior, err := c.orb.Activate(instName, CCMObjectIface, &ccmObjectServant{inst: inst})
+	if err != nil {
+		return nil, err
+	}
+	inst.self = ior
+
+	c.mu.Lock()
+	c.instances[instName] = inst
+	c.mu.Unlock()
+	return inst, nil
+}
+
+// Remove deactivates an instance and its ports.
+func (c *Container) Remove(instName string) error {
+	c.mu.Lock()
+	inst, ok := c.instances[instName]
+	delete(c.instances, instName)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ccm: no instance %q", instName)
+	}
+	for facet := range inst.class.Facets {
+		c.orb.Deactivate(instName + "." + facet)
+	}
+	for sink := range inst.class.Consumes {
+		c.orb.Deactivate(instName + "#" + sink)
+	}
+	c.orb.Deactivate(instName)
+	return nil
+}
+
+// Instance looks a live instance up.
+func (c *Container) Instance(name string) (*Instance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.instances[name]
+	return i, ok
+}
+
+// Instance is a live component.
+type Instance struct {
+	Name      string
+	class     *Class
+	impl      Impl
+	container *Container
+	self      orb.IOR
+
+	mu          sync.Mutex
+	facets      map[string]orb.IOR
+	subscribers map[string][]orb.IOR
+	configured  bool
+}
+
+// IOR returns the instance's equivalent-interface reference.
+func (i *Instance) IOR() orb.IOR { return i.self }
+
+// Class returns the instance's component class.
+func (i *Instance) Class() *Class { return i.class }
+
+// Impl exposes the implementation (for local white-box access in tests).
+func (i *Instance) Impl() Impl { return i.impl }
+
+// FacetIOR returns the reference of a provided port.
+func (i *Instance) FacetIOR(name string) (orb.IOR, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	ior, ok := i.facets[name]
+	if !ok {
+		return orb.IOR{}, fmt.Errorf("ccm: %s has no facet %q", i.Name, name)
+	}
+	return ior, nil
+}
+
+// SinkIOR returns the reference of an event sink port.
+func (i *Instance) SinkIOR(name string) (orb.IOR, error) { return i.FacetIOR("#" + name) }
+
+// Emit publishes an event on one of the instance's sources: it is pushed
+// to every subscribed consumer.
+func (i *Instance) Emit(source string, event map[string]any) error {
+	evType, ok := i.class.Emits[source]
+	if !ok {
+		return fmt.Errorf("ccm: %s has no event source %q", i.Name, source)
+	}
+	t, ok := i.container.orb.Repo().Type(evType)
+	if !ok {
+		return fmt.Errorf("ccm: unknown event type %q", evType)
+	}
+	w := cdr.NewWriter(cdr.BigEndian)
+	if err := orb.MarshalValue(w, t, event); err != nil {
+		return fmt.Errorf("ccm: marshalling %s event: %w", source, err)
+	}
+	i.mu.Lock()
+	subs := append([]orb.IOR(nil), i.subscribers[source]...)
+	i.mu.Unlock()
+	for _, sub := range subs {
+		ref, err := i.container.orb.Object(sub)
+		if err != nil {
+			return err
+		}
+		if _, err := ref.Invoke("push", evType, w.Bytes()); err != nil {
+			return fmt.Errorf("ccm: pushing %s to %s: %w", source, sub.Node, err)
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a consumer reference on an event source.
+func (i *Instance) Subscribe(source string, consumer orb.IOR) error {
+	if _, ok := i.class.Emits[source]; !ok {
+		return fmt.Errorf("ccm: %s has no event source %q", i.Name, source)
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.subscribers[source] = append(i.subscribers[source], consumer)
+	return nil
+}
+
+// sinkServant adapts inbound pushes to Impl.Consume.
+type sinkServant struct {
+	inst *Instance
+	sink string
+}
+
+func (s *sinkServant) Invoke(op string, args []any) ([]any, error) {
+	if op != "push" {
+		return nil, &orb.SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+	evType := args[0].(string)
+	t, ok := s.inst.container.orb.Repo().Type(evType)
+	if !ok {
+		return nil, &orb.UserException{Msg: "unknown event type " + evType}
+	}
+	r := cdr.NewReader(args[1].([]byte), cdr.BigEndian)
+	v, err := orb.UnmarshalValue(r, t)
+	if err != nil {
+		return nil, &orb.UserException{Msg: "bad event payload: " + err.Error()}
+	}
+	s.inst.impl.Consume(s.sink, v.(map[string]any))
+	return []any{}, nil
+}
+
+// ccmObjectServant implements the equivalent interface.
+type ccmObjectServant struct{ inst *Instance }
+
+func (s *ccmObjectServant) Invoke(op string, args []any) ([]any, error) {
+	i := s.inst
+	switch op {
+	case "provide_facet":
+		ior, err := i.FacetIOR(args[0].(string))
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{ior.String()}, nil
+	case "connect":
+		recep := args[0].(string)
+		want, ok := i.class.Receptacles[recep]
+		if !ok {
+			return nil, &orb.UserException{Msg: "no receptacle " + recep}
+		}
+		ior, err := orb.ParseIOR(args[1].(string))
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		if ior.Iface != want {
+			return nil, &orb.UserException{Msg: fmt.Sprintf(
+				"type mismatch: receptacle %s wants %s, got %s", recep, want, ior.Iface)}
+		}
+		ref, err := i.container.orb.Object(ior)
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		if err := i.impl.Connect(recep, ref); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "disconnect":
+		if err := i.impl.Disconnect(args[0].(string)); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "subscribe":
+		ior, err := orb.ParseIOR(args[1].(string))
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		if err := i.Subscribe(args[0].(string), ior); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "configure":
+		name, raw := args[0].(string), args[1].(string)
+		typeName, ok := i.class.Attrs[name]
+		if !ok {
+			return nil, &orb.UserException{Msg: "no attribute " + name}
+		}
+		v, err := ParseAttr(typeName, raw)
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		if err := i.impl.SetAttr(name, v); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "configuration_complete":
+		i.mu.Lock()
+		i.configured = true
+		i.mu.Unlock()
+		if err := i.impl.ConfigurationComplete(); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "describe":
+		var desc []string
+		for f := range i.class.Facets {
+			desc = append(desc, "facet:"+f)
+		}
+		for rcp := range i.class.Receptacles {
+			desc = append(desc, "receptacle:"+rcp)
+		}
+		for e := range i.class.Emits {
+			desc = append(desc, "emits:"+e)
+		}
+		for e := range i.class.Consumes {
+			desc = append(desc, "consumes:"+e)
+		}
+		sort.Strings(desc)
+		return []any{desc}, nil
+	default:
+		return nil, &orb.SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+}
+
+// ParseAttr converts a descriptor attribute string to its IDL-typed value.
+func ParseAttr(typeName, raw string) (any, error) {
+	switch typeName {
+	case "string":
+		return raw, nil
+	case "boolean":
+		return strconv.ParseBool(raw)
+	case "long":
+		v, err := strconv.ParseInt(raw, 10, 32)
+		return int32(v), err
+	case "long long":
+		return strconv.ParseInt(raw, 10, 64)
+	case "double":
+		return strconv.ParseFloat(raw, 64)
+	case "float":
+		v, err := strconv.ParseFloat(raw, 32)
+		return float32(v), err
+	default:
+		return nil, errors.New("ccm: unsupported attribute type " + typeName)
+	}
+}

@@ -1,0 +1,442 @@
+package ccm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"padico/internal/arbitration"
+	"padico/internal/idl"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+const coupleIDL = `
+module Demo {
+    typedef sequence<double> Vec;
+    struct Tick { long step; double t; };
+
+    interface Solver {
+        double solve(in Vec data);
+    };
+};
+`
+
+// solverComp provides facet "svc" (Demo::Solver), an attribute "scale" and
+// emits "done" events.
+type solverComp struct {
+	Base
+	inst  *Instance // set after creation by the test when needed
+	scale float64
+	done  func() *Instance
+}
+
+func (s *solverComp) Facet(name string) orb.Servant {
+	if name != "svc" {
+		return nil
+	}
+	return orb.HandlerMap{
+		"solve": func(args []any) ([]any, error) {
+			sum := 0.0
+			for _, x := range args[0].([]float64) {
+				sum += x
+			}
+			return []any{sum * s.scale}, nil
+		},
+	}
+}
+
+func (s *solverComp) SetAttr(name string, v any) error {
+	if name != "scale" {
+		return fmt.Errorf("no attr %s", name)
+	}
+	s.scale = v.(float64)
+	return nil
+}
+
+var solverClass = &Class{
+	Name:    "SolverComp",
+	Version: "1.0",
+	Facets:  map[string]string{"svc": "Demo::Solver"},
+	Emits:   map[string]string{"done": "Demo::Tick"},
+	Attrs:   map[string]string{"scale": "double"},
+	New:     func() Impl { return &solverComp{scale: 1} },
+}
+
+// clientComp has a receptacle "solver" and consumes "ticks" events.
+type clientComp struct {
+	Base
+	solver *orb.ObjRef
+	ticks  chan map[string]any
+	ready  bool
+}
+
+func (c *clientComp) Connect(recep string, ref *orb.ObjRef) error {
+	if recep != "solver" {
+		return fmt.Errorf("no receptacle %s", recep)
+	}
+	c.solver = ref
+	return nil
+}
+
+func (c *clientComp) Disconnect(recep string) error {
+	c.solver = nil
+	return nil
+}
+
+func (c *clientComp) Consume(sink string, ev map[string]any) {
+	c.ticks <- ev
+}
+
+func (c *clientComp) ConfigurationComplete() error {
+	c.ready = true
+	return nil
+}
+
+var clientClass = &Class{
+	Name:        "ClientComp",
+	Receptacles: map[string]string{"solver": "Demo::Solver"},
+	Consumes:    map[string]string{"ticks": "Demo::Tick"},
+	New:         func() Impl { return &clientComp{ticks: make(chan map[string]any, 8)} },
+}
+
+type rig struct {
+	sim        *vtime.Sim
+	arb        *arbitration.Arbiter
+	orbs       map[string]*orb.ORB
+	containers map[string]*Container
+	linkers    []*vlink.Linker
+}
+
+func newRig(t *testing.T, hosts ...string) *rig {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	var nodes []*simnet.Node
+	for _, h := range hosts {
+		nodes = append(nodes, net.NewNode(h))
+	}
+	arb := arbitration.New(net)
+	if _, err := arb.AddSAN(net.NewMyrinet2000("myri0", nodes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.AddSock(net.NewEthernet100("eth0", nodes)); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{sim: s, arb: arb, orbs: map[string]*orb.ORB{}, containers: map[string]*Container{}}
+	for _, nd := range nodes {
+		ln := vlink.NewLinker(arb, nd)
+		r.linkers = append(r.linkers, ln)
+		repo := idl.NewRepository()
+		repo.MustParse(coupleIDL)
+		o, err := orb.New(orb.Config{
+			Transport: orb.VLinkTransport{Linker: ln},
+			Repo:      repo, Profile: simnet.OmniORB3, Runtime: s, Node: nd,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.orbs[nd.Name] = o
+		c, err := NewContainer(o, "container@"+nd.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.containers[nd.Name] = c
+	}
+	return r
+}
+
+func (r *rig) close() {
+	for _, o := range r.orbs {
+		o.Shutdown()
+	}
+	for _, ln := range r.linkers {
+		ln.Close()
+	}
+	r.arb.Close()
+}
+
+func TestComponentLifecycleAndFacetCall(t *testing.T) {
+	r := newRig(t, "hostA", "hostB")
+	r.sim.Run(func() {
+		defer r.close()
+		ca, cb := r.containers["hostA"], r.containers["hostB"]
+		if err := ca.Install(solverClass); err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.Install(clientClass); err != nil {
+			t.Fatal(err)
+		}
+		solver, err := ca.Create("SolverComp", "solver1")
+		if err != nil {
+			t.Fatalf("create solver: %v", err)
+		}
+		client, err := cb.Create("ClientComp", "client1")
+		if err != nil {
+			t.Fatalf("create client: %v", err)
+		}
+		// Wire through the equivalent interface, CORBA-style.
+		clientRef, _ := r.orbs["hostA"].Object(client.IOR())
+		facetIOR, _ := solver.FacetIOR("svc")
+		if _, err := clientRef.Invoke("connect", "solver", facetIOR.String()); err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		// The client's receptacle now reaches the remote solver.
+		impl := client.Impl().(*clientComp)
+		vals, err := impl.solver.Invoke("solve", []float64{1, 2, 3})
+		if err != nil || vals[0].(float64) != 6 {
+			t.Fatalf("solve = %v, %v", vals, err)
+		}
+	})
+}
+
+func TestAttributesConfiguredByType(t *testing.T) {
+	r := newRig(t, "hostA")
+	r.sim.Run(func() {
+		defer r.close()
+		c := r.containers["hostA"]
+		_ = c.Install(solverClass)
+		inst, _ := c.Create("SolverComp", "s1")
+		ref, _ := r.orbs["hostA"].Object(inst.IOR())
+		if _, err := ref.Invoke("configure", "scale", "2.5"); err != nil {
+			t.Fatalf("configure: %v", err)
+		}
+		if got := inst.Impl().(*solverComp).scale; got != 2.5 {
+			t.Fatalf("scale = %v", got)
+		}
+		if _, err := ref.Invoke("configure", "ghost", "1"); err == nil {
+			t.Fatal("unknown attribute configured")
+		}
+		if _, err := ref.Invoke("configure", "scale", "not-a-number"); err == nil {
+			t.Fatal("junk value accepted")
+		}
+	})
+}
+
+func TestEventsFlowBetweenComponents(t *testing.T) {
+	r := newRig(t, "hostA", "hostB")
+	r.sim.Run(func() {
+		defer r.close()
+		_ = r.containers["hostA"].Install(solverClass)
+		_ = r.containers["hostB"].Install(clientClass)
+		solver, _ := r.containers["hostA"].Create("SolverComp", "s1")
+		client, _ := r.containers["hostB"].Create("ClientComp", "c1")
+		sinkIOR, err := client.SinkIOR("ticks")
+		if err != nil {
+			t.Fatalf("sink ior: %v", err)
+		}
+		if err := solver.Subscribe("done", sinkIOR); err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		if err := solver.Emit("done", map[string]any{"step": int32(7), "t": 0.5}); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+		ev := <-client.Impl().(*clientComp).ticks
+		if ev["step"].(int32) != 7 || ev["t"].(float64) != 0.5 {
+			t.Fatalf("event = %v", ev)
+		}
+		// Emitting on an undeclared source fails.
+		if err := solver.Emit("ghost", nil); err == nil {
+			t.Fatal("ghost source emitted")
+		}
+	})
+}
+
+func TestContainerErrors(t *testing.T) {
+	r := newRig(t, "hostA")
+	r.sim.Run(func() {
+		defer r.close()
+		c := r.containers["hostA"]
+		if _, err := c.Create("Unknown", "x"); err == nil {
+			t.Error("created unknown class")
+		}
+		_ = c.Install(solverClass)
+		if err := c.Install(solverClass); err == nil {
+			t.Error("double install succeeded")
+		}
+		if _, err := c.Create("SolverComp", "dup"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Create("SolverComp", "dup"); err == nil {
+			t.Error("duplicate instance created")
+		}
+		if err := c.Remove("dup"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if err := c.Remove("dup"); err == nil {
+			t.Error("double remove succeeded")
+		}
+		// After removal the name is reusable.
+		if _, err := c.Create("SolverComp", "dup"); err != nil {
+			t.Errorf("recreate: %v", err)
+		}
+	})
+}
+
+const assemblyXML = `
+<assembly name="coupling">
+  <instance id="solver" component="SolverComp" host="hostA">
+    <attribute name="scale" value="3"/>
+  </instance>
+  <instance id="client" component="ClientComp" host="hostB"/>
+  <connection kind="facet">
+    <from instance="client" port="solver"/>
+    <to instance="solver" port="svc"/>
+  </connection>
+  <connection kind="event">
+    <from instance="solver" port="done"/>
+    <to instance="client" port="ticks"/>
+  </connection>
+</assembly>`
+
+func TestDeployerExecutesAssembly(t *testing.T) {
+	r := newRig(t, "hostA", "hostB", "hostC")
+	r.sim.Run(func() {
+		defer r.close()
+		_ = r.containers["hostA"].Install(solverClass)
+		_ = r.containers["hostB"].Install(clientClass)
+		a, err := ParseAssembly([]byte(assemblyXML))
+		if err != nil {
+			t.Fatalf("parse assembly: %v", err)
+		}
+		// Deploy from a third node, like a real deployment tool.
+		dep, err := NewDeployer(r.orbs["hostC"]).Execute(a)
+		if err != nil {
+			t.Fatalf("execute: %v", err)
+		}
+		client, _ := r.containers["hostB"].Instance("client")
+		impl := client.Impl().(*clientComp)
+		if !impl.ready {
+			t.Error("configuration_complete not delivered")
+		}
+		vals, err := impl.solver.Invoke("solve", []float64{1, 1})
+		if err != nil || vals[0].(float64) != 6 { // (1+1) * scale 3
+			t.Fatalf("deployed solve = %v, %v", vals, err)
+		}
+		// Event path wired by the deployer.
+		solver, _ := r.containers["hostA"].Instance("solver")
+		if err := solver.Emit("done", map[string]any{"step": int32(1), "t": 1.0}); err != nil {
+			t.Fatalf("emit: %v", err)
+		}
+		ev := <-impl.ticks
+		if ev["step"].(int32) != 1 {
+			t.Fatalf("event = %v", ev)
+		}
+		if err := dep.Teardown(); err != nil {
+			t.Fatalf("teardown: %v", err)
+		}
+		if _, ok := r.containers["hostA"].Instance("solver"); ok {
+			t.Error("solver survived teardown")
+		}
+	})
+}
+
+func TestAssemblyValidation(t *testing.T) {
+	cases := map[string]string{
+		"unknown instance": `<assembly name="a">
+			<instance id="x" component="C" host="h"/>
+			<connection kind="facet"><from instance="ghost" port="p"/><to instance="x" port="q"/></connection>
+		</assembly>`,
+		"duplicate id": `<assembly name="a">
+			<instance id="x" component="C" host="h"/>
+			<instance id="x" component="C" host="h"/>
+		</assembly>`,
+		"bad kind": `<assembly name="a">
+			<instance id="x" component="C" host="h"/>
+			<instance id="y" component="C" host="h"/>
+			<connection kind="wormhole"><from instance="x" port="p"/><to instance="y" port="q"/></connection>
+		</assembly>`,
+		"missing host": `<assembly name="a"><instance id="x" component="C"/></assembly>`,
+		"not xml":      `{`,
+	}
+	for name, src := range cases {
+		if _, err := ParseAssembly([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSoftPkgDescriptor(t *testing.T) {
+	pkg, err := ParseSoftPkg([]byte(`
+		<softpkg name="solver" version="1.2">
+			<implementation>
+				<entry>SolverComp</entry>
+				<idl>solver.idl</idl>
+			</implementation>
+			<ports>
+				<port kind="facet" name="svc" type="Demo::Solver"/>
+				<port kind="receptacle" name="log" type="Demo::Logger"/>
+				<port kind="emits" name="done" type="Demo::Tick"/>
+				<port kind="consumes" name="ctl" type="Demo::Tick"/>
+				<port kind="attribute" name="scale" type="double"/>
+			</ports>
+		</softpkg>`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if pkg.Name != "solver" || pkg.Version != "1.2" || pkg.Entry != "SolverComp" {
+		t.Fatalf("pkg = %+v", pkg)
+	}
+	class := ClassFromSoftPkg(pkg, func() Impl { return &solverComp{} })
+	if class.Facets["svc"] != "Demo::Solver" || class.Receptacles["log"] != "Demo::Logger" ||
+		class.Emits["done"] != "Demo::Tick" || class.Consumes["ctl"] != "Demo::Tick" ||
+		class.Attrs["scale"] != "double" {
+		t.Fatalf("class = %+v", class)
+	}
+	if _, err := ParseSoftPkg([]byte(`<softpkg version="1"></softpkg>`)); err == nil {
+		t.Error("nameless package accepted")
+	}
+}
+
+func TestDescribeAndTypeChecking(t *testing.T) {
+	r := newRig(t, "hostA", "hostB")
+	r.sim.Run(func() {
+		defer r.close()
+		_ = r.containers["hostA"].Install(solverClass)
+		_ = r.containers["hostB"].Install(clientClass)
+		solver, _ := r.containers["hostA"].Create("SolverComp", "s1")
+		client, _ := r.containers["hostB"].Create("ClientComp", "c1")
+		ref, _ := r.orbs["hostB"].Object(solver.IOR())
+		vals, err := ref.Invoke("describe")
+		if err != nil {
+			t.Fatalf("describe: %v", err)
+		}
+		desc := strings.Join(vals[0].([]string), ",")
+		if !strings.Contains(desc, "facet:svc") || !strings.Contains(desc, "emits:done") {
+			t.Fatalf("describe = %s", desc)
+		}
+		// Connecting a receptacle to a wrong-typed facet is refused.
+		clientRef, _ := r.orbs["hostA"].Object(client.IOR())
+		bogus := orb.IOR{Node: "hostA", Key: "s1.svc", Iface: "Demo::WrongIface"}
+		if _, err := clientRef.Invoke("connect", "solver", bogus.String()); err == nil {
+			t.Fatal("type-mismatched connect succeeded")
+		}
+	})
+}
+
+func TestParseAttrTypes(t *testing.T) {
+	for _, tc := range []struct {
+		typ, raw string
+		want     any
+	}{
+		{"string", "hi", "hi"},
+		{"boolean", "true", true},
+		{"long", "-7", int32(-7)},
+		{"long long", "900000000000", int64(900000000000)},
+		{"double", "2.5", 2.5},
+		{"float", "1.5", float32(1.5)},
+	} {
+		got, err := ParseAttr(tc.typ, tc.raw)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAttr(%s, %s) = %v, %v", tc.typ, tc.raw, got, err)
+		}
+	}
+	if _, err := ParseAttr("octet", "1"); err == nil {
+		t.Error("unsupported attr type accepted")
+	}
+	if _, err := ParseAttr("long", "x"); err == nil {
+		t.Error("junk long accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package ccm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"padico/internal/idl"
+	"padico/internal/orb"
+)
+
+// ContainerKey is the object key of every container's daemon servant.
+const ContainerKey = "CCMContainer"
+
+// ContainerIface is the container daemon's interface.
+const ContainerIface = "Components::Container"
+
+func registerContainerIDL(repo *idl.Repository) {
+	if _, ok := repo.Interface(ContainerIface); ok {
+		return
+	}
+	str := idl.Basic(idl.KindString)
+	repo.RegisterInterface(&idl.Interface{
+		Name: ContainerIface,
+		Ops: []*idl.Operation{
+			{Name: "create_component", Result: str, Params: []idl.Param{
+				{Name: "class", Dir: idl.In, Type: str},
+				{Name: "name", Dir: idl.In, Type: str}}},
+			{Name: "remove_component", Result: idl.Basic(idl.KindVoid), Params: []idl.Param{
+				{Name: "name", Dir: idl.In, Type: str}}},
+			{Name: "installed", Result: idl.SequenceOf(str)},
+		},
+	})
+}
+
+// containerServant exposes Create/Remove over CORBA for remote deployment.
+type containerServant struct{ c *Container }
+
+func (s *containerServant) Invoke(op string, args []any) ([]any, error) {
+	switch op {
+	case "create_component":
+		inst, err := s.c.Create(args[0].(string), args[1].(string))
+		if err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{inst.IOR().String()}, nil
+	case "remove_component":
+		if err := s.c.Remove(args[0].(string)); err != nil {
+			return nil, &orb.UserException{Msg: err.Error()}
+		}
+		return []any{}, nil
+	case "installed":
+		return []any{s.c.Classes()}, nil
+	default:
+		return nil, &orb.SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+}
+
+// Descriptors. The CCM deployment model ships components as packages with
+// XML descriptors; the assembly descriptor wires instances together.
+
+// SoftPkg is a software package descriptor (OSD-style).
+type SoftPkg struct {
+	XMLName xml.Name   `xml:"softpkg"`
+	Name    string     `xml:"name,attr"`
+	Version string     `xml:"version,attr"`
+	Entry   string     `xml:"implementation>entry"`
+	IDLFile string     `xml:"implementation>idl"`
+	Ports   []PortDesc `xml:"ports>port"`
+}
+
+// PortDesc declares one port in a package descriptor.
+type PortDesc struct {
+	Kind  string `xml:"kind,attr"` // facet|receptacle|emits|consumes|attribute
+	Name  string `xml:"name,attr"`
+	Type  string `xml:"type,attr"` // IDL interface / event struct / basic type
+	Value string `xml:"value,attr"`
+}
+
+// ParseSoftPkg decodes a package descriptor.
+func ParseSoftPkg(data []byte) (*SoftPkg, error) {
+	var p SoftPkg
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("ccm: softpkg descriptor: %w", err)
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("ccm: softpkg descriptor missing name")
+	}
+	return &p, nil
+}
+
+// Assembly is an assembly descriptor: which instances to create where, and
+// how to connect them.
+type Assembly struct {
+	XMLName     xml.Name       `xml:"assembly"`
+	Name        string         `xml:"name,attr"`
+	Instances   []InstanceDecl `xml:"instance"`
+	Connections []Connection   `xml:"connection"`
+}
+
+// InstanceDecl places one component instance on a host.
+type InstanceDecl struct {
+	ID        string     `xml:"id,attr"`
+	Component string     `xml:"component,attr"`
+	Host      string     `xml:"host,attr"`
+	Attrs     []AttrDecl `xml:"attribute"`
+}
+
+// AttrDecl configures one attribute.
+type AttrDecl struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Connection wires a receptacle to a facet or an event source to a sink.
+type Connection struct {
+	Kind string  `xml:"kind,attr"` // "facet" or "event"
+	From PortRef `xml:"from"`
+	To   PortRef `xml:"to"`
+}
+
+// PortRef names one side of a connection.
+type PortRef struct {
+	Instance string `xml:"instance,attr"`
+	Port     string `xml:"port,attr"`
+}
+
+// ParseAssembly decodes an assembly descriptor.
+func ParseAssembly(data []byte) (*Assembly, error) {
+	var a Assembly
+	if err := xml.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("ccm: assembly descriptor: %w", err)
+	}
+	ids := map[string]bool{}
+	for _, inst := range a.Instances {
+		if inst.ID == "" || inst.Component == "" || inst.Host == "" {
+			return nil, fmt.Errorf("ccm: assembly instance needs id, component and host")
+		}
+		if ids[inst.ID] {
+			return nil, fmt.Errorf("ccm: duplicate instance id %q", inst.ID)
+		}
+		ids[inst.ID] = true
+	}
+	for _, conn := range a.Connections {
+		if !ids[conn.From.Instance] || !ids[conn.To.Instance] {
+			return nil, fmt.Errorf("ccm: connection references unknown instance (%s→%s)",
+				conn.From.Instance, conn.To.Instance)
+		}
+		if conn.Kind != "facet" && conn.Kind != "event" {
+			return nil, fmt.Errorf("ccm: unknown connection kind %q", conn.Kind)
+		}
+	}
+	return &a, nil
+}
+
+// Deployer executes assemblies from any node, driving remote containers
+// through their daemon servants — the CCM deployment model over plain
+// CORBA.
+type Deployer struct {
+	orb *orb.ORB
+}
+
+// NewDeployer builds a deployer on the given ORB.
+func NewDeployer(o *orb.ORB) *Deployer {
+	registerContainerIDL(o.Repo())
+	RegisterComponentIDL(o.Repo())
+	return &Deployer{orb: o}
+}
+
+// Deployment is the result of executing an assembly: component references
+// by instance id.
+type Deployment struct {
+	Assembly *Assembly
+	Refs     map[string]*orb.ObjRef // instance id → CCMObject ref
+	deployer *Deployer
+}
+
+// Execute instantiates every declared instance on its host's container,
+// applies attributes, wires connections, then signals
+// configuration_complete everywhere.
+func (d *Deployer) Execute(a *Assembly) (*Deployment, error) {
+	dep := &Deployment{Assembly: a, Refs: make(map[string]*orb.ObjRef), deployer: d}
+	// Create instances.
+	for _, inst := range a.Instances {
+		daemon, err := d.orb.Object(orb.IOR{Node: inst.Host, Key: ContainerKey, Iface: ContainerIface})
+		if err != nil {
+			return nil, err
+		}
+		vals, err := daemon.Invoke("create_component", inst.Component, inst.ID)
+		if err != nil {
+			return nil, fmt.Errorf("ccm: creating %s on %s: %w", inst.ID, inst.Host, err)
+		}
+		ref, err := d.orb.StringToObject(vals[0].(string))
+		if err != nil {
+			return nil, err
+		}
+		dep.Refs[inst.ID] = ref
+		for _, attr := range inst.Attrs {
+			if _, err := ref.Invoke("configure", attr.Name, attr.Value); err != nil {
+				return nil, fmt.Errorf("ccm: configuring %s.%s: %w", inst.ID, attr.Name, err)
+			}
+		}
+	}
+	// Wire connections.
+	for _, conn := range a.Connections {
+		from, to := dep.Refs[conn.From.Instance], dep.Refs[conn.To.Instance]
+		switch conn.Kind {
+		case "facet":
+			vals, err := to.Invoke("provide_facet", conn.To.Port)
+			if err != nil {
+				return nil, fmt.Errorf("ccm: resolving %s.%s: %w", conn.To.Instance, conn.To.Port, err)
+			}
+			if _, err := from.Invoke("connect", conn.From.Port, vals[0].(string)); err != nil {
+				return nil, fmt.Errorf("ccm: connecting %s.%s: %w", conn.From.Instance, conn.From.Port, err)
+			}
+		case "event":
+			vals, err := to.Invoke("provide_facet", "#"+conn.To.Port)
+			if err != nil {
+				return nil, fmt.Errorf("ccm: resolving sink %s.%s: %w", conn.To.Instance, conn.To.Port, err)
+			}
+			if _, err := from.Invoke("subscribe", conn.From.Port, vals[0].(string)); err != nil {
+				return nil, fmt.Errorf("ccm: subscribing %s.%s: %w", conn.From.Instance, conn.From.Port, err)
+			}
+		}
+	}
+	// Configuration complete.
+	for id, ref := range dep.Refs {
+		if _, err := ref.Invoke("configuration_complete"); err != nil {
+			return nil, fmt.Errorf("ccm: completing %s: %w", id, err)
+		}
+	}
+	return dep, nil
+}
+
+// Teardown removes every instance of the deployment.
+func (dep *Deployment) Teardown() error {
+	var firstErr error
+	for _, inst := range dep.Assembly.Instances {
+		daemon, err := dep.deployer.orb.Object(orb.IOR{
+			Node: inst.Host, Key: ContainerKey, Iface: ContainerIface})
+		if err == nil {
+			_, err = daemon.Invoke("remove_component", inst.ID)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ClassFromSoftPkg builds a Class skeleton from a package descriptor; the
+// caller supplies the implementation factory (the "entry point" that a real
+// CCM platform would dlopen from the package archive).
+func ClassFromSoftPkg(pkg *SoftPkg, factory func() Impl) *Class {
+	class := &Class{
+		Name:        pkg.Entry,
+		Version:     pkg.Version,
+		Facets:      map[string]string{},
+		Receptacles: map[string]string{},
+		Emits:       map[string]string{},
+		Consumes:    map[string]string{},
+		Attrs:       map[string]string{},
+		New:         factory,
+	}
+	if class.Name == "" {
+		class.Name = pkg.Name
+	}
+	for _, p := range pkg.Ports {
+		switch strings.ToLower(p.Kind) {
+		case "facet":
+			class.Facets[p.Name] = p.Type
+		case "receptacle":
+			class.Receptacles[p.Name] = p.Type
+		case "emits":
+			class.Emits[p.Name] = p.Type
+		case "consumes":
+			class.Consumes[p.Name] = p.Type
+		case "attribute":
+			class.Attrs[p.Name] = p.Type
+		}
+	}
+	return class
+}

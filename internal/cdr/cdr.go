@@ -1,0 +1,265 @@
+// Package cdr implements CORBA's Common Data Representation: the aligned,
+// endianness-tagged wire encoding GIOP messages carry. Primitives are
+// aligned to their natural size relative to the start of the stream;
+// strings are length-prefixed and NUL-terminated; sequences are
+// length-prefixed. Both byte orders are supported, selected by the GIOP
+// header flag as in the specification.
+package cdr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ByteOrder tags the encoding endianness (GIOP flags bit 0).
+type ByteOrder byte
+
+const (
+	// BigEndian is the canonical network order.
+	BigEndian ByteOrder = 0
+	// LittleEndian is flagged in GIOP when the sender is little-endian.
+	LittleEndian ByteOrder = 1
+)
+
+func (o ByteOrder) order() binary.ByteOrder {
+	if o == LittleEndian {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// Writer encodes CDR values into a growing buffer.
+type Writer struct {
+	buf   []byte
+	order ByteOrder
+}
+
+// NewWriter returns an empty CDR encoder in the given byte order.
+func NewWriter(order ByteOrder) *Writer { return &Writer{order: order} }
+
+// Bytes returns the encoded stream.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current stream position.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Order returns the writer's byte order.
+func (w *Writer) Order() ByteOrder { return w.order }
+
+// Align pads the stream to an n-byte boundary.
+func (w *Writer) Align(n int) {
+	for len(w.buf)%n != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// WriteOctet appends one unaligned byte.
+func (w *Writer) WriteOctet(b byte) { w.buf = append(w.buf, b) }
+
+// WriteBool appends a boolean as one octet.
+func (w *Writer) WriteBool(v bool) {
+	if v {
+		w.WriteOctet(1)
+	} else {
+		w.WriteOctet(0)
+	}
+}
+
+// WriteUShort appends an unsigned short on a 2-byte boundary.
+func (w *Writer) WriteUShort(v uint16) {
+	w.Align(2)
+	var b [2]byte
+	w.order.order().PutUint16(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// WriteShort appends a signed short.
+func (w *Writer) WriteShort(v int16) { w.WriteUShort(uint16(v)) }
+
+// WriteULong appends an unsigned long on a 4-byte boundary.
+func (w *Writer) WriteULong(v uint32) {
+	w.Align(4)
+	var b [4]byte
+	w.order.order().PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// WriteLong appends a signed long.
+func (w *Writer) WriteLong(v int32) { w.WriteULong(uint32(v)) }
+
+// WriteULongLong appends an unsigned long long on an 8-byte boundary.
+func (w *Writer) WriteULongLong(v uint64) {
+	w.Align(8)
+	var b [8]byte
+	w.order.order().PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// WriteLongLong appends a signed long long.
+func (w *Writer) WriteLongLong(v int64) { w.WriteULongLong(uint64(v)) }
+
+// WriteFloat appends an IEEE 754 single.
+func (w *Writer) WriteFloat(v float32) { w.WriteULong(math.Float32bits(v)) }
+
+// WriteDouble appends an IEEE 754 double.
+func (w *Writer) WriteDouble(v float64) { w.WriteULongLong(math.Float64bits(v)) }
+
+// WriteString appends a ulong length (including the terminating NUL), the
+// bytes, and a NUL, per CDR.
+func (w *Writer) WriteString(s string) {
+	w.WriteULong(uint32(len(s) + 1))
+	w.buf = append(w.buf, s...)
+	w.buf = append(w.buf, 0)
+}
+
+// WriteOctets appends a sequence<octet>: ulong count then raw bytes.
+func (w *Writer) WriteOctets(p []byte) {
+	w.WriteULong(uint32(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// Reader decodes CDR values from a buffer.
+type Reader struct {
+	buf   []byte
+	pos   int
+	order ByteOrder
+}
+
+// NewReader decodes buf in the given byte order.
+func NewReader(buf []byte, order ByteOrder) *Reader {
+	return &Reader{buf: buf, order: order}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+// Pos returns the current stream position.
+func (r *Reader) Pos() int { return r.pos }
+
+// ErrTruncated reports a read past the end of the stream.
+type ErrTruncated struct {
+	Pos, Need, Have int
+}
+
+func (e *ErrTruncated) Error() string {
+	return fmt.Sprintf("cdr: truncated stream at %d: need %d bytes, have %d", e.Pos, e.Need, e.Have)
+}
+
+func (r *Reader) align(n int) {
+	for r.pos%n != 0 {
+		r.pos++
+	}
+}
+
+func (r *Reader) take(n int) ([]byte, error) {
+	if r.pos+n > len(r.buf) {
+		return nil, &ErrTruncated{Pos: r.pos, Need: n, Have: len(r.buf) - r.pos}
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// ReadOctet reads one unaligned byte.
+func (r *Reader) ReadOctet() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// ReadBool reads a boolean octet.
+func (r *Reader) ReadBool() (bool, error) {
+	b, err := r.ReadOctet()
+	return b != 0, err
+}
+
+// ReadUShort reads an unsigned short from a 2-byte boundary.
+func (r *Reader) ReadUShort() (uint16, error) {
+	r.align(2)
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return r.order.order().Uint16(b), nil
+}
+
+// ReadShort reads a signed short.
+func (r *Reader) ReadShort() (int16, error) {
+	v, err := r.ReadUShort()
+	return int16(v), err
+}
+
+// ReadULong reads an unsigned long from a 4-byte boundary.
+func (r *Reader) ReadULong() (uint32, error) {
+	r.align(4)
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return r.order.order().Uint32(b), nil
+}
+
+// ReadLong reads a signed long.
+func (r *Reader) ReadLong() (int32, error) {
+	v, err := r.ReadULong()
+	return int32(v), err
+}
+
+// ReadULongLong reads an unsigned long long from an 8-byte boundary.
+func (r *Reader) ReadULongLong() (uint64, error) {
+	r.align(8)
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return r.order.order().Uint64(b), nil
+}
+
+// ReadLongLong reads a signed long long.
+func (r *Reader) ReadLongLong() (int64, error) {
+	v, err := r.ReadULongLong()
+	return int64(v), err
+}
+
+// ReadFloat reads an IEEE 754 single.
+func (r *Reader) ReadFloat() (float32, error) {
+	v, err := r.ReadULong()
+	return math.Float32frombits(v), err
+}
+
+// ReadDouble reads an IEEE 754 double.
+func (r *Reader) ReadDouble() (float64, error) {
+	v, err := r.ReadULongLong()
+	return math.Float64frombits(v), err
+}
+
+// ReadString reads a CDR string.
+func (r *Reader) ReadString() (string, error) {
+	n, err := r.ReadULong()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("cdr: zero-length string encoding (missing NUL)")
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	if b[n-1] != 0 {
+		return "", fmt.Errorf("cdr: string not NUL-terminated")
+	}
+	return string(b[:n-1]), nil
+}
+
+// ReadOctets reads a sequence<octet>.
+func (r *Reader) ReadOctets() ([]byte, error) {
+	n, err := r.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(int(n))
+}

@@ -1,0 +1,204 @@
+package cdr
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundtripBothOrders(t *testing.T) {
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		w := NewWriter(order)
+		w.WriteOctet(0xAB)
+		w.WriteBool(true)
+		w.WriteBool(false)
+		w.WriteShort(-1234)
+		w.WriteUShort(54321)
+		w.WriteLong(-7_000_000)
+		w.WriteULong(4_000_000_000)
+		w.WriteLongLong(-9e15)
+		w.WriteULongLong(18_000_000_000_000_000_000)
+		w.WriteFloat(3.25)
+		w.WriteDouble(-2.5e-10)
+		w.WriteString("héllo")
+		w.WriteOctets([]byte{1, 2, 3})
+
+		r := NewReader(w.Bytes(), order)
+		if v, _ := r.ReadOctet(); v != 0xAB {
+			t.Errorf("[%d] octet = %x", order, v)
+		}
+		if v, _ := r.ReadBool(); !v {
+			t.Errorf("[%d] bool1", order)
+		}
+		if v, _ := r.ReadBool(); v {
+			t.Errorf("[%d] bool2", order)
+		}
+		if v, _ := r.ReadShort(); v != -1234 {
+			t.Errorf("[%d] short = %d", order, v)
+		}
+		if v, _ := r.ReadUShort(); v != 54321 {
+			t.Errorf("[%d] ushort = %d", order, v)
+		}
+		if v, _ := r.ReadLong(); v != -7_000_000 {
+			t.Errorf("[%d] long = %d", order, v)
+		}
+		if v, _ := r.ReadULong(); v != 4_000_000_000 {
+			t.Errorf("[%d] ulong = %d", order, v)
+		}
+		if v, _ := r.ReadLongLong(); v != -9e15 {
+			t.Errorf("[%d] longlong = %d", order, v)
+		}
+		if v, _ := r.ReadULongLong(); v != 18_000_000_000_000_000_000 {
+			t.Errorf("[%d] ulonglong = %d", order, v)
+		}
+		if v, _ := r.ReadFloat(); v != 3.25 {
+			t.Errorf("[%d] float = %v", order, v)
+		}
+		if v, _ := r.ReadDouble(); v != -2.5e-10 {
+			t.Errorf("[%d] double = %v", order, v)
+		}
+		if v, err := r.ReadString(); err != nil || v != "héllo" {
+			t.Errorf("[%d] string = %q, %v", order, v, err)
+		}
+		if v, _ := r.ReadOctets(); !bytes.Equal(v, []byte{1, 2, 3}) {
+			t.Errorf("[%d] octets = %v", order, v)
+		}
+		if r.Remaining() != 0 {
+			t.Errorf("[%d] %d bytes left over", order, r.Remaining())
+		}
+	}
+}
+
+func TestAlignmentRules(t *testing.T) {
+	w := NewWriter(BigEndian)
+	w.WriteOctet(1) // pos 1
+	w.WriteULong(7) // must pad to pos 4
+	if got := w.Bytes(); len(got) != 8 || got[1] != 0 || got[2] != 0 || got[3] != 0 {
+		t.Fatalf("ulong not aligned: % x", got)
+	}
+	w2 := NewWriter(BigEndian)
+	w2.WriteOctet(1)
+	w2.WriteDouble(1.0) // must pad to pos 8
+	if w2.Len() != 16 {
+		t.Fatalf("double alignment: len = %d", w2.Len())
+	}
+	// Reader must skip the same padding.
+	r := NewReader(w2.Bytes(), BigEndian)
+	_, _ = r.ReadOctet()
+	if v, err := r.ReadDouble(); err != nil || v != 1.0 {
+		t.Fatalf("aligned double = %v, %v", v, err)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0}, BigEndian)
+	if _, err := r.ReadULong(); err == nil {
+		t.Error("short ulong read succeeded")
+	}
+	r2 := NewReader([]byte{0, 0, 0, 10, 'h', 'i'}, BigEndian)
+	if _, err := r2.ReadString(); err == nil {
+		t.Error("truncated string read succeeded")
+	}
+	var trunc *ErrTruncated
+	r3 := NewReader(nil, BigEndian)
+	_, err := r3.ReadOctet()
+	if !errorsAs(err, &trunc) {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func errorsAs(err error, target **ErrTruncated) bool {
+	e, ok := err.(*ErrTruncated)
+	if ok {
+		*target = e
+		_ = e.Error()
+	}
+	return ok
+}
+
+func TestBadStringEncodings(t *testing.T) {
+	// Zero length (no NUL) is invalid.
+	w := NewWriter(BigEndian)
+	w.WriteULong(0)
+	if _, err := NewReader(w.Bytes(), BigEndian).ReadString(); err == nil {
+		t.Error("zero-length string accepted")
+	}
+	// Missing NUL terminator.
+	w2 := NewWriter(BigEndian)
+	w2.WriteULong(2)
+	w2.WriteOctet('a')
+	w2.WriteOctet('b')
+	if _, err := NewReader(w2.Bytes(), BigEndian).ReadString(); err == nil {
+		t.Error("non-terminated string accepted")
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	w := NewWriter(LittleEndian)
+	w.WriteString("")
+	r := NewReader(w.Bytes(), LittleEndian)
+	if v, err := r.ReadString(); err != nil || v != "" {
+		t.Fatalf("empty string = %q, %v", v, err)
+	}
+}
+
+// Property: any mix of values written then read back in order is identical,
+// in both byte orders.
+func TestMixedRoundtripProperty(t *testing.T) {
+	f := func(oct []byte, longs []int32, doubles []float64, strs []string, le bool) bool {
+		order := BigEndian
+		if le {
+			order = LittleEndian
+		}
+		w := NewWriter(order)
+		for i := range longs {
+			w.WriteLong(longs[i])
+		}
+		w.WriteOctets(oct)
+		for i := range doubles {
+			w.WriteDouble(doubles[i])
+		}
+		for i := range strs {
+			if hasNUL(strs[i]) {
+				return true // CDR strings cannot carry NUL
+			}
+			w.WriteString(strs[i])
+		}
+		r := NewReader(w.Bytes(), order)
+		for i := range longs {
+			if v, err := r.ReadLong(); err != nil || v != longs[i] {
+				return false
+			}
+		}
+		if v, err := r.ReadOctets(); err != nil || !bytes.Equal(v, oct) {
+			return false
+		}
+		for i := range doubles {
+			v, err := r.ReadDouble()
+			if err != nil {
+				return false
+			}
+			if v != doubles[i] && !(v != v && doubles[i] != doubles[i]) { // NaN
+				return false
+			}
+		}
+		for i := range strs {
+			if v, err := r.ReadString(); err != nil || v != strs[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasNUL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,357 @@
+// Package circuit implements PadicoTM's parallel-oriented abstract
+// interface (§4.3.2): a named group of nodes with logical ranks exchanging
+// tagged messages, independent of the underlying hardware.
+//
+// The mapping onto the arbitration layer is chosen automatically: on a SAN
+// covering every member the mapping is *straight* (a multiplexed Madeleine
+// port); otherwise it is *cross-paradigm* — a mesh of framed socket streams
+// presenting the very same message API, so middleware built on Circuit
+// (e.g. MPI) deploys unchanged on LAN/WAN grids.
+package circuit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// ErrClosed is returned on operations against a closed circuit.
+var ErrClosed = errors.New("circuit: closed")
+
+// Msg is a received circuit message.
+type Msg struct {
+	Src     int // sender's circuit rank
+	Header  []byte
+	Payload []byte
+}
+
+// Circuit is one process's endpoint in a named group. All members must
+// open the circuit (SPMD style); ranks follow the member slice order.
+type Circuit struct {
+	name    string
+	rank    int
+	members []*simnet.Node
+	be      backend
+	mapping string
+}
+
+type backend interface {
+	send(dst int, hdr, payload []byte) error
+	recv() (Msg, error)
+	close() error
+}
+
+// Open joins the named circuit as members[self], selecting the best device
+// that attaches every member. It blocks until the group is connected, so
+// every member must call Open concurrently.
+func Open(arb *arbitration.Arbiter, name string, members []*simnet.Node, self int) (*Circuit, error) {
+	if self < 0 || self >= len(members) {
+		return nil, fmt.Errorf("circuit: self %d out of range [0,%d)", self, len(members))
+	}
+	dev, err := arb.Select(members...)
+	if err != nil {
+		return nil, fmt.Errorf("circuit %q: %w", name, err)
+	}
+	return OpenOn(arb, dev, name, members, self)
+}
+
+// OpenOn is Open with an explicit device (used by ablation benchmarks and
+// tests; normal callers let Open select).
+func OpenOn(arb *arbitration.Arbiter, dev *arbitration.Device, name string, members []*simnet.Node, self int) (*Circuit, error) {
+	c := &Circuit{name: name, rank: self, members: append([]*simnet.Node(nil), members...)}
+	var err error
+	if dev.Kind == simnet.SAN {
+		c.mapping = "straight"
+		c.be, err = newStraight(dev, name, members, self)
+	} else {
+		c.mapping = "cross-paradigm"
+		c.be, err = newCross(arb, dev, name, members, self)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("circuit %q: %w", name, err)
+	}
+	return c, nil
+}
+
+// Name returns the circuit's group name.
+func (c *Circuit) Name() string { return c.name }
+
+// Rank returns this member's logical number.
+func (c *Circuit) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Circuit) Size() int { return len(c.members) }
+
+// Mapping reports "straight" or "cross-paradigm".
+func (c *Circuit) Mapping() string { return c.mapping }
+
+// Node returns the machine hosting the given rank.
+func (c *Circuit) Node(rank int) *simnet.Node { return c.members[rank] }
+
+// Send transmits a message to the destination rank.
+func (c *Circuit) Send(dst int, hdr, payload []byte) error {
+	if dst < 0 || dst >= len(c.members) {
+		return fmt.Errorf("circuit: dst %d out of range [0,%d)", dst, len(c.members))
+	}
+	return c.be.send(dst, hdr, payload)
+}
+
+// Recv blocks until a message arrives from any rank.
+func (c *Circuit) Recv() (Msg, error) { return c.be.recv() }
+
+// Close tears this member's endpoint down.
+func (c *Circuit) Close() error { return c.be.close() }
+
+// ---- straight mapping: multiplexed Madeleine port on a SAN ----
+
+type straight struct {
+	port      *arbitration.Port
+	toDevice  []int       // circuit rank -> device rank
+	toCircuit map[int]int // device rank -> circuit rank
+	self      *simnet.Node
+}
+
+func newStraight(dev *arbitration.Device, name string, members []*simnet.Node, self int) (*straight, error) {
+	port, err := dev.OpenPort(members[self], "cir:"+name)
+	if err != nil {
+		return nil, err
+	}
+	s := &straight{port: port, toCircuit: make(map[int]int), self: members[self]}
+	for cr, nd := range members {
+		dr, err := dev.Rank(nd)
+		if err != nil {
+			port.Close()
+			return nil, err
+		}
+		s.toDevice = append(s.toDevice, dr)
+		s.toCircuit[dr] = cr
+	}
+	return s, nil
+}
+
+func (s *straight) send(dst int, hdr, payload []byte) error {
+	s.self.Charge(simnet.CircuitCost, len(hdr)+len(payload))
+	return s.port.Send(s.toDevice[dst], hdr, payload)
+}
+
+func (s *straight) recv() (Msg, error) {
+	m, err := s.port.Recv()
+	if err != nil {
+		return Msg{}, ErrClosed
+	}
+	cr, ok := s.toCircuit[m.Src]
+	if !ok {
+		return Msg{}, fmt.Errorf("circuit: message from rank %d outside group", m.Src)
+	}
+	return Msg{Src: cr, Header: m.Header, Payload: m.Payload}, nil
+}
+
+func (s *straight) close() error {
+	s.port.Close()
+	return nil
+}
+
+// ---- cross-paradigm mapping: framed socket mesh on LAN/WAN ----
+
+type cross struct {
+	rt    vtime.Runtime
+	self  int
+	node  *simnet.Node
+	conns []sockets.Conn // by peer circuit rank (nil for self)
+	in    *vtime.Queue[Msg]
+	lst   sockets.Listener
+}
+
+// circuitPort derives the rendezvous TCP port for a circuit name. The
+// post-dial handshake verifies the name, so an unlucky hash collision is
+// detected rather than silently cross-wired.
+func circuitPort(name string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return 18000 + int(h.Sum32()%10000)
+}
+
+func newCross(arb *arbitration.Arbiter, dev *arbitration.Device, name string, members []*simnet.Node, self int) (*cross, error) {
+	prov, err := dev.Provider(members[self])
+	if err != nil {
+		return nil, err
+	}
+	c := &cross{
+		rt:    arb.Runtime(),
+		self:  self,
+		node:  members[self],
+		conns: make([]sockets.Conn, len(members)),
+		in:    vtime.NewQueue[Msg](arb.Runtime(), "circuit: cross recv "+name),
+	}
+	port := circuitPort(name)
+	lst, err := prov.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	c.lst = lst
+
+	// Rendezvous: higher ranks dial lower ranks; every pair gets exactly
+	// one stream. Accept the len(members)-1-self inbound connections and
+	// dial the self outbound ones concurrently.
+	type result struct {
+		rank int
+		conn sockets.Conn
+		err  error
+	}
+	results := vtime.NewQueue[result](c.rt, "circuit: rendezvous "+name)
+	expect := 0
+	for peer := range members {
+		switch {
+		case peer == self:
+			continue
+		case peer < self: // we dial
+			expect++
+			c.rt.Go("circuit:dial", func() {
+				conn, err := dialPeer(c.rt, prov, members[peer].Name, port, name, self)
+				results.Push(result{rank: peer, conn: conn, err: err})
+			})
+		default: // peer dials us
+			expect++
+			c.rt.Go("circuit:accept", func() {
+				conn, rank, err := acceptPeer(lst, name)
+				results.Push(result{rank: rank, conn: conn, err: err})
+			})
+		}
+	}
+	for i := 0; i < expect; i++ {
+		r, err := results.Pop()
+		if err != nil {
+			return nil, err
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("circuit %q rendezvous: %w", name, r.err)
+		}
+		if r.rank < 0 || r.rank >= len(members) || c.conns[r.rank] != nil {
+			return nil, fmt.Errorf("circuit %q: bad peer rank %d in handshake", name, r.rank)
+		}
+		c.conns[r.rank] = r.conn
+	}
+	// One reader loop per peer stream.
+	for rank, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		c.rt.Go("circuit:reader", func() { c.readLoop(rank, conn) })
+	}
+	return c, nil
+}
+
+func dialPeer(rt vtime.Runtime, prov sockets.Provider, host string, port int, name string, selfRank int) (sockets.Conn, error) {
+	addr := sockets.JoinAddr(host, port)
+	var conn sockets.Conn
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		conn, err = prov.Dial(addr)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, sockets.ErrRefused) {
+			return nil, err
+		}
+		rt.Sleep(100 * time.Microsecond) // peer not listening yet
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Handshake: our rank + circuit name.
+	var hs [8]byte
+	binary.BigEndian.PutUint32(hs[:4], uint32(selfRank))
+	binary.BigEndian.PutUint32(hs[4:], uint32(len(name)))
+	if _, err := conn.Write(append(hs[:], name...)); err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+func acceptPeer(lst sockets.Listener, name string) (sockets.Conn, int, error) {
+	conn, err := lst.Accept()
+	if err != nil {
+		return nil, -1, err
+	}
+	var hs [8]byte
+	if err := sockets.ReadFull(conn, hs[:]); err != nil {
+		return nil, -1, err
+	}
+	rank := int(binary.BigEndian.Uint32(hs[:4]))
+	nameLen := int(binary.BigEndian.Uint32(hs[4:]))
+	got := make([]byte, nameLen)
+	if err := sockets.ReadFull(conn, got); err != nil {
+		return nil, -1, err
+	}
+	if string(got) != name {
+		return nil, -1, fmt.Errorf("circuit rendezvous port collision: peer joined %q", got)
+	}
+	return conn, rank, nil
+}
+
+// frame: [4B header length][4B payload length][header][payload]
+func (c *cross) send(dst int, hdr, payload []byte) error {
+	c.node.Charge(simnet.CircuitCost, len(hdr)+len(payload))
+	if dst == c.self {
+		h := append([]byte(nil), hdr...)
+		p := append([]byte(nil), payload...)
+		c.in.Push(Msg{Src: c.self, Header: h, Payload: p})
+		return nil
+	}
+	conn := c.conns[dst]
+	if conn == nil {
+		return ErrClosed
+	}
+	frame := make([]byte, 8+len(hdr)+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(hdr)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	copy(frame[8:], hdr)
+	copy(frame[8+len(hdr):], payload)
+	_, err := conn.Write(frame)
+	return err
+}
+
+func (c *cross) readLoop(peer int, conn sockets.Conn) {
+	for {
+		var lens [8]byte
+		if err := sockets.ReadFull(conn, lens[:]); err != nil {
+			return // EOF on close
+		}
+		hl := int(binary.BigEndian.Uint32(lens[:4]))
+		pl := int(binary.BigEndian.Uint32(lens[4:8]))
+		buf := make([]byte, hl+pl)
+		if err := sockets.ReadFull(conn, buf); err != nil {
+			return
+		}
+		c.in.Push(Msg{Src: peer, Header: buf[:hl], Payload: buf[hl:]})
+	}
+}
+
+func (c *cross) recv() (Msg, error) {
+	m, err := c.in.Pop()
+	if err != nil {
+		return Msg{}, ErrClosed
+	}
+	return m, nil
+}
+
+func (c *cross) close() error {
+	c.lst.Close()
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	c.in.Close()
+	return nil
+}
+
+var _ io.Closer = (*Circuit)(nil)

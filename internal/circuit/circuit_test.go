@@ -1,0 +1,272 @@
+package circuit
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+type grid struct {
+	sim   *vtime.Sim
+	net   *simnet.Net
+	nodes []*simnet.Node
+	arb   *arbitration.Arbiter
+	san   *arbitration.Device
+	lan   *arbitration.Device
+}
+
+// newGrid builds n nodes on both a Myrinet SAN and a Fast-Ethernet LAN.
+func newGrid(n int) *grid {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	g := &grid{sim: s, net: net}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, net.NewNode(fmt.Sprintf("n%d", i)))
+	}
+	sanFab := net.NewMyrinet2000("myri0", g.nodes)
+	lanFab := net.NewEthernet100("eth0", g.nodes)
+	g.arb = arbitration.New(net)
+	g.san, _ = g.arb.AddSAN(sanFab)
+	g.lan, _ = g.arb.AddSock(lanFab)
+	return g
+}
+
+// openAll opens one circuit endpoint per member concurrently and returns
+// them indexed by rank.
+func openAll(t *testing.T, g *grid, dev *arbitration.Device, name string, members []*simnet.Node) []*Circuit {
+	t.Helper()
+	circuits := make([]*Circuit, len(members))
+	errs := make([]error, len(members))
+	wg := vtime.NewWaitGroup(g.sim, "openAll")
+	for i := range members {
+		wg.Add(1)
+		g.sim.Go("open", func() {
+			defer wg.Done()
+			var c *Circuit
+			var err error
+			if dev != nil {
+				c, err = OpenOn(g.arb, dev, name, members, i)
+			} else {
+				c, err = Open(g.arb, name, members, i)
+			}
+			circuits[i], errs[i] = c, err
+		})
+	}
+	_ = wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("open rank %d: %v", i, err)
+		}
+	}
+	return circuits
+}
+
+func exchange(t *testing.T, g *grid, cs []*Circuit) {
+	t.Helper()
+	n := len(cs)
+	wg := vtime.NewWaitGroup(g.sim, "exchange")
+	for r := range cs {
+		wg.Add(1)
+		g.sim.Go("member", func() {
+			defer wg.Done()
+			c := cs[r]
+			// Everyone sends to (rank+1)%n and receives from (rank-1+n)%n.
+			payload := bytes.Repeat([]byte{byte(r)}, 100)
+			if err := c.Send((r+1)%n, []byte{byte(r)}, payload); err != nil {
+				t.Errorf("rank %d send: %v", r, err)
+				return
+			}
+			m, err := c.Recv()
+			if err != nil {
+				t.Errorf("rank %d recv: %v", r, err)
+				return
+			}
+			want := (r - 1 + n) % n
+			if m.Src != want || int(m.Header[0]) != want || len(m.Payload) != 100 {
+				t.Errorf("rank %d got src=%d hdr=%v len=%d", r, m.Src, m.Header, len(m.Payload))
+			}
+		})
+	}
+	_ = wg.Wait()
+}
+
+func TestStraightMappingRing(t *testing.T) {
+	g := newGrid(4)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		cs := openAll(t, g, g.san, "ring", g.nodes)
+		if cs[0].Mapping() != "straight" {
+			t.Fatalf("mapping = %s", cs[0].Mapping())
+		}
+		exchange(t, g, cs)
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestCrossParadigmRing(t *testing.T) {
+	g := newGrid(4)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		cs := openAll(t, g, g.lan, "xring", g.nodes)
+		if cs[0].Mapping() != "cross-paradigm" {
+			t.Fatalf("mapping = %s", cs[0].Mapping())
+		}
+		exchange(t, g, cs)
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestAutoSelectionPrefersSAN(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		cs := openAll(t, g, nil, "auto", g.nodes)
+		if cs[0].Mapping() != "straight" {
+			t.Fatalf("auto mapping = %s, want straight (SAN available)", cs[0].Mapping())
+		}
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		for _, dev := range []*arbitration.Device{g.san, g.lan} {
+			cs := openAll(t, g, dev, "self-"+dev.Name, g.nodes)
+			c := cs[0]
+			if err := c.Send(0, []byte("me"), []byte("self")); err != nil {
+				t.Fatalf("%s self send: %v", dev.Name, err)
+			}
+			m, err := c.Recv()
+			if err != nil || m.Src != 0 || string(m.Header) != "me" {
+				t.Fatalf("%s self recv = %+v, %v", dev.Name, m, err)
+			}
+			for _, c := range cs {
+				c.Close()
+			}
+		}
+	})
+}
+
+func TestMetadataAndBadArgs(t *testing.T) {
+	g := newGrid(3)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		cs := openAll(t, g, g.san, "meta", g.nodes)
+		c := cs[1]
+		if c.Rank() != 1 || c.Size() != 3 || c.Name() != "meta" {
+			t.Fatalf("meta = rank %d size %d name %s", c.Rank(), c.Size(), c.Name())
+		}
+		if c.Node(2) != g.nodes[2] {
+			t.Fatal("Node(2) mismatch")
+		}
+		if err := c.Send(7, nil, nil); err == nil {
+			t.Error("send to rank 7 succeeded")
+		}
+		if _, err := Open(g.arb, "bad", g.nodes, 9); err == nil {
+			t.Error("Open with self=9 succeeded")
+		}
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestSubgroupCircuit(t *testing.T) {
+	// A circuit over a subset of the grid's nodes with its own rank space.
+	g := newGrid(4)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		members := []*simnet.Node{g.nodes[3], g.nodes[1]} // reversed order on purpose
+		cs := openAll(t, g, g.san, "sub", members)
+		wg := vtime.NewWaitGroup(g.sim, "x")
+		wg.Add(1)
+		g.sim.Go("r0", func() {
+			defer wg.Done()
+			if err := cs[0].Send(1, nil, []byte("to-rank1")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+		m, err := cs[1].Recv()
+		if err != nil || m.Src != 0 || string(m.Payload) != "to-rank1" {
+			t.Fatalf("recv = %+v, %v", m, err)
+		}
+		_ = wg.Wait()
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestCrossMappingLargeTransferOrdering(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		cs := openAll(t, g, g.lan, "big", g.nodes)
+		const k = 8
+		g.sim.Go("sender", func() {
+			for i := 0; i < k; i++ {
+				payload := bytes.Repeat([]byte{byte(i)}, 10_000)
+				if err := cs[0].Send(1, []byte{byte(i)}, payload); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+		})
+		for i := 0; i < k; i++ {
+			m, err := cs[1].Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if int(m.Header[0]) != i || len(m.Payload) != 10_000 || m.Payload[0] != byte(i) {
+				t.Fatalf("message %d corrupt: hdr=%v len=%d", i, m.Header, len(m.Payload))
+			}
+		}
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestTwoCircuitsCoexistOnOneDevice(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		a := openAll(t, g, g.san, "alpha", g.nodes)
+		b := openAll(t, g, g.san, "beta", g.nodes)
+		g.sim.Go("senders", func() {
+			_ = a[0].Send(1, nil, []byte("A"))
+			_ = b[0].Send(1, nil, []byte("B"))
+		})
+		mb, err := b[1].Recv()
+		if err != nil || string(mb.Payload) != "B" {
+			t.Fatalf("beta recv = %+v, %v", mb, err)
+		}
+		ma, err := a[1].Recv()
+		if err != nil || string(ma.Payload) != "A" {
+			t.Fatalf("alpha recv = %+v, %v", ma, err)
+		}
+		for _, c := range append(a, b...) {
+			c.Close()
+		}
+	})
+}
+
+func TestCircuitPortDeterministic(t *testing.T) {
+	if circuitPort("x") != circuitPort("x") {
+		t.Error("port not deterministic")
+	}
+	if p := circuitPort("anything"); p < 18000 || p >= 28000 {
+		t.Errorf("port %d out of range", p)
+	}
+}

@@ -1,0 +1,373 @@
+// Package core is the Padico runtime proper: the process model and the
+// dynamic module system that let several middleware systems (CORBA, MPI,
+// SOAP, HLA, ...) cohabit in one process, be loaded and unloaded at run
+// time, and share the grid's networks through one arbitration layer —
+// §4.3.4's "the middleware systems, like any other PadicoTM module, are
+// dynamically loadable; any combination of them may be used at the same
+// time and can be dynamically changed".
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/idl"
+	"padico/internal/marcel"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Grid is one simulated computational grid: the network, its arbitration
+// core and the Padico processes running on the nodes.
+type Grid struct {
+	Sim *vtime.Sim
+	Net *simnet.Net
+	Arb *arbitration.Arbiter
+
+	mu    sync.Mutex
+	procs map[string]*Process
+}
+
+// NewGrid builds an empty grid on a fresh deterministic runtime.
+func NewGrid() *Grid {
+	sim := vtime.NewSim()
+	net := simnet.New(sim)
+	return &Grid{Sim: sim, Net: net, Arb: arbitration.New(net), procs: make(map[string]*Process)}
+}
+
+// AddNodes registers n machines named prefix0..prefix<n-1>.
+func (g *Grid) AddNodes(prefix string, n int) []*simnet.Node {
+	nodes := make([]*simnet.Node, n)
+	for i := range nodes {
+		nodes[i] = g.Net.NewNode(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return nodes
+}
+
+// AddMyrinet attaches nodes to a Myrinet-2000 SAN under arbitration.
+func (g *Grid) AddMyrinet(name string, nodes []*simnet.Node) (*arbitration.Device, error) {
+	return g.Arb.AddSAN(g.Net.NewMyrinet2000(name, nodes))
+}
+
+// AddEthernet attaches nodes to a Fast-Ethernet LAN under arbitration.
+func (g *Grid) AddEthernet(name string, nodes []*simnet.Node) (*arbitration.Device, error) {
+	return g.Arb.AddSock(g.Net.NewEthernet100(name, nodes))
+}
+
+// AddWAN attaches nodes to a wide-area trunk under arbitration.
+func (g *Grid) AddWAN(name string, nodes []*simnet.Node, trunkBps float64, trunkLat time.Duration) (*arbitration.Device, error) {
+	return g.Arb.AddSock(g.Net.NewWAN(name, nodes, trunkBps, trunkLat))
+}
+
+// Launch starts a Padico process on a node. One process per node.
+func (g *Grid) Launch(node *simnet.Node) (*Process, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.procs[node.Name]; dup {
+		return nil, fmt.Errorf("core: a process already runs on %s", node.Name)
+	}
+	p := &Process{
+		grid:    g,
+		node:    node,
+		rt:      g.Sim,
+		mgr:     marcel.NewManager(g.Sim),
+		repo:    idl.NewRepository(),
+		modules: make(map[string]*moduleState),
+	}
+	g.procs[node.Name] = p
+	return p, nil
+}
+
+// Process looks up the process running on a node.
+func (g *Grid) Process(nodeName string) (*Process, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	p, ok := g.procs[nodeName]
+	return p, ok
+}
+
+// Run executes body as the root actor of the grid's virtual time and shuts
+// every process down afterwards.
+func (g *Grid) Run(body func()) {
+	g.Sim.Run(func() {
+		defer g.shutdown()
+		body()
+	})
+}
+
+func (g *Grid) shutdown() {
+	g.mu.Lock()
+	procs := make([]*Process, 0, len(g.procs))
+	for _, p := range g.procs {
+		procs = append(procs, p)
+	}
+	g.mu.Unlock()
+	for _, p := range procs {
+		p.Shutdown()
+	}
+	g.Arb.Close()
+}
+
+// Module is a dynamically loadable Padico unit (a middleware system, a
+// service, a driver). Modules declare dependencies by name; the loader
+// starts requirements first and refuses to unload a module that others
+// still use.
+type Module interface {
+	Name() string
+	Requires() []string
+	Init(p *Process) error
+	Stop() error
+}
+
+// Factory instantiates a module in a process.
+type Factory func() Module
+
+var (
+	factoryMu sync.RWMutex
+	factories = make(map[string]Factory)
+)
+
+// RegisterModuleType installs a module factory under a name; Load resolves
+// dependencies through it. Built-in types "vlink", "corba:<profile>" are
+// pre-registered.
+func RegisterModuleType(name string, f Factory) {
+	factoryMu.Lock()
+	defer factoryMu.Unlock()
+	factories[name] = f
+}
+
+func lookupFactory(name string) (Factory, bool) {
+	factoryMu.RLock()
+	defer factoryMu.RUnlock()
+	f, ok := factories[name]
+	return f, ok
+}
+
+// Process is one Padico process: a module container plus the per-process
+// views of the communication stack.
+type Process struct {
+	grid *Grid
+	node *simnet.Node
+	rt   vtime.Runtime
+	mgr  *marcel.Manager
+	repo *idl.Repository
+
+	mu      sync.Mutex
+	linker  *vlink.Linker
+	orbs    map[string]*orb.ORB
+	modules map[string]*moduleState
+	down    bool
+}
+
+type moduleState struct {
+	mod  Module
+	deps []string // modules this one required at load time
+}
+
+// Node returns the hosting machine.
+func (p *Process) Node() *simnet.Node { return p.node }
+
+// Grid returns the owning grid.
+func (p *Process) Grid() *Grid { return p.grid }
+
+// Runtime returns the process's runtime.
+func (p *Process) Runtime() vtime.Runtime { return p.rt }
+
+// Manager returns the process's marcel manager.
+func (p *Process) Manager() *marcel.Manager { return p.mgr }
+
+// Repo returns the process's IDL repository.
+func (p *Process) Repo() *idl.Repository { return p.repo }
+
+// Linker returns the process's VLink factory, creating it on first use.
+func (p *Process) Linker() *vlink.Linker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.linker == nil {
+		p.linker = vlink.NewLinker(p.grid.Arb, p.node)
+	}
+	return p.linker
+}
+
+// ORB returns the process's broker for an implementation profile, creating
+// it on first use. Distinct profiles get distinct GIOP services, so e.g.
+// a Mico and an omniORB can cohabit in one process (§4.3.4).
+func (p *Process) ORB(profile simnet.ORBProfile) (*orb.ORB, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.orbs == nil {
+		p.orbs = make(map[string]*orb.ORB)
+	}
+	if o, ok := p.orbs[profile.Name]; ok {
+		return o, nil
+	}
+	ln := p.linker
+	if ln == nil {
+		ln = vlink.NewLinker(p.grid.Arb, p.node)
+		p.linker = ln
+	}
+	service := "giop"
+	if len(p.orbs) > 0 {
+		service = "giop:" + profile.Name
+	}
+	o, err := orb.New(orb.Config{
+		Transport: orb.VLinkTransport{Linker: ln},
+		Repo:      p.repo,
+		Profile:   profile,
+		Runtime:   p.rt,
+		Node:      p.node,
+		Service:   service,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.orbs[profile.Name] = o
+	return o, nil
+}
+
+// Load instantiates and initializes a module (and, recursively, its
+// requirements) in this process.
+func (p *Process) Load(name string) error {
+	return p.load(name, nil)
+}
+
+func (p *Process) load(name string, stack []string) error {
+	for _, s := range stack {
+		if s == name {
+			return fmt.Errorf("core: module dependency cycle: %v -> %s", stack, name)
+		}
+	}
+	p.mu.Lock()
+	if _, loaded := p.modules[name]; loaded {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	f, ok := lookupFactory(name)
+	if !ok {
+		return fmt.Errorf("core: no module type %q registered", name)
+	}
+	mod := f()
+	deps := mod.Requires()
+	for _, dep := range deps {
+		if err := p.load(dep, append(stack, name)); err != nil {
+			return fmt.Errorf("core: loading %s (required by %s): %w", dep, name, err)
+		}
+	}
+	if err := mod.Init(p); err != nil {
+		return fmt.Errorf("core: initializing %s: %w", name, err)
+	}
+	p.mu.Lock()
+	p.modules[name] = &moduleState{mod: mod, deps: deps}
+	p.mu.Unlock()
+	return nil
+}
+
+// Unload stops and removes a module. It fails while other loaded modules
+// require it.
+func (p *Process) Unload(name string) error {
+	p.mu.Lock()
+	st, ok := p.modules[name]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("core: module %q not loaded", name)
+	}
+	for other, os := range p.modules {
+		for _, dep := range os.deps {
+			if dep == name {
+				p.mu.Unlock()
+				return fmt.Errorf("core: module %q is required by %q", name, other)
+			}
+		}
+	}
+	delete(p.modules, name)
+	p.mu.Unlock()
+	return st.mod.Stop()
+}
+
+// Modules returns the loaded module names, sorted.
+func (p *Process) Modules() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.modules))
+	for n := range p.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Loaded reports whether a module is loaded.
+func (p *Process) Loaded(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.modules[name]
+	return ok
+}
+
+// Shutdown stops every module (dependents before dependencies), the ORBs,
+// the linker and the progress loops.
+func (p *Process) Shutdown() {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	p.down = true
+	mods := make(map[string]*moduleState, len(p.modules))
+	for n, st := range p.modules {
+		mods[n] = st
+	}
+	p.modules = make(map[string]*moduleState)
+	orbs := p.orbs
+	p.orbs = nil
+	ln := p.linker
+	p.mu.Unlock()
+
+	for _, name := range topoStopOrder(mods) {
+		_ = mods[name].mod.Stop()
+	}
+	for _, o := range orbs {
+		o.Shutdown()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	p.mgr.StopAll()
+}
+
+// topoStopOrder orders modules so dependents stop before dependencies.
+func topoStopOrder(mods map[string]*moduleState) []string {
+	var order []string
+	visited := make(map[string]bool)
+	var visit func(string)
+	visit = func(n string) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		// Stop everything that depends on n first.
+		for other, st := range mods {
+			for _, dep := range st.deps {
+				if dep == n {
+					visit(other)
+				}
+			}
+		}
+		order = append(order, n)
+	}
+	names := make([]string, 0, len(mods))
+	for n := range mods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		visit(n)
+	}
+	return order
+}

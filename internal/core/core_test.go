@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"padico/internal/simnet"
+)
+
+func newTestGrid(t *testing.T, n int) (*Grid, []*simnet.Node) {
+	t.Helper()
+	g := NewGrid()
+	nodes := g.AddNodes("n", n)
+	if _, err := g.AddMyrinet("myri0", nodes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEthernet("eth0", nodes); err != nil {
+		t.Fatal(err)
+	}
+	return g, nodes
+}
+
+func TestLaunchAndModuleLifecycle(t *testing.T) {
+	g, nodes := newTestGrid(t, 2)
+	g.Run(func() {
+		p, err := g.Launch(nodes[0])
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		if _, err := g.Launch(nodes[0]); err == nil {
+			t.Fatal("double launch succeeded")
+		}
+		// Loading CORBA pulls vlink in as a dependency.
+		if err := p.Load("corba:" + simnet.OmniORB3.Name); err != nil {
+			t.Fatalf("load corba: %v", err)
+		}
+		if !p.Loaded("vlink") {
+			t.Fatal("dependency vlink not loaded")
+		}
+		mods := p.Modules()
+		if len(mods) != 2 {
+			t.Fatalf("modules = %v", mods)
+		}
+		// vlink cannot be unloaded while CORBA requires it.
+		if err := p.Unload("vlink"); err == nil {
+			t.Fatal("unloaded a required module")
+		}
+		if err := p.Unload("corba:" + simnet.OmniORB3.Name); err != nil {
+			t.Fatalf("unload corba: %v", err)
+		}
+		if err := p.Unload("vlink"); err != nil {
+			t.Fatalf("unload vlink: %v", err)
+		}
+		if err := p.Unload("vlink"); err == nil {
+			t.Fatal("double unload succeeded")
+		}
+	})
+}
+
+func TestTwoORBProfilesCohabit(t *testing.T) {
+	// §4.3.4: several middleware systems at the same time in one process.
+	g, nodes := newTestGrid(t, 1)
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if err := p.Load("corba:" + simnet.OmniORB3.Name); err != nil {
+			t.Fatalf("load omni: %v", err)
+		}
+		if err := p.Load("corba:" + simnet.Mico.Name); err != nil {
+			t.Fatalf("load mico: %v", err)
+		}
+		omni, err := p.ORB(simnet.OmniORB3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mico, err := p.ORB(simnet.Mico)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if omni == mico {
+			t.Fatal("profiles share one ORB")
+		}
+		// Idempotent per profile.
+		again, _ := p.ORB(simnet.Mico)
+		if again != mico {
+			t.Fatal("ORB not cached per profile")
+		}
+	})
+}
+
+func TestUnknownAndCyclicModules(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if err := p.Load("nonexistent"); err == nil {
+			t.Fatal("loaded unknown module")
+		}
+		RegisterModuleType("cycleA", func() Module {
+			return &FuncModule{ModName: "cycleA", Deps: []string{"cycleB"}}
+		})
+		RegisterModuleType("cycleB", func() Module {
+			return &FuncModule{ModName: "cycleB", Deps: []string{"cycleA"}}
+		})
+		if err := p.Load("cycleA"); err == nil {
+			t.Fatal("dependency cycle loaded")
+		}
+	})
+}
+
+func TestFuncModuleAndStopOrder(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	var stops []string
+	RegisterModuleType("base", func() Module {
+		return &FuncModule{ModName: "base",
+			OnStop: func() error { stops = append(stops, "base"); return nil }}
+	})
+	RegisterModuleType("app", func() Module {
+		return &FuncModule{ModName: "app", Deps: []string{"base"},
+			OnStop: func() error { stops = append(stops, "app"); return nil }}
+	})
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if err := p.Load("app"); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		p.Shutdown()
+		p.Shutdown() // idempotent
+	})
+	if len(stops) != 2 || stops[0] != "app" || stops[1] != "base" {
+		t.Fatalf("stop order = %v (dependents must stop first)", stops)
+	}
+}
+
+func TestModuleInitErrorPropagates(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	boom := errors.New("boom")
+	RegisterModuleType("exploder", func() Module {
+		return &FuncModule{ModName: "exploder", OnInit: func(*Process) error { return boom }}
+	})
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if err := p.Load("exploder"); !errors.Is(err, boom) {
+			t.Fatalf("load err = %v", err)
+		}
+		if p.Loaded("exploder") {
+			t.Fatal("failed module counted as loaded")
+		}
+	})
+}
+
+func TestProcessAccessors(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if p.Node() != nodes[0] || p.Grid() != g {
+			t.Fatal("accessors broken")
+		}
+		if p.Runtime() == nil || p.Manager() == nil || p.Repo() == nil {
+			t.Fatal("nil facilities")
+		}
+		if p.Linker() != p.Linker() {
+			t.Fatal("linker not cached")
+		}
+		if _, ok := g.Process(nodes[0].Name); !ok {
+			t.Fatal("process lookup failed")
+		}
+	})
+}

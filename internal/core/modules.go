@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"padico/internal/simnet"
+)
+
+// Built-in module types, pre-registered so processes can load the paper's
+// middleware mix by name: "vlink", and "corba:<profile>" for each emulated
+// ORB. Further types (soap, hla, mpi workers) register themselves from
+// their packages or from applications.
+func init() {
+	RegisterModuleType("vlink", func() Module { return &vlinkModule{} })
+	for _, prof := range []simnet.ORBProfile{
+		simnet.OmniORB3, simnet.OmniORB4, simnet.Mico, simnet.ORBacus, simnet.OpenCCMJava,
+	} {
+		prof := prof
+		RegisterModuleType("corba:"+prof.Name, func() Module { return &corbaModule{profile: prof} })
+	}
+}
+
+// vlinkModule owns the process's VLink factory.
+type vlinkModule struct{ p *Process }
+
+func (m *vlinkModule) Name() string       { return "vlink" }
+func (m *vlinkModule) Requires() []string { return nil }
+func (m *vlinkModule) Init(p *Process) error {
+	m.p = p
+	p.Linker() // force creation
+	return nil
+}
+func (m *vlinkModule) Stop() error { return nil }
+
+// corbaModule boots an ORB with a given implementation profile.
+type corbaModule struct {
+	profile simnet.ORBProfile
+	p       *Process
+}
+
+func (m *corbaModule) Name() string       { return "corba:" + m.profile.Name }
+func (m *corbaModule) Requires() []string { return []string{"vlink"} }
+func (m *corbaModule) Init(p *Process) error {
+	m.p = p
+	if _, err := p.ORB(m.profile); err != nil {
+		return fmt.Errorf("core: corba module: %w", err)
+	}
+	return nil
+}
+func (m *corbaModule) Stop() error { return nil }
+
+// FuncModule adapts plain functions into a Module, for application-defined
+// services.
+type FuncModule struct {
+	ModName string
+	Deps    []string
+	OnInit  func(p *Process) error
+	OnStop  func() error
+}
+
+// Name implements Module.
+func (m *FuncModule) Name() string { return m.ModName }
+
+// Requires implements Module.
+func (m *FuncModule) Requires() []string { return m.Deps }
+
+// Init implements Module.
+func (m *FuncModule) Init(p *Process) error {
+	if m.OnInit == nil {
+		return nil
+	}
+	return m.OnInit(p)
+}
+
+// Stop implements Module.
+func (m *FuncModule) Stop() error {
+	if m.OnStop == nil {
+		return nil
+	}
+	return m.OnStop()
+}

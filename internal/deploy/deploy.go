@@ -1,0 +1,228 @@
+// Package deploy covers the paper's §2 deployment scenarios: grid
+// topologies described in XML, machine discovery when node features are
+// not known statically, localization constraints ("company X's chemistry
+// code must stay on company X's machines"), and launching Padico processes
+// over the resulting grid.
+package deploy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/simnet"
+)
+
+// Topology is the XML description of a grid.
+type Topology struct {
+	XMLName xml.Name     `xml:"grid"`
+	Name    string       `xml:"name,attr"`
+	Nodes   []NodeDecl   `xml:"node"`
+	Fabrics []FabricDecl `xml:"fabric"`
+}
+
+// NodeDecl declares one machine, optionally inside an administrative zone.
+type NodeDecl struct {
+	Name string `xml:"name,attr"`
+	Zone string `xml:"zone,attr"`
+}
+
+// FabricDecl declares one network device.
+type FabricDecl struct {
+	Name     string  `xml:"name,attr"`
+	Kind     string  `xml:"kind,attr"`  // myrinet|ethernet|wan
+	Nodes    string  `xml:"nodes,attr"` // comma-separated node names
+	TrunkMBs float64 `xml:"trunkMBs,attr"`
+	TrunkMs  float64 `xml:"trunkMs,attr"`
+}
+
+// ParseTopology decodes and validates a grid description.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := xml.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("deploy: topology: %w", err)
+	}
+	names := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("deploy: node without name")
+		}
+		if names[n.Name] {
+			return nil, fmt.Errorf("deploy: duplicate node %q", n.Name)
+		}
+		names[n.Name] = true
+	}
+	for _, f := range t.Fabrics {
+		switch f.Kind {
+		case "myrinet", "ethernet", "wan":
+		default:
+			return nil, fmt.Errorf("deploy: fabric %q has unknown kind %q", f.Name, f.Kind)
+		}
+		for _, nd := range splitList(f.Nodes) {
+			if !names[nd] {
+				return nil, fmt.Errorf("deploy: fabric %q references unknown node %q", f.Name, nd)
+			}
+		}
+	}
+	return &t, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Platform is a built grid with its inventory.
+type Platform struct {
+	Grid  *core.Grid
+	Nodes map[string]*simnet.Node
+	Zones map[string]string // node → zone
+}
+
+// Build realizes a topology: nodes, fabrics under arbitration, inventory.
+func Build(t *Topology) (*Platform, error) {
+	g := core.NewGrid()
+	p := &Platform{Grid: g, Nodes: map[string]*simnet.Node{}, Zones: map[string]string{}}
+	for _, nd := range t.Nodes {
+		node := g.Net.NewNode(nd.Name)
+		p.Nodes[nd.Name] = node
+		p.Zones[nd.Name] = nd.Zone
+	}
+	for _, f := range t.Fabrics {
+		var members []*simnet.Node
+		for _, name := range splitList(f.Nodes) {
+			members = append(members, p.Nodes[name])
+		}
+		var err error
+		switch f.Kind {
+		case "myrinet":
+			_, err = g.AddMyrinet(f.Name, members)
+		case "ethernet":
+			_, err = g.AddEthernet(f.Name, members)
+		case "wan":
+			bps := f.TrunkMBs * 1e6
+			if bps <= 0 {
+				bps = 5e6
+			}
+			lat := time.Duration(f.TrunkMs * float64(time.Millisecond))
+			if lat <= 0 {
+				lat = time.Millisecond
+			}
+			_, err = g.AddWAN(f.Name, members, bps, lat)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deploy: building fabric %q: %w", f.Name, err)
+		}
+	}
+	return p, nil
+}
+
+// Machine is one discovered machine's features (§2: "the features of the
+// machines are not known statically").
+type Machine struct {
+	Name    string
+	Zone    string
+	Fabrics []string // device names, fastest first
+	SAN     bool
+}
+
+// Discover inventories the platform through the arbitration layer.
+func (p *Platform) Discover() []Machine {
+	var out []Machine
+	for name, node := range p.Nodes {
+		m := Machine{Name: name, Zone: p.Zones[name]}
+		for _, dev := range p.Grid.Arb.Devices() {
+			if dev.Fabric.Attached(node) {
+				m.Fabrics = append(m.Fabrics, dev.Name)
+				if dev.Kind == simnet.SAN {
+					m.SAN = true
+				}
+			}
+		}
+		sort.Strings(m.Fabrics)
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Constraint filters machines during placement.
+type Constraint struct {
+	Zone    string // require this administrative zone ("" = any)
+	NeedSAN bool   // require a SAN-attached machine
+}
+
+// Select returns the machines satisfying the constraint.
+func Select(machines []Machine, c Constraint) []Machine {
+	var out []Machine
+	for _, m := range machines {
+		if c.Zone != "" && m.Zone != c.Zone {
+			continue
+		}
+		if c.NeedSAN && !m.SAN {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// ResolveHost resolves an assembly host field: either a literal node name
+// or a constraint query "?zone=companyX&san=true" evaluated against the
+// discovered inventory (§2's localization scenario).
+func (p *Platform) ResolveHost(host string, used map[string]bool) (string, error) {
+	if !strings.HasPrefix(host, "?") {
+		if _, ok := p.Nodes[host]; !ok {
+			return "", fmt.Errorf("deploy: unknown host %q", host)
+		}
+		return host, nil
+	}
+	var c Constraint
+	for _, kv := range strings.Split(host[1:], "&") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", fmt.Errorf("deploy: bad host query %q", host)
+		}
+		switch k {
+		case "zone":
+			c.Zone = v
+		case "san":
+			c.NeedSAN = v == "true"
+		default:
+			return "", fmt.Errorf("deploy: unknown host query key %q", k)
+		}
+	}
+	for _, m := range Select(p.Discover(), c) {
+		if !used[m.Name] {
+			used[m.Name] = true
+			return m.Name, nil
+		}
+	}
+	return "", fmt.Errorf("deploy: no free machine satisfies %q", host)
+}
+
+// LaunchAll starts one Padico process per node and returns them by name.
+func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
+	out := make(map[string]*core.Process, len(p.Nodes))
+	names := make([]string, 0, len(p.Nodes))
+	for n := range p.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		proc, err := p.Grid.Launch(p.Nodes[n])
+		if err != nil {
+			return nil, err
+		}
+		out[n] = proc
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+)
+
+const topoXML = `
+<grid name="paper-testbed">
+  <node name="c0" zone="irisa"/>
+  <node name="c1" zone="irisa"/>
+  <node name="x0" zone="companyX"/>
+  <node name="x1" zone="companyX"/>
+  <fabric kind="myrinet" name="myri0" nodes="c0,c1"/>
+  <fabric kind="ethernet" name="eth0" nodes="c0,c1,x0,x1"/>
+  <fabric kind="wan" name="wan0" nodes="c1,x0" trunkMBs="5" trunkMs="10"/>
+</grid>`
+
+func TestParseAndBuildTopology(t *testing.T) {
+	topo, err := ParseTopology([]byte(topoXML))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if topo.Name != "paper-testbed" || len(topo.Nodes) != 4 || len(topo.Fabrics) != 3 {
+		t.Fatalf("topo = %+v", topo)
+	}
+	p, err := Build(topo)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(p.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(p.Nodes))
+	}
+	devs := p.Grid.Arb.Devices()
+	if len(devs) != 3 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	if p.Zones["x0"] != "companyX" || p.Zones["c0"] != "irisa" {
+		t.Fatal("zones lost")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"dup node":       `<grid><node name="a"/><node name="a"/></grid>`,
+		"nameless":       `<grid><node/></grid>`,
+		"bad kind":       `<grid><node name="a"/><fabric kind="tokenring" name="t" nodes="a"/></grid>`,
+		"unknown member": `<grid><node name="a"/><fabric kind="ethernet" name="e" nodes="a,ghost"/></grid>`,
+		"not xml":        `<<<`,
+	}
+	for name, src := range cases {
+		if _, err := ParseTopology([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDiscoveryInventory(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	machines := p.Discover()
+	if len(machines) != 4 {
+		t.Fatalf("machines = %d", len(machines))
+	}
+	byName := map[string]Machine{}
+	for _, m := range machines {
+		byName[m.Name] = m
+	}
+	if !byName["c0"].SAN || byName["x0"].SAN {
+		t.Fatalf("SAN detection wrong: %+v / %+v", byName["c0"], byName["x0"])
+	}
+	if len(byName["c1"].Fabrics) != 3 { // myri + eth + wan
+		t.Fatalf("c1 fabrics = %v", byName["c1"].Fabrics)
+	}
+}
+
+func TestSelectAndResolveHost(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	machines := p.Discover()
+
+	sanOnly := Select(machines, Constraint{NeedSAN: true})
+	if len(sanOnly) != 2 {
+		t.Fatalf("SAN machines = %v", sanOnly)
+	}
+	companyX := Select(machines, Constraint{Zone: "companyX"})
+	if len(companyX) != 2 || !strings.HasPrefix(companyX[0].Name, "x") {
+		t.Fatalf("companyX = %v", companyX)
+	}
+
+	used := map[string]bool{}
+	// Literal host.
+	h, err := p.ResolveHost("c0", used)
+	if err != nil || h != "c0" {
+		t.Fatalf("literal = %q, %v", h, err)
+	}
+	if _, err := p.ResolveHost("ghost", used); err == nil {
+		t.Fatal("unknown literal resolved")
+	}
+	// Constraint query: the paper's localization scenario.
+	h1, err := p.ResolveHost("?zone=companyX", used)
+	if err != nil || !strings.HasPrefix(h1, "x") {
+		t.Fatalf("query1 = %q, %v", h1, err)
+	}
+	h2, err := p.ResolveHost("?zone=companyX", used)
+	if err != nil || h2 == h1 {
+		t.Fatalf("query2 = %q (reused %q), %v", h2, h1, err)
+	}
+	if _, err := p.ResolveHost("?zone=companyX", used); err == nil {
+		t.Fatal("third companyX machine appeared out of thin air")
+	}
+	if _, err := p.ResolveHost("?zone=companyX&san=true", map[string]bool{}); err == nil {
+		t.Fatal("companyX has no SAN but query succeeded")
+	}
+	if _, err := p.ResolveHost("?flavor=blue", used); err == nil {
+		t.Fatal("unknown query key accepted")
+	}
+	if _, err := p.ResolveHost("?zone", used); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+}
+
+func TestLaunchAll(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		if len(procs) != 4 {
+			t.Fatalf("procs = %d", len(procs))
+		}
+		for name, proc := range procs {
+			if proc.Node().Name != name {
+				t.Fatalf("proc %s on node %s", name, proc.Node().Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+// Package giop implements the General Inter-ORB Protocol framing used by
+// the reproduction's CORBA substrate: a 12-byte header (magic, version,
+// endianness flag, message type, body size) followed by a CDR-encoded body.
+// Request and Reply headers follow the GIOP layout (request id, response
+// flag, object key, operation; request id and reply status), with one
+// documented simplification: CDR alignment restarts at the body, and
+// service contexts are omitted.
+package giop
+
+import (
+	"fmt"
+	"io"
+
+	"padico/internal/cdr"
+)
+
+// Magic is the GIOP header signature.
+var Magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// Protocol version advertised in headers.
+const (
+	VersionMajor = 1
+	VersionMinor = 2
+)
+
+// MsgType enumerates GIOP message types.
+type MsgType byte
+
+// GIOP message types.
+const (
+	Request MsgType = iota
+	Reply
+	CancelRequest
+	LocateRequest
+	LocateReply
+	CloseConnection
+	MessageError
+)
+
+func (t MsgType) String() string {
+	names := []string{"Request", "Reply", "CancelRequest", "LocateRequest",
+		"LocateReply", "CloseConnection", "MessageError"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// ReplyStatus enumerates Reply outcomes.
+type ReplyStatus uint32
+
+// Reply statuses.
+const (
+	NoException ReplyStatus = iota
+	UserException
+	SystemException
+	LocationForward
+)
+
+// HeaderSize is the fixed GIOP header length.
+const HeaderSize = 12
+
+// maxBody guards against corrupt size fields.
+const maxBody = 1 << 30
+
+// WriteMessage frames body as one GIOP message on w.
+func WriteMessage(w io.Writer, t MsgType, order cdr.ByteOrder, body []byte) error {
+	if len(body) > maxBody {
+		return fmt.Errorf("giop: body of %d bytes exceeds limit", len(body))
+	}
+	hdr := make([]byte, HeaderSize)
+	copy(hdr, Magic[:])
+	hdr[4], hdr[5] = VersionMajor, VersionMinor
+	hdr[6] = byte(order) // flags: bit 0 = little-endian
+	hdr[7] = byte(t)
+	size := uint32(len(body))
+	if order == cdr.LittleEndian {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size), byte(size>>8), byte(size>>16), byte(size>>24)
+	} else {
+		hdr[8], hdr[9], hdr[10], hdr[11] = byte(size>>24), byte(size>>16), byte(size>>8), byte(size)
+	}
+	// One Write per message: the transport charges per-message costs, and
+	// a real TCP stack would coalesce header and body into one segment.
+	msg := make([]byte, 0, HeaderSize+len(body))
+	msg = append(msg, hdr...)
+	msg = append(msg, body...)
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (MsgType, cdr.ByteOrder, []byte, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return 0, 0, nil, fmt.Errorf("giop: bad magic % x", hdr[:4])
+	}
+	if hdr[4] != VersionMajor {
+		return 0, 0, nil, fmt.Errorf("giop: unsupported version %d.%d", hdr[4], hdr[5])
+	}
+	order := cdr.ByteOrder(hdr[6] & 1)
+	t := MsgType(hdr[7])
+	var size uint32
+	if order == cdr.LittleEndian {
+		size = uint32(hdr[8]) | uint32(hdr[9])<<8 | uint32(hdr[10])<<16 | uint32(hdr[11])<<24
+	} else {
+		size = uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11])
+	}
+	if size > maxBody {
+		return 0, 0, nil, fmt.Errorf("giop: body size %d exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return t, order, body, nil
+}
+
+// RequestHeader is the GIOP Request header.
+type RequestHeader struct {
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        string
+	Operation        string
+}
+
+// BeginRequest encodes the request header into a fresh CDR writer; the
+// caller appends the marshalled arguments and frames the result.
+func BeginRequest(order cdr.ByteOrder, h RequestHeader) *cdr.Writer {
+	w := cdr.NewWriter(order)
+	w.WriteULong(h.RequestID)
+	w.WriteBool(h.ResponseExpected)
+	w.WriteString(h.ObjectKey)
+	w.WriteString(h.Operation)
+	w.Align(8) // body alignment boundary before arguments
+	return w
+}
+
+// ParseRequest decodes a Request body, returning the header and a reader
+// positioned at the arguments.
+func ParseRequest(order cdr.ByteOrder, body []byte) (RequestHeader, *cdr.Reader, error) {
+	r := cdr.NewReader(body, order)
+	var h RequestHeader
+	var err error
+	if h.RequestID, err = r.ReadULong(); err != nil {
+		return h, nil, fmt.Errorf("giop: request id: %w", err)
+	}
+	if h.ResponseExpected, err = r.ReadBool(); err != nil {
+		return h, nil, fmt.Errorf("giop: response flag: %w", err)
+	}
+	if h.ObjectKey, err = r.ReadString(); err != nil {
+		return h, nil, fmt.Errorf("giop: object key: %w", err)
+	}
+	if h.Operation, err = r.ReadString(); err != nil {
+		return h, nil, fmt.Errorf("giop: operation: %w", err)
+	}
+	if err := alignReader(r, 8); err != nil {
+		return h, nil, err
+	}
+	return h, r, nil
+}
+
+// ReplyHeader is the GIOP Reply header.
+type ReplyHeader struct {
+	RequestID uint32
+	Status    ReplyStatus
+}
+
+// BeginReply encodes the reply header into a fresh CDR writer; the caller
+// appends results (or the exception string) and frames the result.
+func BeginReply(order cdr.ByteOrder, h ReplyHeader) *cdr.Writer {
+	w := cdr.NewWriter(order)
+	w.WriteULong(h.RequestID)
+	w.WriteULong(uint32(h.Status))
+	w.Align(8)
+	return w
+}
+
+// ParseReply decodes a Reply body, returning the header and a reader
+// positioned at the results.
+func ParseReply(order cdr.ByteOrder, body []byte) (ReplyHeader, *cdr.Reader, error) {
+	r := cdr.NewReader(body, order)
+	var h ReplyHeader
+	id, err := r.ReadULong()
+	if err != nil {
+		return h, nil, fmt.Errorf("giop: reply id: %w", err)
+	}
+	st, err := r.ReadULong()
+	if err != nil {
+		return h, nil, fmt.Errorf("giop: reply status: %w", err)
+	}
+	h.RequestID, h.Status = id, ReplyStatus(st)
+	if err := alignReader(r, 8); err != nil {
+		return h, nil, err
+	}
+	return h, r, nil
+}
+
+// alignReader skips padding up to an n-byte boundary (tolerating end of
+// stream for bodies with no payload after the header).
+func alignReader(r *cdr.Reader, n int) error {
+	for r.Pos()%n != 0 && r.Remaining() > 0 {
+		if _, err := r.ReadOctet(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

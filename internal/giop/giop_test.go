@@ -1,0 +1,115 @@
+package giop
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"padico/internal/cdr"
+)
+
+func TestMessageFramingBothOrders(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		var buf bytes.Buffer
+		body := []byte("hello giop")
+		if err := WriteMessage(&buf, Request, order, body); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		typ, gotOrder, gotBody, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if typ != Request || gotOrder != order || !bytes.Equal(gotBody, body) {
+			t.Fatalf("roundtrip = %v, %v, %q", typ, gotOrder, gotBody)
+		}
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, CloseConnection, cdr.BigEndian, nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	typ, _, body, err := ReadMessage(&buf)
+	if err != nil || typ != CloseConnection || len(body) != 0 {
+		t.Fatalf("roundtrip = %v, %v, %v", typ, body, err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	buf := bytes.NewBuffer([]byte("IIOP\x01\x02\x00\x00\x00\x00\x00\x00"))
+	if _, _, _, err := ReadMessage(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{'G', 'I', 'O', 'P', 9, 0, 0, byte(Request), 0, 0, 0, 0})
+	if _, _, _, err := ReadMessage(buf); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedHeaderAndBody(t *testing.T) {
+	if _, _, _, err := ReadMessage(bytes.NewBuffer([]byte("GIO"))); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	var buf bytes.Buffer
+	_ = WriteMessage(&buf, Reply, cdr.BigEndian, []byte("full body"))
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, _, err := ReadMessage(bytes.NewReader(short)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated body err = %v", err)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	hdr := []byte{'G', 'I', 'O', 'P', 1, 2, 0, byte(Request), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversize body accepted")
+	}
+}
+
+func TestRequestHeaderRoundtrip(t *testing.T) {
+	h := RequestHeader{RequestID: 77, ResponseExpected: true, ObjectKey: "obj-1", Operation: "doIt"}
+	w := BeginRequest(cdr.LittleEndian, h)
+	w.WriteDouble(3.5) // argument after the 8-byte alignment point
+	got, args, err := ParseRequest(cdr.LittleEndian, w.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != h {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	if v, err := args.ReadDouble(); err != nil || v != 3.5 {
+		t.Fatalf("arg = %v, %v", v, err)
+	}
+}
+
+func TestReplyHeaderRoundtrip(t *testing.T) {
+	for _, st := range []ReplyStatus{NoException, UserException, SystemException} {
+		w := BeginReply(cdr.BigEndian, ReplyHeader{RequestID: 9, Status: st})
+		w.WriteString("payload")
+		h, rest, err := ParseReply(cdr.BigEndian, w.Bytes())
+		if err != nil || h.RequestID != 9 || h.Status != st {
+			t.Fatalf("reply = %+v, %v", h, err)
+		}
+		if s, err := rest.ReadString(); err != nil || s != "payload" {
+			t.Fatalf("rest = %q, %v", s, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, _, err := ParseRequest(cdr.BigEndian, []byte{1}); err == nil {
+		t.Error("truncated request parsed")
+	}
+	if _, _, err := ParseReply(cdr.BigEndian, []byte{1, 2, 3}); err == nil {
+		t.Error("truncated reply parsed")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if Request.String() != "Request" || MsgType(99).String() == "" {
+		t.Error("MsgType.String broken")
+	}
+}

@@ -1,0 +1,546 @@
+package gridccm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/idl"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+const portIDL = `
+module Coupling {
+    typedef sequence<double> Vector;
+    interface Transport {
+        void setDensity(in Vector density, in double dt);
+        void tick();
+        long status();
+    };
+};
+`
+
+const parallelXML = `
+<parallel component="TransportComp">
+  <port name="sim">
+    <operation name="setDensity">
+      <argument name="density" distribution="block"/>
+      <argument name="dt" distribution="replicated"/>
+    </operation>
+    <operation name="tick"/>
+  </port>
+</parallel>`
+
+// testGrid holds a simulated grid with one ORB+linker per node.
+type testGrid struct {
+	sim     *vtime.Sim
+	arb     *arbitration.Arbiter
+	nodes   []*simnet.Node
+	orbs    []*orb.ORB
+	linkers []*vlink.Linker
+}
+
+func newTestGrid(t *testing.T, n int, profile simnet.ORBProfile) *testGrid {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	g := &testGrid{sim: s}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, net.NewNode(fmt.Sprintf("n%d", i)))
+	}
+	g.arb = arbitration.New(net)
+	if _, err := g.arb.AddSAN(net.NewMyrinet2000("myri0", g.nodes)); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range g.nodes {
+		ln := vlink.NewLinker(g.arb, nd)
+		g.linkers = append(g.linkers, ln)
+		repo := idl.NewRepository()
+		repo.MustParse(portIDL)
+		o, err := orb.New(orb.Config{
+			Transport: orb.VLinkTransport{Linker: ln},
+			Repo:      repo, Profile: profile, Runtime: s, Node: nd,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.orbs = append(g.orbs, o)
+	}
+	return g
+}
+
+func (g *testGrid) close() {
+	for _, o := range g.orbs {
+		o.Shutdown()
+	}
+	for _, ln := range g.linkers {
+		ln.Close()
+	}
+	g.arb.Close()
+}
+
+// transportImpl records what the user servant received on each member.
+type transportImpl struct {
+	mu      sync.Mutex
+	rank    int
+	got     []float64
+	dt      float64
+	ticks   int
+	comm    *mpi.Comm // nil for 1-member groups
+	barrier bool      // run an MPI barrier inside the op (Figure 8 workload)
+}
+
+func (ti *transportImpl) Invoke(op string, args []any) ([]any, error) {
+	switch op {
+	case "setDensity":
+		ti.mu.Lock()
+		ti.got = args[0].([]float64)
+		ti.dt = args[1].(float64)
+		ti.mu.Unlock()
+		if ti.barrier && ti.comm != nil {
+			if err := ti.comm.Barrier(); err != nil {
+				return nil, err
+			}
+		}
+		return []any{}, nil
+	case "tick":
+		ti.mu.Lock()
+		ti.ticks++
+		ti.mu.Unlock()
+		if ti.barrier && ti.comm != nil {
+			if err := ti.comm.Barrier(); err != nil {
+				return nil, err
+			}
+		}
+		return []any{}, nil
+	case "status":
+		ti.mu.Lock()
+		defer ti.mu.Unlock()
+		return []any{int32(ti.ticks)}, nil
+	default:
+		return nil, &orb.SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+}
+
+// deployParallel spins up a parallel component over serverNodes and a
+// parallel client over clientNodes, returning per-member refs and impls.
+// Runs inside the simulation.
+func deployParallel(t *testing.T, g *testGrid, clientIdx, serverIdx []int, barrier bool) ([]*ParallelRef, []*transportImpl) {
+	t.Helper()
+	desc, err := ParseParallelDesc([]byte(parallelXML))
+	if err != nil {
+		t.Fatalf("desc: %v", err)
+	}
+	port, _ := desc.Port("sim")
+
+	nServers := len(serverIdx)
+	impls := make([]*transportImpl, nServers)
+	servedCh := make(chan *ServedParallel, nServers)
+
+	var serverNodes []*simnet.Node
+	for _, i := range serverIdx {
+		serverNodes = append(serverNodes, g.nodes[i])
+	}
+	wg := vtime.NewWaitGroup(g.sim, "serve")
+	for r := 0; r < nServers; r++ {
+		wg.Add(1)
+		g.sim.Go("server-member", func() {
+			defer wg.Done()
+			var comm *mpi.Comm
+			if nServers > 1 {
+				var err error
+				comm, err = mpi.Join(g.arb, "srv", serverNodes, r)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					return
+				}
+			}
+			impl := &transportImpl{rank: r, comm: comm, barrier: barrier}
+			impls[r] = impl
+			m := Member{ORB: g.orbs[serverIdx[r]], Comm: comm, Rank: r, Size: nServers, Node: g.nodes[serverIdx[r]]}
+			served, err := Serve(m, "transport", "Coupling::Transport", port, impl)
+			if err != nil {
+				t.Errorf("serve: %v", err)
+				return
+			}
+			servedCh <- served
+		})
+	}
+	if err := wg.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	served := <-servedCh
+
+	nClients := len(clientIdx)
+	refs := make([]*ParallelRef, nClients)
+	var clientNodes []*simnet.Node
+	for _, i := range clientIdx {
+		clientNodes = append(clientNodes, g.nodes[i])
+	}
+	wg2 := vtime.NewWaitGroup(g.sim, "bind")
+	for r := 0; r < nClients; r++ {
+		wg2.Add(1)
+		g.sim.Go("client-member", func() {
+			defer wg2.Done()
+			var comm *mpi.Comm
+			if nClients > 1 {
+				var err error
+				comm, err = mpi.Join(g.arb, "cli", clientNodes, r)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					return
+				}
+			}
+			m := Member{ORB: g.orbs[clientIdx[r]], Comm: comm, Rank: r, Size: nClients, Node: g.nodes[clientIdx[r]]}
+			ref, err := Bind(m, "chemClient", "Coupling::Transport", port, served.Derived)
+			if err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			refs[r] = ref
+		})
+	}
+	if err := wg2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return refs, impls
+}
+
+// invokeAll performs one collective invocation from every client member,
+// each holding its block of a vector 0..total-1.
+func invokeAll(t *testing.T, g *testGrid, refs []*ParallelRef, total int, dt float64) {
+	t.Helper()
+	nc := len(refs)
+	wg := vtime.NewWaitGroup(g.sim, "invoke")
+	for r := 0; r < nc; r++ {
+		wg.Add(1)
+		g.sim.Go("invoker", func() {
+			defer wg.Done()
+			lo, hi := blockRange(total, nc, r)
+			chunk := make([]float64, hi-lo)
+			for i := range chunk {
+				chunk[i] = float64(lo + i)
+			}
+			err := refs[r].Invoke("setDensity", Distributed{Total: total, Chunk: chunk}, dt)
+			if err != nil {
+				t.Errorf("invoke rank %d: %v", r, err)
+			}
+		})
+	}
+	_ = wg.Wait()
+}
+
+func blockRange(total, parts, p int) (int, int) {
+	q, r := total/parts, total%parts
+	if p < r {
+		lo := p * (q + 1)
+		return lo, lo + q + 1
+	}
+	lo := r*(q+1) + (p-r)*q
+	return lo, lo + q
+}
+
+func checkAssembled(t *testing.T, impls []*transportImpl, total int, dt float64) {
+	t.Helper()
+	ns := len(impls)
+	for j, impl := range impls {
+		lo, hi := blockRange(total, ns, j)
+		impl.mu.Lock()
+		if len(impl.got) != hi-lo {
+			t.Errorf("server %d got %d elements, want %d", j, len(impl.got), hi-lo)
+			impl.mu.Unlock()
+			continue
+		}
+		for i, v := range impl.got {
+			if v != float64(lo+i) {
+				t.Errorf("server %d element %d = %v, want %v", j, i, v, float64(lo+i))
+				break
+			}
+		}
+		if impl.dt != dt {
+			t.Errorf("server %d dt = %v", j, impl.dt)
+		}
+		impl.mu.Unlock()
+	}
+}
+
+func TestParallelInvocationMtoN(t *testing.T) {
+	cases := []struct{ nc, ns int }{
+		{1, 1}, {2, 2}, {4, 4}, {2, 4}, {4, 2}, {3, 5}, {5, 3}, {1, 4}, {4, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%dto%d", tc.nc, tc.ns), func(t *testing.T) {
+			g := newTestGrid(t, tc.nc+tc.ns, simnet.Mico)
+			g.sim.Run(func() {
+				defer g.close()
+				clientIdx := make([]int, tc.nc)
+				serverIdx := make([]int, tc.ns)
+				for i := range clientIdx {
+					clientIdx[i] = i
+				}
+				for i := range serverIdx {
+					serverIdx[i] = tc.nc + i
+				}
+				refs, impls := deployParallel(t, g, clientIdx, serverIdx, false)
+				const total = 1003 // deliberately not divisible
+				invokeAll(t, g, refs, total, 0.25)
+				checkAssembled(t, impls, total, 0.25)
+			})
+		})
+	}
+}
+
+func TestParallelOpWithoutDistributedArg(t *testing.T) {
+	g := newTestGrid(t, 4, simnet.Mico)
+	g.sim.Run(func() {
+		defer g.close()
+		refs, impls := deployParallel(t, g, []int{0, 1}, []int{2, 3}, false)
+		wg := vtime.NewWaitGroup(g.sim, "tick")
+		for r := range refs {
+			wg.Add(1)
+			g.sim.Go("ticker", func() {
+				defer wg.Done()
+				if err := refs[r].Invoke("tick"); err != nil {
+					t.Errorf("tick rank %d: %v", r, err)
+				}
+			})
+		}
+		_ = wg.Wait()
+		for j, impl := range impls {
+			impl.mu.Lock()
+			if impl.ticks != 1 {
+				t.Errorf("server %d executed tick %d times, want exactly 1", j, impl.ticks)
+			}
+			impl.mu.Unlock()
+		}
+	})
+}
+
+func TestSequentialClientInterop(t *testing.T) {
+	// A standard CORBA client calls the unmodified original interface on
+	// member 0; the data still reaches every member.
+	g := newTestGrid(t, 3, simnet.Mico)
+	g.sim.Run(func() {
+		defer g.close()
+		desc, _ := ParseParallelDesc([]byte(parallelXML))
+		port, _ := desc.Port("sim")
+		impls := make([]*transportImpl, 2)
+		servedCh := make(chan *ServedParallel, 2)
+		serverNodes := []*simnet.Node{g.nodes[0], g.nodes[1]}
+		wg := vtime.NewWaitGroup(g.sim, "serve")
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			g.sim.Go("member", func() {
+				defer wg.Done()
+				comm, err := mpi.Join(g.arb, "srv", serverNodes, r)
+				if err != nil {
+					t.Errorf("join: %v", err)
+					return
+				}
+				impls[r] = &transportImpl{rank: r, comm: comm}
+				served, err := Serve(Member{
+					ORB: g.orbs[r], Comm: comm, Rank: r, Size: 2, Node: g.nodes[r],
+				}, "transport", "Coupling::Transport", port, impls[r])
+				if err != nil {
+					t.Errorf("serve: %v", err)
+					return
+				}
+				servedCh <- served
+			})
+		}
+		_ = wg.Wait()
+		served := <-servedCh
+
+		// Sequential client on node 2 uses the plain typed reference.
+		ref, err := g.orbs[2].Object(served.Sequential)
+		if err != nil {
+			t.Fatalf("object: %v", err)
+		}
+		data := make([]float64, 10)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		if _, err := ref.Invoke("setDensity", data, 0.5); err != nil {
+			t.Fatalf("sequential invoke: %v", err)
+		}
+		checkAssembled(t, impls, 10, 0.5)
+		// Non-parallel op routes to member 0's user servant.
+		if _, err := ref.Invoke("tick"); err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+		vals, err := ref.Invoke("status")
+		if err != nil || vals[0].(int32) != 1 {
+			t.Fatalf("status = %v, %v", vals, err)
+		}
+	})
+}
+
+func TestFigure8LatencyShape(t *testing.T) {
+	// Figure 8: latency 62/93/123/148 µs for 1/2/4/8 nodes a side with
+	// MicoCCM. Latency is defined as in the paper: the Mico-equivalent
+	// one-way latency plus coordination and the in-op MPI barrier —
+	// i.e. half the measured round trip of a minimal invocation.
+	want := map[int]time.Duration{
+		1: 62 * time.Microsecond,
+		2: 93 * time.Microsecond,
+		4: 123 * time.Microsecond,
+		8: 148 * time.Microsecond,
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("%dx%d", n, n), func(t *testing.T) {
+			g := newTestGrid(t, 2*n, simnet.Mico)
+			g.sim.Run(func() {
+				defer g.close()
+				clientIdx := make([]int, n)
+				serverIdx := make([]int, n)
+				for i := 0; i < n; i++ {
+					clientIdx[i], serverIdx[i] = i, n+i
+				}
+				refs, _ := deployParallel(t, g, clientIdx, serverIdx, true)
+				// Warm-up aligns members and establishes connections.
+				invokeAll(t, g, refs, n, 0)
+				const iters = 4
+				start := g.sim.Now()
+				for k := 0; k < iters; k++ {
+					invokeAll(t, g, refs, n, 0)
+				}
+				half := g.sim.Now().Sub(start) / (2 * iters)
+				w := want[n]
+				if half < w-w/10 || half > w+w/10 {
+					t.Errorf("n=%d: latency = %v, want %v ±10%%", n, half, w)
+				}
+			})
+		})
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad dist": `<parallel component="C"><port name="p">
+			<operation name="f"><argument name="x" distribution="diagonal"/></operation>
+		</port></parallel>`,
+		"dup op": `<parallel component="C"><port name="p">
+			<operation name="f"/><operation name="f"/>
+		</port></parallel>`,
+		"no component": `<parallel><port name="p"/></parallel>`,
+		"not xml":      `<<<`,
+	}
+	for name, src := range cases {
+		if _, err := ParseParallelDesc([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	d, err := ParseParallelDesc([]byte(parallelXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, ok := d.Port("sim")
+	if !ok {
+		t.Fatal("port sim missing")
+	}
+	op, ok := port.Op("setDensity")
+	if !ok || op.Arg("density") != "block" || op.Arg("dt") != "replicated" || op.Arg("ghost") != "replicated" {
+		t.Fatalf("op = %+v", op)
+	}
+	if _, ok := d.Port("nope"); ok {
+		t.Error("ghost port found")
+	}
+}
+
+func TestDeriveRejectsBadShapes(t *testing.T) {
+	repo := idl.NewRepository()
+	repo.MustParse(`
+		interface Bad1 { long f(in sequence<double> v); };
+		interface Bad2 { void g(out double x); };
+		interface Bad3 { void h(in double x); };
+		interface Bad4 { void k(in sequence<double> a, in sequence<double> b); };
+	`)
+	mk := func(op, arg string) *PortPar {
+		return &PortPar{Name: "p", Ops: []OpPar{{Name: op, Args: []ArgPar{{Name: arg, Dist: "block"}}}}}
+	}
+	for _, tc := range []struct{ iface, op, arg string }{
+		{"Bad1", "f", "v"}, // non-void
+		{"Bad2", "g", "x"}, // out param
+		{"Bad3", "h", "x"}, // non-sequence distributed
+	} {
+		iface, _ := repo.Interface(tc.iface)
+		if _, err := Derive(repo, iface, mk(tc.op, tc.arg)); err == nil {
+			t.Errorf("%s.%s accepted", tc.iface, tc.op)
+		}
+	}
+	// Two block args.
+	iface, _ := repo.Interface("Bad4")
+	port := &PortPar{Name: "p", Ops: []OpPar{{Name: "k", Args: []ArgPar{
+		{Name: "a", Dist: "block"}, {Name: "b", Dist: "block"}}}}}
+	if _, err := Derive(repo, iface, port); err == nil {
+		t.Error("two block args accepted")
+	}
+	// Unknown op.
+	if _, err := Derive(repo, iface, mk("ghost", "a")); err == nil {
+		t.Error("ghost op accepted")
+	}
+}
+
+func TestDerivedInterfaceShape(t *testing.T) {
+	repo := idl.NewRepository()
+	repo.MustParse(portIDL)
+	iface, _ := repo.Interface("Coupling::Transport")
+	desc, _ := ParseParallelDesc([]byte(parallelXML))
+	port, _ := desc.Port("sim")
+	derived, err := Derive(repo, iface, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Name != "Coupling::Transport_gccm" {
+		t.Fatalf("derived name = %s", derived.Name)
+	}
+	op, ok := derived.Op("setDensity")
+	if !ok {
+		t.Fatal("derived setDensity missing")
+	}
+	// view, total, density_chunk, dt
+	if len(op.Params) != 4 || op.Params[0].Name != "view" ||
+		op.Params[1].Name != "total" || op.Params[2].Name != "density_chunk" ||
+		op.Params[3].Name != "dt" {
+		t.Fatalf("derived params = %v", op.Params)
+	}
+	if op.Params[2].Type.Kind != idl.KindSequence {
+		t.Fatalf("chunk type = %v", op.Params[2].Type)
+	}
+	idlText := RenderIDL(derived)
+	for _, want := range []string{"struct View", "setDensity", "density_chunk", "GridCCM"} {
+		if !strings.Contains(idlText, want) {
+			t.Errorf("rendered IDL missing %q:\n%s", want, idlText)
+		}
+	}
+}
+
+func TestInvokeValidation(t *testing.T) {
+	g := newTestGrid(t, 2, simnet.Mico)
+	g.sim.Run(func() {
+		defer g.close()
+		refs, _ := deployParallel(t, g, []int{0}, []int{1}, false)
+		ref := refs[0]
+		if err := ref.Invoke("status"); err == nil {
+			t.Error("non-parallel op through parallel ref succeeded")
+		}
+		if err := ref.Invoke("setDensity", []float64{1}, 0.1); err == nil {
+			t.Error("raw slice (not Distributed) accepted")
+		}
+		if err := ref.Invoke("setDensity", Distributed{Total: 10, Chunk: make([]float64, 3)}, 0.1); err == nil {
+			t.Error("wrong chunk size accepted")
+		}
+		if err := ref.Invoke("setDensity", Distributed{Total: 1, Chunk: []float64{1}}); err == nil {
+			t.Error("wrong arity accepted")
+		}
+	})
+}

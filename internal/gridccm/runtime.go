@@ -1,0 +1,510 @@
+package gridccm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"padico/internal/cdr"
+	"padico/internal/idl"
+	"padico/internal/mpi"
+	"padico/internal/orb"
+	"padico/internal/redistrib"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// Member identifies one SPMD member of a parallel component: its process's
+// ORB and the component-internal MPI communicator. A sequential component
+// is a 1-member parallel component with a nil communicator.
+type Member struct {
+	ORB  *orb.ORB
+	Comm *mpi.Comm // nil allowed when Size == 1
+	Rank int
+	Size int
+	Node *simnet.Node // nil under the wall clock
+}
+
+func (m Member) charge(c simnet.Cost, bytes int) {
+	if m.Node != nil {
+		m.Node.Charge(c, bytes)
+	}
+}
+
+// syncRounds is the dissemination-barrier depth of the member group.
+func (m Member) syncRounds() int {
+	r := 0
+	for p := 1; p < m.Size; p *= 2 {
+		r++
+	}
+	return r
+}
+
+// sync is the GridCCM coordination step run before and after each parallel
+// invocation: an MPI barrier plus the layer's per-round bookkeeping.
+func (m Member) sync() error {
+	if m.Size <= 1 || m.Comm == nil {
+		return nil
+	}
+	rounds := m.syncRounds()
+	m.charge(simnet.GridCCMRoundCost, 0)
+	for i := 1; i < rounds; i++ {
+		m.charge(simnet.GridCCMRoundCost, 0)
+	}
+	return m.Comm.Barrier()
+}
+
+// ServedParallel is the result of serving a parallel component: the derived
+// (internal) references of every member plus the sequential-interoperability
+// reference on member 0.
+type ServedParallel struct {
+	Derived    []orb.IOR
+	Sequential orb.IOR
+}
+
+// Serve activates the GridCCM server-side layer on this member: the derived
+// interface on every member, and on member 0 the unmodified original
+// interface so standard sequential CORBA clients interoperate. Every member
+// must call Serve concurrently (SPMD).
+func Serve(m Member, key, ifaceName string, port *PortPar, user orb.Servant) (*ServedParallel, error) {
+	repo := m.ORB.Repo()
+	iface, ok := repo.Interface(ifaceName)
+	if !ok {
+		return nil, fmt.Errorf("gridccm: unknown interface %q", ifaceName)
+	}
+	derived, err := Derive(repo, iface, port)
+	if err != nil {
+		return nil, err
+	}
+	layer := &serverLayer{
+		m:       m,
+		iface:   iface,
+		port:    port,
+		user:    user,
+		pending: make(map[string]*gather),
+	}
+	myIOR, err := m.ORB.Activate(key+"!par", derived.Name, layer)
+	if err != nil {
+		return nil, err
+	}
+	// Exchange member references.
+	all := []orb.IOR{myIOR}
+	if m.Size > 1 {
+		gathered, err := m.Comm.Allgather([]byte(myIOR.String()))
+		if err != nil {
+			return nil, err
+		}
+		all = make([]orb.IOR, m.Size)
+		for i, b := range gathered {
+			ior, err := orb.ParseIOR(string(b))
+			if err != nil {
+				return nil, err
+			}
+			all[i] = ior
+		}
+	}
+	served := &ServedParallel{
+		Derived:    all,
+		Sequential: orb.IOR{Node: all[0].Node, Key: key, Iface: ifaceName},
+	}
+	// Member 0 bridges sequential clients: it accepts the original
+	// interface and becomes a one-member client of the parallel group.
+	if m.Rank == 0 {
+		bridgeRef, err := Bind(
+			Member{ORB: m.ORB, Rank: 0, Size: 1, Node: m.Node},
+			key+"!seq", ifaceName, port, all)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.ORB.Activate(key, ifaceName, &seqBridge{
+			iface: iface, port: port, par: bridgeRef, user: user,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return served, nil
+}
+
+// serverLayer is the GridCCM interposition layer on the server side: it
+// reassembles distributed arguments from client chunks and invokes the user
+// servant exactly once per member per request.
+type serverLayer struct {
+	m     Member
+	iface *idl.Interface
+	port  *PortPar
+	user  orb.Servant
+
+	mu      sync.Mutex
+	pending map[string]*gather
+}
+
+type gather struct {
+	need    int
+	have    int
+	buf     any   // assembled local block of the distributed argument
+	repl    []any // replicated arguments (from any chunk; identical)
+	waiters []vtime.Waiter
+	done    bool
+	err     error
+}
+
+func (s *serverLayer) Invoke(op string, args []any) ([]any, error) {
+	opPar, ok := s.port.Op(op)
+	if !ok {
+		return nil, &orb.SystemException{Msg: "BAD_OPERATION: " + op + " (not parallel)"}
+	}
+	origOp, _ := s.iface.Op(op)
+	view, ok := args[0].(map[string]any)
+	if !ok {
+		return nil, &orb.SystemException{Msg: "MARSHAL: missing GridCCM view"}
+	}
+	clientID, _ := view["client"].(string)
+	reqID, _ := view["reqId"].(uint32)
+	clientRank := int(view["clientRank"].(uint32))
+	clientCount := int(view["clientCount"].(uint32))
+	total := int(args[1].(uint32))
+
+	// Recover the chunk and replicated arguments from the derived
+	// signature: view, total, then parameters in original order.
+	distIdx := -1
+	var chunk any
+	var repl []any
+	ai := 2
+	for _, p := range origOp.Params {
+		if opPar.Arg(p.Name) == "block" {
+			distIdx = len(repl) // position within the original arg list
+			chunk = args[ai]
+		} else {
+			repl = append(repl, args[ai])
+		}
+		ai++
+	}
+
+	ns := s.m.Size
+	plan, tr, err := invocationPlan(total, clientCount, ns, distIdx >= 0, clientRank, s.m.Rank)
+	if err != nil {
+		return nil, &orb.SystemException{Msg: err.Error()}
+	}
+	need := len(redistrib.Incoming(plan, s.m.Rank))
+
+	key := fmt.Sprintf("%s/%d/%s", clientID, reqID, op)
+	s.mu.Lock()
+	g, exists := s.pending[key]
+	if !exists {
+		g = &gather{need: need}
+		if distIdx >= 0 {
+			myLen := redistrib.NewBlock(total, ns).Count(s.m.Rank)
+			g.buf = seqMake(chunk, myLen)
+		}
+		s.pending[key] = g
+	}
+	g.repl = repl
+	if distIdx >= 0 && tr != nil {
+		myLo := blockLo(total, ns, s.m.Rank)
+		if err := seqCopyAt(g.buf, tr.Lo-myLo, chunk); err != nil {
+			s.mu.Unlock()
+			return nil, &orb.SystemException{Msg: err.Error()}
+		}
+	}
+	g.have++
+	ready := g.have == g.need
+	if !ready {
+		waiter := newWaiter(s.m, "gridccm: awaiting sibling chunks "+key)
+		g.waiters = append(g.waiters, waiter)
+		s.mu.Unlock()
+		if err := waiter.Wait(); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		err := g.err
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return []any{}, nil
+	}
+	s.mu.Unlock()
+
+	// Last chunk arrived: build the user arguments and upcall once.
+	userArgs := make([]any, 0, len(origOp.Params))
+	ri := 0
+	for _, p := range origOp.Params {
+		if opPar.Arg(p.Name) == "block" {
+			if g.buf == nil {
+				g.buf = seqMake(nil, 0)
+			}
+			userArgs = append(userArgs, g.buf)
+		} else {
+			userArgs = append(userArgs, g.repl[ri])
+			ri++
+		}
+	}
+	_, uerr := s.user.Invoke(op, userArgs)
+
+	s.mu.Lock()
+	g.done = true
+	g.err = uerr
+	ws := g.waiters
+	delete(s.pending, key)
+	s.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+	if uerr != nil {
+		return nil, uerr
+	}
+	return []any{}, nil
+}
+
+// invocationPlan computes the redistribution schedule of one invocation and
+// this pair's transfer. Without a distributed argument (or with an empty
+// one) the "plan" spreads one virtual token per server over the clients, so
+// every member still executes the operation exactly once.
+func invocationPlan(total, nc, ns int, hasDist bool, from, to int) ([]redistrib.Transfer, *redistrib.Transfer, error) {
+	if !hasDist || total == 0 {
+		plan, err := redistrib.Schedule(redistrib.NewBlock(ns, nc), redistrib.NewBlock(ns, ns))
+		if err != nil {
+			return nil, nil, err
+		}
+		return plan, nil, nil
+	}
+	plan, err := redistrib.Schedule(redistrib.NewBlock(total, nc), redistrib.NewBlock(total, ns))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range plan {
+		if plan[i].From == from && plan[i].To == to {
+			return plan, &plan[i], nil
+		}
+	}
+	return plan, nil, nil
+}
+
+func blockLo(total, parts, p int) int {
+	rs := redistrib.NewBlock(total, parts).OwnedRanges(p)
+	if len(rs) == 0 {
+		return 0
+	}
+	return rs[0].Lo
+}
+
+// newWaiter allocates a runtime waiter for the member's ORB runtime.
+func newWaiter(m Member, reason string) vtime.Waiter {
+	return m.runtime().NewWaiter(reason)
+}
+
+func (m Member) runtime() vtime.Runtime { return m.ORB.Runtime() }
+
+// seqBridge serves the unmodified original interface on member 0 for
+// sequential clients: parallel operations are re-entered through a
+// one-member client layer (scattering the full argument over the group);
+// other operations go straight to the user servant.
+type seqBridge struct {
+	iface *idl.Interface
+	port  *PortPar
+	par   *ParallelRef
+	user  orb.Servant
+}
+
+func (b *seqBridge) Invoke(op string, args []any) ([]any, error) {
+	opPar, ok := b.port.Op(op)
+	if !ok {
+		return b.user.Invoke(op, args)
+	}
+	origOp, _ := b.iface.Op(op)
+	wrapped := make([]any, len(args))
+	for i, p := range origOp.Params {
+		if opPar.Arg(p.Name) == "block" {
+			n, isSeq := orb.SeqLen(args[i])
+			if !isSeq {
+				return nil, &orb.SystemException{Msg: "MARSHAL: distributed arg is not a sequence"}
+			}
+			wrapped[i] = Distributed{Total: n, Chunk: args[i]}
+		} else {
+			wrapped[i] = args[i]
+		}
+	}
+	if err := b.par.Invoke(op, wrapped...); err != nil {
+		return nil, err
+	}
+	return []any{}, nil
+}
+
+// ParallelRef is the client-side GridCCM layer: a parallel reference to a
+// parallel component. All client members invoke collectively; distributed
+// arguments are passed as Distributed{Total, local chunk}.
+type ParallelRef struct {
+	m        Member
+	clientID string
+	iface    *idl.Interface
+	port     *PortPar
+	refs     []*orb.ObjRef
+
+	mu  sync.Mutex
+	seq uint32
+}
+
+// Bind builds this member's parallel reference from the served component's
+// derived member references.
+func Bind(m Member, clientID, ifaceName string, port *PortPar, derived []orb.IOR) (*ParallelRef, error) {
+	repo := m.ORB.Repo()
+	iface, ok := repo.Interface(ifaceName)
+	if !ok {
+		return nil, fmt.Errorf("gridccm: unknown interface %q", ifaceName)
+	}
+	if _, err := Derive(repo, iface, port); err != nil {
+		return nil, err
+	}
+	p := &ParallelRef{m: m, clientID: clientID, iface: iface, port: port}
+	for _, ior := range derived {
+		ref, err := m.ORB.Object(ior)
+		if err != nil {
+			return nil, err
+		}
+		p.refs = append(p.refs, ref)
+	}
+	if len(p.refs) == 0 {
+		return nil, errors.New("gridccm: no server members")
+	}
+	return p, nil
+}
+
+// Servers returns the number of server members.
+func (p *ParallelRef) Servers() int { return len(p.refs) }
+
+// Invoke performs one SPMD-collective parallel invocation. Every client
+// member calls it with the same operation; block-distributed arguments are
+// wrapped in Distributed carrying this member's local chunk.
+func (p *ParallelRef) Invoke(op string, args ...any) error {
+	opPar, ok := p.port.Op(op)
+	if !ok {
+		return fmt.Errorf("gridccm: operation %q is not parallel; use the sequential reference", op)
+	}
+	origOp, ok := p.iface.Op(op)
+	if !ok {
+		return fmt.Errorf("gridccm: unknown operation %q", op)
+	}
+	if len(args) != len(origOp.Params) {
+		return fmt.Errorf("gridccm: %s takes %d arguments, got %d", op, len(origOp.Params), len(args))
+	}
+	// Pre-invocation coordination across client members.
+	if err := p.m.sync(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.seq++
+	reqID := p.seq
+	p.mu.Unlock()
+
+	// Locate the distributed argument.
+	var dist *Distributed
+	var distParam *idl.Param
+	var repl []any
+	for i := range origOp.Params {
+		param := &origOp.Params[i]
+		if opPar.Arg(param.Name) == "block" {
+			d, ok := args[i].(Distributed)
+			if !ok {
+				return fmt.Errorf("gridccm: argument %q of %s must be a gridccm.Distributed", param.Name, op)
+			}
+			dist = &d
+			distParam = param
+		} else {
+			repl = append(repl, args[i])
+		}
+	}
+
+	nc, ns := p.m.Size, len(p.refs)
+	total := 0
+	if dist != nil {
+		total = dist.Total
+		n, isSeq := orb.SeqLen(dist.Chunk)
+		if !isSeq {
+			return fmt.Errorf("gridccm: chunk of %s is not a sequence", op)
+		}
+		want := redistrib.NewBlock(total, nc).Count(p.m.Rank)
+		if n != want {
+			return fmt.Errorf("gridccm: member %d holds %d elements of %q, block layout expects %d",
+				p.m.Rank, n, distParam.Name, want)
+		}
+		// The layer builds the distributed view of the argument: one
+		// copy, plus the redistribution pass when real fragmentation
+		// happens (more than one member on either side).
+		bytes := chunkWireBytes(distParam.Type.Elem, dist.Chunk)
+		perByte := simnet.GridCCMViewCost.PerByte
+		if nc > 1 || ns > 1 {
+			levels := math.Log2(float64(max(nc, ns)))
+			perByte += simnet.GridCCMRedistCost.PerByte + simnet.GridCCMLevelPerByte*levels
+		}
+		p.m.charge(simnet.Cost{PerByte: perByte}, bytes)
+	}
+
+	plan, _, err := invocationPlan(total, nc, ns, dist != nil, 0, 0)
+	if err != nil {
+		return err
+	}
+	view := map[string]any{
+		"client":      p.clientID,
+		"reqId":       reqID,
+		"clientRank":  uint32(p.m.Rank),
+		"clientCount": uint32(nc),
+	}
+
+	// Fire this member's fragments concurrently (one per target server).
+	myLo := blockLo(total, nc, p.m.Rank)
+	outs := redistrib.Outgoing(plan, p.m.Rank)
+	errs := make([]error, len(outs))
+	wg := vtime.NewWaitGroup(p.m.runtime(), "gridccm: fragments of "+op)
+	for k, tr := range outs {
+		wg.Add(1)
+		p.m.runtime().Go("gridccm:frag", func() {
+			defer wg.Done()
+			derivedArgs := []any{view, uint32(total)}
+			if dist != nil {
+				sub, err := seqSlice(dist.Chunk, tr.Lo-myLo, tr.Hi-myLo)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				derivedArgs = append(derivedArgs, sub)
+			}
+			derivedArgs = append(derivedArgs, repl...)
+			_, err := p.refs[tr.To].Invoke(op, derivedArgs...)
+			errs[k] = err
+		})
+	}
+	if err := wg.Wait(); err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	// Post-invocation coordination.
+	return p.m.sync()
+}
+
+// chunkWireBytes estimates the wire size of a chunk for cost accounting.
+func chunkWireBytes(elem *idl.Type, chunk any) int {
+	n, _ := orb.SeqLen(chunk)
+	switch elem.Kind {
+	case idl.KindOctet, idl.KindBool:
+		return n
+	case idl.KindShort, idl.KindUShort:
+		return 2 * n
+	case idl.KindLong, idl.KindULong, idl.KindFloat, idl.KindEnum:
+		return 4 * n
+	case idl.KindLongLong, idl.KindULongLong, idl.KindDouble:
+		return 8 * n
+	default:
+		// Variable-size elements: measure by marshalling once (this is
+		// the view-construction copy the layer performs anyway).
+		w := cdr.NewWriter(cdr.BigEndian)
+		if err := orb.MarshalValue(w, idl.SequenceOf(elem), chunk); err != nil {
+			return n
+		}
+		return w.Len()
+	}
+}

@@ -1,0 +1,98 @@
+package gridccm
+
+import "fmt"
+
+// Typed sequence helpers covering the ORB's value mapping for sequences.
+
+// seqMake allocates a sequence of n elements with the same dynamic type as
+// the sample (defaulting to []any for a nil sample).
+func seqMake(like any, n int) any {
+	switch like.(type) {
+	case []byte:
+		return make([]byte, n)
+	case []float64:
+		return make([]float64, n)
+	case []int32:
+		return make([]int32, n)
+	case []string:
+		return make([]string, n)
+	default:
+		return make([]any, n)
+	}
+}
+
+// seqSlice returns chunk[lo:hi] preserving the dynamic type.
+func seqSlice(v any, lo, hi int) (any, error) {
+	switch xs := v.(type) {
+	case []byte:
+		if hi > len(xs) {
+			return nil, fmt.Errorf("gridccm: slice [%d:%d) beyond %d", lo, hi, len(xs))
+		}
+		return xs[lo:hi], nil
+	case []float64:
+		if hi > len(xs) {
+			return nil, fmt.Errorf("gridccm: slice [%d:%d) beyond %d", lo, hi, len(xs))
+		}
+		return xs[lo:hi], nil
+	case []int32:
+		if hi > len(xs) {
+			return nil, fmt.Errorf("gridccm: slice [%d:%d) beyond %d", lo, hi, len(xs))
+		}
+		return xs[lo:hi], nil
+	case []string:
+		if hi > len(xs) {
+			return nil, fmt.Errorf("gridccm: slice [%d:%d) beyond %d", lo, hi, len(xs))
+		}
+		return xs[lo:hi], nil
+	case []any:
+		if hi > len(xs) {
+			return nil, fmt.Errorf("gridccm: slice [%d:%d) beyond %d", lo, hi, len(xs))
+		}
+		return xs[lo:hi], nil
+	default:
+		return nil, fmt.Errorf("gridccm: %T is not a sequence", v)
+	}
+}
+
+// seqCopyAt copies src into dst starting at offset off.
+func seqCopyAt(dst any, off int, src any) error {
+	switch d := dst.(type) {
+	case []byte:
+		s, ok := src.([]byte)
+		if !ok || off+len(s) > len(d) {
+			return copyErr(dst, off, src)
+		}
+		copy(d[off:], s)
+	case []float64:
+		s, ok := src.([]float64)
+		if !ok || off+len(s) > len(d) {
+			return copyErr(dst, off, src)
+		}
+		copy(d[off:], s)
+	case []int32:
+		s, ok := src.([]int32)
+		if !ok || off+len(s) > len(d) {
+			return copyErr(dst, off, src)
+		}
+		copy(d[off:], s)
+	case []string:
+		s, ok := src.([]string)
+		if !ok || off+len(s) > len(d) {
+			return copyErr(dst, off, src)
+		}
+		copy(d[off:], s)
+	case []any:
+		s, ok := src.([]any)
+		if !ok || off+len(s) > len(d) {
+			return copyErr(dst, off, src)
+		}
+		copy(d[off:], s)
+	default:
+		return fmt.Errorf("gridccm: %T is not a sequence", dst)
+	}
+	return nil
+}
+
+func copyErr(dst any, off int, src any) error {
+	return fmt.Errorf("gridccm: cannot copy %T into %T at offset %d", src, dst, off)
+}

@@ -1,0 +1,316 @@
+// Package hla substitutes the Certi HLA (High Level Architecture) port of
+// §4.3.4: a distributed-simulation run-time infrastructure with
+// federations, publish/subscribe object attributes and time-stamp-ordered
+// delivery, running over VLink like every other distributed middleware on
+// PadicoTM.
+package hla
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// RTI is the run-time infrastructure process: it hosts federations and
+// routes attribute updates to subscribed federates in timestamp order.
+type RTI struct {
+	ln  *vlink.Linker
+	lst *vlink.Listener
+
+	mu   sync.Mutex
+	feds map[string]*federation
+}
+
+type federation struct {
+	name    string
+	members map[string]*memberConn
+	subs    map[string]map[string]bool // attribute class → member names
+	nextSeq uint64
+}
+
+type memberConn struct {
+	name string
+	st   vlink.Stream
+	wsem *vtime.Semaphore
+}
+
+// StartRTI serves the infrastructure on the linker's node.
+func StartRTI(ln *vlink.Linker) (*RTI, error) {
+	lst, err := ln.Listen("hla:rti")
+	if err != nil {
+		return nil, err
+	}
+	r := &RTI{ln: ln, lst: lst, feds: make(map[string]*federation)}
+	ln.Runtime().Go("hla:rti", func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			ln.Runtime().Go("hla:member", func() { r.serve(st) })
+		}
+	})
+	return r, nil
+}
+
+// Close stops the RTI.
+func (r *RTI) Close() { _ = r.lst.Close() }
+
+// Wire protocol: length-prefixed records
+//
+//	JOIN  'J' fed member
+//	SUB   'S' fed member class
+//	PUB   'P' fed member class timestamp(8B) payload
+//	EVT   'E' class timestamp(8B) payload      (RTI → federate)
+func (r *RTI) serve(st vlink.Stream) {
+	var fed *federation
+	var me *memberConn
+	defer func() {
+		st.Close()
+		if fed != nil && me != nil {
+			r.mu.Lock()
+			delete(fed.members, me.name)
+			r.mu.Unlock()
+		}
+	}()
+	for {
+		rec, err := readRecord(st)
+		if err != nil {
+			return
+		}
+		if len(rec) < 1 {
+			continue
+		}
+		r.chargeNode(len(rec))
+		switch rec[0] {
+		case 'J':
+			fields := splitRecord(rec[1:], 2)
+			if fields == nil {
+				return
+			}
+			r.mu.Lock()
+			f, ok := r.feds[fields[0]]
+			if !ok {
+				f = &federation{
+					name:    fields[0],
+					members: make(map[string]*memberConn),
+					subs:    make(map[string]map[string]bool),
+				}
+				r.feds[fields[0]] = f
+			}
+			me = &memberConn{name: fields[1], st: st,
+				wsem: vtime.NewSemaphore(r.ln.Runtime(), "hla: member write", 1)}
+			f.members[fields[1]] = me
+			fed = f
+			r.mu.Unlock()
+		case 'S':
+			fields := splitRecord(rec[1:], 3)
+			if fields == nil || fed == nil {
+				return
+			}
+			r.mu.Lock()
+			if fed.subs[fields[2]] == nil {
+				fed.subs[fields[2]] = make(map[string]bool)
+			}
+			fed.subs[fields[2]][fields[1]] = true
+			r.mu.Unlock()
+		case 'P':
+			fields := splitRecord(rec[1:], 3)
+			if fields == nil || fed == nil || len(fields[2]) < 8 {
+				return
+			}
+			class := fields[1]
+			payload := fields[2]
+			r.mu.Lock()
+			var targets []*memberConn
+			for name := range fed.subs[class] {
+				if m, ok := fed.members[name]; ok && name != fields[0] {
+					targets = append(targets, m)
+				}
+			}
+			sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+			r.mu.Unlock()
+			evt := buildRecord('E', []byte(class), []byte(payload))
+			for _, m := range targets {
+				if err := m.wsem.Acquire(); err != nil {
+					continue
+				}
+				_, _ = m.st.Write(evt)
+				m.wsem.Release()
+			}
+		}
+	}
+}
+
+func (r *RTI) chargeNode(bytes int) {
+	if nd := r.ln.Node(); nd != nil {
+		nd.Charge(simnet.HLACost, bytes)
+	}
+}
+
+// Update is a received attribute reflection.
+type Update struct {
+	Class     string
+	Timestamp uint64
+	Data      []byte
+}
+
+// Federate is one member of a federation.
+type Federate struct {
+	ln   *vlink.Linker
+	st   vlink.Stream
+	wsem *vtime.Semaphore
+	name string
+	in   *vtime.Queue[Update]
+}
+
+// Join connects a federate to the RTI node's federation.
+func Join(ln *vlink.Linker, rtiNode *simnet.Node, federationName, memberName string) (*Federate, error) {
+	st, err := ln.Dial(rtiNode, "hla:rti")
+	if err != nil {
+		return nil, fmt.Errorf("hla: joining %s: %w", federationName, err)
+	}
+	f := &Federate{
+		ln:   ln,
+		st:   st,
+		wsem: vtime.NewSemaphore(ln.Runtime(), "hla: federate write", 1),
+		name: memberName,
+		in:   vtime.NewQueue[Update](ln.Runtime(), "hla: reflections for "+memberName),
+	}
+	if err := f.send('J', []byte(federationName), []byte(memberName), nil); err != nil {
+		st.Close()
+		return nil, err
+	}
+	ln.Runtime().Go("hla:federate:"+memberName, f.pump)
+	return f, nil
+}
+
+// Subscribe registers interest in an attribute class.
+func (f *Federate) Subscribe(class string) error {
+	return f.send('S', []byte(f.name), []byte(f.name), []byte(class))
+}
+
+// Publish sends a timestamped attribute update to subscribers.
+func (f *Federate) Publish(class string, timestamp uint64, data []byte) error {
+	payload := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(payload, timestamp)
+	copy(payload[8:], data)
+	return f.send('P', []byte(f.name), []byte(class), payload)
+}
+
+// Reflect blocks for the next update delivered to this federate.
+func (f *Federate) Reflect() (Update, error) {
+	u, err := f.in.Pop()
+	if err != nil {
+		return Update{}, errors.New("hla: federate resigned")
+	}
+	return u, nil
+}
+
+// Resign leaves the federation.
+func (f *Federate) Resign() {
+	f.st.Close()
+	f.in.Close()
+}
+
+func (f *Federate) pump() {
+	for {
+		rec, err := readRecord(f.st)
+		if err != nil {
+			f.in.Close()
+			return
+		}
+		if len(rec) < 1 || rec[0] != 'E' {
+			continue
+		}
+		fields := splitRecord(rec[1:], 2)
+		if fields == nil || len(fields[1]) < 8 {
+			continue
+		}
+		if nd := f.ln.Node(); nd != nil {
+			nd.Charge(simnet.HLACost, len(rec))
+		}
+		f.in.Push(Update{
+			Class:     fields[0],
+			Timestamp: binary.BigEndian.Uint64([]byte(fields[1])),
+			Data:      []byte(fields[1][8:]),
+		})
+	}
+}
+
+func (f *Federate) send(kind byte, a, b, c []byte) error {
+	if nd := f.ln.Node(); nd != nil {
+		nd.Charge(simnet.HLACost, len(a)+len(b)+len(c))
+	}
+	var rec []byte
+	switch kind {
+	case 'J':
+		rec = buildRecord('J', a, b)
+	case 'S':
+		rec = buildRecord('S', a, b, c)
+	case 'P':
+		rec = buildRecord('P', a, b, c)
+	}
+	if err := f.wsem.Acquire(); err != nil {
+		return err
+	}
+	defer f.wsem.Release()
+	_, err := f.st.Write(rec)
+	return err
+}
+
+// buildRecord frames kind + length-prefixed fields with an outer length.
+func buildRecord(kind byte, fields ...[]byte) []byte {
+	inner := []byte{kind}
+	for _, f := range fields {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(f)))
+		inner = append(inner, l[:]...)
+		inner = append(inner, f...)
+	}
+	out := make([]byte, 4+len(inner))
+	binary.BigEndian.PutUint32(out, uint32(len(inner)))
+	copy(out[4:], inner)
+	return out
+}
+
+func readRecord(st vlink.Stream) ([]byte, error) {
+	var l [4]byte
+	if _, err := io.ReadFull(st, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(l[:])
+	if n == 0 || n > 1<<28 {
+		return nil, errors.New("hla: bad record size")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// splitRecord parses n length-prefixed fields.
+func splitRecord(b []byte, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil
+		}
+		l := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil
+		}
+		out = append(out, string(b[:l]))
+		b = b[l:]
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package hla
+
+import (
+	"testing"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+func newFederationGrid(t *testing.T, n int) (*vtime.Sim, *arbitration.Arbiter, []*vlink.Linker, []*simnet.Node) {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	var nodes []*simnet.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, net.NewNode("h"+string(rune('0'+i))))
+	}
+	arb := arbitration.New(net)
+	if _, err := arb.AddSock(net.NewEthernet100("eth0", nodes)); err != nil {
+		t.Fatal(err)
+	}
+	var lns []*vlink.Linker
+	for _, nd := range nodes {
+		lns = append(lns, vlink.NewLinker(arb, nd))
+	}
+	return s, arb, lns, nodes
+}
+
+func TestPublishSubscribeReflect(t *testing.T) {
+	s, arb, lns, nodes := newFederationGrid(t, 3)
+	s.Run(func() {
+		defer arb.Close()
+		for _, ln := range lns {
+			defer ln.Close()
+		}
+		rti, err := StartRTI(lns[0])
+		if err != nil {
+			t.Fatalf("rti: %v", err)
+		}
+		defer rti.Close()
+
+		pub, err := Join(lns[1], nodes[0], "transportSim", "chemistry")
+		if err != nil {
+			t.Fatalf("join pub: %v", err)
+		}
+		sub, err := Join(lns[2], nodes[0], "transportSim", "visu")
+		if err != nil {
+			t.Fatalf("join sub: %v", err)
+		}
+		if err := sub.Subscribe("Density"); err != nil {
+			t.Fatalf("subscribe: %v", err)
+		}
+		s.Sleep(1_000_000) // let the subscription register
+		if err := pub.Publish("Density", 42, []byte{1, 2, 3}); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		u, err := sub.Reflect()
+		if err != nil {
+			t.Fatalf("reflect: %v", err)
+		}
+		if u.Class != "Density" || u.Timestamp != 42 || len(u.Data) != 3 {
+			t.Fatalf("update = %+v", u)
+		}
+		pub.Resign()
+		sub.Resign()
+		if _, err := sub.Reflect(); err == nil {
+			t.Fatal("reflect after resign succeeded")
+		}
+	})
+}
+
+func TestPublisherDoesNotEchoToItself(t *testing.T) {
+	s, arb, lns, nodes := newFederationGrid(t, 2)
+	s.Run(func() {
+		defer arb.Close()
+		for _, ln := range lns {
+			defer ln.Close()
+		}
+		rti, _ := StartRTI(lns[0])
+		defer rti.Close()
+		f, err := Join(lns[1], nodes[0], "fed", "solo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Resign()
+		if err := f.Subscribe("X"); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(1_000_000)
+		if err := f.Publish("X", 1, []byte("self")); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(2_000_000)
+		if got, ok := f.in.TryPop(); ok {
+			t.Fatalf("publisher reflected its own update: %+v", got)
+		}
+	})
+}
+
+func TestUnsubscribedClassNotDelivered(t *testing.T) {
+	s, arb, lns, nodes := newFederationGrid(t, 3)
+	s.Run(func() {
+		defer arb.Close()
+		for _, ln := range lns {
+			defer ln.Close()
+		}
+		rti, _ := StartRTI(lns[0])
+		defer rti.Close()
+		pub, _ := Join(lns[1], nodes[0], "fed", "p")
+		sub, _ := Join(lns[2], nodes[0], "fed", "s")
+		defer pub.Resign()
+		defer sub.Resign()
+		_ = sub.Subscribe("Wanted")
+		s.Sleep(1_000_000)
+		_ = pub.Publish("Unwanted", 5, []byte("no"))
+		_ = pub.Publish("Wanted", 6, []byte("yes"))
+		u, err := sub.Reflect()
+		if err != nil || u.Class != "Wanted" || string(u.Data) != "yes" {
+			t.Fatalf("update = %+v, %v", u, err)
+		}
+	})
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	rec := buildRecord('P', []byte("member"), []byte("class"), []byte{9, 9})
+	if rec[4] != 'P' {
+		t.Fatal("kind lost")
+	}
+	fields := splitRecord(rec[5:], 3)
+	if fields == nil || fields[0] != "member" || fields[1] != "class" || len(fields[2]) != 2 {
+		t.Fatalf("fields = %v", fields)
+	}
+	if splitRecord([]byte{0, 0}, 1) != nil {
+		t.Fatal("truncated record parsed")
+	}
+	if splitRecord([]byte{0, 0, 0, 9, 'x'}, 1) != nil {
+		t.Fatal("overlong field parsed")
+	}
+}

@@ -1,0 +1,269 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const exampleIDL = `
+// The paper's §2 code-coupling example.
+module Coupling {
+    typedef sequence<double> Vector;
+
+    struct Sample {
+        long step;
+        double time;
+        Vector values;
+    };
+
+    enum Phase { INIT, RUNNING, DONE };
+
+    interface Transport {
+        void setPorosity(in Vector porosity);
+        Vector step(in double dt, out long iterations);
+        readonly attribute Phase phase;
+    };
+
+    interface Chemistry : Transport {
+        oneway void log(in string message);
+        double density(in Sample s, inout Vector scratch);
+    };
+};
+`
+
+func parse(t *testing.T) *Repository {
+	t.Helper()
+	r := NewRepository()
+	if err := r.Parse(exampleIDL); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return r
+}
+
+func TestParseModuleAndTypes(t *testing.T) {
+	r := parse(t)
+	vec, ok := r.Type("Coupling::Vector")
+	if !ok || vec.Kind != KindSequence || vec.Elem.Kind != KindDouble {
+		t.Fatalf("Vector = %+v, %v", vec, ok)
+	}
+	st, ok := r.Type("Coupling::Sample")
+	if !ok || st.Kind != KindStruct || len(st.Fields) != 3 {
+		t.Fatalf("Sample = %+v", st)
+	}
+	if st.Fields[2].Name != "values" || st.Fields[2].Type.Kind != KindSequence {
+		t.Fatalf("Sample.values = %+v", st.Fields[2])
+	}
+	en, ok := r.Type("Coupling::Phase")
+	if !ok || en.Kind != KindEnum || len(en.Labels) != 3 || en.Labels[1] != "RUNNING" {
+		t.Fatalf("Phase = %+v", en)
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	r := parse(t)
+	tr, ok := r.Interface("Coupling::Transport")
+	if !ok {
+		t.Fatal("Transport not found")
+	}
+	set, ok := tr.Op("setPorosity")
+	if !ok || len(set.Params) != 1 || set.Params[0].Dir != In {
+		t.Fatalf("setPorosity = %+v", set)
+	}
+	if set.Params[0].Type.Kind != KindSequence {
+		t.Fatalf("setPorosity param type = %v", set.Params[0].Type)
+	}
+	step, _ := tr.Op("step")
+	if step.Result.Kind != KindSequence || len(step.Outs()) != 1 || len(step.Ins()) != 1 {
+		t.Fatalf("step = %v", step)
+	}
+	attr, ok := tr.Attr("phase")
+	if !ok || !attr.ReadOnly || attr.Type.Kind != KindEnum {
+		t.Fatalf("phase attr = %+v", attr)
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	r := parse(t)
+	ch, ok := r.Interface("Coupling::Chemistry")
+	if !ok {
+		t.Fatal("Chemistry not found")
+	}
+	if ch.Base != "Coupling::Transport" {
+		t.Fatalf("base = %q", ch.Base)
+	}
+	// Inherited op resolves through the chain.
+	if _, ok := ch.Op("setPorosity"); !ok {
+		t.Error("inherited op not found")
+	}
+	if _, ok := ch.Attr("phase"); !ok {
+		t.Error("inherited attr not found")
+	}
+	if _, ok := ch.Op("nonexistent"); ok {
+		t.Error("ghost op found")
+	}
+	all := ch.AllOps()
+	if len(all) != 4 { // setPorosity, step, log, density
+		t.Fatalf("AllOps = %d ops", len(all))
+	}
+	lg, _ := ch.Op("log")
+	if !lg.Oneway {
+		t.Error("log not oneway")
+	}
+	den, _ := ch.Op("density")
+	if den.Params[1].Dir != InOut {
+		t.Errorf("density scratch dir = %v", den.Params[1].Dir)
+	}
+	if den.Params[0].Type.Kind != KindStruct {
+		t.Errorf("density sample kind = %v", den.Params[0].Type.Kind)
+	}
+}
+
+func TestInterfaceAsObjRefType(t *testing.T) {
+	r := NewRepository()
+	r.MustParse(`
+		interface Callback { void notify(in string what); };
+		interface Registry { void register(in Callback cb); };
+	`)
+	reg, _ := r.Interface("Registry")
+	op, _ := reg.Op("register")
+	if op.Params[0].Type.Kind != KindObjRef || op.Params[0].Type.Name != "Callback" {
+		t.Fatalf("callback param = %+v", op.Params[0].Type)
+	}
+}
+
+func TestAllPrimitiveTypes(t *testing.T) {
+	r := NewRepository()
+	r.MustParse(`
+		interface Prims {
+			void all(in boolean a, in octet b, in short c, in unsigned short d,
+			         in long e, in unsigned long f, in long long g,
+			         in unsigned long long h, in float i, in double j, in string k);
+		};
+	`)
+	p, _ := r.Interface("Prims")
+	op, _ := p.Op("all")
+	want := []Kind{KindBool, KindOctet, KindShort, KindUShort, KindLong,
+		KindULong, KindLongLong, KindULongLong, KindFloat, KindDouble, KindString}
+	for i, k := range want {
+		if op.Params[i].Type.Kind != k {
+			t.Errorf("param %d = %v, want %v", i, op.Params[i].Type.Kind, k)
+		}
+	}
+}
+
+func TestNestedSequences(t *testing.T) {
+	// The paper: "a 2D array can be mapped to a sequence of sequences".
+	r := NewRepository()
+	r.MustParse(`typedef sequence<sequence<double>> Matrix;
+		interface M { void set(in Matrix m); };`)
+	m, _ := r.Type("Matrix")
+	if m.Kind != KindSequence || m.Elem.Kind != KindSequence || m.Elem.Elem.Kind != KindDouble {
+		t.Fatalf("Matrix = %v", m)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined type":     `interface I { void f(in Missing x); };`,
+		"oneway non-void":    `interface I { oneway long f(in long x); };`,
+		"oneway with out":    `interface I { oneway void f(out long x); };`,
+		"bad direction":      `interface I { void f(long x); };`,
+		"unterminated":       `module M { struct S { long x; };`,
+		"garbage":            `$$$$`,
+		"unsigned float":     `interface I { void f(in unsigned float x); };`,
+		"unterminated block": `/* comment interface I {};`,
+		"readonly op":        `interface I { readonly void f(); };`,
+	}
+	for name, src := range cases {
+		r := NewRepository()
+		if err := r.Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestCommentsAndPragmas(t *testing.T) {
+	r := NewRepository()
+	r.MustParse(`
+		#include <orb.idl>
+		#pragma prefix "irisa.fr"
+		// line comment
+		/* block
+		   comment */
+		interface I { void f(); }; // trailing
+	`)
+	if _, ok := r.Interface("I"); !ok {
+		t.Fatal("interface lost among comments")
+	}
+}
+
+func TestMultipleParseCalls(t *testing.T) {
+	r := NewRepository()
+	r.MustParse(`module A { struct S { long x; }; };`)
+	// Second file references the first (include-style).
+	if err := r.Parse(`interface UsesS { void f(in A::S s); };`); err != nil {
+		t.Fatalf("cross-file reference: %v", err)
+	}
+	u, _ := r.Interface("UsesS")
+	op, _ := u.Op("f")
+	if op.Params[0].Type.Kind != KindStruct || op.Params[0].Type.Name != "A::S" {
+		t.Fatalf("param = %+v", op.Params[0].Type)
+	}
+}
+
+func TestScopedLookupInnerFirst(t *testing.T) {
+	r := NewRepository()
+	r.MustParse(`
+		struct T { long outer; };
+		module M {
+			struct T { double inner; };
+			interface I { void f(in T t); };
+		};
+	`)
+	i, _ := r.Interface("M::I")
+	op, _ := i.Op("f")
+	if op.Params[0].Type.Fields[0].Name != "inner" {
+		t.Fatalf("scoped lookup picked %+v", op.Params[0].Type)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := parse(t)
+	ch, _ := r.Interface("Coupling::Chemistry")
+	den, _ := ch.Op("density")
+	s := den.String()
+	for _, want := range []string{"double density(", "in Coupling::Sample s", "inout sequence<double> scratch"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("op string %q missing %q", s, want)
+		}
+	}
+	lg, _ := ch.Op("log")
+	if !strings.HasPrefix(lg.String(), "oneway void log(") {
+		t.Errorf("log string = %q", lg.String())
+	}
+}
+
+func TestProgrammaticRegistration(t *testing.T) {
+	r := NewRepository()
+	iface := &Interface{
+		Name: "NameService",
+		Ops: []*Operation{
+			{Name: "bind", Result: Basic(KindVoid), Params: []Param{
+				{Name: "name", Dir: In, Type: Basic(KindString)},
+				{Name: "ref", Dir: In, Type: Basic(KindString)},
+			}},
+		},
+	}
+	r.RegisterInterface(iface)
+	got, ok := r.Interface("NameService")
+	if !ok {
+		t.Fatal("registered interface not found")
+	}
+	if _, ok := got.Op("bind"); !ok {
+		t.Fatal("registered op not found")
+	}
+	r.RegisterType("Blob", SequenceOf(Basic(KindOctet)))
+	if tp, ok := r.Type("Blob"); !ok || tp.Elem.Kind != KindOctet {
+		t.Fatal("registered type not found")
+	}
+}

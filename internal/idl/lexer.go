@@ -1,0 +1,88 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokPunct // { } ( ) < > , ; :
+	tokScope // ::
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits IDL source into tokens, skipping // and /* */ comments and the
+// #pragma/#include lines real IDL files carry.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // preprocessor line: skip to newline
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("idl:%d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == ':' && i+1 < len(src) && src[i+1] == ':':
+			toks = append(toks, token{kind: tokScope, text: "::", line: line})
+			i += 2
+		case strings.ContainsRune("{}()<>,;:", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("idl:%d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,448 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse compiles IDL source into the repository. It may be called several
+// times; later files see earlier declarations (like an include path).
+func (r *Repository) Parse(src string) error {
+	toks, err := lex(src)
+	if err != nil {
+		return err
+	}
+	p := &parser{repo: r, toks: toks}
+	if err := p.spec(); err != nil {
+		return err
+	}
+	return p.resolveAll()
+}
+
+// MustParse is Parse panicking on error, for static IDL in tests/examples.
+func (r *Repository) MustParse(src string) {
+	if err := r.Parse(src); err != nil {
+		panic(err)
+	}
+}
+
+type parser struct {
+	repo  *Repository
+	toks  []token
+	pos   int
+	scope []string // module nesting
+
+	// named references pending resolution, with the scope they appeared in
+	unresolved []*pendingRef
+}
+
+type pendingRef struct {
+	t     *Type
+	scope []string
+	line  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("idl:%d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	if p.cur().text != text {
+		return p.errf("expected %q, got %s", text, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) qualify(name string) string {
+	if len(p.scope) == 0 {
+		return name
+	}
+	return strings.Join(p.scope, "::") + "::" + name
+}
+
+// spec := { module | definition }
+func (p *parser) spec() error {
+	for p.cur().kind != tokEOF {
+		if err := p.definition(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) definition() error {
+	switch p.cur().text {
+	case "module":
+		return p.module()
+	case "struct":
+		return p.structDecl()
+	case "interface":
+		return p.interfaceDecl()
+	case "typedef":
+		return p.typedefDecl()
+	case "enum":
+		return p.enumDecl()
+	default:
+		return p.errf("expected declaration, got %s", p.cur())
+	}
+}
+
+func (p *parser) module() error {
+	p.pos++ // module
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	p.scope = append(p.scope, name)
+	for p.cur().text != "}" {
+		if p.cur().kind == tokEOF {
+			return p.errf("unterminated module %s", name)
+		}
+		if err := p.definition(); err != nil {
+			return err
+		}
+	}
+	p.pos++ // }
+	p.scope = p.scope[:len(p.scope)-1]
+	return p.expect(";")
+}
+
+func (p *parser) structDecl() error {
+	p.pos++ // struct
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	st := &Type{Kind: KindStruct, Name: p.qualify(name)}
+	for p.cur().text != "}" {
+		ft, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		fname, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		st.Fields = append(st.Fields, Field{Name: fname, Type: ft})
+	}
+	p.pos++ // }
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.repo.types[st.Name] = st
+	return nil
+}
+
+func (p *parser) enumDecl() error {
+	p.pos++ // enum
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	et := &Type{Kind: KindEnum, Name: p.qualify(name)}
+	for {
+		label, err := p.ident()
+		if err != nil {
+			return err
+		}
+		et.Labels = append(et.Labels, label)
+		if p.cur().text != "," {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expect("}"); err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.repo.types[et.Name] = et
+	return nil
+}
+
+func (p *parser) typedefDecl() error {
+	p.pos++ // typedef
+	t, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	// A typedef aliases the underlying type under a new name. Sequences
+	// and basic types are shared structurally.
+	p.repo.types[p.qualify(name)] = t
+	return nil
+}
+
+func (p *parser) interfaceDecl() error {
+	p.pos++ // interface
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	iface := &Interface{Name: p.qualify(name), repo: p.repo}
+	if p.cur().text == ":" {
+		p.pos++
+		base, err := p.scopedName()
+		if err != nil {
+			return err
+		}
+		iface.Base = p.resolveInterfaceName(base)
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for p.cur().text != "}" {
+		if err := p.interfaceMember(iface); err != nil {
+			return err
+		}
+	}
+	p.pos++ // }
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.repo.ifaces[iface.Name] = iface
+	// An interface name is also usable as an object-reference type.
+	p.repo.types[iface.Name] = &Type{Kind: KindObjRef, Name: iface.Name}
+	return nil
+}
+
+func (p *parser) interfaceMember(iface *Interface) error {
+	readonly := false
+	if p.cur().text == "readonly" {
+		readonly = true
+		p.pos++
+	}
+	if p.cur().text == "attribute" {
+		p.pos++
+		t, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		iface.Attrs = append(iface.Attrs, Attribute{Name: name, Type: t, ReadOnly: readonly})
+		return nil
+	}
+	if readonly {
+		return p.errf("readonly must precede attribute")
+	}
+	oneway := false
+	if p.cur().text == "oneway" {
+		oneway = true
+		p.pos++
+	}
+	result, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	op := &Operation{Name: name, Result: result, Oneway: oneway}
+	for p.cur().text != ")" {
+		if len(op.Params) > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		var dir Dir
+		switch p.cur().text {
+		case "in":
+			dir = In
+		case "out":
+			dir = Out
+		case "inout":
+			dir = InOut
+		default:
+			return p.errf("expected parameter direction, got %s", p.cur())
+		}
+		p.pos++
+		pt, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		pname, err := p.ident()
+		if err != nil {
+			return err
+		}
+		op.Params = append(op.Params, Param{Name: pname, Dir: dir, Type: pt})
+	}
+	p.pos++ // )
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if oneway && (op.Result.Kind != KindVoid || len(op.Outs()) > 0) {
+		return p.errf("oneway operation %s must be void with in parameters only", name)
+	}
+	iface.Ops = append(iface.Ops, op)
+	return nil
+}
+
+// typeSpec := basic | "sequence" "<" typeSpec ">" | scopedName
+func (p *parser) typeSpec() (*Type, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected type, got %s", t)
+	}
+	switch t.text {
+	case "void":
+		p.pos++
+		return Basic(KindVoid), nil
+	case "boolean":
+		p.pos++
+		return Basic(KindBool), nil
+	case "octet":
+		p.pos++
+		return Basic(KindOctet), nil
+	case "short":
+		p.pos++
+		return Basic(KindShort), nil
+	case "float":
+		p.pos++
+		return Basic(KindFloat), nil
+	case "double":
+		p.pos++
+		return Basic(KindDouble), nil
+	case "string":
+		p.pos++
+		return Basic(KindString), nil
+	case "long":
+		p.pos++
+		if p.cur().text == "long" {
+			p.pos++
+			return Basic(KindLongLong), nil
+		}
+		return Basic(KindLong), nil
+	case "unsigned":
+		p.pos++
+		switch p.cur().text {
+		case "short":
+			p.pos++
+			return Basic(KindUShort), nil
+		case "long":
+			p.pos++
+			if p.cur().text == "long" {
+				p.pos++
+				return Basic(KindULongLong), nil
+			}
+			return Basic(KindULong), nil
+		}
+		return nil, p.errf("expected short/long after unsigned")
+	case "sequence":
+		p.pos++
+		if err := p.expect("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(">"); err != nil {
+			return nil, err
+		}
+		return SequenceOf(elem), nil
+	default:
+		name, err := p.scopedName()
+		if err != nil {
+			return nil, err
+		}
+		ref := &Type{Kind: kindNamed, Name: name}
+		p.unresolved = append(p.unresolved, &pendingRef{
+			t:     ref,
+			scope: append([]string(nil), p.scope...),
+			line:  t.line,
+		})
+		return ref, nil
+	}
+}
+
+// scopedName := ident { "::" ident }
+func (p *parser) scopedName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	for p.cur().kind == tokScope {
+		p.pos++
+		part, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		name += "::" + part
+	}
+	return name, nil
+}
+
+// resolveInterfaceName resolves a possibly-unqualified base interface name
+// at the point of use (bases must be declared before the derived
+// interface, as in IDL).
+func (p *parser) resolveInterfaceName(name string) string {
+	for i := len(p.scope); i >= 0; i-- {
+		fq := strings.Join(append(append([]string(nil), p.scope[:i]...), name), "::")
+		if _, ok := p.repo.ifaces[fq]; ok {
+			return fq
+		}
+	}
+	return name
+}
+
+// resolveAll replaces named references with their declarations.
+func (p *parser) resolveAll() error {
+	for _, ref := range p.unresolved {
+		resolved := p.lookup(ref.scope, ref.t.Name)
+		if resolved == nil {
+			return fmt.Errorf("idl:%d: undefined type %q", ref.line, ref.t.Name)
+		}
+		*ref.t = *resolved
+	}
+	return nil
+}
+
+func (p *parser) lookup(scope []string, name string) *Type {
+	for i := len(scope); i >= 0; i-- {
+		fq := strings.Join(append(append([]string(nil), scope[:i]...), name), "::")
+		if t, ok := p.repo.types[fq]; ok {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package idl implements the subset of the OMG Interface Definition
+// Language that Padico's CORBA substrate and the GridCCM compiler consume:
+// modules, interfaces (operations, attributes, single inheritance), structs,
+// enums, typedefs and sequences over the basic types.
+//
+// Parsed declarations live in a Repository, the equivalent of an interface
+// repository: the ORB uses it to drive dynamic (DII-style) marshalling and
+// GridCCM uses it to synthesize the derived data-distribution interfaces of
+// the paper's Figure 5.
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates IDL type constructors.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindOctet
+	KindShort
+	KindUShort
+	KindLong
+	KindULong
+	KindLongLong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindString
+	KindSequence
+	KindStruct
+	KindEnum
+	KindObjRef // interface reference
+	kindNamed  // unresolved reference (parser-internal)
+)
+
+var kindNames = map[Kind]string{
+	KindVoid: "void", KindBool: "boolean", KindOctet: "octet",
+	KindShort: "short", KindUShort: "unsigned short", KindLong: "long",
+	KindULong: "unsigned long", KindLongLong: "long long",
+	KindULongLong: "unsigned long long", KindFloat: "float",
+	KindDouble: "double", KindString: "string", KindSequence: "sequence",
+	KindStruct: "struct", KindEnum: "enum", KindObjRef: "Object",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Type is one IDL type. Basic kinds use only Kind; sequences carry Elem;
+// structs carry Fields; enums carry Labels; object references carry the
+// interface Name.
+type Type struct {
+	Kind   Kind
+	Name   string // declared name for struct/enum/objref (fully qualified)
+	Elem   *Type  // sequence element
+	Fields []Field
+	Labels []string
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// String renders the type in IDL syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindSequence:
+		return fmt.Sprintf("sequence<%s>", t.Elem)
+	case KindStruct, KindEnum, KindObjRef, kindNamed:
+		return t.Name
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Basic returns the singleton for a basic kind.
+func Basic(k Kind) *Type { return basicTypes[k] }
+
+var basicTypes = map[Kind]*Type{}
+
+func init() {
+	for k := KindVoid; k <= KindString; k++ {
+		basicTypes[k] = &Type{Kind: k}
+	}
+}
+
+// SequenceOf builds a sequence type.
+func SequenceOf(elem *Type) *Type { return &Type{Kind: KindSequence, Elem: elem} }
+
+// Dir is a parameter passing direction.
+type Dir int
+
+// Parameter directions.
+const (
+	In Dir = iota
+	Out
+	InOut
+)
+
+func (d Dir) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	default:
+		return "inout"
+	}
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Name string
+	Dir  Dir
+	Type *Type
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Result *Type
+	Params []Param
+	Oneway bool
+}
+
+// Ins returns the parameters the client sends (in and inout).
+func (o *Operation) Ins() []Param {
+	var ps []Param
+	for _, p := range o.Params {
+		if p.Dir == In || p.Dir == InOut {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// Outs returns the parameters the server returns (out and inout).
+func (o *Operation) Outs() []Param {
+	var ps []Param
+	for _, p := range o.Params {
+		if p.Dir == Out || p.Dir == InOut {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// String renders the operation signature in IDL syntax.
+func (o *Operation) String() string {
+	var b strings.Builder
+	if o.Oneway {
+		b.WriteString("oneway ")
+	}
+	fmt.Fprintf(&b, "%s %s(", o.Result, o.Name)
+	for i, p := range o.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", p.Dir, p.Type, p.Name)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Attribute is one interface attribute (a get/set pair on the wire).
+type Attribute struct {
+	Name     string
+	Type     *Type
+	ReadOnly bool
+}
+
+// Interface is one IDL interface.
+type Interface struct {
+	Name  string // fully qualified
+	Base  string // fully qualified base interface, or ""
+	Ops   []*Operation
+	Attrs []Attribute
+
+	repo *Repository
+}
+
+// Op resolves an operation by name, searching the inheritance chain.
+func (i *Interface) Op(name string) (*Operation, bool) {
+	for _, o := range i.Ops {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	if i.Base != "" && i.repo != nil {
+		if base, ok := i.repo.Interface(i.Base); ok {
+			return base.Op(name)
+		}
+	}
+	return nil, false
+}
+
+// Attr resolves an attribute by name, searching the inheritance chain.
+func (i *Interface) Attr(name string) (*Attribute, bool) {
+	for k := range i.Attrs {
+		if i.Attrs[k].Name == name {
+			return &i.Attrs[k], true
+		}
+	}
+	if i.Base != "" && i.repo != nil {
+		if base, ok := i.repo.Interface(i.Base); ok {
+			return base.Attr(name)
+		}
+	}
+	return nil, false
+}
+
+// AllOps returns the operations of the interface and its ancestors.
+func (i *Interface) AllOps() []*Operation {
+	var ops []*Operation
+	if i.Base != "" && i.repo != nil {
+		if base, ok := i.repo.Interface(i.Base); ok {
+			ops = append(ops, base.AllOps()...)
+		}
+	}
+	return append(ops, i.Ops...)
+}
+
+// Repository holds parsed declarations keyed by fully-qualified name
+// ("Module::Name").
+type Repository struct {
+	types  map[string]*Type
+	ifaces map[string]*Interface
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		types:  make(map[string]*Type),
+		ifaces: make(map[string]*Interface),
+	}
+}
+
+// Interface looks up an interface by fully-qualified name.
+func (r *Repository) Interface(name string) (*Interface, bool) {
+	i, ok := r.ifaces[name]
+	return i, ok
+}
+
+// Type looks up a declared type by fully-qualified name.
+func (r *Repository) Type(name string) (*Type, bool) {
+	t, ok := r.types[name]
+	return t, ok
+}
+
+// Interfaces returns the names of all registered interfaces.
+func (r *Repository) Interfaces() []string {
+	var out []string
+	for n := range r.ifaces {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RegisterInterface installs a programmatically-built interface (used by
+// infrastructure services like the name service and by GridCCM's derived
+// interfaces).
+func (r *Repository) RegisterInterface(i *Interface) {
+	i.repo = r
+	r.ifaces[i.Name] = i
+}
+
+// RegisterType installs a programmatically-built named type.
+func (r *Repository) RegisterType(name string, t *Type) {
+	t.Name = name
+	r.types[name] = t
+}

@@ -1,0 +1,177 @@
+// Package madeleine is the parallel-paradigm low-level network library,
+// substituting the Madeleine II library the original PadicoTM builds on.
+// It drives SAN fabrics (Myrinet, SCI) with message semantics: channels
+// spanning a fixed node set, per-node endpoints, and two-part messages
+// (an express header delivered eagerly and a bulk payload, mirroring
+// Madeleine's express/cheaper packing modes).
+//
+// Exclusive-driver semantics are enforced here: fabrics marked Exclusive
+// (BIP/GM-style) admit a single open channel. This is precisely the
+// conflict the paper's arbitration layer exists to resolve — PadicoTM opens
+// the device once and multiplexes it (see package arbitration).
+package madeleine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// ErrDeviceBusy is returned when opening a channel on an exclusive fabric
+// that already has an owner (e.g. Myrinet through a BIP-like driver).
+var ErrDeviceBusy = errors.New("madeleine: exclusive device already opened by another client")
+
+// ErrClosed is returned on operations against a closed channel or endpoint.
+var ErrClosed = errors.New("madeleine: channel closed")
+
+// Message is a two-part Madeleine message: a small express header (always
+// delivered, cheap to inspect) and the bulk payload.
+type Message struct {
+	Header  []byte
+	Payload []byte
+}
+
+// Len returns the total wire size of the message.
+func (m Message) Len() int { return len(m.Header) + len(m.Payload) }
+
+var owners sync.Map // *simnet.Fabric -> *Channel
+
+// Channel is a Madeleine communication channel: a fixed set of nodes on one
+// SAN fabric, with one endpoint per node addressed by rank.
+type Channel struct {
+	fabric *simnet.Fabric
+	net    *simnet.Net
+	eps    []*Endpoint
+	cost   simnet.Cost
+	closed bool
+	mu     sync.Mutex
+}
+
+// Open creates a channel over all nodes of the fabric. On exclusive fabrics
+// only one open channel may exist at a time.
+func Open(fabric *simnet.Fabric) (*Channel, error) {
+	return OpenCost(fabric, simnet.MadeleineCost)
+}
+
+// OpenCost is Open with an explicit per-layer cost (used by ablations).
+func OpenCost(fabric *simnet.Fabric, cost simnet.Cost) (*Channel, error) {
+	if fabric.Kind != simnet.SAN {
+		return nil, fmt.Errorf("madeleine: fabric %q is %v, not a SAN", fabric.Name, fabric.Kind)
+	}
+	ch := &Channel{fabric: fabric, net: fabric.Net(), cost: cost}
+	if fabric.Exclusive {
+		if _, loaded := owners.LoadOrStore(fabric, ch); loaded {
+			return nil, fmt.Errorf("%w: fabric %q", ErrDeviceBusy, fabric.Name)
+		}
+	}
+	rt := ch.net.Runtime()
+	for rank, nd := range fabric.Nodes() {
+		ch.eps = append(ch.eps, &Endpoint{
+			ch:   ch,
+			rank: rank,
+			node: nd,
+			in:   vtime.NewQueue[Delivery](rt, fmt.Sprintf("madeleine: recv on %s", nd.Name)),
+		})
+	}
+	return ch, nil
+}
+
+// Close releases the channel and the exclusive driver, closing every
+// endpoint's receive queue.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.fabric.Exclusive {
+		owners.CompareAndDelete(c.fabric, c)
+	}
+	for _, ep := range c.eps {
+		ep.in.Close()
+	}
+}
+
+// Size returns the number of ranks in the channel.
+func (c *Channel) Size() int { return len(c.eps) }
+
+// Endpoint returns the endpoint for the given rank.
+func (c *Channel) Endpoint(rank int) (*Endpoint, error) {
+	if rank < 0 || rank >= len(c.eps) {
+		return nil, fmt.Errorf("madeleine: rank %d out of range [0,%d)", rank, len(c.eps))
+	}
+	return c.eps[rank], nil
+}
+
+// Fabric returns the underlying device.
+func (c *Channel) Fabric() *simnet.Fabric { return c.fabric }
+
+// Delivery is a received message with its source rank.
+type Delivery struct {
+	Src int
+	Msg Message
+}
+
+// Endpoint is one rank's attachment to a channel.
+type Endpoint struct {
+	ch   *Channel
+	rank int
+	node *simnet.Node
+	in   *vtime.Queue[Delivery]
+}
+
+// Rank returns the endpoint's logical number in the channel.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Node returns the machine hosting this endpoint.
+func (e *Endpoint) Node() *simnet.Node { return e.node }
+
+// Send transmits msg to the destination rank, blocking the caller until the
+// message has arrived (Madeleine's synchronous semantics for the bulk
+// part). The layer's protocol cost is charged to the caller.
+func (e *Endpoint) Send(dst int, msg Message) error {
+	c := e.ch
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= len(c.eps) {
+		return fmt.Errorf("madeleine: send to rank %d out of range [0,%d)", dst, len(c.eps))
+	}
+	to := c.eps[dst]
+	e.node.Charge(c.cost, msg.Len())
+	path, err := c.fabric.Path(e.node, to.node)
+	if err != nil {
+		return err
+	}
+	if err := c.net.Transfer(path, msg.Len()); err != nil {
+		return err
+	}
+	to.in.Push(Delivery{Src: e.rank, Msg: msg})
+	return nil
+}
+
+// Recv blocks until a message arrives from any rank and returns it.
+func (e *Endpoint) Recv() (Delivery, error) {
+	d, err := e.in.Pop()
+	if err != nil {
+		if errors.Is(err, vtime.ErrClosed) {
+			return Delivery{}, ErrClosed
+		}
+		return Delivery{}, err
+	}
+	return d, nil
+}
+
+// TryRecv returns a pending message without blocking.
+func (e *Endpoint) TryRecv() (Delivery, bool) { return e.in.TryPop() }
+
+// Pending reports the number of undelivered messages.
+func (e *Endpoint) Pending() int { return e.in.Len() }

@@ -1,0 +1,256 @@
+package madeleine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+func newSAN(n int) (*vtime.Sim, *simnet.Fabric) {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	var nodes []*simnet.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, net.NewNode("n"+string(rune('0'+i))))
+	}
+	return s, net.NewMyrinet2000("myri", nodes)
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, err := Open(fab)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer ch.Close()
+		e0, _ := ch.Endpoint(0)
+		e1, _ := ch.Endpoint(1)
+		s.Go("sender", func() {
+			err := e0.Send(1, Message{Header: []byte("hdr"), Payload: []byte("payload")})
+			if err != nil {
+				t.Errorf("send: %v", err)
+			}
+		})
+		d, err := e1.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if d.Src != 0 || string(d.Msg.Header) != "hdr" || string(d.Msg.Payload) != "payload" {
+			t.Fatalf("got %+v", d)
+		}
+	})
+}
+
+func TestSendTiming(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, _ := Open(fab)
+		defer ch.Close()
+		e0, _ := ch.Endpoint(0)
+		e1, _ := ch.Endpoint(1)
+		sentCh := make(chan time.Duration, 1)
+		s.Go("sender", func() {
+			start := s.Now()
+			_ = e0.Send(1, Message{Payload: make([]byte, 1_000_000)})
+			sentCh <- s.Now().Sub(start)
+		})
+		if _, err := e1.Recv(); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		sent := <-sentCh
+		// 2 µs Madeleine + 0.1667 ns/B + 4 ms wire + 7 µs latency ≈ 4.176 ms
+		lo := 4170 * time.Microsecond
+		hi := 4180 * time.Microsecond
+		if sent < lo || sent > hi {
+			t.Fatalf("1MB send took %v, want ≈4.176ms", sent)
+		}
+	})
+}
+
+func TestExclusiveDriverConflict(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, err := Open(fab)
+		if err != nil {
+			t.Fatalf("first open: %v", err)
+		}
+		if _, err := Open(fab); !errors.Is(err, ErrDeviceBusy) {
+			t.Fatalf("second open err = %v, want ErrDeviceBusy", err)
+		}
+		ch.Close()
+		ch2, err := Open(fab)
+		if err != nil {
+			t.Fatalf("open after close: %v", err)
+		}
+		ch2.Close()
+	})
+}
+
+func TestOpenRejectsNonSAN(t *testing.T) {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	a, b := net.NewNode("a"), net.NewNode("b")
+	eth := net.NewEthernet100("eth", []*simnet.Node{a, b})
+	if _, err := Open(eth); err == nil {
+		t.Fatal("opened a Madeleine channel on Ethernet")
+	}
+}
+
+func TestBadRanks(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, _ := Open(fab)
+		defer ch.Close()
+		if _, err := ch.Endpoint(5); err == nil {
+			t.Error("Endpoint(5) succeeded")
+		}
+		if _, err := ch.Endpoint(-1); err == nil {
+			t.Error("Endpoint(-1) succeeded")
+		}
+		e0, _ := ch.Endpoint(0)
+		if err := e0.Send(9, Message{}); err == nil {
+			t.Error("send to rank 9 succeeded")
+		}
+	})
+}
+
+func TestClosedChannelOps(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, _ := Open(fab)
+		e0, _ := ch.Endpoint(0)
+		e1, _ := ch.Endpoint(1)
+		ch.Close()
+		ch.Close() // idempotent
+		if err := e0.Send(1, Message{Header: []byte("x")}); !errors.Is(err, ErrClosed) {
+			t.Errorf("send on closed = %v", err)
+		}
+		if _, err := e1.Recv(); !errors.Is(err, ErrClosed) {
+			t.Errorf("recv on closed = %v", err)
+		}
+	})
+}
+
+func TestTryRecvAndPending(t *testing.T) {
+	s, fab := newSAN(2)
+	s.Run(func() {
+		ch, _ := Open(fab)
+		defer ch.Close()
+		e0, _ := ch.Endpoint(0)
+		e1, _ := ch.Endpoint(1)
+		if _, ok := e1.TryRecv(); ok {
+			t.Error("TryRecv on empty endpoint = ok")
+		}
+		done := vtime.NewWaitGroup(s, "join")
+		done.Add(1)
+		s.Go("sender", func() {
+			_ = e0.Send(1, Message{Header: []byte("a")})
+			done.Done()
+		})
+		_ = done.Wait()
+		if e1.Pending() != 1 {
+			t.Fatalf("Pending = %d", e1.Pending())
+		}
+		if d, ok := e1.TryRecv(); !ok || string(d.Msg.Header) != "a" {
+			t.Fatalf("TryRecv = %+v, %v", d, ok)
+		}
+	})
+}
+
+func TestManyToOneOrderingPerSender(t *testing.T) {
+	s, fab := newSAN(3)
+	s.Run(func() {
+		ch, _ := Open(fab)
+		defer ch.Close()
+		for r := 0; r < 2; r++ {
+			ep, _ := ch.Endpoint(r)
+			s.Go("sender", func() {
+				for i := byte(0); i < 5; i++ {
+					_ = ep.Send(2, Message{Header: []byte{byte(ep.Rank()), i}})
+				}
+			})
+		}
+		e2, _ := ch.Endpoint(2)
+		next := map[byte]byte{0: 0, 1: 0}
+		for i := 0; i < 10; i++ {
+			d, err := e2.Recv()
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			src, seq := d.Msg.Header[0], d.Msg.Header[1]
+			if seq != next[src] {
+				t.Fatalf("out of order from %d: got %d want %d", src, seq, next[src])
+			}
+			next[src]++
+		}
+	})
+}
+
+func TestPackerUnpackerRoundtrip(t *testing.T) {
+	var p Packer
+	p.Pack([]byte("control"), Express)
+	p.Pack([]byte("bulk-1"), Cheaper)
+	p.Pack([]byte("more-control"), Express)
+	p.Pack([]byte("bulk-2"), Cheaper)
+	m := p.Message()
+	u := NewUnpacker(m)
+	for _, want := range []struct {
+		mode PackMode
+		data string
+	}{{Express, "control"}, {Express, "more-control"}, {Cheaper, "bulk-1"}, {Cheaper, "bulk-2"}} {
+		got, err := u.Unpack(want.mode)
+		if err != nil {
+			t.Fatalf("unpack %v: %v", want.mode, err)
+		}
+		if string(got) != want.data {
+			t.Fatalf("unpack %v = %q, want %q", want.mode, got, want.data)
+		}
+	}
+	if _, err := u.Unpack(Express); err == nil {
+		t.Error("unpack past end succeeded")
+	}
+}
+
+func TestPackerProperty(t *testing.T) {
+	f := func(blocks [][]byte, modes []bool) bool {
+		if len(blocks) > 16 {
+			return true
+		}
+		var p Packer
+		for i, b := range blocks {
+			mode := Cheaper
+			if i < len(modes) && modes[i] {
+				mode = Express
+			}
+			p.Pack(b, mode)
+		}
+		u := NewUnpacker(p.Message())
+		for i, b := range blocks {
+			mode := Cheaper
+			if i < len(modes) && modes[i] {
+				mode = Express
+			}
+			got, err := u.Unpack(mode)
+			if err != nil || !bytes.Equal(got, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackerCorruptLength(t *testing.T) {
+	u := NewUnpacker(Message{Header: []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2}})
+	if _, err := u.Unpack(Express); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package madeleine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packer builds a Madeleine message incrementally, mirroring the original
+// begin_packing/pack/end_packing API. Blocks packed in Express mode land in
+// the eagerly-delivered header; Cheaper mode appends to the bulk payload.
+// Each block is length-prefixed so Unpacker can return the exact regions.
+type Packer struct {
+	hdr     []byte
+	payload []byte
+}
+
+// PackMode selects where a packed block travels.
+type PackMode int
+
+const (
+	// Express blocks are carried in the message header: delivered and
+	// readable before the bulk payload (used for control information).
+	Express PackMode = iota
+	// Cheaper blocks use the cheapest path for bulk data.
+	Cheaper
+)
+
+// Pack appends one block in the given mode.
+func (p *Packer) Pack(data []byte, mode PackMode) {
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(data)))
+	switch mode {
+	case Express:
+		p.hdr = append(p.hdr, lenbuf[:]...)
+		p.hdr = append(p.hdr, data...)
+	default:
+		p.payload = append(p.payload, lenbuf[:]...)
+		p.payload = append(p.payload, data...)
+	}
+}
+
+// Message finalizes the packing (end_packing) and returns the wire message.
+func (p *Packer) Message() Message {
+	return Message{Header: p.hdr, Payload: p.payload}
+}
+
+// Unpacker walks a received message block by block.
+type Unpacker struct {
+	msg        Message
+	hoff, poff int
+}
+
+// NewUnpacker starts unpacking msg.
+func NewUnpacker(msg Message) *Unpacker { return &Unpacker{msg: msg} }
+
+// Unpack returns the next block packed in the given mode. Blocks of each
+// mode must be unpacked in the order they were packed.
+func (u *Unpacker) Unpack(mode PackMode) ([]byte, error) {
+	buf, off := u.msg.Payload, &u.poff
+	if mode == Express {
+		buf, off = u.msg.Header, &u.hoff
+	}
+	if *off+4 > len(buf) {
+		return nil, fmt.Errorf("madeleine: unpack past end of %v region", mode)
+	}
+	n := int(binary.BigEndian.Uint32(buf[*off:]))
+	*off += 4
+	if *off+n > len(buf) {
+		return nil, fmt.Errorf("madeleine: corrupt block length %d", n)
+	}
+	b := buf[*off : *off+n]
+	*off += n
+	return b, nil
+}
+
+func (m PackMode) String() string {
+	if m == Express {
+		return "express"
+	}
+	return "cheaper"
+}

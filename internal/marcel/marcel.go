@@ -1,0 +1,137 @@
+// Package marcel is Padico's thread-and-polling policy layer, substituting
+// the Marcel multithreading library of the original system. The paper's
+// arbitration argument is that concurrent middleware must not each spin
+// their own competing polling loops; instead a single manager owns every
+// progress loop and applies one coherent policy.
+//
+// Under Go, kernel threads are hidden behind goroutines, so the layer
+// manages *progress loops* (dispatchers draining event queues) rather than
+// raw threads: every subsystem registers its loop here, giving the runtime
+// one place to start, account for, and stop all background activity.
+package marcel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"padico/internal/vtime"
+)
+
+// Manager owns every background progress loop of one Padico process.
+type Manager struct {
+	rt vtime.Runtime
+
+	mu    sync.Mutex
+	loops map[string]*Loop
+	next  int
+}
+
+// NewManager returns an empty manager on the given runtime.
+func NewManager(rt vtime.Runtime) *Manager {
+	return &Manager{rt: rt, loops: make(map[string]*Loop)}
+}
+
+// Runtime returns the runtime the manager schedules on.
+func (m *Manager) Runtime() vtime.Runtime { return m.rt }
+
+// Loop is one registered progress loop.
+type Loop struct {
+	Name string
+
+	mgr     *Manager
+	stop    func()
+	mu      sync.Mutex
+	events  int64
+	stopped bool
+}
+
+// Events reports how many events this loop has dispatched.
+func (l *Loop) Events() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events
+}
+
+// Stop terminates the loop (idempotent) and unregisters it.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	l.mu.Unlock()
+	l.stop()
+	l.mgr.mu.Lock()
+	delete(l.mgr.loops, l.Name)
+	l.mgr.mu.Unlock()
+}
+
+func (l *Loop) bump() {
+	l.mu.Lock()
+	l.events++
+	l.mu.Unlock()
+}
+
+// Dispatch registers and starts a progress loop that drains q, invoking
+// handle for every event. The loop exits when q is closed (or the runtime
+// aborts). handle runs on the loop's own actor: it may block on vtime
+// primitives.
+func Dispatch[T any](m *Manager, name string, q *vtime.Queue[T], handle func(T)) *Loop {
+	l := m.register(name, func() { q.Close() })
+	m.rt.Go("marcel:"+l.Name, func() {
+		for {
+			v, err := q.Pop()
+			if err != nil {
+				return
+			}
+			l.bump()
+			handle(v)
+		}
+	})
+	return l
+}
+
+// Daemon registers a free-form background actor; stop is invoked by
+// Loop.Stop to make the actor unwind (typically by closing its input).
+func (m *Manager) Daemon(name string, stop func(), body func()) *Loop {
+	l := m.register(name, stop)
+	m.rt.Go("marcel:"+l.Name, body)
+	return l
+}
+
+func (m *Manager) register(name string, stop func()) *Loop {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	unique := fmt.Sprintf("%s#%d", name, m.next)
+	l := &Loop{Name: unique, mgr: m, stop: stop}
+	m.loops[unique] = l
+	return l
+}
+
+// Loops returns the names of all live loops, sorted.
+func (m *Manager) Loops() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.loops))
+	for n := range m.loops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StopAll terminates every live loop; used at process shutdown.
+func (m *Manager) StopAll() {
+	m.mu.Lock()
+	loops := make([]*Loop, 0, len(m.loops))
+	for _, l := range m.loops {
+		loops = append(loops, l)
+	}
+	m.mu.Unlock()
+	for _, l := range loops {
+		l.Stop()
+	}
+}

@@ -1,0 +1,105 @@
+package marcel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"padico/internal/vtime"
+)
+
+func TestDispatchDrainsQueue(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		m := NewManager(s)
+		q := vtime.NewQueue[int](s, "events")
+		var sum atomic.Int64
+		l := Dispatch(m, "adder", q, func(v int) { sum.Add(int64(v)) })
+		for i := 1; i <= 10; i++ {
+			q.Push(i)
+		}
+		q.Close() // loop exits after draining
+		s.Sleep(1)
+		if got := sum.Load(); got != 55 {
+			t.Fatalf("sum = %d, want 55", got)
+		}
+		if l.Events() != 10 {
+			t.Fatalf("events = %d, want 10", l.Events())
+		}
+	})
+}
+
+func TestStopAllTerminatesLoops(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		m := NewManager(s)
+		if m.Runtime() != s {
+			t.Fatal("Runtime mismatch")
+		}
+		q1 := vtime.NewQueue[int](s, "a")
+		q2 := vtime.NewQueue[int](s, "b")
+		Dispatch(m, "loop-a", q1, func(int) {})
+		Dispatch(m, "loop-b", q2, func(int) {})
+		if got := len(m.Loops()); got != 2 {
+			t.Fatalf("loops = %d", got)
+		}
+		m.StopAll()
+		if got := len(m.Loops()); got != 0 {
+			t.Fatalf("loops after StopAll = %d", got)
+		}
+		// Queues are closed, so the actors exit and the sim terminates
+		// without deadlock — reaching here is the assertion.
+	})
+}
+
+func TestLoopStopIdempotent(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		m := NewManager(s)
+		q := vtime.NewQueue[int](s, "q")
+		l := Dispatch(m, "x", q, func(int) {})
+		l.Stop()
+		l.Stop()
+		if got := len(m.Loops()); got != 0 {
+			t.Fatalf("loops = %d", got)
+		}
+	})
+}
+
+func TestDaemonCustomStop(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		m := NewManager(s)
+		q := vtime.NewQueue[string](s, "in")
+		var last atomic.Value
+		l := m.Daemon("custom", func() { q.Close() }, func() {
+			for {
+				v, err := q.Pop()
+				if err != nil {
+					return
+				}
+				last.Store(v)
+			}
+		})
+		q.Push("hello")
+		s.Sleep(1)
+		l.Stop()
+		if got, _ := last.Load().(string); got != "hello" {
+			t.Fatalf("daemon saw %q", got)
+		}
+	})
+}
+
+func TestUniqueLoopNames(t *testing.T) {
+	s := vtime.NewSim()
+	s.Run(func() {
+		m := NewManager(s)
+		q1 := vtime.NewQueue[int](s, "q1")
+		q2 := vtime.NewQueue[int](s, "q2")
+		a := Dispatch(m, "same", q1, func(int) {})
+		b := Dispatch(m, "same", q2, func(int) {})
+		if a.Name == b.Name {
+			t.Fatalf("duplicate loop names %q", a.Name)
+		}
+		m.StopAll()
+	})
+}

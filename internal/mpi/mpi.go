@@ -1,0 +1,319 @@
+// Package mpi is the MPI middleware of the reproduction, standing in for
+// the MPICH/Madeleine port the paper runs on PadicoTM (§4.3.4). It is built
+// entirely on the Circuit abstract interface, so the same code runs
+// straight on the SAN or cross-paradigm over sockets — which is exactly the
+// paper's portability claim.
+//
+// The subset implemented is what the paper's workloads exercise, plus the
+// usual core: blocking and nonblocking point-to-point with (source, tag)
+// matching and wildcards, and the collectives Barrier (dissemination),
+// Bcast/Reduce (binomial trees), Allreduce, Gather, Scatter, Allgather,
+// Alltoall, plus communicator Split.
+//
+// Buffers are passed reference-style (the simulator's zero-copy path, like
+// Madeleine's rendezvous mode): a sender must not modify a buffer before
+// the matching receive returns it.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"padico/internal/arbitration"
+	"padico/internal/circuit"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is returned on operations against a freed communicator.
+var ErrClosed = errors.New("mpi: communicator freed")
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// Comm is an MPI communicator: a group with a private message-matching
+// space carried by one circuit.
+type Comm struct {
+	rt   vtime.Runtime
+	arb  *arbitration.Arbiter
+	c    *circuit.Circuit
+	node *simnet.Node
+
+	mu      sync.Mutex
+	store   []*inMsg // unexpected-message queue, arrival order
+	waiters []*matcher
+	closed  bool
+	epoch   int // Split epoch, for circuit naming
+	collSeq int // collective sequence, for reserved-tag spreading
+}
+
+type inMsg struct {
+	src, tag int
+	data     []byte
+}
+
+type matcher struct {
+	src, tag int
+	got      *inMsg
+	err      error
+	w        vtime.Waiter
+}
+
+// Join creates this rank's endpoint of communicator name over the members.
+// Every member must call Join concurrently (SPMD startup). The world
+// communicator of a Padico process group is conventionally named "world".
+func Join(arb *arbitration.Arbiter, name string, members []*simnet.Node, self int) (*Comm, error) {
+	cir, err := circuit.Open(arb, "mpi:"+name, members, self)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: %w", err)
+	}
+	comm := &Comm{rt: arb.Runtime(), arb: arb, c: cir, node: members[self]}
+	comm.rt.Go("mpi:pump:"+cir.Name(), comm.pump)
+	return comm, nil
+}
+
+// Rank returns the calling process's rank in the communicator.
+func (c *Comm) Rank() int { return c.c.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.c.Size() }
+
+// Node returns the machine hosting this rank.
+func (c *Comm) Node() *simnet.Node { return c.node }
+
+// Mapping reports the circuit mapping in use ("straight"/"cross-paradigm").
+func (c *Comm) Mapping() string { return c.c.Mapping() }
+
+// Free releases the communicator. Pending receives fail with ErrClosed.
+func (c *Comm) Free() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	ws := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	_ = c.c.Close()
+	for _, m := range ws {
+		m.err = ErrClosed
+		m.w.Fire()
+	}
+}
+
+// pump drains the circuit into the matching engine.
+func (c *Comm) pump() {
+	for {
+		msg, err := c.c.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			ws := c.waiters
+			c.waiters = nil
+			c.mu.Unlock()
+			for _, m := range ws {
+				m.err = ErrClosed
+				m.w.Fire()
+			}
+			return
+		}
+		if len(msg.Header) < 4 {
+			continue
+		}
+		in := &inMsg{
+			src:  msg.Src,
+			tag:  int(int32(binary.BigEndian.Uint32(msg.Header))),
+			data: msg.Payload,
+		}
+		c.mu.Lock()
+		delivered := false
+		for i, m := range c.waiters {
+			if m.matches(in.src, in.tag) {
+				m.got = in
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				c.mu.Unlock()
+				m.w.Fire()
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			c.store = append(c.store, in)
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (m *matcher) matches(src, tag int) bool {
+	return (m.src == AnySource || m.src == src) && (m.tag == AnyTag || m.tag == tag)
+}
+
+// Send transmits data to dst with the given tag, blocking until the message
+// has been delivered to the destination process (synchronous-mode send, the
+// behaviour of the rendezvous path the paper's MPI uses for bandwidth).
+// User tags must be non-negative; negative tags are reserved for
+// collectives.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	return c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= c.Size() {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", dst, c.Size())
+	}
+	c.node.Charge(simnet.MPICost, len(data))
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(int32(tag)))
+	return c.c.Send(dst, hdr[:], data)
+}
+
+// Recv blocks until a message matching (src, tag) arrives; wildcards
+// AnySource and AnyTag are accepted.
+func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, Status{}, fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) ([]byte, Status, error) {
+	c.mu.Lock()
+	if c.closed && len(c.store) == 0 {
+		c.mu.Unlock()
+		return nil, Status{}, ErrClosed
+	}
+	m := &matcher{src: src, tag: tag}
+	for i, in := range c.store {
+		if m.matches(in.src, in.tag) {
+			c.store = append(c.store[:i], c.store[i+1:]...)
+			c.mu.Unlock()
+			return in.data, Status{Source: in.src, Tag: in.tag, Len: len(in.data)}, nil
+		}
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, Status{}, ErrClosed
+	}
+	m.w = c.rt.NewWaiter(fmt.Sprintf("mpi: recv(src=%d, tag=%d) on rank %d", src, tag, c.Rank()))
+	c.waiters = append(c.waiters, m)
+	c.mu.Unlock()
+	if err := m.w.Wait(); err != nil {
+		return nil, Status{}, err
+	}
+	if m.err != nil {
+		return nil, Status{}, m.err
+	}
+	in := m.got
+	return in.data, Status{Source: in.src, Tag: in.tag, Len: len(in.data)}, nil
+}
+
+// Probe reports whether a matching message is already queued, without
+// receiving it.
+func (c *Comm) Probe(src, tag int) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &matcher{src: src, tag: tag}
+	for _, in := range c.store {
+		if m.matches(in.src, in.tag) {
+			return Status{Source: in.src, Tag: in.tag, Len: len(in.data)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	mu     sync.Mutex
+	data   []byte
+	status Status
+	err    error
+	done   bool
+	w      vtime.Waiter
+}
+
+// Isend starts a nonblocking send. Completion means the message was
+// delivered. Two Isends to the same destination may be delivered in either
+// order; use Send for strict non-overtaking.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{w: c.rt.NewWaiter("mpi: isend")}
+	c.rt.Go("mpi:isend", func() {
+		err := c.Send(dst, tag, data)
+		r.complete(nil, Status{}, err)
+	})
+	return r
+}
+
+// Irecv starts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{w: c.rt.NewWaiter("mpi: irecv")}
+	c.rt.Go("mpi:irecv", func() {
+		data, st, err := c.Recv(src, tag)
+		r.complete(data, st, err)
+	})
+	return r
+}
+
+func (r *Request) complete(data []byte, st Status, err error) {
+	r.mu.Lock()
+	r.data, r.status, r.err, r.done = data, st, err, true
+	r.mu.Unlock()
+	r.w.Fire()
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() ([]byte, Status, error) {
+	_ = r.w.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data, r.status, r.err
+}
+
+// Test polls for completion.
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// WaitAll waits for every request.
+func WaitAll(reqs ...*Request) error {
+	for _, r := range reqs {
+		if _, _, err := r.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sendrecv performs a combined send and receive (both progress
+// concurrently, avoiding the classic exchange deadlock).
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status, error) {
+	sreq := c.Isend(dst, sendTag, data)
+	rdata, st, err := c.Recv(src, recvTag)
+	if _, _, serr := sreq.Wait(); serr != nil && err == nil {
+		err = serr
+	}
+	return rdata, st, err
+}

@@ -1,0 +1,537 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// world spins up an n-rank communicator over a Myrinet SAN and runs body on
+// every rank concurrently.
+func world(t *testing.T, n int, body func(c *Comm)) {
+	t.Helper()
+	worldOn(t, n, true, body)
+}
+
+func worldOn(t *testing.T, n int, san bool, body func(c *Comm)) {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	var nodes []*simnet.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, net.NewNode(fmt.Sprintf("n%d", i)))
+	}
+	arb := arbitration.New(net)
+	if san {
+		if _, err := arb.AddSAN(net.NewMyrinet2000("myri0", nodes)); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := arb.AddSock(net.NewEthernet100("eth0", nodes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(func() {
+		defer arb.Close()
+		wg := vtime.NewWaitGroup(s, "ranks")
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			s.Go(fmt.Sprintf("rank%d", i), func() {
+				defer wg.Done()
+				c, err := Join(arb, "world", nodes, i)
+				if err != nil {
+					t.Errorf("join rank %d: %v", i, err)
+					return
+				}
+				defer c.Free()
+				body(c)
+			})
+		}
+		_ = wg.Wait()
+	})
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 42, []byte("payload")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			data, st, err := c.Recv(0, 42)
+			if err != nil || string(data) != "payload" {
+				t.Errorf("recv = %q, %v", data, err)
+			}
+			if st.Source != 0 || st.Tag != 42 || st.Len != 7 {
+				t.Errorf("status = %+v", st)
+			}
+		}
+	})
+}
+
+func TestRecvWildcards(t *testing.T) {
+	world(t, 3, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			_ = c.Send(2, 7, []byte("from0"))
+		case 1:
+			_ = c.Send(2, 8, []byte("from1"))
+		case 2:
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				data, st, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				seen[st.Source] = true
+				want := fmt.Sprintf("from%d", st.Source)
+				if string(data) != want {
+					t.Errorf("got %q from %d", data, st.Source)
+				}
+			}
+			if !seen[0] || !seen[1] {
+				t.Errorf("sources seen: %v", seen)
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// A receive for tag B must not consume an earlier message with tag A.
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			_ = c.Send(1, 1, []byte("first-tag1"))
+			_ = c.Send(1, 2, []byte("then-tag2"))
+		} else {
+			data2, _, err := c.Recv(0, 2)
+			if err != nil || string(data2) != "then-tag2" {
+				t.Errorf("tag2 = %q, %v", data2, err)
+			}
+			data1, _, err := c.Recv(0, 1)
+			if err != nil || string(data1) != "first-tag1" {
+				t.Errorf("tag1 = %q, %v", data1, err)
+			}
+		}
+	})
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		const k = 10
+		if c.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				_ = c.Send(1, 5, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				data, _, err := c.Recv(0, 5)
+				if err != nil || data[0] != byte(i) {
+					t.Errorf("msg %d = %v, %v", i, data, err)
+				}
+			}
+		}
+	})
+}
+
+func TestNegativeTagsRejected(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if err := c.Send(1, -5, nil); err == nil {
+				t.Error("negative send tag accepted")
+			}
+			if _, _, err := c.Recv(1, -5); err == nil {
+				t.Error("negative recv tag accepted")
+			}
+			_ = c.Send(1, 0, nil) // release peer
+		} else {
+			_, _, _ = c.Recv(0, 0)
+		}
+	})
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		r := c.Irecv(peer, 3)
+		s := c.Isend(peer, 3, []byte{byte(c.Rank())})
+		if err := WaitAll(s); err != nil {
+			t.Errorf("isend: %v", err)
+		}
+		data, st, err := r.Wait()
+		if err != nil || data[0] != byte(peer) || st.Source != peer {
+			t.Errorf("irecv = %v, %+v, %v", data, st, err)
+		}
+		if !r.Test() {
+			t.Error("Test false after Wait")
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		peer := 1 - c.Rank()
+		out := []byte{byte(c.Rank() + 100)}
+		in, _, err := c.Sendrecv(peer, 9, out, peer, 9)
+		if err != nil || in[0] != byte(peer+100) {
+			t.Errorf("sendrecv = %v, %v", in, err)
+		}
+	})
+}
+
+func TestProbe(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			_ = c.Send(1, 4, []byte("xyz"))
+		} else {
+			// Wait until it lands.
+			for {
+				if st, ok := c.Probe(0, 4); ok {
+					if st.Len != 3 {
+						t.Errorf("probe len = %d", st.Len)
+					}
+					break
+				}
+				c.rt.Sleep(time.Microsecond)
+			}
+			if _, ok := c.Probe(0, 99); ok {
+				t.Error("probe matched wrong tag")
+			}
+			_, _, _ = c.Recv(0, 4)
+		}
+	})
+}
+
+func TestLatencyMatchesPaper(t *testing.T) {
+	// §4.4: MPI latency over PadicoTM/Myrinet-2000 is 11 µs (half
+	// round-trip of a minimal message).
+	world(t, 2, func(c *Comm) {
+		const iters = 10
+		if c.Rank() == 0 {
+			start := c.rt.Now()
+			for i := 0; i < iters; i++ {
+				_ = c.Send(1, 0, []byte{1})
+				_, _, _ = c.Recv(1, 0)
+			}
+			rt := c.rt.Now().Sub(start)
+			half := rt / (2 * iters)
+			if half < 10*time.Microsecond || half > 12*time.Microsecond {
+				t.Errorf("half round-trip = %v, want ≈11µs", half)
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				_, _, _ = c.Recv(0, 0)
+				_ = c.Send(0, 0, []byte{1})
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			world(t, n, func(c *Comm) {
+				// Rank r sleeps r*10µs; after the barrier everyone's
+				// clock must be at least the slowest rank's time.
+				c.rt.Sleep(time.Duration(c.Rank()) * 10 * time.Microsecond)
+				if err := c.Barrier(); err != nil {
+					t.Errorf("barrier: %v", err)
+					return
+				}
+				slowest := vtime.Time(time.Duration(n-1) * 10 * time.Microsecond)
+				if c.rt.Now() < slowest {
+					t.Errorf("rank %d left barrier at %v before slowest entered (%v)",
+						c.Rank(), c.rt.Now(), slowest)
+				}
+			})
+		})
+	}
+}
+
+func TestBarrierCostLog2(t *testing.T) {
+	// 8 ranks ⇒ 3 dissemination rounds ≈ 3×11 µs on calibrated Myrinet.
+	world(t, 8, func(c *Comm) {
+		_ = c.Barrier() // warm-up: align all ranks
+		start := c.rt.Now()
+		if err := c.Barrier(); err != nil {
+			t.Errorf("barrier: %v", err)
+		}
+		d := c.rt.Now().Sub(start)
+		if d < 30*time.Microsecond || d > 40*time.Microsecond {
+			t.Errorf("8-rank barrier took %v, want ≈33µs", d)
+		}
+	})
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			world(t, n, func(c *Comm) {
+				for root := 0; root < n; root++ {
+					var buf []byte
+					if c.Rank() == root {
+						buf = []byte(fmt.Sprintf("root%d", root))
+					}
+					got, err := c.Bcast(root, buf)
+					if err != nil {
+						t.Errorf("bcast root %d: %v", root, err)
+						return
+					}
+					if string(got) != fmt.Sprintf("root%d", root) {
+						t.Errorf("rank %d bcast(root=%d) = %q", c.Rank(), root, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			world(t, n, func(c *Comm) {
+				mine := Float64Bytes([]float64{float64(c.Rank()), 1})
+				got, err := c.Reduce(0, mine, SumFloat64)
+				if err != nil {
+					t.Errorf("reduce: %v", err)
+					return
+				}
+				if c.Rank() == 0 {
+					v := BytesFloat64(got)
+					wantSum := float64(n*(n-1)) / 2
+					if v[0] != wantSum || v[1] != float64(n) {
+						t.Errorf("reduce = %v, want [%v %v]", v, wantSum, n)
+					}
+				} else if got != nil {
+					t.Errorf("non-root got %v", got)
+				}
+			})
+		})
+	}
+}
+
+func TestAllreduceMax(t *testing.T) {
+	world(t, 5, func(c *Comm) {
+		mine := Float64Bytes([]float64{float64(c.Rank() * 10)})
+		got, err := c.Allreduce(mine, MaxFloat64)
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		if v := BytesFloat64(got); v[0] != 40 {
+			t.Errorf("rank %d allreduce max = %v", c.Rank(), v)
+		}
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	world(t, 4, func(c *Comm) {
+		// Gather: root assembles rank-stamped blocks.
+		blocks, err := c.Gather(2, []byte{byte(c.Rank())})
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if c.Rank() == 2 {
+			for i, b := range blocks {
+				if len(b) != 1 || b[0] != byte(i) {
+					t.Errorf("gathered[%d] = %v", i, b)
+				}
+			}
+		} else if blocks != nil {
+			t.Errorf("non-root gathered %v", blocks)
+		}
+		// Scatter: root hands rank i its block.
+		var out [][]byte
+		if c.Rank() == 1 {
+			for i := 0; i < 4; i++ {
+				out = append(out, []byte{byte(i * 3)})
+			}
+		}
+		got, err := c.Scatter(1, out)
+		if err != nil || len(got) != 1 || got[0] != byte(c.Rank()*3) {
+			t.Errorf("scatter = %v, %v", got, err)
+		}
+	})
+}
+
+func TestScatterWrongBlockCount(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				t.Error("scatter with 1 block for 2 ranks succeeded")
+			}
+			// Unblock peer with a real scatter.
+			_, _ = c.Scatter(0, [][]byte{{1}, {2}})
+		} else {
+			if got, err := c.Scatter(0, nil); err != nil || got[0] != 2 {
+				t.Errorf("scatter = %v, %v", got, err)
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{2, 3, 6} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			world(t, n, func(c *Comm) {
+				mine := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1) // ragged
+				all, err := c.Allgather(mine)
+				if err != nil {
+					t.Errorf("allgather: %v", err)
+					return
+				}
+				for i, b := range all {
+					if len(b) != i+1 || (len(b) > 0 && b[0] != byte(i)) {
+						t.Errorf("rank %d: all[%d] = %v", c.Rank(), i, b)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			world(t, n, func(c *Comm) {
+				blocks := make([][]byte, n)
+				for i := range blocks {
+					blocks[i] = []byte{byte(c.Rank()), byte(i)}
+				}
+				got, err := c.Alltoall(blocks)
+				if err != nil {
+					t.Errorf("alltoall: %v", err)
+					return
+				}
+				for i, b := range got {
+					if b[0] != byte(i) || b[1] != byte(c.Rank()) {
+						t.Errorf("rank %d: from %d = %v", c.Rank(), i, b)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestSplitEvenOdd(t *testing.T) {
+	world(t, 6, func(c *Comm) {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		defer sub.Free()
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		if want := c.Rank() / 2; sub.Rank() != want {
+			t.Errorf("sub rank = %d, want %d", sub.Rank(), want)
+		}
+		// The new communicator works: sum the parent ranks.
+		mine := Float64Bytes([]float64{float64(c.Rank())})
+		got, err := sub.Allreduce(mine, SumFloat64)
+		if err != nil {
+			t.Errorf("sub allreduce: %v", err)
+			return
+		}
+		want := 0.0 + 2 + 4
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if v := BytesFloat64(got); v[0] != want {
+			t.Errorf("sub sum = %v, want %v", v, want)
+		}
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	world(t, 3, func(c *Comm) {
+		color := 0
+		if c.Rank() == 2 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		if c.Rank() == 2 {
+			if sub != nil {
+				t.Error("undefined rank got a communicator")
+			}
+			return
+		}
+		defer sub.Free()
+		if sub.Size() != 2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+	})
+}
+
+func TestCommOverEthernetCrossParadigm(t *testing.T) {
+	worldOn(t, 4, false, func(c *Comm) {
+		if c.Mapping() != "cross-paradigm" {
+			t.Errorf("mapping = %s", c.Mapping())
+		}
+		// Semantics are identical over sockets.
+		peer := (c.Rank() + 1) % 4
+		from := (c.Rank() + 3) % 4
+		in, _, err := c.Sendrecv(peer, 1, []byte{byte(c.Rank())}, from, 1)
+		if err != nil || in[0] != byte(from) {
+			t.Errorf("sendrecv = %v, %v", in, err)
+		}
+		if err := c.Barrier(); err != nil {
+			t.Errorf("barrier: %v", err)
+		}
+	})
+}
+
+func TestFreeUnblocksReceivers(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			done := make(chan error, 1)
+			c.rt.Go("blocked-recv", func() {
+				_, _, err := c.Recv(1, 77)
+				done <- err
+			})
+			c.rt.Sleep(time.Microsecond)
+			c.Free()
+			if err := <-done; err != ErrClosed {
+				t.Errorf("recv after free = %v, want ErrClosed", err)
+			}
+			if err := c.Send(1, 0, nil); err != ErrClosed {
+				t.Errorf("send after free = %v", err)
+			}
+		}
+	})
+}
+
+func TestSendBadRank(t *testing.T) {
+	world(t, 2, func(c *Comm) {
+		if err := c.Send(5, 0, nil); err == nil {
+			t.Error("send to rank 5 succeeded")
+		}
+	})
+}
+
+func TestFloat64Roundtrip(t *testing.T) {
+	xs := []float64{0, 1.5, -2.25, 3e100, -0.0}
+	got := BytesFloat64(Float64Bytes(xs))
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("roundtrip[%d] = %v, want %v", i, got[i], xs[i])
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package orb
+
+import (
+	"fmt"
+
+	"padico/internal/cdr"
+	"padico/internal/giop"
+	"padico/internal/idl"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ObjRef is a client-side typed object reference.
+type ObjRef struct {
+	orb   *ORB
+	ior   IOR
+	iface *idl.Interface
+}
+
+// Object builds a typed reference from an IOR; the interface must be known
+// to the local repository.
+func (o *ORB) Object(ior IOR) (*ObjRef, error) {
+	iface, ok := o.repo.Interface(ior.Iface)
+	if !ok {
+		return nil, fmt.Errorf("orb: interface %q not in local repository", ior.Iface)
+	}
+	return &ObjRef{orb: o, ior: ior, iface: iface}, nil
+}
+
+// StringToObject parses a stringified IOR and types it.
+func (o *ORB) StringToObject(s string) (*ObjRef, error) {
+	ior, err := ParseIOR(s)
+	if err != nil {
+		return nil, err
+	}
+	return o.Object(ior)
+}
+
+// IOR returns the reference's locator.
+func (r *ObjRef) IOR() IOR { return r.ior }
+
+// Interface returns the reference's IDL interface.
+func (r *ObjRef) Interface() *idl.Interface { return r.iface }
+
+// Invoke performs a dynamic invocation: in/inout arguments in signature
+// order; returns the non-void result followed by out/inout values.
+func (r *ObjRef) Invoke(op string, args ...any) ([]any, error) {
+	opDef, err := resolveOp(r.iface, op)
+	if err != nil {
+		return nil, err
+	}
+	ins := opDef.Ins()
+	if len(args) != len(ins) {
+		return nil, fmt.Errorf("orb: %s.%s takes %d in-arguments, got %d",
+			r.iface.Name, op, len(ins), len(args))
+	}
+	o := r.orb
+
+	o.mu.Lock()
+	o.reqSeq++
+	reqID := o.reqSeq
+	o.mu.Unlock()
+
+	w := giop.BeginRequest(o.order, giop.RequestHeader{
+		RequestID:        reqID,
+		ResponseExpected: !opDef.Oneway,
+		ObjectKey:        r.ior.Key,
+		Operation:        op,
+	})
+	for i, p := range ins {
+		if err := MarshalValue(w, p.Type, args[i]); err != nil {
+			return nil, fmt.Errorf("orb: %s.%s param %q: %w", r.iface.Name, op, p.Name, err)
+		}
+	}
+	body := w.Bytes()
+
+	conn, err := o.connTo(r.ior.Node)
+	if err != nil {
+		return nil, err
+	}
+	var cl *call
+	if !opDef.Oneway {
+		cl = &call{w: o.rt.NewWaiter("orb: awaiting reply " + op), conn: conn}
+		o.mu.Lock()
+		o.pending[reqID] = cl
+		o.mu.Unlock()
+	}
+	// The profile's software cost (request processing + marshalling
+	// copies) is charged to the calling actor, then the message crosses
+	// the abstract interface.
+	o.charge(len(body))
+	if err := conn.wsem.Acquire(); err != nil {
+		return nil, err
+	}
+	werr := giop.WriteMessage(conn.st, giop.Request, o.order, body)
+	conn.wsem.Release()
+	if werr != nil {
+		o.dropPending(reqID)
+		return nil, fmt.Errorf("orb: sending request: %w", werr)
+	}
+	if opDef.Oneway {
+		return nil, nil
+	}
+	if err := cl.w.Wait(); err != nil {
+		return nil, err
+	}
+	if cl.err != nil {
+		return nil, cl.err
+	}
+	return r.parseReply(opDef, cl)
+}
+
+func (r *ObjRef) parseReply(opDef *idl.Operation, cl *call) ([]any, error) {
+	switch cl.status {
+	case giop.NoException:
+		outs := opDef.Outs()
+		n := len(outs)
+		if opDef.Result.Kind != idl.KindVoid {
+			n++
+		}
+		results := make([]any, 0, n)
+		if opDef.Result.Kind != idl.KindVoid {
+			v, err := UnmarshalValue(cl.results, opDef.Result)
+			if err != nil {
+				return nil, &SystemException{Msg: "MARSHAL: result: " + err.Error()}
+			}
+			results = append(results, v)
+		}
+		for _, p := range outs {
+			v, err := UnmarshalValue(cl.results, p.Type)
+			if err != nil {
+				return nil, &SystemException{Msg: fmt.Sprintf("MARSHAL: out %q: %v", p.Name, err)}
+			}
+			results = append(results, v)
+		}
+		return results, nil
+	case giop.UserException:
+		msg, _ := cl.results.ReadString()
+		return nil, &UserException{Msg: msg}
+	default:
+		msg, _ := cl.results.ReadString()
+		return nil, &SystemException{Msg: msg}
+	}
+}
+
+// Get reads an attribute.
+func (r *ObjRef) Get(attr string) (any, error) {
+	vals, err := r.Invoke("_get_" + attr)
+	if err != nil {
+		return nil, err
+	}
+	return vals[0], nil
+}
+
+// Set writes an attribute.
+func (r *ObjRef) Set(attr string, v any) error {
+	_, err := r.Invoke("_set_"+attr, v)
+	return err
+}
+
+// call tracks one outstanding request.
+type call struct {
+	w       vtime.Waiter
+	conn    *clientConn
+	status  giop.ReplyStatus
+	results *cdr.Reader
+	err     error
+}
+
+func (c *call) fail(err error) {
+	c.err = err
+	c.w.Fire()
+}
+
+// clientConn is a cached outbound GIOP connection.
+type clientConn struct {
+	st   vlink.Stream
+	wsem *vtime.Semaphore
+}
+
+// connTo returns (establishing if needed) the connection to a node.
+func (o *ORB) connTo(node string) (*clientConn, error) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := o.conns[node]; ok {
+		o.mu.Unlock()
+		return c, nil
+	}
+	o.mu.Unlock()
+	// Dial outside the lock: connection setup blocks in virtual time.
+	st, err := o.tr.Dial(node, o.service)
+	if err != nil {
+		return nil, fmt.Errorf("orb: connecting to %s: %w", node, err)
+	}
+	c := &clientConn{st: st, wsem: vtime.NewSemaphore(o.rt, "orb: request write", 1)}
+	o.mu.Lock()
+	if dup, ok := o.conns[node]; ok {
+		// Another actor raced us; keep theirs.
+		o.mu.Unlock()
+		st.Close()
+		return dup, nil
+	}
+	o.conns[node] = c
+	o.mu.Unlock()
+	o.rt.Go("orb:replies:"+node, func() { o.replyLoop(node, c) })
+	return c, nil
+}
+
+// replyLoop demultiplexes replies on one connection by request id.
+func (o *ORB) replyLoop(node string, c *clientConn) {
+	for {
+		t, order, body, err := giop.ReadMessage(c.st)
+		if err != nil {
+			o.failConn(node, c, err)
+			return
+		}
+		if t != giop.Reply {
+			continue
+		}
+		hdr, results, err := giop.ParseReply(order, body)
+		if err != nil {
+			continue
+		}
+		o.mu.Lock()
+		cl, ok := o.pending[hdr.RequestID]
+		delete(o.pending, hdr.RequestID)
+		o.mu.Unlock()
+		if !ok {
+			continue // cancelled or duplicate
+		}
+		cl.status = hdr.Status
+		cl.results = results
+		cl.w.Fire()
+	}
+}
+
+// failConn tears a broken connection down and fails exactly the calls that
+// were outstanding on it.
+func (o *ORB) failConn(node string, c *clientConn, err error) {
+	o.mu.Lock()
+	if o.conns[node] == c {
+		delete(o.conns, node)
+	}
+	var victims []*call
+	for id, cl := range o.pending {
+		if cl.conn == c {
+			victims = append(victims, cl)
+			delete(o.pending, id)
+		}
+	}
+	o.mu.Unlock()
+	c.st.Close()
+	for _, cl := range victims {
+		cl.fail(fmt.Errorf("orb: connection to %s lost: %w", node, err))
+	}
+}
+
+func (o *ORB) dropPending(reqID uint32) {
+	o.mu.Lock()
+	delete(o.pending, reqID)
+	o.mu.Unlock()
+}
+
+var (
+	_ error   = (*UserException)(nil)
+	_ error   = (*SystemException)(nil)
+	_ Servant = HandlerMap(nil)
+)

@@ -1,0 +1,47 @@
+package orb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IOR is an interoperable object reference: enough to locate and type an
+// object anywhere on the grid. The stringified form follows the corbaloc
+// style: "corbaloc:padico:<node>/<key>#<interface>".
+type IOR struct {
+	Node  string // hosting node name
+	Key   string // object key within the node's adapter
+	Iface string // fully-qualified IDL interface name
+}
+
+const iorPrefix = "corbaloc:padico:"
+
+// String renders the stringified reference.
+func (i IOR) String() string {
+	return fmt.Sprintf("%s%s/%s#%s", iorPrefix, i.Node, i.Key, i.Iface)
+}
+
+// Nil reports whether the reference is empty.
+func (i IOR) Nil() bool { return i == IOR{} }
+
+// ParseIOR parses a stringified reference.
+func ParseIOR(s string) (IOR, error) {
+	if s == "" {
+		return IOR{}, nil // nil object reference
+	}
+	rest, ok := strings.CutPrefix(s, iorPrefix)
+	if !ok {
+		return IOR{}, fmt.Errorf("orb: not a padico object reference: %q", s)
+	}
+	node, rest, ok := strings.Cut(rest, "/")
+	if !ok || node == "" {
+		return IOR{}, fmt.Errorf("orb: object reference %q missing node", s)
+	}
+	// Object keys may themselves contain '#' (event-sink ports), so the
+	// interface is everything after the last separator.
+	sep := strings.LastIndex(rest, "#")
+	if sep <= 0 || sep == len(rest)-1 {
+		return IOR{}, fmt.Errorf("orb: object reference %q missing key or interface", s)
+	}
+	return IOR{Node: node, Key: rest[:sep], Iface: rest[sep+1:]}, nil
+}

@@ -1,0 +1,142 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"padico/internal/idl"
+)
+
+// NameServiceKey is the conventional object key of the naming service.
+const NameServiceKey = "NameService"
+
+// NameServiceIface is the naming service's interface name.
+const NameServiceIface = "Padico::NameService"
+
+// RegisterNamingIDL installs the naming service interface into a
+// repository (it is defined programmatically, not parsed, so every process
+// can resolve it without shipping IDL files).
+func RegisterNamingIDL(repo *idl.Repository) {
+	if _, ok := repo.Interface(NameServiceIface); ok {
+		return
+	}
+	str := idl.Basic(idl.KindString)
+	repo.RegisterInterface(&idl.Interface{
+		Name: NameServiceIface,
+		Ops: []*idl.Operation{
+			{Name: "bind", Result: idl.Basic(idl.KindVoid), Params: []idl.Param{
+				{Name: "name", Dir: idl.In, Type: str},
+				{Name: "ref", Dir: idl.In, Type: str},
+			}},
+			{Name: "resolve", Result: str, Params: []idl.Param{
+				{Name: "name", Dir: idl.In, Type: str},
+			}},
+			{Name: "unbind", Result: idl.Basic(idl.KindVoid), Params: []idl.Param{
+				{Name: "name", Dir: idl.In, Type: str},
+			}},
+			{Name: "list", Result: idl.SequenceOf(str)},
+		},
+	})
+}
+
+// ServeNaming activates a naming service on this ORB and returns its IOR.
+func ServeNaming(o *ORB) (IOR, error) {
+	RegisterNamingIDL(o.repo)
+	reg := &namingServant{entries: make(map[string]string)}
+	return o.Activate(NameServiceKey, NameServiceIface, reg)
+}
+
+type namingServant struct {
+	mu      sync.Mutex
+	entries map[string]string
+}
+
+func (n *namingServant) Invoke(op string, args []any) ([]any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch op {
+	case "bind":
+		name, ref := args[0].(string), args[1].(string)
+		if _, dup := n.entries[name]; dup {
+			return nil, &UserException{Msg: "AlreadyBound: " + name}
+		}
+		n.entries[name] = ref
+		return []any{}, nil
+	case "resolve":
+		ref, ok := n.entries[args[0].(string)]
+		if !ok {
+			return nil, &UserException{Msg: "NotFound: " + args[0].(string)}
+		}
+		return []any{ref}, nil
+	case "unbind":
+		delete(n.entries, args[0].(string))
+		return []any{}, nil
+	case "list":
+		names := make([]string, 0, len(n.entries))
+		for name := range n.entries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return []any{names}, nil
+	default:
+		return nil, &SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+}
+
+// Naming is a typed client for the naming service.
+type Naming struct{ ref *ObjRef }
+
+// NamingAt returns a naming client for the service on the given node.
+func (o *ORB) NamingAt(node string) (*Naming, error) {
+	RegisterNamingIDL(o.repo)
+	ref, err := o.Object(IOR{Node: node, Key: NameServiceKey, Iface: NameServiceIface})
+	if err != nil {
+		return nil, err
+	}
+	return &Naming{ref: ref}, nil
+}
+
+// Bind registers an object under a name.
+func (n *Naming) Bind(name string, ior IOR) error {
+	_, err := n.ref.Invoke("bind", name, ior.String())
+	return err
+}
+
+// Resolve looks a name up.
+func (n *Naming) Resolve(name string) (IOR, error) {
+	vals, err := n.ref.Invoke("resolve", name)
+	if err != nil {
+		return IOR{}, err
+	}
+	return ParseIOR(vals[0].(string))
+}
+
+// Unbind removes a binding.
+func (n *Naming) Unbind(name string) error {
+	_, err := n.ref.Invoke("unbind", name)
+	return err
+}
+
+// List returns all bound names.
+func (n *Naming) List() ([]string, error) {
+	vals, err := n.ref.Invoke("list")
+	if err != nil {
+		return nil, err
+	}
+	return vals[0].([]string), nil
+}
+
+// ResolveWait polls until a name appears (deployment-time rendezvous).
+func (n *Naming) ResolveWait(name string, attempts int) (IOR, error) {
+	for i := 0; ; i++ {
+		ior, err := n.Resolve(name)
+		if err == nil {
+			return ior, nil
+		}
+		if i >= attempts {
+			return IOR{}, fmt.Errorf("orb: %s not bound after %d attempts: %w", name, attempts, err)
+		}
+		n.ref.orb.rt.Sleep(200 * 1000) // 200 µs between polls
+	}
+}

@@ -1,0 +1,352 @@
+// Package orb is the CORBA substrate of the reproduction: object
+// references (IORs), an object adapter with servants, GIOP/CDR messaging,
+// and DII-style dynamic invocation driven by the IDL repository.
+//
+// One ORB serves one Padico process. Its transport is pluggable: the VLink
+// abstract interface under simulation (which transparently selects Myrinet
+// or sockets — the paper's Figure 7 setup), or a real loopback-TCP
+// transport under the wall clock for integration tests.
+//
+// Concrete CORBA implementations of 2003 differed mainly in request
+// overhead and marshalling copies; an ORBProfile (omniORB 3/4, Mico,
+// ORBacus, OpenCCM/Java) carries those calibrated costs, charged on the
+// sending side of each GIOP message.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"padico/internal/cdr"
+	"padico/internal/giop"
+	"padico/internal/idl"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// ErrClosed is returned on operations against a shut-down ORB.
+var ErrClosed = errors.New("orb: shut down")
+
+// UserException is a CORBA user exception raised by a servant.
+type UserException struct{ Msg string }
+
+func (e *UserException) Error() string { return "orb: user exception: " + e.Msg }
+
+// SystemException is a CORBA system exception (infrastructure failure).
+type SystemException struct{ Msg string }
+
+func (e *SystemException) Error() string { return "orb: system exception: " + e.Msg }
+
+// Servant is the implementation side of an object: the adapter delivers
+// each operation with its unmarshalled in/inout arguments (in signature
+// order) and expects the result values back — the non-void result first,
+// then out/inout parameters in signature order. Returning an error raises
+// a user exception at the client.
+type Servant interface {
+	Invoke(op string, args []any) ([]any, error)
+}
+
+// HandlerMap is a convenience Servant dispatching on operation name.
+// Attribute accessors use the GIOP names "_get_<attr>"/"_set_<attr>".
+type HandlerMap map[string]func(args []any) ([]any, error)
+
+// Invoke implements Servant.
+func (h HandlerMap) Invoke(op string, args []any) ([]any, error) {
+	f, ok := h[op]
+	if !ok {
+		return nil, &SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+	return f(args)
+}
+
+// Transport abstracts how GIOP connections reach other nodes.
+type Transport interface {
+	// Listen binds the GIOP service and returns an acceptor.
+	Listen(service string) (Acceptor, error)
+	// Dial connects to the named node's GIOP service.
+	Dial(node, service string) (vlink.Stream, error)
+	// NodeName identifies the local node.
+	NodeName() string
+}
+
+// Acceptor yields inbound GIOP streams.
+type Acceptor interface {
+	Accept() (vlink.Stream, error)
+	Close() error
+}
+
+// Config configures an ORB.
+type Config struct {
+	Transport Transport
+	Repo      *idl.Repository
+	Profile   simnet.ORBProfile
+	Runtime   vtime.Runtime
+	Node      *simnet.Node // nil under the wall clock
+	Service   string       // GIOP service name; default "giop"
+}
+
+// ORB is one process's object request broker.
+type ORB struct {
+	tr      Transport
+	repo    *idl.Repository
+	profile simnet.ORBProfile
+	rt      vtime.Runtime
+	node    *simnet.Node
+	service string
+	order   cdr.ByteOrder
+
+	mu       sync.Mutex
+	servants map[string]*activation
+	conns    map[string]*clientConn
+	pending  map[uint32]*call
+	reqSeq   uint32
+	acceptor Acceptor
+	closed   bool
+}
+
+type activation struct {
+	iface *idl.Interface
+	impl  Servant
+}
+
+// New starts an ORB: the GIOP service is bound immediately.
+func New(cfg Config) (*ORB, error) {
+	if cfg.Service == "" {
+		cfg.Service = "giop"
+	}
+	if cfg.Repo == nil {
+		return nil, errors.New("orb: Config.Repo is required")
+	}
+	o := &ORB{
+		tr:       cfg.Transport,
+		repo:     cfg.Repo,
+		profile:  cfg.Profile,
+		rt:       cfg.Runtime,
+		node:     cfg.Node,
+		service:  cfg.Service,
+		order:    cdr.BigEndian,
+		servants: make(map[string]*activation),
+		conns:    make(map[string]*clientConn),
+		pending:  make(map[uint32]*call),
+	}
+	acc, err := cfg.Transport.Listen(cfg.Service)
+	if err != nil {
+		return nil, fmt.Errorf("orb: binding GIOP service: %w", err)
+	}
+	o.acceptor = acc
+	o.rt.Go("orb:accept:"+o.tr.NodeName(), o.acceptLoop)
+	return o, nil
+}
+
+// Repo returns the ORB's interface repository.
+func (o *ORB) Repo() *idl.Repository { return o.repo }
+
+// Runtime returns the runtime the ORB schedules on.
+func (o *ORB) Runtime() vtime.Runtime { return o.rt }
+
+// Profile returns the emulated implementation profile.
+func (o *ORB) Profile() simnet.ORBProfile { return o.profile }
+
+// NodeName returns the hosting node's name.
+func (o *ORB) NodeName() string { return o.tr.NodeName() }
+
+// charge bills the profile's software cost for one GIOP message to the
+// calling actor (no-op under the wall clock).
+func (o *ORB) charge(bytes int) {
+	if o.node != nil {
+		o.node.Charge(o.profile.Cost, bytes)
+	}
+}
+
+// Activate registers impl under key with the given interface and returns
+// its IOR.
+func (o *ORB) Activate(key, ifaceName string, impl Servant) (IOR, error) {
+	iface, ok := o.repo.Interface(ifaceName)
+	if !ok {
+		return IOR{}, fmt.Errorf("orb: unknown interface %q", ifaceName)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.servants[key]; dup {
+		return IOR{}, fmt.Errorf("orb: object key %q already active", key)
+	}
+	o.servants[key] = &activation{iface: iface, impl: impl}
+	return IOR{Node: o.tr.NodeName(), Key: key, Iface: ifaceName}, nil
+}
+
+// Deactivate removes the servant under key.
+func (o *ORB) Deactivate(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.servants, key)
+}
+
+// Shutdown closes the acceptor and all connections; pending calls fail.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	conns := o.conns
+	o.conns = map[string]*clientConn{}
+	pend := o.pending
+	o.pending = map[uint32]*call{}
+	o.mu.Unlock()
+	o.acceptor.Close()
+	for _, c := range conns {
+		c.st.Close()
+	}
+	for _, cl := range pend {
+		cl.fail(ErrClosed)
+	}
+}
+
+// acceptLoop serves inbound GIOP connections.
+func (o *ORB) acceptLoop() {
+	for {
+		st, err := o.acceptor.Accept()
+		if err != nil {
+			return
+		}
+		o.rt.Go("orb:serve", func() { o.serveConn(st) })
+	}
+}
+
+// serveConn handles one inbound connection: requests dispatch concurrently,
+// replies serialize on a semaphore (a plain mutex must not be held across
+// virtual-time-blocking writes).
+func (o *ORB) serveConn(st vlink.Stream) {
+	wsem := vtime.NewSemaphore(o.rt, "orb: reply write", 1)
+	for {
+		t, order, body, err := giop.ReadMessage(st)
+		if err != nil {
+			st.Close()
+			return
+		}
+		switch t {
+		case giop.Request:
+			o.rt.Go("orb:dispatch", func() { o.dispatch(st, wsem, order, body) })
+		case giop.CloseConnection:
+			st.Close()
+			return
+		default:
+			// LocateRequest etc. are not needed by the workloads.
+		}
+	}
+}
+
+func (o *ORB) dispatch(st vlink.Stream, wsem *vtime.Semaphore, order cdr.ByteOrder, body []byte) {
+	hdr, args, err := giop.ParseRequest(order, body)
+	if err != nil {
+		return // malformed: drop connection-level garbage
+	}
+	w := func() *cdr.Writer {
+		results, uerr := o.invokeLocal(hdr, args, order)
+		if uerr != nil {
+			status := giop.UserException
+			var sysErr *SystemException
+			if errors.As(uerr, &sysErr) {
+				status = giop.SystemException
+			}
+			w := giop.BeginReply(order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: status})
+			w.WriteString(uerr.Error())
+			return w
+		}
+		return results
+	}()
+	if !hdr.ResponseExpected {
+		return
+	}
+	reply := w.Bytes()
+	o.charge(len(reply))
+	if err := wsem.Acquire(); err != nil {
+		return
+	}
+	defer wsem.Release()
+	_ = giop.WriteMessage(st, giop.Reply, order, reply)
+}
+
+// invokeLocal runs the servant and marshals its results.
+func (o *ORB) invokeLocal(hdr giop.RequestHeader, args *cdr.Reader, order cdr.ByteOrder) (*cdr.Writer, error) {
+	key, opName := hdr.ObjectKey, hdr.Operation
+	o.mu.Lock()
+	act, ok := o.servants[key]
+	o.mu.Unlock()
+	if !ok {
+		return nil, &SystemException{Msg: "OBJECT_NOT_EXIST: " + key}
+	}
+	op, err := resolveOp(act.iface, opName)
+	if err != nil {
+		return nil, err
+	}
+	ins := op.Ins()
+	vals := make([]any, 0, len(ins))
+	for _, p := range ins {
+		v, err := UnmarshalValue(args, p.Type)
+		if err != nil {
+			return nil, &SystemException{Msg: fmt.Sprintf("MARSHAL: param %q: %v", p.Name, err)}
+		}
+		vals = append(vals, v)
+	}
+	results, err := act.impl.Invoke(opName, vals)
+	if err != nil {
+		return nil, err
+	}
+	// Marshal: non-void result first, then out/inout params.
+	outs := op.Outs()
+	want := len(outs)
+	if op.Result.Kind != idl.KindVoid {
+		want++
+	}
+	if len(results) != want {
+		return nil, &SystemException{
+			Msg: fmt.Sprintf("MARSHAL: %s returned %d values, want %d", opName, len(results), want),
+		}
+	}
+	w := giop.BeginReply(order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: giop.NoException})
+	return w, o.marshalResults(w, op, results)
+}
+
+func (o *ORB) marshalResults(w *cdr.Writer, op *idl.Operation, results []any) error {
+	i := 0
+	if op.Result.Kind != idl.KindVoid {
+		if err := MarshalValue(w, op.Result, results[0]); err != nil {
+			return &SystemException{Msg: "MARSHAL: result: " + err.Error()}
+		}
+		i = 1
+	}
+	for _, p := range op.Outs() {
+		if err := MarshalValue(w, p.Type, results[i]); err != nil {
+			return &SystemException{Msg: fmt.Sprintf("MARSHAL: out param %q: %v", p.Name, err)}
+		}
+		i++
+	}
+	return nil
+}
+
+// resolveOp finds the operation, synthesizing attribute accessors.
+func resolveOp(iface *idl.Interface, name string) (*idl.Operation, error) {
+	if op, ok := iface.Op(name); ok {
+		return op, nil
+	}
+	if attr, ok := strings.CutPrefix(name, "_get_"); ok {
+		if a, found := iface.Attr(attr); found {
+			return &idl.Operation{Name: name, Result: a.Type}, nil
+		}
+	}
+	if attr, ok := strings.CutPrefix(name, "_set_"); ok {
+		if a, found := iface.Attr(attr); found && !a.ReadOnly {
+			return &idl.Operation{
+				Name:   name,
+				Result: idl.Basic(idl.KindVoid),
+				Params: []idl.Param{{Name: "value", Dir: idl.In, Type: a.Type}},
+			}, nil
+		}
+	}
+	return nil, &SystemException{Msg: "BAD_OPERATION: " + iface.Name + "::" + name}
+}

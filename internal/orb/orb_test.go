@@ -1,0 +1,453 @@
+package orb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/cdr"
+	"padico/internal/idl"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+const calcIDL = `
+module Demo {
+    typedef sequence<double> Vec;
+    struct Point { double x; double y; };
+    enum Mode { FAST, SAFE };
+
+    interface Calc {
+        double add(in double a, in double b);
+        Vec scale(in Vec v, in double k);
+        void minmax(in Vec v, out double lo, out double hi);
+        double dist(in Point p, inout Point q);
+        oneway void fire(in string event);
+        string modeName(in Mode m);
+        long fail(in string why);
+        attribute long counter;
+        readonly attribute string label;
+    };
+};
+`
+
+// calcServant implements Demo::Calc.
+type calcServant struct {
+	counter int32
+	fired   chan string
+}
+
+func (c *calcServant) Invoke(op string, args []any) ([]any, error) {
+	switch op {
+	case "add":
+		return []any{args[0].(float64) + args[1].(float64)}, nil
+	case "scale":
+		v, k := args[0].([]float64), args[1].(float64)
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] * k
+		}
+		return []any{out}, nil
+	case "minmax":
+		v := args[0].([]float64)
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return []any{lo, hi}, nil
+	case "dist":
+		p := args[0].(map[string]any)
+		q := args[1].(map[string]any)
+		dx := p["x"].(float64) - q["x"].(float64)
+		dy := p["y"].(float64) - q["y"].(float64)
+		// inout param comes back doubled, to observe mutation.
+		q2 := map[string]any{"x": q["x"].(float64) * 2, "y": q["y"].(float64) * 2}
+		return []any{dx*dx + dy*dy, q2}, nil
+	case "fire":
+		c.fired <- args[0].(string)
+		return []any{}, nil
+	case "modeName":
+		names := []string{"FAST", "SAFE"}
+		return []any{names[args[0].(uint32)]}, nil
+	case "fail":
+		return nil, &UserException{Msg: args[0].(string)}
+	case "_get_counter":
+		return []any{c.counter}, nil
+	case "_set_counter":
+		c.counter = args[0].(int32)
+		return []any{}, nil
+	case "_get_label":
+		return []any{"calc-v1"}, nil
+	default:
+		return nil, &SystemException{Msg: "BAD_OPERATION: " + op}
+	}
+}
+
+// simPair builds two nodes with SAN+LAN, linkers, and two ORBs.
+func simPair(t *testing.T, profile simnet.ORBProfile) (*vtime.Sim, *arbitration.Arbiter, *ORB, *ORB, func()) {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	a, b := net.NewNode("alpha"), net.NewNode("beta")
+	arb := arbitration.New(net)
+	if _, err := arb.AddSAN(net.NewMyrinet2000("myri0", []*simnet.Node{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.AddSock(net.NewEthernet100("eth0", []*simnet.Node{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	la, lb := vlink.NewLinker(arb, a), vlink.NewLinker(arb, b)
+	repoA, repoB := idl.NewRepository(), idl.NewRepository()
+	repoA.MustParse(calcIDL)
+	repoB.MustParse(calcIDL)
+	orbA, err := New(Config{Transport: VLinkTransport{la}, Repo: repoA, Profile: profile, Runtime: s, Node: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orbB, err := New(Config{Transport: VLinkTransport{lb}, Repo: repoB, Profile: profile, Runtime: s, Node: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		orbA.Shutdown()
+		orbB.Shutdown()
+		la.Close()
+		lb.Close()
+		arb.Close()
+	}
+	return s, arb, orbA, orbB, cleanup
+}
+
+func activateCalc(t *testing.T, o *ORB) (IOR, *calcServant) {
+	t.Helper()
+	sv := &calcServant{fired: make(chan string, 4)}
+	ior, err := o.Activate("calc-1", "Demo::Calc", sv)
+	if err != nil {
+		t.Fatalf("activate: %v", err)
+	}
+	return ior, sv
+}
+
+func TestInvokeOverSimulatedGrid(t *testing.T) {
+	s, _, orbA, orbB, cleanup := simPair(t, simnet.OmniORB3)
+	s.Run(func() {
+		defer cleanup()
+		ior, sv := activateCalc(t, orbA)
+		ref, err := orbB.Object(ior)
+		if err != nil {
+			t.Fatalf("object: %v", err)
+		}
+		// Scalar op.
+		vals, err := ref.Invoke("add", 2.5, 4.0)
+		if err != nil || vals[0].(float64) != 6.5 {
+			t.Fatalf("add = %v, %v", vals, err)
+		}
+		// Sequence op.
+		vals, err = ref.Invoke("scale", []float64{1, 2, 3}, 10.0)
+		if err != nil {
+			t.Fatalf("scale: %v", err)
+		}
+		if got := vals[0].([]float64); got[2] != 30 {
+			t.Fatalf("scale = %v", got)
+		}
+		// Out params.
+		vals, err = ref.Invoke("minmax", []float64{5, -1, 9})
+		if err != nil || vals[0].(float64) != -1 || vals[1].(float64) != 9 {
+			t.Fatalf("minmax = %v, %v", vals, err)
+		}
+		// Struct in + inout.
+		p := map[string]any{"x": 3.0, "y": 4.0}
+		q := map[string]any{"x": 1.0, "y": 1.0}
+		vals, err = ref.Invoke("dist", p, q)
+		if err != nil || vals[0].(float64) != 13 {
+			t.Fatalf("dist = %v, %v", vals, err)
+		}
+		if q2 := vals[1].(map[string]any); q2["x"].(float64) != 2 {
+			t.Fatalf("inout q = %v", q2)
+		}
+		// Enum.
+		vals, err = ref.Invoke("modeName", uint32(1))
+		if err != nil || vals[0].(string) != "SAFE" {
+			t.Fatalf("modeName = %v, %v", vals, err)
+		}
+		// Attributes.
+		if err := ref.Set("counter", int32(42)); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		if v, err := ref.Get("counter"); err != nil || v.(int32) != 42 {
+			t.Fatalf("get = %v, %v", v, err)
+		}
+		if v, _ := ref.Get("label"); v.(string) != "calc-v1" {
+			t.Fatalf("label = %v", v)
+		}
+		if err := ref.Set("label", "nope"); err == nil {
+			t.Fatal("set on readonly attribute succeeded")
+		}
+		// Oneway.
+		if _, err := ref.Invoke("fire", "evt-1"); err != nil {
+			t.Fatalf("fire: %v", err)
+		}
+		select {
+		case got := <-sv.fired:
+			if got != "evt-1" {
+				t.Fatalf("fired = %q", got)
+			}
+		default:
+			// Oneway may still be in flight; wait a little virtual time.
+			s.Sleep(time.Millisecond)
+			if got := <-sv.fired; got != "evt-1" {
+				t.Fatalf("fired = %q", got)
+			}
+		}
+	})
+}
+
+func TestUserAndSystemExceptions(t *testing.T) {
+	s, _, orbA, orbB, cleanup := simPair(t, simnet.OmniORB3)
+	s.Run(func() {
+		defer cleanup()
+		ior, _ := activateCalc(t, orbA)
+		ref, _ := orbB.Object(ior)
+		_, err := ref.Invoke("fail", "numerical blow-up")
+		var ue *UserException
+		if !errors.As(err, &ue) {
+			t.Fatalf("err = %v, want UserException", err)
+		}
+		// Unknown operation → system exception.
+		_, err = ref.Invoke("nonsense")
+		var se *SystemException
+		if !errors.As(err, &se) {
+			t.Fatalf("err = %v, want SystemException", err)
+		}
+		// Wrong arg count is a local error.
+		if _, err := ref.Invoke("add", 1.0); err == nil {
+			t.Fatal("wrong arity accepted")
+		}
+		// Wrong arg type is a marshal error.
+		if _, err := ref.Invoke("add", "x", "y"); err == nil {
+			t.Fatal("wrong types accepted")
+		}
+		// Dangling key.
+		bad, _ := orbB.Object(IOR{Node: "alpha", Key: "ghost", Iface: "Demo::Calc"})
+		if _, err := bad.Invoke("add", 1.0, 2.0); !errors.As(err, &se) {
+			t.Fatalf("ghost invoke err = %v", err)
+		}
+	})
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	s, _, orbA, orbB, cleanup := simPair(t, simnet.OmniORB3)
+	s.Run(func() {
+		defer cleanup()
+		ior, _ := activateCalc(t, orbA)
+		ref, _ := orbB.Object(ior)
+		const k = 16
+		wg := vtime.NewWaitGroup(s, "calls")
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			s.Go("caller", func() {
+				defer wg.Done()
+				vals, err := ref.Invoke("add", float64(i), 1000.0)
+				if err != nil || vals[0].(float64) != float64(i)+1000 {
+					t.Errorf("call %d = %v, %v", i, vals, err)
+				}
+			})
+		}
+		_ = wg.Wait()
+	})
+}
+
+func TestLatencyMatchesPaperOmniORB(t *testing.T) {
+	// §4.4: omniORB latency 20 µs on PadicoTM/Myrinet (half round-trip).
+	s, _, orbA, orbB, cleanup := simPair(t, simnet.OmniORB3)
+	s.Run(func() {
+		defer cleanup()
+		ior, _ := activateCalc(t, orbA)
+		ref, _ := orbB.Object(ior)
+		// Warm up the connection.
+		if _, err := ref.Invoke("add", 0.0, 0.0); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+		const iters = 10
+		start := s.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := ref.Invoke("add", 1.0, 2.0); err != nil {
+				t.Fatalf("invoke: %v", err)
+			}
+		}
+		half := s.Now().Sub(start) / (2 * iters)
+		if half < 18*time.Microsecond || half > 23*time.Microsecond {
+			t.Errorf("omniORB half round-trip = %v, want ≈20µs", half)
+		}
+	})
+}
+
+func TestMicoSlowerThanOmniORB(t *testing.T) {
+	measure := func(profile simnet.ORBProfile) time.Duration {
+		s, _, orbA, orbB, cleanup := simPair(t, profile)
+		var d time.Duration
+		s.Run(func() {
+			defer cleanup()
+			ior, _ := activateCalc(t, orbA)
+			ref, _ := orbB.Object(ior)
+			_, _ = ref.Invoke("add", 0.0, 0.0)
+			big := make([]float64, 65536)
+			start := s.Now()
+			if _, err := ref.Invoke("scale", big, 2.0); err != nil {
+				t.Errorf("scale: %v", err)
+			}
+			d = s.Now().Sub(start)
+		})
+		return d
+	}
+	omni := measure(simnet.OmniORB3)
+	mico := measure(simnet.Mico)
+	if float64(mico)/float64(omni) < 2 {
+		t.Fatalf("Mico (%v) should be several times slower than omniORB (%v) on large args", mico, omni)
+	}
+}
+
+func TestNamingService(t *testing.T) {
+	s, _, orbA, orbB, cleanup := simPair(t, simnet.OmniORB4)
+	s.Run(func() {
+		defer cleanup()
+		if _, err := ServeNaming(orbA); err != nil {
+			t.Fatalf("serve naming: %v", err)
+		}
+		ior, _ := activateCalc(t, orbA)
+		ns, err := orbB.NamingAt("alpha")
+		if err != nil {
+			t.Fatalf("naming client: %v", err)
+		}
+		if err := ns.Bind("demo/calc", ior); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		if err := ns.Bind("demo/calc", ior); err == nil {
+			t.Fatal("double bind succeeded")
+		}
+		got, err := ns.Resolve("demo/calc")
+		if err != nil || got != ior {
+			t.Fatalf("resolve = %+v, %v", got, err)
+		}
+		names, err := ns.List()
+		if err != nil || len(names) != 1 || names[0] != "demo/calc" {
+			t.Fatalf("list = %v, %v", names, err)
+		}
+		ref, _ := orbB.Object(got)
+		if vals, err := ref.Invoke("add", 1.0, 1.0); err != nil || vals[0].(float64) != 2 {
+			t.Fatalf("resolved invoke = %v, %v", vals, err)
+		}
+		if err := ns.Unbind("demo/calc"); err != nil {
+			t.Fatalf("unbind: %v", err)
+		}
+		if _, err := ns.Resolve("demo/calc"); err == nil {
+			t.Fatal("resolve after unbind succeeded")
+		}
+	})
+}
+
+func TestIORRoundtrip(t *testing.T) {
+	ior := IOR{Node: "alpha", Key: "calc-1", Iface: "Demo::Calc"}
+	got, err := ParseIOR(ior.String())
+	if err != nil || got != ior {
+		t.Fatalf("roundtrip = %+v, %v", got, err)
+	}
+	if _, err := ParseIOR("IOR:00deadbeef"); err == nil {
+		t.Error("foreign IOR accepted")
+	}
+	if _, err := ParseIOR("corbaloc:padico:nodeonly"); err == nil {
+		t.Error("missing key accepted")
+	}
+	if nilIOR, err := ParseIOR(""); err != nil || !nilIOR.Nil() {
+		t.Errorf("empty = %+v, %v", nilIOR, err)
+	}
+}
+
+func TestORBOverRealTCP(t *testing.T) {
+	// The same ORB code runs over genuine loopback TCP under wall time.
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	repoA, repoB := idl.NewRepository(), idl.NewRepository()
+	repoA.MustParse(calcIDL)
+	repoB.MustParse(calcIDL)
+	orbA, err := New(Config{Transport: TCPTransport{Stack: stack, Name: "alpha"}, Repo: repoA,
+		Profile: simnet.OmniORB3, Runtime: wall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orbA.Shutdown()
+	orbB, err := New(Config{Transport: TCPTransport{Stack: stack, Name: "beta"}, Repo: repoB,
+		Profile: simnet.OmniORB3, Runtime: wall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orbB.Shutdown()
+	sv := &calcServant{fired: make(chan string, 1)}
+	ior, err := orbA.Activate("calc-1", "Demo::Calc", sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := orbB.Object(ior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ref.Invoke("add", 20.0, 22.0)
+	if err != nil || vals[0].(float64) != 42 {
+		t.Fatalf("add over TCP = %v, %v", vals, err)
+	}
+	vals, err = ref.Invoke("scale", []float64{1, 2}, 3.0)
+	if err != nil || vals[0].([]float64)[1] != 6 {
+		t.Fatalf("scale over TCP = %v, %v", vals, err)
+	}
+}
+
+func TestValueMarshalErrors(t *testing.T) {
+	repo := idl.NewRepository()
+	repo.MustParse(`struct S { long a; };
+		interface I { void f(in S s, in sequence<long> xs); };`)
+	st, _ := repo.Type("S")
+	w := cdr.NewWriter(cdr.BigEndian)
+	// Missing struct field.
+	if err := MarshalValue(w, st, map[string]any{}); err == nil {
+		t.Error("missing field accepted")
+	}
+	if err := MarshalValue(w, st, "not-a-map"); err == nil {
+		t.Error("non-map struct accepted")
+	}
+	seq := idl.SequenceOf(idl.Basic(idl.KindLong))
+	if err := MarshalValue(w, seq, []float64{1}); err == nil {
+		t.Error("wrong slice type accepted")
+	}
+	if err := MarshalValue(w, seq, []int32{1, 2}); err != nil {
+		t.Errorf("valid slice rejected: %v", err)
+	}
+}
+
+func TestSeqLen(t *testing.T) {
+	for _, tc := range []struct {
+		v    any
+		n    int
+		isSq bool
+	}{
+		{[]byte{1, 2}, 2, true},
+		{[]float64{1}, 1, true},
+		{[]int32{}, 0, true},
+		{[]string{"a", "b", "c"}, 3, true},
+		{[]any{1, 2}, 2, true},
+		{42, 0, false},
+		{"str", 0, false},
+	} {
+		n, ok := SeqLen(tc.v)
+		if n != tc.n || ok != tc.isSq {
+			t.Errorf("SeqLen(%T) = %d,%v", tc.v, n, ok)
+		}
+	}
+}

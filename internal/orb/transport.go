@@ -1,0 +1,65 @@
+package orb
+
+import (
+	"hash/fnv"
+
+	"padico/internal/sockets"
+	"padico/internal/vlink"
+)
+
+// VLinkTransport runs GIOP over PadicoTM's distributed abstract interface:
+// the paper's configuration, where CORBA transparently uses Myrinet via the
+// cross-paradigm mapping or sockets on LAN/WAN.
+type VLinkTransport struct{ Linker *vlink.Linker }
+
+// Listen implements Transport.
+func (t VLinkTransport) Listen(service string) (Acceptor, error) {
+	return t.Linker.Listen(service)
+}
+
+// Dial implements Transport.
+func (t VLinkTransport) Dial(node, service string) (vlink.Stream, error) {
+	return t.Linker.DialName(node, service)
+}
+
+// NodeName implements Transport.
+func (t VLinkTransport) NodeName() string { return t.Linker.Node().Name }
+
+var _ Transport = VLinkTransport{}
+
+// TCPTransport runs GIOP over real loopback TCP sockets under the wall
+// clock, for integration tests that exercise the genuine kernel path.
+type TCPTransport struct {
+	Stack *sockets.TCPStack
+	Name  string
+}
+
+func tcpServicePort(service string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(service))
+	return 28000 + int(h.Sum32()%10000)
+}
+
+// Listen implements Transport.
+func (t TCPTransport) Listen(service string) (Acceptor, error) {
+	l, err := t.Stack.Host(t.Name).Listen(tcpServicePort(service))
+	if err != nil {
+		return nil, err
+	}
+	return tcpAcceptor{l}, nil
+}
+
+// Dial implements Transport.
+func (t TCPTransport) Dial(node, service string) (vlink.Stream, error) {
+	return t.Stack.Host(t.Name).Dial(sockets.JoinAddr(node, tcpServicePort(service)))
+}
+
+// NodeName implements Transport.
+func (t TCPTransport) NodeName() string { return t.Name }
+
+type tcpAcceptor struct{ l sockets.Listener }
+
+func (a tcpAcceptor) Accept() (vlink.Stream, error) { return a.l.Accept() }
+func (a tcpAcceptor) Close() error                  { return a.l.Close() }
+
+var _ Transport = TCPTransport{}

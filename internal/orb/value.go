@@ -1,0 +1,322 @@
+package orb
+
+import (
+	"fmt"
+
+	"padico/internal/cdr"
+	"padico/internal/idl"
+)
+
+// Value mapping between IDL types and Go values, used by the DII-style
+// dynamic invocation path:
+//
+//	boolean → bool          octet → byte         short → int16
+//	unsigned short → uint16 long → int32         unsigned long → uint32
+//	long long → int64       unsigned long long → uint64
+//	float → float32         double → float64     string → string
+//	enum → uint32           sequence<octet> → []byte
+//	sequence<double> → []float64   sequence<long> → []int32
+//	sequence<string> → []string    other sequences → []any
+//	struct → map[string]any        interface → IOR
+
+// MarshalValue encodes v as the IDL type t.
+func MarshalValue(w *cdr.Writer, t *idl.Type, v any) error {
+	switch t.Kind {
+	case idl.KindVoid:
+		return nil
+	case idl.KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteBool(b)
+	case idl.KindOctet:
+		b, ok := v.(byte)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteOctet(b)
+	case idl.KindShort:
+		x, ok := v.(int16)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteShort(x)
+	case idl.KindUShort:
+		x, ok := v.(uint16)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteUShort(x)
+	case idl.KindLong:
+		x, ok := v.(int32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteLong(x)
+	case idl.KindULong:
+		x, ok := v.(uint32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULong(x)
+	case idl.KindLongLong:
+		x, ok := v.(int64)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteLongLong(x)
+	case idl.KindULongLong:
+		x, ok := v.(uint64)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULongLong(x)
+	case idl.KindFloat:
+		x, ok := v.(float32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteFloat(x)
+	case idl.KindDouble:
+		x, ok := v.(float64)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteDouble(x)
+	case idl.KindString:
+		s, ok := v.(string)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteString(s)
+	case idl.KindEnum:
+		x, ok := v.(uint32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if int(x) >= len(t.Labels) {
+			return fmt.Errorf("orb: enum %s value %d out of range", t.Name, x)
+		}
+		w.WriteULong(x)
+	case idl.KindSequence:
+		return marshalSequence(w, t, v)
+	case idl.KindStruct:
+		m, ok := v.(map[string]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		for _, f := range t.Fields {
+			fv, ok := m[f.Name]
+			if !ok {
+				return fmt.Errorf("orb: struct %s missing field %q", t.Name, f.Name)
+			}
+			if err := MarshalValue(w, f.Type, fv); err != nil {
+				return fmt.Errorf("orb: struct %s field %q: %w", t.Name, f.Name, err)
+			}
+		}
+	case idl.KindObjRef:
+		switch ref := v.(type) {
+		case IOR:
+			w.WriteString(ref.String())
+		case *ObjRef:
+			w.WriteString(ref.IOR().String())
+		default:
+			return typeErr(t, v)
+		}
+	default:
+		return fmt.Errorf("orb: cannot marshal kind %v", t.Kind)
+	}
+	return nil
+}
+
+func marshalSequence(w *cdr.Writer, t *idl.Type, v any) error {
+	switch t.Elem.Kind {
+	case idl.KindOctet:
+		b, ok := v.([]byte)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteOctets(b)
+		return nil
+	case idl.KindDouble:
+		xs, ok := v.([]float64)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULong(uint32(len(xs)))
+		for _, x := range xs {
+			w.WriteDouble(x)
+		}
+		return nil
+	case idl.KindLong:
+		xs, ok := v.([]int32)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULong(uint32(len(xs)))
+		for _, x := range xs {
+			w.WriteLong(x)
+		}
+		return nil
+	case idl.KindString:
+		xs, ok := v.([]string)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULong(uint32(len(xs)))
+		for _, x := range xs {
+			w.WriteString(x)
+		}
+		return nil
+	default:
+		xs, ok := v.([]any)
+		if !ok {
+			return typeErr(t, v)
+		}
+		w.WriteULong(uint32(len(xs)))
+		for i, x := range xs {
+			if err := MarshalValue(w, t.Elem, x); err != nil {
+				return fmt.Errorf("orb: sequence element %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+}
+
+// UnmarshalValue decodes a value of IDL type t.
+func UnmarshalValue(r *cdr.Reader, t *idl.Type) (any, error) {
+	switch t.Kind {
+	case idl.KindVoid:
+		return nil, nil
+	case idl.KindBool:
+		return r.ReadBool()
+	case idl.KindOctet:
+		return r.ReadOctet()
+	case idl.KindShort:
+		return r.ReadShort()
+	case idl.KindUShort:
+		return r.ReadUShort()
+	case idl.KindLong:
+		return r.ReadLong()
+	case idl.KindULong:
+		return r.ReadULong()
+	case idl.KindLongLong:
+		return r.ReadLongLong()
+	case idl.KindULongLong:
+		return r.ReadULongLong()
+	case idl.KindFloat:
+		return r.ReadFloat()
+	case idl.KindDouble:
+		return r.ReadDouble()
+	case idl.KindString:
+		return r.ReadString()
+	case idl.KindEnum:
+		x, err := r.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if int(x) >= len(t.Labels) {
+			return nil, fmt.Errorf("orb: enum %s value %d out of range", t.Name, x)
+		}
+		return x, nil
+	case idl.KindSequence:
+		return unmarshalSequence(r, t)
+	case idl.KindStruct:
+		m := make(map[string]any, len(t.Fields))
+		for _, f := range t.Fields {
+			fv, err := UnmarshalValue(r, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("orb: struct %s field %q: %w", t.Name, f.Name, err)
+			}
+			m[f.Name] = fv
+		}
+		return m, nil
+	case idl.KindObjRef:
+		s, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		return ParseIOR(s)
+	default:
+		return nil, fmt.Errorf("orb: cannot unmarshal kind %v", t.Kind)
+	}
+}
+
+func unmarshalSequence(r *cdr.Reader, t *idl.Type) (any, error) {
+	switch t.Elem.Kind {
+	case idl.KindOctet:
+		return r.ReadOctets()
+	case idl.KindDouble:
+		n, err := r.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			if xs[i], err = r.ReadDouble(); err != nil {
+				return nil, err
+			}
+		}
+		return xs, nil
+	case idl.KindLong:
+		n, err := r.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]int32, n)
+		for i := range xs {
+			if xs[i], err = r.ReadLong(); err != nil {
+				return nil, err
+			}
+		}
+		return xs, nil
+	case idl.KindString:
+		n, err := r.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]string, n)
+		for i := range xs {
+			if xs[i], err = r.ReadString(); err != nil {
+				return nil, err
+			}
+		}
+		return xs, nil
+	default:
+		n, err := r.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]any, n)
+		for i := range xs {
+			if xs[i], err = UnmarshalValue(r, t.Elem); err != nil {
+				return nil, err
+			}
+		}
+		return xs, nil
+	}
+}
+
+func typeErr(t *idl.Type, v any) error {
+	return fmt.Errorf("orb: cannot marshal %T as IDL %s", v, t)
+}
+
+// SeqLen reports the wire payload significance of a value, used by the
+// GridCCM layer to decide redistribution (only sequences are distributed).
+func SeqLen(v any) (int, bool) {
+	switch xs := v.(type) {
+	case []byte:
+		return len(xs), true
+	case []float64:
+		return len(xs), true
+	case []int32:
+		return len(xs), true
+	case []string:
+		return len(xs), true
+	case []any:
+		return len(xs), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,211 @@
+package orb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"padico/internal/cdr"
+	"padico/internal/idl"
+)
+
+// Property: for a random IDL type and a random value of that type, a
+// marshal/unmarshal round trip through CDR is the identity, in both byte
+// orders. This exercises the entire dynamic-invocation value path.
+
+// randType draws a random IDL type of bounded depth.
+func randType(r *rand.Rand, depth int) *idl.Type {
+	basics := []idl.Kind{
+		idl.KindBool, idl.KindOctet, idl.KindShort, idl.KindUShort,
+		idl.KindLong, idl.KindULong, idl.KindLongLong, idl.KindULongLong,
+		idl.KindFloat, idl.KindDouble, idl.KindString,
+	}
+	if depth <= 0 {
+		return idl.Basic(basics[r.Intn(len(basics))])
+	}
+	switch r.Intn(4) {
+	case 0:
+		return idl.SequenceOf(randType(r, depth-1))
+	case 1:
+		n := r.Intn(3) + 1
+		st := &idl.Type{Kind: idl.KindStruct, Name: "S"}
+		for i := 0; i < n; i++ {
+			st.Fields = append(st.Fields, idl.Field{
+				Name: string(rune('a' + i)),
+				Type: randType(r, depth-1),
+			})
+		}
+		return st
+	case 2:
+		return &idl.Type{Kind: idl.KindEnum, Name: "E", Labels: []string{"A", "B", "C"}}
+	default:
+		return idl.Basic(basics[r.Intn(len(basics))])
+	}
+}
+
+// randValue draws a random Go value of the given IDL type.
+func randValue(r *rand.Rand, t *idl.Type) any {
+	switch t.Kind {
+	case idl.KindBool:
+		return r.Intn(2) == 0
+	case idl.KindOctet:
+		return byte(r.Intn(256))
+	case idl.KindShort:
+		return int16(r.Uint32())
+	case idl.KindUShort:
+		return uint16(r.Uint32())
+	case idl.KindLong:
+		return int32(r.Uint32())
+	case idl.KindULong:
+		return r.Uint32()
+	case idl.KindLongLong:
+		return int64(r.Uint64())
+	case idl.KindULongLong:
+		return r.Uint64()
+	case idl.KindFloat:
+		return float32(r.NormFloat64())
+	case idl.KindDouble:
+		return r.NormFloat64()
+	case idl.KindString:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return string(b)
+	case idl.KindEnum:
+		return uint32(r.Intn(len(t.Labels)))
+	case idl.KindSequence:
+		n := r.Intn(5)
+		switch t.Elem.Kind {
+		case idl.KindOctet:
+			b := make([]byte, n)
+			r.Read(b)
+			return b
+		case idl.KindDouble:
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = r.NormFloat64()
+			}
+			return xs
+		case idl.KindLong:
+			xs := make([]int32, n)
+			for i := range xs {
+				xs[i] = int32(r.Uint32())
+			}
+			return xs
+		case idl.KindString:
+			xs := make([]string, n)
+			for i := range xs {
+				xs[i] = randValue(r, idl.Basic(idl.KindString)).(string)
+			}
+			return xs
+		default:
+			xs := make([]any, n)
+			for i := range xs {
+				xs[i] = randValue(r, t.Elem)
+			}
+			return xs
+		}
+	case idl.KindStruct:
+		m := make(map[string]any, len(t.Fields))
+		for _, f := range t.Fields {
+			m[f.Name] = randValue(r, f.Type)
+		}
+		return m
+	default:
+		return nil
+	}
+}
+
+func TestValueRoundtripProperty(t *testing.T) {
+	f := func(seed int64, le bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		typ := randType(r, 3)
+		val := randValue(r, typ)
+		order := cdr.BigEndian
+		if le {
+			order = cdr.LittleEndian
+		}
+		w := cdr.NewWriter(order)
+		if err := MarshalValue(w, typ, val); err != nil {
+			t.Logf("marshal %s: %v", typ, err)
+			return false
+		}
+		got, err := UnmarshalValue(cdr.NewReader(w.Bytes(), order), typ)
+		if err != nil {
+			t.Logf("unmarshal %s: %v", typ, err)
+			return false
+		}
+		return valueEqual(val, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// valueEqual compares round-tripped values, treating nil and empty
+// sequences as equal (CDR has no nil).
+func valueEqual(a, b any) bool {
+	if la, ok := seqLenOrNeg(a); ok {
+		lb, _ := seqLenOrNeg(b)
+		if la == 0 && lb == 0 {
+			return true
+		}
+	}
+	if ma, ok := a.(map[string]any); ok {
+		mb, ok := b.(map[string]any)
+		if !ok || len(ma) != len(mb) {
+			return false
+		}
+		for k, va := range ma {
+			if !valueEqual(va, mb[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if xa, ok := a.([]any); ok {
+		xb, ok := b.([]any)
+		if !ok || len(xa) != len(xb) {
+			return false
+		}
+		for i := range xa {
+			if !valueEqual(xa[i], xb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// NaN-tolerant float comparison.
+	if fa, ok := a.(float64); ok {
+		fb, ok := b.(float64)
+		return ok && (fa == fb || (fa != fa && fb != fb))
+	}
+	if fa, ok := a.(float32); ok {
+		fb, ok := b.(float32)
+		return ok && (fa == fb || (fa != fa && fb != fb))
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func seqLenOrNeg(v any) (int, bool) { return SeqLen(v) }
+
+func TestValueRoundtripNestedSequences(t *testing.T) {
+	// The paper: "a 2D array can be mapped to a sequence of sequences".
+	matrix := idl.SequenceOf(idl.SequenceOf(idl.Basic(idl.KindDouble)))
+	val := []any{[]float64{1, 2}, []float64{}, []float64{3, 4, 5}}
+	w := cdr.NewWriter(cdr.BigEndian)
+	if err := MarshalValue(w, matrix, val); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalValue(cdr.NewReader(w.Bytes(), cdr.BigEndian), matrix)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	rows := got.([]any)
+	if len(rows) != 3 || rows[0].([]float64)[1] != 2 || rows[2].([]float64)[2] != 5 {
+		t.Fatalf("matrix = %v", got)
+	}
+}

@@ -1,0 +1,329 @@
+// Package personality implements PadicoTM's personality layer (§4.3.3):
+// thin adapters that give the abstract interfaces the look of standard
+// APIs, performing no protocol adaptation nor paradigm translation — only
+// syntax. As in the paper, four personalities are provided:
+//
+//   - BSD sockets (SockAPI) and POSIX AIO (AioAPI) over VLink;
+//   - Madeleine (MadAPI) and FastMessages (FMAPI) over Circuit.
+//
+// Legacy middleware is "ported to PadicoTM" by linking against one of these
+// instead of the system API (the paper's wrapper-at-link-stage trick).
+package personality
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"padico/internal/circuit"
+	"padico/internal/madeleine"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// EBADF mirrors the errno a BSD socket layer returns for a bad descriptor.
+var EBADF = errors.New("personality: bad file descriptor")
+
+// SockAPI is the BSD-sockets personality over VLink.
+type SockAPI struct {
+	ln *vlink.Linker
+
+	mu   sync.Mutex
+	fds  map[int]*fdEntry
+	next int
+}
+
+type fdEntry struct {
+	service string
+	lst     *vlink.Listener
+	st      vlink.Stream
+}
+
+// NewSockAPI wraps a linker with a descriptor table.
+func NewSockAPI(ln *vlink.Linker) *SockAPI {
+	return &SockAPI{ln: ln, fds: make(map[int]*fdEntry), next: 3}
+}
+
+// Socket allocates a descriptor.
+func (a *SockAPI) Socket() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fd := a.next
+	a.next++
+	a.fds[fd] = &fdEntry{}
+	return fd
+}
+
+func (a *SockAPI) entry(fd int) (*fdEntry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.fds[fd]
+	if !ok {
+		return nil, EBADF
+	}
+	return e, nil
+}
+
+// Bind names the socket's service (the personality's port namespace).
+func (a *SockAPI) Bind(fd int, service string) error {
+	e, err := a.entry(fd)
+	if err != nil {
+		return err
+	}
+	e.service = service
+	return nil
+}
+
+// Listen starts accepting on the bound service.
+func (a *SockAPI) Listen(fd int) error {
+	e, err := a.entry(fd)
+	if err != nil {
+		return err
+	}
+	if e.service == "" {
+		return fmt.Errorf("personality: listen on unbound socket %d", fd)
+	}
+	l, err := a.ln.Listen(e.service)
+	if err != nil {
+		return err
+	}
+	e.lst = l
+	return nil
+}
+
+// Accept blocks for an inbound connection and returns its descriptor.
+func (a *SockAPI) Accept(fd int) (int, error) {
+	e, err := a.entry(fd)
+	if err != nil {
+		return -1, err
+	}
+	if e.lst == nil {
+		return -1, fmt.Errorf("personality: accept on non-listening socket %d", fd)
+	}
+	st, err := e.lst.Accept()
+	if err != nil {
+		return -1, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	nfd := a.next
+	a.next++
+	a.fds[nfd] = &fdEntry{st: st}
+	return nfd, nil
+}
+
+// Connect dials nodeName's service and binds the stream to fd.
+func (a *SockAPI) Connect(fd int, nodeName, service string) error {
+	e, err := a.entry(fd)
+	if err != nil {
+		return err
+	}
+	st, err := a.ln.DialName(nodeName, service)
+	if err != nil {
+		return err
+	}
+	e.st = st
+	return nil
+}
+
+// Send writes on a connected socket.
+func (a *SockAPI) Send(fd int, p []byte) (int, error) {
+	e, err := a.entry(fd)
+	if err != nil {
+		return 0, err
+	}
+	if e.st == nil {
+		return 0, fmt.Errorf("personality: send on unconnected socket %d", fd)
+	}
+	return e.st.Write(p)
+}
+
+// Recv reads from a connected socket.
+func (a *SockAPI) Recv(fd int, p []byte) (int, error) {
+	e, err := a.entry(fd)
+	if err != nil {
+		return 0, err
+	}
+	if e.st == nil {
+		return 0, fmt.Errorf("personality: recv on unconnected socket %d", fd)
+	}
+	return e.st.Read(p)
+}
+
+// Close releases the descriptor and its stream/listener.
+func (a *SockAPI) Close(fd int) error {
+	a.mu.Lock()
+	e, ok := a.fds[fd]
+	delete(a.fds, fd)
+	a.mu.Unlock()
+	if !ok {
+		return EBADF
+	}
+	if e.st != nil {
+		e.st.Close()
+	}
+	if e.lst != nil {
+		e.lst.Close()
+	}
+	return nil
+}
+
+// AioAPI is the POSIX.2 asynchronous I/O personality over VLink.
+type AioAPI struct {
+	rt vtime.Runtime
+}
+
+// NewAioAPI returns an AIO adapter scheduling on rt.
+func NewAioAPI(rt vtime.Runtime) *AioAPI { return &AioAPI{rt: rt} }
+
+// AioOp is an in-flight asynchronous operation (an aiocb).
+type AioOp struct {
+	mu   sync.Mutex
+	n    int
+	err  error
+	done bool
+	w    vtime.Waiter
+}
+
+// Write starts an asynchronous write of p to st.
+func (a *AioAPI) Write(st vlink.Stream, p []byte) *AioOp {
+	op := &AioOp{w: a.rt.NewWaiter("aio: write")}
+	a.rt.Go("aio:write", func() {
+		n, err := st.Write(p)
+		op.complete(n, err)
+	})
+	return op
+}
+
+// Read starts an asynchronous read into p from st.
+func (a *AioAPI) Read(st vlink.Stream, p []byte) *AioOp {
+	op := &AioOp{w: a.rt.NewWaiter("aio: read")}
+	a.rt.Go("aio:read", func() {
+		n, err := st.Read(p)
+		op.complete(n, err)
+	})
+	return op
+}
+
+func (op *AioOp) complete(n int, err error) {
+	op.mu.Lock()
+	op.n, op.err, op.done = n, err, true
+	op.mu.Unlock()
+	op.w.Fire()
+}
+
+// Done polls completion (aio_error == EINPROGRESS test).
+func (op *AioOp) Done() bool {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.done
+}
+
+// Wait suspends until completion and returns the result (aio_suspend +
+// aio_return).
+func (op *AioOp) Wait() (int, error) {
+	_ = op.w.Wait()
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.n, op.err
+}
+
+// MadAPI is the Madeleine personality over Circuit: the packing API of the
+// original library re-exposed on the abstract parallel interface.
+type MadAPI struct {
+	c *circuit.Circuit
+}
+
+// NewMadAPI wraps a circuit.
+func NewMadAPI(c *circuit.Circuit) *MadAPI { return &MadAPI{c: c} }
+
+// OutMsg is an outgoing message being packed (begin_packing handle).
+type OutMsg struct {
+	api *MadAPI
+	dst int
+	p   madeleine.Packer
+}
+
+// BeginPacking starts a message to dst.
+func (m *MadAPI) BeginPacking(dst int) *OutMsg { return &OutMsg{api: m, dst: dst} }
+
+// Pack appends a block in the given mode.
+func (o *OutMsg) Pack(data []byte, mode madeleine.PackMode) { o.p.Pack(data, mode) }
+
+// EndPacking sends the message.
+func (o *OutMsg) EndPacking() error {
+	msg := o.p.Message()
+	return o.api.c.Send(o.dst, msg.Header, msg.Payload)
+}
+
+// InMsg is a received message being unpacked.
+type InMsg struct {
+	Src int
+	u   *madeleine.Unpacker
+}
+
+// BeginUnpacking blocks for the next message.
+func (m *MadAPI) BeginUnpacking() (*InMsg, error) {
+	msg, err := m.c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return &InMsg{
+		Src: msg.Src,
+		u:   madeleine.NewUnpacker(madeleine.Message{Header: msg.Header, Payload: msg.Payload}),
+	}, nil
+}
+
+// Unpack extracts the next block packed in the given mode.
+func (i *InMsg) Unpack(mode madeleine.PackMode) ([]byte, error) { return i.u.Unpack(mode) }
+
+// FMAPI is the FastMessages personality over Circuit: active messages
+// dispatched to registered handlers.
+type FMAPI struct {
+	c    *circuit.Circuit
+	node *simnet.Node
+
+	mu       sync.Mutex
+	handlers map[uint16]func(src int, data []byte)
+	loop     bool
+}
+
+// NewFMAPI wraps a circuit; Start must be called to begin dispatching.
+func NewFMAPI(c *circuit.Circuit, rt vtime.Runtime) *FMAPI {
+	f := &FMAPI{c: c, handlers: make(map[uint16]func(int, []byte))}
+	rt.Go("fm:dispatch", f.dispatch)
+	return f
+}
+
+// Register installs the handler for an active-message id.
+func (f *FMAPI) Register(id uint16, h func(src int, data []byte)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[id] = h
+}
+
+// Send delivers an active message: the peer's registered handler runs with
+// the payload.
+func (f *FMAPI) Send(dst int, id uint16, data []byte) error {
+	return f.c.Send(dst, []byte{byte(id >> 8), byte(id)}, data)
+}
+
+func (f *FMAPI) dispatch() {
+	for {
+		m, err := f.c.Recv()
+		if err != nil {
+			return
+		}
+		if len(m.Header) < 2 {
+			continue
+		}
+		id := uint16(m.Header[0])<<8 | uint16(m.Header[1])
+		f.mu.Lock()
+		h := f.handlers[id]
+		f.mu.Unlock()
+		if h != nil {
+			h(m.Src, m.Payload)
+		}
+	}
+}

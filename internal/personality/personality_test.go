@@ -1,0 +1,262 @@
+package personality
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"padico/internal/arbitration"
+	"padico/internal/circuit"
+	"padico/internal/madeleine"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+type grid struct {
+	sim     *vtime.Sim
+	net     *simnet.Net
+	nodes   []*simnet.Node
+	arb     *arbitration.Arbiter
+	linkers []*vlink.Linker
+}
+
+func newGrid(n int) *grid {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	g := &grid{sim: s, net: net}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, net.NewNode(fmt.Sprintf("n%d", i)))
+	}
+	if _, err := g.arbSetup(net); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *grid) arbSetup(net *simnet.Net) (*arbitration.Arbiter, error) {
+	g.arb = arbitration.New(net)
+	if _, err := g.arb.AddSAN(net.NewMyrinet2000("myri0", g.nodes)); err != nil {
+		return nil, err
+	}
+	if _, err := g.arb.AddSock(net.NewEthernet100("eth0", g.nodes)); err != nil {
+		return nil, err
+	}
+	for _, nd := range g.nodes {
+		g.linkers = append(g.linkers, vlink.NewLinker(g.arb, nd))
+	}
+	return g.arb, nil
+}
+
+func (g *grid) teardown() {
+	for _, ln := range g.linkers {
+		ln.Close()
+	}
+	g.arb.Close()
+}
+
+func TestSockAPILifecycle(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.teardown()
+		srv := NewSockAPI(g.linkers[0])
+		cli := NewSockAPI(g.linkers[1])
+
+		lfd := srv.Socket()
+		if err := srv.Bind(lfd, "daytime"); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		if err := srv.Listen(lfd); err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		g.sim.Go("server", func() {
+			cfd, err := srv.Accept(lfd)
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			buf := make([]byte, 16)
+			n, err := srv.Recv(cfd, buf)
+			if err != nil {
+				t.Errorf("srv recv: %v", err)
+				return
+			}
+			if _, err := srv.Send(cfd, buf[:n]); err != nil {
+				t.Errorf("srv send: %v", err)
+			}
+			_ = srv.Close(cfd)
+		})
+
+		cfd := cli.Socket()
+		if err := cli.Connect(cfd, "n0", "daytime"); err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		if _, err := cli.Send(cfd, []byte("what time")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		buf := make([]byte, 9)
+		if _, err := cli.Recv(cfd, buf); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if string(buf) != "what time" {
+			t.Fatalf("echo = %q", buf)
+		}
+		_ = cli.Close(cfd)
+		_ = srv.Close(lfd)
+	})
+}
+
+func TestSockAPIErrors(t *testing.T) {
+	g := newGrid(1)
+	g.sim.Run(func() {
+		defer g.teardown()
+		api := NewSockAPI(g.linkers[0])
+		if err := api.Bind(99, "x"); !errors.Is(err, EBADF) {
+			t.Errorf("bind bad fd = %v", err)
+		}
+		fd := api.Socket()
+		if err := api.Listen(fd); err == nil {
+			t.Error("listen unbound succeeded")
+		}
+		if _, err := api.Accept(fd); err == nil {
+			t.Error("accept non-listening succeeded")
+		}
+		if _, err := api.Send(fd, []byte("x")); err == nil {
+			t.Error("send unconnected succeeded")
+		}
+		if _, err := api.Recv(fd, make([]byte, 1)); err == nil {
+			t.Error("recv unconnected succeeded")
+		}
+		if err := api.Close(fd); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := api.Close(fd); !errors.Is(err, EBADF) {
+			t.Errorf("double close = %v", err)
+		}
+	})
+}
+
+func TestAioOverlapsOperations(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.teardown()
+		l, _ := g.linkers[0].Listen("aio")
+		g.sim.Go("peer", func() {
+			st, err := l.Accept()
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 5)
+			if _, err := st.Read(buf); err == nil {
+				_, _ = st.Write(buf)
+			}
+		})
+		st, err := g.linkers[1].Dial(g.nodes[0], "aio")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		aio := NewAioAPI(g.sim)
+		rbuf := make([]byte, 5)
+		rop := aio.Read(st, rbuf) // posted before the data exists
+		wop := aio.Write(st, []byte("hello"))
+		if n, err := wop.Wait(); err != nil || n != 5 {
+			t.Fatalf("aio write = %d,%v", n, err)
+		}
+		if n, err := rop.Wait(); err != nil || n != 5 || string(rbuf) != "hello" {
+			t.Fatalf("aio read = %d,%v,%q", n, err, rbuf)
+		}
+		if !rop.Done() || !wop.Done() {
+			t.Fatal("ops not done after Wait")
+		}
+		st.Close()
+	})
+}
+
+func TestMadAPIPackingOverCircuit(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.teardown()
+		open := func(self int) *circuit.Circuit {
+			c, err := circuit.Open(g.arb, "mad", g.nodes, self)
+			if err != nil {
+				t.Errorf("open: %v", err)
+			}
+			return c
+		}
+		cs := make([]*circuit.Circuit, 2)
+		wg := vtime.NewWaitGroup(g.sim, "open")
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			g.sim.Go("opener", func() { cs[i] = open(i); wg.Done() })
+		}
+		_ = wg.Wait()
+		m0, m1 := NewMadAPI(cs[0]), NewMadAPI(cs[1])
+		g.sim.Go("sender", func() {
+			out := m0.BeginPacking(1)
+			out.Pack([]byte("ctl"), madeleine.Express)
+			out.Pack([]byte("bulk-data"), madeleine.Cheaper)
+			if err := out.EndPacking(); err != nil {
+				t.Errorf("end packing: %v", err)
+			}
+		})
+		in, err := m1.BeginUnpacking()
+		if err != nil {
+			t.Fatalf("begin unpacking: %v", err)
+		}
+		if in.Src != 0 {
+			t.Fatalf("src = %d", in.Src)
+		}
+		ctl, err := in.Unpack(madeleine.Express)
+		if err != nil || string(ctl) != "ctl" {
+			t.Fatalf("unpack express = %q, %v", ctl, err)
+		}
+		bulk, err := in.Unpack(madeleine.Cheaper)
+		if err != nil || string(bulk) != "bulk-data" {
+			t.Fatalf("unpack cheaper = %q, %v", bulk, err)
+		}
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}
+
+func TestFMActiveMessages(t *testing.T) {
+	g := newGrid(2)
+	g.sim.Run(func() {
+		defer g.teardown()
+		cs := make([]*circuit.Circuit, 2)
+		wg := vtime.NewWaitGroup(g.sim, "open")
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			g.sim.Go("opener", func() {
+				c, err := circuit.Open(g.arb, "fm", g.nodes, i)
+				if err != nil {
+					t.Errorf("open: %v", err)
+				}
+				cs[i] = c
+				wg.Done()
+			})
+		}
+		_ = wg.Wait()
+		fm1 := NewFMAPI(cs[1], g.sim)
+		got := vtime.NewQueue[string](g.sim, "handler results")
+		fm1.Register(7, func(src int, data []byte) {
+			got.Push(fmt.Sprintf("h7 from %d: %s", src, data))
+		})
+		fm0 := NewFMAPI(cs[0], g.sim)
+		if err := fm0.Send(1, 7, []byte("ping")); err != nil {
+			t.Fatalf("fm send: %v", err)
+		}
+		v, err := got.Pop()
+		if err != nil || v != "h7 from 0: ping" {
+			t.Fatalf("handler result = %q, %v", v, err)
+		}
+		// Unregistered id is dropped silently.
+		if err := fm0.Send(1, 99, []byte("lost")); err != nil {
+			t.Fatalf("fm send unknown: %v", err)
+		}
+		for _, c := range cs {
+			c.Close()
+		}
+	})
+}

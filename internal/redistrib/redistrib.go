@@ -1,0 +1,229 @@
+// Package redistrib computes data redistribution schedules for GridCCM
+// (§4.2.2): how the blocks of a sequence distributed over M client nodes
+// map onto N server nodes. The paper's current implementation distributes
+// 1-D arrays (IDL sequences) block-wise; this package implements block,
+// cyclic and block-cyclic descriptions, with the M→N block→block schedule
+// used by the parallel-component runtime, and coalescing of adjacent
+// fragments.
+package redistrib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout describes how a 1-D array of Total elements is spread over Parts
+// owners.
+type Layout struct {
+	Kind  Kind
+	Total int
+	Parts int
+	Block int // block size for BlockCyclic
+}
+
+// Kind enumerates distribution families.
+type Kind int
+
+// Distribution kinds.
+const (
+	// Block gives owner i one contiguous run (the GridCCM default).
+	Block Kind = iota
+	// Cyclic deals elements round-robin.
+	Cyclic
+	// BlockCyclic deals fixed-size blocks round-robin.
+	BlockCyclic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case BlockCyclic:
+		return "block-cyclic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NewBlock builds the standard block layout: ceil-sized leading blocks.
+func NewBlock(total, parts int) Layout { return Layout{Kind: Block, Total: total, Parts: parts} }
+
+// NewCyclic builds a round-robin layout.
+func NewCyclic(total, parts int) Layout { return Layout{Kind: Cyclic, Total: total, Parts: parts} }
+
+// NewBlockCyclic builds a block-cyclic layout with the given block size.
+func NewBlockCyclic(total, parts, block int) Layout {
+	return Layout{Kind: BlockCyclic, Total: total, Parts: parts, Block: block}
+}
+
+// Range is a half-open run of global indices [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of elements in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Owner returns the owner of global index i.
+func (l Layout) Owner(i int) int {
+	if i < 0 || i >= l.Total {
+		return -1
+	}
+	switch l.Kind {
+	case Block:
+		q, r := l.Total/l.Parts, l.Total%l.Parts
+		// Owners 0..r-1 hold q+1 elements, the rest hold q.
+		if i < r*(q+1) {
+			return i / (q + 1)
+		}
+		return r + (i-r*(q+1))/q
+	case Cyclic:
+		return i % l.Parts
+	default: // BlockCyclic
+		return (i / l.Block) % l.Parts
+	}
+}
+
+// OwnedRanges returns the global index runs owned by part p, in order.
+func (l Layout) OwnedRanges(p int) []Range {
+	if p < 0 || p >= l.Parts || l.Total == 0 {
+		return nil
+	}
+	switch l.Kind {
+	case Block:
+		q, r := l.Total/l.Parts, l.Total%l.Parts
+		var lo int
+		if p < r {
+			lo = p * (q + 1)
+			return []Range{{Lo: lo, Hi: lo + q + 1}}
+		}
+		lo = r*(q+1) + (p-r)*q
+		if q == 0 {
+			return nil
+		}
+		return []Range{{Lo: lo, Hi: lo + q}}
+	case Cyclic:
+		var out []Range
+		for i := p; i < l.Total; i += l.Parts {
+			out = append(out, Range{Lo: i, Hi: i + 1})
+		}
+		return coalesce(out)
+	default: // BlockCyclic
+		var out []Range
+		for blk := p; ; blk += l.Parts {
+			lo := blk * l.Block
+			if lo >= l.Total {
+				break
+			}
+			hi := lo + l.Block
+			if hi > l.Total {
+				hi = l.Total
+			}
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+		return coalesce(out)
+	}
+}
+
+// Count returns how many elements part p owns.
+func (l Layout) Count(p int) int {
+	n := 0
+	for _, r := range l.OwnedRanges(p) {
+		n += r.Len()
+	}
+	return n
+}
+
+// Transfer is one fragment of a redistribution schedule: the elements
+// [Lo,Hi) move from source part From to destination part To.
+type Transfer struct {
+	From, To int
+	Range
+}
+
+// Schedule computes the full redistribution plan from one layout to
+// another over the same Total, with adjacent fragments coalesced.
+func Schedule(from, to Layout) ([]Transfer, error) {
+	if from.Total != to.Total {
+		return nil, fmt.Errorf("redistrib: layouts cover %d vs %d elements", from.Total, to.Total)
+	}
+	var out []Transfer
+	for p := 0; p < from.Parts; p++ {
+		for _, r := range from.OwnedRanges(p) {
+			// Split r by destination owner.
+			i := r.Lo
+			for i < r.Hi {
+				owner := to.Owner(i)
+				j := i + 1
+				for j < r.Hi && to.Owner(j) == owner {
+					j++
+				}
+				out = append(out, Transfer{From: p, To: owner, Range: Range{Lo: i, Hi: j}})
+				i = j
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		if out[a].To != out[b].To {
+			return out[a].To < out[b].To
+		}
+		return out[a].Lo < out[b].Lo
+	})
+	return coalesceTransfers(out), nil
+}
+
+// Outgoing filters a schedule to the transfers leaving part p.
+func Outgoing(plan []Transfer, p int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.From == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Incoming filters a schedule to the transfers arriving at part p.
+func Incoming(plan []Transfer, p int) []Transfer {
+	var out []Transfer
+	for _, t := range plan {
+		if t.To == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func coalesce(rs []Range) []Range {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		if last := &out[len(out)-1]; last.Hi == r.Lo {
+			last.Hi = r.Hi
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func coalesceTransfers(ts []Transfer) []Transfer {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		last := &out[len(out)-1]
+		if last.From == t.From && last.To == t.To && last.Hi == t.Lo {
+			last.Hi = t.Hi
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}

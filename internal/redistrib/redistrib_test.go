@@ -1,0 +1,204 @@
+package redistrib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockLayoutShapes(t *testing.T) {
+	// 10 over 4 → 3,3,2,2.
+	l := NewBlock(10, 4)
+	wantCounts := []int{3, 3, 2, 2}
+	for p, want := range wantCounts {
+		if got := l.Count(p); got != want {
+			t.Errorf("count(%d) = %d, want %d", p, got, want)
+		}
+	}
+	if rs := l.OwnedRanges(0); len(rs) != 1 || rs[0] != (Range{0, 3}) {
+		t.Errorf("ranges(0) = %v", rs)
+	}
+	if rs := l.OwnedRanges(3); len(rs) != 1 || rs[0] != (Range{8, 10}) {
+		t.Errorf("ranges(3) = %v", rs)
+	}
+}
+
+func TestBlockMorePartsThanElements(t *testing.T) {
+	l := NewBlock(2, 5)
+	total := 0
+	for p := 0; p < 5; p++ {
+		total += l.Count(p)
+	}
+	if total != 2 {
+		t.Fatalf("total owned = %d", total)
+	}
+	if l.Count(0) != 1 || l.Count(1) != 1 || l.Count(2) != 0 {
+		t.Fatalf("counts = %d %d %d", l.Count(0), l.Count(1), l.Count(2))
+	}
+}
+
+func TestCyclicAndBlockCyclic(t *testing.T) {
+	c := NewCyclic(7, 3)
+	if c.Owner(0) != 0 || c.Owner(4) != 1 || c.Owner(5) != 2 {
+		t.Error("cyclic owners wrong")
+	}
+	if got := c.Count(0); got != 3 { // 0,3,6
+		t.Errorf("cyclic count(0) = %d", got)
+	}
+	bc := NewBlockCyclic(10, 2, 3)
+	// blocks: [0,3)→0, [3,6)→1, [6,9)→0, [9,10)→1
+	if bc.Owner(2) != 0 || bc.Owner(3) != 1 || bc.Owner(7) != 0 || bc.Owner(9) != 1 {
+		t.Error("block-cyclic owners wrong")
+	}
+	rs := bc.OwnedRanges(0)
+	if len(rs) != 2 || rs[0] != (Range{0, 3}) || rs[1] != (Range{6, 9}) {
+		t.Errorf("block-cyclic ranges(0) = %v", rs)
+	}
+}
+
+func TestOwnerOutOfRange(t *testing.T) {
+	l := NewBlock(5, 2)
+	if l.Owner(-1) != -1 || l.Owner(5) != -1 {
+		t.Error("out-of-range index got an owner")
+	}
+	if l.OwnedRanges(9) != nil || l.OwnedRanges(-1) != nil {
+		t.Error("out-of-range part owns ranges")
+	}
+}
+
+func TestIdentityScheduleIsOneToOne(t *testing.T) {
+	// Same layout both sides: each part sends itself exactly one fragment.
+	from, to := NewBlock(1000, 4), NewBlock(1000, 4)
+	plan, err := Schedule(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("plan = %v", plan)
+	}
+	for _, tr := range plan {
+		if tr.From != tr.To {
+			t.Errorf("identity schedule moves %d→%d", tr.From, tr.To)
+		}
+	}
+}
+
+func TestMToNSchedule(t *testing.T) {
+	// 2 clients → 4 servers over 8 elements: client 0 holds [0,4) which
+	// splits into servers 0 ([0,2)) and 1 ([2,4)).
+	plan, err := Schedule(NewBlock(8, 2), NewBlock(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if plan[0] != (Transfer{From: 0, To: 0, Range: Range{0, 2}}) ||
+		plan[1] != (Transfer{From: 0, To: 1, Range: Range{2, 4}}) {
+		t.Fatalf("plan = %v", plan)
+	}
+	out := Outgoing(plan, 1)
+	if len(out) != 2 || out[0].To != 2 || out[1].To != 3 {
+		t.Fatalf("outgoing(1) = %v", out)
+	}
+	in := Incoming(plan, 2)
+	if len(in) != 1 || in[0].From != 1 {
+		t.Fatalf("incoming(2) = %v", in)
+	}
+}
+
+func TestScheduleMismatchedTotals(t *testing.T) {
+	if _, err := Schedule(NewBlock(10, 2), NewBlock(11, 2)); err == nil {
+		t.Fatal("mismatched totals accepted")
+	}
+}
+
+func TestCyclicToBlockCoalesces(t *testing.T) {
+	plan, err := Schedule(NewCyclic(8, 2), NewBlock(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic part 0 owns {0,2,4,6}: each is a separate fragment (no
+	// adjacency), destinations 0,0,1,1.
+	out := Outgoing(plan, 0)
+	if len(out) != 4 {
+		t.Fatalf("outgoing(0) = %v", out)
+	}
+}
+
+// Property: every schedule is a partition — each global index moves exactly
+// once, from its real source to its real destination.
+func TestSchedulePartitionProperty(t *testing.T) {
+	f := func(total16 uint16, m8, n8, kindF, kindT uint8) bool {
+		total := int(total16%5000) + 1
+		m := int(m8%8) + 1
+		n := int(n8%8) + 1
+		mk := func(k uint8, parts int) Layout {
+			switch k % 3 {
+			case 0:
+				return NewBlock(total, parts)
+			case 1:
+				return NewCyclic(total, parts)
+			default:
+				return NewBlockCyclic(total, parts, int(k%7)+1)
+			}
+		}
+		from, to := mk(kindF, m), mk(kindT, n)
+		plan, err := Schedule(from, to)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, total)
+		for _, tr := range plan {
+			if tr.Lo < 0 || tr.Hi > total || tr.Lo >= tr.Hi {
+				return false
+			}
+			for i := tr.Lo; i < tr.Hi; i++ {
+				seen[i]++
+				if from.Owner(i) != tr.From || to.Owner(i) != tr.To {
+					return false
+				}
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counts over all parts sum to Total for every kind.
+func TestCountConservationProperty(t *testing.T) {
+	f := func(total16 uint16, parts8, kind, blk uint8) bool {
+		total := int(total16 % 10000)
+		parts := int(parts8%16) + 1
+		var l Layout
+		switch kind % 3 {
+		case 0:
+			l = NewBlock(total, parts)
+		case 1:
+			l = NewCyclic(total, parts)
+		default:
+			l = NewBlockCyclic(total, parts, int(blk%9)+1)
+		}
+		sum := 0
+		for p := 0; p < parts; p++ {
+			sum += l.Count(p)
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" ||
+		BlockCyclic.String() != "block-cyclic" || Kind(9).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}

@@ -1,0 +1,43 @@
+// Package simnet simulates the grid hardware of the paper's testbed: nodes,
+// network links and fabrics (Myrinet-2000 crossbar SAN, switched Fast
+// Ethernet, wide-area links), with a fluid-flow contention model driven by a
+// vtime.Runtime.
+//
+// A transfer is a flow across a path of links. Every link divides its
+// capacity equally among the flows crossing it and a flow progresses at the
+// minimum share along its path; completions are recomputed whenever a flow
+// joins or leaves. This reproduces the bandwidth-sharing behaviour the paper
+// reports (two concurrent middleware streams on one Myrinet NIC each obtain
+// half the wire) while staying deterministic under virtual time.
+//
+// Software costs (protocol stacks, marshalling copies) are modelled as Cost
+// values charged to the calling actor's timeline by the layer that incurs
+// them; see calibrate.go for the constants and their derivations.
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cost models a software layer's contribution to the duration of handling
+// one message: a fixed per-message overhead plus a per-byte cost (copies,
+// checksums, marshalling).
+type Cost struct {
+	PerMessage time.Duration
+	PerByte    float64 // nanoseconds per byte
+}
+
+// Duration returns the time to process a message of n bytes.
+func (c Cost) Duration(n int) time.Duration {
+	return c.PerMessage + time.Duration(c.PerByte*float64(n))
+}
+
+// Plus returns the composition of two layer costs.
+func (c Cost) Plus(d Cost) Cost {
+	return Cost{PerMessage: c.PerMessage + d.PerMessage, PerByte: c.PerByte + d.PerByte}
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("%v + %.3f ns/B", c.PerMessage, c.PerByte)
+}

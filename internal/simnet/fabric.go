@@ -1,0 +1,162 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeviceKind classifies a fabric by the communication paradigm it is best
+// used with, following the paper's arbitration-layer argument: parallel
+// oriented networks (SAN) are driven with a Madeleine-like library, while
+// distributed oriented links (LAN, WAN) are driven with sockets.
+type DeviceKind int
+
+const (
+	// SAN is a system-area network (Myrinet, SCI): parallel paradigm.
+	SAN DeviceKind = iota
+	// LAN is a local-area network (switched Ethernet): distributed paradigm.
+	LAN
+	// WAN is a wide-area network: distributed paradigm.
+	WAN
+)
+
+func (k DeviceKind) String() string {
+	switch k {
+	case SAN:
+		return "SAN"
+	case LAN:
+		return "LAN"
+	case WAN:
+		return "WAN"
+	default:
+		return fmt.Sprintf("DeviceKind(%d)", int(k))
+	}
+}
+
+// Fabric is one network device interconnecting a set of nodes: a Myrinet
+// crossbar, an Ethernet switch, or a wide-area connection between sites.
+// Full-duplex NICs are modelled as an egress and an ingress link per node,
+// so two flows between distinct node pairs never contend (crossbar), while
+// concurrent flows over the same NIC pair share the wire.
+type Fabric struct {
+	Name      string
+	Kind      DeviceKind
+	Exclusive bool // device driver allows a single owner (e.g. Myrinet/BIP)
+
+	net     *Net
+	nodes   []*Node
+	egress  map[*Node]*Link
+	ingress map[*Node]*Link
+	trunk   *Link // optional shared backbone (WAN)
+}
+
+// FabricSpec describes a fabric to build.
+type FabricSpec struct {
+	Name        string
+	Kind        DeviceKind
+	LinkLatency time.Duration // one-way per NIC traversal (half of node-to-node)
+	Bps         float64       // per-NIC capacity, bytes/second
+	Secure      bool
+	Exclusive   bool
+	// Trunk, if positive, inserts a shared backbone link of this capacity
+	// and TrunkLatency between all node pairs (used for WANs).
+	TrunkBps     float64
+	TrunkLatency time.Duration
+}
+
+// NewFabric attaches the given nodes to a new fabric built from spec.
+func (n *Net) NewFabric(spec FabricSpec, nodes []*Node) *Fabric {
+	f := &Fabric{
+		Name:      spec.Name,
+		Kind:      spec.Kind,
+		Exclusive: spec.Exclusive,
+		net:       n,
+		nodes:     append([]*Node(nil), nodes...),
+		egress:    make(map[*Node]*Link),
+		ingress:   make(map[*Node]*Link),
+	}
+	for _, nd := range nodes {
+		f.egress[nd] = n.NewLink(fmt.Sprintf("%s/%s.tx", spec.Name, nd.Name),
+			spec.LinkLatency, spec.Bps, spec.Secure)
+		f.ingress[nd] = n.NewLink(fmt.Sprintf("%s/%s.rx", spec.Name, nd.Name),
+			spec.LinkLatency, spec.Bps, spec.Secure)
+	}
+	if spec.TrunkBps > 0 {
+		f.trunk = n.NewLink(spec.Name+"/trunk", spec.TrunkLatency, spec.TrunkBps, spec.Secure)
+	}
+	return f
+}
+
+// Net returns the network this fabric belongs to.
+func (f *Fabric) Net() *Net { return f.net }
+
+// Nodes returns the machines attached to this fabric.
+func (f *Fabric) Nodes() []*Node { return append([]*Node(nil), f.nodes...) }
+
+// Attached reports whether nd has a NIC on this fabric.
+func (f *Fabric) Attached(nd *Node) bool {
+	_, ok := f.egress[nd]
+	return ok
+}
+
+// Path returns the link traversal from one node to another on this fabric.
+func (f *Fabric) Path(from, to *Node) (Path, error) {
+	e, ok := f.egress[from]
+	if !ok {
+		return Path{}, fmt.Errorf("simnet: node %s not attached to fabric %s", from, f.Name)
+	}
+	i, ok := f.ingress[to]
+	if !ok {
+		return Path{}, fmt.Errorf("simnet: node %s not attached to fabric %s", to, f.Name)
+	}
+	if from == to {
+		// Loopback: model as a single cheap hop through the NIC.
+		return Path{Links: []*Link{e}}, nil
+	}
+	if f.trunk != nil {
+		return Path{Links: []*Link{e, f.trunk, i}}, nil
+	}
+	return Path{Links: []*Link{e, i}}, nil
+}
+
+// Standard fabric builders matching the paper's testbed.
+
+// NewMyrinet2000 builds the paper's SAN: Myrinet-2000 through a full
+// crossbar, 250 MB/s per NIC, 7 µs node-to-node hardware latency, physically
+// secure (machine-room network), exclusive-access driver (BIP/GM-style).
+func (n *Net) NewMyrinet2000(name string, nodes []*Node) *Fabric {
+	return n.NewFabric(FabricSpec{
+		Name:        name,
+		Kind:        SAN,
+		LinkLatency: MyrinetLinkLatency,
+		Bps:         MyrinetBps,
+		Secure:      true,
+		Exclusive:   true,
+	}, nodes)
+}
+
+// NewEthernet100 builds the paper's LAN: switched Fast Ethernet at
+// 12.5 MB/s per NIC, 45 µs node-to-node hardware latency. Like the SAN it
+// lives inside the machine room, so it is physically secure; only WANs are
+// untrusted in the paper's security scenario.
+func (n *Net) NewEthernet100(name string, nodes []*Node) *Fabric {
+	return n.NewFabric(FabricSpec{
+		Name:        name,
+		Kind:        LAN,
+		LinkLatency: EthernetLinkLatency,
+		Bps:         EthernetBps,
+		Secure:      true,
+	}, nodes)
+}
+
+// NewWAN builds a wide-area interconnection with a shared insecure trunk.
+func (n *Net) NewWAN(name string, nodes []*Node, trunkBps float64, trunkLat time.Duration) *Fabric {
+	return n.NewFabric(FabricSpec{
+		Name:         name,
+		Kind:         WAN,
+		LinkLatency:  EthernetLinkLatency,
+		Bps:          EthernetBps,
+		TrunkBps:     trunkBps,
+		TrunkLatency: trunkLat,
+	}, nodes)
+}

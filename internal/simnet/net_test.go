@@ -1,0 +1,352 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"padico/internal/vtime"
+)
+
+func newTestGrid(t *testing.T, n int) (*vtime.Sim, *Net, *Fabric) {
+	t.Helper()
+	s := vtime.NewSim()
+	net := New(s)
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, net.NewNode("node"+string(rune('A'+i))))
+	}
+	fab := net.NewMyrinet2000("myri0", nodes)
+	return s, net, fab
+}
+
+func TestSingleFlowExactTiming(t *testing.T) {
+	s, net, fab := newTestGrid(t, 2)
+	nodes := fab.Nodes()
+	s.Run(func() {
+		p, err := fab.Path(nodes[0], nodes[1])
+		if err != nil {
+			t.Fatalf("path: %v", err)
+		}
+		start := s.Now()
+		if err := net.Transfer(p, 1_000_000); err != nil {
+			t.Fatalf("transfer: %v", err)
+		}
+		got := s.Now().Sub(start)
+		// 1 MB at 250 MB/s = 4 ms transmission + 7 µs propagation.
+		want := 4*time.Millisecond + 7*time.Microsecond
+		if got != want {
+			t.Fatalf("transfer took %v, want %v", got, want)
+		}
+	})
+}
+
+func TestZeroByteTransferCostsLatencyOnly(t *testing.T) {
+	s, net, fab := newTestGrid(t, 2)
+	nodes := fab.Nodes()
+	s.Run(func() {
+		p, _ := fab.Path(nodes[0], nodes[1])
+		start := s.Now()
+		if err := net.Transfer(p, 0); err != nil {
+			t.Fatalf("transfer: %v", err)
+		}
+		if got := s.Now().Sub(start); got != 7*time.Microsecond {
+			t.Fatalf("zero-byte transfer took %v, want 7µs", got)
+		}
+	})
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	s := vtime.NewSim()
+	net := New(s)
+	s.Run(func() {
+		if err := net.Transfer(Path{}, 10); err == nil {
+			t.Error("empty path accepted")
+		}
+	})
+}
+
+func TestTwoFlowsShareNICFairly(t *testing.T) {
+	// The paper's concurrency claim: two streams over the same NIC pair
+	// each get half the wire, so each 1 MB transfer takes ~8 ms.
+	s, net, fab := newTestGrid(t, 2)
+	nodes := fab.Nodes()
+	s.Run(func() {
+		p, _ := fab.Path(nodes[0], nodes[1])
+		durs := make(chan time.Duration, 2)
+		wg := vtime.NewWaitGroup(s, "join")
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			s.Go("stream", func() {
+				start := s.Now()
+				if err := net.Transfer(p, 1_000_000); err != nil {
+					t.Errorf("transfer: %v", err)
+				}
+				durs <- s.Now().Sub(start)
+				wg.Done()
+			})
+		}
+		_ = wg.Wait()
+		want := 8*time.Millisecond + 7*time.Microsecond
+		for i := 0; i < 2; i++ {
+			if got := <-durs; got != want {
+				t.Errorf("shared transfer took %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestDisjointPairsDoNotContend(t *testing.T) {
+	// Crossbar behaviour: A→B and C→D run at full speed concurrently.
+	s, net, fab := newTestGrid(t, 4)
+	nd := fab.Nodes()
+	s.Run(func() {
+		pAB, _ := fab.Path(nd[0], nd[1])
+		pCD, _ := fab.Path(nd[2], nd[3])
+		wg := vtime.NewWaitGroup(s, "join")
+		for _, p := range []Path{pAB, pCD} {
+			wg.Add(1)
+			s.Go("stream", func() {
+				if err := net.Transfer(p, 1_000_000); err != nil {
+					t.Errorf("transfer: %v", err)
+				}
+				wg.Done()
+			})
+		}
+		_ = wg.Wait()
+		want := vtime.Time(4*time.Millisecond + 7*time.Microsecond)
+		if s.Now() != want {
+			t.Fatalf("disjoint transfers finished at %v, want %v", s.Now(), want)
+		}
+	})
+}
+
+func TestLateJoinerSlowsExistingFlow(t *testing.T) {
+	// Flow 1 runs alone for 2 ms (500 KB done), then shares for the rest.
+	s, net, fab := newTestGrid(t, 2)
+	nd := fab.Nodes()
+	s.Run(func() {
+		p, _ := fab.Path(nd[0], nd[1])
+		var d1 time.Duration
+		wg := vtime.NewWaitGroup(s, "join")
+		wg.Add(2)
+		s.Go("first", func() {
+			start := s.Now()
+			_ = net.Transfer(p, 1_000_000)
+			d1 = s.Now().Sub(start)
+			wg.Done()
+		})
+		s.Go("second", func() {
+			s.Sleep(2 * time.Millisecond)
+			_ = net.Transfer(p, 1_000_000)
+			wg.Done()
+		})
+		_ = wg.Wait()
+		// First: 2 ms alone (500 KB) + 4 ms shared (500 KB at 125 MB/s)
+		// + 7 µs latency = 6.007 ms.
+		want := 6*time.Millisecond + 7*time.Microsecond
+		if d1 != want {
+			t.Fatalf("first flow took %v, want %v", d1, want)
+		}
+	})
+}
+
+func TestTrunkIsSharedBottleneck(t *testing.T) {
+	s := vtime.NewSim()
+	net := New(s)
+	a, b := net.NewNode("a"), net.NewNode("b")
+	c, d := net.NewNode("c"), net.NewNode("d")
+	wan := net.NewWAN("wan0", []*Node{a, b, c, d}, 5e6, time.Millisecond)
+	s.Run(func() {
+		p1, _ := wan.Path(a, b)
+		p2, _ := wan.Path(c, d)
+		if p1.Latency() != time.Millisecond+45*time.Microsecond {
+			t.Fatalf("trunk path latency = %v", p1.Latency())
+		}
+		wg := vtime.NewWaitGroup(s, "join")
+		for _, p := range []Path{p1, p2} {
+			wg.Add(1)
+			s.Go("stream", func() {
+				_ = net.Transfer(p, 1_000_000)
+				wg.Done()
+			})
+		}
+		_ = wg.Wait()
+		// Two flows share the 5 MB/s trunk: 1 MB each at 2.5 MB/s
+		// = 400 ms + path latency.
+		want := vtime.Time(400*time.Millisecond + time.Millisecond + 45*time.Microsecond)
+		if s.Now() != want {
+			t.Fatalf("finished at %v, want %v", s.Now(), want)
+		}
+	})
+}
+
+func TestPathProperties(t *testing.T) {
+	s := vtime.NewSim()
+	net := New(s)
+	a, b := net.NewNode("a"), net.NewNode("b")
+	san := net.NewMyrinet2000("m", []*Node{a, b})
+	wan := net.NewWAN("w", []*Node{a, b}, 1e6, 10*time.Millisecond)
+	ps, _ := san.Path(a, b)
+	pw, _ := wan.Path(a, b)
+	if ps.Insecure() {
+		t.Error("SAN path reported insecure")
+	}
+	if !pw.Insecure() {
+		t.Error("WAN path reported secure")
+	}
+	if ps.Bottleneck() != MyrinetBps {
+		t.Errorf("SAN bottleneck = %v", ps.Bottleneck())
+	}
+	if pw.Bottleneck() != 1e6 {
+		t.Errorf("WAN bottleneck = %v", pw.Bottleneck())
+	}
+	if ps.String() == "" || pw.String() == "" {
+		t.Error("empty path string")
+	}
+}
+
+func TestPathUnattachedNode(t *testing.T) {
+	s := vtime.NewSim()
+	net := New(s)
+	a, b, c := net.NewNode("a"), net.NewNode("b"), net.NewNode("c")
+	fab := net.NewMyrinet2000("m", []*Node{a, b})
+	if _, err := fab.Path(a, c); err == nil {
+		t.Error("path to unattached node succeeded")
+	}
+	if _, err := fab.Path(c, a); err == nil {
+		t.Error("path from unattached node succeeded")
+	}
+	if fab.Attached(c) {
+		t.Error("Attached(c) = true")
+	}
+}
+
+func TestLoopbackPath(t *testing.T) {
+	s, net, fab := newTestGrid(t, 1)
+	nd := fab.Nodes()[0]
+	s.Run(func() {
+		p, err := fab.Path(nd, nd)
+		if err != nil {
+			t.Fatalf("loopback path: %v", err)
+		}
+		if err := net.Transfer(p, 1000); err != nil {
+			t.Fatalf("loopback transfer: %v", err)
+		}
+	})
+}
+
+func TestCostDuration(t *testing.T) {
+	c := Cost{PerMessage: 10 * time.Microsecond, PerByte: 2}
+	if got := c.Duration(0); got != 10*time.Microsecond {
+		t.Errorf("Duration(0) = %v", got)
+	}
+	if got := c.Duration(1000); got != 12*time.Microsecond {
+		t.Errorf("Duration(1000) = %v", got)
+	}
+	sum := c.Plus(Cost{PerMessage: time.Microsecond, PerByte: 1})
+	if sum.PerMessage != 11*time.Microsecond || sum.PerByte != 3 {
+		t.Errorf("Plus = %+v", sum)
+	}
+	if c.String() == "" {
+		t.Error("empty cost string")
+	}
+}
+
+// Property: with any number of same-size concurrent flows over one NIC pair,
+// total virtual time equals k * size / capacity (+latency): the fluid model
+// conserves bytes and shares exactly.
+func TestFairShareConservationProperty(t *testing.T) {
+	f := func(k8 uint8, sz16 uint16) bool {
+		k := int(k8%6) + 1
+		size := int(sz16%50_000) + 1000
+		s := vtime.NewSim()
+		net := New(s)
+		a, b := net.NewNode("a"), net.NewNode("b")
+		fab := net.NewMyrinet2000("m", []*Node{a, b})
+		var end vtime.Time
+		s.Run(func() {
+			p, _ := fab.Path(a, b)
+			wg := vtime.NewWaitGroup(s, "join")
+			for i := 0; i < k; i++ {
+				wg.Add(1)
+				s.Go("f", func() {
+					_ = net.Transfer(p, size)
+					wg.Done()
+				})
+			}
+			_ = wg.Wait()
+			end = s.Now()
+		})
+		ideal := float64(k*size)/MyrinetBps*1e9 + 7000 // ns
+		return math.Abs(float64(end)-ideal) < 1000     // within 1 µs rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a flow never finishes earlier than its uncontended ideal time.
+func TestNoFlowBeatsWireSpeedProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 8 {
+			return true
+		}
+		s := vtime.NewSim()
+		net := New(s)
+		a, b := net.NewNode("a"), net.NewNode("b")
+		fab := net.NewMyrinet2000("m", []*Node{a, b})
+		ok := true
+		s.Run(func() {
+			p, _ := fab.Path(a, b)
+			wg := vtime.NewWaitGroup(s, "join")
+			for _, sz := range sizes {
+				size := int(sz) + 1
+				wg.Add(1)
+				s.Go("f", func() {
+					start := s.Now()
+					_ = net.Transfer(p, size)
+					got := s.Now().Sub(start)
+					min := time.Duration(float64(size)/MyrinetBps*1e9) + 7*time.Microsecond
+					if got < min-time.Microsecond {
+						ok = false
+					}
+					wg.Done()
+				})
+			}
+			_ = wg.Wait()
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndActiveFlows(t *testing.T) {
+	s, net, fab := newTestGrid(t, 2)
+	nd := fab.Nodes()
+	s.Run(func() {
+		p, _ := fab.Path(nd[0], nd[1])
+		if net.ActiveFlows() != 0 {
+			t.Error("flows active before any transfer")
+		}
+		_ = net.Transfer(p, 5000)
+		flows, bytes := net.Stats()
+		if flows != 1 || bytes != 5000 {
+			t.Errorf("stats = %d flows, %d bytes", flows, bytes)
+		}
+		if net.ActiveFlows() != 0 {
+			t.Error("flow leaked after completion")
+		}
+	})
+}
+
+func TestDeviceKindString(t *testing.T) {
+	for k, want := range map[DeviceKind]string{SAN: "SAN", LAN: "LAN", WAN: "WAN", DeviceKind(9): "DeviceKind(9)"} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %s", int(k), k)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package soap substitutes the gSOAP port of §4.3.4: a web-services RPC
+// middleware with XML envelopes, running unmodified over the VLink
+// personality — demonstrating that a third middleware family cohabits with
+// CORBA and MPI on the same arbitrated networks. The calibrated cost model
+// (simnet.SOAPCost) reflects the paper's related-work judgement that web
+// services' "performance is poor": XML encoding dominates.
+package soap
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+)
+
+// Envelope is the XML message wrapper.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Body    Body     `xml:"Body"`
+}
+
+// Body carries one call or response.
+type Body struct {
+	Method string   `xml:"method,attr"`
+	Fault  string   `xml:"fault,attr,omitempty"`
+	Params []string `xml:"param"`
+}
+
+// Handler serves one SOAP method.
+type Handler func(params []string) ([]string, error)
+
+// Server dispatches SOAP calls on a VLink service.
+type Server struct {
+	ln       *vlink.Linker
+	service  string
+	lst      *vlink.Listener
+	handlers map[string]Handler
+}
+
+// Serve registers handlers under a service name and starts accepting.
+func Serve(ln *vlink.Linker, service string, handlers map[string]Handler) (*Server, error) {
+	lst, err := ln.Listen("soap:" + service)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, service: service, lst: lst, handlers: handlers}
+	rt := lnRuntime(ln)
+	rt.Go("soap:accept:"+service, func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			rt.Go("soap:conn", func() { s.serve(st) })
+		}
+	})
+	return s, nil
+}
+
+// Close stops accepting new connections.
+func (s *Server) Close() { _ = s.lst.Close() }
+
+func (s *Server) serve(st vlink.Stream) {
+	defer st.Close()
+	for {
+		env, size, err := readEnvelope(st)
+		if err != nil {
+			return
+		}
+		chargeNode(s.ln, size) // XML decode
+		reply := Envelope{}
+		h, ok := s.handlers[env.Body.Method]
+		if !ok {
+			reply.Body = Body{Method: env.Body.Method, Fault: "unknown method " + env.Body.Method}
+		} else {
+			out, err := h(env.Body.Params)
+			if err != nil {
+				reply.Body = Body{Method: env.Body.Method, Fault: err.Error()}
+			} else {
+				reply.Body = Body{Method: env.Body.Method, Params: out}
+			}
+		}
+		if err := writeEnvelope(s.ln, st, &reply); err != nil {
+			return
+		}
+	}
+}
+
+// Client calls SOAP services over VLink.
+type Client struct {
+	ln *vlink.Linker
+}
+
+// NewClient wraps a linker.
+func NewClient(ln *vlink.Linker) *Client { return &Client{ln: ln} }
+
+// Call invokes method with params on the node's service and returns the
+// response parameters.
+func (c *Client) Call(node *simnet.Node, service, method string, params ...string) ([]string, error) {
+	st, err := c.ln.Dial(node, "soap:"+service)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if err := writeEnvelope(c.ln, st, &Envelope{Body: Body{Method: method, Params: params}}); err != nil {
+		return nil, err
+	}
+	reply, size, err := readEnvelope(st)
+	if err != nil {
+		return nil, err
+	}
+	chargeNode(c.ln, size)
+	if reply.Body.Fault != "" {
+		return nil, errors.New("soap: fault: " + reply.Body.Fault)
+	}
+	return reply.Body.Params, nil
+}
+
+// writeEnvelope frames the XML with a 4-byte length prefix and charges the
+// encoder cost.
+func writeEnvelope(ln *vlink.Linker, st vlink.Stream, env *Envelope) error {
+	data, err := xml.Marshal(env)
+	if err != nil {
+		return err
+	}
+	chargeNode(ln, len(data))
+	frame := make([]byte, 4+len(data))
+	frame[0] = byte(len(data) >> 24)
+	frame[1] = byte(len(data) >> 16)
+	frame[2] = byte(len(data) >> 8)
+	frame[3] = byte(len(data))
+	copy(frame[4:], data)
+	_, err = st.Write(frame)
+	return err
+}
+
+func readEnvelope(st vlink.Stream) (*Envelope, int, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(st, lenb[:]); err != nil {
+		return nil, 0, err
+	}
+	n := int(lenb[0])<<24 | int(lenb[1])<<16 | int(lenb[2])<<8 | int(lenb[3])
+	if n <= 0 || n > 1<<28 {
+		return nil, 0, fmt.Errorf("soap: bad envelope size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		return nil, 0, err
+	}
+	var env Envelope
+	if err := xml.Unmarshal(buf, &env); err != nil {
+		return nil, 0, fmt.Errorf("soap: bad envelope: %w", err)
+	}
+	return &env, n, nil
+}
+
+func chargeNode(ln *vlink.Linker, bytes int) {
+	if nd := ln.Node(); nd != nil {
+		nd.Charge(simnet.SOAPCost, bytes)
+	}
+}
+
+func lnRuntime(ln *vlink.Linker) runtimeIface { return ln.Runtime() }
+
+type runtimeIface interface {
+	Go(name string, f func())
+}

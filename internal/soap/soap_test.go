@@ -1,0 +1,108 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+func newPair(t *testing.T) (*vtime.Sim, *arbitration.Arbiter, []*vlink.Linker, []*simnet.Node) {
+	t.Helper()
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	a, b := net.NewNode("a"), net.NewNode("b")
+	arb := arbitration.New(net)
+	if _, err := arb.AddSock(net.NewEthernet100("eth0", []*simnet.Node{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	return s, arb, []*vlink.Linker{vlink.NewLinker(arb, a), vlink.NewLinker(arb, b)}, []*simnet.Node{a, b}
+}
+
+func TestCallAndFault(t *testing.T) {
+	s, arb, lns, nodes := newPair(t)
+	s.Run(func() {
+		defer arb.Close()
+		defer lns[0].Close()
+		defer lns[1].Close()
+		srv, err := Serve(lns[0], "calc", map[string]Handler{
+			"add": func(params []string) ([]string, error) {
+				x, _ := strconv.Atoi(params[0])
+				y, _ := strconv.Atoi(params[1])
+				return []string{strconv.Itoa(x + y)}, nil
+			},
+			"explode": func([]string) ([]string, error) {
+				return nil, errors.New("kaboom")
+			},
+		})
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		defer srv.Close()
+		cli := NewClient(lns[1])
+		out, err := cli.Call(nodes[0], "calc", "add", "20", "22")
+		if err != nil || len(out) != 1 || out[0] != "42" {
+			t.Fatalf("call = %v, %v", out, err)
+		}
+		if _, err := cli.Call(nodes[0], "calc", "explode"); err == nil {
+			t.Fatal("fault not propagated")
+		}
+		if _, err := cli.Call(nodes[0], "calc", "ghost"); err == nil {
+			t.Fatal("unknown method accepted")
+		}
+		if _, err := cli.Call(nodes[0], "nosuch", "add"); err == nil {
+			t.Fatal("unknown service accepted")
+		}
+	})
+}
+
+func TestSOAPSlowerThanRawStream(t *testing.T) {
+	// The calibrated model reflects the paper's "their performance is
+	// poor": SOAP pays heavy per-message XML costs.
+	s, arb, lns, nodes := newPair(t)
+	s.Run(func() {
+		defer arb.Close()
+		defer lns[0].Close()
+		defer lns[1].Close()
+		srv, _ := Serve(lns[0], "echo", map[string]Handler{
+			"echo": func(p []string) ([]string, error) { return p, nil },
+		})
+		defer srv.Close()
+		cli := NewClient(lns[1])
+		start := s.Now()
+		if _, err := cli.Call(nodes[0], "echo", "echo", "x"); err != nil {
+			t.Fatal(err)
+		}
+		rt := s.Now().Sub(start)
+		// ≥2 envelopes × 180 µs encode/decode each way.
+		if rt < 600*time.Microsecond {
+			t.Fatalf("SOAP round trip %v suspiciously fast", rt)
+		}
+	})
+}
+
+func TestManySequentialCalls(t *testing.T) {
+	s, arb, lns, nodes := newPair(t)
+	s.Run(func() {
+		defer arb.Close()
+		defer lns[0].Close()
+		defer lns[1].Close()
+		srv, _ := Serve(lns[0], "seq", map[string]Handler{
+			"n": func(p []string) ([]string, error) { return []string{p[0]}, nil },
+		})
+		defer srv.Close()
+		cli := NewClient(lns[1])
+		for i := 0; i < 5; i++ {
+			out, err := cli.Call(nodes[0], "seq", "n", fmt.Sprint(i))
+			if err != nil || out[0] != fmt.Sprint(i) {
+				t.Fatalf("call %d = %v, %v", i, out, err)
+			}
+		}
+	})
+}

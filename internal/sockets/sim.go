@@ -1,0 +1,223 @@
+package sockets
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// SimStack is the simulated TCP/IP stack of one fabric. All nodes attached
+// to the fabric share a listener namespace ("node:port").
+type SimStack struct {
+	fabric *simnet.Fabric
+	net    *simnet.Net
+	cost   simnet.Cost
+
+	mu        sync.Mutex
+	listeners map[string]*simListener
+	ephemeral int
+}
+
+// NewSimStack builds a socket stack over a LAN/WAN fabric.
+func NewSimStack(fabric *simnet.Fabric) *SimStack {
+	return &SimStack{
+		fabric:    fabric,
+		net:       fabric.Net(),
+		cost:      simnet.TCPCost,
+		listeners: make(map[string]*simListener),
+	}
+}
+
+// Fabric returns the device this stack drives.
+func (st *SimStack) Fabric() *simnet.Fabric { return st.fabric }
+
+// Host returns the Provider view of the stack for one node.
+func (st *SimStack) Host(node *simnet.Node) Provider {
+	return &simProvider{st: st, node: node}
+}
+
+type simProvider struct {
+	st   *SimStack
+	node *simnet.Node
+}
+
+func (p *simProvider) NodeName() string { return p.node.Name }
+
+func (p *simProvider) Listen(port int) (Listener, error) {
+	st := p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if port == 0 {
+		st.ephemeral++
+		port = 49152 + st.ephemeral
+	}
+	addr := JoinAddr(p.node.Name, port)
+	if _, exists := st.listeners[addr]; exists {
+		return nil, fmt.Errorf("sockets: address %s already in use", addr)
+	}
+	l := &simListener{
+		st:   st,
+		node: p.node,
+		addr: addr,
+		q:    vtime.NewQueue[*simConn](st.net.Runtime(), "sockets: accept on "+addr),
+	}
+	st.listeners[addr] = l
+	return l, nil
+}
+
+func (p *simProvider) Dial(addr string) (Conn, error) {
+	st := p.st
+	peer, _, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	l, ok := st.listeners[addr]
+	st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+	_ = peer
+	fwd, err := st.fabric.Path(p.node, l.node)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := st.fabric.Path(l.node, p.node)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	st.ephemeral++
+	local := JoinAddr(p.node.Name, 32768+st.ephemeral)
+	st.mu.Unlock()
+	rt := st.net.Runtime()
+	aToB := vtime.NewQueue[[]byte](rt, "sockets: stream "+local+"→"+addr)
+	bToA := vtime.NewQueue[[]byte](rt, "sockets: stream "+addr+"→"+local)
+	client := &simConn{st: st, node: p.node, local: local, remote: addr, path: fwd, in: bToA, out: aToB}
+	server := &simConn{st: st, node: l.node, local: addr, remote: local, path: rev, in: aToB, out: bToA}
+	client.peer, server.peer = server, client
+	// SYN/ACK handshake: one round trip of latency before Dial returns.
+	if err := st.net.Transfer(fwd, 0); err != nil {
+		return nil, err
+	}
+	l.q.Push(server)
+	if err := st.net.Transfer(rev, 0); err != nil {
+		return nil, err
+	}
+	return client, nil
+}
+
+type simListener struct {
+	st   *SimStack
+	node *simnet.Node
+	addr string
+	q    *vtime.Queue[*simConn]
+}
+
+func (l *simListener) Accept() (Conn, error) {
+	c, err := l.q.Pop()
+	if err != nil {
+		return nil, fmt.Errorf("sockets: accept on closed listener %s", l.addr)
+	}
+	return c, nil
+}
+
+func (l *simListener) Addr() string { return l.addr }
+
+func (l *simListener) Close() error {
+	l.st.mu.Lock()
+	delete(l.st.listeners, l.addr)
+	l.st.mu.Unlock()
+	l.q.Close()
+	return nil
+}
+
+// simConn is one direction pair of a simulated TCP connection.
+type simConn struct {
+	st     *SimStack
+	node   *simnet.Node
+	peer   *simConn
+	local  string
+	remote string
+	path   simnet.Path // local → remote
+
+	in  *vtime.Queue[[]byte]
+	out *vtime.Queue[[]byte]
+
+	mu       sync.Mutex
+	leftover []byte
+	closed   bool
+}
+
+func (c *simConn) LocalAddr() string  { return c.local }
+func (c *simConn) RemoteAddr() string { return c.remote }
+
+// Write transmits p as one TCP burst: the stack cost is charged to the
+// caller, the fluid model times the wire, and the bytes land in the peer's
+// receive queue at arrival.
+func (c *simConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.node.Charge(c.st.cost, len(p))
+	if err := c.st.net.Transfer(c.path, len(p)); err != nil {
+		return 0, err
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	c.out.Push(buf)
+	return len(p), nil
+}
+
+// Read returns buffered bytes, blocking until data or EOF.
+func (c *simConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if len(c.leftover) > 0 {
+		n := copy(p, c.leftover)
+		c.leftover = c.leftover[n:]
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	chunk, err := c.in.Pop()
+	if err != nil {
+		if errors.Is(err, vtime.ErrClosed) {
+			return 0, io.EOF
+		}
+		return 0, err
+	}
+	n := copy(p, chunk)
+	if n < len(chunk) {
+		c.mu.Lock()
+		c.leftover = append(c.leftover, chunk[n:]...)
+		c.mu.Unlock()
+	}
+	return n, nil
+}
+
+// Close shuts both directions down: the peer reads EOF after draining.
+func (c *simConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.out.Close()
+	c.in.Close()
+	c.peer.mu.Lock()
+	c.peer.closed = true
+	c.peer.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package sockets is the distributed-paradigm low-level library: BSD-style
+// stream connections used to drive LAN and WAN devices (the paper's "plain
+// sockets" subsystem of the arbitration layer).
+//
+// Two drivers implement the same Provider interface: the simulated stack
+// (SimStack) running over simnet fabrics under virtual time, and a real TCP
+// stack (TCPStack) over the loopback interface for wall-clock integration
+// tests — the middleware above cannot tell them apart.
+package sockets
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrRefused is returned by Dial when no listener is bound to the address.
+var ErrRefused = errors.New("sockets: connection refused")
+
+// ErrClosed is returned on operations against a closed socket.
+var ErrClosed = errors.New("sockets: use of closed connection")
+
+// Conn is a bidirectional byte stream between two nodes.
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on a node's port.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Provider is one node's socket stack on one device.
+type Provider interface {
+	// Listen binds a port on this node. Port 0 picks an ephemeral port.
+	Listen(port int) (Listener, error)
+	// Dial connects to "node:port".
+	Dial(addr string) (Conn, error)
+	// NodeName identifies the local node ("host name").
+	NodeName() string
+}
+
+// SplitAddr separates "node:port" into its components.
+func SplitAddr(addr string) (node string, port int, err error) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			if _, err := fmt.Sscanf(addr[i+1:], "%d", &port); err != nil {
+				return "", 0, fmt.Errorf("sockets: bad port in %q", addr)
+			}
+			return addr[:i], port, nil
+		}
+	}
+	return "", 0, fmt.Errorf("sockets: address %q missing port", addr)
+}
+
+// JoinAddr formats a node/port address.
+func JoinAddr(node string, port int) string { return fmt.Sprintf("%s:%d", node, port) }
+
+// ReadFull reads exactly len(p) bytes (io.ReadFull over our Conn).
+func ReadFull(c Conn, p []byte) error {
+	_, err := io.ReadFull(c, p)
+	return err
+}

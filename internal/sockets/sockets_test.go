@@ -1,0 +1,247 @@
+package sockets
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+func newLAN(n int) (*vtime.Sim, *SimStack) {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	var nodes []*simnet.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, net.NewNode("h"+string(rune('0'+i))))
+	}
+	return s, NewSimStack(net.NewEthernet100("eth", nodes))
+}
+
+func TestSplitJoinAddr(t *testing.T) {
+	node, port, err := SplitAddr("hostA:8080")
+	if err != nil || node != "hostA" || port != 8080 {
+		t.Fatalf("SplitAddr = %q,%d,%v", node, port, err)
+	}
+	if _, _, err := SplitAddr("noport"); err == nil {
+		t.Error("SplitAddr without port succeeded")
+	}
+	if _, _, err := SplitAddr("host:abc"); err == nil {
+		t.Error("SplitAddr with junk port succeeded")
+	}
+	if got := JoinAddr("x", 9); got != "x:9" {
+		t.Errorf("JoinAddr = %q", got)
+	}
+}
+
+func TestSimDialListenEcho(t *testing.T) {
+	s, st := newLAN(2)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		srv := st.Host(nodes[0])
+		cli := st.Host(nodes[1])
+		l, err := srv.Listen(7000)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		s.Go("server", func() {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			buf := make([]byte, 5)
+			if err := ReadFull(c, buf); err != nil {
+				t.Errorf("server read: %v", err)
+			}
+			if _, err := c.Write(append([]byte("re:"), buf...)); err != nil {
+				t.Errorf("server write: %v", err)
+			}
+			c.Close()
+		})
+		c, err := cli.Dial("h0:7000")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := c.Write([]byte("hello")); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, 8)
+		if err := ReadFull(c, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(buf) != "re:hello" {
+			t.Fatalf("echo = %q", buf)
+		}
+		// After peer close, reads drain then EOF.
+		if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("read after close = %v, want EOF", err)
+		}
+		l.Close()
+	})
+}
+
+func TestSimDialRefused(t *testing.T) {
+	s, st := newLAN(2)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		if _, err := st.Host(nodes[0]).Dial("h1:1"); !errors.Is(err, ErrRefused) {
+			t.Fatalf("dial err = %v, want ErrRefused", err)
+		}
+	})
+}
+
+func TestSimListenConflictAndEphemeral(t *testing.T) {
+	s, st := newLAN(1)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		p := st.Host(nodes[0])
+		l1, err := p.Listen(80)
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		if _, err := p.Listen(80); err == nil {
+			t.Fatal("duplicate listen succeeded")
+		}
+		l2, err := p.Listen(0)
+		if err != nil {
+			t.Fatalf("ephemeral listen: %v", err)
+		}
+		if l2.Addr() == l1.Addr() {
+			t.Fatal("ephemeral port collided")
+		}
+		l1.Close()
+		l2.Close()
+		// Port released after close.
+		l3, err := p.Listen(80)
+		if err != nil {
+			t.Fatalf("relisten: %v", err)
+		}
+		l3.Close()
+	})
+}
+
+func TestSimWriteAfterCloseFails(t *testing.T) {
+	s, st := newLAN(2)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		l, _ := st.Host(nodes[0]).Listen(9)
+		s.Go("srv", func() {
+			c, err := l.Accept()
+			if err == nil {
+				c.Close()
+			}
+		})
+		c, err := st.Host(nodes[1]).Dial("h0:9")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		c.Close()
+		if _, err := c.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("write after close = %v", err)
+		}
+	})
+}
+
+func TestSimTransferTiming(t *testing.T) {
+	s, st := newLAN(2)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		l, _ := st.Host(nodes[0]).Listen(5)
+		got := make(chan time.Duration, 1)
+		s.Go("srv", func() {
+			c, _ := l.Accept()
+			buf := make([]byte, 1_000_000)
+			start := s.Now()
+			if err := ReadFull(c, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+			got <- s.Now().Sub(start)
+		})
+		c, err := st.Host(nodes[1]).Dial("h0:5")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := c.Write(make([]byte, 1_000_000)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		d := <-got
+		// 1 MB at 12.5 MB/s = 80 ms dominates; TCP cost ~3 ms; wire 45 µs.
+		if d < 80*time.Millisecond || d > 90*time.Millisecond {
+			t.Fatalf("1MB LAN transfer took %v", d)
+		}
+	})
+}
+
+func TestSimPartialReads(t *testing.T) {
+	s, st := newLAN(2)
+	nodes := st.Fabric().Nodes()
+	s.Run(func() {
+		l, _ := st.Host(nodes[0]).Listen(5)
+		s.Go("srv", func() {
+			c, _ := l.Accept()
+			_, _ = c.Write([]byte("abcdefgh"))
+		})
+		c, _ := st.Host(nodes[1]).Dial("h0:5")
+		var out []byte
+		buf := make([]byte, 3)
+		for len(out) < 8 {
+			n, err := c.Read(buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			out = append(out, buf[:n]...)
+		}
+		if string(out) != "abcdefgh" {
+			t.Fatalf("reassembled %q", out)
+		}
+	})
+}
+
+func TestTCPStackEcho(t *testing.T) {
+	st := NewTCPStack()
+	srv := st.Host("alpha")
+	cli := st.Host("beta")
+	l, err := srv.Listen(0)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		if err := ReadFull(c, buf); err != nil {
+			t.Errorf("srv read: %v", err)
+			return
+		}
+		_, _ = c.Write(buf)
+	}()
+	c, err := cli.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if err := ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+	<-done
+	if _, err := cli.Dial("alpha:1"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial unknown = %v, want ErrRefused", err)
+	}
+}

@@ -1,0 +1,97 @@
+package sockets
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPStack is the wall-clock driver: virtual "node:port" addresses are
+// mapped onto real loopback TCP sockets, so the full middleware stack can
+// be exercised over the genuine kernel network path in integration tests.
+type TCPStack struct {
+	mu    sync.Mutex
+	names map[string]string // "node:port" -> "127.0.0.1:realport"
+}
+
+// NewTCPStack returns an empty loopback stack.
+func NewTCPStack() *TCPStack {
+	return &TCPStack{names: make(map[string]string)}
+}
+
+// Host returns the Provider view for one named node.
+func (st *TCPStack) Host(nodeName string) Provider {
+	return &tcpProvider{st: st, node: nodeName}
+}
+
+type tcpProvider struct {
+	st   *TCPStack
+	node string
+}
+
+func (p *tcpProvider) NodeName() string { return p.node }
+
+func (p *tcpProvider) Listen(port int) (Listener, error) {
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sockets: tcp listen: %w", err)
+	}
+	if port == 0 {
+		port = nl.Addr().(*net.TCPAddr).Port
+	}
+	addr := JoinAddr(p.node, port)
+	p.st.mu.Lock()
+	if _, exists := p.st.names[addr]; exists {
+		p.st.mu.Unlock()
+		nl.Close()
+		return nil, fmt.Errorf("sockets: address %s already in use", addr)
+	}
+	p.st.names[addr] = nl.Addr().String()
+	p.st.mu.Unlock()
+	return &tcpListener{st: p.st, addr: addr, nl: nl}, nil
+}
+
+func (p *tcpProvider) Dial(addr string) (Conn, error) {
+	p.st.mu.Lock()
+	real, ok := p.st.names[addr]
+	p.st.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addr)
+	}
+	nc, err := net.Dial("tcp", real)
+	if err != nil {
+		return nil, fmt.Errorf("sockets: dial %s (%s): %w", addr, real, err)
+	}
+	return &tcpConn{Conn: nc, local: p.node, remote: addr}, nil
+}
+
+type tcpListener struct {
+	st   *TCPStack
+	addr string
+	nl   net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{Conn: nc, local: l.addr, remote: nc.RemoteAddr().String()}, nil
+}
+
+func (l *tcpListener) Addr() string { return l.addr }
+
+func (l *tcpListener) Close() error {
+	l.st.mu.Lock()
+	delete(l.st.names, l.addr)
+	l.st.mu.Unlock()
+	return l.nl.Close()
+}
+
+type tcpConn struct {
+	net.Conn
+	local, remote string
+}
+
+func (c *tcpConn) LocalAddr() string  { return c.local }
+func (c *tcpConn) RemoteAddr() string { return c.remote }

@@ -1,0 +1,252 @@
+package vlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+)
+
+// Cross-paradigm mapping: VLink streams emulated over a multiplexed
+// Madeleine port, so distributed middleware runs at SAN speed. Wire
+// protocol on the shared control tag "vlk:ctl":
+//
+//	SYN: 'S' | connID (8B) | service         (client → server)
+//
+// and on the per-connection data tags — the client end owns
+// "vlk:c:<connID>:c", the server end "vlk:c:<connID>:s", so a stream can
+// connect a node to itself:
+//
+//	ACK  'A'            (server → client: stream established)
+//	NAK  'N'            (server → client: no such service)
+//	DATA 'D' | payload
+//	FIN  'F'
+const (
+	sanSYN  = 'S'
+	sanACK  = 'A'
+	sanNAK  = 'N'
+	sanDATA = 'D'
+	sanFIN  = 'F'
+)
+
+// ensureCtlLocked opens the SAN control port once. Callers hold ln.mu.
+func (ln *Linker) ensureCtlLocked() error {
+	if ln.ctl != nil {
+		return nil
+	}
+	for _, dev := range ln.arb.Devices() {
+		if dev.Kind != simnet.SAN || !dev.Fabric.Attached(ln.node) {
+			continue
+		}
+		port, err := dev.OpenPort(ln.node, "vlk:ctl")
+		if err != nil {
+			return err
+		}
+		ln.ctl = port
+		ln.ctlDev = dev
+		ln.arb.Runtime().Go("vlink:ctl", func() { ln.ctlLoop(port, dev) })
+		return nil
+	}
+	return arbitration.ErrNoDevice
+}
+
+// ctlLoop serves inbound SAN connection requests.
+func (ln *Linker) ctlLoop(ctl *arbitration.Port, dev *arbitration.Device) {
+	for {
+		m, err := ctl.Recv()
+		if err != nil {
+			return
+		}
+		if len(m.Header) < 9 || m.Header[0] != sanSYN {
+			continue
+		}
+		connID := binary.BigEndian.Uint64(m.Header[1:9])
+		service := string(m.Header[9:])
+		base := fmt.Sprintf("vlk:c:%d", connID)
+
+		ln.mu.Lock()
+		l, ok := ln.services[service]
+		ln.mu.Unlock()
+
+		port, perr := dev.OpenPort(ln.node, base+":s")
+		if perr != nil {
+			continue // stale duplicate SYN
+		}
+		if !ok {
+			_ = port.SendTo(m.Src, base+":c", []byte{sanNAK}, nil)
+			port.Close()
+			continue
+		}
+		if err := port.SendTo(m.Src, base+":c", []byte{sanACK}, nil); err != nil {
+			port.Close()
+			continue
+		}
+		st := &sanStream{
+			port:    port,
+			peerTag: base + ":c",
+			peer:    m.Src,
+			node:    ln.node,
+			locl:    fmt.Sprintf("%s:%s:s", ln.node.Name, base),
+			rmt:     fmt.Sprintf("rank%d:%s:c", m.Src, base),
+		}
+		l.q.Push(ln.sanSecure(st))
+	}
+}
+
+// dialSAN establishes a stream over the SAN's message ports.
+func (ln *Linker) dialSAN(dev *arbitration.Device, dst *simnet.Node, service string) (Stream, error) {
+	ln.mu.Lock()
+	if err := ln.ensureCtlLocked(); err != nil {
+		ln.mu.Unlock()
+		return nil, err
+	}
+	ctl := ln.ctl
+	ln.mu.Unlock()
+	dstRank, err := dev.Rank(dst)
+	if err != nil {
+		return nil, err
+	}
+	myRank, err := dev.Rank(ln.node)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		ln.mu.Lock()
+		ln.connSeq++
+		connID := uint64(myRank)<<32 | uint64(ln.connSeq)
+		ln.mu.Unlock()
+		base := fmt.Sprintf("vlk:c:%d", connID)
+		port, err := dev.OpenPort(ln.node, base+":c")
+		if err != nil {
+			return nil, err
+		}
+		syn := make([]byte, 9+len(service))
+		syn[0] = sanSYN
+		binary.BigEndian.PutUint64(syn[1:9], connID)
+		copy(syn[9:], service)
+		if err := ctl.Send(dstRank, syn, nil); err != nil {
+			port.Close()
+			return nil, err
+		}
+		reply, err := port.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("vlink: SAN dial aborted: %w", err)
+		}
+		if len(reply.Header) == 1 && reply.Header[0] == sanACK {
+			st := &sanStream{
+				port:    port,
+				peerTag: base + ":s",
+				peer:    dstRank,
+				node:    ln.node,
+				locl:    fmt.Sprintf("%s:%s:c", ln.node.Name, base),
+				rmt:     fmt.Sprintf("%s:%s:s", dst.Name, base),
+			}
+			return ln.sanSecure(st), nil
+		}
+		port.Close()
+		// NAK: the service may not be up yet; retry briefly.
+		ln.arb.Runtime().Sleep(100 * time.Microsecond)
+	}
+	return nil, fmt.Errorf("%w: %s on %s (SAN)", ErrNoService, service, dst)
+}
+
+// sanSecure applies the security policy: intra-SAN paths are physically
+// secure, so SecureAuto leaves them in clear — the paper's optimization.
+func (ln *Linker) sanSecure(st *sanStream) Stream {
+	if ln.Mode == SecureAlways {
+		return &cryptoStream{Conn: st, node: ln.node}
+	}
+	return st
+}
+
+// sanStream presents a message port as a byte stream.
+type sanStream struct {
+	port    *arbitration.Port
+	peerTag string // the peer end's data tag
+	peer    int
+	node    *simnet.Node
+	locl    string
+	rmt     string
+
+	mu       sync.Mutex
+	leftover []byte
+	eof      bool
+	closed   bool
+}
+
+func (s *sanStream) LocalAddr() string  { return s.locl }
+func (s *sanStream) RemoteAddr() string { return s.rmt }
+
+func (s *sanStream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, errors.New("vlink: write on closed SAN stream")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.node.Charge(simnet.VLinkCost, len(p))
+	if err := s.port.SendTo(s.peer, s.peerTag, []byte{sanDATA}, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (s *sanStream) Read(p []byte) (int, error) {
+	s.mu.Lock()
+	if len(s.leftover) > 0 {
+		n := copy(p, s.leftover)
+		s.leftover = s.leftover[n:]
+		s.mu.Unlock()
+		return n, nil
+	}
+	if s.eof {
+		s.mu.Unlock()
+		return 0, io.EOF
+	}
+	s.mu.Unlock()
+	for {
+		m, err := s.port.Recv()
+		if err != nil {
+			return 0, io.EOF
+		}
+		if len(m.Header) == 0 {
+			continue
+		}
+		switch m.Header[0] {
+		case sanFIN:
+			s.mu.Lock()
+			s.eof = true
+			s.mu.Unlock()
+			return 0, io.EOF
+		case sanDATA:
+			n := copy(p, m.Payload)
+			if n < len(m.Payload) {
+				s.mu.Lock()
+				s.leftover = append(s.leftover, m.Payload[n:]...)
+				s.mu.Unlock()
+			}
+			return n, nil
+		}
+	}
+}
+
+func (s *sanStream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.port.SendTo(s.peer, s.peerTag, []byte{sanFIN}, nil)
+	s.port.Close()
+	return nil
+}

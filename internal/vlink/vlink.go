@@ -1,0 +1,332 @@
+// Package vlink implements PadicoTM's distributed-oriented abstract
+// interface (§4.3.2): dynamic point-to-point byte streams established by
+// service name, independent of the underlying hardware.
+//
+// The mapping is chosen automatically per connection: *straight* over the
+// socket stack of the best LAN/WAN device, or *cross-paradigm* — a stream
+// emulated over a multiplexed Madeleine port when a SAN reaches both ends.
+// This is how CORBA, built on VLink, transparently runs at Myrinet speed in
+// the paper's Figure 7.
+//
+// VLink also carries the paper's security scenario (§2, §6): streams whose
+// path crosses a physically insecure link are transparently encrypted,
+// while intra-SAN streams skip encryption ("if two components are placed
+// inside the same parallel machine, we can assume communications are
+// secure").
+package vlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// ErrNoService is returned by Dial when the peer has no such listener.
+var ErrNoService = errors.New("vlink: no such service")
+
+// Stream is a VLink connection: a byte stream with peer identities.
+type Stream = sockets.Conn
+
+// SecurityMode governs encryption of streams.
+type SecurityMode int
+
+const (
+	// SecureAuto encrypts exactly the streams whose path crosses an
+	// insecure link (the paper's proposed optimization).
+	SecureAuto SecurityMode = iota
+	// SecureAlways encrypts every stream (the coarse-grained CORBA
+	// security service behaviour the paper criticizes).
+	SecureAlways
+	// SecureNever disables encryption (trusted-grid baseline).
+	SecureNever
+)
+
+func (m SecurityMode) String() string {
+	switch m {
+	case SecureAuto:
+		return "auto"
+	case SecureAlways:
+		return "always"
+	default:
+		return "never"
+	}
+}
+
+// Linker is one process's VLink endpoint factory.
+type Linker struct {
+	arb  *arbitration.Arbiter
+	node *simnet.Node
+	Mode SecurityMode
+
+	mu       sync.Mutex
+	services map[string]*Listener
+	sockLst  []sockets.Listener
+	ctl      *arbitration.Port // SAN control port, lazily opened
+	ctlDev   *arbitration.Device
+	connSeq  int
+	closed   bool
+}
+
+// NewLinker returns a VLink factory for the given node. Create linkers
+// after the node's devices are registered with the arbiter: the SAN control
+// port (which answers inbound cross-paradigm connection requests, including
+// no-such-service NAKs) is opened eagerly here.
+func NewLinker(arb *arbitration.Arbiter, node *simnet.Node) *Linker {
+	ln := &Linker{
+		arb:      arb,
+		node:     node,
+		services: make(map[string]*Listener),
+	}
+	ln.mu.Lock()
+	_ = ln.ensureCtlLocked() // no SAN attached is fine
+	ln.mu.Unlock()
+	return ln
+}
+
+// Node returns the hosting machine.
+func (ln *Linker) Node() *simnet.Node { return ln.node }
+
+// Runtime returns the runtime the linker schedules on.
+func (ln *Linker) Runtime() vtime.Runtime { return ln.arb.Runtime() }
+
+// servicePort derives the TCP port for a service name; the accept-side
+// handshake verifies the full name.
+func servicePort(service string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(service))
+	return 28000 + int(h.Sum32()%10000)
+}
+
+// Listener accepts VLink streams for one service.
+type Listener struct {
+	ln      *Linker
+	service string
+	q       *vtime.Queue[Stream]
+}
+
+// Listen registers service on every reachable device: socket listeners on
+// each distributed device plus the SAN control port, so dialers may arrive
+// over any network.
+func (ln *Linker) Listen(service string) (*Listener, error) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if _, dup := ln.services[service]; dup {
+		return nil, fmt.Errorf("vlink: service %q already registered on %s", service, ln.node)
+	}
+	l := &Listener{ln: ln, service: service,
+		q: vtime.NewQueue[Stream](ln.arb.Runtime(), "vlink: accept "+service)}
+	for _, dev := range ln.arb.Devices() {
+		if dev.Kind == simnet.SAN || !dev.Fabric.Attached(ln.node) {
+			continue
+		}
+		prov, err := dev.Provider(ln.node)
+		if err != nil {
+			continue
+		}
+		sl, err := prov.Listen(servicePort(service))
+		if err != nil {
+			continue // port busy on this device: another service hash; detected at handshake
+		}
+		ln.sockLst = append(ln.sockLst, sl)
+		ln.arb.Runtime().Go("vlink:accept", func() { ln.acceptLoop(sl, dev) })
+	}
+	if err := ln.ensureCtlLocked(); err != nil && !errors.Is(err, arbitration.ErrNoDevice) {
+		return nil, err
+	}
+	ln.services[service] = l
+	return l, nil
+}
+
+// Accept blocks until a stream arrives for this service.
+func (l *Listener) Accept() (Stream, error) {
+	s, err := l.q.Pop()
+	if err != nil {
+		return nil, fmt.Errorf("vlink: accept on closed listener %q", l.service)
+	}
+	return s, nil
+}
+
+// Service returns the listener's service name.
+func (l *Listener) Service() string { return l.service }
+
+// Close unregisters the service.
+func (l *Listener) Close() error {
+	l.ln.mu.Lock()
+	delete(l.ln.services, l.service)
+	l.ln.mu.Unlock()
+	l.q.Close()
+	return nil
+}
+
+// acceptLoop handles straight (socket) arrivals: handshake carries the
+// service name, then the raw conn becomes the stream.
+func (ln *Linker) acceptLoop(sl sockets.Listener, dev *arbitration.Device) {
+	for {
+		conn, err := sl.Accept()
+		if err != nil {
+			return
+		}
+		var lenb [2]byte
+		if err := sockets.ReadFull(conn, lenb[:]); err != nil {
+			conn.Close()
+			continue
+		}
+		name := make([]byte, binary.BigEndian.Uint16(lenb[:]))
+		if err := sockets.ReadFull(conn, name); err != nil {
+			conn.Close()
+			continue
+		}
+		ln.mu.Lock()
+		l, ok := ln.services[string(name)]
+		ln.mu.Unlock()
+		if !ok {
+			_, _ = conn.Write([]byte{0}) // NAK
+			conn.Close()
+			continue
+		}
+		if _, err := conn.Write([]byte{1}); err != nil { // ACK
+			conn.Close()
+			continue
+		}
+		l.q.Push(ln.secureWrap(conn, dev, conn.RemoteAddr()))
+	}
+}
+
+// Dial connects to service on the destination node, picking the best device
+// automatically.
+func (ln *Linker) Dial(dst *simnet.Node, service string) (Stream, error) {
+	dev, err := ln.arb.Select(ln.node, dst)
+	if err != nil {
+		return nil, fmt.Errorf("vlink: dial %s/%s: %w", dst, service, err)
+	}
+	return ln.DialOn(dev, dst, service)
+}
+
+// DialName is Dial with the destination given by node name.
+func (ln *Linker) DialName(nodeName, service string) (Stream, error) {
+	for _, nd := range ln.arb.Net().Nodes() {
+		if nd.Name == nodeName {
+			return ln.Dial(nd, service)
+		}
+	}
+	return nil, fmt.Errorf("vlink: unknown node %q", nodeName)
+}
+
+// DialOn is Dial with an explicit device (ablation benchmarks).
+func (ln *Linker) DialOn(dev *arbitration.Device, dst *simnet.Node, service string) (Stream, error) {
+	if dev.Kind == simnet.SAN {
+		return ln.dialSAN(dev, dst, service)
+	}
+	prov, err := dev.Provider(ln.node)
+	if err != nil {
+		return nil, err
+	}
+	var conn sockets.Conn
+	addr := sockets.JoinAddr(dst.Name, servicePort(service))
+	for attempt := 0; ; attempt++ {
+		conn, err = prov.Dial(addr)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, sockets.ErrRefused) || attempt >= 50 {
+			return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
+		}
+		ln.arb.Runtime().Sleep(100 * time.Microsecond)
+	}
+	var hs [2]byte
+	binary.BigEndian.PutUint16(hs[:], uint16(len(service)))
+	if _, err := conn.Write(append(hs[:], service...)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var ack [1]byte
+	if err := sockets.ReadFull(conn, ack[:]); err != nil || ack[0] != 1 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoService, service, dst)
+	}
+	return ln.secureWrap(conn, dev, addr), nil
+}
+
+// secureWrap applies the security policy to a straight stream.
+func (ln *Linker) secureWrap(conn sockets.Conn, dev *arbitration.Device, peer string) Stream {
+	encrypt := false
+	switch ln.Mode {
+	case SecureAlways:
+		encrypt = true
+	case SecureAuto:
+		// A stream on a distributed device is insecure if any link of
+		// its fabric path may be snooped.
+		peerName, _, err := sockets.SplitAddr(peer)
+		if err == nil {
+			for _, nd := range dev.Fabric.Nodes() {
+				if nd.Name == peerName {
+					if p, err := dev.Fabric.Path(ln.node, nd); err == nil {
+						encrypt = p.Insecure()
+					}
+					break
+				}
+			}
+		} else {
+			encrypt = true // unknown path: be safe
+		}
+	}
+	if !encrypt {
+		return conn
+	}
+	return &cryptoStream{Conn: conn, node: ln.node}
+}
+
+// cryptoStream charges software-encryption cost on both ends of the wire.
+type cryptoStream struct {
+	sockets.Conn
+	node *simnet.Node
+}
+
+func (c *cryptoStream) Write(p []byte) (int, error) {
+	c.node.Charge(simnet.EncryptionCost, len(p))
+	return c.Conn.Write(p)
+}
+
+func (c *cryptoStream) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.node.Charge(simnet.EncryptionCost, n)
+	}
+	return n, err
+}
+
+// Close shuts the linker down: all listeners and the control port.
+func (ln *Linker) Close() {
+	ln.mu.Lock()
+	if ln.closed {
+		ln.mu.Unlock()
+		return
+	}
+	ln.closed = true
+	for _, sl := range ln.sockLst {
+		sl.Close()
+	}
+	services := make([]*Listener, 0, len(ln.services))
+	for _, l := range ln.services {
+		services = append(services, l)
+	}
+	ctl := ln.ctl
+	ln.mu.Unlock()
+	for _, l := range services {
+		l.Close()
+	}
+	if ctl != nil {
+		ctl.Close()
+	}
+}
+
+var _ io.ReadWriteCloser = Stream(nil)

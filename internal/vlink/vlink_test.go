@@ -1,0 +1,315 @@
+package vlink
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"padico/internal/arbitration"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+type grid struct {
+	sim     *vtime.Sim
+	net     *simnet.Net
+	nodes   []*simnet.Node
+	arb     *arbitration.Arbiter
+	linkers []*Linker
+}
+
+func newGrid(n int, withSAN bool) *grid {
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	g := &grid{sim: s, net: net}
+	for i := 0; i < n; i++ {
+		g.nodes = append(g.nodes, net.NewNode(fmt.Sprintf("n%d", i)))
+	}
+	g.arb = arbitration.New(net)
+	if withSAN {
+		san := net.NewMyrinet2000("myri0", g.nodes)
+		if _, err := g.arb.AddSAN(san); err != nil {
+			panic(err)
+		}
+	}
+	lan := net.NewEthernet100("eth0", g.nodes)
+	if _, err := g.arb.AddSock(lan); err != nil {
+		panic(err)
+	}
+	for _, nd := range g.nodes {
+		g.linkers = append(g.linkers, NewLinker(g.arb, nd))
+	}
+	return g
+}
+
+func echoServer(t *testing.T, g *grid, l *Listener) {
+	g.sim.Go("echo", func() {
+		for {
+			st, err := l.Accept()
+			if err != nil {
+				return
+			}
+			g.sim.Go("echo-conn", func() {
+				defer st.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := st.Read(buf)
+					if n > 0 {
+						if _, werr := st.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+func roundtrip(t *testing.T, st Stream, msg string) {
+	t.Helper()
+	if _, err := st.Write([]byte(msg)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if err := sockets.ReadFull(st, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo = %q, want %q", buf, msg)
+	}
+}
+
+func TestStraightStreamOverLAN(t *testing.T) {
+	g := newGrid(2, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, err := g.linkers[0].Listen("echo")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		echoServer(t, g, l)
+		st, err := g.linkers[1].Dial(g.nodes[0], "echo")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		roundtrip(t, st, "over-ethernet")
+		st.Close()
+	})
+}
+
+func TestCrossParadigmStreamOverSAN(t *testing.T) {
+	g := newGrid(2, true)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, err := g.linkers[0].Listen("echo")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		echoServer(t, g, l)
+		// Auto-selection must pick the SAN (fastest device).
+		st, err := g.linkers[1].Dial(g.nodes[0], "echo")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, ok := st.(*sanStream); !ok {
+			t.Fatalf("stream type %T, want *sanStream (cross-paradigm)", st)
+		}
+		roundtrip(t, st, "over-myrinet")
+		st.Close()
+	})
+}
+
+func TestSANStreamIsFasterThanLAN(t *testing.T) {
+	g := newGrid(2, true)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, _ := g.linkers[0].Listen("sink")
+		g.sim.Go("sink", func() {
+			for {
+				st, err := l.Accept()
+				if err != nil {
+					return
+				}
+				g.sim.Go("drain", func() {
+					_, _ = io.Copy(io.Discard, st)
+				})
+			}
+		})
+		lanDev, _ := g.arb.Device("eth0")
+		sanDev, _ := g.arb.Device("myri0")
+		const mb = 1_000_000
+		measure := func(dev *arbitration.Device) time.Duration {
+			st, err := g.linkers[1].DialOn(dev, g.nodes[0], "sink")
+			if err != nil {
+				t.Fatalf("dial on %s: %v", dev.Name, err)
+			}
+			defer st.Close()
+			start := g.sim.Now()
+			if _, err := st.Write(make([]byte, mb)); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			return g.sim.Now().Sub(start)
+		}
+		sanT := measure(sanDev)
+		lanT := measure(lanDev)
+		ratio := float64(lanT) / float64(sanT)
+		// 12.5 MB/s vs ~240 MB/s: expect roughly 19x.
+		if ratio < 10 {
+			t.Fatalf("SAN %v vs LAN %v: ratio %.1f, want >10", sanT, lanT, ratio)
+		}
+	})
+}
+
+func TestDialUnknownService(t *testing.T) {
+	g := newGrid(2, true)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		if _, err := g.linkers[1].Dial(g.nodes[0], "ghost"); !errors.Is(err, ErrNoService) {
+			t.Fatalf("dial ghost = %v, want ErrNoService", err)
+		}
+	})
+}
+
+func TestDialByName(t *testing.T) {
+	g := newGrid(2, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, _ := g.linkers[0].Listen("svc")
+		echoServer(t, g, l)
+		st, err := g.linkers[1].DialName("n0", "svc")
+		if err != nil {
+			t.Fatalf("dial by name: %v", err)
+		}
+		roundtrip(t, st, "named")
+		st.Close()
+		if _, err := g.linkers[1].DialName("nope", "svc"); err == nil {
+			t.Fatal("dial unknown node succeeded")
+		}
+	})
+}
+
+func TestDuplicateServiceRejected(t *testing.T) {
+	g := newGrid(1, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		if _, err := g.linkers[0].Listen("dup"); err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		if _, err := g.linkers[0].Listen("dup"); err == nil {
+			t.Fatal("duplicate Listen succeeded")
+		}
+	})
+}
+
+func TestSANStreamEOFOnClose(t *testing.T) {
+	g := newGrid(2, true)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, _ := g.linkers[0].Listen("one")
+		accepted := make(chan Stream, 1)
+		g.sim.Go("srv", func() {
+			st, err := l.Accept()
+			if err == nil {
+				accepted <- st
+				_, _ = st.Write([]byte("bye"))
+				st.Close()
+			}
+		})
+		st, err := g.linkers[1].Dial(g.nodes[0], "one")
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		buf := make([]byte, 3)
+		if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "bye" {
+			t.Fatalf("read = %q, %v", buf, err)
+		}
+		if _, err := st.Read(buf); err != io.EOF {
+			t.Fatalf("read after FIN = %v, want EOF", err)
+		}
+		if _, err := st.Write([]byte("x")); err == nil {
+			// Writing to a closed *peer* may succeed (half-close), but
+			// after our own Close it must fail.
+			st.Close()
+			if _, err := st.Write([]byte("x")); err == nil {
+				t.Fatal("write after own close succeeded")
+			}
+		}
+		<-accepted
+	})
+}
+
+func TestSecurityModes(t *testing.T) {
+	// On the insecure WAN, auto mode must encrypt (slower); on the secure
+	// SAN it must not. Encrypt-always hurts the SAN path measurably.
+	s := vtime.NewSim()
+	net := simnet.New(s)
+	a, b := net.NewNode("a"), net.NewNode("b")
+	arb := arbitration.New(net)
+	if _, err := arb.AddSAN(net.NewMyrinet2000("myri", []*simnet.Node{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arb.AddSock(net.NewWAN("wan", []*simnet.Node{a, b}, 5e6, time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(func() {
+		defer arb.Close()
+		la, lb := NewLinker(arb, a), NewLinker(arb, b)
+		defer la.Close()
+		defer lb.Close()
+		l, _ := la.Listen("sink")
+		s.Go("sink", func() {
+			for {
+				st, err := l.Accept()
+				if err != nil {
+					return
+				}
+				s.Go("drain", func() { _, _ = io.Copy(io.Discard, st) })
+			}
+		})
+		sanDev, _ := arb.Device("myri")
+		wanDev, _ := arb.Device("wan")
+		const sz = 100_000
+		measure := func(dev *arbitration.Device, mode SecurityMode) time.Duration {
+			lb.Mode = mode
+			st, err := lb.DialOn(dev, a, "sink")
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer st.Close()
+			start := s.Now()
+			if _, err := st.Write(make([]byte, sz)); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			return s.Now().Sub(start)
+		}
+		sanAuto := measure(sanDev, SecureAuto)
+		sanAlways := measure(sanDev, SecureAlways)
+		if sanAlways <= sanAuto {
+			t.Errorf("SAN always-encrypt (%v) not slower than auto (%v)", sanAlways, sanAuto)
+		}
+		wanAuto := measure(wanDev, SecureAuto)
+		wanNever := measure(wanDev, SecureNever)
+		if wanAuto <= wanNever {
+			t.Errorf("WAN auto (%v) should pay encryption vs never (%v)", wanAuto, wanNever)
+		}
+	})
+}

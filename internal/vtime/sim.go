@@ -1,0 +1,317 @@
+package vtime
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sim is the deterministic virtual-time runtime. Construct with NewSim,
+// spawn actors with Go (or run a root actor with Run), and let blocking
+// primitives drive the clock. The zero value is not usable.
+type Sim struct {
+	mu        sync.Mutex
+	schedCond *sync.Cond // scheduler wakes when runnable drops to 0
+	doneCond  *sync.Cond // Run wakes when actors drops to 0
+	now       Time
+	seq       int64
+	events    eventHeap
+	runnable  int // actors currently executing (not parked)
+	actors    int // live actors
+	parked    map[*simWaiter]struct{}
+	started   bool
+	stopped   bool
+	deadlock  *DeadlockError // set by the scheduler on deadlock
+}
+
+// NewSim returns a fresh simulator with the clock at 0.
+func NewSim() *Sim {
+	s := &Sim{parked: make(map[*simWaiter]struct{})}
+	s.schedCond = sync.NewCond(&s.mu)
+	s.doneCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual instant.
+func (s *Sim) Now() Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go spawns f as a new actor. Must not be called after Run has returned.
+func (s *Sim) Go(name string, f func()) {
+	s.mu.Lock()
+	s.actors++
+	s.runnable++
+	s.mu.Unlock()
+	go func() {
+		defer s.exitActor()
+		f()
+	}()
+}
+
+func (s *Sim) exitActor() {
+	s.mu.Lock()
+	s.actors--
+	s.runnable--
+	if s.runnable == 0 {
+		s.schedCond.Signal()
+	}
+	if s.actors == 0 {
+		s.doneCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Run executes main as the root actor and blocks until every actor has
+// finished. When the last actor exits, the runtime terminates: any waiter
+// parked by leftover daemon goroutines is released with ErrAborted so they
+// can unwind. Run panics with *DeadlockError if the simulation deadlocks.
+// A Sim is single-use: Run must be called exactly once.
+func (s *Sim) Run(main func()) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("vtime: Sim.Run called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	// Register the root actor before the scheduler starts: actors spawned
+	// ahead of Run (eager daemons) may already be parked, and the
+	// scheduler must not mistake that for a deadlock.
+	s.Go("main", main)
+	go s.schedule()
+
+	s.mu.Lock()
+	for s.actors > 0 && s.deadlock == nil {
+		s.doneCond.Wait()
+	}
+	dl := s.deadlock
+	s.stopped = true
+	s.schedCond.Signal()
+	// Release anything still parked (there should be nothing unless a
+	// non-actor goroutine parked, which is a usage error, but be safe).
+	for w := range s.parked {
+		w.abort()
+	}
+	s.mu.Unlock()
+	if dl != nil {
+		panic(dl)
+	}
+}
+
+// schedule is the scheduler loop: whenever no actor is runnable, advance the
+// clock to the earliest event batch and dispatch it.
+func (s *Sim) schedule() {
+	for {
+		s.mu.Lock()
+		for !s.stopped && !(s.runnable == 0 && s.actors > 0) {
+			s.schedCond.Wait()
+		}
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		// Drop cancelled events at the head.
+		for len(s.events) > 0 && s.events[0].cancelled {
+			heap.Pop(&s.events)
+		}
+		if len(s.events) == 0 {
+			// Live actors, nothing runnable, no pending event.
+			reasons := make([]string, 0, len(s.parked))
+			for w := range s.parked {
+				reasons = append(reasons, w.reason)
+			}
+			sort.Strings(reasons)
+			s.deadlock = &DeadlockError{Now: s.now, Parked: reasons}
+			s.doneCond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		t := s.events[0].at
+		s.now = t
+		var fns []func()
+		for len(s.events) > 0 && s.events[0].at == t {
+			ev := heap.Pop(&s.events).(*event)
+			if ev.cancelled {
+				continue
+			}
+			ev.done = true
+			if ev.w != nil {
+				s.fireLocked(ev.w)
+			}
+			if ev.fn != nil {
+				fns = append(fns, ev.fn)
+			}
+		}
+		if len(fns) > 0 {
+			// The scheduler counts as runnable while callbacks run,
+			// so the clock cannot advance underneath them.
+			s.runnable++
+			s.mu.Unlock()
+			for _, fn := range fns {
+				fn()
+			}
+			s.mu.Lock()
+			s.runnable--
+			if s.runnable == 0 {
+				// Re-check immediately on next loop iteration.
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Sleep parks the calling actor for d of virtual time. Non-positive d
+// returns immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	w := s.newWaiter("sleep")
+	s.mu.Lock()
+	s.scheduleLocked(s.now.Add(d), w, nil)
+	s.mu.Unlock()
+	_ = w.Wait()
+}
+
+// NewWaiter allocates a one-shot parking primitive.
+func (s *Sim) NewWaiter(reason string) Waiter { return s.newWaiter(reason) }
+
+func (s *Sim) newWaiter(reason string) *simWaiter {
+	return &simWaiter{s: s, reason: reason, ch: make(chan struct{})}
+}
+
+// AfterFunc schedules f to run at Now+d on the scheduler's watch. f must
+// not block; it may fire waiters, push to queues and schedule timers.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	ev := s.scheduleLocked(s.now.Add(d), nil, f)
+	s.mu.Unlock()
+	return &simTimer{s: s, ev: ev}
+}
+
+func (s *Sim) scheduleLocked(at Time, w *simWaiter, fn func()) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, w: w, fn: fn}
+	heap.Push(&s.events, ev)
+	if s.runnable == 0 {
+		s.schedCond.Signal()
+	}
+	return ev
+}
+
+func (s *Sim) fireLocked(w *simWaiter) {
+	if w.fired {
+		return
+	}
+	w.fired = true
+	if _, ok := s.parked[w]; ok {
+		delete(s.parked, w)
+		s.runnable++
+	}
+	close(w.ch)
+}
+
+type simTimer struct {
+	s  *Sim
+	ev *event
+}
+
+func (t *simTimer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.done || t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// simWaiter implements Waiter under Sim.
+type simWaiter struct {
+	s       *Sim
+	reason  string
+	ch      chan struct{}
+	fired   bool
+	aborted bool
+}
+
+func (w *simWaiter) Wait() error {
+	s := w.s
+	s.mu.Lock()
+	if !w.fired {
+		s.runnable--
+		s.parked[w] = struct{}{}
+		if s.runnable == 0 {
+			s.schedCond.Signal()
+		}
+		s.mu.Unlock()
+		<-w.ch
+	} else {
+		s.mu.Unlock()
+	}
+	if w.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (w *simWaiter) Fire() {
+	w.s.mu.Lock()
+	w.s.fireLocked(w)
+	w.s.mu.Unlock()
+}
+
+// abort releases the waiter with ErrAborted; caller holds s.mu.
+func (w *simWaiter) abort() {
+	if w.fired {
+		return
+	}
+	w.fired = true
+	w.aborted = true
+	if _, ok := w.s.parked[w]; ok {
+		delete(w.s.parked, w)
+		w.s.runnable++
+	}
+	close(w.ch)
+}
+
+// event is a pending simulator event: either a waiter wake-up or a callback.
+type event struct {
+	at        Time
+	seq       int64
+	w         *simWaiter
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,240 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSimSleepAdvancesClock(t *testing.T) {
+	s := NewSim()
+	var end Time
+	s.Run(func() {
+		s.Sleep(5 * time.Microsecond)
+		s.Sleep(7 * time.Microsecond)
+		end = s.Now()
+	})
+	if want := Time(12 * time.Microsecond); end != want {
+		t.Fatalf("clock = %v, want %v", end, want)
+	}
+}
+
+func TestSimZeroAndNegativeSleep(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		s.Sleep(0)
+		s.Sleep(-time.Second)
+		if s.Now() != 0 {
+			t.Errorf("clock moved on non-positive sleep: %v", s.Now())
+		}
+	})
+}
+
+func TestSimParallelSleepsOverlap(t *testing.T) {
+	s := NewSim()
+	var end Time
+	s.Run(func() {
+		done := NewWaitGroup(s, "join")
+		done.Add(3)
+		for i := 0; i < 3; i++ {
+			s.Go("sleeper", func() {
+				s.Sleep(100 * time.Microsecond)
+				done.Done()
+			})
+		}
+		if err := done.Wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		end = s.Now()
+	})
+	// Three concurrent 100us sleeps take 100us of virtual time, not 300.
+	if want := Time(100 * time.Microsecond); end != want {
+		t.Fatalf("clock = %v, want %v", end, want)
+	}
+}
+
+func TestSimWaiterFireBeforeWait(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		w := s.NewWaiter("pre-fired")
+		w.Fire()
+		if err := w.Wait(); err != nil {
+			t.Errorf("Wait after Fire: %v", err)
+		}
+	})
+}
+
+func TestSimWaiterCrossActor(t *testing.T) {
+	s := NewSim()
+	var order []string
+	var mu sync.Mutex
+	note := func(what string) {
+		mu.Lock()
+		order = append(order, what)
+		mu.Unlock()
+	}
+	s.Run(func() {
+		w := s.NewWaiter("handoff")
+		s.Go("firer", func() {
+			s.Sleep(10 * time.Microsecond)
+			note("fire")
+			w.Fire()
+		})
+		if err := w.Wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		note("woken")
+		if got := s.Now(); got != Time(10*time.Microsecond) {
+			t.Errorf("woken at %v, want 10µs", got)
+		}
+	})
+	if len(order) != 2 || order[0] != "fire" || order[1] != "woken" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSimAfterFuncOrderAndStop(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.Run(func() {
+		s.AfterFunc(30*time.Microsecond, func() { got = append(got, 3) })
+		s.AfterFunc(10*time.Microsecond, func() { got = append(got, 1) })
+		tm := s.AfterFunc(20*time.Microsecond, func() { got = append(got, 2) })
+		if !tm.Stop() {
+			t.Error("Stop on pending timer = false")
+		}
+		if tm.Stop() {
+			t.Error("second Stop = true")
+		}
+		s.Sleep(50 * time.Microsecond)
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("callbacks = %v, want [1 3]", got)
+	}
+}
+
+func TestSimTimerStopAfterFire(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		fired := false
+		tm := s.AfterFunc(time.Microsecond, func() { fired = true })
+		s.Sleep(2 * time.Microsecond)
+		if !fired {
+			t.Fatal("timer did not fire")
+		}
+		if tm.Stop() {
+			t.Error("Stop after fire = true")
+		}
+	})
+}
+
+func TestSimDeadlockDetection(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		dl, ok := r.(*DeadlockError)
+		if !ok {
+			t.Fatalf("panic value %T, want *DeadlockError", r)
+		}
+		if len(dl.Parked) != 1 || dl.Parked[0] != "never-fired" {
+			t.Fatalf("parked = %v", dl.Parked)
+		}
+	}()
+	s := NewSim()
+	s.Run(func() {
+		w := s.NewWaiter("never-fired")
+		_ = w.Wait()
+	})
+}
+
+func TestSimDaemonAbortedOnShutdown(t *testing.T) {
+	s := NewSim()
+	var aborted atomic.Bool
+	release := make(chan struct{})
+	s.Run(func() {
+		q := NewQueue[int](s, "daemon-recv")
+		s.Go("daemon", func() {
+			// Parks forever; must be released with ErrAborted when
+			// the main actor exits... except the daemon is itself an
+			// actor, so it keeps the sim alive. Use a queue close
+			// instead, which is the documented shutdown pattern.
+			_, err := q.Pop()
+			if err == ErrClosed {
+				aborted.Store(true)
+			}
+			close(release)
+		})
+		s.Sleep(time.Microsecond)
+		q.Close()
+	})
+	<-release
+	if !aborted.Load() {
+		t.Fatal("daemon did not observe ErrClosed")
+	}
+}
+
+func TestSimManyActorsDeterministicClock(t *testing.T) {
+	// Same workload twice must give identical virtual end times.
+	run := func() Time {
+		s := NewSim()
+		var end Time
+		s.Run(func() {
+			wg := NewWaitGroup(s, "join")
+			for i := 0; i < 50; i++ {
+				wg.Add(1)
+				d := time.Duration(i%7+1) * time.Microsecond
+				s.Go("worker", func() {
+					for j := 0; j < 5; j++ {
+						s.Sleep(d)
+					}
+					wg.Done()
+				})
+			}
+			_ = wg.Wait()
+			end = s.Now()
+		})
+		return end
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic clock: %v vs %v", a, b)
+	}
+	if want := Time(35 * time.Microsecond); a != want {
+		t.Fatalf("end = %v, want %v (slowest worker 5*7µs)", a, want)
+	}
+}
+
+func TestWallRuntimeBasics(t *testing.T) {
+	w := NewWall()
+	before := w.Now()
+	w.Sleep(time.Millisecond)
+	if w.Now()-before < Time(time.Millisecond) {
+		t.Error("wall Sleep returned too early")
+	}
+	done := make(chan struct{})
+	wt := w.NewWaiter("x")
+	w.Go("firer", func() { wt.Fire(); close(done) })
+	if err := wt.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	<-done
+	w.Wait()
+}
+
+func TestWallAfterFunc(t *testing.T) {
+	w := NewWall()
+	ch := make(chan struct{})
+	w.AfterFunc(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	tm := w.AfterFunc(time.Hour, func() {})
+	if !tm.Stop() {
+		t.Error("Stop pending wall timer = false")
+	}
+}

@@ -1,0 +1,234 @@
+package vtime
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by blocking primitives that were closed while (or
+// before) the caller waited.
+var ErrClosed = errors.New("vtime: closed")
+
+// Queue is an unbounded FIFO usable from any Runtime. Push never blocks;
+// Pop parks the caller until an item or Close arrives. It is the canonical
+// cross-actor handoff primitive under Sim.
+type Queue[T any] struct {
+	rt      Runtime
+	reason  string
+	mu      sync.Mutex
+	items   []T
+	waiters []Waiter
+	closed  bool
+}
+
+// NewQueue returns an empty queue. The reason labels parked receivers in
+// deadlock diagnostics.
+func NewQueue[T any](rt Runtime, reason string) *Queue[T] {
+	return &Queue[T]{rt: rt, reason: reason}
+}
+
+// Push appends v and wakes one parked receiver, if any. Push on a closed
+// queue is a no-op.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, v)
+	w := q.takeWaiterLocked()
+	q.mu.Unlock()
+	if w != nil {
+		w.Fire()
+	}
+}
+
+// Pop removes and returns the oldest item, parking the caller while the
+// queue is empty. It returns ErrClosed once the queue is closed and
+// drained, or ErrAborted if the runtime terminates.
+func (q *Queue[T]) Pop() (T, error) {
+	var zero T
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return v, nil
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return zero, ErrClosed
+		}
+		w := q.rt.NewWaiter(q.reason)
+		q.waiters = append(q.waiters, w)
+		q.mu.Unlock()
+		if err := w.Wait(); err != nil {
+			return zero, err
+		}
+	}
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and wakes every parked receiver. Items
+// already queued may still be drained by Pop/TryPop.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+func (q *Queue[T]) takeWaiterLocked() Waiter {
+	if len(q.waiters) == 0 {
+		return nil
+	}
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	return w
+}
+
+// Semaphore is a counting semaphore over a Runtime.
+type Semaphore struct {
+	rt      Runtime
+	reason  string
+	mu      sync.Mutex
+	tokens  int
+	waiters []Waiter
+}
+
+// NewSemaphore returns a semaphore holding n tokens.
+func NewSemaphore(rt Runtime, reason string, n int) *Semaphore {
+	return &Semaphore{rt: rt, reason: reason, tokens: n}
+}
+
+// Acquire takes one token, parking the caller until one is available.
+func (s *Semaphore) Acquire() error {
+	for {
+		s.mu.Lock()
+		if s.tokens > 0 {
+			s.tokens--
+			s.mu.Unlock()
+			return nil
+		}
+		w := s.rt.NewWaiter(s.reason)
+		s.waiters = append(s.waiters, w)
+		s.mu.Unlock()
+		if err := w.Wait(); err != nil {
+			return err
+		}
+	}
+}
+
+// Release returns one token and wakes one parked acquirer, if any.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	s.tokens++
+	var w Waiter
+	if len(s.waiters) > 0 {
+		w = s.waiters[0]
+		s.waiters = s.waiters[1:]
+	}
+	s.mu.Unlock()
+	if w != nil {
+		w.Fire()
+	}
+}
+
+// WaitGroup mirrors sync.WaitGroup over a Runtime.
+type WaitGroup struct {
+	rt      Runtime
+	reason  string
+	mu      sync.Mutex
+	count   int
+	waiters []Waiter
+}
+
+// NewWaitGroup returns a wait group with a zero count.
+func NewWaitGroup(rt Runtime, reason string) *WaitGroup {
+	return &WaitGroup{rt: rt, reason: reason}
+}
+
+// Add adjusts the count by delta. It panics if the count goes negative.
+func (g *WaitGroup) Add(delta int) {
+	g.mu.Lock()
+	g.count += delta
+	if g.count < 0 {
+		g.mu.Unlock()
+		panic("vtime: negative WaitGroup counter")
+	}
+	var ws []Waiter
+	if g.count == 0 {
+		ws = g.waiters
+		g.waiters = nil
+	}
+	g.mu.Unlock()
+	for _, w := range ws {
+		w.Fire()
+	}
+}
+
+// Done decrements the count by one.
+func (g *WaitGroup) Done() { g.Add(-1) }
+
+// Wait parks the caller until the count reaches zero.
+func (g *WaitGroup) Wait() error {
+	for {
+		g.mu.Lock()
+		if g.count == 0 {
+			g.mu.Unlock()
+			return nil
+		}
+		w := g.rt.NewWaiter(g.reason)
+		g.waiters = append(g.waiters, w)
+		g.mu.Unlock()
+		if err := w.Wait(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFOOrder(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		q := NewQueue[int](s, "q")
+		for i := 0; i < 10; i++ {
+			q.Push(i)
+		}
+		for i := 0; i < 10; i++ {
+			v, err := q.Pop()
+			if err != nil || v != i {
+				t.Fatalf("Pop = %d,%v want %d", v, err, i)
+			}
+		}
+	})
+}
+
+func TestQueueBlockingHandoff(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		q := NewQueue[string](s, "q")
+		s.Go("producer", func() {
+			s.Sleep(3 * time.Microsecond)
+			q.Push("hello")
+		})
+		v, err := q.Pop()
+		if err != nil || v != "hello" {
+			t.Fatalf("Pop = %q,%v", v, err)
+		}
+		if s.Now() != Time(3*time.Microsecond) {
+			t.Fatalf("Pop returned at %v, want 3µs", s.Now())
+		}
+	})
+}
+
+func TestQueueCloseWakesReceivers(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		q := NewQueue[int](s, "q")
+		got := make(chan error, 2)
+		for i := 0; i < 2; i++ {
+			s.Go("recv", func() {
+				_, err := q.Pop()
+				got <- err
+			})
+		}
+		s.Sleep(time.Microsecond)
+		q.Close()
+		s.Sleep(time.Microsecond)
+		for i := 0; i < 2; i++ {
+			if err := <-got; err != ErrClosed {
+				t.Errorf("Pop err = %v, want ErrClosed", err)
+			}
+		}
+	})
+}
+
+func TestQueueDrainAfterClose(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		q := NewQueue[int](s, "q")
+		q.Push(1)
+		q.Push(2)
+		q.Close()
+		if v, err := q.Pop(); err != nil || v != 1 {
+			t.Fatalf("Pop = %d,%v", v, err)
+		}
+		if v, ok := q.TryPop(); !ok || v != 2 {
+			t.Fatalf("TryPop = %d,%v", v, ok)
+		}
+		if _, err := q.Pop(); err != ErrClosed {
+			t.Fatalf("Pop on drained closed queue: %v", err)
+		}
+		q.Push(3) // no-op after close
+		if q.Len() != 0 {
+			t.Fatal("Push after Close stored an item")
+		}
+	})
+}
+
+func TestQueuePeekAndLen(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		q := NewQueue[int](s, "q")
+		if _, ok := q.Peek(); ok {
+			t.Fatal("Peek on empty queue = ok")
+		}
+		q.Push(7)
+		q.Push(8)
+		if v, ok := q.Peek(); !ok || v != 7 {
+			t.Fatalf("Peek = %d,%v", v, ok)
+		}
+		if q.Len() != 2 {
+			t.Fatalf("Len = %d", q.Len())
+		}
+	})
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		sem := NewSemaphore(s, "sem", 2)
+		var mu sync.Mutex
+		var cur, peak int
+		wg := NewWaitGroup(s, "join")
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			s.Go("user", func() {
+				if err := sem.Acquire(); err != nil {
+					t.Errorf("acquire: %v", err)
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				s.Sleep(10 * time.Microsecond)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				sem.Release()
+				wg.Done()
+			})
+		}
+		_ = wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		if peak > 2 {
+			t.Fatalf("peak concurrency %d exceeds semaphore limit 2", peak)
+		}
+		if want := Time(40 * time.Microsecond); s.Now() != want {
+			t.Fatalf("8 tasks / 2 slots / 10µs each took %v, want %v", s.Now(), want)
+		}
+	})
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		wg := NewWaitGroup(s, "wg")
+		if err := wg.Wait(); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	})
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	s := NewSim()
+	s.Run(func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative counter")
+			}
+		}()
+		wg := NewWaitGroup(s, "wg")
+		wg.Done()
+	})
+}
+
+// Property: any push sequence pops back in identical order (single
+// consumer), regardless of interleaved blocking.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		s := NewSim()
+		ok := true
+		s.Run(func() {
+			q := NewQueue[int16](s, "q")
+			s.Go("producer", func() {
+				for _, v := range vals {
+					s.Sleep(time.Microsecond)
+					q.Push(v)
+				}
+				q.Close()
+			})
+			var got []int16
+			for {
+				v, err := q.Pop()
+				if err != nil {
+					break
+				}
+				got = append(got, v)
+			}
+			if len(got) != len(vals) {
+				ok = false
+				return
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueUnderWallClock(t *testing.T) {
+	w := NewWall()
+	q := NewQueue[int](w, "q")
+	done := make(chan int, 1)
+	w.Go("consumer", func() {
+		v, err := q.Pop()
+		if err != nil {
+			t.Errorf("pop: %v", err)
+		}
+		done <- v
+	})
+	q.Push(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("wall-clock queue handoff timed out")
+	}
+	w.Wait()
+}

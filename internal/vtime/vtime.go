@@ -1,0 +1,99 @@
+// Package vtime provides the execution substrate for Padico: a deterministic
+// discrete-event virtual-time scheduler (Sim) and a wall-clock twin (Wall),
+// both implementing the Runtime interface.
+//
+// Middleware code (Madeleine, MPI, the ORB, GridCCM, ...) is written in a
+// natural blocking style against Runtime. Under Sim, every blocking point
+// parks the calling goroutine; when all registered actors are parked, the
+// scheduler advances the virtual clock to the earliest pending event and
+// wakes its waiters. Timing is therefore deterministic and has the
+// microsecond resolution the paper's evaluation needs, while the very same
+// code paths run unchanged under Wall (used with the real-TCP driver).
+//
+// Discipline for code running under Sim: goroutines that participate must be
+// spawned with Runtime.Go, and any cross-actor blocking must go through
+// vtime primitives (Waiter, Queue, Semaphore, WaitGroup). Blocking on plain
+// Go channels between actors would stall the virtual clock.
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on a Runtime's clock, in nanoseconds since the runtime
+// started. Virtual runtimes start at 0.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration returns t as a duration since the runtime epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds since the runtime epoch.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Microseconds returns t expressed in microseconds since the runtime epoch.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// ErrAborted is returned from blocking operations when the runtime is shut
+// down while the caller is parked. Long-running daemon actors use it to
+// unwind cleanly.
+var ErrAborted = errors.New("vtime: runtime terminated")
+
+// Waiter is a one-shot parking primitive. A goroutine calls Wait to block
+// until another party calls Fire. Firing before Wait makes Wait return
+// immediately. Waiters are single-use.
+type Waiter interface {
+	// Wait blocks the calling actor until Fire is called. It returns
+	// ErrAborted if the runtime terminates first.
+	Wait() error
+	// Fire releases the waiter. It is idempotent and may be called from
+	// any goroutine, including timer callbacks.
+	Fire()
+}
+
+// Timer is a cancellable pending callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the callback was
+	// prevented from running.
+	Stop() bool
+}
+
+// Runtime is the execution substrate: either the deterministic simulator
+// (Sim) or the wall clock (Wall).
+type Runtime interface {
+	// Now returns the current instant.
+	Now() Time
+	// Sleep blocks the calling actor for d.
+	Sleep(d time.Duration)
+	// Go spawns f as a new actor. The name is used in deadlock
+	// diagnostics.
+	Go(name string, f func())
+	// NewWaiter allocates a one-shot parking primitive. The reason is
+	// used in deadlock diagnostics.
+	NewWaiter(reason string) Waiter
+	// AfterFunc schedules f to run at Now+d. Under Sim, f runs on the
+	// scheduler's watch and must not block; it may fire waiters, push to
+	// queues and schedule further timers.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// DeadlockError describes a virtual-time deadlock: live actors exist, none
+// is runnable, and no timer event is pending.
+type DeadlockError struct {
+	Now    Time
+	Parked []string // reasons of parked waiters
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at t=%v: %d parked waiter(s): %v",
+		e.Now, len(e.Parked), e.Parked)
+}

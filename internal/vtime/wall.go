@@ -1,0 +1,65 @@
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Wall is the wall-clock Runtime. It maps every primitive onto the Go
+// runtime directly, so middleware written against Runtime runs unchanged
+// over real transports (e.g. the TCP sockets driver).
+type Wall struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewWall returns a wall-clock runtime whose epoch is now.
+func NewWall() *Wall { return &Wall{start: time.Now()} }
+
+// Now returns the elapsed wall time since the runtime was created.
+func (w *Wall) Now() Time { return Time(time.Since(w.start)) }
+
+// Sleep blocks the calling goroutine for d of real time.
+func (w *Wall) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Go spawns f as a plain goroutine, tracked so Wait can join it.
+func (w *Wall) Go(name string, f func()) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		f()
+	}()
+}
+
+// Wait blocks until every goroutine spawned with Go has returned.
+func (w *Wall) Wait() { w.wg.Wait() }
+
+// NewWaiter allocates a channel-backed one-shot waiter.
+func (w *Wall) NewWaiter(reason string) Waiter {
+	return &wallWaiter{ch: make(chan struct{})}
+}
+
+// AfterFunc schedules f on a real timer.
+func (w *Wall) AfterFunc(d time.Duration, f func()) Timer {
+	return wallTimer{time.AfterFunc(d, f)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) Stop() bool { return t.t.Stop() }
+
+type wallWaiter struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (w *wallWaiter) Wait() error {
+	<-w.ch
+	return nil
+}
+
+func (w *wallWaiter) Fire() { w.once.Do(func() { close(w.ch) }) }
