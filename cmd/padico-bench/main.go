@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"padico/internal/bench"
 )
@@ -33,7 +35,13 @@ func main() {
 	if *run != "" {
 		f, ok := experiments[*run]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "padico-bench: unknown experiment %q\n", *run)
+			ids := make([]string, 0, len(experiments))
+			for id := range experiments {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "padico-bench: unknown experiment %q (have: %s)\n",
+				*run, strings.Join(ids, ", "))
 			os.Exit(2)
 		}
 		fmt.Print(f().Format())

@@ -1,0 +1,233 @@
+// Command padico-ctl is the PadicoControl operator tool: it brings a grid
+// described in XML up as a simnet deployment (every process spawned with a
+// gatekeeper, the registry on the first node) and steers it through the
+// gatekeeper protocol — listing, hot-loading and unloading modules on one
+// process or on the whole deployment at once, inspecting arbitration
+// counters, and querying the grid-wide service registry.
+//
+// Usage:
+//
+//	padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-cascade] command [args]
+//
+// Commands:
+//
+//	list                 module table of every targeted process
+//	services             VLink service table of every targeted process
+//	stats                modules, services, ORBs and device counters
+//	ping                 control-plane round trip
+//	load <module>        hot-load a module (concurrent fan-out)
+//	unload <module>      unload a module; -cascade unloads dependents first
+//	lookup [kind [name]] query the grid-wide service registry
+//	demo                 scripted scenario: list everywhere, hot-load the
+//	                     SOAP middleware into the last node, invoke it over
+//	                     SOAP, then unload it again
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"padico/internal/core"
+	"padico/internal/deploy"
+	"padico/internal/gatekeeper"
+	"padico/internal/soap"
+)
+
+func main() {
+	gridPath := flag.String("grid", "", "grid topology XML")
+	from := flag.String("from", "", "node to seat the controller on (default: first node)")
+	targets := flag.String("nodes", "all", "comma-separated target nodes, or \"all\"")
+	cascade := flag.Bool("cascade", false, "unload dependents before the module itself")
+	flag.Parse()
+	if *gridPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-cascade] command [args]")
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	// Reject malformed invocations before spending a whole deployment
+	// bring-up on them (die inside Grid.Run would also skip its shutdown).
+	switch cmd {
+	case "list", "services", "stats", "ping", "demo":
+		if len(args) != 0 {
+			die(fmt.Errorf("%s takes no arguments", cmd))
+		}
+	case "load", "unload":
+		if len(args) != 1 {
+			die(fmt.Errorf("%s wants exactly one module name", cmd))
+		}
+	case "lookup":
+		if len(args) > 2 {
+			die(fmt.Errorf("lookup takes at most a kind and a name"))
+		}
+	default:
+		die(fmt.Errorf("unknown command %q", cmd))
+	}
+
+	src, err := os.ReadFile(*gridPath)
+	die(err)
+	topo, err := deploy.ParseTopology(src)
+	die(err)
+	platform, err := deploy.Build(topo)
+	die(err)
+
+	var names []string
+	for n := range platform.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	nodes := names
+	if *targets != "all" {
+		nodes = strings.Split(*targets, ",")
+		for _, n := range nodes {
+			if _, ok := platform.Nodes[n]; !ok {
+				die(fmt.Errorf("unknown target node %q", n))
+			}
+		}
+	}
+	seat := names[0]
+	if *from != "" {
+		seat = *from
+	}
+	if _, ok := platform.Nodes[seat]; !ok {
+		die(fmt.Errorf("unknown controller seat %q", seat))
+	}
+
+	exit := 0
+	platform.Grid.Run(func() {
+		procs, err := platform.LaunchAll()
+		die(err)
+		fmt.Printf("deployment %q up: %d process(es), registry on %s\n",
+			topo.Name, len(procs), names[0])
+		ctl := gatekeeper.FromProcess(procs[seat])
+		if !run(ctl, procs, seat, nodes, cmd, args, *cascade) {
+			exit = 1
+		}
+	})
+	os.Exit(exit)
+}
+
+// run executes one operator command; it reports success.
+func run(ctl *gatekeeper.Controller, procs map[string]*core.Process,
+	seat string, nodes []string, cmd string, args []string, cascade bool) bool {
+	fan := func(req *gatekeeper.Request, show func(gatekeeper.FanResult)) bool {
+		ok := true
+		for _, r := range ctl.Fanout(nodes, req) {
+			if r.Err != nil {
+				fmt.Printf("%-8s ERROR %v\n", r.Node, r.Err)
+				ok = false
+				continue
+			}
+			show(r)
+		}
+		return ok
+	}
+	switch cmd {
+	case "list":
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpListModules}, func(r gatekeeper.FanResult) {
+			fmt.Printf("%-8s %v\n", r.Node, r.Resp.Modules)
+		})
+	case "services":
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpListServices}, func(r gatekeeper.FanResult) {
+			fmt.Printf("%-8s %v\n", r.Node, r.Resp.Services)
+		})
+	case "ping":
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpPing}, func(r gatekeeper.FanResult) {
+			fmt.Printf("%-8s ok\n", r.Node)
+		})
+	case "stats":
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpStats}, func(r gatekeeper.FanResult) {
+			s := r.Resp.Stats
+			fmt.Printf("%-8s modules=%v services=%v orbs=%v\n", s.Node, s.Modules, s.Services, s.ORBs)
+			for _, d := range s.Devices {
+				fmt.Printf("         device %s (%s): routed=%d dropped=%d pending=%d\n",
+					d.Name, d.Kind, d.Routed, d.Dropped, d.Pending)
+			}
+		})
+	case "load", "unload":
+		req := &gatekeeper.Request{Op: gatekeeper.OpLoad, Module: args[0]}
+		if cmd == "unload" {
+			req = &gatekeeper.Request{Op: gatekeeper.OpUnload, Module: args[0], Cascade: cascade}
+		}
+		return fan(req, func(r gatekeeper.FanResult) {
+			fmt.Printf("%-8s %sed %s -> %v\n", r.Node, cmd, args[0], r.Resp.Modules)
+		})
+	case "lookup":
+		kind, name := "", ""
+		if len(args) > 0 {
+			kind = args[0]
+		}
+		if len(args) > 1 {
+			name = args[1]
+		}
+		gk, ok := gatekeeper.For(procs[seat])
+		if !ok || gk.Registry() == nil {
+			fmt.Printf("lookup: no registry client on %s\n", seat)
+			return false
+		}
+		entries, err := gk.Registry().Lookup(kind, name)
+		if err != nil {
+			fmt.Printf("lookup: %v\n", err)
+			return false
+		}
+		for _, e := range entries {
+			fmt.Printf("%-8s %-8s %-24s %s\n", e.Node, e.Kind, e.Name, e.Service)
+		}
+		fmt.Printf("%d entr%s\n", len(entries), map[bool]string{true: "y", false: "ies"}[len(entries) == 1])
+		return true
+	case "demo":
+		return demo(ctl, procs, seat, nodes)
+	default: // unreachable: commands are validated before launch
+		fmt.Fprintf(os.Stderr, "padico-ctl: unknown command %q\n", cmd)
+		return false
+	}
+}
+
+// demo is the acceptance scenario: list modules on every process, hot-load
+// the SOAP middleware into one of them, invoke it, then unload it.
+func demo(ctl *gatekeeper.Controller, procs map[string]*core.Process, seat string, nodes []string) bool {
+	fmt.Println("-- module tables before:")
+	for _, r := range ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpListModules}) {
+		if r.Err != nil {
+			fmt.Printf("%-8s ERROR %v\n", r.Node, r.Err)
+			return false
+		}
+		fmt.Printf("%-8s %v\n", r.Node, r.Resp.Modules)
+	}
+	victim := nodes[len(nodes)-1]
+	fmt.Printf("-- hot-loading soap into %s\n", victim)
+	mods, err := ctl.Load(victim, "soap")
+	if err != nil {
+		fmt.Printf("load: %v\n", err)
+		return false
+	}
+	fmt.Printf("%-8s %v\n", victim, mods)
+	out, err := soap.NewClient(procs[seat].Linker()).Call(
+		procs[victim].Node(), "sys", "modules")
+	if err != nil {
+		fmt.Printf("soap call: %v\n", err)
+		return false
+	}
+	fmt.Printf("-- SOAP sys/modules on %s answered: %v\n", victim, out)
+	if _, err := ctl.Unload(victim, "soap", false); err != nil {
+		fmt.Printf("unload: %v\n", err)
+		return false
+	}
+	fmt.Printf("-- unloaded soap from %s, final table: ", victim)
+	mods, err = ctl.Modules(victim)
+	if err != nil {
+		fmt.Printf("list: %v\n", err)
+		return false
+	}
+	fmt.Println(mods)
+	return true
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "padico-ctl:", err)
+		os.Exit(1)
+	}
+}

@@ -2,7 +2,10 @@
 // middleware systems — CORBA, MPI, SOAP and HLA — cohabit in the same
 // Padico processes, are loaded as dynamic modules, and share a single
 // exclusive-access Myrinet NIC through the arbitration layer, each carrying
-// real traffic in the same virtual instant.
+// real traffic in the same virtual instant. The finale is the gatekeeper
+// (§4.2): with the workload still running, an operator seated on host0
+// hot-loads the SOAP middleware into host1, invokes it, and unloads it
+// again — live reconfiguration instead of a respawn.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"log"
 
 	"padico/internal/core"
+	"padico/internal/gatekeeper"
 	"padico/internal/hla"
 	"padico/internal/mpi"
 	"padico/internal/simnet"
@@ -33,8 +37,10 @@ func main() {
 			p, err := grid.Launch(nd)
 			must(err)
 			p.Repo().MustParse(calcIDL)
-			// The middleware mix is loaded dynamically, by name.
+			// The middleware mix is loaded dynamically, by name — and the
+			// gatekeeper makes the process remotely steerable.
 			must(p.Load("corba:" + simnet.OmniORB3.Name))
+			must(p.Load("gatekeeper"))
 			procs = append(procs, p)
 			fmt.Printf("%s modules: %v\n", nd.Name, p.Modules())
 		}
@@ -105,6 +111,32 @@ func main() {
 
 		routed, _ := deviceStats(grid)
 		fmt.Printf("all four middleware shared one multiplexed Myrinet: %d messages demuxed\n", routed)
+
+		// 5. Gatekeeper: remote steering, mid-run. The operator fans out
+		// over the whole deployment, hot-loads the SOAP middleware into
+		// host1, invokes the freshly loaded service, and unloads it.
+		ctl := gatekeeper.FromProcess(procs[0])
+		for _, r := range ctl.Fanout([]string{"host0", "host1"},
+			&gatekeeper.Request{Op: gatekeeper.OpListModules}) {
+			must(r.Err)
+			fmt.Printf("GKPR   %s runs %v\n", r.Node, r.Resp.Modules)
+		}
+		_, err = ctl.Load("host1", "soap")
+		must(err)
+		out, err = soap.NewClient(procs[0].Linker()).Call(nodes[1], "sys", "modules")
+		must(err)
+		fmt.Printf("GKPR   hot-loaded soap into host1; sys/modules says %v\n", out)
+		stats, err := ctl.Stats("host1")
+		must(err)
+		for _, d := range stats.Devices {
+			fmt.Printf("GKPR   host1 device %s (%s): %d routed, %d pending\n",
+				d.Name, d.Kind, d.Routed, d.Pending)
+		}
+		_, err = ctl.Unload("host1", "soap", false)
+		must(err)
+		mods, err := ctl.Modules("host1")
+		must(err)
+		fmt.Printf("GKPR   unloaded soap from host1, back to %v\n", mods)
 	})
 }
 

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -78,6 +79,7 @@ func (g *Grid) Launch(node *simnet.Node) (*Process, error) {
 		mgr:     marcel.NewManager(g.Sim),
 		repo:    idl.NewRepository(),
 		modules: make(map[string]*moduleState),
+		modSem:  vtime.NewSemaphore(g.Sim, "core: module table "+node.Name, 1),
 	}
 	g.procs[node.Name] = p
 	return p, nil
@@ -157,6 +159,11 @@ type Process struct {
 	mgr  *marcel.Manager
 	repo *idl.Repository
 
+	// modSem serializes whole load/unload operations (module Init may
+	// block in virtual time, so a plain mutex cannot be held across it);
+	// mu protects the maps for concurrent readers.
+	modSem *vtime.Semaphore
+
 	mu      sync.Mutex
 	linker  *vlink.Linker
 	orbs    map[string]*orb.ORB
@@ -230,9 +237,31 @@ func (p *Process) ORB(profile simnet.ORBProfile) (*orb.ORB, error) {
 	return o, nil
 }
 
+// lockModules takes the module-operation lock. It parks the caller (in
+// virtual time) while another load/unload is in flight, so module Init/Stop
+// never run concurrently in one process.
+func (p *Process) lockModules() error {
+	if err := p.modSem.Acquire(); err != nil {
+		return fmt.Errorf("core: module table lock: %w", err)
+	}
+	p.mu.Lock()
+	down := p.down
+	p.mu.Unlock()
+	if down {
+		p.modSem.Release()
+		return fmt.Errorf("core: process on %s is shut down", p.node.Name)
+	}
+	return nil
+}
+
 // Load instantiates and initializes a module (and, recursively, its
-// requirements) in this process.
+// requirements) in this process. Concurrent loads and unloads are safe:
+// whole operations are serialized, so a module is initialized exactly once.
 func (p *Process) Load(name string) error {
+	if err := p.lockModules(); err != nil {
+		return err
+	}
+	defer p.modSem.Release()
 	return p.load(name, nil)
 }
 
@@ -263,6 +292,14 @@ func (p *Process) load(name string, stack []string) error {
 		return fmt.Errorf("core: initializing %s: %w", name, err)
 	}
 	p.mu.Lock()
+	// The process may have been shut down while Init blocked (Shutdown
+	// does not take the module lock, so it can run under a parked load):
+	// don't register into a dead process — stop the module instead.
+	if p.down {
+		p.mu.Unlock()
+		_ = mod.Stop()
+		return fmt.Errorf("core: process on %s shut down while loading %s", p.node.Name, name)
+	}
 	p.modules[name] = &moduleState{mod: mod, deps: deps}
 	p.mu.Unlock()
 	return nil
@@ -271,23 +308,69 @@ func (p *Process) load(name string, stack []string) error {
 // Unload stops and removes a module. It fails while other loaded modules
 // require it.
 func (p *Process) Unload(name string) error {
+	if err := p.lockModules(); err != nil {
+		return err
+	}
+	defer p.modSem.Release()
+	return p.unload(name, false)
+}
+
+// UnloadCascade stops and removes a module together with every loaded
+// module that (transitively) requires it, dependents first — the
+// dependency-aware mirror of Load's requirement resolution.
+func (p *Process) UnloadCascade(name string) error {
+	if err := p.lockModules(); err != nil {
+		return err
+	}
+	defer p.modSem.Release()
+	return p.unload(name, true)
+}
+
+func (p *Process) unload(name string, cascade bool) error {
 	p.mu.Lock()
-	st, ok := p.modules[name]
-	if !ok {
+	if _, ok := p.modules[name]; !ok {
 		p.mu.Unlock()
 		return fmt.Errorf("core: module %q not loaded", name)
 	}
-	for other, os := range p.modules {
-		for _, dep := range os.deps {
-			if dep == name {
-				p.mu.Unlock()
-				return fmt.Errorf("core: module %q is required by %q", name, other)
+	// victims is name plus, under cascade, its transitive dependents.
+	victims := map[string]*moduleState{name: p.modules[name]}
+	if cascade {
+		for changed := true; changed; {
+			changed = false
+			for other, os := range p.modules {
+				if _, in := victims[other]; in {
+					continue
+				}
+				for _, dep := range os.deps {
+					if _, in := victims[dep]; in {
+						victims[other] = os
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	} else {
+		for other, os := range p.modules {
+			for _, dep := range os.deps {
+				if dep == name {
+					p.mu.Unlock()
+					return fmt.Errorf("core: module %q is required by %q", name, other)
+				}
 			}
 		}
 	}
-	delete(p.modules, name)
+	for n := range victims {
+		delete(p.modules, n)
+	}
 	p.mu.Unlock()
-	return st.mod.Stop()
+	var errs []error
+	for _, n := range topoStopOrder(victims) {
+		if err := victims[n].mod.Stop(); err != nil {
+			errs = append(errs, fmt.Errorf("core: stopping %s: %w", n, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Modules returns the loaded module names, sorted.
@@ -299,6 +382,31 @@ func (p *Process) Modules() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Services returns the VLink service names currently registered by this
+// process, sorted; empty when no linker was created yet. This is what the
+// gatekeeper publishes to the grid-wide registry.
+func (p *Process) Services() []string {
+	p.mu.Lock()
+	ln := p.linker
+	p.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return ln.Services()
+}
+
+// ORBServices maps the name of each ORB profile running in this process to
+// its GIOP service name.
+func (p *Process) ORBServices() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.orbs))
+	for name, o := range p.orbs {
+		out[name] = o.Service()
+	}
 	return out
 }
 

@@ -2,9 +2,12 @@ package core
 
 import (
 	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"padico/internal/simnet"
+	"padico/internal/vtime"
 )
 
 func newTestGrid(t *testing.T, n int) (*Grid, []*simnet.Node) {
@@ -162,6 +165,152 @@ func TestProcessAccessors(t *testing.T) {
 		}
 		if _, ok := g.Process(nodes[0].Name); !ok {
 			t.Fatal("process lookup failed")
+		}
+	})
+}
+
+func TestUnloadCascade(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	var stops []string
+	mk := func(name string, deps ...string) {
+		RegisterModuleType(name, func() Module {
+			return &FuncModule{ModName: name, Deps: deps,
+				OnStop: func() error { stops = append(stops, name); return nil }}
+		})
+	}
+	// leaf ← mid ← top, plus an unrelated sibling of mid.
+	mk("casc-leaf")
+	mk("casc-mid", "casc-leaf")
+	mk("casc-top", "casc-mid")
+	mk("casc-side", "casc-leaf")
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		for _, m := range []string{"casc-top", "casc-side"} {
+			if err := p.Load(m); err != nil {
+				t.Fatalf("load %s: %v", m, err)
+			}
+		}
+		// Plain unload of a required module still refuses.
+		if err := p.Unload("casc-mid"); err == nil {
+			t.Fatal("unloaded a required module")
+		}
+		// Cascade takes mid and its dependent top, dependents first,
+		// leaving leaf (still required by side) and side alone.
+		if err := p.UnloadCascade("casc-mid"); err != nil {
+			t.Fatalf("cascade: %v", err)
+		}
+		if len(stops) != 2 || stops[0] != "casc-top" || stops[1] != "casc-mid" {
+			t.Fatalf("cascade stop order = %v", stops)
+		}
+		if !p.Loaded("casc-leaf") || !p.Loaded("casc-side") {
+			t.Fatalf("cascade overshot: %v", p.Modules())
+		}
+		// Cascading the leaf now takes everything that remains.
+		if err := p.UnloadCascade("casc-leaf"); err != nil {
+			t.Fatalf("cascade leaf: %v", err)
+		}
+		if len(p.Modules()) != 0 {
+			t.Fatalf("modules left: %v", p.Modules())
+		}
+	})
+}
+
+// TestConcurrentLoadUnload hammers one process's module table from many
+// actors (run under -race in CI): whole load/unload operations serialize,
+// every module initializes exactly once, and the final table is coherent.
+func TestConcurrentLoadUnload(t *testing.T) {
+	g, nodes := newTestGrid(t, 2)
+	var inits atomic.Int64
+	RegisterModuleType("counted", func() Module {
+		return &FuncModule{ModName: "counted",
+			OnInit: func(*Process) error { inits.Add(1); return nil }}
+	})
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		wg := vtime.NewWaitGroup(g.Sim, "churn")
+		// Half the actors churn the soap middleware (a real module with a
+		// listener), half race to load the same counted module.
+		for i := 0; i < 4; i++ {
+			wg.Add(2)
+			g.Sim.Go("churn", func() {
+				defer wg.Done()
+				for j := 0; j < 5; j++ {
+					if err := p.Load("soap"); err != nil {
+						t.Errorf("load soap: %v", err)
+						return
+					}
+					// Unload may race with another actor's unload; only
+					// "not loaded" is acceptable as a failure.
+					if err := p.Unload("soap"); err != nil &&
+						!strings.Contains(err.Error(), "not loaded") {
+						t.Errorf("unload soap: %v", err)
+						return
+					}
+				}
+			})
+			g.Sim.Go("race-load", func() {
+				defer wg.Done()
+				if err := p.Load("counted"); err != nil {
+					t.Errorf("load counted: %v", err)
+				}
+			})
+		}
+		if err := wg.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got := inits.Load(); got != 1 {
+			t.Fatalf("counted module initialized %d times", got)
+		}
+		if !p.Loaded("vlink") || !p.Loaded("counted") {
+			t.Fatalf("final modules = %v", p.Modules())
+		}
+		// The table still works after the churn.
+		if err := p.Load("soap"); err != nil {
+			t.Fatalf("load after churn: %v", err)
+		}
+	})
+}
+
+func TestServiceAccessors(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		if s := p.Services(); s != nil {
+			t.Fatalf("services before linker = %v", s)
+		}
+		if err := p.Load("soap"); err != nil {
+			t.Fatal(err)
+		}
+		if s := p.Services(); len(s) != 1 || s[0] != "soap:sys" {
+			t.Fatalf("services = %v", s)
+		}
+		if _, err := p.ORB(simnet.Mico); err != nil {
+			t.Fatal(err)
+		}
+		orbs := p.ORBServices()
+		if orbs[simnet.Mico.Name] != "giop" {
+			t.Fatalf("orb services = %v", orbs)
+		}
+	})
+}
+
+func TestBuiltinMiddlewareModules(t *testing.T) {
+	g, nodes := newTestGrid(t, 1)
+	g.Run(func() {
+		p, _ := g.Launch(nodes[0])
+		for _, m := range []string{"soap", "hla", "mpi"} {
+			if err := p.Load(m); err != nil {
+				t.Fatalf("load %s: %v", m, err)
+			}
+		}
+		mods := p.Modules()
+		if len(mods) != 4 { // + vlink dependency
+			t.Fatalf("modules = %v", mods)
+		}
+		for _, m := range []string{"soap", "hla", "mpi"} {
+			if err := p.Unload(m); err != nil {
+				t.Fatalf("unload %s: %v", m, err)
+			}
 		}
 	})
 }

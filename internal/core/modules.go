@@ -3,13 +3,16 @@ package core
 import (
 	"fmt"
 
+	"padico/internal/hla"
 	"padico/internal/simnet"
+	"padico/internal/soap"
 )
 
-// Built-in module types, pre-registered so processes can load the paper's
-// middleware mix by name: "vlink", and "corba:<profile>" for each emulated
-// ORB. Further types (soap, hla, mpi workers) register themselves from
-// their packages or from applications.
+// Built-in module types, pre-registered so processes (and the gatekeeper's
+// remote load requests) can load the paper's whole middleware mix by name:
+// "vlink", "corba:<profile>" for each emulated ORB, "soap", "hla" and
+// "mpi". Further types (the gatekeeper itself, application services)
+// register themselves from their packages or from applications.
 func init() {
 	RegisterModuleType("vlink", func() Module { return &vlinkModule{} })
 	for _, prof := range []simnet.ORBProfile{
@@ -18,6 +21,9 @@ func init() {
 		prof := prof
 		RegisterModuleType("corba:"+prof.Name, func() Module { return &corbaModule{profile: prof} })
 	}
+	RegisterModuleType("soap", func() Module { return &soapModule{} })
+	RegisterModuleType("hla", func() Module { return &hlaModule{} })
+	RegisterModuleType("mpi", func() Module { return &mpiModule{} })
 }
 
 // vlinkModule owns the process's VLink factory.
@@ -48,6 +54,74 @@ func (m *corbaModule) Init(p *Process) error {
 	return nil
 }
 func (m *corbaModule) Stop() error { return nil }
+
+// soapModule boots the SOAP middleware: a server on the well-known "sys"
+// service with introspection handlers, so a freshly hot-loaded process is
+// immediately invokable over web-services RPC (echo, module list).
+// Applications add further services with soap.Serve directly.
+type soapModule struct {
+	p   *Process
+	srv *soap.Server
+}
+
+func (m *soapModule) Name() string       { return "soap" }
+func (m *soapModule) Requires() []string { return []string{"vlink"} }
+func (m *soapModule) Init(p *Process) error {
+	m.p = p
+	srv, err := soap.Serve(p.Linker(), "sys", map[string]soap.Handler{
+		"echo": func(params []string) ([]string, error) { return params, nil },
+		"modules": func([]string) ([]string, error) {
+			return p.Modules(), nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("core: soap module: %w", err)
+	}
+	m.srv = srv
+	return nil
+}
+func (m *soapModule) Stop() error {
+	m.srv.Close()
+	return nil
+}
+
+// hlaModule boots the HLA run-time infrastructure on this process; remote
+// federates join federations hosted here via hla.Join.
+type hlaModule struct {
+	rti *hla.RTI
+}
+
+func (m *hlaModule) Name() string       { return "hla" }
+func (m *hlaModule) Requires() []string { return []string{"vlink"} }
+func (m *hlaModule) Init(p *Process) error {
+	rti, err := hla.StartRTI(p.Linker())
+	if err != nil {
+		return fmt.Errorf("core: hla module: %w", err)
+	}
+	m.rti = rti
+	return nil
+}
+func (m *hlaModule) Stop() error {
+	m.rti.Close()
+	return nil
+}
+
+// mpiModule marks the process MPI-ready: it verifies the node sits on an
+// arbitrated device a circuit could use. Communicators themselves are
+// application state created by mpi.Join with a concrete member list.
+type mpiModule struct{}
+
+func (m *mpiModule) Name() string       { return "mpi" }
+func (m *mpiModule) Requires() []string { return nil }
+func (m *mpiModule) Init(p *Process) error {
+	for _, dev := range p.Grid().Arb.Devices() {
+		if dev.Fabric.Attached(p.Node()) {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: mpi module: node %s reaches no arbitrated device", p.Node().Name)
+}
+func (m *mpiModule) Stop() error { return nil }
 
 // FuncModule adapts plain functions into a Module, for application-defined
 // services.

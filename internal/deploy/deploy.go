@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"padico/internal/core"
+	"padico/internal/gatekeeper"
+	"padico/internal/orb"
 	"padico/internal/simnet"
 )
 
@@ -210,6 +212,9 @@ func (p *Platform) ResolveHost(host string, used map[string]bool) (string, error
 }
 
 // LaunchAll starts one Padico process per node and returns them by name.
+// Every process is spawned remotely steerable: it gets a gatekeeper module,
+// the first node (in name order) hosts the grid-wide service registry, and
+// each gatekeeper announces its process's services there.
 func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 	out := make(map[string]*core.Process, len(p.Nodes))
 	names := make([]string, 0, len(p.Nodes))
@@ -223,6 +228,26 @@ func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 			return nil, err
 		}
 		out[n] = proc
+	}
+	for _, n := range names {
+		if err := out[n].Load("gatekeeper"); err != nil {
+			return nil, fmt.Errorf("deploy: gatekeeper on %s: %w", n, err)
+		}
+	}
+	regNode := names[0]
+	if err := out[regNode].Load("registry"); err != nil {
+		return nil, fmt.Errorf("deploy: registry on %s: %w", regNode, err)
+	}
+	for _, n := range names {
+		gk, ok := gatekeeper.For(out[n])
+		if !ok {
+			continue
+		}
+		gk.UseRegistry(gatekeeper.NewRegistryClient(
+			orb.VLinkTransport{Linker: out[n].Linker()}, regNode))
+		// Best-effort: a node that shares no fabric with the registry
+		// host simply stays unpublished until it announces later.
+		_ = gk.Announce()
 	}
 	return out, nil
 }

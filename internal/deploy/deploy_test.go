@@ -3,6 +3,9 @@ package deploy
 import (
 	"strings"
 	"testing"
+
+	"padico/internal/gatekeeper"
+	"padico/internal/orb"
 )
 
 const topoXML = `
@@ -134,6 +137,52 @@ func TestLaunchAll(t *testing.T) {
 		for name, proc := range procs {
 			if proc.Node().Name != name {
 				t.Fatalf("proc %s on node %s", name, proc.Node().Name)
+			}
+		}
+	})
+}
+
+// TestLaunchAllControlPlane: every spawned process is remotely steerable
+// out of the box — gatekeepers everywhere, the registry on the first node,
+// services announced, and the whole deployment steerable by fan-out.
+func TestLaunchAllControlPlane(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		for name, proc := range procs {
+			if !proc.Loaded("gatekeeper") {
+				t.Fatalf("no gatekeeper on %s", name)
+			}
+			if _, ok := gatekeeper.For(proc); !ok {
+				t.Fatalf("gatekeeper instance not tracked on %s", name)
+			}
+		}
+		// The registry lives on the first node in name order.
+		if !procs["c0"].Loaded("registry") {
+			t.Fatal("registry not on c0")
+		}
+		// Every process announced: its gatekeeper service resolves from
+		// any other node.
+		rc := gatekeeper.NewRegistryClient(
+			orb.VLinkTransport{Linker: procs["x1"].Linker()}, "c0")
+		entries, err := rc.Lookup("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 4 {
+			t.Fatalf("announced gatekeepers = %v", entries)
+		}
+		// Steer the whole deployment from one seat.
+		ctl := gatekeeper.FromProcess(procs["c0"])
+		results := ctl.Fanout([]string{"c0", "c1", "x0", "x1"},
+			&gatekeeper.Request{Op: gatekeeper.OpListModules})
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("fanout to %s: %v", r.Node, r.Err)
 			}
 		}
 	})

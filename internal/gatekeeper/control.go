@@ -1,0 +1,145 @@
+package gatekeeper
+
+import (
+	"fmt"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/vtime"
+)
+
+// Controller is the PadicoControl client side: it dials gatekeepers from
+// one seat (any process of the deployment, or a wall-clock TCP host) and
+// steers them, one process at a time or fanning out to the whole grid.
+type Controller struct {
+	rt vtime.Runtime
+	tr orb.Transport
+}
+
+// NewController returns a controller dialing through the given transport.
+func NewController(rt vtime.Runtime, tr orb.Transport) *Controller {
+	return &Controller{rt: rt, tr: tr}
+}
+
+// FromProcess seats the controller in a Padico process, dialing over its
+// VLink linker.
+func FromProcess(p *core.Process) *Controller {
+	return NewController(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()})
+}
+
+// Conn is a persistent control connection to one gatekeeper, carrying any
+// number of request/response exchanges.
+type Conn struct {
+	node string
+	st   orbStream
+}
+
+// Dial opens a control connection to the gatekeeper on a node.
+func (c *Controller) Dial(node string) (*Conn, error) {
+	st, err := c.tr.Dial(node, Service)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: dialing %s: %w", node, err)
+	}
+	return &Conn{node: node, st: st}, nil
+}
+
+// Node returns the steered node's name.
+func (cn *Conn) Node() string { return cn.node }
+
+// Do performs one request/response exchange. A transport failure closes
+// the connection; a refused operation returns the response's error with a
+// usable *Response.
+func (cn *Conn) Do(req *Request) (*Response, error) {
+	if err := WriteRequest(cn.st, req); err != nil {
+		return nil, fmt.Errorf("gatekeeper: to %s: %w", cn.node, err)
+	}
+	resp, err := ReadResponse(cn.st)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: from %s: %w", cn.node, err)
+	}
+	return resp, resp.Err()
+}
+
+// Close releases the connection.
+func (cn *Conn) Close() { _ = cn.st.Close() }
+
+// Do is a one-shot exchange with the gatekeeper on a node.
+func (c *Controller) Do(node string, req *Request) (*Response, error) {
+	cn, err := c.Dial(node)
+	if err != nil {
+		return nil, err
+	}
+	defer cn.Close()
+	return cn.Do(req)
+}
+
+// Ping round-trips with a node's gatekeeper.
+func (c *Controller) Ping(node string) error {
+	_, err := c.Do(node, &Request{Op: OpPing})
+	return err
+}
+
+// Load loads a module on a node and returns the resulting module table.
+func (c *Controller) Load(node, module string) ([]string, error) {
+	resp, err := c.Do(node, &Request{Op: OpLoad, Module: module})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Modules, nil
+}
+
+// Unload unloads a module on a node; with cascade, dependents go first.
+func (c *Controller) Unload(node, module string, cascade bool) ([]string, error) {
+	resp, err := c.Do(node, &Request{Op: OpUnload, Module: module, Cascade: cascade})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Modules, nil
+}
+
+// Modules lists the modules loaded on a node.
+func (c *Controller) Modules(node string) ([]string, error) {
+	resp, err := c.Do(node, &Request{Op: OpListModules})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Modules, nil
+}
+
+// Stats fetches a node's control-plane report.
+func (c *Controller) Stats(node string) (*Stats, error) {
+	resp, err := c.Do(node, &Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("gatekeeper: %s returned no stats", node)
+	}
+	return resp.Stats, nil
+}
+
+// FanResult is one node's outcome in a fan-out.
+type FanResult struct {
+	Node string
+	Resp *Response
+	Err  error
+}
+
+// Fanout sends the same request to every node concurrently (one actor per
+// node, batched under a wait group) and returns the results in the input
+// order — the whole-deployment steering path.
+func (c *Controller) Fanout(nodes []string, req *Request) []FanResult {
+	out := make([]FanResult, len(nodes))
+	wg := vtime.NewWaitGroup(c.rt, "gatekeeper: fanout")
+	for i, node := range nodes {
+		i, node := i, node
+		wg.Add(1)
+		c.rt.Go("gatekeeper:fanout:"+node, func() {
+			defer wg.Done()
+			resp, err := c.Do(node, req)
+			out[i] = FanResult{Node: node, Resp: resp, Err: err}
+		})
+	}
+	_ = wg.Wait()
+	return out
+}

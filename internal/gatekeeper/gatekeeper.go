@@ -1,0 +1,351 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"sync"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/vtime"
+)
+
+// Target is the thing a gatekeeper steers. In a Padico process it is the
+// process's module table (see TargetFor); tests steer stub targets over
+// real TCP with the same server.
+type Target interface {
+	// NodeName identifies the steered process's machine.
+	NodeName() string
+	// LoadModule loads a module by registered type name.
+	LoadModule(name string) error
+	// UnloadModule unloads a module; with cascade, dependents go first.
+	UnloadModule(name string, cascade bool) error
+	// Modules returns the loaded module table.
+	Modules() []string
+	// Services returns the VLink service table.
+	Services() []string
+	// Report returns the full control-plane report, including the
+	// (comparatively expensive) per-device arbitration counters; the
+	// cheap accessors above serve the frequent list operations.
+	Report() Stats
+}
+
+// Gatekeeper serves the remote-control protocol for one target.
+type Gatekeeper struct {
+	rt     vtime.Runtime
+	tr     orb.Transport
+	target Target
+	lst    orb.Acceptor
+
+	mu     sync.Mutex
+	reg    *RegistryClient
+	conns  map[orbStream]struct{}
+	closed bool
+}
+
+// Serve binds the gatekeeper service on the transport and starts accepting
+// control connections.
+func Serve(rt vtime.Runtime, tr orb.Transport, target Target) (*Gatekeeper, error) {
+	lst, err := tr.Listen(Service)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: binding %s: %w", Service, err)
+	}
+	g := &Gatekeeper{rt: rt, tr: tr, target: target, lst: lst,
+		conns: make(map[orbStream]struct{})}
+	rt.Go("gatekeeper:accept:"+tr.NodeName(), func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			rt.Go("gatekeeper:conn", func() { g.serve(st) })
+		}
+	})
+	return g, nil
+}
+
+// Close stops the gatekeeper: no new control connections are accepted and
+// every open one is torn down, so an unloaded gatekeeper no longer steers
+// its process through lingering operator sessions.
+func (g *Gatekeeper) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	conns := make([]orbStream, 0, len(g.conns))
+	for st := range g.conns {
+		conns = append(conns, st)
+	}
+	g.mu.Unlock()
+	_ = g.lst.Close()
+	for _, st := range conns {
+		_ = st.Close()
+	}
+}
+
+// UseRegistry points the gatekeeper at the grid-wide registry; Announce and
+// the "announce" operation publish through it.
+func (g *Gatekeeper) UseRegistry(rc *RegistryClient) {
+	g.mu.Lock()
+	g.reg = rc
+	g.mu.Unlock()
+}
+
+// Registry returns the configured registry client, if any.
+func (g *Gatekeeper) Registry() *RegistryClient {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reg
+}
+
+// Entries snapshots the target's publishable services: loaded modules, the
+// VLink service table, and the per-profile ORB endpoints.
+func (g *Gatekeeper) Entries() []Entry {
+	rep := g.target.Report()
+	var out []Entry
+	for _, m := range rep.Modules {
+		out = append(out, Entry{Node: rep.Node, Kind: "module", Name: m})
+	}
+	for _, s := range rep.Services {
+		out = append(out, Entry{Node: rep.Node, Kind: "vlink", Name: s, Service: s})
+	}
+	for prof, svc := range rep.ORBs {
+		out = append(out, Entry{Node: rep.Node, Kind: "orb", Name: prof, Service: svc})
+	}
+	return out
+}
+
+// Announce publishes the target's current services to the registry,
+// replacing this node's previous entries.
+func (g *Gatekeeper) Announce() error {
+	rc := g.Registry()
+	if rc == nil {
+		return fmt.Errorf("gatekeeper: no registry configured on %s", g.target.NodeName())
+	}
+	return rc.Publish(g.target.NodeName(), g.Entries())
+}
+
+// serve handles one control connection: a sequence of framed requests.
+func (g *Gatekeeper) serve(st orbStream) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		st.Close()
+		return
+	}
+	g.conns[st] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, st)
+		g.mu.Unlock()
+		st.Close()
+	}()
+	for {
+		req, err := ReadRequest(st)
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		// Mark busy: a Close triggered by this very request (e.g. an
+		// unload of the gatekeeper module) must let the response flush
+		// before the connection dies.
+		delete(g.conns, st)
+		g.mu.Unlock()
+		err = WriteResponse(st, g.handle(req))
+		g.mu.Lock()
+		closed := g.closed
+		if !closed {
+			g.conns[st] = struct{}{}
+		}
+		g.mu.Unlock()
+		if err != nil || closed {
+			return
+		}
+	}
+}
+
+func (g *Gatekeeper) handle(req *Request) *Response {
+	fail := func(err error) *Response { return &Response{Error: err.Error()} }
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpLoad:
+		if err := g.target.LoadModule(req.Module); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Modules: g.target.Modules()}
+	case OpUnload:
+		if err := g.target.UnloadModule(req.Module, req.Cascade); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Modules: g.target.Modules()}
+	case OpListModules:
+		return &Response{OK: true, Modules: g.target.Modules()}
+	case OpListServices:
+		return &Response{OK: true, Services: g.target.Services()}
+	case OpStats:
+		rep := g.target.Report()
+		return &Response{OK: true, Stats: &rep}
+	case OpAnnounce:
+		if err := g.Announce(); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Entries: g.Entries()}
+	default:
+		return fail(fmt.Errorf("unknown operation %q", req.Op))
+	}
+}
+
+// orbStream is the stream type flowing out of orb.Acceptor.
+type orbStream interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+// processTarget steers a Padico process.
+type processTarget struct{ p *core.Process }
+
+// TargetFor adapts a Padico process into a steerable Target.
+func TargetFor(p *core.Process) Target { return processTarget{p} }
+
+func (t processTarget) NodeName() string { return t.p.Node().Name }
+
+func (t processTarget) LoadModule(name string) error { return t.p.Load(name) }
+
+func (t processTarget) Modules() []string { return t.p.Modules() }
+
+func (t processTarget) Services() []string { return t.p.Services() }
+
+func (t processTarget) UnloadModule(name string, cascade bool) error {
+	if cascade {
+		return t.p.UnloadCascade(name)
+	}
+	return t.p.Unload(name)
+}
+
+func (t processTarget) Report() Stats {
+	node := t.p.Node()
+	rep := Stats{
+		Node:     node.Name,
+		Modules:  t.p.Modules(),
+		Services: t.p.Services(),
+		ORBs:     t.p.ORBServices(),
+	}
+	for _, dev := range t.p.Grid().Arb.Devices() {
+		if !dev.Fabric.Attached(node) {
+			continue
+		}
+		routed, dropped := dev.Stats()
+		rep.Devices = append(rep.Devices, DeviceStats{
+			Name:    dev.Name,
+			Kind:    deviceKind(dev.Kind),
+			Routed:  routed,
+			Dropped: dropped,
+			Pending: dev.PendingMsgs(),
+		})
+	}
+	return rep
+}
+
+func deviceKind(k simnet.DeviceKind) string {
+	switch k {
+	case simnet.SAN:
+		return "san"
+	case simnet.LAN:
+		return "lan"
+	default:
+		return "wan"
+	}
+}
+
+// The gatekeeper and registry are themselves dynamically loadable modules:
+// a process becomes remotely steerable by loading "gatekeeper", and any one
+// process hosts the grid-wide registry by loading "registry".
+func init() {
+	core.RegisterModuleType("gatekeeper", func() core.Module { return &gkModule{} })
+	core.RegisterModuleType("registry", func() core.Module { return &regModule{} })
+}
+
+var (
+	instMu      sync.Mutex
+	gatekeepers = make(map[*core.Process]*Gatekeeper)
+	registries  = make(map[*core.Process]*Registry)
+)
+
+// For returns the gatekeeper serving a process, if the "gatekeeper" module
+// is loaded there.
+func For(p *core.Process) (*Gatekeeper, bool) {
+	instMu.Lock()
+	defer instMu.Unlock()
+	g, ok := gatekeepers[p]
+	return g, ok
+}
+
+// RegistryOn returns the registry hosted by a process, if the "registry"
+// module is loaded there.
+func RegistryOn(p *core.Process) (*Registry, bool) {
+	instMu.Lock()
+	defer instMu.Unlock()
+	r, ok := registries[p]
+	return r, ok
+}
+
+type gkModule struct {
+	p  *core.Process
+	gk *Gatekeeper
+}
+
+func (m *gkModule) Name() string       { return "gatekeeper" }
+func (m *gkModule) Requires() []string { return []string{"vlink"} }
+func (m *gkModule) Init(p *core.Process) error {
+	gk, err := Serve(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()}, TargetFor(p))
+	if err != nil {
+		return err
+	}
+	m.p, m.gk = p, gk
+	instMu.Lock()
+	gatekeepers[p] = gk
+	instMu.Unlock()
+	return nil
+}
+func (m *gkModule) Stop() error {
+	instMu.Lock()
+	delete(gatekeepers, m.p)
+	instMu.Unlock()
+	m.gk.Close()
+	return nil
+}
+
+type regModule struct {
+	p   *core.Process
+	reg *Registry
+}
+
+func (m *regModule) Name() string       { return "registry" }
+func (m *regModule) Requires() []string { return []string{"vlink"} }
+func (m *regModule) Init(p *core.Process) error {
+	reg, err := StartRegistry(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()})
+	if err != nil {
+		return err
+	}
+	m.p, m.reg = p, reg
+	instMu.Lock()
+	registries[p] = reg
+	instMu.Unlock()
+	return nil
+}
+func (m *regModule) Stop() error {
+	instMu.Lock()
+	delete(registries, m.p)
+	instMu.Unlock()
+	m.reg.Close()
+	return nil
+}

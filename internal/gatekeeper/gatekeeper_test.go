@@ -1,0 +1,323 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/soap"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// newGrid builds an n-node grid wired with the requested fabrics, so the
+// control plane can be exercised over the straight (ethernet sockets) and
+// cross-paradigm (Myrinet/Madeleine) VLink mappings.
+func newGrid(t *testing.T, n int, fabrics ...string) (*core.Grid, []*simnet.Node) {
+	t.Helper()
+	g := core.NewGrid()
+	nodes := g.AddNodes("n", n)
+	for _, f := range fabrics {
+		var err error
+		switch f {
+		case "myrinet":
+			_, err = g.AddMyrinet("myri0", nodes)
+		case "ethernet":
+			_, err = g.AddEthernet("eth0", nodes)
+		default:
+			t.Fatalf("unknown fabric %q", f)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, nodes
+}
+
+func launchSteerable(t *testing.T, g *core.Grid, nodes []*simnet.Node) []*core.Process {
+	t.Helper()
+	procs := make([]*core.Process, len(nodes))
+	for i, nd := range nodes {
+		p, err := g.Launch(nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Load("gatekeeper"); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	return procs
+}
+
+// TestSteerStraight is the acceptance scenario over the socket stack: list
+// modules on every process, hot-load "soap" into one, invoke it, unload it.
+func TestSteerStraight(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+
+		if err := ctl.Ping("n1"); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+		mods, err := ctl.Modules("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(mods) != "[gatekeeper vlink]" {
+			t.Fatalf("initial modules = %v", mods)
+		}
+
+		// Hot-load the SOAP middleware into n1, mid-run, remotely.
+		mods, err = ctl.Load("n1", "soap")
+		if err != nil {
+			t.Fatalf("remote load: %v", err)
+		}
+		if !procs[1].Loaded("soap") {
+			t.Fatalf("soap not loaded on n1 (modules %v)", mods)
+		}
+		// The freshly loaded middleware answers real SOAP calls.
+		out, err := soap.NewClient(procs[0].Linker()).Call(nodes[1], "sys", "modules")
+		if err != nil {
+			t.Fatalf("soap call after hot-load: %v", err)
+		}
+		if !strings.Contains(fmt.Sprint(out), "soap") {
+			t.Fatalf("sys/modules = %v", out)
+		}
+
+		// Stats report the module table, service table and device counters.
+		stats, err := ctl.Stats("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Node != "n1" || !strings.Contains(fmt.Sprint(stats.Modules), "soap") {
+			t.Fatalf("stats = %+v", stats)
+		}
+		if !strings.Contains(fmt.Sprint(stats.Services), "soap:sys") ||
+			!strings.Contains(fmt.Sprint(stats.Services), Service) {
+			t.Fatalf("stats services = %v", stats.Services)
+		}
+		if len(stats.Devices) != 1 || stats.Devices[0].Name != "eth0" {
+			t.Fatalf("stats devices = %+v", stats.Devices)
+		}
+
+		// Unload, and verify the middleware is gone.
+		if _, err := ctl.Unload("n1", "soap", false); err != nil {
+			t.Fatalf("remote unload: %v", err)
+		}
+		if procs[1].Loaded("soap") {
+			t.Fatal("soap still loaded after remote unload")
+		}
+		if _, err := soap.NewClient(procs[0].Linker()).Call(nodes[1], "sys", "modules"); err == nil {
+			t.Fatal("soap service survived unload")
+		}
+
+		// Refused operations surface the server-side error.
+		if _, err := ctl.Load("n1", "no-such-module"); err == nil {
+			t.Fatal("unknown module loaded")
+		}
+		if _, err := ctl.Unload("n1", "soap", false); err == nil {
+			t.Fatal("unloaded a module that is not loaded")
+		}
+		if _, err := ctl.Unload("n1", "vlink", false); err == nil {
+			t.Fatal("unloaded vlink while gatekeeper requires it")
+		}
+
+		// An idle persistent control connection, opened before the
+		// gatekeeper goes away, must die with it — no steering a
+		// decommissioned process through lingering sessions.
+		lingering, err := ctl.Dial("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lingering.Close()
+
+		// Dependency-aware cascade: unloading vlink takes the gatekeeper
+		// (its dependent) down first — the response still arrives on the
+		// already-open stream.
+		if _, err := ctl.Unload("n1", "vlink", true); err != nil {
+			t.Fatalf("cascade unload: %v", err)
+		}
+		if procs[1].Loaded("gatekeeper") || procs[1].Loaded("vlink") {
+			t.Fatalf("cascade left %v", procs[1].Modules())
+		}
+		if err := ctl.Ping("n1"); err == nil {
+			t.Fatal("gatekeeper still answering after cascade unload")
+		}
+		if _, err := lingering.Do(&Request{Op: OpLoad, Module: "soap"}); err == nil {
+			t.Fatal("lingering connection still steers the process")
+		}
+	})
+}
+
+// TestSteerCrossParadigm drives the same control protocol over a SAN-only
+// grid, where VLink emulates the stream on multiplexed Madeleine ports.
+func TestSteerCrossParadigm(t *testing.T) {
+	g, nodes := newGrid(t, 2, "myrinet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+		if err := ctl.Ping("n1"); err != nil {
+			t.Fatalf("ping over SAN: %v", err)
+		}
+		if _, err := ctl.Load("n1", "mpi"); err != nil {
+			t.Fatalf("load over SAN: %v", err)
+		}
+		if !procs[1].Loaded("mpi") {
+			t.Fatal("mpi not loaded")
+		}
+		stats, err := ctl.Stats("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stats.Devices) != 1 || stats.Devices[0].Kind != "san" {
+			t.Fatalf("devices = %+v", stats.Devices)
+		}
+		// The control exchange itself rode the SAN: messages were demuxed.
+		if stats.Devices[0].Routed == 0 {
+			t.Fatal("no messages demultiplexed on the SAN")
+		}
+		if _, err := ctl.Unload("n1", "mpi", false); err != nil {
+			t.Fatalf("unload over SAN: %v", err)
+		}
+	})
+}
+
+// TestFanout steers a whole deployment at once: the same request goes to
+// every process concurrently, including the controller's own.
+func TestFanout(t *testing.T) {
+	g, nodes := newGrid(t, 4, "ethernet", "myrinet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+		names := make([]string, len(nodes))
+		for i, nd := range nodes {
+			names[i] = nd.Name
+		}
+		results := ctl.Fanout(names, &Request{Op: OpLoad, Module: "soap"})
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("fanout to %s: %v", r.Node, r.Err)
+			}
+			if r.Node != names[i] {
+				t.Fatalf("result %d for %s, want %s", i, r.Node, names[i])
+			}
+			if !procs[i].Loaded("soap") {
+				t.Fatalf("soap missing on %s", r.Node)
+			}
+		}
+		// A mixed fan-out reports per-node outcomes without aborting.
+		results = ctl.Fanout(names[:2], &Request{Op: OpUnload, Module: "soap"})
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("unload on %s: %v", r.Node, r.Err)
+			}
+		}
+		results = ctl.Fanout(names, &Request{Op: OpUnload, Module: "soap"})
+		if results[0].Err == nil || results[1].Err == nil {
+			t.Fatal("double unload succeeded")
+		}
+		if results[2].Err != nil || results[3].Err != nil {
+			t.Fatalf("unload failed on still-loaded nodes: %v %v", results[2].Err, results[3].Err)
+		}
+	})
+}
+
+// stubTarget lets the TCP test steer something without a simulated grid.
+type stubTarget struct {
+	mu   sync.Mutex
+	mods map[string]bool
+}
+
+func (s *stubTarget) NodeName() string { return "tcp-host" }
+func (s *stubTarget) LoadModule(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mods[name] {
+		return nil
+	}
+	if name == "bad" {
+		return fmt.Errorf("no module type %q registered", name)
+	}
+	s.mods[name] = true
+	return nil
+}
+func (s *stubTarget) UnloadModule(name string, cascade bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.mods[name] {
+		return fmt.Errorf("module %q not loaded", name)
+	}
+	delete(s.mods, name)
+	return nil
+}
+func (s *stubTarget) Modules() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var mods []string
+	for m := range s.mods {
+		mods = append(mods, m)
+	}
+	return mods
+}
+func (s *stubTarget) Services() []string { return nil }
+func (s *stubTarget) Report() Stats {
+	return Stats{Node: "tcp-host", Modules: s.Modules()}
+}
+
+// TestSteerOverRealTCP runs the same gatekeeper server and controller over
+// genuine loopback TCP under the wall clock — the kernel network path.
+func TestSteerOverRealTCP(t *testing.T) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	target := &stubTarget{mods: map[string]bool{"vlink": true}}
+	gk, err := Serve(wall, orb.TCPTransport{Stack: stack, Name: "tcp-host"}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gk.Close()
+
+	ctl := NewController(wall, orb.TCPTransport{Stack: stack, Name: "operator"})
+	if err := ctl.Ping("tcp-host"); err != nil {
+		t.Fatalf("ping over TCP: %v", err)
+	}
+	if _, err := ctl.Load("tcp-host", "soap"); err != nil {
+		t.Fatalf("load over TCP: %v", err)
+	}
+	mods, err := ctl.Modules("tcp-host")
+	if err != nil || !strings.Contains(fmt.Sprint(mods), "soap") {
+		t.Fatalf("modules over TCP = %v, %v", mods, err)
+	}
+	if _, err := ctl.Load("tcp-host", "bad"); err == nil {
+		t.Fatal("bad module loaded")
+	}
+	if _, err := ctl.Unload("tcp-host", "soap", false); err != nil {
+		t.Fatalf("unload over TCP: %v", err)
+	}
+	if _, err := ctl.Unload("tcp-host", "soap", false); err == nil {
+		t.Fatal("double unload succeeded")
+	}
+	// A persistent connection carries many exchanges.
+	cn, err := ctl.Dial("tcp-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := cn.Do(&Request{Op: OpPing}); err != nil {
+			t.Fatalf("persistent ping %d: %v", i, err)
+		}
+	}
+	// Unknown operations are refused, not fatal to the connection.
+	if _, err := cn.Do(&Request{Op: "reboot"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := cn.Do(&Request{Op: OpPing}); err != nil {
+		t.Fatalf("connection died after refused op: %v", err)
+	}
+}

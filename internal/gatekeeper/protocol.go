@@ -1,0 +1,168 @@
+// Package gatekeeper is PadicoTM's remote-control plane, reproducing the
+// paper's gatekeeper service (§4.2): every Padico process runs a gatekeeper
+// module through which an operator — the PadicoControl role — remotely
+// loads, runs and unloads modules at run time, inspects the module table
+// and the arbitration counters, and publishes the process's services to a
+// grid-wide registry answering discovery queries.
+//
+// The wire protocol is a small framed request/response exchange carried
+// over the ORB's Transport abstraction, so it transparently rides VLink
+// (sockets on LAN/WAN, cross-paradigm Madeleine streams on a SAN) in the
+// simulator and genuine loopback TCP under the wall clock — the same
+// portability argument the paper makes for the middleware itself.
+package gatekeeper
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Service is the well-known VLink service name every gatekeeper listens on.
+const Service = "padico:gatekeeper"
+
+// RegistryService is the well-known service name of the grid-wide registry.
+const RegistryService = "padico:registry"
+
+// Operation names understood by the gatekeeper (and, for the Reg* set, by
+// the registry server).
+const (
+	OpPing         = "ping"
+	OpLoad         = "load"
+	OpUnload       = "unload"
+	OpListModules  = "list-modules"
+	OpListServices = "list-services"
+	OpStats        = "stats"
+	OpAnnounce     = "announce" // push this process's services to the registry
+
+	OpRegPublish  = "reg-publish"
+	OpRegWithdraw = "reg-withdraw"
+	OpRegLookup   = "reg-lookup"
+	OpRegList     = "reg-list"
+)
+
+// Entry is one published service in the grid-wide registry.
+type Entry struct {
+	Node    string `json:"node"`              // hosting node name
+	Kind    string `json:"kind"`              // "vlink" | "orb" | "module"
+	Name    string `json:"name"`              // service/profile/module name
+	Service string `json:"service,omitempty"` // dialable VLink service name, if any
+}
+
+// DeviceStats mirrors one arbitration device's counters as seen from a
+// process's node.
+type DeviceStats struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Routed  int64  `json:"routed"`  // messages demultiplexed (SAN)
+	Dropped int64  `json:"dropped"` // malformed envelopes dropped
+	Pending int    `json:"pending"` // messages held for unopened ports
+}
+
+// Stats is a process's control-plane report.
+type Stats struct {
+	Node     string            `json:"node"`
+	Modules  []string          `json:"modules"`
+	Services []string          `json:"services,omitempty"`
+	ORBs     map[string]string `json:"orbs,omitempty"` // profile → GIOP service
+	Devices  []DeviceStats     `json:"devices,omitempty"`
+}
+
+// Request is one gatekeeper/registry command.
+type Request struct {
+	Op      string  `json:"op"`
+	Module  string  `json:"module,omitempty"`  // load/unload target
+	Cascade bool    `json:"cascade,omitempty"` // unload dependents first
+	Kind    string  `json:"kind,omitempty"`    // lookup filter
+	Name    string  `json:"name,omitempty"`    // lookup filter
+	Node    string  `json:"node,omitempty"`    // withdraw target
+	Entries []Entry `json:"entries,omitempty"` // publish payload
+}
+
+// Response answers one Request.
+type Response struct {
+	OK       bool     `json:"ok"`
+	Error    string   `json:"error,omitempty"`
+	Modules  []string `json:"modules,omitempty"`
+	Services []string `json:"services,omitempty"`
+	Stats    *Stats   `json:"stats,omitempty"`
+	Entries  []Entry  `json:"entries,omitempty"`
+}
+
+// Err converts a failed response into an error.
+func (r *Response) Err() error {
+	if r.OK {
+		return nil
+	}
+	if r.Error == "" {
+		return fmt.Errorf("gatekeeper: request failed")
+	}
+	return fmt.Errorf("gatekeeper: %s", r.Error)
+}
+
+// maxFrame bounds one protocol frame; control traffic is tiny, so anything
+// bigger is a framing error, not a legitimate message.
+const maxFrame = 1 << 20
+
+// writeFrame sends a 4-byte big-endian length followed by the JSON body.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("gatekeeper: encode: %w", err)
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("gatekeeper: frame too large (%d bytes)", len(body))
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	_, err = w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n == 0 || n > maxFrame {
+		return fmt.Errorf("gatekeeper: bad frame size %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("gatekeeper: decode: %w", err)
+	}
+	return nil
+}
+
+// WriteRequest frames a request onto the stream.
+func WriteRequest(w io.Writer, req *Request) error { return writeFrame(w, req) }
+
+// ReadRequest reads one framed request.
+func ReadRequest(r io.Reader) (*Request, error) {
+	req := new(Request)
+	if err := readFrame(r, req); err != nil {
+		return nil, err
+	}
+	if req.Op == "" {
+		return nil, fmt.Errorf("gatekeeper: request without op")
+	}
+	return req, nil
+}
+
+// WriteResponse frames a response onto the stream.
+func WriteResponse(w io.Writer, resp *Response) error { return writeFrame(w, resp) }
+
+// ReadResponse reads one framed response.
+func ReadResponse(r io.Reader) (*Response, error) {
+	resp := new(Response)
+	if err := readFrame(r, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,107 @@
+package gatekeeper
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestProtocolRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpLoad, Module: "soap"},
+		{Op: OpUnload, Module: "vlink", Cascade: true},
+		{Op: OpListModules},
+		{Op: OpListServices},
+		{Op: OpStats},
+		{Op: OpAnnounce},
+		{Op: OpRegLookup, Kind: "vlink", Name: "demo:echo"},
+		{Op: OpRegWithdraw, Node: "n3"},
+		{Op: OpRegPublish, Node: "n0", Entries: []Entry{
+			{Node: "n0", Kind: "module", Name: "gatekeeper"},
+			{Node: "n0", Kind: "orb", Name: "omniORB-3", Service: "giop"},
+		}},
+	}
+	var buf bytes.Buffer
+	for _, req := range reqs {
+		req := req
+		if err := WriteRequest(&buf, &req); err != nil {
+			t.Fatalf("write %+v: %v", req, err)
+		}
+	}
+	// All frames are parsed back from one contiguous stream, in order.
+	for _, want := range reqs {
+		got, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("read %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("round trip = %+v, want %+v", *got, want)
+		}
+	}
+
+	resps := []Response{
+		{OK: true},
+		{Error: "no module type \"nope\" registered"},
+		{OK: true, Modules: []string{"gatekeeper", "soap", "vlink"}},
+		{OK: true, Services: []string{"padico:gatekeeper", "soap:sys"}},
+		{OK: true, Stats: &Stats{
+			Node:    "n1",
+			Modules: []string{"vlink"},
+			ORBs:    map[string]string{"mico": "giop"},
+			Devices: []DeviceStats{{Name: "myri0", Kind: "san", Routed: 17, Pending: 2}},
+		}},
+		{OK: true, Entries: []Entry{{Node: "n2", Kind: "vlink", Name: "x", Service: "x"}}},
+	}
+	buf.Reset()
+	for _, resp := range resps {
+		resp := resp
+		if err := WriteResponse(&buf, &resp); err != nil {
+			t.Fatalf("write %+v: %v", resp, err)
+		}
+	}
+	for _, want := range resps {
+		got, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("read %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("round trip = %+v, want %+v", *got, want)
+		}
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	// Truncated frame: length promises more than the stream holds.
+	if _, err := ReadRequest(bytes.NewReader([]byte{0, 0, 0, 9, '{', '}'})); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Zero and oversized lengths are rejected before any allocation.
+	if _, err := ReadRequest(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if _, err := ReadRequest(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Valid frame, invalid JSON.
+	bad := append([]byte{0, 0, 0, 3}, []byte("nope")...)
+	if _, err := ReadRequest(bytes.NewReader(bad)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Valid JSON, no op.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, map[string]string{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf); err == nil {
+		t.Error("request without op accepted")
+	}
+	// A response's Err surfaces the server-side message.
+	r := Response{Error: "boom"}
+	if err := r.Err(); err == nil || err.Error() != "gatekeeper: boom" {
+		t.Errorf("Err() = %v", err)
+	}
+	if err := (&Response{OK: true}).Err(); err != nil {
+		t.Errorf("ok response errored: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"padico/internal/orb"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// Registry is the grid-wide service registry: each gatekeeper publishes its
+// process's services here, and any process resolves a service to a hosting
+// node by name — the lookup path that turns VLink's by-name connection into
+// real cross-process discovery instead of static wiring.
+type Registry struct {
+	rt  vtime.Runtime
+	lst orb.Acceptor
+
+	mu      sync.Mutex
+	entries map[string][]Entry // publishing node → its entries
+	closed  bool
+}
+
+// StartRegistry binds the registry service on the transport and starts
+// answering publish/withdraw/lookup queries.
+func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
+	lst, err := tr.Listen(RegistryService)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: binding %s: %w", RegistryService, err)
+	}
+	r := &Registry{rt: rt, lst: lst, entries: make(map[string][]Entry)}
+	rt.Go("registry:accept:"+tr.NodeName(), func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			rt.Go("registry:conn", func() { r.serve(st) })
+		}
+	})
+	return r, nil
+}
+
+// Close stops the registry.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	_ = r.lst.Close()
+}
+
+func (r *Registry) serve(st orbStream) {
+	defer st.Close()
+	for {
+		req, err := ReadRequest(st)
+		if err != nil {
+			return
+		}
+		if err := WriteResponse(st, r.handle(req)); err != nil {
+			return
+		}
+	}
+}
+
+func (r *Registry) handle(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpRegPublish:
+		node := req.Node
+		if node == "" && len(req.Entries) > 0 {
+			node = req.Entries[0].Node
+		}
+		if node == "" {
+			return &Response{Error: "publish without node"}
+		}
+		r.mu.Lock()
+		r.entries[node] = append([]Entry(nil), req.Entries...)
+		r.mu.Unlock()
+		return &Response{OK: true}
+	case OpRegWithdraw:
+		r.mu.Lock()
+		delete(r.entries, req.Node)
+		r.mu.Unlock()
+		return &Response{OK: true}
+	case OpRegLookup:
+		return &Response{OK: true, Entries: r.Lookup(req.Kind, req.Name)}
+	case OpRegList:
+		return &Response{OK: true, Entries: r.Lookup("", "")}
+	default:
+		return &Response{Error: fmt.Sprintf("unknown registry operation %q", req.Op)}
+	}
+}
+
+// Lookup returns the published entries matching the filters; empty kind or
+// name matches everything. Results are ordered by node, kind, name.
+func (r *Registry) Lookup(kind, name string) []Entry {
+	r.mu.Lock()
+	var out []Entry
+	for _, es := range r.entries {
+		for _, e := range es {
+			if (kind == "" || e.Kind == kind) && (name == "" || e.Name == name) {
+				out = append(out, e)
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RegistryClient talks to the grid-wide registry from one process.
+type RegistryClient struct {
+	tr      orb.Transport
+	regNode string
+}
+
+// NewRegistryClient returns a client dialing the registry hosted on
+// regNode through the given transport.
+func NewRegistryClient(tr orb.Transport, regNode string) *RegistryClient {
+	return &RegistryClient{tr: tr, regNode: regNode}
+}
+
+// RegistryNode returns the node hosting the registry.
+func (c *RegistryClient) RegistryNode() string { return c.regNode }
+
+func (c *RegistryClient) do(req *Request) (*Response, error) {
+	st, err := c.tr.Dial(c.regNode, RegistryService)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: dialing registry on %s: %w", c.regNode, err)
+	}
+	defer st.Close()
+	if err := WriteRequest(st, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadResponse(st)
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+// Publish replaces the registry's entries for node with the given set.
+func (c *RegistryClient) Publish(node string, entries []Entry) error {
+	_, err := c.do(&Request{Op: OpRegPublish, Node: node, Entries: entries})
+	return err
+}
+
+// Withdraw drops every entry published by node.
+func (c *RegistryClient) Withdraw(node string) error {
+	_, err := c.do(&Request{Op: OpRegWithdraw, Node: node})
+	return err
+}
+
+// Lookup queries the registry; empty kind or name matches everything.
+func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
+	resp, err := c.do(&Request{Op: OpRegLookup, Kind: kind, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Resolve returns the first dialable entry for a published service name.
+func (c *RegistryClient) Resolve(kind, name string) (Entry, error) {
+	entries, err := c.Lookup(kind, name)
+	if err != nil {
+		return Entry{}, err
+	}
+	for _, e := range entries {
+		if e.Service != "" {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("gatekeeper: no dialable %s service %q in registry", kind, name)
+}
+
+// DialService is VLink connection by registry name: the service is resolved
+// to its hosting node through the registry, then dialed over the linker —
+// straight or cross-paradigm, whatever the arbitration layer picks.
+func DialService(ln *vlink.Linker, rc *RegistryClient, kind, name string) (vlink.Stream, error) {
+	e, err := rc.Resolve(kind, name)
+	if err != nil {
+		return nil, err
+	}
+	return ln.DialName(e.Node, e.Service)
+}

@@ -1,0 +1,214 @@
+package gatekeeper
+
+import (
+	"testing"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/sockets"
+)
+
+// publishEcho registers an application VLink service on a process and
+// announces it (with the rest of the process's table) to the registry.
+func publishEcho(t *testing.T, p *core.Process, regNode string) {
+	t.Helper()
+	lst, err := p.Linker().Listen("demo:echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Runtime().Go("echo", func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			p.Runtime().Go("echo:conn", func() {
+				defer st.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := st.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := st.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	gk, ok := For(p)
+	if !ok {
+		t.Fatal("no gatekeeper on publishing process")
+	}
+	gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, regNode))
+	if err := gk.Announce(); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+}
+
+// resolveAndEcho looks the service up from another node and round-trips
+// bytes over the resolved stream.
+func resolveAndEcho(t *testing.T, p *core.Process, regNode, wantNode string) {
+	t.Helper()
+	rc := NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, regNode)
+	e, err := rc.Resolve("vlink", "demo:echo")
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if e.Node != wantNode {
+		t.Fatalf("demo:echo resolved to %s, want %s", e.Node, wantNode)
+	}
+	st, err := DialService(p.Linker(), rc, "vlink", "demo:echo")
+	if err != nil {
+		t.Fatalf("dial by name: %v", err)
+	}
+	defer st.Close()
+	if _, err := st.Write([]byte("grid")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "grid" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+}
+
+// TestRegistryDiscoveryStraight: a service published on node A resolves
+// from node B and the stream maps straight over ethernet sockets.
+func TestRegistryDiscoveryStraight(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		publishEcho(t, procs[1], "n0")
+		resolveAndEcho(t, procs[2], "n0", "n1")
+
+		// The announce also published the module table and the gatekeeper
+		// service itself.
+		rc := NewRegistryClient(orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
+		entries, err := rc.Lookup("module", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := map[string]bool{}
+		for _, e := range entries {
+			found[e.Name] = true
+		}
+		if !found["gatekeeper"] || !found["vlink"] {
+			t.Fatalf("published modules = %v", entries)
+		}
+		if _, err := rc.Resolve("vlink", Service); err != nil {
+			t.Fatalf("gatekeeper service not discoverable: %v", err)
+		}
+
+		// Withdraw drops the node's entries; resolution then fails.
+		if err := rc.Withdraw("n1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Resolve("vlink", "demo:echo"); err == nil {
+			t.Fatal("resolved a withdrawn service")
+		}
+	})
+}
+
+// TestRegistryDiscoveryCrossParadigm: the same lookup path over a SAN-only
+// grid, where both the registry exchange and the resolved stream ride the
+// cross-paradigm Madeleine mapping.
+func TestRegistryDiscoveryCrossParadigm(t *testing.T) {
+	g, nodes := newGrid(t, 2, "myrinet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		publishEcho(t, procs[0], "n0")
+		resolveAndEcho(t, procs[1], "n0", "n0")
+
+		// The whole exchange was demultiplexed over the exclusive SAN.
+		dev, ok := g.Arb.Device("myri0")
+		if !ok {
+			t.Fatal("no myri0")
+		}
+		if routed, _ := dev.Stats(); routed == 0 {
+			t.Fatal("registry traffic did not ride the SAN")
+		}
+	})
+}
+
+// TestRegistryReannounce: announcing twice replaces, not duplicates, a
+// node's entries, so the registry follows load/unload churn.
+func TestRegistryReannounce(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		gk, _ := For(procs[1])
+		gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: procs[1].Linker()}, "n0"))
+		if err := gk.Announce(); err != nil {
+			t.Fatal(err)
+		}
+		if err := procs[1].Load("soap"); err != nil {
+			t.Fatal(err)
+		}
+		if err := gk.Announce(); err != nil {
+			t.Fatal(err)
+		}
+		rc := gk.Registry()
+		entries, err := rc.Lookup("module", "soap")
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("soap entries = %v, %v", entries, err)
+		}
+		// Exactly one gatekeeper entry for n1 despite two announces.
+		entries, err = rc.Lookup("module", "gatekeeper")
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("gatekeeper entries = %v, %v", entries, err)
+		}
+		if _, err := rc.Resolve("vlink", "soap:sys"); err != nil {
+			t.Fatalf("soap:sys not discoverable after reannounce: %v", err)
+		}
+
+		// The registry itself refuses malformed publishes and unknown ops.
+		if err := rc.Publish("", nil); err == nil {
+			t.Fatal("publish without node accepted")
+		}
+		reg, ok := RegistryOn(procs[0])
+		if !ok {
+			t.Fatal("registry instance not tracked")
+		}
+		if resp := reg.handle(&Request{Op: "nope"}); resp.OK {
+			t.Fatal("unknown registry op accepted")
+		}
+	})
+}
+
+// TestDeployedRegistryEndToEnd drives the path deploy.LaunchAll wires up:
+// every spawned process announced itself, so any node resolves any other
+// node's gatekeeper through the registry on the first node.
+func TestDeployedRegistryEndToEnd(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet", "myrinet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range procs {
+			gk, _ := For(p)
+			gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, "n0"))
+			if err := gk.Announce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rc := NewRegistryClient(orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
+		entries, err := rc.Lookup("vlink", Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 3 {
+			t.Fatalf("gatekeepers discovered = %v", entries)
+		}
+	})
+}

@@ -144,6 +144,9 @@ func New(cfg Config) (*ORB, error) {
 // Repo returns the ORB's interface repository.
 func (o *ORB) Repo() *idl.Repository { return o.repo }
 
+// Service returns the GIOP service name this ORB is bound to.
+func (o *ORB) Service() string { return o.service }
+
 // Runtime returns the runtime the ORB schedules on.
 func (o *ORB) Runtime() vtime.Runtime { return o.rt }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -97,6 +98,20 @@ func (ln *Linker) Node() *simnet.Node { return ln.node }
 
 // Runtime returns the runtime the linker schedules on.
 func (ln *Linker) Runtime() vtime.Runtime { return ln.arb.Runtime() }
+
+// Services returns the names of the services currently listening on this
+// linker, sorted — the per-process service table the gatekeeper publishes
+// for grid-wide discovery.
+func (ln *Linker) Services() []string {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	out := make([]string, 0, len(ln.services))
+	for name := range ln.services {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // servicePort derives the TCP port for a service name; the accept-side
 // handshake verifies the full name.
