@@ -18,6 +18,9 @@
 //	load <module>        hot-load a module (concurrent fan-out)
 //	unload <module>      unload a module; -cascade unloads dependents first
 //	lookup [kind [name]] query the grid-wide service registry
+//	resolve <kind> <name> resolve a name to its hosting node through the
+//	                     registry (fabric-aware, cached) and verify the
+//	                     seat can dial the resolved endpoint by name
 //	demo                 scripted scenario: list everywhere, hot-load the
 //	                     SOAP middleware into the last node, invoke it over
 //	                     SOAP, then unload it again
@@ -57,6 +60,10 @@ func main() {
 	case "load", "unload":
 		if len(args) != 1 {
 			die(fmt.Errorf("%s wants exactly one module name", cmd))
+		}
+	case "resolve":
+		if len(args) != 2 {
+			die(fmt.Errorf("resolve wants a kind and a name"))
 		}
 	case "lookup":
 		if len(args) > 2 {
@@ -176,6 +183,29 @@ func run(ctl *gatekeeper.Controller, procs map[string]*core.Process,
 			fmt.Printf("%-8s %-8s %-24s %s\n", e.Node, e.Kind, e.Name, e.Service)
 		}
 		fmt.Printf("%d entr%s\n", len(entries), map[bool]string{true: "y", false: "ies"}[len(entries) == 1])
+		return true
+	case "resolve":
+		kind, name := args[0], args[1]
+		gk, ok := gatekeeper.For(procs[seat])
+		if !ok || gk.Registry() == nil {
+			fmt.Printf("resolve: no registry client on %s\n", seat)
+			return false
+		}
+		e, err := gk.Registry().Resolve(kind, name)
+		if err != nil {
+			fmt.Printf("resolve: %v\n", err)
+			return false
+		}
+		fmt.Printf("%s %s -> node %s, service %s\n", kind, name, e.Node, e.Service)
+		// The deployment installed the registry client as every linker's
+		// resolver, so the seat dials purely by name — no node given.
+		st, err := procs[seat].Linker().DialService(kind, name)
+		if err != nil {
+			fmt.Printf("resolve: dial by name: %v\n", err)
+			return false
+		}
+		st.Close()
+		fmt.Printf("dialed %s by name from %s ok\n", name, seat)
 		return true
 	case "demo":
 		return demo(ctl, procs, seat, nodes)

@@ -13,8 +13,10 @@ import (
 	"time"
 
 	"padico/internal/core"
+	"padico/internal/gatekeeper"
 	"padico/internal/orb"
 	"padico/internal/simnet"
+	"padico/internal/sockets"
 	"padico/internal/vlink"
 )
 
@@ -32,9 +34,14 @@ type sinkServant struct{}
 func (sinkServant) Invoke(op string, args []any) ([]any, error) { return []any{}, nil }
 
 // deploy runs the coupling on a prepared grid and reports the transfer time.
+// The producer never learns where the sink runs: the consumer publishes a
+// probe service to the grid registry and the producer dials it purely by
+// name — the same code resolves to a Myrinet neighbour in one deployment
+// and to a machine across the WAN in the other.
 func deploy(label string, grid *core.Grid, producer, consumer *simnet.Node) {
 	grid.Run(func() {
 		var orbs []*orb.ORB
+		var procs []*core.Process
 		for _, nd := range []*simnet.Node{producer, consumer} {
 			p, err := grid.Launch(nd)
 			must(err)
@@ -42,8 +49,48 @@ func deploy(label string, grid *core.Grid, producer, consumer *simnet.Node) {
 			p.Linker().Mode = vlink.SecureAuto // encrypt insecure paths only
 			o, err := p.ORB(simnet.OmniORB3)
 			must(err)
+			must(p.Load("gatekeeper"))
 			orbs = append(orbs, o)
+			procs = append(procs, p)
 		}
+		// Registry on the producer's machine; both processes lease and
+		// resolve through it.
+		must(procs[0].Load("registry"))
+		for _, p := range procs {
+			gk, _ := gatekeeper.For(p)
+			rc := gatekeeper.NewRegistryClient(grid.Sim,
+				orb.VLinkTransport{Linker: p.Linker()}, producer.Name)
+			gk.UseRegistry(rc)
+			p.Linker().SetResolver(rc)
+			must(gk.StartLease(gatekeeper.DefaultLeaseTTL))
+		}
+		// The consumer serves a probe; announcing refreshes its entries.
+		probe, err := procs[1].Linker().Listen("hetero:probe")
+		must(err)
+		grid.Sim.Go("probe", func() {
+			for {
+				st, err := probe.Accept()
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 8)
+				if err := sockets.ReadFull(st, buf); err == nil {
+					_, _ = st.Write(buf)
+				}
+				st.Close()
+			}
+		})
+		gk1, _ := gatekeeper.For(procs[1])
+		must(gk1.Announce())
+		st, err := procs[0].Linker().DialService("vlink", "hetero:probe")
+		must(err)
+		if _, err := st.Write(make([]byte, 8)); err != nil {
+			must(err)
+		}
+		must(sockets.ReadFull(st, make([]byte, 8)))
+		st.Close()
+		fmt.Printf("  found the sink by name: hetero:probe -> %s\n", consumer.Name)
+
 		ior, err := orbs[1].Activate("sink", "Hetero::Sink", sinkServant{})
 		must(err)
 		ref, err := orbs[0].Object(ior)

@@ -16,6 +16,7 @@ import (
 	"padico/internal/gatekeeper"
 	"padico/internal/hla"
 	"padico/internal/mpi"
+	"padico/internal/orb"
 	"padico/internal/simnet"
 	"padico/internal/soap"
 	"padico/internal/vtime"
@@ -43,6 +44,19 @@ func main() {
 			must(p.Load("gatekeeper"))
 			procs = append(procs, p)
 			fmt.Printf("%s modules: %v\n", nd.Name, p.Modules())
+		}
+
+		// Name resolution: host0 hosts the grid registry; every process
+		// holds a soft-state lease there and resolves names through it,
+		// so services are dialable by name alone.
+		must(procs[0].Load("registry"))
+		for _, p := range procs {
+			gk, _ := gatekeeper.For(p)
+			rc := gatekeeper.NewRegistryClient(grid.Sim,
+				orb.VLinkTransport{Linker: p.Linker()}, nodes[0].Name)
+			gk.UseRegistry(rc)
+			p.Linker().SetResolver(rc)
+			must(gk.StartLease(gatekeeper.DefaultLeaseTTL))
 		}
 
 		// 1. CORBA: remote invocation host1 → host0.
@@ -123,6 +137,17 @@ func main() {
 		}
 		_, err = ctl.Load("host1", "soap")
 		must(err)
+		// The hot-load re-announced host1 automatically (module-event
+		// hook); give the churn announce an instant to land, then find
+		// the fresh service purely by name — no node in sight.
+		grid.Sim.Sleep(1_000_000)
+		gk0, _ := gatekeeper.For(procs[0])
+		e, err := gk0.Registry().Resolve("vlink", "soap:sys")
+		must(err)
+		fmt.Printf("GKPR   registry resolved soap:sys -> %s (no manual announce)\n", e.Node)
+		st, err := procs[0].Linker().DialService("vlink", "soap:sys")
+		must(err)
+		st.Close()
 		out, err = soap.NewClient(procs[0].Linker()).Call(nodes[1], "sys", "modules")
 		must(err)
 		fmt.Printf("GKPR   hot-loaded soap into host1; sys/modules says %v\n", out)

@@ -168,7 +168,51 @@ type Process struct {
 	linker  *vlink.Linker
 	orbs    map[string]*orb.ORB
 	modules map[string]*moduleState
+	hooks   map[int]func(ModuleEvent)
+	hookSeq int
 	down    bool
+}
+
+// ModuleEvent records one committed change to a process's module table.
+type ModuleEvent struct {
+	Op     string // "load" or "unload"
+	Module string
+}
+
+// OnModuleEvent registers f to run after every committed load or unload in
+// this process (one event per module actually loaded or stopped, including
+// dependencies and cascade victims). Hooks run on the mutating actor while
+// the module-operation lock is held, so they must not call Load/Unload
+// synchronously — spawn through the runtime for anything heavy. The
+// gatekeeper uses this to re-announce the process to the grid registry on
+// churn. The returned cancel removes the hook.
+func (p *Process) OnModuleEvent(f func(ModuleEvent)) (cancel func()) {
+	p.mu.Lock()
+	if p.hooks == nil {
+		p.hooks = make(map[int]func(ModuleEvent))
+	}
+	p.hookSeq++
+	id := p.hookSeq
+	p.hooks[id] = f
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.hooks, id)
+		p.mu.Unlock()
+	}
+}
+
+// fireModuleEvent delivers ev to every registered hook.
+func (p *Process) fireModuleEvent(ev ModuleEvent) {
+	p.mu.Lock()
+	fns := make([]func(ModuleEvent), 0, len(p.hooks))
+	for _, f := range p.hooks {
+		fns = append(fns, f)
+	}
+	p.mu.Unlock()
+	for _, f := range fns {
+		f(ev)
+	}
 }
 
 type moduleState struct {
@@ -302,6 +346,7 @@ func (p *Process) load(name string, stack []string) error {
 	}
 	p.modules[name] = &moduleState{mod: mod, deps: deps}
 	p.mu.Unlock()
+	p.fireModuleEvent(ModuleEvent{Op: "load", Module: name})
 	return nil
 }
 
@@ -369,6 +414,7 @@ func (p *Process) unload(name string, cascade bool) error {
 		if err := victims[n].mod.Stop(); err != nil {
 			errs = append(errs, fmt.Errorf("core: stopping %s: %w", n, err))
 		}
+		p.fireModuleEvent(ModuleEvent{Op: "unload", Module: n})
 	}
 	return errors.Join(errs...)
 }

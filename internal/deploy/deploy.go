@@ -212,9 +212,13 @@ func (p *Platform) ResolveHost(host string, used map[string]bool) (string, error
 }
 
 // LaunchAll starts one Padico process per node and returns them by name.
-// Every process is spawned remotely steerable: it gets a gatekeeper module,
-// the first node (in name order) hosts the grid-wide service registry, and
-// each gatekeeper announces its process's services there.
+// Every process is spawned remotely steerable and name-resolving: it gets
+// a gatekeeper module, the first node (in name order) hosts the grid-wide
+// service registry, each gatekeeper holds a soft-state lease there
+// (announce with TTL, periodic renewal, automatic re-announce on module
+// churn), and every linker resolves unknown names through the registry —
+// so by-name VLink dialing works grid-wide without callers knowing
+// placements.
 func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 	out := make(map[string]*core.Process, len(p.Nodes))
 	names := make([]string, 0, len(p.Nodes))
@@ -243,11 +247,14 @@ func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 		if !ok {
 			continue
 		}
-		gk.UseRegistry(gatekeeper.NewRegistryClient(
-			orb.VLinkTransport{Linker: out[n].Linker()}, regNode))
+		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: out[n].Linker()}, regNode)
+		gk.UseRegistry(rc)
+		out[n].Linker().SetResolver(rc)
 		// Best-effort: a node that shares no fabric with the registry
-		// host simply stays unpublished until it announces later.
-		_ = gk.Announce()
+		// host simply stays unpublished; the lease loop keeps retrying,
+		// so it appears as soon as an announce gets through.
+		_ = gk.StartLease(gatekeeper.DefaultLeaseTTL)
 	}
 	return out, nil
 }

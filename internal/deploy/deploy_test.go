@@ -3,6 +3,7 @@ package deploy
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"padico/internal/gatekeeper"
 	"padico/internal/orb"
@@ -167,7 +168,7 @@ func TestLaunchAllControlPlane(t *testing.T) {
 		}
 		// Every process announced: its gatekeeper service resolves from
 		// any other node.
-		rc := gatekeeper.NewRegistryClient(
+		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
 			orb.VLinkTransport{Linker: procs["x1"].Linker()}, "c0")
 		entries, err := rc.Lookup("vlink", gatekeeper.Service)
 		if err != nil {
@@ -184,6 +185,91 @@ func TestLaunchAllControlPlane(t *testing.T) {
 			if r.Err != nil {
 				t.Fatalf("fanout to %s: %v", r.Node, r.Err)
 			}
+		}
+		// LaunchAll installed the registry client as every linker's
+		// resolver: any process dials any service purely by name.
+		st, err := procs["x1"].Linker().DialService("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatalf("by-name dial from deployed process: %v", err)
+		}
+		st.Close()
+	})
+}
+
+// TestLaunchAllBestEffortAnnounce: a node sharing no fabric with the
+// registry host launches fine — it just stays unpublished (no error), as
+// the announce path is best effort.
+func TestLaunchAllBestEffortAnnounce(t *testing.T) {
+	const isolatedXML = `
+<grid name="partitioned">
+  <node name="a0"/>
+  <node name="a1"/>
+  <node name="z-island"/>
+  <fabric kind="ethernet" name="eth0" nodes="a0,a1"/>
+  <fabric kind="ethernet" name="eth1" nodes="z-island"/>
+</grid>`
+	topo, err := ParseTopology([]byte(isolatedXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatalf("launch with unreachable node: %v", err)
+		}
+		// The island process is up and steerable locally despite never
+		// reaching the registry.
+		if !procs["z-island"].Loaded("gatekeeper") {
+			t.Fatal("island process lost its gatekeeper")
+		}
+		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["a1"].Linker()}, "a0")
+		entries, err := rc.Lookup("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := map[string]bool{}
+		for _, e := range entries {
+			nodes[e.Node] = true
+		}
+		if !nodes["a0"] || !nodes["a1"] || nodes["z-island"] {
+			t.Fatalf("published gatekeepers = %v, want a0+a1 only", entries)
+		}
+	})
+}
+
+// TestLaunchAllLeaseLiveness: deployments announce under the default
+// lease, so a process that dies without withdrawing falls out of the
+// registry on its own while the survivors stay visible through renewals.
+func TestLaunchAllLeaseLiveness(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["c1"].Linker()}, "c0")
+		rc.SetCacheTTL(0)
+		count := func() int {
+			entries, err := rc.Lookup("vlink", gatekeeper.Service)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return len(entries)
+		}
+		if count() != 4 {
+			t.Fatalf("announced gatekeepers = %d, want 4", count())
+		}
+		procs["x1"].Shutdown() // dies without withdrawing
+		p.Grid.Sim.Sleep(gatekeeper.DefaultLeaseTTL + time.Second)
+		if count() != 3 {
+			t.Fatalf("gatekeepers after x1 died = %d, want 3 (lease expiry)", count())
 		}
 	})
 }

@@ -3,6 +3,7 @@ package gatekeeper
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"padico/internal/core"
 	"padico/internal/orb"
@@ -37,10 +38,14 @@ type Gatekeeper struct {
 	target Target
 	lst    orb.Acceptor
 
-	mu     sync.Mutex
-	reg    *RegistryClient
-	conns  map[orbStream]struct{}
-	closed bool
+	mu         sync.Mutex
+	reg        *RegistryClient
+	conns      map[orbStream]struct{}
+	leaseTTL   time.Duration
+	leaseTimer vtime.Timer
+	annPending bool // an async announce actor is alive
+	annDirty   bool // churn happened since it last read the table
+	closed     bool
 }
 
 // Serve binds the gatekeeper service on the transport and starts accepting
@@ -78,7 +83,16 @@ func (g *Gatekeeper) Close() {
 	for st := range g.conns {
 		conns = append(conns, st)
 	}
+	timer := g.leaseTimer
+	g.leaseTimer = nil
+	rc := g.reg
 	g.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	if rc != nil {
+		rc.Close()
+	}
 	_ = g.lst.Close()
 	for _, st := range conns {
 		_ = st.Close()
@@ -118,13 +132,100 @@ func (g *Gatekeeper) Entries() []Entry {
 }
 
 // Announce publishes the target's current services to the registry,
-// replacing this node's previous entries.
+// replacing this node's previous entries. With a lease running, the
+// publish carries the lease TTL so the entries stay soft state.
 func (g *Gatekeeper) Announce() error {
-	rc := g.Registry()
+	g.mu.Lock()
+	rc, ttl := g.reg, g.leaseTTL
+	g.mu.Unlock()
 	if rc == nil {
 		return fmt.Errorf("gatekeeper: no registry configured on %s", g.target.NodeName())
 	}
-	return rc.Publish(g.target.NodeName(), g.Entries())
+	return rc.PublishTTL(g.target.NodeName(), g.Entries(), ttl)
+}
+
+// DefaultLeaseTTL is the registry lease deployments announce under: a
+// crashed process's entries outlive it by at most this long.
+const DefaultLeaseTTL = 5 * time.Second
+
+// StartLease turns the gatekeeper's registry presence into soft state: it
+// announces immediately with the given TTL and re-announces every ttl/2
+// from a runtime timer (virtual under Sim, real under Wall), so a process
+// that dies without withdrawing falls out of Lookup within ttl, while a
+// merely partitioned one re-appears as soon as an announce gets through.
+// The first announce's error is returned; the renewal loop runs regardless
+// (best effort) until the gatekeeper closes.
+func (g *Gatekeeper) StartLease(ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("gatekeeper: non-positive lease TTL %v", ttl)
+	}
+	g.mu.Lock()
+	if g.reg == nil {
+		g.mu.Unlock()
+		return fmt.Errorf("gatekeeper: no registry configured on %s", g.target.NodeName())
+	}
+	g.leaseTTL = ttl
+	g.mu.Unlock()
+	err := g.Announce()
+	g.scheduleLease()
+	return err
+}
+
+// scheduleLease arms the next renewal. The timer callback must not block
+// (Sim runs it on the scheduler's watch), so the announce itself happens
+// on a freshly spawned actor.
+func (g *Gatekeeper) scheduleLease() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed || g.leaseTTL <= 0 {
+		return
+	}
+	g.leaseTimer = g.rt.AfterFunc(g.leaseTTL/2, func() {
+		g.rt.Go("gatekeeper:lease:"+g.target.NodeName(), func() {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return
+			}
+			_ = g.Announce() // best effort: an unreachable registry retries next period
+			g.scheduleLease()
+		})
+	})
+}
+
+// announceAsync re-announces from a fresh actor — the module-event hook
+// path, which must not block the loader. Bursts of events (a dependency
+// chain loading, a cascade unloading) are coalesced: one actor runs at a
+// time and re-reads the table once more if churn arrived while it was
+// publishing, so an N-module operation costs O(1) registry round-trips,
+// not N.
+func (g *Gatekeeper) announceAsync() {
+	g.mu.Lock()
+	if g.closed || g.reg == nil {
+		g.mu.Unlock()
+		return
+	}
+	g.annDirty = true
+	if g.annPending {
+		g.mu.Unlock()
+		return
+	}
+	g.annPending = true
+	g.mu.Unlock()
+	g.rt.Go("gatekeeper:announce:"+g.target.NodeName(), func() {
+		for {
+			g.mu.Lock()
+			if g.closed || !g.annDirty {
+				g.annPending = false
+				g.mu.Unlock()
+				return
+			}
+			g.annDirty = false
+			g.mu.Unlock()
+			_ = g.Announce() // Entries() snapshots the table at publish time
+		}
+	})
 }
 
 // serve handles one control connection: a sequence of framed requests.
@@ -299,8 +400,9 @@ func RegistryOn(p *core.Process) (*Registry, bool) {
 }
 
 type gkModule struct {
-	p  *core.Process
-	gk *Gatekeeper
+	p          *core.Process
+	gk         *Gatekeeper
+	cancelHook func()
 }
 
 func (m *gkModule) Name() string       { return "gatekeeper" }
@@ -311,12 +413,17 @@ func (m *gkModule) Init(p *core.Process) error {
 		return err
 	}
 	m.p, m.gk = p, gk
+	// Module churn re-announces automatically: the registry follows every
+	// load/unload without anyone calling Announce by hand. The hook must
+	// not block the loader, so the announce rides a fresh actor.
+	m.cancelHook = p.OnModuleEvent(func(core.ModuleEvent) { gk.announceAsync() })
 	instMu.Lock()
 	gatekeepers[p] = gk
 	instMu.Unlock()
 	return nil
 }
 func (m *gkModule) Stop() error {
+	m.cancelHook()
 	instMu.Lock()
 	delete(gatekeepers, m.p)
 	instMu.Unlock()

@@ -78,6 +78,10 @@ type Request struct {
 	Name    string  `json:"name,omitempty"`    // lookup filter
 	Node    string  `json:"node,omitempty"`    // withdraw target
 	Entries []Entry `json:"entries,omitempty"` // publish payload
+	// TTLMillis is the soft-state lease on a publish: the entries fall out
+	// of Lookup this many milliseconds after the registry accepts them
+	// unless re-published. Zero or negative means no lease (permanent).
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
 }
 
 // Response answers one Request.

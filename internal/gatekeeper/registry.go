@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"padico/internal/orb"
 	"padico/internal/vlink"
@@ -14,13 +15,28 @@ import (
 // process's services here, and any process resolves a service to a hosting
 // node by name — the lookup path that turns VLink's by-name connection into
 // real cross-process discovery instead of static wiring.
+//
+// The registry is soft state in the MDS tradition: a publish carries a
+// lease TTL and the entries silently fall out of Lookup when the lease
+// expires un-renewed, so a crashed process — one that never got to
+// withdraw — disappears from discovery on its own.
 type Registry struct {
 	rt  vtime.Runtime
 	lst orb.Acceptor
 
-	mu      sync.Mutex
-	entries map[string][]Entry // publishing node → its entries
-	closed  bool
+	mu       sync.Mutex
+	entries  map[string]leasedEntries // publishing node → its leased entries
+	conns    map[orbStream]struct{}   // open pooled sessions, torn down on Close
+	sessions int64                    // client sessions ever accepted
+	lookups  int64                    // lookup/list operations served
+	closed   bool
+}
+
+// leasedEntries is one node's published set under its lease.
+type leasedEntries struct {
+	entries []Entry
+	expires vtime.Time // lease deadline; meaningful only when leased
+	leased  bool       // false ⇒ permanent (publish without TTL)
 }
 
 // StartRegistry binds the registry service on the transport and starts
@@ -30,20 +46,32 @@ func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gatekeeper: binding %s: %w", RegistryService, err)
 	}
-	r := &Registry{rt: rt, lst: lst, entries: make(map[string][]Entry)}
+	r := &Registry{rt: rt, lst: lst,
+		entries: make(map[string]leasedEntries), conns: make(map[orbStream]struct{})}
 	rt.Go("registry:accept:"+tr.NodeName(), func() {
 		for {
 			st, err := lst.Accept()
 			if err != nil {
 				return
 			}
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				st.Close()
+				continue
+			}
+			r.sessions++
+			r.conns[st] = struct{}{}
+			r.mu.Unlock()
 			rt.Go("registry:conn", func() { r.serve(st) })
 		}
 	})
 	return r, nil
 }
 
-// Close stops the registry.
+// Close stops the registry: the listener goes away and every pooled client
+// session is torn down (clients re-dial transparently if the registry
+// comes back).
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -51,12 +79,42 @@ func (r *Registry) Close() {
 		return
 	}
 	r.closed = true
+	conns := make([]orbStream, 0, len(r.conns))
+	for st := range r.conns {
+		conns = append(conns, st)
+	}
 	r.mu.Unlock()
 	_ = r.lst.Close()
+	for _, st := range conns {
+		_ = st.Close()
+	}
+}
+
+// Sessions reports how many client sessions the registry has accepted —
+// with pooled clients this stays at one per client process, however many
+// operations flow.
+func (r *Registry) Sessions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sessions
+}
+
+// LookupsServed reports how many lookup/list operations the registry has
+// answered; the client-side resolution cache keeps this far below the
+// number of by-name dials.
+func (r *Registry) LookupsServed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups
 }
 
 func (r *Registry) serve(st orbStream) {
-	defer st.Close()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, st)
+		r.mu.Unlock()
+		st.Close()
+	}()
 	for {
 		req, err := ReadRequest(st)
 		if err != nil {
@@ -80,8 +138,13 @@ func (r *Registry) handle(req *Request) *Response {
 		if node == "" {
 			return &Response{Error: "publish without node"}
 		}
+		le := leasedEntries{entries: append([]Entry(nil), req.Entries...)}
+		if req.TTLMillis > 0 {
+			le.leased = true
+			le.expires = r.rt.Now().Add(time.Duration(req.TTLMillis) * time.Millisecond)
+		}
 		r.mu.Lock()
-		r.entries[node] = append([]Entry(nil), req.Entries...)
+		r.entries[node] = le
 		r.mu.Unlock()
 		return &Response{OK: true}
 	case OpRegWithdraw:
@@ -90,21 +153,37 @@ func (r *Registry) handle(req *Request) *Response {
 		r.mu.Unlock()
 		return &Response{OK: true}
 	case OpRegLookup:
-		return &Response{OK: true, Entries: r.Lookup(req.Kind, req.Name)}
+		return &Response{OK: true, Entries: r.lookup(req.Kind, req.Name, true)}
 	case OpRegList:
-		return &Response{OK: true, Entries: r.Lookup("", "")}
+		return &Response{OK: true, Entries: r.lookup("", "", true)}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown registry operation %q", req.Op)}
 	}
 }
 
-// Lookup returns the published entries matching the filters; empty kind or
-// name matches everything. Results are ordered by node, kind, name.
+// Lookup returns the published, unexpired entries matching the filters;
+// empty kind or name matches everything. Results are ordered by node,
+// kind, name.
 func (r *Registry) Lookup(kind, name string) []Entry {
+	return r.lookup(kind, name, false)
+}
+
+func (r *Registry) lookup(kind, name string, remote bool) []Entry {
+	now := r.rt.Now()
 	r.mu.Lock()
+	if remote {
+		r.lookups++
+	}
 	var out []Entry
-	for _, es := range r.entries {
-		for _, e := range es {
+	for node, le := range r.entries {
+		if le.leased && now >= le.expires {
+			// Expired lease: the publisher died without withdrawing.
+			// Reap lazily — correctness needs no background sweeper, and
+			// lazy reaping behaves identically under Sim and Wall.
+			delete(r.entries, node)
+			continue
+		}
+		for _, e := range le.entries {
 			if (kind == "" || e.Kind == kind) && (name == "" || e.Name == name) {
 				out = append(out, e)
 			}
@@ -123,50 +202,157 @@ func (r *Registry) Lookup(kind, name string) []Entry {
 	return out
 }
 
-// RegistryClient talks to the grid-wide registry from one process.
+// RegistryClient talks to the grid-wide registry from one process over a
+// single pooled session: the framed stream is dialed once, reused for
+// every operation, and re-dialed transparently when it breaks. Resolve
+// results are additionally cached for a short TTL, so the hot by-name
+// dial path usually skips the registry round-trip entirely.
 type RegistryClient struct {
+	rt      vtime.Runtime
 	tr      orb.Transport
 	regNode string
+
+	// sem serializes exchanges on the pooled stream. It is a virtual-time
+	// semaphore, not a mutex: an exchange blocks in network I/O, and under
+	// Sim a plain mutex held across a parked actor would stall the clock.
+	sem *vtime.Semaphore
+	st  orbStream // pooled session; nil until the first exchange
+
+	mu       sync.Mutex
+	cacheTTL time.Duration
+	cache    map[cacheKey]cachedEntry
 }
 
-// NewRegistryClient returns a client dialing the registry hosted on
-// regNode through the given transport.
-func NewRegistryClient(tr orb.Transport, regNode string) *RegistryClient {
-	return &RegistryClient{tr: tr, regNode: regNode}
+type cacheKey struct{ kind, name string }
+
+// cachedEntry holds the ordered dialable candidates of one resolution.
+type cachedEntry struct {
+	list    []Entry
+	expires vtime.Time
+}
+
+// DefaultResolveCacheTTL bounds how long a cached resolution may serve
+// dials before the registry is consulted again.
+const DefaultResolveCacheTTL = time.Second
+
+// NewRegistryClient returns a pooled client dialing the registry hosted on
+// regNode through the given transport, scheduling on rt.
+func NewRegistryClient(rt vtime.Runtime, tr orb.Transport, regNode string) *RegistryClient {
+	return &RegistryClient{
+		rt:       rt,
+		tr:       tr,
+		regNode:  regNode,
+		sem:      vtime.NewSemaphore(rt, "gatekeeper: registry session "+tr.NodeName(), 1),
+		cacheTTL: DefaultResolveCacheTTL,
+		cache:    make(map[cacheKey]cachedEntry),
+	}
 }
 
 // RegistryNode returns the node hosting the registry.
 func (c *RegistryClient) RegistryNode() string { return c.regNode }
 
-func (c *RegistryClient) do(req *Request) (*Response, error) {
-	st, err := c.tr.Dial(c.regNode, RegistryService)
-	if err != nil {
-		return nil, fmt.Errorf("gatekeeper: dialing registry on %s: %w", c.regNode, err)
-	}
-	defer st.Close()
-	if err := WriteRequest(st, req); err != nil {
-		return nil, err
-	}
-	resp, err := ReadResponse(st)
-	if err != nil {
-		return nil, err
-	}
-	return resp, resp.Err()
+// SetCacheTTL adjusts the resolution-cache lifetime; zero or negative
+// disables caching. Existing cached resolutions are dropped.
+func (c *RegistryClient) SetCacheTTL(d time.Duration) {
+	c.mu.Lock()
+	c.cacheTTL = d
+	c.cache = make(map[cacheKey]cachedEntry)
+	c.mu.Unlock()
 }
 
-// Publish replaces the registry's entries for node with the given set.
+// Close tears the pooled session down. A later operation re-dials.
+func (c *RegistryClient) Close() {
+	if err := c.sem.Acquire(); err != nil {
+		return
+	}
+	defer c.sem.Release()
+	if c.st != nil {
+		_ = c.st.Close()
+		c.st = nil
+	}
+}
+
+// do performs one request/response exchange on the pooled session,
+// re-dialing once if the session broke since the last exchange.
+func (c *RegistryClient) do(req *Request) (*Response, error) {
+	if err := c.sem.Acquire(); err != nil {
+		return nil, err
+	}
+	defer c.sem.Release()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.st == nil {
+			// Check reachability before dialing: an unknown or partitioned
+			// registry host must fail fast here, not fall into the
+			// transport's resolver fallback — this client may BE that
+			// resolver, and resolving through itself would re-enter the
+			// session semaphore it is holding.
+			if reach, ok := c.tr.(orb.Reachability); ok && !reach.CanReach(c.regNode) {
+				return nil, fmt.Errorf("gatekeeper: registry host %s unreachable from %s",
+					c.regNode, c.tr.NodeName())
+			}
+			st, err := c.tr.Dial(c.regNode, RegistryService)
+			if err != nil {
+				return nil, fmt.Errorf("gatekeeper: dialing registry on %s: %w", c.regNode, err)
+			}
+			c.st = st
+		}
+		if err := WriteRequest(c.st, req); err != nil {
+			lastErr = err
+		} else {
+			resp, err := ReadResponse(c.st)
+			if err == nil {
+				return resp, resp.Err()
+			}
+			lastErr = err
+		}
+		// Broken session (registry restarted, stream torn down): drop it
+		// and retry once on a fresh dial.
+		_ = c.st.Close()
+		c.st = nil
+	}
+	return nil, fmt.Errorf("gatekeeper: registry session to %s: %w", c.regNode, lastErr)
+}
+
+// Publish replaces the registry's entries for node with the given set,
+// without a lease (the entries stay until withdrawn).
 func (c *RegistryClient) Publish(node string, entries []Entry) error {
-	_, err := c.do(&Request{Op: OpRegPublish, Node: node, Entries: entries})
+	return c.PublishTTL(node, entries, 0)
+}
+
+// PublishTTL replaces the registry's entries for node under a soft-state
+// lease: they expire ttl after the registry accepts them unless
+// re-published. Non-positive ttl means no lease.
+func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Duration) error {
+	req := &Request{Op: OpRegPublish, Node: node, Entries: entries}
+	if ttl > 0 {
+		req.TTLMillis = int64(ttl / time.Millisecond)
+		if req.TTLMillis <= 0 {
+			req.TTLMillis = 1 // sub-millisecond leases still lease
+		}
+	}
+	_, err := c.do(req)
+	c.invalidate()
 	return err
 }
 
 // Withdraw drops every entry published by node.
 func (c *RegistryClient) Withdraw(node string) error {
 	_, err := c.do(&Request{Op: OpRegWithdraw, Node: node})
+	c.invalidate()
 	return err
 }
 
+// invalidate drops the resolution cache after a mutation through this
+// client, so its own writes are immediately visible to its reads.
+func (c *RegistryClient) invalidate() {
+	c.mu.Lock()
+	c.cache = make(map[cacheKey]cachedEntry)
+	c.mu.Unlock()
+}
+
 // Lookup queries the registry; empty kind or name matches everything.
+// Lookups always hit the registry — only Resolve results are cached.
 func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
 	resp, err := c.do(&Request{Op: OpRegLookup, Kind: kind, Name: name})
 	if err != nil {
@@ -175,27 +361,101 @@ func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
 	return resp.Entries, nil
 }
 
-// Resolve returns the first dialable entry for a published service name.
+// Resolve returns the best dialable entry for a published service name:
+// among the matches it prefers, deterministically, an entry whose node the
+// caller's transport can reach (shares a fabric with), falling back to the
+// first dialable entry in the registry's node/kind/name order. The
+// candidate list is cached for the client's cache TTL.
 func (c *RegistryClient) Resolve(kind, name string) (Entry, error) {
-	entries, err := c.Lookup(kind, name)
+	list, err := c.candidates(kind, name)
 	if err != nil {
 		return Entry{}, err
 	}
-	for _, e := range entries {
-		if e.Service != "" {
-			return e, nil
-		}
-	}
-	return Entry{}, fmt.Errorf("gatekeeper: no dialable %s service %q in registry", kind, name)
+	return list[0], nil
 }
 
-// DialService is VLink connection by registry name: the service is resolved
-// to its hosting node through the registry, then dialed over the linker —
-// straight or cross-paradigm, whatever the arbitration layer picks.
+// candidates returns the dialable entries for (kind, name) in preference
+// order — reachable nodes first, registry order within each class — from
+// the cache when fresh.
+func (c *RegistryClient) candidates(kind, name string) ([]Entry, error) {
+	if list, ok := c.cachedList(kind, name); ok {
+		return list, nil
+	}
+	entries, err := c.Lookup(kind, name)
+	if err != nil {
+		return nil, err
+	}
+	reach, hasReach := c.tr.(orb.Reachability)
+	var preferred, fallback []Entry
+	for _, e := range entries {
+		if e.Service == "" {
+			continue
+		}
+		if !hasReach || reach.CanReach(e.Node) {
+			preferred = append(preferred, e)
+		} else {
+			// Unreachable candidates stay in the list, after every
+			// reachable one: the fallback is deterministic and the dial
+			// surfaces the topology error.
+			fallback = append(fallback, e)
+		}
+	}
+	list := append(preferred, fallback...)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("gatekeeper: no dialable %s service %q in registry", kind, name)
+	}
+	c.storeList(kind, name, list)
+	return list, nil
+}
+
+func (c *RegistryClient) cachedList(kind, name string) ([]Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ce, ok := c.cache[cacheKey{kind, name}]
+	if !ok || c.rt.Now() >= ce.expires {
+		return nil, false
+	}
+	return ce.list, true
+}
+
+func (c *RegistryClient) storeList(kind, name string, list []Entry) {
+	c.mu.Lock()
+	if c.cacheTTL > 0 {
+		c.cache[cacheKey{kind, name}] = cachedEntry{list: list, expires: c.rt.Now().Add(c.cacheTTL)}
+	}
+	c.mu.Unlock()
+}
+
+// ResolveVLink implements vlink.Resolver, making the registry client the
+// production resolver behind Linker.DialService and the DialName fallback.
+func (c *RegistryClient) ResolveVLink(kind, name string) ([]vlink.Resolved, error) {
+	list, err := c.candidates(kind, name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vlink.Resolved, len(list))
+	for i, e := range list {
+		out[i] = vlink.Resolved{Node: e.Node, Service: e.Service}
+	}
+	return out, nil
+}
+
+var _ vlink.Resolver = (*RegistryClient)(nil)
+
+// DialService is VLink connection by registry name — a thin shim over
+// Linker.DialServiceVia for callers holding a client they have not
+// installed as the linker's resolver.
 func DialService(ln *vlink.Linker, rc *RegistryClient, kind, name string) (vlink.Stream, error) {
+	return ln.DialServiceVia(rc, kind, name)
+}
+
+// DialServiceOn resolves through the registry and dials over an arbitrary
+// transport — the wall-clock twin of Linker.DialService, used where no
+// simulated linker exists (e.g. real TCP deployments).
+func DialServiceOn(tr orb.Transport, rc *RegistryClient, kind, name string) (vlink.Stream, error) {
 	e, err := rc.Resolve(kind, name)
 	if err != nil {
 		return nil, err
 	}
-	return ln.DialName(e.Node, e.Service)
+	return tr.Dial(e.Node, e.Service)
 }

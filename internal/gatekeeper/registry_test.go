@@ -41,7 +41,7 @@ func publishEcho(t *testing.T, p *core.Process, regNode string) {
 	if !ok {
 		t.Fatal("no gatekeeper on publishing process")
 	}
-	gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, regNode))
+	gk.UseRegistry(NewRegistryClient(p.Linker().Runtime(), orb.VLinkTransport{Linker: p.Linker()}, regNode))
 	if err := gk.Announce(); err != nil {
 		t.Fatalf("announce: %v", err)
 	}
@@ -51,7 +51,7 @@ func publishEcho(t *testing.T, p *core.Process, regNode string) {
 // bytes over the resolved stream.
 func resolveAndEcho(t *testing.T, p *core.Process, regNode, wantNode string) {
 	t.Helper()
-	rc := NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, regNode)
+	rc := NewRegistryClient(p.Linker().Runtime(), orb.VLinkTransport{Linker: p.Linker()}, regNode)
 	e, err := rc.Resolve("vlink", "demo:echo")
 	if err != nil {
 		t.Fatalf("resolve: %v", err)
@@ -87,7 +87,7 @@ func TestRegistryDiscoveryStraight(t *testing.T) {
 
 		// The announce also published the module table and the gatekeeper
 		// service itself.
-		rc := NewRegistryClient(orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
+		rc := NewRegistryClient(procs[2].Linker().Runtime(), orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
 		entries, err := rc.Lookup("module", "")
 		if err != nil {
 			t.Fatal(err)
@@ -147,7 +147,7 @@ func TestRegistryReannounce(t *testing.T) {
 			t.Fatal(err)
 		}
 		gk, _ := For(procs[1])
-		gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: procs[1].Linker()}, "n0"))
+		gk.UseRegistry(NewRegistryClient(procs[1].Linker().Runtime(), orb.VLinkTransport{Linker: procs[1].Linker()}, "n0"))
 		if err := gk.Announce(); err != nil {
 			t.Fatal(err)
 		}
@@ -197,12 +197,12 @@ func TestDeployedRegistryEndToEnd(t *testing.T) {
 		}
 		for _, p := range procs {
 			gk, _ := For(p)
-			gk.UseRegistry(NewRegistryClient(orb.VLinkTransport{Linker: p.Linker()}, "n0"))
+			gk.UseRegistry(NewRegistryClient(p.Linker().Runtime(), orb.VLinkTransport{Linker: p.Linker()}, "n0"))
 			if err := gk.Announce(); err != nil {
 				t.Fatal(err)
 			}
 		}
-		rc := NewRegistryClient(orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
+		rc := NewRegistryClient(procs[2].Linker().Runtime(), orb.VLinkTransport{Linker: procs[2].Linker()}, "n0")
 		entries, err := rc.Lookup("vlink", Service)
 		if err != nil {
 			t.Fatal(err)

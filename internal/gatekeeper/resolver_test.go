@@ -1,0 +1,317 @@
+package gatekeeper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/sockets"
+	"padico/internal/vlink"
+)
+
+// clientFor builds a pooled registry client seated on a process.
+func clientFor(p *core.Process, regNode string) *RegistryClient {
+	return NewRegistryClient(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()}, regNode)
+}
+
+// TestLinkerDialServiceViaRegistry: the tentpole path — a linker with a
+// registry-backed resolver dials a service hosted on a node the caller
+// never names, and DialName transparently re-resolves when handed a stale
+// node name.
+func TestLinkerDialServiceViaRegistry(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		publishEcho(t, procs[1], "n0")
+
+		// No resolver installed: DialService refuses, DialName on an
+		// unknown node fails as before.
+		if _, err := procs[2].Linker().DialService("vlink", "demo:echo"); !errors.Is(err, vlink.ErrNoResolver) {
+			t.Fatalf("DialService without resolver = %v", err)
+		}
+		if _, err := procs[2].Linker().DialName("ghost", "demo:echo"); err == nil {
+			t.Fatal("unknown node dialed without resolver")
+		}
+
+		rc := clientFor(procs[2], "n0")
+		procs[2].Linker().SetResolver(rc)
+
+		// The caller says only "demo:echo" — the registry finds n1.
+		st, err := procs[2].Linker().DialService("vlink", "demo:echo")
+		if err != nil {
+			t.Fatalf("DialService: %v", err)
+		}
+		if _, err := st.Write([]byte("name")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "name" {
+			t.Fatalf("echo = %q, %v", buf, err)
+		}
+		st.Close()
+
+		// A stale placement ("the service used to run on old-n9") is
+		// transparently re-resolved through the registry.
+		st, err = procs[2].Linker().DialName("old-n9", "demo:echo")
+		if err != nil {
+			t.Fatalf("DialName with stale node: %v", err)
+		}
+		st.Close()
+
+		// A name nobody published still fails, with the resolver error.
+		if _, err := procs[2].Linker().DialService("vlink", "no:such"); err == nil {
+			t.Fatal("unpublished service resolved")
+		}
+	})
+}
+
+// TestResolvePrefersSharedFabric: on a partitioned topology (eth0 covers
+// n0,n1; eth1 covers n1,n2) the same service is published from both
+// partitions; each caller resolves to the replica it can actually reach,
+// and the fallback stays deterministic.
+func TestResolvePrefersSharedFabric(t *testing.T) {
+	g := core.NewGrid()
+	nodes := g.AddNodes("n", 3)
+	if _, err := g.AddEthernet("eth0", nodes[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEthernet("eth1", nodes[1:]); err != nil {
+		t.Fatal(err)
+	}
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		// Registry on n1, the only node both partitions reach.
+		if err := procs[1].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		publishEcho(t, procs[0], "n1")
+		publishEcho(t, procs[2], "n1")
+
+		// n2 shares no fabric with n0; resolution must prefer the n2
+		// replica over the lexicographically-first n0 entry.
+		rc2 := clientFor(procs[2], "n1")
+		e, err := rc2.Resolve("vlink", "demo:echo")
+		if err != nil {
+			t.Fatalf("resolve from n2: %v", err)
+		}
+		if e.Node != "n2" {
+			t.Fatalf("n2 resolved demo:echo to %s, want its reachable replica n2", e.Node)
+		}
+		st, err := DialService(procs[2].Linker(), rc2, "vlink", "demo:echo")
+		if err != nil {
+			t.Fatalf("dial preferred replica: %v", err)
+		}
+		st.Close()
+
+		// And symmetrically from the other partition.
+		rc0 := clientFor(procs[0], "n1")
+		if e, err := rc0.Resolve("vlink", "demo:echo"); err != nil || e.Node != "n0" {
+			t.Fatalf("n0 resolved demo:echo to %v, %v", e, err)
+		}
+
+		// A service with no reachable replica falls back to the first
+		// dialable entry in registry order — deterministic, and the dial
+		// surfaces the topology error.
+		lst, err := procs[0].Linker().Listen("island:svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lst.Close()
+		gk0, _ := For(procs[0])
+		if err := gk0.Announce(); err != nil {
+			t.Fatal(err)
+		}
+		rc2.SetCacheTTL(0)
+		if e, err := rc2.Resolve("vlink", "island:svc"); err != nil || e.Node != "n0" {
+			t.Fatalf("unreachable fallback = %v, %v", e, err)
+		}
+		if _, err := DialService(procs[2].Linker(), rc2, "vlink", "island:svc"); err == nil {
+			t.Fatal("dialed across a partition")
+		}
+
+		// DialName's stale-node fallback must refuse a service that runs
+		// on several nodes: the caller named a node, and silently picking
+		// a replica would steer the wrong process.
+		procs[2].Linker().SetResolver(rc2)
+		if _, err := procs[2].Linker().DialName("ghost", "demo:echo"); err == nil ||
+			!strings.Contains(err.Error(), "several nodes") {
+			t.Fatalf("ambiguous stale-node fallback = %v, want refusal", err)
+		}
+	})
+}
+
+// TestUnreachableRegistryHostFailsFast: a client whose registry host is
+// unknown or partitioned errors immediately — even when the client itself
+// is installed as the linker's resolver, where dialing through the
+// resolver fallback would re-enter the client's own session semaphore.
+func TestUnreachableRegistryHostFailsFast(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		rc := clientFor(procs[1], "no-such-host")
+		procs[1].Linker().SetResolver(rc)
+		if _, err := rc.Lookup("", ""); err == nil ||
+			!strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("lookup against unknown registry host = %v, want fast unreachable error", err)
+		}
+	})
+}
+
+// TestLeaseExpirySim: under the simulated runtime, a process that dies
+// without withdrawing falls out of Lookup once its lease TTL passes,
+// while renewals keep a live process visible well past the TTL.
+func TestLeaseExpirySim(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		gk, _ := For(procs[1])
+		gk.UseRegistry(clientFor(procs[1], "n0"))
+		const ttl = 200 * time.Millisecond
+		if err := gk.StartLease(ttl); err != nil {
+			t.Fatalf("start lease: %v", err)
+		}
+
+		rc := clientFor(procs[2], "n0")
+		rc.SetCacheTTL(0)
+		probe := func() int {
+			entries, err := rc.Lookup("vlink", Service)
+			if err != nil {
+				t.Fatalf("lookup: %v", err)
+			}
+			n := 0
+			for _, e := range entries {
+				if e.Node == "n1" {
+					n++
+				}
+			}
+			return n
+		}
+		if probe() != 1 {
+			t.Fatal("n1 not announced under lease")
+		}
+		// Three TTLs of virtual time with the process alive: the renewal
+		// loop keeps the entries fresh.
+		g.Sim.Sleep(3 * ttl)
+		if probe() != 1 {
+			t.Fatal("lease renewal lost a live process")
+		}
+		// Kill n1 without a withdraw: renewals stop, the lease runs out.
+		procs[1].Shutdown()
+		g.Sim.Sleep(ttl + ttl/2)
+		if probe() != 0 {
+			t.Fatal("dead process still in registry after its lease TTL")
+		}
+	})
+}
+
+// TestChurnReannounce: a local load/unload on a live process reaches the
+// registry with no manual Announce, via the core module-event hook.
+func TestChurnReannounce(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		gk, _ := For(procs[1])
+		gk.UseRegistry(clientFor(procs[1], "n0"))
+		if err := gk.Announce(); err != nil {
+			t.Fatal(err)
+		}
+		rc := clientFor(procs[0], "n0")
+		rc.SetCacheTTL(0)
+
+		if err := procs[1].Load("soap"); err != nil {
+			t.Fatal(err)
+		}
+		g.Sim.Sleep(10 * time.Millisecond) // the hook announces asynchronously
+		entries, err := rc.Lookup("module", "soap")
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("soap after hot-load = %v, %v (no auto re-announce?)", entries, err)
+		}
+		if _, err := rc.Resolve("vlink", "soap:sys"); err != nil {
+			t.Fatalf("soap:sys not resolvable after hot-load: %v", err)
+		}
+
+		if err := procs[1].Unload("soap"); err != nil {
+			t.Fatal(err)
+		}
+		g.Sim.Sleep(10 * time.Millisecond)
+		entries, err = rc.Lookup("module", "soap")
+		if err != nil || len(entries) != 0 {
+			t.Fatalf("soap after unload = %v, %v (unload not reflected)", entries, err)
+		}
+	})
+}
+
+// TestPooledSessionSingleStream: any number of operations from one client
+// ride one underlying stream, and the resolution cache keeps repeat
+// resolves off the wire within a TTL window.
+func TestPooledSessionSingleStream(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		reg, ok := RegistryOn(procs[0])
+		if !ok {
+			t.Fatal("registry instance not tracked")
+		}
+		base := reg.Sessions() // gatekeeper announces may have connected already
+
+		rc := clientFor(procs[1], "n0")
+		for i := 0; i < 10; i++ {
+			if _, err := rc.Lookup("", ""); err != nil {
+				t.Fatalf("lookup %d: %v", i, err)
+			}
+		}
+		if err := rc.Publish("n1", []Entry{{Node: "n1", Kind: "vlink", Name: "x", Service: "x"}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Sessions() - base; got != 1 {
+			t.Fatalf("11 operations used %d sessions, want 1 pooled session", got)
+		}
+
+		// Cached resolution: repeated resolves inside the TTL hit the
+		// registry once.
+		served := reg.LookupsServed()
+		for i := 0; i < 5; i++ {
+			if _, err := rc.Resolve("vlink", "x"); err != nil {
+				t.Fatalf("resolve %d: %v", i, err)
+			}
+		}
+		if got := reg.LookupsServed() - served; got != 1 {
+			t.Fatalf("5 cached resolves cost %d registry lookups, want 1", got)
+		}
+		// Past the TTL window the registry is consulted again.
+		g.Sim.Sleep(DefaultResolveCacheTTL + time.Millisecond)
+		if _, err := rc.Resolve("vlink", "x"); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.LookupsServed() - served; got != 2 {
+			t.Fatalf("post-TTL resolve cost %d lookups total, want 2", got)
+		}
+		// A mutation through this client invalidates its cache at once.
+		if err := rc.Withdraw("n1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Resolve("vlink", "x"); err == nil ||
+			!strings.Contains(err.Error(), "no dialable") {
+			t.Fatalf("resolve after withdraw = %v, want registry miss", err)
+		}
+		rc.Close()
+	})
+}

@@ -1,0 +1,227 @@
+package gatekeeper
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/orb"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// wallEcho serves one echo service on a TCP transport host and returns the
+// published registry entry for it.
+func wallEcho(t testing.TB, stack *sockets.TCPStack, host, service string) Entry {
+	t.Helper()
+	lst, err := (orb.TCPTransport{Stack: stack, Name: host}).Listen(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lst.Close() })
+	go func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer st.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := st.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := st.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return Entry{Node: host, Kind: "vlink", Name: service, Service: service}
+}
+
+// TestResolutionOverRealTCP drives the whole name-resolution layer over
+// genuine loopback TCP under the wall clock: a pooled client publishes and
+// resolves through a real registry, the resolved service is dialed purely
+// by name, N operations share one stream, and a broken session re-dials
+// transparently after a registry restart.
+func TestResolutionOverRealTCP(t *testing.T) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	reg, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "client"}, "reg-host")
+	defer rc.Close()
+	e := wallEcho(t, stack, "svc-host", "wall:echo")
+	if err := rc.Publish("svc-host", []Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dial by name: the client code never mentions svc-host.
+	tr := orb.TCPTransport{Stack: stack, Name: "client"}
+	st, err := DialServiceOn(tr, rc, "vlink", "wall:echo")
+	if err != nil {
+		t.Fatalf("dial by name over TCP: %v", err)
+	}
+	if _, err := st.Write([]byte("tcp")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "tcp" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	st.Close()
+
+	// Many operations, one pooled session.
+	for i := 0; i < 10; i++ {
+		if _, err := rc.Lookup("", ""); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	if got := reg.Sessions(); got != 1 {
+		t.Fatalf("operations used %d sessions, want 1", got)
+	}
+
+	// Registry restart: the pooled session broke underneath the client;
+	// the next operation re-dials transparently.
+	reg.Close()
+	reg2, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	if err := rc.Publish("svc-host", []Entry{e}); err != nil {
+		t.Fatalf("publish after registry restart: %v", err)
+	}
+	if e2, err := rc.Resolve("vlink", "wall:echo"); err != nil || e2.Node != "svc-host" {
+		t.Fatalf("resolve after restart = %v, %v", e2, err)
+	}
+	if got := reg2.Sessions(); got != 1 {
+		t.Fatalf("re-dial opened %d sessions on the new registry, want 1", got)
+	}
+}
+
+// TestLeaseExpiryWall is the lease-liveness acceptance under the wall
+// clock: renewals keep a live gatekeeper visible across several TTLs, and
+// a killed one (closed without withdrawing) disappears once its lease
+// runs out.
+func TestLeaseExpiryWall(t *testing.T) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	reg, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	target := &stubTarget{mods: map[string]bool{"vlink": true}}
+	gk, err := Serve(wall, orb.TCPTransport{Stack: stack, Name: "tcp-host"}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk.UseRegistry(NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "tcp-host"}, "reg-host"))
+	const ttl = 100 * time.Millisecond
+	if err := gk.StartLease(ttl); err != nil {
+		t.Fatalf("start lease: %v", err)
+	}
+
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "observer"}, "reg-host")
+	defer rc.Close()
+	rc.SetCacheTTL(0)
+	probe := func() int {
+		entries, err := rc.Lookup("module", "vlink")
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		return len(entries)
+	}
+	if probe() != 1 {
+		t.Fatal("gatekeeper not announced under lease")
+	}
+	// Stay alive across three TTLs: renewals must keep the entries fresh.
+	deadline := time.Now().Add(3 * ttl)
+	for time.Now().Before(deadline) {
+		if probe() != 1 {
+			t.Fatal("live gatekeeper fell out of the registry despite renewals")
+		}
+		time.Sleep(ttl / 4)
+	}
+	// Kill the process without a withdraw; the lease must run out.
+	gk.Close()
+	time.Sleep(ttl + ttl/2)
+	if probe() != 0 {
+		t.Fatal("dead gatekeeper still in the registry after its lease TTL")
+	}
+}
+
+// BenchmarkCachedResolve measures the by-name resolution hot path over
+// real TCP with the client cache on: however many dials, the registry is
+// consulted at most once per cache-TTL window (the reported
+// registry_lookups/op metric stays ~0).
+func BenchmarkCachedResolve(b *testing.B) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	reg, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-host"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "client"}, "reg-host")
+	defer rc.Close()
+	rc.SetCacheTTL(time.Hour) // one TTL window spans the whole benchmark
+	e := Entry{Node: "svc-host", Kind: "vlink", Name: "bench:svc", Service: "bench:svc"}
+	if err := rc.Publish("svc-host", []Entry{e}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rc.Resolve("vlink", "bench:svc"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	served := reg.LookupsServed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Resolve("vlink", "bench:svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	extra := reg.LookupsServed() - served
+	if extra > 0 {
+		b.Fatalf("%d resolves inside one TTL window hit the registry %d times, want 0", b.N, extra)
+	}
+	b.ReportMetric(float64(extra)/float64(b.N), "registry_lookups/op")
+}
+
+// BenchmarkUncachedResolve is the contrast: with the cache off, every
+// resolve is a registry round-trip (still on the single pooled session).
+func BenchmarkUncachedResolve(b *testing.B) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	reg, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-host"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "client"}, "reg-host")
+	defer rc.Close()
+	rc.SetCacheTTL(0)
+	e := Entry{Node: "svc-host", Kind: "vlink", Name: "bench:svc", Service: "bench:svc"}
+	if err := rc.Publish("svc-host", []Entry{e}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Resolve("vlink", "bench:svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := reg.Sessions(); got != 1 {
+		b.Fatalf("uncached resolves used %d sessions, want 1 pooled", got)
+	}
+}

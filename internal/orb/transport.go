@@ -1,11 +1,18 @@
 package orb
 
 import (
-	"hash/fnv"
+	"fmt"
 
 	"padico/internal/sockets"
 	"padico/internal/vlink"
 )
+
+// Reachability is an optional Transport refinement: transports that know
+// the network topology report whether the local node shares a device with
+// a named peer, so resolvers can prefer endpoints the caller can dial.
+type Reachability interface {
+	CanReach(node string) bool
+}
 
 // VLinkTransport runs GIOP over PadicoTM's distributed abstract interface:
 // the paper's configuration, where CORBA transparently uses Myrinet via the
@@ -25,7 +32,13 @@ func (t VLinkTransport) Dial(node, service string) (vlink.Stream, error) {
 // NodeName implements Transport.
 func (t VLinkTransport) NodeName() string { return t.Linker.Node().Name }
 
-var _ Transport = VLinkTransport{}
+// CanReach implements Reachability through the arbitration layer.
+func (t VLinkTransport) CanReach(node string) bool { return t.Linker.CanReach(node) }
+
+var (
+	_ Transport    = VLinkTransport{}
+	_ Reachability = VLinkTransport{}
+)
 
 // TCPTransport runs GIOP over real loopback TCP sockets under the wall
 // clock, for integration tests that exercise the genuine kernel path.
@@ -34,24 +47,21 @@ type TCPTransport struct {
 	Name  string
 }
 
-func tcpServicePort(service string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(service))
-	return 28000 + int(h.Sum32()%10000)
-}
-
-// Listen implements Transport.
+// Listen implements Transport. Two distinct services hashing to the same
+// derived port surface as a bind error naming the service, not a silent
+// skip — the TCP stack has no per-service handshake to disambiguate them.
 func (t TCPTransport) Listen(service string) (Acceptor, error) {
-	l, err := t.Stack.Host(t.Name).Listen(tcpServicePort(service))
+	l, err := t.Stack.Host(t.Name).Listen(sockets.ServicePort(service))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("orb: binding service %q on derived port %d: %w",
+			service, sockets.ServicePort(service), err)
 	}
 	return tcpAcceptor{l}, nil
 }
 
 // Dial implements Transport.
 func (t TCPTransport) Dial(node, service string) (vlink.Stream, error) {
-	return t.Stack.Host(t.Name).Dial(sockets.JoinAddr(node, tcpServicePort(service)))
+	return t.Stack.Host(t.Name).Dial(sockets.JoinAddr(node, sockets.ServicePort(service)))
 }
 
 // NodeName implements Transport.

@@ -17,6 +17,7 @@ type Net struct {
 
 	mu      sync.Mutex
 	nodes   []*Node
+	byName  map[string]*Node // name index for DialName-style resolution
 	links   []*Link
 	flows   map[*flow]struct{}
 	last    vtime.Time // instant of the last fluid update
@@ -28,7 +29,7 @@ type Net struct {
 
 // New returns an empty network on the given runtime.
 func New(rt vtime.Runtime) *Net {
-	return &Net{rt: rt, flows: make(map[*flow]struct{})}
+	return &Net{rt: rt, byName: make(map[string]*Node), flows: make(map[*flow]struct{})}
 }
 
 // Runtime returns the runtime driving this network.
@@ -49,7 +50,21 @@ func (n *Net) NewNode(name string) *Node {
 	defer n.mu.Unlock()
 	nd := &Node{ID: len(n.nodes), Name: name, net: n}
 	n.nodes = append(n.nodes, nd)
+	// First registration wins the name, matching the old linear scan in
+	// creation order that this index replaces.
+	if _, dup := n.byName[name]; !dup {
+		n.byName[name] = nd
+	}
 	return nd
+}
+
+// NodeByName looks a machine up by name in O(1) — the index behind
+// by-name dialing (vlink.Linker.DialName) on the hot connection path.
+func (n *Net) NodeByName(name string) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.byName[name]
+	return nd, ok
 }
 
 // Nodes returns all registered machines in creation order.

@@ -21,6 +21,28 @@ func newTestGrid(t *testing.T, n int) (*vtime.Sim, *Net, *Fabric) {
 	return s, net, fab
 }
 
+// TestNodeByName: the name index behind by-name dialing matches the node
+// slice, misses unknown names, and keeps first-wins semantics on
+// duplicate registrations (mirroring the linear scan it replaced).
+func TestNodeByName(t *testing.T) {
+	net := New(vtime.NewSim())
+	a := net.NewNode("alpha")
+	b := net.NewNode("beta")
+	if nd, ok := net.NodeByName("alpha"); !ok || nd != a {
+		t.Fatalf("NodeByName(alpha) = %v, %v", nd, ok)
+	}
+	if nd, ok := net.NodeByName("beta"); !ok || nd != b {
+		t.Fatalf("NodeByName(beta) = %v, %v", nd, ok)
+	}
+	if _, ok := net.NodeByName("gamma"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	dup := net.NewNode("alpha")
+	if nd, _ := net.NodeByName("alpha"); nd != a || nd == dup {
+		t.Fatal("duplicate registration stole the name from the first node")
+	}
+}
+
 func TestSingleFlowExactTiming(t *testing.T) {
 	s, net, fab := newTestGrid(t, 2)
 	nodes := fab.Nodes()

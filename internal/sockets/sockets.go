@@ -11,6 +11,7 @@ package sockets
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 )
 
@@ -61,6 +62,18 @@ func SplitAddr(addr string) (node string, port int, err error) {
 
 // JoinAddr formats a node/port address.
 func JoinAddr(node string, port int) string { return fmt.Sprintf("%s:%d", node, port) }
+
+// ServicePort derives the well-known port a named service listens on:
+// FNV-1a of the name folded into [28000, 38000). Every driver (simulated
+// vlink listeners, the wall-clock TCP transport) uses this one derivation,
+// so a service is dialable by name regardless of the stack underneath.
+// Distinct names may collide on a port; listeners verify the full name in
+// their accept handshake and report collisions at bind time.
+func ServicePort(service string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(service))
+	return 28000 + int(h.Sum32()%10000)
+}
 
 // ReadFull reads exactly len(p) bytes (io.ReadFull over our Conn).
 func ReadFull(c Conn, p []byte) error {

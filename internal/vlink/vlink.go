@@ -19,7 +19,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -33,6 +32,31 @@ import (
 
 // ErrNoService is returned by Dial when the peer has no such listener.
 var ErrNoService = errors.New("vlink: no such service")
+
+// ErrNoResolver is returned by DialService when the linker has no resolver
+// configured and none was passed explicitly.
+var ErrNoResolver = errors.New("vlink: no resolver configured")
+
+// Resolved is the outcome of a name resolution: the node hosting a service
+// and the dialable VLink service name there.
+type Resolved struct {
+	Node    string
+	Service string
+}
+
+// Resolver maps an abstract (kind, name) pair — "vlink"/"orb"/"module"
+// plus a service name — to its dialable endpoints, preferred first. This
+// is the seam of the unified name-resolution layer: the interface lives
+// here, where dialing happens, and the gatekeeper implements it on top of
+// the grid-wide registry, so a linker connects "by service name,
+// independent of the underlying hardware" (§4.3.2) without knowing where
+// services run. DialService dials the first candidate; DialName's
+// stale-node fallback refuses answers spanning several nodes, because a
+// caller that named a node must not be silently connected to a different
+// replica of a per-node service.
+type Resolver interface {
+	ResolveVLink(kind, name string) ([]Resolved, error)
+}
 
 // Stream is a VLink connection: a byte stream with peer identities.
 type Stream = sockets.Conn
@@ -69,7 +93,9 @@ type Linker struct {
 	Mode SecurityMode
 
 	mu       sync.Mutex
+	resolver Resolver
 	services map[string]*Listener
+	portOwn  map[int]string // derived port → owning service (collision check)
 	sockLst  []sockets.Listener
 	ctl      *arbitration.Port // SAN control port, lazily opened
 	ctlDev   *arbitration.Device
@@ -86,6 +112,7 @@ func NewLinker(arb *arbitration.Arbiter, node *simnet.Node) *Linker {
 		arb:      arb,
 		node:     node,
 		services: make(map[string]*Listener),
+		portOwn:  make(map[int]string),
 	}
 	ln.mu.Lock()
 	_ = ln.ensureCtlLocked() // no SAN attached is fine
@@ -99,6 +126,35 @@ func (ln *Linker) Node() *simnet.Node { return ln.node }
 // Runtime returns the runtime the linker schedules on.
 func (ln *Linker) Runtime() vtime.Runtime { return ln.arb.Runtime() }
 
+// SetResolver installs the name resolver DialService and the DialName
+// fallback consult. Deployments point every linker at a registry-backed
+// resolver so by-name dialing works grid-wide.
+func (ln *Linker) SetResolver(r Resolver) {
+	ln.mu.Lock()
+	ln.resolver = r
+	ln.mu.Unlock()
+}
+
+// Resolver returns the installed name resolver, if any.
+func (ln *Linker) Resolver() Resolver {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	return ln.resolver
+}
+
+// CanReach reports whether some arbitrated device attaches both this
+// linker's node and the named peer — i.e. a straight or cross-paradigm
+// mapping exists. Resolvers use it to prefer endpoints the caller can
+// actually dial.
+func (ln *Linker) CanReach(nodeName string) bool {
+	nd, ok := ln.arb.Net().NodeByName(nodeName)
+	if !ok {
+		return false
+	}
+	_, err := ln.arb.Select(ln.node, nd)
+	return err == nil
+}
+
 // Services returns the names of the services currently listening on this
 // linker, sorted — the per-process service table the gatekeeper publishes
 // for grid-wide discovery.
@@ -111,14 +167,6 @@ func (ln *Linker) Services() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// servicePort derives the TCP port for a service name; the accept-side
-// handshake verifies the full name.
-func servicePort(service string) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(service))
-	return 28000 + int(h.Sum32()%10000)
 }
 
 // Listener accepts VLink streams for one service.
@@ -137,6 +185,11 @@ func (ln *Linker) Listen(service string) (*Listener, error) {
 	if _, dup := ln.services[service]; dup {
 		return nil, fmt.Errorf("vlink: service %q already registered on %s", service, ln.node)
 	}
+	port := sockets.ServicePort(service)
+	if owner, taken := ln.portOwn[port]; taken {
+		return nil, fmt.Errorf("vlink: service %q collides with %q on derived port %d of %s; rename one of them",
+			service, owner, port, ln.node)
+	}
 	l := &Listener{ln: ln, service: service,
 		q: vtime.NewQueue[Stream](ln.arb.Runtime(), "vlink: accept "+service)}
 	for _, dev := range ln.arb.Devices() {
@@ -147,9 +200,11 @@ func (ln *Linker) Listen(service string) (*Listener, error) {
 		if err != nil {
 			continue
 		}
-		sl, err := prov.Listen(servicePort(service))
+		sl, err := prov.Listen(port)
 		if err != nil {
-			continue // port busy on this device: another service hash; detected at handshake
+			// The derived port is free on this linker (checked above), so
+			// this is a device-level bind failure, not a service collision.
+			continue
 		}
 		ln.sockLst = append(ln.sockLst, sl)
 		ln.arb.Runtime().Go("vlink:accept", func() { ln.acceptLoop(sl, dev) })
@@ -157,6 +212,7 @@ func (ln *Linker) Listen(service string) (*Listener, error) {
 	if err := ln.ensureCtlLocked(); err != nil && !errors.Is(err, arbitration.ErrNoDevice) {
 		return nil, err
 	}
+	ln.portOwn[port] = service
 	ln.services[service] = l
 	return l, nil
 }
@@ -177,6 +233,9 @@ func (l *Listener) Service() string { return l.service }
 func (l *Listener) Close() error {
 	l.ln.mu.Lock()
 	delete(l.ln.services, l.service)
+	if port := sockets.ServicePort(l.service); l.ln.portOwn[port] == l.service {
+		delete(l.ln.portOwn, port)
+	}
 	l.ln.mu.Unlock()
 	l.q.Close()
 	return nil
@@ -226,14 +285,77 @@ func (ln *Linker) Dial(dst *simnet.Node, service string) (Stream, error) {
 	return ln.DialOn(dev, dst, service)
 }
 
-// DialName is Dial with the destination given by node name.
+// DialName is Dial with the destination given by node name. An unknown
+// node name is not fatal when a resolver is installed: the caller may hold
+// a stale placement, so the service is transparently re-resolved through
+// the registry and dialed where it actually runs now — but only when that
+// answer is unambiguous (a single hosting node). A service published from
+// several nodes makes the stale name unresolvable: picking a replica
+// behind a caller that explicitly named a node would silently connect it
+// to the wrong process.
 func (ln *Linker) DialName(nodeName, service string) (Stream, error) {
-	for _, nd := range ln.arb.Net().Nodes() {
-		if nd.Name == nodeName {
-			return ln.Dial(nd, service)
+	if nd, ok := ln.arb.Net().NodeByName(nodeName); ok {
+		return ln.Dial(nd, service)
+	}
+	r := ln.Resolver()
+	if r == nil {
+		return nil, fmt.Errorf("vlink: unknown node %q", nodeName)
+	}
+	cands, err := r.ResolveVLink(KindVLink, service)
+	if err != nil {
+		return nil, fmt.Errorf("vlink: unknown node %q and service %q did not resolve: %w", nodeName, service, err)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("vlink: unknown node %q and no candidates for service %q", nodeName, service)
+	}
+	for _, c := range cands[1:] {
+		if c.Node != cands[0].Node {
+			return nil, fmt.Errorf("vlink: unknown node %q and service %q runs on several nodes — refusing to pick one", nodeName, service)
 		}
 	}
-	return nil, fmt.Errorf("vlink: unknown node %q", nodeName)
+	return ln.dialResolved(cands[0], KindVLink, service)
+}
+
+// Well-known resolution kinds, matching the registry's entry taxonomy.
+const (
+	// KindVLink names plain VLink services.
+	KindVLink = "vlink"
+	// KindORB names per-profile ORB GIOP endpoints.
+	KindORB = "orb"
+)
+
+// DialService is VLink connection by abstract name: the installed resolver
+// maps (kind, name) to a hosting node and service, then the stream is
+// established over whatever device the arbitration layer picks — the
+// paper's "connection by service name" with discovery underneath instead
+// of static wiring.
+func (ln *Linker) DialService(kind, name string) (Stream, error) {
+	return ln.DialServiceVia(ln.Resolver(), kind, name)
+}
+
+// DialServiceVia is DialService with an explicit resolver, for callers
+// that hold one (e.g. a registry client) without installing it.
+func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) {
+	if r == nil {
+		return nil, ErrNoResolver
+	}
+	cands, err := r.ResolveVLink(kind, name)
+	if err != nil {
+		return nil, fmt.Errorf("vlink: resolving %s %q: %w", kind, name, err)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("vlink: resolver returned no candidates for %s %q", kind, name)
+	}
+	return ln.dialResolved(cands[0], kind, name)
+}
+
+// dialResolved dials one resolver-produced endpoint.
+func (ln *Linker) dialResolved(res Resolved, kind, name string) (Stream, error) {
+	nd, ok := ln.arb.Net().NodeByName(res.Node)
+	if !ok {
+		return nil, fmt.Errorf("vlink: %s %q resolved to unknown node %q", kind, name, res.Node)
+	}
+	return ln.Dial(nd, res.Service)
 }
 
 // DialOn is Dial with an explicit device (ablation benchmarks).
@@ -246,7 +368,7 @@ func (ln *Linker) DialOn(dev *arbitration.Device, dst *simnet.Node, service stri
 		return nil, err
 	}
 	var conn sockets.Conn
-	addr := sockets.JoinAddr(dst.Name, servicePort(service))
+	addr := sockets.JoinAddr(dst.Name, sockets.ServicePort(service))
 	for attempt := 0; ; attempt++ {
 		conn, err = prov.Dial(addr)
 		if err == nil {

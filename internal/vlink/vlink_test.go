@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -214,6 +215,128 @@ func TestDuplicateServiceRejected(t *testing.T) {
 		}
 		if _, err := g.linkers[0].Listen("dup"); err == nil {
 			t.Fatal("duplicate Listen succeeded")
+		}
+	})
+}
+
+// TestServicePortCollisionSurfaced: two distinct services hashing to the
+// same derived port on one linker are a loud bind-time error naming both
+// services, not a silently skipped device; freeing the first makes the
+// port available again.
+func TestServicePortCollisionSurfaced(t *testing.T) {
+	first := "collide:a"
+	second := ""
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("collide:b%d", i)
+		if sockets.ServicePort(cand) == sockets.ServicePort(first) {
+			second = cand
+			break
+		}
+	}
+	g := newGrid(1, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		l, err := g.linkers[0].Listen(first)
+		if err != nil {
+			t.Fatalf("listen %s: %v", first, err)
+		}
+		_, err = g.linkers[0].Listen(second)
+		if err == nil {
+			t.Fatalf("colliding services %q and %q both bound port %d",
+				first, second, sockets.ServicePort(first))
+		}
+		for _, want := range []string{first, second} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("collision error %q does not name %q", err, want)
+			}
+		}
+		l.Close()
+		if _, err := g.linkers[0].Listen(second); err != nil {
+			t.Fatalf("port not released after Close: %v", err)
+		}
+	})
+}
+
+// testResolver is a static vlink.Resolver for DialService tests.
+type testResolver map[string][]Resolved
+
+func (r testResolver) ResolveVLink(kind, name string) ([]Resolved, error) {
+	res, ok := r[kind+"/"+name]
+	if !ok {
+		return nil, fmt.Errorf("no %s named %q", kind, name)
+	}
+	return res, nil
+}
+
+// TestDialServiceWithResolver: the linker-level resolution seam, with a
+// stub resolver standing in for the registry.
+func TestDialServiceWithResolver(t *testing.T) {
+	g := newGrid(2, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		defer g.linkers[1].Close()
+		l, _ := g.linkers[0].Listen("svc")
+		echoServer(t, g, l)
+
+		if _, err := g.linkers[1].DialService("vlink", "svc"); !errors.Is(err, ErrNoResolver) {
+			t.Fatalf("DialService without resolver = %v, want ErrNoResolver", err)
+		}
+		g.linkers[1].SetResolver(testResolver{"vlink/svc": {{Node: "n0", Service: "svc"}}})
+		st, err := g.linkers[1].DialService("vlink", "svc")
+		if err != nil {
+			t.Fatalf("DialService: %v", err)
+		}
+		roundtrip(t, st, "resolved")
+		st.Close()
+
+		// DialName with a node the net never heard of falls back to the
+		// resolver transparently when the answer names a single node.
+		st, err = g.linkers[1].DialName("decommissioned-host", "svc")
+		if err != nil {
+			t.Fatalf("DialName fallback: %v", err)
+		}
+		roundtrip(t, st, "fallback")
+		st.Close()
+
+		// An ambiguous answer (several hosting nodes) must NOT be picked
+		// from behind a caller that explicitly named a node: connecting a
+		// per-node service (like a gatekeeper) to the wrong replica is
+		// worse than failing.
+		g.linkers[1].SetResolver(testResolver{"vlink/svc": {
+			{Node: "n0", Service: "svc"}, {Node: "n1", Service: "svc"}}})
+		if _, err := g.linkers[1].DialName("decommissioned-host", "svc"); err == nil {
+			t.Fatal("ambiguous fallback picked a replica for an explicitly named node")
+		}
+		// DialService, where the caller asked for the service rather than
+		// a node, does take the preferred candidate.
+		st, err = g.linkers[1].DialService("vlink", "svc")
+		if err != nil {
+			t.Fatalf("DialService with replicas: %v", err)
+		}
+		st.Close()
+
+		// A resolver answer pointing at a nonexistent node is an error.
+		g.linkers[1].SetResolver(testResolver{"vlink/svc": {{Node: "ghost", Service: "svc"}}})
+		if _, err := g.linkers[1].DialService("vlink", "svc"); err == nil {
+			t.Fatal("resolved to a ghost node and dialed anyway")
+		}
+	})
+}
+
+// TestCanReach: reachability follows the arbitration layer's device
+// coverage.
+func TestCanReach(t *testing.T) {
+	g := newGrid(2, false)
+	g.sim.Run(func() {
+		defer g.arb.Close()
+		defer g.linkers[0].Close()
+		if !g.linkers[0].CanReach("n1") || !g.linkers[0].CanReach("n0") {
+			t.Fatal("attached peers reported unreachable")
+		}
+		if g.linkers[0].CanReach("elsewhere") {
+			t.Fatal("unknown node reported reachable")
 		}
 	})
 }
