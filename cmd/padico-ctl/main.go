@@ -1,13 +1,17 @@
 // Command padico-ctl is the PadicoControl operator tool: it brings a grid
 // described in XML up as a simnet deployment (every process spawned with a
-// gatekeeper, the registry on the first node) and steers it through the
+// gatekeeper, a registry replica on the first node of each zone, replicas
+// reconciling through anti-entropy sync) and steers it through the
 // gatekeeper protocol — listing, hot-loading and unloading modules on one
 // process or on the whole deployment at once, inspecting arbitration
-// counters, and querying the grid-wide service registry.
+// counters, and querying the replicated grid-wide service registry.
 //
 // Usage:
 //
-//	padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-cascade] command [args]
+//	padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-registry r1,r2] [-cascade] command [args]
+//
+// The -registry flag overrides replica placement: each named node hosts
+// one registry replica (default: the first node of every zone).
 //
 // Commands:
 //
@@ -18,9 +22,12 @@
 //	load <module>        hot-load a module (concurrent fan-out)
 //	unload <module>      unload a module; -cascade unloads dependents first
 //	lookup [kind [name]] query the grid-wide service registry
-//	resolve <kind> <name> resolve a name to its hosting node through the
-//	                     registry (fabric-aware, cached) and verify the
-//	                     seat can dial the resolved endpoint by name
+//	resolve <kind> <name> show every replica's matching entries (node,
+//	                     kind, TTL remaining — the replication state), the
+//	                     endpoint fabric-aware resolution picks, and verify
+//	                     the seat can dial it by name
+//	registry status      per-replica replication report: live node/entry
+//	                     counts and anti-entropy sync lag per peer
 //	demo                 scripted scenario: list everywhere, hot-load the
 //	                     SOAP middleware into the last node, invoke it over
 //	                     SOAP, then unload it again
@@ -43,10 +50,11 @@ func main() {
 	gridPath := flag.String("grid", "", "grid topology XML")
 	from := flag.String("from", "", "node to seat the controller on (default: first node)")
 	targets := flag.String("nodes", "all", "comma-separated target nodes, or \"all\"")
+	registries := flag.String("registry", "", "comma-separated registry replica hosts (default: first node of each zone)")
 	cascade := flag.Bool("cascade", false, "unload dependents before the module itself")
 	flag.Parse()
 	if *gridPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-cascade] command [args]")
+		fmt.Fprintln(os.Stderr, "usage: padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-registry r1,r2] [-cascade] command [args]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
@@ -68,6 +76,10 @@ func main() {
 	case "lookup":
 		if len(args) > 2 {
 			die(fmt.Errorf("lookup takes at most a kind and a name"))
+		}
+	case "registry":
+		if len(args) != 1 || args[0] != "status" {
+			die(fmt.Errorf(`registry wants the subcommand "status"`))
 		}
 	default:
 		die(fmt.Errorf("unknown command %q", cmd))
@@ -102,14 +114,19 @@ func main() {
 		die(fmt.Errorf("unknown controller seat %q", seat))
 	}
 
+	var regNodes []string
+	if *registries != "" {
+		regNodes = strings.Split(*registries, ",")
+	}
+
 	exit := 0
 	platform.Grid.Run(func() {
-		procs, err := platform.LaunchAll()
+		procs, err := platform.LaunchAllOn(regNodes)
 		die(err)
-		fmt.Printf("deployment %q up: %d process(es), registry on %s\n",
-			topo.Name, len(procs), names[0])
+		fmt.Printf("deployment %q up: %d process(es), registry replicas on %s\n",
+			topo.Name, len(procs), strings.Join(platform.Registries, ","))
 		ctl := gatekeeper.FromProcess(procs[seat])
-		if !run(ctl, procs, seat, nodes, cmd, args, *cascade) {
+		if !run(ctl, platform, procs, seat, nodes, cmd, args, *cascade) {
 			exit = 1
 		}
 	})
@@ -117,7 +134,7 @@ func main() {
 }
 
 // run executes one operator command; it reports success.
-func run(ctl *gatekeeper.Controller, procs map[string]*core.Process,
+func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string]*core.Process,
 	seat string, nodes []string, cmd string, args []string, cascade bool) bool {
 	fan := func(req *gatekeeper.Request, show func(gatekeeper.FanResult)) bool {
 		ok := true
@@ -191,7 +208,30 @@ func run(ctl *gatekeeper.Controller, procs map[string]*core.Process,
 			fmt.Printf("resolve: no registry client on %s\n", seat)
 			return false
 		}
-		e, err := gk.Registry().Resolve(kind, name)
+		rc := gk.Registry()
+		// Every replica's view first, so the operator sees replication
+		// state: a freshly published entry appears on its zone's replica
+		// immediately and on the rest within one sync interval.
+		for _, rep := range platform.Registries {
+			entries, err := rc.LookupAt(rep, kind, name)
+			if err != nil {
+				fmt.Printf("replica %-8s ERROR %v\n", rep, err)
+				continue
+			}
+			if len(entries) == 0 {
+				fmt.Printf("replica %-8s no matching entries\n", rep)
+				continue
+			}
+			for _, e := range entries {
+				ttl := "permanent"
+				if e.TTLMillis > 0 {
+					ttl = fmt.Sprintf("ttl %dms", e.TTLMillis)
+				}
+				fmt.Printf("replica %-8s %-8s %-8s %-24s %-24s %s\n",
+					rep, e.Node, e.Kind, e.Name, e.Service, ttl)
+			}
+		}
+		e, err := rc.Resolve(kind, name)
 		if err != nil {
 			fmt.Printf("resolve: %v\n", err)
 			return false
@@ -207,6 +247,32 @@ func run(ctl *gatekeeper.Controller, procs map[string]*core.Process,
 		st.Close()
 		fmt.Printf("dialed %s by name from %s ok\n", name, seat)
 		return true
+	case "registry": // registry status
+		gk, ok := gatekeeper.For(procs[seat])
+		if !ok || gk.Registry() == nil {
+			fmt.Printf("registry status: no registry client on %s\n", seat)
+			return false
+		}
+		ok = true
+		for _, rep := range platform.Registries {
+			st, err := gk.Registry().StatusOf(rep)
+			if err != nil {
+				fmt.Printf("replica %-8s ERROR %v\n", rep, err)
+				ok = false
+				continue
+			}
+			fmt.Printf("replica %-8s %d node(s), %d entr%s\n",
+				st.Node, st.Nodes, st.Entries, map[bool]string{true: "y", false: "ies"}[st.Entries == 1])
+			for _, p := range st.Peers {
+				lag := "never synced"
+				if p.LagMillis >= 0 {
+					lag = fmt.Sprintf("synced %dms ago", p.LagMillis)
+				}
+				fmt.Printf("         peer %-8s %d sync(s), %d failure(s), %s\n",
+					p.Node, p.Syncs, p.Fails, lag)
+			}
+		}
+		return ok
 	case "demo":
 		return demo(ctl, procs, seat, nodes)
 	default: // unreachable: commands are validated before launch

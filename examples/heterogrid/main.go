@@ -53,13 +53,22 @@ func deploy(label string, grid *core.Grid, producer, consumer *simnet.Node) {
 			orbs = append(orbs, o)
 			procs = append(procs, p)
 		}
-		// Registry on the producer's machine; both processes lease and
-		// resolve through it.
+		// A registry replica on each machine, reconciling through
+		// anti-entropy; both processes lease and resolve against the
+		// replica pair (producer's replica preferred), so the directory
+		// itself has no single point of failure.
 		must(procs[0].Load("registry"))
+		must(procs[1].Load("registry"))
+		replicas := []string{producer.Name, consumer.Name}
+		for _, nd := range replicas {
+			p, _ := grid.Process(nd)
+			reg, _ := gatekeeper.RegistryOn(p)
+			reg.StartSync(replicas, gatekeeper.DefaultSyncInterval)
+		}
 		for _, p := range procs {
 			gk, _ := gatekeeper.For(p)
 			rc := gatekeeper.NewRegistryClient(grid.Sim,
-				orb.VLinkTransport{Linker: p.Linker()}, producer.Name)
+				orb.VLinkTransport{Linker: p.Linker()}, replicas...)
 			gk.UseRegistry(rc)
 			p.Linker().SetResolver(rc)
 			must(gk.StartLease(gatekeeper.DefaultLeaseTTL))
@@ -105,6 +114,25 @@ func deploy(label string, grid *core.Grid, producer, consumer *simnet.Node) {
 		fmt.Printf("%-34s %8.2f ms for 1 MB  (≈%5.1f MB/s)\n",
 			label, float64(elapsed)/float64(time.Millisecond),
 			payload/(float64(elapsed)/1e9)/1e6)
+
+		// Finale: the directory survives losing a replica. Give
+		// anti-entropy one interval to copy the probe entry to the
+		// consumer-side replica, kill the producer-side replica the
+		// producer prefers, and resolve again — the same name now answers
+		// from the surviving replica.
+		gk0, _ := gatekeeper.For(procs[0])
+		rc0 := gk0.Registry()
+		e, err := rc0.Resolve("vlink", "hetero:probe")
+		must(err)
+		fmt.Printf("  before replica crash: hetero:probe -> %s (replica %s)\n",
+			e.Node, rc0.RegistryNode())
+		grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+		must(procs[0].Unload("registry"))
+		rc0.SetCacheTTL(gatekeeper.DefaultResolveCacheTTL) // drop cached resolutions
+		e, err = rc0.Resolve("vlink", "hetero:probe")
+		must(err)
+		fmt.Printf("  after  replica crash: hetero:probe -> %s (replica %s survived)\n",
+			e.Node, rc0.RegistryNode())
 	})
 }
 

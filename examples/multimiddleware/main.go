@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"padico/internal/core"
 	"padico/internal/gatekeeper"
@@ -46,14 +47,22 @@ func main() {
 			fmt.Printf("%s modules: %v\n", nd.Name, p.Modules())
 		}
 
-		// Name resolution: host0 hosts the grid registry; every process
-		// holds a soft-state lease there and resolves names through it,
-		// so services are dialable by name alone.
+		// Name resolution: both hosts carry a registry replica under
+		// anti-entropy sync; every process holds a soft-state lease
+		// against the replica pair (host0 preferred) and resolves names
+		// through it, so services are dialable by name alone and the
+		// directory survives losing either host.
 		must(procs[0].Load("registry"))
+		must(procs[1].Load("registry"))
+		replicas := []string{nodes[0].Name, nodes[1].Name}
+		for _, p := range procs {
+			reg, _ := gatekeeper.RegistryOn(p)
+			reg.StartSync(replicas, gatekeeper.DefaultSyncInterval)
+		}
 		for _, p := range procs {
 			gk, _ := gatekeeper.For(p)
 			rc := gatekeeper.NewRegistryClient(grid.Sim,
-				orb.VLinkTransport{Linker: p.Linker()}, nodes[0].Name)
+				orb.VLinkTransport{Linker: p.Linker()}, replicas...)
 			gk.UseRegistry(rc)
 			p.Linker().SetResolver(rc)
 			must(gk.StartLease(gatekeeper.DefaultLeaseTTL))
@@ -162,6 +171,24 @@ func main() {
 		mods, err := ctl.Modules("host1")
 		must(err)
 		fmt.Printf("GKPR   unloaded soap from host1, back to %v\n", mods)
+
+		// 6. Registry replication: the directory itself survives a
+		// replica crash. Let anti-entropy converge, report both replicas,
+		// kill the preferred one, and resolve through the survivor.
+		grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+		rc0 := gk0.Registry()
+		for _, rep := range replicas {
+			st, err := rc0.StatusOf(rep)
+			must(err)
+			fmt.Printf("RGSTRY replica %s holds %d node(s), %d entries\n",
+				st.Node, st.Nodes, st.Entries)
+		}
+		must(procs[0].Unload("registry"))
+		rc0.SetCacheTTL(gatekeeper.DefaultResolveCacheTTL) // drop cached routes
+		e, err = rc0.Resolve("vlink", gatekeeper.Service)
+		must(err)
+		fmt.Printf("RGSTRY replica host0 killed; %s still resolves (-> %s) via replica %s\n",
+			gatekeeper.Service, e.Node, rc0.RegistryNode())
 	})
 }
 

@@ -109,6 +109,12 @@ func (g *Grid) shutdown() {
 		procs = append(procs, p)
 	}
 	g.mu.Unlock()
+	// Two phases: every process drains (withdraws from grid services)
+	// while the whole control plane is still up, then everything stops —
+	// so no drain has to talk to an already-dead registry replica.
+	for _, p := range procs {
+		p.drain()
+	}
 	for _, p := range procs {
 		p.Shutdown()
 	}
@@ -462,6 +468,45 @@ func (p *Process) Loaded(name string) bool {
 	defer p.mu.Unlock()
 	_, ok := p.modules[name]
 	return ok
+}
+
+// Drainer is an optional Module refinement: Drain runs during the clean
+// half of Process.Close, before any module stops and while the process's
+// links are still up, so a module can deregister from grid-wide services
+// (e.g. the gatekeeper withdrawing this process's registry entries).
+// Drain must tolerate unreachable peers — it is best effort.
+type Drainer interface {
+	Drain()
+}
+
+// Close is the clean counterpart of Shutdown: modules implementing
+// Drainer first get to deregister from grid services (dependents before
+// dependencies, like the stop order), then the process shuts down. A
+// crashed process — one that calls Shutdown directly, or nothing at all —
+// skips draining and relies on soft-state expiry instead.
+func (p *Process) Close() {
+	p.drain()
+	p.Shutdown()
+}
+
+// drain runs every Drainer module, dependents first, while the process's
+// links are still up. Draining a down process is a no-op.
+func (p *Process) drain() {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	mods := make(map[string]*moduleState, len(p.modules))
+	for n, st := range p.modules {
+		mods[n] = st
+	}
+	p.mu.Unlock()
+	for _, name := range topoStopOrder(mods) {
+		if d, ok := mods[name].mod.(Drainer); ok {
+			d.Drain()
+		}
+	}
 }
 
 // Shutdown stops every module (dependents before dependencies), the ORBs,

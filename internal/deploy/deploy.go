@@ -87,6 +87,10 @@ type Platform struct {
 	Grid  *core.Grid
 	Nodes map[string]*simnet.Node
 	Zones map[string]string // node → zone
+	// Registries is the registry-replica placement LaunchAll realized:
+	// one replica host per administrative zone by default, or the override
+	// handed to LaunchAllOn. Sorted by node name.
+	Registries []string
 }
 
 // Build realizes a topology: nodes, fabrics under arbitration, inventory.
@@ -211,15 +215,68 @@ func (p *Platform) ResolveHost(host string, used map[string]bool) (string, error
 	return "", fmt.Errorf("deploy: no free machine satisfies %q", host)
 }
 
+// defaultRegistryNodes is the replica placement LaunchAll uses when not
+// overridden: the first node (in name order) of every administrative zone
+// hosts that zone's registry replica. A grid without zone attributes is
+// one zone and gets one replica on its first node, the pre-replication
+// behaviour.
+func (p *Platform) defaultRegistryNodes() []string {
+	perZone := map[string]string{}
+	for n := range p.Nodes {
+		zone := p.Zones[n]
+		if cur, ok := perZone[zone]; !ok || n < cur {
+			perZone[zone] = n
+		}
+	}
+	out := make([]string, 0, len(perZone))
+	for _, n := range perZone {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // LaunchAll starts one Padico process per node and returns them by name.
 // Every process is spawned remotely steerable and name-resolving: it gets
-// a gatekeeper module, the first node (in name order) hosts the grid-wide
-// service registry, each gatekeeper holds a soft-state lease there
+// a gatekeeper module; the first node of each zone hosts a registry
+// replica and the replicas reconcile through periodic anti-entropy sync;
+// each gatekeeper holds a soft-state lease against its zone-local replica
 // (announce with TTL, periodic renewal, automatic re-announce on module
-// churn), and every linker resolves unknown names through the registry —
-// so by-name VLink dialing works grid-wide without callers knowing
-// placements.
+// churn, failover to a surviving replica when the local one dies); every
+// linker resolves unknown names through the replicated registry; and a
+// cleanly closed process (Process.Close) withdraws its entries instead of
+// letting them dangle until lease expiry. By-name VLink dialing therefore
+// works grid-wide, without callers knowing placements and without any
+// single registry host being a point of failure.
 func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
+	return p.LaunchAllOn(nil)
+}
+
+// LaunchAllOn is LaunchAll with an explicit registry-replica placement;
+// nil means one replica on the first node of each zone.
+func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, error) {
+	if len(regNodes) == 0 {
+		regNodes = p.defaultRegistryNodes()
+	} else {
+		regNodes = append([]string(nil), regNodes...)
+		sort.Strings(regNodes)
+		for _, n := range regNodes {
+			if _, ok := p.Nodes[n]; !ok {
+				return nil, fmt.Errorf("deploy: registry host %q is not a grid node", n)
+			}
+		}
+	}
+	p.Registries = regNodes
+	isReplica := map[string]bool{}
+	zoneReplica := map[string]string{} // zone → its replica host, if any
+	for _, n := range regNodes {
+		isReplica[n] = true
+		zone := p.Zones[n]
+		if cur, ok := zoneReplica[zone]; !ok || n < cur {
+			zoneReplica[zone] = n
+		}
+	}
+
 	out := make(map[string]*core.Process, len(p.Nodes))
 	names := make([]string, 0, len(p.Nodes))
 	for n := range p.Nodes {
@@ -238,9 +295,17 @@ func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 			return nil, fmt.Errorf("deploy: gatekeeper on %s: %w", n, err)
 		}
 	}
-	regNode := names[0]
-	if err := out[regNode].Load("registry"); err != nil {
-		return nil, fmt.Errorf("deploy: registry on %s: %w", regNode, err)
+	for _, n := range regNodes {
+		if err := out[n].Load("registry"); err != nil {
+			return nil, fmt.Errorf("deploy: registry on %s: %w", n, err)
+		}
+	}
+	// Wire anti-entropy after every replica listens, so the first sync
+	// round already reaches live peers.
+	for _, n := range regNodes {
+		if reg, ok := gatekeeper.RegistryOn(out[n]); ok {
+			reg.StartSync(regNodes, gatekeeper.DefaultSyncInterval)
+		}
 	}
 	for _, n := range names {
 		gk, ok := gatekeeper.For(out[n])
@@ -248,13 +313,32 @@ func (p *Platform) LaunchAll() (map[string]*core.Process, error) {
 			continue
 		}
 		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
-			orb.VLinkTransport{Linker: out[n].Linker()}, regNode)
+			orb.VLinkTransport{Linker: out[n].Linker()}, p.replicaOrder(n, regNodes, zoneReplica)...)
 		gk.UseRegistry(rc)
 		out[n].Linker().SetResolver(rc)
-		// Best-effort: a node that shares no fabric with the registry
-		// host simply stays unpublished; the lease loop keeps retrying,
-		// so it appears as soon as an announce gets through.
+		// Best-effort: a node that reaches no replica simply stays
+		// unpublished; the lease loop keeps retrying, so it appears as
+		// soon as an announce gets through.
 		_ = gk.StartLease(gatekeeper.DefaultLeaseTTL)
 	}
 	return out, nil
+}
+
+// replicaOrder is one process's replica preference list: its zone-local
+// replica first (publishes and leases land there; anti-entropy carries
+// them to the rest), then the remaining replicas in name order as
+// failover targets.
+func (p *Platform) replicaOrder(node string, regNodes []string, zoneReplica map[string]string) []string {
+	local, hasLocal := zoneReplica[p.Zones[node]]
+	if !hasLocal {
+		return regNodes
+	}
+	out := make([]string, 0, len(regNodes))
+	out = append(out, local)
+	for _, n := range regNodes {
+		if n != local {
+			out = append(out, n)
+		}
+	}
+	return out
 }

@@ -162,12 +162,16 @@ func TestLaunchAllControlPlane(t *testing.T) {
 				t.Fatalf("gatekeeper instance not tracked on %s", name)
 			}
 		}
-		// The registry lives on the first node in name order.
-		if !procs["c0"].Loaded("registry") {
-			t.Fatal("registry not on c0")
+		// A registry replica lives on the first node of each zone.
+		if got := strings.Join(p.Registries, ","); got != "c0,x0" {
+			t.Fatalf("replica placement = %s, want c0,x0", got)
 		}
-		// Every process announced: its gatekeeper service resolves from
-		// any other node.
+		if !procs["c0"].Loaded("registry") || !procs["x0"].Loaded("registry") {
+			t.Fatal("registry replicas not on c0 and x0")
+		}
+		// Every process announced to its zone-local replica; one
+		// anti-entropy round makes all of them visible from any replica.
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
 		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
 			orb.VLinkTransport{Linker: procs["x1"].Linker()}, "c0")
 		entries, err := rc.Lookup("vlink", gatekeeper.Service)
@@ -263,6 +267,8 @@ func TestLaunchAllLeaseLiveness(t *testing.T) {
 			}
 			return len(entries)
 		}
+		// One sync interval replicates the companyX-zone announces to c0.
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
 		if count() != 4 {
 			t.Fatalf("announced gatekeepers = %d, want 4", count())
 		}
@@ -270,6 +276,145 @@ func TestLaunchAllLeaseLiveness(t *testing.T) {
 		p.Grid.Sim.Sleep(gatekeeper.DefaultLeaseTTL + time.Second)
 		if count() != 3 {
 			t.Fatalf("gatekeepers after x1 died = %d, want 3 (lease expiry)", count())
+		}
+	})
+}
+
+// TestLaunchAllReplicaFailover: killing one zone's registry replica —
+// process and all — leaves by-name dialing and lease renewal in that zone
+// working through the other zone's replica.
+func TestLaunchAllReplicaFailover(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An application service in the irisa zone, announced through the
+		// zone-local replica c0 and replicated to x0.
+		lst, err := procs["c1"].Linker().Listen("ha:svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lst.Close()
+		gk, _ := gatekeeper.For(procs["c1"])
+		if err := gk.Announce(); err != nil {
+			t.Fatal(err)
+		}
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+
+		// Crash the irisa replica host mid-run (no withdraw, no drain).
+		procs["c0"].Shutdown()
+
+		// c1's resolver fails over to x0: by-name dialing still works…
+		st, err := procs["x1"].Linker().DialService("vlink", "ha:svc")
+		if err != nil {
+			t.Fatalf("by-name dial after replica crash: %v", err)
+		}
+		st.Close()
+		// …including from the zone that just lost its replica.
+		st, err = procs["c1"].Linker().DialService("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatalf("by-name dial from the orphaned zone: %v", err)
+		}
+		st.Close()
+
+		// Lease renewal follows the failover: well past the lease TTL,
+		// c1 is still registered on the surviving replica.
+		p.Grid.Sim.Sleep(gatekeeper.DefaultLeaseTTL + time.Second)
+		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["x1"].Linker()}, "x0")
+		rc.SetCacheTTL(0)
+		entries, err := rc.Lookup("vlink", "ha:svc")
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("c1's lease did not survive its replica's crash: %v, %v", entries, err)
+		}
+		// The crashed c0's own entries expired instead of lingering.
+		entries, err = rc.Lookup("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Node == "c0" {
+				t.Fatalf("crashed replica host still published: %v", entries)
+			}
+		}
+	})
+}
+
+// TestProcessCloseWithdraws: a cleanly closed process retracts its entries
+// at once — locally immediately, grid-wide within one sync interval via
+// the tombstone — while a crashed one (plain Shutdown, covered by
+// TestLaunchAllLeaseLiveness) waits out its lease TTL.
+func TestProcessCloseWithdraws(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+		lookupAt := func(replica string) int {
+			rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+				orb.VLinkTransport{Linker: procs["c1"].Linker()}, replica)
+			rc.SetCacheTTL(0)
+			entries, err := rc.Lookup("vlink", gatekeeper.Service)
+			if err != nil {
+				t.Fatalf("lookup at %s: %v", replica, err)
+			}
+			n := 0
+			for _, e := range entries {
+				if e.Node == "x1" {
+					n++
+				}
+			}
+			return n
+		}
+		if lookupAt("c0") != 1 || lookupAt("x0") != 1 {
+			t.Fatal("x1 not registered on both replicas before close")
+		}
+		procs["x1"].Close()
+		// Gone from its zone-local replica immediately — no lease wait.
+		if lookupAt("x0") != 0 {
+			t.Fatal("cleanly closed x1 still in its local replica")
+		}
+		// The tombstone reaches the other replica within a sync interval.
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+		if lookupAt("c0") != 0 {
+			t.Fatal("withdraw tombstone did not replicate")
+		}
+	})
+}
+
+// TestLaunchAllOnPlacement: the -registry override path — explicit replica
+// placement replaces the per-zone default and rejects unknown hosts.
+func TestLaunchAllOnPlacement(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAllOn([]string{"c1", "x1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(p.Registries, ","); got != "c1,x1" {
+			t.Fatalf("placement = %q, want c1,x1", got)
+		}
+		for _, n := range []string{"c1", "x1"} {
+			if !procs[n].Loaded("registry") {
+				t.Fatalf("no replica on %s", n)
+			}
+		}
+		if procs["c0"].Loaded("registry") {
+			t.Fatal("default placement used despite override")
+		}
+	})
+	topo2, _ := ParseTopology([]byte(topoXML))
+	p2, _ := Build(topo2)
+	p2.Grid.Run(func() {
+		if _, err := p2.LaunchAllOn([]string{"ghost"}); err == nil {
+			t.Fatal("unknown registry host accepted")
 		}
 	})
 }

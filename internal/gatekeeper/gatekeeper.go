@@ -45,6 +45,7 @@ type Gatekeeper struct {
 	leaseTimer vtime.Timer
 	annPending bool // an async announce actor is alive
 	annDirty   bool // churn happened since it last read the table
+	retired    bool // Withdraw ran: never announce again
 	closed     bool
 }
 
@@ -136,12 +137,38 @@ func (g *Gatekeeper) Entries() []Entry {
 // publish carries the lease TTL so the entries stay soft state.
 func (g *Gatekeeper) Announce() error {
 	g.mu.Lock()
-	rc, ttl := g.reg, g.leaseTTL
+	rc, ttl, retired := g.reg, g.leaseTTL, g.retired
 	g.mu.Unlock()
 	if rc == nil {
 		return fmt.Errorf("gatekeeper: no registry configured on %s", g.target.NodeName())
 	}
+	if retired {
+		return fmt.Errorf("gatekeeper: %s has withdrawn from the registry", g.target.NodeName())
+	}
 	return rc.PublishTTL(g.target.NodeName(), g.Entries(), ttl)
+}
+
+// Withdraw is the clean-shutdown counterpart of StartLease: it stops lease
+// renewal, retires the gatekeeper from announcing (so no stray renewal
+// resurrects the entries), and retracts this node's entries from the
+// registry — which tombstones them grid-wide within one sync interval
+// instead of leaving them to dangle until the lease TTL runs out. A
+// crashed process never gets here and still relies on lease expiry.
+func (g *Gatekeeper) Withdraw() error {
+	g.mu.Lock()
+	rc := g.reg
+	timer := g.leaseTimer
+	g.leaseTimer = nil
+	g.leaseTTL = 0
+	g.retired = true
+	g.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	if rc == nil {
+		return nil
+	}
+	return rc.Withdraw(g.target.NodeName())
 }
 
 // DefaultLeaseTTL is the registry lease deployments announce under: a
@@ -183,7 +210,7 @@ func (g *Gatekeeper) scheduleLease() {
 	g.leaseTimer = g.rt.AfterFunc(g.leaseTTL/2, func() {
 		g.rt.Go("gatekeeper:lease:"+g.target.NodeName(), func() {
 			g.mu.Lock()
-			closed := g.closed
+			closed := g.closed || g.retired
 			g.mu.Unlock()
 			if closed {
 				return
@@ -202,7 +229,7 @@ func (g *Gatekeeper) scheduleLease() {
 // not N.
 func (g *Gatekeeper) announceAsync() {
 	g.mu.Lock()
-	if g.closed || g.reg == nil {
+	if g.closed || g.retired || g.reg == nil {
 		g.mu.Unlock()
 		return
 	}
@@ -430,6 +457,11 @@ func (m *gkModule) Stop() error {
 	m.gk.Close()
 	return nil
 }
+
+// Drain implements core.Drainer: a cleanly closing process retracts its
+// registry entries while its links are still up, so they vanish from
+// discovery at once instead of dangling until the lease TTL.
+func (m *gkModule) Drain() { _ = m.gk.Withdraw() }
 
 type regModule struct {
 	p   *core.Process

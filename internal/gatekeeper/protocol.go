@@ -40,6 +40,8 @@ const (
 	OpRegWithdraw = "reg-withdraw"
 	OpRegLookup   = "reg-lookup"
 	OpRegList     = "reg-list"
+	OpRegSync     = "reg-sync"   // anti-entropy exchange between replicas
+	OpRegStatus   = "reg-status" // one replica's replication status
 )
 
 // Entry is one published service in the grid-wide registry.
@@ -48,6 +50,48 @@ type Entry struct {
 	Kind    string `json:"kind"`              // "vlink" | "orb" | "module"
 	Name    string `json:"name"`              // service/profile/module name
 	Service string `json:"service,omitempty"` // dialable VLink service name, if any
+	// TTLMillis is output-only, set on lookup responses: milliseconds of
+	// lease left before the entry expires un-renewed. Zero means the entry
+	// is permanent (published without a lease).
+	TTLMillis int64 `json:"ttl_remaining_ms,omitempty"`
+}
+
+// SyncRecord carries one publishing node's record in an anti-entropy
+// exchange between registry replicas. Leases travel as remaining TTL (not
+// deadlines), so the receiver re-anchors them on its own clock; versions
+// travel as the stamp the accepting replica assigned, for last-writer-wins
+// merging.
+type SyncRecord struct {
+	Node    string  `json:"node"`
+	Entries []Entry `json:"entries,omitempty"`
+	// TTLMillis is the lease remaining on this record when the snapshot
+	// was taken; zero means permanent (never for tombstones).
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// StampMicros is the record's version: the runtime instant (µs) at
+	// which a replica accepted the publish or withdraw that produced it.
+	// The freshest stamp wins on merge.
+	StampMicros int64 `json:"stamp_us"`
+	// Deleted marks a withdraw tombstone: the node's entries are gone and
+	// must not be resurrected by older sync copies while it lasts.
+	Deleted bool `json:"deleted,omitempty"`
+}
+
+// PeerSyncStatus is one peer replica's view in a RegStatus.
+type PeerSyncStatus struct {
+	Node  string `json:"node"`
+	Syncs int64  `json:"syncs"`    // successful anti-entropy exchanges
+	Fails int64  `json:"failures"` // failed attempts (unreachable peer, broken session)
+	// LagMillis is the time since the last successful exchange with this
+	// peer; -1 when none has succeeded yet.
+	LagMillis int64 `json:"lag_ms"`
+}
+
+// RegStatus is one registry replica's replication report.
+type RegStatus struct {
+	Node    string           `json:"node"`    // replica host
+	Nodes   int              `json:"nodes"`   // publishing nodes with live records
+	Entries int              `json:"entries"` // live entries across those nodes
+	Peers   []PeerSyncStatus `json:"peers,omitempty"`
 }
 
 // DeviceStats mirrors one arbitration device's counters as seen from a
@@ -82,6 +126,10 @@ type Request struct {
 	// of Lookup this many milliseconds after the registry accepts them
 	// unless re-published. Zero or negative means no lease (permanent).
 	TTLMillis int64 `json:"ttl_ms,omitempty"`
+	// From names the replica initiating a reg-sync exchange.
+	From string `json:"from,omitempty"`
+	// Sync is the initiator's record snapshot on a reg-sync.
+	Sync []SyncRecord `json:"sync,omitempty"`
 }
 
 // Response answers one Request.
@@ -92,6 +140,11 @@ type Response struct {
 	Services []string `json:"services,omitempty"`
 	Stats    *Stats   `json:"stats,omitempty"`
 	Entries  []Entry  `json:"entries,omitempty"`
+	// Sync is the responder's record snapshot answering a reg-sync, so one
+	// exchange reconciles both directions (push-pull anti-entropy).
+	Sync []SyncRecord `json:"sync,omitempty"`
+	// Status answers a reg-status.
+	Status *RegStatus `json:"status,omitempty"`
 }
 
 // Err converts a failed response into an error.

@@ -1,6 +1,7 @@
 package gatekeeper
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -11,43 +12,76 @@ import (
 	"padico/internal/vtime"
 )
 
-// Registry is the grid-wide service registry: each gatekeeper publishes its
-// process's services here, and any process resolves a service to a hosting
-// node by name — the lookup path that turns VLink's by-name connection into
-// real cross-process discovery instead of static wiring.
+// Registry is one replica of the grid-wide service registry: each
+// gatekeeper publishes its process's services to its zone's replica, and
+// any process resolves a service to a hosting node by name — the lookup
+// path that turns VLink's by-name connection into real cross-process
+// discovery instead of static wiring.
 //
 // The registry is soft state in the MDS tradition: a publish carries a
 // lease TTL and the entries silently fall out of Lookup when the lease
 // expires un-renewed, so a crashed process — one that never got to
 // withdraw — disappears from discovery on its own.
+//
+// Replicas reconcile through periodic push-pull anti-entropy (StartSync):
+// each exchange ships both sides' record snapshots and merges them
+// last-writer-wins on the record's version stamp, dropping expired records
+// on the way. An entry published in one zone therefore becomes resolvable
+// everywhere within one sync interval, and killing any single replica
+// leaves the directory served by the survivors.
 type Registry struct {
 	rt  vtime.Runtime
+	tr  orb.Transport
 	lst orb.Acceptor
 
 	mu       sync.Mutex
-	entries  map[string]leasedEntries // publishing node → its leased entries
-	conns    map[orbStream]struct{}   // open pooled sessions, torn down on Close
-	sessions int64                    // client sessions ever accepted
-	lookups  int64                    // lookup/list operations served
+	records  map[string]record      // publishing node → its versioned record
+	conns    map[orbStream]struct{} // open pooled sessions, torn down on Close
+	peers    map[string]*peerState  // replica peers under anti-entropy
+	sessions int64                  // client sessions ever accepted
+	lookups  int64                  // lookup/list operations served
 	closed   bool
 }
 
-// leasedEntries is one node's published set under its lease.
-type leasedEntries struct {
+// record is one publishing node's state: its leased entry set, or a
+// withdraw tombstone that keeps older sync copies from resurrecting it.
+type record struct {
 	entries []Entry
-	expires vtime.Time // lease deadline; meaningful only when leased
+	expires vtime.Time // lease/tombstone deadline; meaningful only when leased
 	leased  bool       // false ⇒ permanent (publish without TTL)
+	stamp   vtime.Time // version: when a replica accepted the publish/withdraw
+	deleted bool       // withdraw tombstone (always leased)
 }
 
+// peerState tracks anti-entropy with one peer replica.
+type peerState struct {
+	st     orbStream  // pooled sync session; nil until dialed
+	syncs  int64      // successful exchanges
+	fails  int64      // failed attempts
+	last   vtime.Time // instant of the last successful exchange
+	synced bool       // at least one exchange succeeded
+}
+
+// DefaultSyncInterval is the anti-entropy period deployments run replicas
+// at: cross-zone visibility of a publish is bounded by one interval.
+const DefaultSyncInterval = time.Second
+
+// TombstoneTTL is how long a replica remembers a withdraw, so anti-entropy
+// from a peer that has not yet seen it cannot resurrect the entries. It
+// must outlast a sync interval; reusing the default lease TTL keeps the
+// directory's staleness bounds uniform.
+const TombstoneTTL = DefaultLeaseTTL
+
 // StartRegistry binds the registry service on the transport and starts
-// answering publish/withdraw/lookup queries.
+// answering publish/withdraw/lookup/sync queries.
 func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	lst, err := tr.Listen(RegistryService)
 	if err != nil {
 		return nil, fmt.Errorf("gatekeeper: binding %s: %w", RegistryService, err)
 	}
-	r := &Registry{rt: rt, lst: lst,
-		entries: make(map[string]leasedEntries), conns: make(map[orbStream]struct{})}
+	r := &Registry{rt: rt, tr: tr, lst: lst,
+		records: make(map[string]record), conns: make(map[orbStream]struct{}),
+		peers: make(map[string]*peerState)}
 	rt.Go("registry:accept:"+tr.NodeName(), func() {
 		for {
 			st, err := lst.Accept()
@@ -69,9 +103,238 @@ func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	return r, nil
 }
 
-// Close stops the registry: the listener goes away and every pooled client
-// session is torn down (clients re-dial transparently if the registry
-// comes back).
+// StartSync turns this registry into a replica: a dedicated actor
+// reconciles with every peer each interval through push-pull sync
+// exchanges. Unreachable or not-yet-started peers are retried next round.
+// The loop stops when the registry closes.
+func (r *Registry) StartSync(peers []string, every time.Duration) {
+	if every <= 0 {
+		every = DefaultSyncInterval
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	self := r.tr.NodeName()
+	var fresh []string
+	for _, p := range peers {
+		if p == self || p == "" {
+			continue
+		}
+		if _, dup := r.peers[p]; dup {
+			continue
+		}
+		r.peers[p] = &peerState{}
+		fresh = append(fresh, p)
+	}
+	r.mu.Unlock()
+	if len(fresh) == 0 {
+		return
+	}
+	r.rt.Go("registry:sync:"+self, func() {
+		for {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			for _, peer := range fresh {
+				r.syncWith(peer)
+			}
+			r.rt.Sleep(every)
+			r.mu.Lock()
+			closed = r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+		}
+	})
+}
+
+// syncWith runs one push-pull exchange with a peer replica on a pooled
+// session, re-dialing once when the session broke since the last round.
+// Failures only bump the peer's counter: the next round retries.
+func (r *Registry) syncWith(peer string) {
+	r.mu.Lock()
+	ps, ok := r.peers[peer]
+	if !ok || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	st := ps.st
+	r.mu.Unlock()
+
+	if reach, ok := r.tr.(orb.Reachability); ok && !reach.CanReach(peer) {
+		r.noteSync(peer, nil, false)
+		return
+	}
+	req := &Request{Op: OpRegSync, From: r.tr.NodeName(), Sync: r.snapshot()}
+	for attempt := 0; attempt < 2; attempt++ {
+		if st == nil {
+			var err error
+			st, err = r.tr.Dial(peer, RegistryService)
+			if err != nil {
+				r.noteSync(peer, nil, false)
+				return
+			}
+		}
+		if err := WriteRequest(st, req); err == nil {
+			if resp, err := ReadResponse(st); err == nil && resp.OK {
+				r.merge(resp.Sync)
+				r.noteSync(peer, st, true)
+				return
+			}
+		}
+		_ = st.Close()
+		st = nil
+	}
+	r.noteSync(peer, nil, false)
+}
+
+// noteSync records the outcome of one exchange and re-pools the session.
+// The replaced session is closed outside the lock: closing a SAN-mapped
+// stream sends a FIN, which blocks in virtual time, and r.mu must never be
+// held across a park (an actor stuck on the mutex would freeze the clock).
+func (r *Registry) noteSync(peer string, st orbStream, ok bool) {
+	r.mu.Lock()
+	var old orbStream
+	if ps := r.peers[peer]; ps != nil {
+		if ps.st != nil && ps.st != st {
+			old = ps.st
+		}
+		ps.st = st
+		if r.closed {
+			// Close ran under an in-flight exchange: don't re-pool a
+			// session nothing will ever tear down again.
+			ps.st = nil
+			if st != nil {
+				old = st
+			}
+		}
+		if ok {
+			ps.syncs++
+			ps.last = r.rt.Now()
+			ps.synced = true
+		} else {
+			ps.fails++
+		}
+	}
+	r.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// snapshot captures every unexpired record for a sync exchange, encoding
+// leases as remaining TTL (re-anchored on the receiver's clock) and
+// versions as stamps. Expired records — leases and tombstones alike — are
+// reaped on the way, never shipped.
+func (r *Registry) snapshot() []SyncRecord {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SyncRecord, 0, len(r.records))
+	for node, rec := range r.records {
+		var ttl int64
+		if rec.leased {
+			remain := rec.expires.Sub(now)
+			if remain <= 0 {
+				delete(r.records, node)
+				continue
+			}
+			ttl = int64(remain / time.Millisecond)
+			if ttl <= 0 {
+				ttl = 1
+			}
+		}
+		out = append(out, SyncRecord{
+			Node:        node,
+			Entries:     append([]Entry(nil), rec.entries...),
+			TTLMillis:   ttl,
+			StampMicros: int64(rec.stamp.Duration() / time.Microsecond),
+			Deleted:     rec.deleted,
+		})
+	}
+	return out
+}
+
+// merge folds a peer's snapshot in: freshest stamp wins per publishing
+// node, already-expired records are dropped, and ties keep the local copy
+// (deterministic under simultaneous renewals).
+func (r *Registry) merge(recs []SyncRecord) {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, in := range recs {
+		if in.Node == "" {
+			continue
+		}
+		if in.Deleted && in.TTLMillis <= 0 {
+			continue // an unleased tombstone would never be reaped
+		}
+		if in.TTLMillis < 0 {
+			continue // already expired; zero means permanent, not expired
+		}
+		stamp := vtime.Time(in.StampMicros * int64(time.Microsecond))
+		if loc, ok := r.records[in.Node]; ok {
+			alive := !loc.leased || now < loc.expires
+			if alive && stamp <= loc.stamp {
+				continue
+			}
+		}
+		rec := record{stamp: stamp, deleted: in.Deleted}
+		if in.Deleted {
+			rec.leased = true
+			rec.expires = now.Add(time.Duration(in.TTLMillis) * time.Millisecond)
+		} else {
+			rec.entries = append([]Entry(nil), in.Entries...)
+			if in.TTLMillis > 0 {
+				rec.leased = true
+				rec.expires = now.Add(time.Duration(in.TTLMillis) * time.Millisecond)
+			}
+		}
+		r.records[in.Node] = rec
+	}
+}
+
+// Status reports this replica's replication state: live record and entry
+// counts plus per-peer sync lag.
+func (r *Registry) Status() RegStatus {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegStatus{Node: r.tr.NodeName()}
+	for _, rec := range r.records {
+		if rec.deleted || (rec.leased && now >= rec.expires) {
+			continue
+		}
+		st.Nodes++
+		st.Entries += len(rec.entries)
+	}
+	peers := make([]string, 0, len(r.peers))
+	for p := range r.peers {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		ps := r.peers[p]
+		lag := int64(-1)
+		if ps.synced {
+			lag = int64(now.Sub(ps.last) / time.Millisecond)
+		}
+		st.Peers = append(st.Peers, PeerSyncStatus{
+			Node: p, Syncs: ps.syncs, Fails: ps.fails, LagMillis: lag,
+		})
+	}
+	return st
+}
+
+// Close stops the registry: the listener goes away, every pooled client
+// session is torn down (clients fail over to a surviving replica), and the
+// anti-entropy loop winds down.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -83,7 +346,14 @@ func (r *Registry) Close() {
 	for st := range r.conns {
 		conns = append(conns, st)
 	}
+	for _, ps := range r.peers {
+		if ps.st != nil {
+			conns = append(conns, ps.st)
+			ps.st = nil
+		}
+	}
 	r.mu.Unlock()
+	// Stream closes may block in virtual time (SAN FIN): never under r.mu.
 	_ = r.lst.Close()
 	for _, st := range conns {
 		_ = st.Close()
@@ -138,24 +408,38 @@ func (r *Registry) handle(req *Request) *Response {
 		if node == "" {
 			return &Response{Error: "publish without node"}
 		}
-		le := leasedEntries{entries: append([]Entry(nil), req.Entries...)}
+		now := r.rt.Now()
+		rec := record{entries: append([]Entry(nil), req.Entries...), stamp: now}
 		if req.TTLMillis > 0 {
-			le.leased = true
-			le.expires = r.rt.Now().Add(time.Duration(req.TTLMillis) * time.Millisecond)
+			rec.leased = true
+			rec.expires = now.Add(time.Duration(req.TTLMillis) * time.Millisecond)
 		}
 		r.mu.Lock()
-		r.entries[node] = le
+		r.records[node] = rec
 		r.mu.Unlock()
 		return &Response{OK: true}
 	case OpRegWithdraw:
+		// A withdraw leaves a tombstone, not a bare delete: anti-entropy
+		// from a replica that has not seen the withdraw yet must not
+		// resurrect the entries. The tombstone itself is soft state and
+		// falls out after TombstoneTTL.
+		now := r.rt.Now()
 		r.mu.Lock()
-		delete(r.entries, req.Node)
+		r.records[req.Node] = record{
+			stamp: now, deleted: true, leased: true, expires: now.Add(TombstoneTTL),
+		}
 		r.mu.Unlock()
 		return &Response{OK: true}
 	case OpRegLookup:
 		return &Response{OK: true, Entries: r.lookup(req.Kind, req.Name, true)}
 	case OpRegList:
 		return &Response{OK: true, Entries: r.lookup("", "", true)}
+	case OpRegSync:
+		r.merge(req.Sync)
+		return &Response{OK: true, Sync: r.snapshot()}
+	case OpRegStatus:
+		st := r.Status()
+		return &Response{OK: true, Status: &st}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown registry operation %q", req.Op)}
 	}
@@ -163,7 +447,7 @@ func (r *Registry) handle(req *Request) *Response {
 
 // Lookup returns the published, unexpired entries matching the filters;
 // empty kind or name matches everything. Results are ordered by node,
-// kind, name.
+// kind, name, and carry the lease time remaining.
 func (r *Registry) Lookup(kind, name string) []Entry {
 	return r.lookup(kind, name, false)
 }
@@ -175,16 +459,29 @@ func (r *Registry) lookup(kind, name string, remote bool) []Entry {
 		r.lookups++
 	}
 	var out []Entry
-	for node, le := range r.entries {
-		if le.leased && now >= le.expires {
-			// Expired lease: the publisher died without withdrawing.
-			// Reap lazily — correctness needs no background sweeper, and
-			// lazy reaping behaves identically under Sim and Wall.
-			delete(r.entries, node)
+	for node, rec := range r.records {
+		if rec.leased && now >= rec.expires {
+			// Expired lease or tombstone: the publisher died without
+			// withdrawing, or the withdraw has been remembered long
+			// enough. Reap lazily — correctness needs no background
+			// sweeper, and lazy reaping behaves identically under Sim
+			// and Wall.
+			delete(r.records, node)
 			continue
 		}
-		for _, e := range le.entries {
+		if rec.deleted {
+			continue
+		}
+		var remain int64
+		if rec.leased {
+			remain = int64(rec.expires.Sub(now) / time.Millisecond)
+			if remain <= 0 {
+				remain = 1
+			}
+		}
+		for _, e := range rec.entries {
 			if (kind == "" || e.Kind == kind) && (name == "" || e.Name == name) {
+				e.TTLMillis = remain
 				out = append(out, e)
 			}
 		}
@@ -203,20 +500,23 @@ func (r *Registry) lookup(kind, name string, remote bool) []Entry {
 }
 
 // RegistryClient talks to the grid-wide registry from one process over a
-// single pooled session: the framed stream is dialed once, reused for
-// every operation, and re-dialed transparently when it breaks. Resolve
-// results are additionally cached for a short TTL, so the hot by-name
-// dial path usually skips the registry round-trip entirely.
+// single pooled session to one replica of a configured replica list: the
+// framed stream is dialed once, reused for every operation, re-dialed
+// transparently when it breaks, and failed over to the next reachable
+// replica when its host dies or partitions away. Resolve results are
+// additionally cached for a short TTL, so the hot by-name dial path
+// usually skips the registry round-trip entirely.
 type RegistryClient struct {
-	rt      vtime.Runtime
-	tr      orb.Transport
-	regNode string
+	rt       vtime.Runtime
+	tr       orb.Transport
+	replicas []string
 
 	// sem serializes exchanges on the pooled stream. It is a virtual-time
 	// semaphore, not a mutex: an exchange blocks in network I/O, and under
 	// Sim a plain mutex held across a parked actor would stall the clock.
 	sem *vtime.Semaphore
-	st  orbStream // pooled session; nil until the first exchange
+	cur int       // replica the pooled session points at (sticky)
+	st  orbStream // pooled session to replicas[cur]; nil until the first exchange
 
 	mu       sync.Mutex
 	cacheTTL time.Duration
@@ -235,21 +535,38 @@ type cachedEntry struct {
 // dials before the registry is consulted again.
 const DefaultResolveCacheTTL = time.Second
 
-// NewRegistryClient returns a pooled client dialing the registry hosted on
-// regNode through the given transport, scheduling on rt.
-func NewRegistryClient(rt vtime.Runtime, tr orb.Transport, regNode string) *RegistryClient {
+// NewRegistryClient returns a pooled client dialing the registry replicas
+// hosted on the given nodes through the given transport, scheduling on rt.
+// The list is a preference order: operations stick to the first replica
+// that answers (deployments put the caller's zone-local replica first) and
+// fail over down the list when it dies or partitions away.
+func NewRegistryClient(rt vtime.Runtime, tr orb.Transport, replicas ...string) *RegistryClient {
 	return &RegistryClient{
 		rt:       rt,
 		tr:       tr,
-		regNode:  regNode,
+		replicas: append([]string(nil), replicas...),
 		sem:      vtime.NewSemaphore(rt, "gatekeeper: registry session "+tr.NodeName(), 1),
 		cacheTTL: DefaultResolveCacheTTL,
 		cache:    make(map[cacheKey]cachedEntry),
 	}
 }
 
-// RegistryNode returns the node hosting the registry.
-func (c *RegistryClient) RegistryNode() string { return c.regNode }
+// Replicas returns the configured replica list in preference order.
+func (c *RegistryClient) Replicas() []string {
+	return append([]string(nil), c.replicas...)
+}
+
+// RegistryNode returns the replica the pooled session currently prefers.
+func (c *RegistryClient) RegistryNode() string {
+	if len(c.replicas) == 0 {
+		return ""
+	}
+	if err := c.sem.Acquire(); err != nil {
+		return ""
+	}
+	defer c.sem.Release()
+	return c.replicas[c.cur]
+}
 
 // SetCacheTTL adjusts the resolution-cache lifetime; zero or negative
 // disables caching. Existing cached resolutions are dropped.
@@ -272,28 +589,64 @@ func (c *RegistryClient) Close() {
 	}
 }
 
-// do performs one request/response exchange on the pooled session,
-// re-dialing once if the session broke since the last exchange.
+// do performs one request/response exchange: on the pooled session when it
+// is healthy, re-dialing once when it broke since the last exchange, and
+// failing over down the replica list when the current replica's host is
+// dead or unreachable. A replica that answers — even with an application
+// error — ends the scan: refusals are answers, not failures.
 func (c *RegistryClient) do(req *Request) (*Response, error) {
 	if err := c.sem.Acquire(); err != nil {
 		return nil, err
 	}
 	defer c.sem.Release()
+	if len(c.replicas) == 0 {
+		return nil, fmt.Errorf("gatekeeper: no registry replicas configured on %s", c.tr.NodeName())
+	}
+	reach, hasReach := c.tr.(orb.Reachability)
+	var errs []error
+	tryOrder := make([]int, 0, len(c.replicas))
+	tryOrder = append(tryOrder, c.cur)
+	for i := range c.replicas {
+		if i != c.cur {
+			tryOrder = append(tryOrder, i)
+		}
+	}
+	for _, i := range tryOrder {
+		node := c.replicas[i]
+		// Check reachability before dialing: an unknown or partitioned
+		// replica host must be skipped here, not fall into the transport's
+		// resolver fallback — this client may BE that resolver, and
+		// resolving through itself would re-enter the session semaphore it
+		// is holding.
+		if hasReach && !reach.CanReach(node) {
+			errs = append(errs, fmt.Errorf("replica %s unreachable from %s", node, c.tr.NodeName()))
+			continue
+		}
+		resp, err := c.exchange(i, req)
+		if err == nil {
+			return resp, resp.Err()
+		}
+		errs = append(errs, fmt.Errorf("replica %s: %w", node, err))
+	}
+	return nil, fmt.Errorf("gatekeeper: no usable registry replica from %s: %w",
+		c.tr.NodeName(), errors.Join(errs...))
+}
+
+// exchange runs one request/response on replica i, re-dialing once if the
+// pooled session broke since the last exchange (registry restarted, stream
+// torn down). On success the client stays pinned to i.
+func (c *RegistryClient) exchange(i int, req *Request) (*Response, error) {
+	if i != c.cur && c.st != nil {
+		_ = c.st.Close()
+		c.st = nil
+	}
+	c.cur = i
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if c.st == nil {
-			// Check reachability before dialing: an unknown or partitioned
-			// registry host must fail fast here, not fall into the
-			// transport's resolver fallback — this client may BE that
-			// resolver, and resolving through itself would re-enter the
-			// session semaphore it is holding.
-			if reach, ok := c.tr.(orb.Reachability); ok && !reach.CanReach(c.regNode) {
-				return nil, fmt.Errorf("gatekeeper: registry host %s unreachable from %s",
-					c.regNode, c.tr.NodeName())
-			}
-			st, err := c.tr.Dial(c.regNode, RegistryService)
+			st, err := c.tr.Dial(c.replicas[i], RegistryService)
 			if err != nil {
-				return nil, fmt.Errorf("gatekeeper: dialing registry on %s: %w", c.regNode, err)
+				return nil, err
 			}
 			c.st = st
 		}
@@ -302,16 +655,61 @@ func (c *RegistryClient) do(req *Request) (*Response, error) {
 		} else {
 			resp, err := ReadResponse(c.st)
 			if err == nil {
-				return resp, resp.Err()
+				return resp, nil
 			}
 			lastErr = err
 		}
-		// Broken session (registry restarted, stream torn down): drop it
-		// and retry once on a fresh dial.
+		// Broken session: drop it and retry once on a fresh dial.
 		_ = c.st.Close()
 		c.st = nil
 	}
-	return nil, fmt.Errorf("gatekeeper: registry session to %s: %w", c.regNode, lastErr)
+	return nil, lastErr
+}
+
+// exchangeWith is a one-shot exchange pinned to a specific replica,
+// outside the pooled session — the operator path behind per-replica
+// status and lookup, where failover would defeat the point.
+func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, error) {
+	if reach, ok := c.tr.(orb.Reachability); ok && !reach.CanReach(node) {
+		return nil, fmt.Errorf("gatekeeper: replica %s unreachable from %s", node, c.tr.NodeName())
+	}
+	st, err := c.tr.Dial(node, RegistryService)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: dialing replica %s: %w", node, err)
+	}
+	defer st.Close()
+	if err := WriteRequest(st, req); err != nil {
+		return nil, fmt.Errorf("gatekeeper: to replica %s: %w", node, err)
+	}
+	resp, err := ReadResponse(st)
+	if err != nil {
+		return nil, fmt.Errorf("gatekeeper: from replica %s: %w", node, err)
+	}
+	return resp, resp.Err()
+}
+
+// StatusOf fetches one replica's replication status (live entry counts,
+// per-peer sync lag). It never fails over: the named replica answers or
+// the error says why.
+func (c *RegistryClient) StatusOf(node string) (*RegStatus, error) {
+	resp, err := c.exchangeWith(node, &Request{Op: OpRegStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("gatekeeper: replica %s returned no status", node)
+	}
+	return resp.Status, nil
+}
+
+// LookupAt queries one specific replica's view, without failover — the
+// operator path for comparing replicas' replication state.
+func (c *RegistryClient) LookupAt(node, kind, name string) ([]Entry, error) {
+	resp, err := c.exchangeWith(node, &Request{Op: OpRegLookup, Kind: kind, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
 }
 
 // Publish replaces the registry's entries for node with the given set,
@@ -322,7 +720,8 @@ func (c *RegistryClient) Publish(node string, entries []Entry) error {
 
 // PublishTTL replaces the registry's entries for node under a soft-state
 // lease: they expire ttl after the registry accepts them unless
-// re-published. Non-positive ttl means no lease.
+// re-published. Non-positive ttl means no lease. The publish lands on the
+// preferred replica and reaches the others within one sync interval.
 func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Duration) error {
 	req := &Request{Op: OpRegPublish, Node: node, Entries: entries}
 	if ttl > 0 {
@@ -336,7 +735,8 @@ func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Durat
 	return err
 }
 
-// Withdraw drops every entry published by node.
+// Withdraw drops every entry published by node. The tombstone left behind
+// propagates to the other replicas within one sync interval.
 func (c *RegistryClient) Withdraw(node string) error {
 	_, err := c.do(&Request{Op: OpRegWithdraw, Node: node})
 	c.invalidate()
@@ -428,6 +828,8 @@ func (c *RegistryClient) storeList(kind, name string, list []Entry) {
 
 // ResolveVLink implements vlink.Resolver, making the registry client the
 // production resolver behind Linker.DialService and the DialName fallback.
+// Because do() fails over inside the client, by-name dialing keeps working
+// across a replica crash without the linker noticing.
 func (c *RegistryClient) ResolveVLink(kind, name string) ([]vlink.Resolved, error) {
 	list, err := c.candidates(kind, name)
 	if err != nil {

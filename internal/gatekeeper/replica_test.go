@@ -1,0 +1,305 @@
+package gatekeeper
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+)
+
+// syncInterval is the short anti-entropy period replica tests run at.
+const syncInterval = 50 * time.Millisecond
+
+// listenEcho binds an echo service on a process without touching the
+// gatekeeper — replica tests wire their own clients.
+func listenEcho(t *testing.T, p *core.Process, service string) {
+	t.Helper()
+	lst, err := p.Linker().Listen(service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Runtime().Go("echo", func() {
+		for {
+			st, err := lst.Accept()
+			if err != nil {
+				return
+			}
+			p.Runtime().Go("echo:conn", func() {
+				defer st.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := st.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := st.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestSyncMergeSemantics exercises the anti-entropy merge rules directly:
+// last-writer-wins on the version stamp, expired records dropped on merge,
+// tombstones blocking resurrection, and fresh publishes clearing
+// tombstones.
+func TestSyncMergeSemantics(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		regA, err := StartRegistry(g.Sim, orb.VLinkTransport{Linker: procs[0].Linker()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer regA.Close()
+
+		entry := func(node string) []Entry {
+			return []Entry{{Node: node, Kind: "vlink", Name: "svc", Service: "svc"}}
+		}
+		count := func(r *Registry) int { return len(r.Lookup("vlink", "svc")) }
+
+		// A leased record merges in and re-anchors its remaining TTL.
+		regA.merge([]SyncRecord{{Node: "m0", Entries: entry("m0"), TTLMillis: 500, StampMicros: 100}})
+		if count(regA) != 1 {
+			t.Fatal("leased record did not merge")
+		}
+		// An older stamp must not overwrite it (LWW), a newer one must.
+		regA.merge([]SyncRecord{{Node: "m0", Entries: nil, TTLMillis: 500, StampMicros: 50}})
+		if count(regA) != 1 {
+			t.Fatal("older stamp overwrote a fresher record")
+		}
+		regA.merge([]SyncRecord{{Node: "m0", Entries: nil, TTLMillis: 500, StampMicros: 200}})
+		if count(regA) != 0 {
+			t.Fatal("newer stamp did not win the merge")
+		}
+
+		// Expired incoming records are dropped on merge.
+		regA.merge([]SyncRecord{{Node: "m1", Entries: entry("m1"), TTLMillis: 0, StampMicros: 300, Deleted: true}})
+		regA.merge([]SyncRecord{{Node: "m2", Entries: entry("m2"), TTLMillis: -5, StampMicros: 300}})
+		if count(regA) != 0 {
+			t.Fatal("expired/empty records merged in")
+		}
+
+		// A tombstone blocks an older copy from resurrecting the entries…
+		regA.merge([]SyncRecord{{Node: "m3", TTLMillis: 1000, StampMicros: 500, Deleted: true}})
+		regA.merge([]SyncRecord{{Node: "m3", Entries: entry("m3"), TTLMillis: 500, StampMicros: 400}})
+		if count(regA) != 0 {
+			t.Fatal("tombstone did not block an older record")
+		}
+		// …but a genuinely newer publish clears it.
+		regA.merge([]SyncRecord{{Node: "m3", Entries: entry("m3"), TTLMillis: 500, StampMicros: 600}})
+		if count(regA) != 1 {
+			t.Fatal("fresh publish lost to a stale tombstone")
+		}
+
+		// Snapshots never ship expired state: after the leases run out,
+		// the snapshot is empty and the records were reaped.
+		g.Sim.Sleep(2 * time.Second)
+		if snap := regA.snapshot(); len(snap) != 0 {
+			t.Fatalf("snapshot shipped expired records: %v", snap)
+		}
+	})
+}
+
+// TestReplicaSyncPropagatesEntries is the cross-zone acceptance at the
+// gatekeeper layer: an entry published to one replica becomes resolvable
+// through the other within one sync interval, and a withdraw's tombstone
+// propagates just as fast — no lease expiry involved.
+func TestReplicaSyncPropagatesEntries(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		if err := procs[1].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.StartSync([]string{"n1"}, syncInterval)
+		regB.StartSync([]string{"n0"}, syncInterval)
+
+		listenEcho(t, procs[2], "demo:echo")
+		rcA := clientFor(procs[2], "n0")
+		rcA.SetCacheTTL(0)
+		if err := rcA.PublishTTL("n2",
+			[]Entry{{Node: "n2", Kind: "vlink", Name: "demo:echo", Service: "demo:echo"}},
+			time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		// The other replica serves the entry within one sync interval.
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		rcB := clientFor(procs[2], "n1")
+		rcB.SetCacheTTL(0)
+		e, err := rcB.Resolve("vlink", "demo:echo")
+		if err != nil || e.Node != "n2" {
+			t.Fatalf("replica n1 after one sync interval: %v, %v", e, err)
+		}
+		// The lookup response reports the lease time remaining.
+		entries, err := rcB.Lookup("vlink", "demo:echo")
+		if err != nil || len(entries) != 1 || entries[0].TTLMillis <= 0 {
+			t.Fatalf("replicated entry TTL = %v, %v", entries, err)
+		}
+
+		// A withdraw through one replica tombstones the entries on the
+		// other within one sync interval — clean shutdown does not wait
+		// for lease expiry.
+		if err := rcA.Withdraw("n2"); err != nil {
+			t.Fatal(err)
+		}
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		if _, err := rcB.Resolve("vlink", "demo:echo"); err == nil {
+			t.Fatal("withdrawn entry still resolvable through the peer replica")
+		}
+	})
+}
+
+// TestReplicaFailoverSim is the kill-the-primary acceptance under the
+// deterministic runtime: with two replicas, shutting the primary's host
+// down leaves DialService and lease renewal working through the survivor.
+func TestReplicaFailoverSim(t *testing.T) {
+	g, nodes := newGrid(t, 4, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		if err := procs[1].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.StartSync([]string{"n1"}, syncInterval)
+		regB.StartSync([]string{"n0"}, syncInterval)
+
+		// n3 serves an echo and leases its table against [n0, n1]; n2
+		// resolves through the same replica list.
+		listenEcho(t, procs[3], "demo:echo")
+		gk3, _ := For(procs[3])
+		gk3.UseRegistry(NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[3].Linker()}, "n0", "n1"))
+		const ttl = 400 * time.Millisecond
+		if err := gk3.StartLease(ttl); err != nil {
+			t.Fatal(err)
+		}
+		rc := NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()}, "n0", "n1")
+		rc.SetCacheTTL(0)
+		procs[2].Linker().SetResolver(rc)
+
+		dialEcho := func(stage string) {
+			st, err := procs[2].Linker().DialService("vlink", "demo:echo")
+			if err != nil {
+				t.Fatalf("%s: DialService: %v", stage, err)
+			}
+			if _, err := st.Write([]byte("ping")); err != nil {
+				t.Fatalf("%s: %v", stage, err)
+			}
+			buf := make([]byte, 4)
+			if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "ping" {
+				t.Fatalf("%s: echo = %q, %v", stage, buf, err)
+			}
+			st.Close()
+		}
+		dialEcho("before kill")
+
+		// Let the announce replicate, then crash the primary replica's
+		// whole process mid-run.
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		procs[0].Shutdown()
+
+		// By-name dialing fails over to n1 transparently.
+		dialEcho("after kill")
+
+		// Lease renewal keeps flowing through the survivor: well past the
+		// TTL, n3's entries are still current on n1.
+		g.Sim.Sleep(3 * ttl)
+		rcB := clientFor(procs[2], "n1")
+		rcB.SetCacheTTL(0)
+		entries, err := rcB.Lookup("vlink", "demo:echo")
+		if err != nil || len(entries) != 1 {
+			t.Fatalf("lease did not survive the failover: %v, %v", entries, err)
+		}
+		dialEcho("well after kill")
+	})
+}
+
+// TestReplicaPartition: two zones whose members cannot see the other
+// zone's replica host — only the replicas themselves share a WAN to sync
+// over. Publishes stay zone-local and still become visible in the other
+// zone within one sync interval; a client whose preferred replica is
+// unreachable skips it (without dialing through its own resolver) and
+// works through the replica it can reach.
+func TestReplicaPartition(t *testing.T) {
+	g := core.NewGrid()
+	r0 := g.Net.NewNode("r0")
+	a1 := g.Net.NewNode("a1")
+	r1 := g.Net.NewNode("r1")
+	b1 := g.Net.NewNode("b1")
+	if _, err := g.AddEthernet("ethA", []*simnet.Node{r0, a1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEthernet("ethB", []*simnet.Node{r1, b1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddWAN("wan0", []*simnet.Node{r0, r1}, 5e6, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Run(func() {
+		procs := launchSteerable(t, g, []*simnet.Node{r0, a1, r1, b1})
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		if err := procs[2].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[2])
+		regA.StartSync([]string{"r1"}, syncInterval)
+		regB.StartSync([]string{"r0"}, syncInterval)
+
+		// a1 publishes an echo; its only reachable replica is r0.
+		listenEcho(t, procs[1], "zoneA:echo")
+		rcA := NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[1].Linker()}, "r0", "r1")
+		rcA.SetCacheTTL(0)
+		if err := rcA.PublishTTL("a1",
+			[]Entry{{Node: "a1", Kind: "vlink", Name: "zoneA:echo", Service: "zoneA:echo"}},
+			time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		// b1 prefers the (for it unreachable) r0 in its list: operations
+		// must skip it and land on r1 — and see zone A's entry there after
+		// one WAN sync round.
+		g.Sim.Sleep(syncInterval + 15*time.Millisecond)
+		rcB := NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[3].Linker()}, "r0", "r1")
+		rcB.SetCacheTTL(0)
+		entries, err := rcB.Lookup("vlink", "zoneA:echo")
+		if err != nil {
+			t.Fatalf("lookup across the partition: %v", err)
+		}
+		if len(entries) != 1 || entries[0].Node != "a1" {
+			t.Fatalf("zone A entry not replicated into zone B: %v", entries)
+		}
+		// The per-replica status confirms who served whom: r1 synced with
+		// r0 and holds the record; b1 cannot query r0 at all.
+		if _, err := rcB.StatusOf("r0"); err == nil ||
+			!strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("status of unreachable replica = %v, want unreachable error", err)
+		}
+		st, err := rcB.StatusOf("r1")
+		if err != nil || st.Nodes == 0 {
+			t.Fatalf("status of local replica = %+v, %v", st, err)
+		}
+		for _, p := range st.Peers {
+			if p.Node == "r0" && p.Syncs == 0 {
+				t.Fatalf("r1 never synced with r0: %+v", st.Peers)
+			}
+		}
+	})
+}

@@ -160,6 +160,82 @@ func TestLeaseExpiryWall(t *testing.T) {
 	}
 }
 
+// TestReplicaFailoverOverRealTCP is the kill-the-primary acceptance over
+// genuine loopback TCP under the wall clock: two replicas under
+// anti-entropy, a replica-list client, and a lease-holding gatekeeper all
+// keep working when the primary replica dies mid-run.
+func TestReplicaFailoverOverRealTCP(t *testing.T) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	const interval = 50 * time.Millisecond
+	regA, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regA.Close()
+	regB, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regB.Close()
+	regA.StartSync([]string{"reg-b"}, interval)
+	regB.StartSync([]string{"reg-a"}, interval)
+
+	// A gatekeeper leases its table against the replica pair.
+	target := &stubTarget{mods: map[string]bool{"vlink": true}}
+	gk, err := Serve(wall, orb.TCPTransport{Stack: stack, Name: "tcp-host"}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gk.Close()
+	gk.UseRegistry(NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "tcp-host"}, "reg-a", "reg-b"))
+	const ttl = 200 * time.Millisecond
+	if err := gk.StartLease(ttl); err != nil {
+		t.Fatal(err)
+	}
+
+	// An application service published to the primary replicates to the
+	// peer within one sync interval.
+	e := wallEcho(t, stack, "svc-host", "wall:ha-echo")
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "client"}, "reg-a", "reg-b")
+	defer rc.Close()
+	rc.SetCacheTTL(0)
+	if err := rc.PublishTTL("svc-host", []Entry{e}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(interval + 20*time.Millisecond)
+	if got := regB.Lookup("vlink", "wall:ha-echo"); len(got) != 1 {
+		t.Fatalf("entry not replicated to reg-b within a sync interval: %v", got)
+	}
+
+	// Kill the primary. DialService fails over to reg-b transparently.
+	regA.Close()
+	tr := orb.TCPTransport{Stack: stack, Name: "client"}
+	st, err := DialServiceOn(tr, rc, "vlink", "wall:ha-echo")
+	if err != nil {
+		t.Fatalf("dial by name after primary death: %v", err)
+	}
+	if _, err := st.Write([]byte("ha!")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := sockets.ReadFull(st, buf); err != nil || string(buf) != "ha!" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+	st.Close()
+
+	// Lease renewal keeps flowing through the survivor: well past the
+	// TTL, the gatekeeper's entries are still current on reg-b.
+	time.Sleep(3 * ttl)
+	if got := regB.Lookup("module", "vlink"); len(got) != 1 {
+		t.Fatalf("lease did not survive the failover: %v", got)
+	}
+	// And the gatekeeper's client is pinned to the survivor now.
+	if got := gk.Registry().RegistryNode(); got != "reg-b" {
+		t.Fatalf("lease client pinned to %q, want reg-b", got)
+	}
+}
+
 // BenchmarkCachedResolve measures the by-name resolution hot path over
 // real TCP with the client cache on: however many dials, the registry is
 // consulted at most once per cache-TTL window (the reported
@@ -223,5 +299,42 @@ func BenchmarkUncachedResolve(b *testing.B) {
 	b.StopTimer()
 	if got := reg.Sessions(); got != 1 {
 		b.Fatalf("uncached resolves used %d sessions, want 1 pooled", got)
+	}
+}
+
+// BenchmarkFailedOverResolve measures the resolution path after a replica
+// failover: the client's preferred replica is dead, so the first exchange
+// pays the failover scan, and every subsequent one rides the pooled
+// session to the survivor — steady state must match the uncached single-
+// replica path, not pay per-operation failover probes.
+func BenchmarkFailedOverResolve(b *testing.B) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+	reg, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "reg-live"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	// "reg-dead" never starts: the preferred replica is unreachable from
+	// the first exchange on.
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "client"}, "reg-dead", "reg-live")
+	defer rc.Close()
+	rc.SetCacheTTL(0)
+	e := Entry{Node: "svc-host", Kind: "vlink", Name: "bench:svc", Service: "bench:svc"}
+	if err := rc.Publish("svc-host", []Entry{e}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rc.Resolve("vlink", "bench:svc"); err != nil { // pay the failover once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rc.Resolve("vlink", "bench:svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if got := reg.Sessions(); got != 1 {
+		b.Fatalf("failed-over resolves used %d sessions on the survivor, want 1 pooled", got)
 	}
 }

@@ -34,6 +34,11 @@ const (
 	sanFIN  = 'F'
 )
 
+// sanDialTimeout is the SYN→ACK handshake deadline — generous against a
+// SAN's microsecond RTTs even under heavy arbitration backlog, while
+// keeping a dial to a dead node a bounded error instead of a hang.
+const sanDialTimeout = 100 * time.Millisecond
+
 // ensureCtlLocked opens the SAN control port once. Callers hold ln.mu.
 func (ln *Linker) ensureCtlLocked() error {
 	if ln.ctl != nil {
@@ -133,9 +138,22 @@ func (ln *Linker) dialSAN(dev *arbitration.Device, dst *simnet.Node, service str
 			port.Close()
 			return nil, err
 		}
+		// Bound the SYN→ACK handshake: the SAN holds messages for unopened
+		// ports, so a dial to a node whose linker is gone (crashed process,
+		// killed registry replica) gets no refusal to bounce off, unlike
+		// the sockets path — without a deadline it would park forever on a
+		// reply that cannot come. The timer callback only closes the
+		// handshake port, which wakes the parked Recv with an error.
+		timer := ln.arb.Runtime().AfterFunc(sanDialTimeout, func() { port.Close() })
 		reply, err := port.Recv()
+		if !timer.Stop() && err == nil {
+			// The deadline closed the port under a reply arriving at the
+			// same instant; the stream is unusable either way.
+			err = fmt.Errorf("handshake port closed by deadline")
+		}
 		if err != nil {
-			return nil, fmt.Errorf("vlink: SAN dial aborted: %w", err)
+			return nil, fmt.Errorf("vlink: SAN dial %s/%s: no answer within %v (dead peer?): %w",
+				dst, service, sanDialTimeout, err)
 		}
 		if len(reply.Header) == 1 && reply.Header[0] == sanACK {
 			st := &sanStream{

@@ -334,7 +334,11 @@ func (ln *Linker) DialService(kind, name string) (Stream, error) {
 }
 
 // DialServiceVia is DialService with an explicit resolver, for callers
-// that hold one (e.g. a registry client) without installing it.
+// that hold one (e.g. a registry client) without installing it. When the
+// service runs on several nodes, a candidate whose dial fails (its host
+// crashed since it was published, or since the resolution was cached) is
+// skipped in favour of the next — mid-failover, a by-name dial must not
+// stay pinned to a dead replica the registry has not yet expired.
 func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) {
 	if r == nil {
 		return nil, ErrNoResolver
@@ -346,7 +350,17 @@ func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) 
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("vlink: resolver returned no candidates for %s %q", kind, name)
 	}
-	return ln.dialResolved(cands[0], kind, name)
+	var firstErr error
+	for _, c := range cands {
+		st, err := ln.dialResolved(c, kind, name)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
 }
 
 // dialResolved dials one resolver-produced endpoint.
