@@ -1,19 +1,32 @@
-// Command padico-ctl is the PadicoControl operator tool: it brings a grid
-// described in XML up as a simnet deployment (every process spawned with a
-// gatekeeper, a registry replica on the first node of each zone, replicas
-// reconciling through anti-entropy sync) and steers it through the
-// gatekeeper protocol — listing, hot-loading and unloading modules on one
-// process or on the whole deployment at once, inspecting arbitration
-// counters, and querying the replicated grid-wide service registry.
+// Command padico-ctl is the PadicoControl operator tool. It steers a Padico
+// grid through the gatekeeper protocol — listing, hot-loading and unloading
+// modules on one process or on the whole deployment at once, inspecting
+// arbitration counters, and querying the replicated grid-wide service
+// registry — in either of two modes:
+//
+//   - Simulated (-grid): the grid described in XML is brought up as a simnet
+//     deployment inside this process (every process spawned with a
+//     gatekeeper, a registry replica on the first node of each zone,
+//     replicas reconciling through anti-entropy sync) and steered in
+//     virtual time.
+//
+//   - Live (-attach): the tool attaches to running padico-d daemons over
+//     real TCP and steers them without constructing any simulated network —
+//     the deployment outlives the tool, which is the point. One reachable
+//     endpoint suffices: its deployment descriptor names the registry
+//     replicas, and registry entries (each advertising its daemon's
+//     endpoint) reveal the rest of the grid.
 //
 // Usage:
 //
 //	padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-registry r1,r2] [-cascade] command [args]
+//	padico-ctl -attach host:port[,host:port...] [-nodes a,b|all] [-cascade] command [args]
 //
-// The -registry flag overrides replica placement: each named node hosts
-// one registry replica (default: the first node of every zone).
+// The -registry flag (simulated mode) overrides replica placement: each
+// named node hosts one registry replica (default: the first node of every
+// zone).
 //
-// Commands:
+// Commands (identical in both modes):
 //
 //	list                 module table of every targeted process
 //	services             VLink service table of every targeted process
@@ -36,6 +49,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -44,53 +58,86 @@ import (
 	"padico/internal/deploy"
 	"padico/internal/gatekeeper"
 	"padico/internal/soap"
+	"padico/internal/vlink"
 )
 
-func main() {
-	gridPath := flag.String("grid", "", "grid topology XML")
-	from := flag.String("from", "", "node to seat the controller on (default: first node)")
-	targets := flag.String("nodes", "all", "comma-separated target nodes, or \"all\"")
-	registries := flag.String("registry", "", "comma-separated registry replica hosts (default: first node of each zone)")
-	cascade := flag.Bool("cascade", false, "unload dependents before the module itself")
-	flag.Parse()
-	if *gridPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-registry r1,r2] [-cascade] command [args]")
-		os.Exit(2)
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// realMain is main minus os.Exit, so error paths are testable and — in
+// simulated mode — run *inside* Grid.Run's teardown: a failed command must
+// still drain every process (withdrawing its registry entries) before the
+// tool exits. Exiting from within the Run body would skip that.
+func realMain(argv []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("padico-ctl", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	gridPath := fs.String("grid", "", "grid topology XML (simulated mode)")
+	attach := fs.String("attach", "", "comma-separated padico-d endpoints (live mode)")
+	from := fs.String("from", "", "node to seat the controller on (simulated mode; default: first node)")
+	targets := fs.String("nodes", "all", "comma-separated target nodes, or \"all\"")
+	registries := fs.String("registry", "", "comma-separated registry replica hosts (simulated mode; default: first node of each zone)")
+	cascade := fs.Bool("cascade", false, "unload dependents before the module itself")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	cmd, args := flag.Arg(0), flag.Args()[1:]
+	usage := func() int {
+		fmt.Fprintln(errOut, "usage: padico-ctl -grid topology.xml [-from node] [-nodes a,b|all] [-registry r1,r2] [-cascade] command [args]")
+		fmt.Fprintln(errOut, "       padico-ctl -attach host:port[,host:port...] [-nodes a,b|all] [-cascade] command [args]")
+		return 2
+	}
+	if (*gridPath == "") == (*attach == "") || fs.NArg() == 0 {
+		return usage()
+	}
+	cmd, args := fs.Arg(0), fs.Args()[1:]
 	// Reject malformed invocations before spending a whole deployment
-	// bring-up on them (die inside Grid.Run would also skip its shutdown).
+	// bring-up (or a live attach) on them.
 	switch cmd {
 	case "list", "services", "stats", "ping", "demo":
 		if len(args) != 0 {
-			die(fmt.Errorf("%s takes no arguments", cmd))
+			return fail(errOut, fmt.Errorf("%s takes no arguments", cmd))
 		}
 	case "load", "unload":
 		if len(args) != 1 {
-			die(fmt.Errorf("%s wants exactly one module name", cmd))
+			return fail(errOut, fmt.Errorf("%s wants exactly one module name", cmd))
 		}
 	case "resolve":
 		if len(args) != 2 {
-			die(fmt.Errorf("resolve wants a kind and a name"))
+			return fail(errOut, fmt.Errorf("resolve wants a kind and a name"))
 		}
 	case "lookup":
 		if len(args) > 2 {
-			die(fmt.Errorf("lookup takes at most a kind and a name"))
+			return fail(errOut, fmt.Errorf("lookup takes at most a kind and a name"))
 		}
 	case "registry":
 		if len(args) != 1 || args[0] != "status" {
-			die(fmt.Errorf(`registry wants the subcommand "status"`))
+			return fail(errOut, fmt.Errorf(`registry wants the subcommand "status"`))
 		}
 	default:
-		die(fmt.Errorf("unknown command %q", cmd))
+		return fail(errOut, fmt.Errorf("unknown command %q", cmd))
 	}
 
-	src, err := os.ReadFile(*gridPath)
-	die(err)
+	if *attach != "" {
+		if *from != "" || *registries != "" {
+			return fail(errOut, fmt.Errorf("-from and -registry apply to simulated mode only"))
+		}
+		return runAttached(out, errOut, deploy.SplitList(*attach), *targets, cmd, args, *cascade)
+	}
+	return runSimulated(out, errOut, *gridPath, *from, *targets, *registries, cmd, args, *cascade)
+}
+
+// runSimulated builds the grid in-process and steers it in virtual time.
+func runSimulated(out, errOut io.Writer, gridPath, from, targets, registries, cmd string, args []string, cascade bool) int {
+	src, err := os.ReadFile(gridPath)
+	if err != nil {
+		return fail(errOut, err)
+	}
 	topo, err := deploy.ParseTopology(src)
-	die(err)
+	if err != nil {
+		return fail(errOut, err)
+	}
 	platform, err := deploy.Build(topo)
-	die(err)
+	if err != nil {
+		return fail(errOut, err)
+	}
 
 	var names []string
 	for n := range platform.Nodes {
@@ -98,49 +145,157 @@ func main() {
 	}
 	sort.Strings(names)
 	nodes := names
-	if *targets != "all" {
-		nodes = strings.Split(*targets, ",")
+	if targets != "all" {
+		nodes = strings.Split(targets, ",")
 		for _, n := range nodes {
 			if _, ok := platform.Nodes[n]; !ok {
-				die(fmt.Errorf("unknown target node %q", n))
+				return fail(errOut, fmt.Errorf("unknown target node %q", n))
 			}
 		}
 	}
-	seat := names[0]
-	if *from != "" {
-		seat = *from
+	seatNode := names[0]
+	if from != "" {
+		seatNode = from
 	}
-	if _, ok := platform.Nodes[seat]; !ok {
-		die(fmt.Errorf("unknown controller seat %q", seat))
+	if _, ok := platform.Nodes[seatNode]; !ok {
+		return fail(errOut, fmt.Errorf("unknown controller seat %q", seatNode))
 	}
 
 	var regNodes []string
-	if *registries != "" {
-		regNodes = strings.Split(*registries, ",")
+	if registries != "" {
+		regNodes = strings.Split(registries, ",")
 	}
 
+	// From here on, no early exits: a failure inside Run sets the code and
+	// returns normally, so Grid.Run's two-phase teardown (drain everywhere
+	// — withdrawing registry entries — then stop) always executes.
 	exit := 0
 	platform.Grid.Run(func() {
 		procs, err := platform.LaunchAllOn(regNodes)
-		die(err)
-		fmt.Printf("deployment %q up: %d process(es), registry replicas on %s\n",
+		if err != nil {
+			fmt.Fprintln(errOut, "padico-ctl:", err)
+			exit = 1
+			return
+		}
+		fmt.Fprintf(out, "deployment %q up: %d process(es), registry replicas on %s\n",
 			topo.Name, len(procs), strings.Join(platform.Registries, ","))
-		ctl := gatekeeper.FromProcess(procs[seat])
-		if !run(ctl, platform, procs, seat, nodes, cmd, args, *cascade) {
+		s := &simSeat{platform: platform, procs: procs, seat: seatNode}
+		if !run(out, errOut, s, nodes, cmd, args, cascade) {
 			exit = 1
 		}
 	})
-	os.Exit(exit)
+	return exit
+}
+
+// runAttached steers a live deployment of padico-d daemons over real TCP.
+func runAttached(out, errOut io.Writer, addrs []string, targets, cmd string, args []string, cascade bool) int {
+	dep, err := deploy.Attach(addrs)
+	if err != nil {
+		return fail(errOut, err)
+	}
+	defer dep.Close()
+	for _, w := range dep.Warnings() {
+		fmt.Fprintln(errOut, "padico-ctl: warning:", w)
+	}
+	nodes := dep.Nodes()
+	fmt.Fprintf(out, "attached: %d process(es), registry replicas on %s\n",
+		len(nodes), strings.Join(dep.Registries(), ","))
+	if targets != "all" {
+		known := map[string]bool{}
+		for _, n := range nodes {
+			known[n] = true
+		}
+		// Same parsing as simulated mode: empty elements are kept and
+		// rejected below, rather than silently shrinking the target set.
+		nodes = strings.Split(targets, ",")
+		for _, n := range nodes {
+			if !known[n] {
+				return fail(errOut, fmt.Errorf("unknown target node %q", n))
+			}
+		}
+	}
+	if !run(out, errOut, &wallSeat{dep: dep}, nodes, cmd, args, cascade) {
+		return 1
+	}
+	return 0
+}
+
+// seat is the operator's steering surface — identical over a freshly built
+// simulated deployment and a live one attached over TCP, which is what lets
+// every command work unchanged in both modes.
+type seat interface {
+	Controller() *gatekeeper.Controller
+	Registry() *gatekeeper.RegistryClient // nil when the seat has none
+	Registries() []string
+	// DialService resolves a published service by name and dials it from
+	// the seat.
+	DialService(kind, name string) (vlink.Stream, error)
+	// SoapCall invokes a SOAP method on a node's service from the seat.
+	SoapCall(node, service, method string, params ...string) ([]string, error)
+}
+
+// simSeat seats the controller inside a process of the simulated grid.
+type simSeat struct {
+	platform *deploy.Platform
+	procs    map[string]*core.Process
+	seat     string
+}
+
+func (s *simSeat) Controller() *gatekeeper.Controller {
+	return gatekeeper.FromProcess(s.procs[s.seat])
+}
+
+func (s *simSeat) Registry() *gatekeeper.RegistryClient {
+	gk, ok := gatekeeper.For(s.procs[s.seat])
+	if !ok {
+		return nil
+	}
+	return gk.Registry()
+}
+
+func (s *simSeat) Registries() []string { return s.platform.Registries }
+
+func (s *simSeat) DialService(kind, name string) (vlink.Stream, error) {
+	// The deployment installed the registry client as every linker's
+	// resolver, so the seat dials purely by name — no node given.
+	return s.procs[s.seat].Linker().DialService(kind, name)
+}
+
+func (s *simSeat) SoapCall(node, service, method string, params ...string) ([]string, error) {
+	return soap.NewClient(s.procs[s.seat].Linker()).Call(
+		s.procs[node].Node(), service, method, params...)
+}
+
+// wallSeat seats the controller outside the deployment, on real TCP.
+type wallSeat struct{ dep *deploy.WallDeployment }
+
+func (s *wallSeat) Controller() *gatekeeper.Controller   { return s.dep.Ctl }
+func (s *wallSeat) Registry() *gatekeeper.RegistryClient { return s.dep.Registry() }
+func (s *wallSeat) Registries() []string                 { return s.dep.Registries() }
+
+func (s *wallSeat) DialService(kind, name string) (vlink.Stream, error) {
+	return s.dep.DialService(kind, name)
+}
+
+func (s *wallSeat) SoapCall(node, service, method string, params ...string) ([]string, error) {
+	// Dialed through the daemon's wall gateway into its in-process SOAP
+	// server — the same envelopes, over the kernel network.
+	st, err := s.dep.Tr.Dial(node, "soap:"+service)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return soap.Call(st, method, params...)
 }
 
 // run executes one operator command; it reports success.
-func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string]*core.Process,
-	seat string, nodes []string, cmd string, args []string, cascade bool) bool {
+func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []string, cascade bool) bool {
+	ctl := s.Controller()
 	fan := func(req *gatekeeper.Request, show func(gatekeeper.FanResult)) bool {
 		ok := true
 		for _, r := range ctl.Fanout(nodes, req) {
 			if r.Err != nil {
-				fmt.Printf("%-8s ERROR %v\n", r.Node, r.Err)
+				fmt.Fprintf(out, "%-8s ERROR %v\n", r.Node, r.Err)
 				ok = false
 				continue
 			}
@@ -151,22 +306,22 @@ func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string
 	switch cmd {
 	case "list":
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpListModules}, func(r gatekeeper.FanResult) {
-			fmt.Printf("%-8s %v\n", r.Node, r.Resp.Modules)
+			fmt.Fprintf(out, "%-8s %v\n", r.Node, r.Resp.Modules)
 		})
 	case "services":
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpListServices}, func(r gatekeeper.FanResult) {
-			fmt.Printf("%-8s %v\n", r.Node, r.Resp.Services)
+			fmt.Fprintf(out, "%-8s %v\n", r.Node, r.Resp.Services)
 		})
 	case "ping":
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpPing}, func(r gatekeeper.FanResult) {
-			fmt.Printf("%-8s ok\n", r.Node)
+			fmt.Fprintf(out, "%-8s ok\n", r.Node)
 		})
 	case "stats":
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpStats}, func(r gatekeeper.FanResult) {
-			s := r.Resp.Stats
-			fmt.Printf("%-8s modules=%v services=%v orbs=%v\n", s.Node, s.Modules, s.Services, s.ORBs)
-			for _, d := range s.Devices {
-				fmt.Printf("         device %s (%s): routed=%d dropped=%d pending=%d\n",
+			st := r.Resp.Stats
+			fmt.Fprintf(out, "%-8s modules=%v services=%v orbs=%v\n", st.Node, st.Modules, st.Services, st.ORBs)
+			for _, d := range st.Devices {
+				fmt.Fprintf(out, "         device %s (%s): routed=%d dropped=%d pending=%d\n",
 					d.Name, d.Kind, d.Routed, d.Dropped, d.Pending)
 			}
 		})
@@ -176,7 +331,7 @@ func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string
 			req = &gatekeeper.Request{Op: gatekeeper.OpUnload, Module: args[0], Cascade: cascade}
 		}
 		return fan(req, func(r gatekeeper.FanResult) {
-			fmt.Printf("%-8s %sed %s -> %v\n", r.Node, cmd, args[0], r.Resp.Modules)
+			fmt.Fprintf(out, "%-8s %sed %s -> %v\n", r.Node, cmd, args[0], r.Resp.Modules)
 		})
 	case "lookup":
 		kind, name := "", ""
@@ -186,40 +341,39 @@ func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string
 		if len(args) > 1 {
 			name = args[1]
 		}
-		gk, ok := gatekeeper.For(procs[seat])
-		if !ok || gk.Registry() == nil {
-			fmt.Printf("lookup: no registry client on %s\n", seat)
+		rc := s.Registry()
+		if rc == nil {
+			fmt.Fprintln(out, "lookup: no registry client on this seat")
 			return false
 		}
-		entries, err := gk.Registry().Lookup(kind, name)
+		entries, err := rc.Lookup(kind, name)
 		if err != nil {
-			fmt.Printf("lookup: %v\n", err)
+			fmt.Fprintf(out, "lookup: %v\n", err)
 			return false
 		}
 		for _, e := range entries {
-			fmt.Printf("%-8s %-8s %-24s %s\n", e.Node, e.Kind, e.Name, e.Service)
+			fmt.Fprintf(out, "%-8s %-8s %-24s %s\n", e.Node, e.Kind, e.Name, e.Service)
 		}
-		fmt.Printf("%d entr%s\n", len(entries), map[bool]string{true: "y", false: "ies"}[len(entries) == 1])
+		fmt.Fprintf(out, "%d entr%s\n", len(entries), map[bool]string{true: "y", false: "ies"}[len(entries) == 1])
 		return true
 	case "resolve":
 		kind, name := args[0], args[1]
-		gk, ok := gatekeeper.For(procs[seat])
-		if !ok || gk.Registry() == nil {
-			fmt.Printf("resolve: no registry client on %s\n", seat)
+		rc := s.Registry()
+		if rc == nil {
+			fmt.Fprintln(out, "resolve: no registry client on this seat")
 			return false
 		}
-		rc := gk.Registry()
 		// Every replica's view first, so the operator sees replication
 		// state: a freshly published entry appears on its zone's replica
 		// immediately and on the rest within one sync interval.
-		for _, rep := range platform.Registries {
+		for _, rep := range s.Registries() {
 			entries, err := rc.LookupAt(rep, kind, name)
 			if err != nil {
-				fmt.Printf("replica %-8s ERROR %v\n", rep, err)
+				fmt.Fprintf(out, "replica %-8s ERROR %v\n", rep, err)
 				continue
 			}
 			if len(entries) == 0 {
-				fmt.Printf("replica %-8s no matching entries\n", rep)
+				fmt.Fprintf(out, "replica %-8s no matching entries\n", rep)
 				continue
 			}
 			for _, e := range entries {
@@ -227,103 +381,99 @@ func run(ctl *gatekeeper.Controller, platform *deploy.Platform, procs map[string
 				if e.TTLMillis > 0 {
 					ttl = fmt.Sprintf("ttl %dms", e.TTLMillis)
 				}
-				fmt.Printf("replica %-8s %-8s %-8s %-24s %-24s %s\n",
+				fmt.Fprintf(out, "replica %-8s %-8s %-8s %-24s %-24s %s\n",
 					rep, e.Node, e.Kind, e.Name, e.Service, ttl)
 			}
 		}
 		e, err := rc.Resolve(kind, name)
 		if err != nil {
-			fmt.Printf("resolve: %v\n", err)
+			fmt.Fprintf(out, "resolve: %v\n", err)
 			return false
 		}
-		fmt.Printf("%s %s -> node %s, service %s\n", kind, name, e.Node, e.Service)
-		// The deployment installed the registry client as every linker's
-		// resolver, so the seat dials purely by name — no node given.
-		st, err := procs[seat].Linker().DialService(kind, name)
+		fmt.Fprintf(out, "%s %s -> node %s, service %s\n", kind, name, e.Node, e.Service)
+		st, err := s.DialService(kind, name)
 		if err != nil {
-			fmt.Printf("resolve: dial by name: %v\n", err)
+			fmt.Fprintf(out, "resolve: dial by name: %v\n", err)
 			return false
 		}
 		st.Close()
-		fmt.Printf("dialed %s by name from %s ok\n", name, seat)
+		fmt.Fprintf(out, "dialed %s by name from the seat ok\n", name)
 		return true
 	case "registry": // registry status
-		gk, ok := gatekeeper.For(procs[seat])
-		if !ok || gk.Registry() == nil {
-			fmt.Printf("registry status: no registry client on %s\n", seat)
+		rc := s.Registry()
+		if rc == nil {
+			fmt.Fprintln(out, "registry status: no registry client on this seat")
 			return false
 		}
-		ok = true
-		for _, rep := range platform.Registries {
-			st, err := gk.Registry().StatusOf(rep)
+		ok := true
+		for _, rep := range s.Registries() {
+			st, err := rc.StatusOf(rep)
 			if err != nil {
-				fmt.Printf("replica %-8s ERROR %v\n", rep, err)
+				fmt.Fprintf(out, "replica %-8s ERROR %v\n", rep, err)
 				ok = false
 				continue
 			}
-			fmt.Printf("replica %-8s %d node(s), %d entr%s\n",
+			fmt.Fprintf(out, "replica %-8s %d node(s), %d entr%s\n",
 				st.Node, st.Nodes, st.Entries, map[bool]string{true: "y", false: "ies"}[st.Entries == 1])
 			for _, p := range st.Peers {
 				lag := "never synced"
 				if p.LagMillis >= 0 {
 					lag = fmt.Sprintf("synced %dms ago", p.LagMillis)
 				}
-				fmt.Printf("         peer %-8s %d sync(s), %d failure(s), %s\n",
+				fmt.Fprintf(out, "         peer %-8s %d sync(s), %d failure(s), %s\n",
 					p.Node, p.Syncs, p.Fails, lag)
 			}
 		}
 		return ok
 	case "demo":
-		return demo(ctl, procs, seat, nodes)
+		return demo(out, s, nodes)
 	default: // unreachable: commands are validated before launch
-		fmt.Fprintf(os.Stderr, "padico-ctl: unknown command %q\n", cmd)
+		fmt.Fprintf(errOut, "padico-ctl: unknown command %q\n", cmd)
 		return false
 	}
 }
 
 // demo is the acceptance scenario: list modules on every process, hot-load
 // the SOAP middleware into one of them, invoke it, then unload it.
-func demo(ctl *gatekeeper.Controller, procs map[string]*core.Process, seat string, nodes []string) bool {
-	fmt.Println("-- module tables before:")
+func demo(out io.Writer, s seat, nodes []string) bool {
+	ctl := s.Controller()
+	fmt.Fprintln(out, "-- module tables before:")
 	for _, r := range ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpListModules}) {
 		if r.Err != nil {
-			fmt.Printf("%-8s ERROR %v\n", r.Node, r.Err)
+			fmt.Fprintf(out, "%-8s ERROR %v\n", r.Node, r.Err)
 			return false
 		}
-		fmt.Printf("%-8s %v\n", r.Node, r.Resp.Modules)
+		fmt.Fprintf(out, "%-8s %v\n", r.Node, r.Resp.Modules)
 	}
 	victim := nodes[len(nodes)-1]
-	fmt.Printf("-- hot-loading soap into %s\n", victim)
+	fmt.Fprintf(out, "-- hot-loading soap into %s\n", victim)
 	mods, err := ctl.Load(victim, "soap")
 	if err != nil {
-		fmt.Printf("load: %v\n", err)
+		fmt.Fprintf(out, "load: %v\n", err)
 		return false
 	}
-	fmt.Printf("%-8s %v\n", victim, mods)
-	out, err := soap.NewClient(procs[seat].Linker()).Call(
-		procs[victim].Node(), "sys", "modules")
+	fmt.Fprintf(out, "%-8s %v\n", victim, mods)
+	answer, err := s.SoapCall(victim, "sys", "modules")
 	if err != nil {
-		fmt.Printf("soap call: %v\n", err)
+		fmt.Fprintf(out, "soap call: %v\n", err)
 		return false
 	}
-	fmt.Printf("-- SOAP sys/modules on %s answered: %v\n", victim, out)
+	fmt.Fprintf(out, "-- SOAP sys/modules on %s answered: %v\n", victim, answer)
 	if _, err := ctl.Unload(victim, "soap", false); err != nil {
-		fmt.Printf("unload: %v\n", err)
+		fmt.Fprintf(out, "unload: %v\n", err)
 		return false
 	}
-	fmt.Printf("-- unloaded soap from %s, final table: ", victim)
+	fmt.Fprintf(out, "-- unloaded soap from %s, final table: ", victim)
 	mods, err = ctl.Modules(victim)
 	if err != nil {
-		fmt.Printf("list: %v\n", err)
+		fmt.Fprintf(out, "list: %v\n", err)
 		return false
 	}
-	fmt.Println(mods)
+	fmt.Fprintln(out, mods)
 	return true
 }
 
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "padico-ctl:", err)
-		os.Exit(1)
-	}
+func fail(errOut io.Writer, err error) int {
+	fmt.Fprintln(errOut, "padico-ctl:", err)
+	return 1
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/deploy"
+)
+
+const testTopo = `<grid name="t">
+  <node name="a" zone="z1"/>
+  <node name="b" zone="z1"/>
+  <fabric name="eth0" kind="ethernet" nodes="a,b"/>
+</grid>`
+
+func writeTopo(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "grid.xml")
+	if err := os.WriteFile(p, []byte(testTopo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCommandErrorStillTearsDown is the regression for the die()-inside-
+// Grid.Run bug: a command failing mid-run used to os.Exit(1) from within
+// the Run body, skipping the deployment's two-phase teardown — registry
+// entries were never withdrawn and only lease TTL cleaned them up. The fix
+// routes every error exit through a normal return, so Grid.Run's deferred
+// shutdown (drain → withdraw → stop) always executes. Before the fix this
+// test could not even run to completion: the os.Exit inside realMain would
+// kill the whole test binary.
+func TestCommandErrorStillTearsDown(t *testing.T) {
+	topo := writeTopo(t)
+	var out, errOut bytes.Buffer
+	code := realMain([]string{"-grid", topo, "load", "no-such-module"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("failing command exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	// The deployment came up and the per-node errors were reported, i.e.
+	// the failure happened inside Run (not at argument validation).
+	if !strings.Contains(out.String(), "deployment") || !strings.Contains(out.String(), "ERROR") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	// The process is still alive and a subsequent run works: nothing
+	// leaked, nothing exited.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-grid", topo, "list"}, &out, &errOut); code != 0 {
+		t.Fatalf("follow-up list exited %d\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestSimulatedCommands smoke-tests the simulated mode end to end through
+// the real CLI entry point.
+func TestSimulatedCommands(t *testing.T) {
+	topo := writeTopo(t)
+	for _, cmd := range [][]string{
+		{"list"}, {"ping"}, {"services"}, {"registry", "status"},
+		{"lookup", "module", "vlink"}, {"demo"},
+	} {
+		var out, errOut bytes.Buffer
+		argv := append([]string{"-grid", topo}, cmd...)
+		if code := realMain(argv, &out, &errOut); code != 0 {
+			t.Fatalf("%v exited %d\nstdout:\n%s\nstderr:\n%s", cmd, code, out.String(), errOut.String())
+		}
+	}
+}
+
+// TestArgumentValidation rejects malformed invocations before any
+// deployment is built or attached.
+func TestArgumentValidation(t *testing.T) {
+	topo := writeTopo(t)
+	for _, tc := range []struct {
+		argv []string
+		code int
+	}{
+		{[]string{"-grid", topo}, 2},                           // no command
+		{[]string{"list"}, 2},                                  // neither -grid nor -attach
+		{[]string{"-grid", topo, "-attach", "x:1", "list"}, 2}, // both modes
+		{[]string{"-grid", topo, "load"}, 1},                   // missing module
+		{[]string{"-grid", topo, "bogus"}, 1},                  // unknown command
+		{[]string{"-grid", topo, "registry", "bogus"}, 1},      // bad subcommand
+		{[]string{"-attach", "x:1", "-from", "a", "list"}, 1},  // sim-only flag
+		{[]string{"-grid", topo, "-nodes", "zz", "list"}, 1},   // unknown target
+		{[]string{"-attach", "127.0.0.1:1", "list"}, 1},        // nothing listening
+	} {
+		var out, errOut bytes.Buffer
+		if code := realMain(tc.argv, &out, &errOut); code != tc.code {
+			t.Fatalf("%v exited %d, want %d\nstderr:\n%s", tc.argv, code, tc.code, errOut.String())
+		}
+	}
+}
+
+// TestAttachedCommands runs every operator command against live in-process
+// daemons over real loopback TCP — the CLI face of the wall deployment
+// layer. No simulated network exists in the controller path.
+func TestAttachedCommands(t *testing.T) {
+	regs := []string{"d0", "d1"}
+	d0, err := deploy.StartDaemon(deploy.DaemonConfig{Node: "d0", Registries: regs,
+		LeaseTTL: time.Second, SyncInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d0.Close()
+	d1, err := deploy.StartDaemon(deploy.DaemonConfig{Node: "d1", Registries: regs,
+		Peers: map[string]string{"d0": d0.Addr()}, LeaseTTL: time.Second, SyncInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	attach := d0.Addr() + "," + d1.Addr()
+
+	for _, cmd := range [][]string{
+		{"ping"}, {"list"}, {"services"}, {"stats"},
+		{"registry", "status"}, {"lookup"}, {"demo"},
+		{"load", "hla"}, {"unload", "hla"},
+	} {
+		var out, errOut bytes.Buffer
+		argv := append([]string{"-attach", attach}, cmd...)
+		if code := realMain(argv, &out, &errOut); code != 0 {
+			t.Fatalf("%v exited %d\nstdout:\n%s\nstderr:\n%s", cmd, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "attached:") {
+			t.Fatalf("%v did not report the attach:\n%s", cmd, out.String())
+		}
+	}
+
+	// resolve needs a dialable service in the registry: hot-load soap on
+	// d1, then poll until its lease re-announce publishes soap:sys (the
+	// announce rides an async actor, so the entry appears within a moment).
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-attach", attach, "-nodes", "d1", "load", "soap"}, &out, &errOut); code != 0 {
+		t.Fatalf("load soap exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out.Reset()
+		errOut.Reset()
+		if code := realMain([]string{"-attach", attach, "resolve", "vlink", "soap:sys"}, &out, &errOut); code == 0 {
+			if !strings.Contains(out.String(), "dialed soap:sys by name") {
+				t.Fatalf("resolve output:\n%s", out.String())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resolve never succeeded\nstdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The deployment must have survived the steering: daemons still answer.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", d1.Addr(), "ping"}, &out, &errOut); code != 0 {
+		t.Fatalf("deployment did not survive steering\nstderr:\n%s", errOut.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"padico/internal/core"
+	walldeploy "padico/internal/deploy"
 	"padico/internal/gatekeeper"
 	"padico/internal/orb"
 	"padico/internal/simnet"
@@ -190,6 +191,73 @@ func main() {
 		})
 	}
 	fmt.Println("the application code was identical in all three deployments.")
+
+	// Deployment 3: the same find-the-sink-by-name, live. Two padico-d
+	// daemons — separate wall-clock Padico processes behind real
+	// loopback-TCP listeners — host the probe as an ordinary application
+	// module; an attached seat resolves it through the replicated
+	// registry (whose entries advertise each daemon's real endpoint) and
+	// dials it through the owning daemon's gateway. The producer-side
+	// code still never learns where the sink runs.
+	core.RegisterModuleType("hetero:probe", func() core.Module {
+		return &core.FuncModule{ModName: "hetero:probe", Deps: []string{"vlink"},
+			OnInit: func(p *core.Process) error {
+				probe, err := p.Linker().Listen("hetero:probe")
+				if err != nil {
+					return err
+				}
+				p.Runtime().Go("probe", func() {
+					for {
+						st, err := probe.Accept()
+						if err != nil {
+							return
+						}
+						buf := make([]byte, 8)
+						if err := sockets.ReadFull(st, buf); err == nil {
+							_, _ = st.Write(buf)
+						}
+						st.Close()
+					}
+				})
+				return nil
+			}}
+	})
+	d0, err := walldeploy.StartDaemon(walldeploy.DaemonConfig{
+		Node: "siteA-live", Zone: "siteA", Registries: []string{"siteA-live"},
+		LeaseTTL: time.Second, SyncInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	defer d0.Close()
+	d1, err := walldeploy.StartDaemon(walldeploy.DaemonConfig{
+		Node: "siteB-live", Zone: "siteB", Registries: []string{"siteA-live"},
+		Peers:    map[string]string{"siteA-live": d0.Addr()},
+		Modules:  []string{"hetero:probe"}, // the sink, loaded at boot
+		LeaseTTL: time.Second, SyncInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	defer d1.Close()
+	att, err := walldeploy.Attach([]string{d0.Addr()})
+	must(err)
+	defer att.Close()
+	att.Registry().SetCacheTTL(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if entries, err := att.Registry().Lookup("vlink", "hetero:probe"); err == nil && len(entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			must(fmt.Errorf("hetero:probe never reached the live registry"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := att.DialService("vlink", "hetero:probe")
+	must(err)
+	if _, err := st.Write(make([]byte, 8)); err != nil {
+		must(err)
+	}
+	must(sockets.ReadFull(st, make([]byte, 8)))
+	st.Close()
+	fmt.Println("live wall-clock deployment:        found the sink by name over real TCP (-> siteB-live)")
 }
 
 func must(err error) {

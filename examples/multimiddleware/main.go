@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"padico/internal/core"
+	"padico/internal/deploy"
 	"padico/internal/gatekeeper"
 	"padico/internal/hla"
 	"padico/internal/mpi"
@@ -190,6 +191,58 @@ func main() {
 		fmt.Printf("RGSTRY replica host0 killed; %s still resolves (-> %s) via replica %s\n",
 			gatekeeper.Service, e.Node, rc0.RegistryNode())
 	})
+
+	// 7. The same control plane, live: two padico-d daemons — genuine
+	// wall-clock Padico processes behind real loopback-TCP listeners —
+	// and an attached operator seat that constructs no simulated network
+	// at all. The steering is identical to part 5; only the clock and the
+	// wire are real, and the deployment outlives the controller.
+	fmt.Println("LIVE   booting two padico-d daemons on loopback TCP")
+	d0, err := deploy.StartDaemon(deploy.DaemonConfig{
+		Node: "live0", Registries: []string{"live0"},
+		LeaseTTL: time.Second, SyncInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	defer d0.Close()
+	d1, err := deploy.StartDaemon(deploy.DaemonConfig{
+		Node: "live1", Registries: []string{"live0"},
+		Peers:    map[string]string{"live0": d0.Addr()},
+		LeaseTTL: time.Second, SyncInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	defer d1.Close()
+
+	att, err := deploy.Attach([]string{d0.Addr()}) // one endpoint reveals the grid
+	must(err)
+	defer att.Close()
+	att.Registry().SetCacheTTL(0)
+	for _, r := range att.Ctl.Fanout([]string{"live0", "live1"},
+		&gatekeeper.Request{Op: gatekeeper.OpListModules}) {
+		must(r.Err)
+		fmt.Printf("LIVE   %s runs %v (over real TCP)\n", r.Node, r.Resp.Modules)
+	}
+	_, err = att.Ctl.Load("live1", "soap")
+	must(err)
+	// The churn announce publishes soap:sys with live1's real endpoint;
+	// wait for it, then dial purely by name through live1's wall gateway.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if entries, err := att.Registry().Lookup("vlink", "soap:sys"); err == nil && len(entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			must(fmt.Errorf("soap:sys never reached the live registry"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, err := att.DialService("vlink", "soap:sys")
+	must(err)
+	answer, err := soap.Call(st, "echo", "hello-live-grid")
+	st.Close()
+	must(err)
+	fmt.Printf("LIVE   hot-loaded soap into live1, SOAP echo over the gateway: %v\n", answer)
+	d1.Close() // clean shutdown withdraws live1 grid-wide within one sync interval
+	fmt.Println("LIVE   daemons down — same commands, simulated or attached")
 }
 
 type calcServant struct{}

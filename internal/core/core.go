@@ -23,13 +23,17 @@ import (
 	"padico/internal/vtime"
 )
 
-// Grid is one simulated computational grid: the network, its arbitration
-// core and the Padico processes running on the nodes.
+// Grid is one computational grid: the network, its arbitration core and the
+// Padico processes running on the nodes. A grid runs either on the
+// deterministic simulator (NewGrid — Sim is set) or on the wall clock
+// (NewGridOn — Sim is nil), so the same process/module machinery serves
+// simulation studies and live padico-d daemons alike.
 type Grid struct {
-	Sim *vtime.Sim
+	Sim *vtime.Sim // deterministic runtime; nil for a wall-clock grid
 	Net *simnet.Net
 	Arb *arbitration.Arbiter
 
+	rt    vtime.Runtime
 	mu    sync.Mutex
 	procs map[string]*Process
 }
@@ -37,9 +41,26 @@ type Grid struct {
 // NewGrid builds an empty grid on a fresh deterministic runtime.
 func NewGrid() *Grid {
 	sim := vtime.NewSim()
-	net := simnet.New(sim)
-	return &Grid{Sim: sim, Net: net, Arb: arbitration.New(net), procs: make(map[string]*Process)}
+	g := newGrid(sim)
+	g.Sim = sim
+	return g
 }
+
+// NewGridOn builds an empty grid on an arbitrary runtime — in particular
+// the wall clock, where one OS process hosts one Padico process (the
+// padico-d daemon) and the simulated fabrics only model the node-local
+// loopback. Wall grids have no root actor: callers drive processes from
+// plain goroutines and must not call Run.
+func NewGridOn(rt vtime.Runtime) *Grid { return newGrid(rt) }
+
+func newGrid(rt vtime.Runtime) *Grid {
+	net := simnet.New(rt)
+	return &Grid{Net: net, Arb: arbitration.New(net), rt: rt, procs: make(map[string]*Process)}
+}
+
+// Runtime returns the runtime the grid schedules on (the simulator or the
+// wall clock).
+func (g *Grid) Runtime() vtime.Runtime { return g.rt }
 
 // AddNodes registers n machines named prefix0..prefix<n-1>.
 func (g *Grid) AddNodes(prefix string, n int) []*simnet.Node {
@@ -75,11 +96,11 @@ func (g *Grid) Launch(node *simnet.Node) (*Process, error) {
 	p := &Process{
 		grid:    g,
 		node:    node,
-		rt:      g.Sim,
-		mgr:     marcel.NewManager(g.Sim),
+		rt:      g.rt,
+		mgr:     marcel.NewManager(g.rt),
 		repo:    idl.NewRepository(),
 		modules: make(map[string]*moduleState),
-		modSem:  vtime.NewSemaphore(g.Sim, "core: module table "+node.Name, 1),
+		modSem:  vtime.NewSemaphore(g.rt, "core: module table "+node.Name, 1),
 	}
 	g.procs[node.Name] = p
 	return p, nil
@@ -94,8 +115,13 @@ func (g *Grid) Process(nodeName string) (*Process, bool) {
 }
 
 // Run executes body as the root actor of the grid's virtual time and shuts
-// every process down afterwards.
+// every process down afterwards. It requires a simulated grid; wall-clock
+// grids (NewGridOn) are driven by plain goroutines and torn down by closing
+// their processes directly.
 func (g *Grid) Run(body func()) {
+	if g.Sim == nil {
+		panic("core: Grid.Run needs a simulated grid (NewGrid); wall grids run under the Go runtime directly")
+	}
 	g.Sim.Run(func() {
 		defer g.shutdown()
 		body()

@@ -63,7 +63,7 @@ func ParseTopology(data []byte) (*Topology, error) {
 		default:
 			return nil, fmt.Errorf("deploy: fabric %q has unknown kind %q", f.Name, f.Kind)
 		}
-		for _, nd := range splitList(f.Nodes) {
+		for _, nd := range SplitList(f.Nodes) {
 			if !names[nd] {
 				return nil, fmt.Errorf("deploy: fabric %q references unknown node %q", f.Name, nd)
 			}
@@ -72,7 +72,10 @@ func ParseTopology(data []byte) (*Topology, error) {
 	return &t, nil
 }
 
-func splitList(s string) []string {
+// SplitList splits a comma-separated list, trimming whitespace and
+// dropping empty elements — the parsing shared by topology attributes and
+// the command-line tools' list flags.
+func SplitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		if p := strings.TrimSpace(part); p != "" {
@@ -104,7 +107,7 @@ func Build(t *Topology) (*Platform, error) {
 	}
 	for _, f := range t.Fabrics {
 		var members []*simnet.Node
-		for _, name := range splitList(f.Nodes) {
+		for _, name := range SplitList(f.Nodes) {
 			members = append(members, p.Nodes[name])
 		}
 		var err error
@@ -221,9 +224,16 @@ func (p *Platform) ResolveHost(host string, used map[string]bool) (string, error
 // one zone and gets one replica on its first node, the pre-replication
 // behaviour.
 func (p *Platform) defaultRegistryNodes() []string {
+	return defaultRegistryPlacement(p.Zones)
+}
+
+// defaultRegistryPlacement computes the replica placement for a node → zone
+// map: the first node (in name order) of every zone. Shared by simulated
+// platforms and live daemons reading the same grid XML, so both modes agree
+// on where replicas live.
+func defaultRegistryPlacement(zones map[string]string) []string {
 	perZone := map[string]string{}
-	for n := range p.Nodes {
-		zone := p.Zones[n]
+	for n, zone := range zones {
 		if cur, ok := perZone[zone]; !ok || n < cur {
 			perZone[zone] = n
 		}
@@ -234,6 +244,23 @@ func (p *Platform) defaultRegistryNodes() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ZoneMap returns the topology's node → zone map.
+func (t *Topology) ZoneMap() map[string]string {
+	out := make(map[string]string, len(t.Nodes))
+	for _, n := range t.Nodes {
+		out[n.Name] = n.Zone
+	}
+	return out
+}
+
+// RegistryPlacement returns the default registry-replica placement for a
+// topology: the first node of each administrative zone — what LaunchAll
+// realizes in the simulator and what padico-d daemons assume when started
+// from the same grid XML without an explicit -registries override.
+func (t *Topology) RegistryPlacement() []string {
+	return defaultRegistryPlacement(t.ZoneMap())
 }
 
 // LaunchAll starts one Padico process per node and returns them by name.
@@ -312,7 +339,7 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 		if !ok {
 			continue
 		}
-		rc := gatekeeper.NewRegistryClient(p.Grid.Sim,
+		rc := gatekeeper.NewRegistryClient(p.Grid.Runtime(),
 			orb.VLinkTransport{Linker: out[n].Linker()}, p.replicaOrder(n, regNodes, zoneReplica)...)
 		gk.UseRegistry(rc)
 		out[n].Linker().SetResolver(rc)

@@ -1,0 +1,408 @@
+package deploy
+
+// This file is the wall-clock half of the package: one padico-d daemon per
+// OS process, steered live over real TCP. This is the split the simulator
+// conflates — LaunchAll both *describes* a grid and *steers* it inside one
+// process; StartDaemon and Attach separate the two, so `padico-ctl -attach`
+// controls processes it did not create, the way PadicoControl steers a
+// running grid in the paper.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/gatekeeper"
+	"padico/internal/orb"
+	"padico/internal/simnet"
+	"padico/internal/sockets"
+	"padico/internal/vlink"
+	"padico/internal/vtime"
+)
+
+// DaemonConfig describes one padico-d node daemon.
+type DaemonConfig struct {
+	// Node is the daemon's node name (required).
+	Node string
+	// Zone is the administrative zone, advertised in the deployment
+	// descriptor.
+	Zone string
+	// Listen is the bind address of the real TCP control listener;
+	// "127.0.0.1:0" when empty.
+	Listen string
+	// Advertise is the endpoint other processes should dial; the actual
+	// listen address when empty.
+	Advertise string
+	// Registries names the nodes hosting registry replicas, in client
+	// preference order. Empty means this daemon hosts the only replica.
+	Registries []string
+	// Peers seeds the address book with node → endpoint mappings —
+	// minimally the registry replicas, so the first announce can land.
+	// Everything else is learned from registry entries at run time.
+	Peers map[string]string
+	// Modules are loaded at boot, after "vlink".
+	Modules []string
+	// LeaseTTL is the registry lease (DefaultLeaseTTL when zero).
+	LeaseTTL time.Duration
+	// SyncInterval is the anti-entropy period for a hosted replica
+	// (DefaultSyncInterval when zero).
+	SyncInterval time.Duration
+}
+
+// Daemon is one running padico-d: a genuine Padico process on the wall
+// clock, its gatekeeper and (optionally) registry replica served on a real
+// TCP listener, and a gateway bridging inbound wall connections to the
+// process's in-process VLink services.
+type Daemon struct {
+	Wall *vtime.Wall
+	Grid *core.Grid
+	Proc *core.Process
+	Host *sockets.WallHost
+	GK   *gatekeeper.Gatekeeper
+	Reg  *gatekeeper.Registry // nil unless this node hosts a replica
+
+	cfg         DaemonConfig
+	registries  []string
+	cancelWatch func()
+	closeOnce   sync.Once
+}
+
+// StartDaemon boots one node daemon. The first registry announce is best
+// effort: when the replicas come up later (daemons boot in any order), the
+// lease renewal publishes as soon as one is reachable.
+func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("deploy: daemon needs a node name")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = gatekeeper.DefaultLeaseTTL
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = gatekeeper.DefaultSyncInterval
+	}
+	registries := append([]string(nil), cfg.Registries...)
+	if len(registries) == 0 {
+		registries = []string{cfg.Node}
+	}
+
+	// The daemon's Padico process proper: a wall-clock grid holding just
+	// this machine, so the whole module system (SOAP, CORBA profiles, HLA,
+	// MPI readiness) runs exactly as in the simulator — only the clock and
+	// the cross-process transport differ.
+	wall := vtime.NewWall()
+	grid := core.NewGridOn(wall)
+	node := grid.Net.NewNode(cfg.Node)
+	if _, err := grid.AddEthernet("local", []*simnet.Node{node}); err != nil {
+		return nil, fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err)
+	}
+	proc, err := grid.Launch(node)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err)
+	}
+	if err := proc.Load("vlink"); err != nil {
+		proc.Shutdown()
+		return nil, fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err)
+	}
+
+	host := sockets.NewWallHost(cfg.Node)
+	addr, err := host.ListenTCP(cfg.Listen)
+	if err != nil {
+		proc.Shutdown()
+		return nil, err
+	}
+	adv := cfg.Advertise
+	if adv == "" {
+		adv = addr
+	}
+	for n, a := range cfg.Peers {
+		host.Register(n, a)
+	}
+	host.Pin(cfg.Node, adv) // learning must never redirect a node away from itself
+	tr := orb.WallTransport{Host: host}
+
+	d := &Daemon{Wall: wall, Grid: grid, Proc: proc, Host: host,
+		cfg: cfg, registries: registries}
+	fail := func(err error) (*Daemon, error) {
+		d.Close()
+		return nil, err
+	}
+
+	// Registry replica, if this node hosts one: served on the same real
+	// listener, reconciling with its peers over real TCP.
+	if slices.Contains(registries, cfg.Node) {
+		reg, err := gatekeeper.StartRegistry(wall, tr)
+		if err != nil {
+			return fail(fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err))
+		}
+		d.Reg = reg
+		reg.StartSync(registries, cfg.SyncInterval)
+	}
+
+	gk, err := gatekeeper.Serve(wall, tr, gatekeeper.TargetFor(proc))
+	if err != nil {
+		return fail(fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err))
+	}
+	d.GK = gk
+	gk.SetEndpoint(adv)
+	gk.ProvideInfo(func() gatekeeper.NodeInfo {
+		return gatekeeper.NodeInfo{
+			Node:       cfg.Node,
+			Zone:       cfg.Zone,
+			Addr:       adv,
+			Registries: append([]string(nil), registries...),
+			Peers:      host.Book(),
+		}
+	})
+	gk.UseRegistry(gatekeeper.NewRegistryClient(wall, tr, replicaPreference(cfg.Node, registries)...))
+	d.cancelWatch = gk.WatchModules(proc)
+
+	// Gateway: an inbound wall connection naming a service the mux does not
+	// serve (soap:sys, a GIOP endpoint, any application listener) is dialed
+	// on the process's own linker and proxied — every in-process service is
+	// remotely reachable without the middleware knowing about real TCP.
+	host.SetFallback(func(service string) (io.ReadWriteCloser, error) {
+		return proc.Linker().DialName(cfg.Node, service)
+	})
+
+	// The lease starts before any module loads: module churn fires async
+	// announces, and those must already carry the lease TTL — a lease-less
+	// publish racing in after StartLease would leave this node's record
+	// permanent, dangling forever if the daemon then crashed. Best effort
+	// by design: see the function comment.
+	_ = gk.StartLease(cfg.LeaseTTL)
+	for _, m := range cfg.Modules {
+		if err := proc.Load(m); err != nil {
+			return fail(fmt.Errorf("deploy: daemon %s: loading %s: %w", cfg.Node, m, err))
+		}
+	}
+	return d, nil
+}
+
+// replicaPreference orders a node's replica list: its own replica first
+// when it hosts one (publishes land locally; anti-entropy spreads them),
+// the rest in configured order as failover targets.
+func replicaPreference(node string, registries []string) []string {
+	if !slices.Contains(registries, node) {
+		return registries
+	}
+	out := make([]string, 0, len(registries))
+	out = append(out, node)
+	for _, n := range registries {
+		if n != node {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Addr returns the daemon's advertised control endpoint.
+func (d *Daemon) Addr() string {
+	if d.cfg.Advertise != "" {
+		return d.cfg.Advertise
+	}
+	return d.Host.Addr()
+}
+
+// Node returns the daemon's node name.
+func (d *Daemon) Node() string { return d.cfg.Node }
+
+// Registries returns the replica placement this daemon is configured with.
+func (d *Daemon) Registries() []string { return append([]string(nil), d.registries...) }
+
+// Close shuts the daemon down cleanly: it withdraws from the registry
+// while its links are still up (entries vanish grid-wide within one sync
+// interval), then stops the control plane, the replica, the listener and
+// the Padico process.
+func (d *Daemon) Close() {
+	d.closeOnce.Do(func() {
+		if d.cancelWatch != nil {
+			d.cancelWatch()
+		}
+		if d.GK != nil {
+			_ = d.GK.Withdraw()
+		}
+		if d.Reg != nil {
+			// The withdraw landed on the local replica (self-first
+			// preference), which is about to die with this daemon: push
+			// one last sync round so the tombstone reaches the survivors
+			// now — they only initiate exchanges with live peers, so it
+			// would otherwise be lost and Close would degrade to Kill.
+			d.Reg.SyncNow()
+		}
+		if d.GK != nil {
+			d.GK.Close() // closes the registry client too
+		}
+		if d.Reg != nil {
+			d.Reg.Close()
+		}
+		d.Host.Close()
+		d.Proc.Close()
+	})
+}
+
+// Kill is the crash counterpart of Close: no withdraw, no drain — the
+// daemon's registry entries dangle until their lease expires, exactly like
+// a machine losing power. Tests use it to exercise failover.
+func (d *Daemon) Kill() {
+	d.closeOnce.Do(func() {
+		if d.cancelWatch != nil {
+			d.cancelWatch()
+		}
+		if d.GK != nil {
+			d.GK.Close()
+		}
+		if d.Reg != nil {
+			d.Reg.Close()
+		}
+		d.Host.Close()
+		d.Proc.Shutdown()
+	})
+}
+
+// WallDeployment is a live grid as seen by an attached controller: the
+// operator's seat dials daemons over real TCP, resolves through the
+// replicated registry, and constructs no simulated network whatsoever.
+type WallDeployment struct {
+	Wall *vtime.Wall
+	Host *sockets.WallHost
+	Tr   orb.WallTransport
+	Ctl  *gatekeeper.Controller
+
+	rc         *gatekeeper.RegistryClient
+	registries []string
+	nodes      []string
+	warnings   []error
+}
+
+// Attach connects the operator seat to a live deployment through one or
+// more daemon endpoints ("host:port"). Any one reachable daemon suffices:
+// its deployment descriptor names the registry replicas and hands over its
+// address book, and the registry's own entries (each advertising its
+// daemon's endpoint) fill in the rest of the grid.
+func Attach(addrs []string) (*WallDeployment, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("deploy: attach needs at least one daemon endpoint")
+	}
+	wall := vtime.NewWall()
+	host := sockets.NewWallHost("padico-ctl")
+	tr := orb.WallTransport{Host: host}
+
+	var errs []error
+	nodeSet := map[string]bool{}
+	regSet := map[string]bool{}
+	var regOrder []string
+	for _, addr := range addrs {
+		info, err := fetchInfo(host, addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for n, a := range info.Peers {
+			if n != info.Node {
+				host.Register(n, a)
+			}
+		}
+		// The endpoint that answered from this seat beats whatever the
+		// daemon advertises for itself — NATs and multi-homed hosts make
+		// the operator's view authoritative for the operator. Pinning
+		// keeps later peer descriptors and registry-entry learning from
+		// clobbering it.
+		host.Pin(info.Node, addr)
+		nodeSet[info.Node] = true
+		for _, r := range info.Registries {
+			if !regSet[r] {
+				regSet[r] = true
+				regOrder = append(regOrder, r)
+			}
+		}
+	}
+	if len(nodeSet) == 0 {
+		host.Close()
+		return nil, fmt.Errorf("deploy: no daemon reachable: %w", errors.Join(errs...))
+	}
+	if len(regOrder) == 0 {
+		host.Close()
+		return nil, fmt.Errorf("deploy: attached daemons advertise no registry replica")
+	}
+
+	w := &WallDeployment{Wall: wall, Host: host, Tr: tr,
+		Ctl:        gatekeeper.NewController(wall, tr),
+		rc:         gatekeeper.NewRegistryClient(wall, tr, regOrder...),
+		registries: regOrder,
+		// A partially successful attach is usable, but the operator named
+		// every endpoint on purpose — the ones that failed must be
+		// reported, not silently dropped from the grid view.
+		warnings: errs,
+	}
+	// Grid-wide discovery: every publishing node appears in the registry
+	// with its endpoint, so one list yields the full node set and teaches
+	// the address book how to dial it. Best effort — a deployment whose
+	// replicas are all down can still be pinged/steered node by node.
+	if entries, err := w.rc.Lookup("", ""); err == nil {
+		for _, e := range entries {
+			nodeSet[e.Node] = true
+		}
+	}
+	for n := range nodeSet {
+		w.nodes = append(w.nodes, n)
+	}
+	sort.Strings(w.nodes)
+	return w, nil
+}
+
+// fetchInfo bootstraps one daemon: dial its gatekeeper by raw endpoint and
+// ask for the deployment descriptor.
+func fetchInfo(host *sockets.WallHost, addr string) (*gatekeeper.NodeInfo, error) {
+	st, err := host.DialAddr(addr, gatekeeper.Service)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: attach %s: %w", addr, err)
+	}
+	defer st.Close()
+	defer gatekeeper.ArmControlDeadline(st)()
+	if err := gatekeeper.WriteRequest(st, &gatekeeper.Request{Op: gatekeeper.OpInfo}); err != nil {
+		return nil, fmt.Errorf("deploy: attach %s: %w", addr, err)
+	}
+	resp, err := gatekeeper.ReadResponse(st)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: attach %s: %w", addr, err)
+	}
+	if err := resp.Err(); err != nil {
+		return nil, fmt.Errorf("deploy: attach %s: %w", addr, err)
+	}
+	if resp.Info == nil {
+		return nil, fmt.Errorf("deploy: attach %s: daemon returned no info", addr)
+	}
+	return resp.Info, nil
+}
+
+// Nodes returns the discovered node names, sorted.
+func (w *WallDeployment) Nodes() []string { return append([]string(nil), w.nodes...) }
+
+// Warnings returns the per-endpoint failures of a partially successful
+// attach (daemons named on the command line that did not answer).
+func (w *WallDeployment) Warnings() []error { return append([]error(nil), w.warnings...) }
+
+// Registries returns the replica placement the deployment advertises.
+func (w *WallDeployment) Registries() []string { return append([]string(nil), w.registries...) }
+
+// Registry returns the seat's replicated-registry client.
+func (w *WallDeployment) Registry() *gatekeeper.RegistryClient { return w.rc }
+
+// DialService resolves a published service by name and dials it over the
+// wall transport — through the owning daemon's gateway when the service
+// lives on the process's internal linker.
+func (w *WallDeployment) DialService(kind, name string) (vlink.Stream, error) {
+	return gatekeeper.DialServiceOn(w.Tr, w.rc, kind, name)
+}
+
+// Close releases the seat: the registry session and the dialer. The
+// deployment itself keeps running — that is the point.
+func (w *WallDeployment) Close() {
+	w.rc.Close()
+	w.Host.Close()
+}

@@ -1,0 +1,267 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/gatekeeper"
+	"padico/internal/soap"
+)
+
+// startTrio boots the canonical live test grid on loopback TCP: three
+// daemons in two zones, registry replicas on w0 and w1, addresses seeded
+// the way an operator would — each daemon knows the replicas, nothing else.
+func startTrio(t *testing.T) (d0, d1, d2 *Daemon) {
+	t.Helper()
+	const (
+		lease = 500 * time.Millisecond
+		sync  = 50 * time.Millisecond
+	)
+	regs := []string{"w0", "w1"}
+	var err error
+	d0, err = StartDaemon(DaemonConfig{Node: "w0", Zone: "a", Registries: regs,
+		LeaseTTL: lease, SyncInterval: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d0.Close)
+	d1, err = StartDaemon(DaemonConfig{Node: "w1", Zone: "b", Registries: regs,
+		Peers: map[string]string{"w0": d0.Addr()}, LeaseTTL: lease, SyncInterval: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d1.Close)
+	d2, err = StartDaemon(DaemonConfig{Node: "w2", Zone: "b", Registries: regs,
+		Peers:    map[string]string{"w0": d0.Addr(), "w1": d1.Addr()},
+		LeaseTTL: lease, SyncInterval: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+	return d0, d1, d2
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWallDeploymentEndToEnd is the live-deployment acceptance: ≥2 genuine
+// padico-d instances on loopback TCP, an attached controller steering them
+// with no simnet anywhere in the control path, soap hot-loaded remotely,
+// name resolution through the replicated registry, and failover when a
+// replica-hosting daemon is killed mid-run.
+func TestWallDeploymentEndToEnd(t *testing.T) {
+	d0, _, _ := startTrio(t)
+
+	// Attach through ONE endpoint: the descriptor + registry entries must
+	// reveal the whole grid.
+	dep, err := Attach([]string{d0.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	dep.Registry().SetCacheTTL(0)
+
+	waitFor(t, "all three daemons in the registry", 5*time.Second, func() bool {
+		entries, err := dep.Registry().Lookup("module", "vlink")
+		return err == nil && len(entries) == 3
+	})
+	if got := dep.Registries(); len(got) != 2 || got[0] != "w0" || got[1] != "w1" {
+		t.Fatalf("attached registries = %v, want [w0 w1]", got)
+	}
+
+	// Refresh the discovered node set now that every lease landed.
+	dep2, err := Attach([]string{d0.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep2.Close()
+	dep2.Registry().SetCacheTTL(0)
+	if nodes := dep2.Nodes(); len(nodes) != 3 {
+		t.Fatalf("discovered nodes = %v, want 3", nodes)
+	}
+
+	// Steer every daemon over real TCP: fan-out ping and list.
+	for _, r := range dep2.Ctl.Fanout(dep2.Nodes(), &gatekeeper.Request{Op: gatekeeper.OpPing}) {
+		if r.Err != nil {
+			t.Fatalf("ping %s: %v", r.Node, r.Err)
+		}
+	}
+
+	// Hot-load soap into w2 remotely; its lease re-announce publishes the
+	// soap:sys VLink service grid-wide.
+	if _, err := dep2.Ctl.Load("w2", "soap"); err != nil {
+		t.Fatalf("remote load soap: %v", err)
+	}
+	waitFor(t, "soap:sys in the registry", 5*time.Second, func() bool {
+		entries, err := dep2.Registry().Lookup("vlink", "soap:sys")
+		return err == nil && len(entries) == 1
+	})
+
+	// Resolve by name and dial through w2's wall gateway into its
+	// in-process SOAP server.
+	st, err := dep2.DialService("vlink", "soap:sys")
+	if err != nil {
+		t.Fatalf("dial soap:sys by name: %v", err)
+	}
+	answer, err := soap.Call(st, "echo", "live")
+	st.Close()
+	if err != nil || len(answer) != 1 || answer[0] != "live" {
+		t.Fatalf("soap echo over the gateway = %v, %v", answer, err)
+	}
+
+	// Kill the preferred replica (crash semantics: no withdraw). The
+	// surviving replica already holds the records via anti-entropy, so
+	// resolution and dialing keep working through failover.
+	d0.Kill()
+	waitFor(t, "failover resolution of soap:sys", 5*time.Second, func() bool {
+		st, err := dep2.DialService("vlink", "soap:sys")
+		if err != nil {
+			return false
+		}
+		st.Close()
+		return true
+	})
+	if node := dep2.Registry().RegistryNode(); node != "w1" {
+		t.Fatalf("seat's registry client pinned to %q after failover, want w1", node)
+	}
+
+	// The dead daemon's own entries fall out once its lease expires.
+	waitFor(t, "w0's lease to expire on the survivor", 5*time.Second, func() bool {
+		entries, err := dep2.Registry().Lookup("module", "vlink")
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e.Node == "w0" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestWallCleanCloseWithdraws is Close vs Kill: a cleanly closed daemon
+// vanishes from the registry within a sync interval — well before its
+// lease TTL — because it withdraws while its links are still up.
+func TestWallCleanCloseWithdraws(t *testing.T) {
+	_, _, d2 := startTrio(t)
+
+	dep, err := Attach([]string{d2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	dep.Registry().SetCacheTTL(0)
+
+	waitFor(t, "w2 announced", 5*time.Second, func() bool {
+		entries, err := dep.Registry().Lookup("", "")
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e.Node == "w2" {
+				return true
+			}
+		}
+		return false
+	})
+
+	closed := time.Now()
+	d2.Close()
+	waitFor(t, "w2 withdrawn from the registry", 2*time.Second, func() bool {
+		entries, err := dep.Registry().Lookup("", "")
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e.Node == "w2" {
+				return false
+			}
+		}
+		return true
+	})
+	// Withdraw must beat lease expiry by a clear margin (the tombstone
+	// propagates within one 50ms sync interval; the lease is 500ms).
+	if waited := time.Since(closed); waited > 400*time.Millisecond {
+		t.Fatalf("withdraw took %v — indistinguishable from lease expiry", waited)
+	}
+}
+
+// TestWallReplicaCloseWithdraws is the harder variant: the closing daemon
+// HOSTS a replica, so its withdraw lands on its own (dying) local replica.
+// Close must push one final sync round so the tombstone reaches the
+// survivors — otherwise clean shutdown of a replica host silently degrades
+// to crash semantics and its entries linger on the other replicas until
+// lease expiry.
+func TestWallReplicaCloseWithdraws(t *testing.T) {
+	_, d1, _ := startTrio(t)
+
+	// Observe through the OTHER replica (w0): the tombstone must arrive
+	// there, not just on d1's own replica.
+	dep, err := Attach([]string{d1.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	dep.Registry().SetCacheTTL(0)
+	hasW1At := func(rep string) bool {
+		entries, err := dep.Registry().LookupAt(rep, "", "")
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e.Node == "w1" {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor(t, "w1 replicated to w0", 5*time.Second, func() bool { return hasW1At("w0") })
+
+	closed := time.Now()
+	d1.Close()
+	waitFor(t, "w1's tombstone on the surviving replica", 2*time.Second, func() bool { return !hasW1At("w0") })
+	if waited := time.Since(closed); waited > 400*time.Millisecond {
+		t.Fatalf("replica-host withdraw took %v — indistinguishable from lease expiry", waited)
+	}
+}
+
+// TestAttachEndpointLearning verifies the address-distribution channel: an
+// attached seat that was told about ONE daemon dials every other node by
+// name, because registry entries advertise their daemon's endpoint.
+func TestAttachEndpointLearning(t *testing.T) {
+	d0, _, _ := startTrio(t)
+
+	dep, err := Attach([]string{d0.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	dep.Registry().SetCacheTTL(0)
+	waitFor(t, "grid discovery", 5*time.Second, func() bool {
+		entries, err := dep.Registry().Lookup("module", "vlink")
+		return err == nil && len(entries) == 3
+	})
+	// w2's endpoint was never configured anywhere on the seat: it must
+	// have been learned from the registry.
+	if err := dep.Ctl.Ping("w2"); err != nil {
+		t.Fatalf("ping w2 through a learned endpoint: %v", err)
+	}
+	info, err := dep.Ctl.Info("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Node != "w2" || info.Zone != "b" || info.Addr == "" {
+		t.Fatalf("w2 info = %+v", info)
+	}
+}

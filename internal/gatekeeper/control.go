@@ -50,6 +50,7 @@ func (cn *Conn) Node() string { return cn.node }
 // the connection; a refused operation returns the response's error with a
 // usable *Response.
 func (cn *Conn) Do(req *Request) (*Response, error) {
+	defer ArmControlDeadline(cn.st)()
 	if err := WriteRequest(cn.st, req); err != nil {
 		return nil, fmt.Errorf("gatekeeper: to %s: %w", cn.node, err)
 	}
@@ -104,6 +105,19 @@ func (c *Controller) Modules(node string) ([]string, error) {
 		return nil, err
 	}
 	return resp.Modules, nil
+}
+
+// Info fetches a node's deployment descriptor: advertised endpoint,
+// registry placement and peer address book in a live deployment.
+func (c *Controller) Info(node string) (*NodeInfo, error) {
+	resp, err := c.Do(node, &Request{Op: OpInfo})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Info == nil {
+		return nil, fmt.Errorf("gatekeeper: %s returned no info", node)
+	}
+	return resp.Info, nil
 }
 
 // Stats fetches a node's control-plane report.

@@ -43,9 +43,11 @@ type Gatekeeper struct {
 	conns      map[orbStream]struct{}
 	leaseTTL   time.Duration
 	leaseTimer vtime.Timer
-	annPending bool // an async announce actor is alive
-	annDirty   bool // churn happened since it last read the table
-	retired    bool // Withdraw ran: never announce again
+	endpoint   string          // advertised real TCP endpoint (wall deployments)
+	infoFn     func() NodeInfo // deployment descriptor behind OpInfo
+	annPending bool            // an async announce actor is alive
+	annDirty   bool            // churn happened since it last read the table
+	retired    bool            // Withdraw ran: never announce again
 	closed     bool
 }
 
@@ -115,19 +117,48 @@ func (g *Gatekeeper) Registry() *RegistryClient {
 	return g.reg
 }
 
+// SetEndpoint records the daemon's advertised real TCP endpoint; every
+// announced entry carries it, so clients anywhere on the wall grid learn
+// how to dial this node from the registry alone.
+func (g *Gatekeeper) SetEndpoint(addr string) {
+	g.mu.Lock()
+	g.endpoint = addr
+	g.mu.Unlock()
+}
+
+// ProvideInfo installs the deployment descriptor answered to OpInfo — live
+// deployments snapshot their registry placement and address book here.
+func (g *Gatekeeper) ProvideInfo(f func() NodeInfo) {
+	g.mu.Lock()
+	g.infoFn = f
+	g.mu.Unlock()
+}
+
+// WatchModules wires the gatekeeper to a process's module-event hook so the
+// registry follows every load/unload without anyone calling Announce by
+// hand. The hook must not block the loader, so the announce rides a fresh
+// actor. The returned cancel removes the hook.
+func (g *Gatekeeper) WatchModules(p *core.Process) (cancel func()) {
+	return p.OnModuleEvent(func(core.ModuleEvent) { g.announceAsync() })
+}
+
 // Entries snapshots the target's publishable services: loaded modules, the
-// VLink service table, and the per-profile ORB endpoints.
+// VLink service table, and the per-profile ORB endpoints. With an endpoint
+// set, every entry advertises it.
 func (g *Gatekeeper) Entries() []Entry {
+	g.mu.Lock()
+	addr := g.endpoint
+	g.mu.Unlock()
 	rep := g.target.Report()
 	var out []Entry
 	for _, m := range rep.Modules {
-		out = append(out, Entry{Node: rep.Node, Kind: "module", Name: m})
+		out = append(out, Entry{Node: rep.Node, Kind: "module", Name: m, Addr: addr})
 	}
 	for _, s := range rep.Services {
-		out = append(out, Entry{Node: rep.Node, Kind: "vlink", Name: s, Service: s})
+		out = append(out, Entry{Node: rep.Node, Kind: "vlink", Name: s, Service: s, Addr: addr})
 	}
 	for prof, svc := range rep.ORBs {
-		out = append(out, Entry{Node: rep.Node, Kind: "orb", Name: prof, Service: svc})
+		out = append(out, Entry{Node: rep.Node, Kind: "orb", Name: prof, Service: svc, Addr: addr})
 	}
 	return out
 }
@@ -326,6 +357,21 @@ func (g *Gatekeeper) handle(req *Request) *Response {
 			return fail(err)
 		}
 		return &Response{OK: true, Entries: g.Entries()}
+	case OpInfo:
+		g.mu.Lock()
+		f, ep := g.infoFn, g.endpoint
+		g.mu.Unlock()
+		info := NodeInfo{}
+		if f != nil {
+			info = f()
+		}
+		if info.Node == "" {
+			info.Node = g.target.NodeName()
+		}
+		if info.Addr == "" {
+			info.Addr = ep
+		}
+		return &Response{OK: true, Info: &info}
 	default:
 		return fail(fmt.Errorf("unknown operation %q", req.Op))
 	}
@@ -441,9 +487,8 @@ func (m *gkModule) Init(p *core.Process) error {
 	}
 	m.p, m.gk = p, gk
 	// Module churn re-announces automatically: the registry follows every
-	// load/unload without anyone calling Announce by hand. The hook must
-	// not block the loader, so the announce rides a fresh actor.
-	m.cancelHook = p.OnModuleEvent(func(core.ModuleEvent) { gk.announceAsync() })
+	// load/unload without anyone calling Announce by hand.
+	m.cancelHook = gk.WatchModules(p)
 	instMu.Lock()
 	gatekeepers[p] = gk
 	instMu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Service is the well-known VLink service name every gatekeeper listens on.
@@ -35,6 +36,7 @@ const (
 	OpListServices = "list-services"
 	OpStats        = "stats"
 	OpAnnounce     = "announce" // push this process's services to the registry
+	OpInfo         = "info"     // deployment descriptor: endpoint, registries, peers
 
 	OpRegPublish  = "reg-publish"
 	OpRegWithdraw = "reg-withdraw"
@@ -50,6 +52,11 @@ type Entry struct {
 	Kind    string `json:"kind"`              // "vlink" | "orb" | "module"
 	Name    string `json:"name"`              // service/profile/module name
 	Service string `json:"service,omitempty"` // dialable VLink service name, if any
+	// Addr is the real TCP endpoint of the hosting daemon in a live (wall)
+	// deployment, advertised so any client holding the entry can dial the
+	// node without static address configuration. Empty in the simulator,
+	// where node names resolve through the simulated network instead.
+	Addr string `json:"addr,omitempty"`
 	// TTLMillis is output-only, set on lookup responses: milliseconds of
 	// lease left before the entry expires un-renewed. Zero means the entry
 	// is permanent (published without a lease).
@@ -74,6 +81,23 @@ type SyncRecord struct {
 	// Deleted marks a withdraw tombstone: the node's entries are gone and
 	// must not be resurrected by older sync copies while it lasts.
 	Deleted bool `json:"deleted,omitempty"`
+}
+
+// NodeInfo is one process's deployment descriptor, answered to OpInfo. In a
+// live deployment it is how an attaching controller bootstraps: the first
+// daemon it reaches names every registry replica and hands over its address
+// book, so one endpoint on the command line suffices to steer the grid.
+type NodeInfo struct {
+	Node string `json:"node"`
+	Zone string `json:"zone,omitempty"`
+	// Addr is the advertised control endpoint of this process's daemon
+	// (empty in the simulator).
+	Addr string `json:"addr,omitempty"`
+	// Registries names the nodes hosting registry replicas, in this
+	// process's preference order.
+	Registries []string `json:"registries,omitempty"`
+	// Peers is the process's current node → endpoint address book.
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // PeerSyncStatus is one peer replica's view in a RegStatus.
@@ -145,6 +169,8 @@ type Response struct {
 	Sync []SyncRecord `json:"sync,omitempty"`
 	// Status answers a reg-status.
 	Status *RegStatus `json:"status,omitempty"`
+	// Info answers an info request.
+	Info *NodeInfo `json:"info,omitempty"`
 }
 
 // Err converts a failed response into an error.
@@ -161,6 +187,31 @@ func (r *Response) Err() error {
 // maxFrame bounds one protocol frame; control traffic is tiny, so anything
 // bigger is a framing error, not a legitimate message.
 const maxFrame = 1 << 20
+
+// ControlTimeout bounds one control-plane request/response exchange on
+// transports with real deadlines (wall TCP). Control operations are small
+// and fast; a peer that accepts the request and then says nothing for this
+// long is wedged, and the caller must get an error so pooled-session
+// serialization fails over instead of parking forever. Simulated streams
+// carry no deadlines — vtime's deadlock detection plays that role there.
+const ControlTimeout = 30 * time.Second
+
+// deadlineConn is the optional stream refinement real TCP conns provide.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// ArmControlDeadline bounds the reads of one control exchange on st, when
+// the stream supports deadlines (wall conns do, simulated ones do not).
+// The returned disarm clears the deadline so pooled sessions can idle.
+func ArmControlDeadline(st any) (disarm func()) {
+	dc, ok := st.(deadlineConn)
+	if !ok {
+		return func() {}
+	}
+	_ = dc.SetReadDeadline(time.Now().Add(ControlTimeout))
+	return func() { _ = dc.SetReadDeadline(time.Time{}) }
+}
 
 // writeFrame sends a 4-byte big-endian length followed by the JSON body.
 func writeFrame(w io.Writer, v any) error {

@@ -34,13 +34,14 @@ type Registry struct {
 	tr  orb.Transport
 	lst orb.Acceptor
 
-	mu       sync.Mutex
-	records  map[string]record      // publishing node → its versioned record
-	conns    map[orbStream]struct{} // open pooled sessions, torn down on Close
-	peers    map[string]*peerState  // replica peers under anti-entropy
-	sessions int64                  // client sessions ever accepted
-	lookups  int64                  // lookup/list operations served
-	closed   bool
+	mu        sync.Mutex
+	records   map[string]record      // publishing node → its versioned record
+	conns     map[orbStream]struct{} // open pooled sessions, torn down on Close
+	peers     map[string]*peerState  // replica peers under anti-entropy
+	intervals map[vtime.Waiter]vtime.Timer
+	sessions  int64 // client sessions ever accepted
+	lookups   int64 // lookup/list operations served
+	closed    bool
 }
 
 // record is one publishing node's state: its leased entry set, or a
@@ -81,7 +82,7 @@ func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	}
 	r := &Registry{rt: rt, tr: tr, lst: lst,
 		records: make(map[string]record), conns: make(map[orbStream]struct{}),
-		peers: make(map[string]*peerState)}
+		peers: make(map[string]*peerState), intervals: make(map[vtime.Waiter]vtime.Timer)}
 	rt.Go("registry:accept:"+tr.NodeName(), func() {
 		for {
 			st, err := lst.Accept()
@@ -143,15 +144,57 @@ func (r *Registry) StartSync(peers []string, every time.Duration) {
 			for _, peer := range fresh {
 				r.syncWith(peer)
 			}
-			r.rt.Sleep(every)
-			r.mu.Lock()
-			closed = r.closed
-			r.mu.Unlock()
-			if closed {
+			if !r.waitInterval(every) {
 				return
 			}
 		}
 	})
+}
+
+// waitInterval parks the sync loop for one anti-entropy period and reports
+// whether it should keep running. Close interrupts the wait immediately:
+// under the wall clock an uninterruptible sleep would keep the loop's
+// goroutine alive up to a full interval after the replica died — a real
+// leak for long-lived daemons — and under Sim it would drag the virtual
+// clock one needless interval past shutdown.
+func (r *Registry) waitInterval(d time.Duration) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	w := r.rt.NewWaiter("registry: sync interval " + r.tr.NodeName())
+	t := r.rt.AfterFunc(d, w.Fire)
+	r.intervals[w] = t
+	r.mu.Unlock()
+	_ = w.Wait()
+	r.mu.Lock()
+	delete(r.intervals, w)
+	closed := r.closed
+	r.mu.Unlock()
+	t.Stop()
+	return !closed
+}
+
+// SyncNow runs one synchronous anti-entropy round with every peer — the
+// clean-shutdown path for a replica host: a withdraw landing on the local
+// replica moments before it closes must still reach the survivors, and the
+// periodic loop (which only live replicas initiate) would never carry it.
+func (r *Registry) SyncNow() {
+	r.mu.Lock()
+	peers := make([]string, 0, len(r.peers))
+	for p := range r.peers {
+		peers = append(peers, p)
+	}
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		r.syncWith(p)
+	}
 }
 
 // syncWith runs one push-pull exchange with a peer replica on a pooled
@@ -181,8 +224,10 @@ func (r *Registry) syncWith(peer string) {
 				return
 			}
 		}
+		disarm := ArmControlDeadline(st)
 		if err := WriteRequest(st, req); err == nil {
 			if resp, err := ReadResponse(st); err == nil && resp.OK {
+				disarm()
 				r.merge(resp.Sync)
 				r.noteSync(peer, st, true)
 				return
@@ -265,9 +310,10 @@ func (r *Registry) snapshot() []SyncRecord {
 // node, already-expired records are dropped, and ties keep the local copy
 // (deterministic under simultaneous renewals).
 func (r *Registry) merge(recs []SyncRecord) {
+	al, hasAL := r.tr.(orb.AddrLearner)
+	var accepted []SyncRecord
 	now := r.rt.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, in := range recs {
 		if in.Node == "" {
 			continue
@@ -297,6 +343,24 @@ func (r *Registry) merge(recs []SyncRecord) {
 			}
 		}
 		r.records[in.Node] = rec
+		if hasAL {
+			accepted = append(accepted, in)
+		}
+	}
+	r.mu.Unlock()
+	// On a wall transport, sync records teach the address book — a replica
+	// seeded with no peer endpoints starts syncing outbound as soon as the
+	// first inbound exchange names its peers' daemons. Only records that
+	// WON the merge teach: a stale losing record must not clobber the
+	// freshly learned endpoint of a daemon that just moved.
+	if hasAL {
+		for _, in := range accepted {
+			for _, e := range in.Entries {
+				if e.Addr != "" {
+					al.LearnAddr(e.Node, e.Addr)
+				}
+			}
+		}
 	}
 }
 
@@ -352,7 +416,17 @@ func (r *Registry) Close() {
 			ps.st = nil
 		}
 	}
+	waits := make([]vtime.Waiter, 0, len(r.intervals))
+	for w, t := range r.intervals {
+		t.Stop()
+		waits = append(waits, w)
+	}
 	r.mu.Unlock()
+	// Wake sync loops parked on their interval so they exit now, not one
+	// interval from now.
+	for _, w := range waits {
+		w.Fire()
+	}
 	// Stream closes may block in virtual time (SAN FIN): never under r.mu.
 	_ = r.lst.Close()
 	for _, st := range conns {
@@ -650,11 +724,13 @@ func (c *RegistryClient) exchange(i int, req *Request) (*Response, error) {
 			}
 			c.st = st
 		}
+		disarm := ArmControlDeadline(c.st)
 		if err := WriteRequest(c.st, req); err != nil {
 			lastErr = err
 		} else {
 			resp, err := ReadResponse(c.st)
 			if err == nil {
+				disarm()
 				return resp, nil
 			}
 			lastErr = err
@@ -678,6 +754,7 @@ func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, err
 		return nil, fmt.Errorf("gatekeeper: dialing replica %s: %w", node, err)
 	}
 	defer st.Close()
+	defer ArmControlDeadline(st)()
 	if err := WriteRequest(st, req); err != nil {
 		return nil, fmt.Errorf("gatekeeper: to replica %s: %w", node, err)
 	}
@@ -709,7 +786,25 @@ func (c *RegistryClient) LookupAt(node, kind, name string) ([]Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.learnAddrs(resp.Entries)
 	return resp.Entries, nil
+}
+
+// learnAddrs feeds endpoint advertisements carried by registry entries into
+// the transport's address book, when it keeps one (wall transports). This
+// is how an attached controller — or any daemon — becomes able to dial
+// nodes it has never been configured with: the registry itself is the
+// address distribution channel.
+func (c *RegistryClient) learnAddrs(entries []Entry) {
+	al, ok := c.tr.(orb.AddrLearner)
+	if !ok {
+		return
+	}
+	for _, e := range entries {
+		if e.Addr != "" {
+			al.LearnAddr(e.Node, e.Addr)
+		}
+	}
 }
 
 // Publish replaces the registry's entries for node with the given set,
@@ -758,6 +853,7 @@ func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.learnAddrs(resp.Entries)
 	return resp.Entries, nil
 }
 

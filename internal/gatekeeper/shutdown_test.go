@@ -1,0 +1,152 @@
+package gatekeeper
+
+import (
+	"testing"
+	"time"
+
+	"padico/internal/core"
+	"padico/internal/orb"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// TestWallCloseLeaksNoGoroutines is the goleak-style accounting for the
+// control plane under the wall clock, where goroutines are real and a
+// long-lived daemon pays for every leak: two registry replicas under
+// anti-entropy with a deliberately huge sync interval, a lease-holding
+// gatekeeper, and a pooled client are all started, exercised, and closed
+// mid-interval. Every runtime-spawned goroutine (accept loops, per-session
+// handlers, the sync loop, lease actors) must exit promptly — the sync
+// loop in particular must be woken from its interval wait by Close rather
+// than sleeping the rest of the hour out.
+func TestWallCloseLeaksNoGoroutines(t *testing.T) {
+	stack := sockets.NewTCPStack()
+	wall := vtime.NewWall()
+
+	// An interval far beyond the test timeout: if Close does not interrupt
+	// the wait, wall.Wait() hangs and the watchdog below fails the test.
+	const interval = time.Hour
+	regA, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "lk-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB, err := StartRegistry(wall, orb.TCPTransport{Stack: stack, Name: "lk-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regA.StartSync([]string{"lk-b"}, interval)
+	regB.StartSync([]string{"lk-a"}, interval)
+
+	target := &stubTarget{mods: map[string]bool{"vlink": true}}
+	gk, err := Serve(wall, orb.TCPTransport{Stack: stack, Name: "lk-host"}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk.UseRegistry(NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "lk-host"}, "lk-a", "lk-b"))
+	if err := gk.StartLease(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise every goroutine-spawning path: a pooled client session on
+	// each replica and an operator control connection.
+	rc := NewRegistryClient(wall, orb.TCPTransport{Stack: stack, Name: "lk-obs"}, "lk-a")
+	if _, err := rc.Lookup("", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.StatusOf("lk-b"); err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(wall, orb.TCPTransport{Stack: stack, Name: "lk-ctl"})
+	if err := ctl.Ping("lk-host"); err != nil {
+		t.Fatal(err)
+	}
+	// Give both sync loops time to run their first round and park on the
+	// hour-long interval — the state the fix targets.
+	time.Sleep(50 * time.Millisecond)
+
+	rc.Close()
+	gk.Close()
+	regA.Close()
+	regB.Close()
+
+	done := make(chan struct{})
+	go func() {
+		wall.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("control-plane goroutines leaked past Close (sync loop or session handler still alive)")
+	}
+}
+
+// TestCloseUnderSANTraffic is the regression for the PR 3 gotcha: closing
+// a stream on the SAN (cross-paradigm) path sends a FIN that blocks in
+// virtual time, so no mutex may be held across such a Close — an actor
+// stuck on that mutex would freeze the Sim clock and the run would die
+// with a DeadlockError. The test closes a registry whose pooled sessions
+// ride a Myrinet SAN while other actors hammer the registry's mutex-
+// protected paths; reintroducing a lock-across-Close in registry.Close,
+// noteSync or the client makes this test panic with a vtime deadlock.
+func TestCloseUnderSANTraffic(t *testing.T) {
+	g := core.NewGrid()
+	nodes := g.AddNodes("san", 3)
+	if _, err := g.AddMyrinet("myri0", nodes); err != nil {
+		t.Fatal(err)
+	}
+	g.Run(func() {
+		procs := make([]*core.Process, len(nodes))
+		for i, nd := range nodes {
+			p, err := g.Launch(nd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Load("vlink"); err != nil {
+				t.Fatal(err)
+			}
+			procs[i] = p
+		}
+		// Two replicas syncing at a tight interval over the SAN: pooled
+		// peer sessions exist on both sides when the close lands.
+		const interval = 5 * time.Millisecond
+		regA, err := StartRegistry(g.Sim, orb.VLinkTransport{Linker: procs[0].Linker()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regB, err := StartRegistry(g.Sim, orb.VLinkTransport{Linker: procs[1].Linker()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer regB.Close()
+		regA.StartSync([]string{nodes[1].Name}, interval)
+		regB.StartSync([]string{nodes[0].Name}, interval)
+
+		// A third process hammers both replicas over SAN streams while the
+		// primary closes mid-traffic.
+		rc := NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()},
+			nodes[0].Name, nodes[1].Name)
+		defer rc.Close()
+		rc.SetCacheTTL(0)
+		e := Entry{Node: nodes[2].Name, Kind: "vlink", Name: "san:svc", Service: "san:svc"}
+		if err := rc.PublishTTL(nodes[2].Name, []Entry{e}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		wg := vtime.NewWaitGroup(g.Sim, "san-hammer")
+		wg.Add(1)
+		g.Sim.Go("hammer", func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, _ = rc.Lookup("", "") // failures mid-close are expected; deadlock is not
+				g.Sim.Sleep(interval / 2)
+			}
+		})
+		g.Sim.Sleep(4 * interval) // let sync sessions pool up on the SAN
+		regA.Close()              // the regression point: FIN under vtime
+		_ = wg.Wait()
+		// Survivor still answers after the close storm.
+		if _, err := rc.Lookup("vlink", "san:svc"); err != nil {
+			t.Fatalf("survivor lookup after SAN close: %v", err)
+		}
+	})
+}

@@ -14,6 +14,14 @@ type Reachability interface {
 	CanReach(node string) bool
 }
 
+// AddrLearner is an optional Transport refinement: wall transports record
+// node→endpoint mappings learned out-of-band (registry entries advertising
+// their daemon's real TCP address), so by-name dialing reaches nodes never
+// named in static configuration.
+type AddrLearner interface {
+	LearnAddr(node, addr string)
+}
+
 // VLinkTransport runs GIOP over PadicoTM's distributed abstract interface:
 // the paper's configuration, where CORBA transparently uses Myrinet via the
 // cross-paradigm mapping or sockets on LAN/WAN.
@@ -73,3 +81,40 @@ func (a tcpAcceptor) Accept() (vlink.Stream, error) { return a.l.Accept() }
 func (a tcpAcceptor) Close() error                  { return a.l.Close() }
 
 var _ Transport = TCPTransport{}
+
+// WallTransport runs the control plane over a live deployment's WallHost:
+// one real TCP listener per daemon multiplexing all services, and dialing
+// by node name through the host's address book. This is the transport
+// padico-d serves on and padico-ctl -attach steers through — genuinely
+// separate OS processes, no simulated network anywhere.
+type WallTransport struct{ Host *sockets.WallHost }
+
+// Listen implements Transport on the host's service mux.
+func (t WallTransport) Listen(service string) (Acceptor, error) {
+	l, err := t.Host.Listen(service)
+	if err != nil {
+		return nil, err
+	}
+	return tcpAcceptor{l}, nil
+}
+
+// Dial implements Transport through the address book.
+func (t WallTransport) Dial(node, service string) (vlink.Stream, error) {
+	return t.Host.Dial(node, service)
+}
+
+// NodeName implements Transport.
+func (t WallTransport) NodeName() string { return t.Host.NodeName() }
+
+// CanReach implements Reachability: on the wall, a node is reachable when
+// its endpoint is known — there is no topology to consult, only the book.
+func (t WallTransport) CanReach(node string) bool { return t.Host.Knows(node) }
+
+// LearnAddr implements AddrLearner by recording into the address book.
+func (t WallTransport) LearnAddr(node, addr string) { t.Host.Register(node, addr) }
+
+var (
+	_ Transport    = WallTransport{}
+	_ Reachability = WallTransport{}
+	_ AddrLearner  = WallTransport{}
+)

@@ -119,6 +119,24 @@ func (c *Client) Call(node *simnet.Node, service, method string, params ...strin
 	return reply.Body.Params, nil
 }
 
+// Call performs one SOAP request/response exchange on an already-dialed
+// stream — the live-deployment path, where padico-ctl reached the service
+// over a daemon's wall TCP gateway rather than through a simulated linker.
+// No CPU cost is charged: the wall clock measures real encoding time.
+func Call(st vlink.Stream, method string, params ...string) ([]string, error) {
+	if err := writeEnvelope(nil, st, &Envelope{Body: Body{Method: method, Params: params}}); err != nil {
+		return nil, err
+	}
+	reply, _, err := readEnvelope(st)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Body.Fault != "" {
+		return nil, errors.New("soap: fault: " + reply.Body.Fault)
+	}
+	return reply.Body.Params, nil
+}
+
 // writeEnvelope frames the XML with a 4-byte length prefix and charges the
 // encoder cost.
 func writeEnvelope(ln *vlink.Linker, st vlink.Stream, env *Envelope) error {
@@ -158,6 +176,9 @@ func readEnvelope(st vlink.Stream) (*Envelope, int, error) {
 }
 
 func chargeNode(ln *vlink.Linker, bytes int) {
+	if ln == nil {
+		return // wall-clock path: no simulated cost model to charge
+	}
 	if nd := ln.Node(); nd != nil {
 		nd.Charge(simnet.SOAPCost, bytes)
 	}

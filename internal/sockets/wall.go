@@ -1,0 +1,390 @@
+package sockets
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WallHost is one OS process's endpoint in a live (wall-clock) deployment:
+// a single real TCP listener multiplexing every named service the process
+// offers, plus an address book mapping node names to the real "host:port"
+// endpoints of the other daemons. Unlike TCPStack — whose name table lives
+// in one process and therefore only serves in-process integration tests —
+// a WallHost lets genuinely separate OS processes (padico-d daemons, an
+// attached padico-ctl) reach each other over the kernel network by node and
+// service name.
+//
+// The wire handshake mirrors VLink's straight mapping: the dialer sends a
+// 2-byte big-endian length followed by the service name, the acceptor
+// answers one byte (1 = ACK, 0 = NAK), then the raw stream belongs to the
+// service. A service name unknown to the mux is offered to the fallback
+// handler (the daemon's gateway into its in-process VLink services) before
+// being NAKed.
+//
+// WallHost is wall-clock-only code: it uses plain goroutines and must not
+// be driven from a virtual-time simulation.
+type WallHost struct {
+	name string
+
+	mu       sync.Mutex
+	book     map[string]string // node name → real "host:port"
+	pinned   map[string]bool   // nodes whose entry Register must not replace
+	services map[string]*wallListener
+	fallback func(service string) (io.ReadWriteCloser, error)
+	nl       net.Listener
+	addr     string
+	closed   bool
+}
+
+// maxWallService bounds the service-name preamble; anything longer is a
+// protocol error, not a legitimate service.
+const maxWallService = 1024
+
+// handshakeTimeout bounds how long an accepted connection may take to send
+// its service preamble, so a stray dialer cannot park an accept goroutine
+// forever.
+const handshakeTimeout = 5 * time.Second
+
+// NewWallHost returns a host with an empty address book and no listener —
+// usable as a dial-only seat (an attached controller). Call ListenTCP to
+// also serve.
+func NewWallHost(name string) *WallHost {
+	return &WallHost{
+		name:     name,
+		book:     make(map[string]string),
+		pinned:   make(map[string]bool),
+		services: make(map[string]*wallListener),
+	}
+}
+
+// NodeName identifies the local node.
+func (h *WallHost) NodeName() string { return h.name }
+
+// ListenTCP binds the host's real listener and starts accepting. It returns
+// the actual address (resolving a ":0" ephemeral port), which is also the
+// default advertised endpoint.
+func (h *WallHost) ListenTCP(bind string) (string, error) {
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return "", fmt.Errorf("sockets: wall host %s is closed", h.name)
+	}
+	if h.nl != nil {
+		return "", fmt.Errorf("sockets: wall host %s already listens on %s", h.name, h.addr)
+	}
+	nl, err := net.Listen("tcp", bind)
+	if err != nil {
+		return "", fmt.Errorf("sockets: wall listen %s: %w", bind, err)
+	}
+	h.nl = nl
+	h.addr = nl.Addr().String()
+	go h.acceptLoop(nl)
+	return h.addr, nil
+}
+
+// Addr returns the listening address, or "" for a dial-only host.
+func (h *WallHost) Addr() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addr
+}
+
+// Register records (or updates) a node's real endpoint in the address book.
+// Latest registration wins — a re-deployed daemon moves, and freshly
+// learned addresses must replace stale ones — except for nodes Pin has
+// locked, whose entries never change.
+func (h *WallHost) Register(node, addr string) {
+	if node == "" || addr == "" {
+		return
+	}
+	h.mu.Lock()
+	if !h.pinned[node] {
+		h.book[node] = addr
+	}
+	h.mu.Unlock()
+}
+
+// Pin records a node's endpoint and locks it against later Register calls.
+// Attached controllers pin the endpoints the operator named: a daemon
+// behind a NAT or port-forward advertises an address that works for its
+// peers but not for the operator, and learning must not clobber the one
+// address the operator knows works from their seat.
+func (h *WallHost) Pin(node, addr string) {
+	if node == "" || addr == "" {
+		return
+	}
+	h.mu.Lock()
+	h.book[node] = addr
+	h.pinned[node] = true
+	h.mu.Unlock()
+}
+
+// AddrOf looks a node's endpoint up in the address book.
+func (h *WallHost) AddrOf(node string) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.book[node]
+	return a, ok
+}
+
+// Knows reports whether the host can currently dial the named node — the
+// wall notion of reachability.
+func (h *WallHost) Knows(node string) bool {
+	_, ok := h.AddrOf(node)
+	return ok
+}
+
+// Book snapshots the address book, sorted iteration left to the caller.
+func (h *WallHost) Book() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string, len(h.book))
+	for n, a := range h.book {
+		out[n] = a
+	}
+	return out
+}
+
+// Nodes returns the known node names, sorted.
+func (h *WallHost) Nodes() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.book))
+	for n := range h.book {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetFallback installs the handler consulted for inbound service names the
+// mux does not know. The daemon uses it as a gateway: it dials the service
+// on its in-process VLink linker and the host proxies bytes between the
+// wall connection and the local stream, making every in-process service
+// (soap:sys, GIOP endpoints, ...) remotely dialable.
+func (h *WallHost) SetFallback(f func(service string) (io.ReadWriteCloser, error)) {
+	h.mu.Lock()
+	h.fallback = f
+	h.mu.Unlock()
+}
+
+// Listen registers a service on the mux.
+func (h *WallHost) Listen(service string) (Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("sockets: wall host %s is closed", h.name)
+	}
+	if _, dup := h.services[service]; dup {
+		return nil, fmt.Errorf("sockets: service %q already registered on %s", service, h.name)
+	}
+	l := &wallListener{
+		h:       h,
+		service: service,
+		ch:      make(chan Conn),
+		done:    make(chan struct{}),
+	}
+	h.services[service] = l
+	return l, nil
+}
+
+// Dial connects to a service on a node whose endpoint the address book
+// knows.
+func (h *WallHost) Dial(node, service string) (Conn, error) {
+	addr, ok := h.AddrOf(node)
+	if !ok {
+		return nil, fmt.Errorf("sockets: no known endpoint for node %q in %s's wall address book", node, h.name)
+	}
+	c, err := h.DialAddr(addr, service)
+	if err != nil {
+		return nil, fmt.Errorf("sockets: dialing %s (%s): %w", node, addr, err)
+	}
+	c.(*tcpConn).remote = node
+	return c, nil
+}
+
+// DialAddr connects to a service at an explicit real endpoint — the attach
+// bootstrap path, before any node name is known.
+func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
+	if len(service) == 0 || len(service) > maxWallService {
+		return nil, fmt.Errorf("sockets: bad wall service name %q", service)
+	}
+	nc, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("sockets: wall dial %s: %w", addr, err)
+	}
+	// The handshake is bounded like the accept side's: a wedged daemon or
+	// a non-padico endpoint that accepts and then says nothing must fail
+	// the dial, not hang it — callers (the registry client in particular)
+	// hold serialization locks across dials and rely on failure to fail
+	// over.
+	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
+	hs := make([]byte, 2+len(service))
+	binary.BigEndian.PutUint16(hs, uint16(len(service)))
+	copy(hs[2:], service)
+	if _, err := nc.Write(hs); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("sockets: wall handshake to %s: %w", addr, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(nc, ack[:]); err != nil || ack[0] != 1 {
+		nc.Close()
+		return nil, fmt.Errorf("%w: no service %q at %s", ErrRefused, service, addr)
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return &tcpConn{Conn: nc, local: h.name, remote: addr}, nil
+}
+
+// Close shuts the host down: the real listener, every registered service
+// and every parked Accept.
+func (h *WallHost) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	nl := h.nl
+	ls := make([]*wallListener, 0, len(h.services))
+	for _, l := range h.services {
+		ls = append(ls, l)
+	}
+	h.services = make(map[string]*wallListener)
+	h.mu.Unlock()
+	var err error
+	if nl != nil {
+		err = nl.Close()
+	}
+	for _, l := range ls {
+		l.shut()
+	}
+	return err
+}
+
+func (h *WallHost) acceptLoop(nl net.Listener) {
+	for {
+		nc, err := nl.Accept()
+		if err != nil {
+			return
+		}
+		go h.serveConn(nc)
+	}
+}
+
+// serveConn performs the service handshake on one inbound connection and
+// hands it to the matching listener, the fallback gateway, or a NAK.
+func (h *WallHost) serveConn(nc net.Conn) {
+	_ = nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var lenb [2]byte
+	if _, err := io.ReadFull(nc, lenb[:]); err != nil {
+		nc.Close()
+		return
+	}
+	n := int(binary.BigEndian.Uint16(lenb[:]))
+	if n == 0 || n > maxWallService {
+		nc.Close()
+		return
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(nc, name); err != nil {
+		nc.Close()
+		return
+	}
+	_ = nc.SetReadDeadline(time.Time{})
+	service := string(name)
+
+	h.mu.Lock()
+	l, ok := h.services[service]
+	fb := h.fallback
+	h.mu.Unlock()
+
+	if ok {
+		if _, err := nc.Write([]byte{1}); err != nil {
+			nc.Close()
+			return
+		}
+		l.deliver(&tcpConn{Conn: nc, local: h.name, remote: nc.RemoteAddr().String()})
+		return
+	}
+	if fb != nil {
+		if local, err := fb(service); err == nil {
+			if _, err := nc.Write([]byte{1}); err != nil {
+				local.Close()
+				nc.Close()
+				return
+			}
+			proxy(nc, local)
+			return
+		}
+	}
+	_, _ = nc.Write([]byte{0}) // NAK
+	nc.Close()
+}
+
+// proxy pipes bytes between a wall connection and a local stream until
+// either side ends, then closes both.
+func proxy(a io.ReadWriteCloser, b io.ReadWriteCloser) {
+	var once sync.Once
+	shut := func() {
+		a.Close()
+		b.Close()
+	}
+	go func() {
+		_, _ = io.Copy(a, b)
+		once.Do(shut)
+	}()
+	go func() {
+		_, _ = io.Copy(b, a)
+		once.Do(shut)
+	}()
+}
+
+// wallListener is one muxed service's accept queue.
+type wallListener struct {
+	h       *WallHost
+	service string
+	ch      chan Conn
+	once    sync.Once
+	done    chan struct{}
+}
+
+func (l *wallListener) deliver(c Conn) {
+	select {
+	case l.ch <- c:
+	case <-l.done:
+		c.Close()
+	}
+}
+
+// Accept blocks until a handshaken connection arrives for this service.
+func (l *wallListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: wall service %q", ErrClosed, l.service)
+	}
+}
+
+func (l *wallListener) Addr() string { return JoinAddr(l.h.name, 0) }
+
+// Close unregisters the service from the mux.
+func (l *wallListener) Close() error {
+	l.h.mu.Lock()
+	if l.h.services[l.service] == l {
+		delete(l.h.services, l.service)
+	}
+	l.h.mu.Unlock()
+	l.shut()
+	return nil
+}
+
+func (l *wallListener) shut() { l.once.Do(func() { close(l.done) }) }
