@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,6 +94,43 @@ func TestArgumentValidation(t *testing.T) {
 		if code := realMain(tc.argv, &out, &errOut); code != tc.code {
 			t.Fatalf("%v exited %d, want %d\nstderr:\n%s", tc.argv, code, tc.code, errOut.String())
 		}
+	}
+}
+
+// TestAttachAllEndpointsDead: when NO named endpoint answers, attach must
+// fail fast with one clear error and a nonzero exit — the all-dead case is
+// an error, not a pile of per-endpoint warnings over an empty grid view.
+func TestAttachAllEndpointsDead(t *testing.T) {
+	// Reserve two loopback ports and close them again: both endpoints are
+	// real addresses with nothing listening.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+		l.Close()
+	}
+
+	start := time.Now()
+	var out, errOut bytes.Buffer
+	code := realMain([]string{"-attach", strings.Join(addrs, ","), "ping"}, &out, &errOut)
+	if code == 0 {
+		t.Fatalf("attach to all-dead endpoints exited 0\nstdout:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "no daemon reachable") {
+		t.Fatalf("stderr does not state the all-dead condition:\n%s", errOut.String())
+	}
+	// Dead loopback ports refuse instantly; anything near the handshake
+	// timeout would mean the tool hung per endpoint instead of failing
+	// fast.
+	if took := time.Since(start); took > 4*time.Second {
+		t.Fatalf("all-dead attach took %v — not fail-fast", took)
+	}
+	// No partial command output: the failure happened before steering.
+	if strings.Contains(out.String(), "attached:") {
+		t.Fatalf("tool claimed an attach:\n%s", out.String())
 	}
 }
 

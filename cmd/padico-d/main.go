@@ -4,7 +4,8 @@
 // where placed, a registry replica — on a real TCP listener. Operators
 // steer a running set of daemons with `padico-ctl -attach host:port[,...]`;
 // daemons find each other through seeded peer endpoints and the endpoints
-// advertised in registry entries.
+// advertised in registry entries. `padico-launch` spawns and supervises a
+// whole grid of these from one topology XML.
 //
 // Usage:
 //
@@ -24,92 +25,15 @@
 // The daemon prints "padico-d: <node> serving on <addr>" once up, and shuts
 // down cleanly on SIGINT/SIGTERM: it withdraws its registry entries while
 // its links are still up, so the grid forgets it within one sync interval
-// instead of a lease TTL.
+// instead of a lease TTL. Exit codes are supervision-friendly: 0 on clean
+// shutdown, 1 on a runtime failure (a supervisor retries), 2 when the
+// configuration itself is refused (retrying cannot help).
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"slices"
-	"strings"
-	"syscall"
 
-	"padico/internal/deploy"
+	"padico/internal/launch"
 )
 
-func main() {
-	node := flag.String("node", "", "this daemon's node name")
-	zone := flag.String("zone", "", "administrative zone (default: from -grid, if given)")
-	listen := flag.String("listen", "127.0.0.1:0", "bind address of the TCP control listener")
-	advertise := flag.String("advertise", "", "endpoint other processes dial (default: actual listen address)")
-	gridPath := flag.String("grid", "", "grid topology XML (zones and default registry placement)")
-	registry := flag.Bool("registry", false, "host a registry replica on this node")
-	registries := flag.String("registries", "", "comma-separated registry replica node names (overrides -grid placement)")
-	peers := flag.String("peers", "", "comma-separated node=host:port endpoint seeds")
-	modules := flag.String("modules", "", "comma-separated modules to load at boot")
-	lease := flag.Duration("lease", 0, "registry lease TTL (default 5s)")
-	sync := flag.Duration("sync", 0, "anti-entropy sync interval for a hosted replica (default 1s)")
-	flag.Parse()
-
-	cfg := deploy.DaemonConfig{
-		Node:         *node,
-		Zone:         *zone,
-		Listen:       *listen,
-		Advertise:    *advertise,
-		LeaseTTL:     *lease,
-		SyncInterval: *sync,
-		Peers:        map[string]string{},
-	}
-	if cfg.Node == "" {
-		die(fmt.Errorf("missing -node"))
-	}
-	if *gridPath != "" {
-		src, err := os.ReadFile(*gridPath)
-		die(err)
-		topo, err := deploy.ParseTopology(src)
-		die(err)
-		zones := topo.ZoneMap()
-		z, ok := zones[cfg.Node]
-		if !ok {
-			die(fmt.Errorf("node %q is not in grid %q", cfg.Node, topo.Name))
-		}
-		if cfg.Zone == "" {
-			cfg.Zone = z
-		}
-		cfg.Registries = topo.RegistryPlacement()
-	}
-	if *registries != "" {
-		cfg.Registries = deploy.SplitList(*registries)
-	}
-	if *registry && !slices.Contains(cfg.Registries, cfg.Node) {
-		cfg.Registries = append(cfg.Registries, cfg.Node)
-	}
-	for _, kv := range deploy.SplitList(*peers) {
-		n, a, ok := strings.Cut(kv, "=")
-		if !ok {
-			die(fmt.Errorf("bad -peers entry %q (want node=host:port)", kv))
-		}
-		cfg.Peers[n] = a
-	}
-	cfg.Modules = deploy.SplitList(*modules)
-
-	d, err := deploy.StartDaemon(cfg)
-	die(err)
-	fmt.Printf("padico-d: %s serving on %s (registries %s)\n",
-		d.Node(), d.Addr(), strings.Join(d.Registries(), ","))
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	<-sigc
-	fmt.Printf("padico-d: %s shutting down\n", d.Node())
-	d.Close()
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "padico-d:", err)
-		os.Exit(1)
-	}
-}
+func main() { os.Exit(launch.DaemonMain(os.Args[1:], os.Stdout, os.Stderr)) }

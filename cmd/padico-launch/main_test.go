@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padico/internal/launch"
+)
+
+// TestHelperDaemon is the daemon body for the CLI cycle test: the test
+// binary is handed to `-exec` and re-execs itself here (see
+// internal/launch/launch_test.go for the pattern).
+func TestHelperDaemon(t *testing.T) {
+	if os.Getenv("PADICO_LAUNCH_CLI_HELPER") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(launch.DaemonMain(args, os.Stdout, os.Stderr))
+}
+
+func writeGrid(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "grid.xml")
+	src := `<grid name="cli">
+  <node name="a0" zone="a"/>
+  <node name="b0" zone="b"/>
+  <fabric name="eth" kind="ethernet" nodes="a0,b0"/>
+</grid>`
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestArgumentValidation rejects malformed invocations before any grid
+// work happens.
+func TestArgumentValidation(t *testing.T) {
+	grid := writeGrid(t)
+	for _, tc := range []struct {
+		argv []string
+		code int
+	}{
+		{[]string{}, 2},                                               // no command
+		{[]string{"-grid", grid}, 2},                                  // still no command
+		{[]string{"up"}, 2},                                           // up without -grid
+		{[]string{"status"}, 2},                                       // status without -control
+		{[]string{"restart"}, 2},                                      // restart without -control
+		{[]string{"down"}, 2},                                         // down without -control
+		{[]string{"-grid", grid, "bogus"}, 1},                         // unknown command
+		{[]string{"-grid", grid, "up", "extra"}, 2},                   // trailing args
+		{[]string{"-control", "127.0.0.1:1", "restart", "-bogus"}, 2}, // bad restart flag
+		{[]string{"-grid", grid, "-padico-d", "/x", "-exec", "ssh {host} padico-d", "up"}, 1}, // exclusive
+		{[]string{"-grid", grid, "-hosts", "noequals", "up"}, 1},                              // bad -hosts entry
+		{[]string{"-grid", "/does/not/exist.xml", "up"}, 1},
+	} {
+		var out, errOut bytes.Buffer
+		if code := realMain(tc.argv, &out, &errOut); code != tc.code {
+			t.Fatalf("%v exited %d, want %d\nstderr:\n%s", tc.argv, code, tc.code, errOut.String())
+		}
+	}
+
+	// Control commands against a dead endpoint fail with exit 1.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-control", dead, "status"}, &out, &errOut); code != 1 {
+		t.Fatalf("status against dead control exited %d, want 1", code)
+	}
+}
+
+// TestHostMapper: -hosts feeds BuildPlan's Host seam, so planned
+// endpoints (and hence {host} expansion, peers and probes) point at the
+// mapped machines; unmapped nodes stay on loopback.
+func TestHostMapper(t *testing.T) {
+	hostFor, err := hostMapper("a0=10.0.0.1,b0=grid-b0.example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, want := range map[string]string{
+		"a0": "10.0.0.1", "b0": "grid-b0.example.org", "c0": "127.0.0.1",
+	} {
+		if got := hostFor(node); got != want {
+			t.Fatalf("hostFor(%s) = %s, want %s", node, got, want)
+		}
+	}
+	if _, err := hostMapper("a0="); err == nil {
+		t.Fatal("empty host accepted")
+	}
+	if none, err := hostMapper(""); err != nil || none != nil {
+		t.Fatalf("empty spec: mapper non-nil=%v, err=%v", none != nil, err)
+	}
+}
+
+// TestUpStatusRestartDownCycle drives the whole CLI surface end to end:
+// `up` boots a 2-daemon grid from XML (daemons are this test binary
+// re-execed via -exec), `status` reports both running, `restart -zone b`
+// rolls one zone, and `down` tears the launcher down with exit 0.
+func TestUpStatusRestartDownCycle(t *testing.T) {
+	t.Setenv("PADICO_LAUNCH_CLI_HELPER", "1")
+	grid := writeGrid(t)
+	ports := make([]int, 3)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().(*net.TCPAddr).Port
+		l.Close()
+	}
+	control := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	tmpl := fmt.Sprintf("%s -test.run=^TestHelperDaemon$ --", os.Args[0])
+
+	var upOut, upErr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain([]string{
+			"-grid", grid, "-base-port", fmt.Sprint(ports[1]), "-control", control,
+			"-exec", tmpl, "-lease", "750ms", "-sync", "75ms", "-probe", "100ms",
+			"up",
+		}, &upOut, &upErr)
+	}()
+
+	// status: wait until both daemons run and announce.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var out, errOut bytes.Buffer
+		code := realMain([]string{"-control", control, "status"}, &out, &errOut)
+		if code == 0 && strings.Count(out.String(), "state=running") == 2 &&
+			strings.Count(out.String(), "announced=true") == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("grid never became ready\nstatus:\n%s\nup log:\n%s%s",
+				out.String(), upOut.String(), upErr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// restart -zone b (the documented selector-after-verb order) rolls b0
+	// once.
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-control", control, "restart", "-zone", "b"}, &out, &errOut); code != 0 {
+		t.Fatalf("zone restart exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "restarted b0") {
+		t.Fatalf("restart output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "restarts=1") {
+		t.Fatalf("restart status does not show the bump:\n%s", out.String())
+	}
+
+	// down ends the foreground `up` with exit 0.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-control", control, "down"}, &out, &errOut); code != 0 {
+		t.Fatalf("down exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("up exited %d\nlog:\n%s%s", code, upOut.String(), upErr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("up did not exit after down\nlog:\n%s%s", upOut.String(), upErr.String())
+	}
+	if !strings.Contains(upOut.String(), "all 2 node(s) running") {
+		t.Fatalf("up never reported readiness:\n%s", upOut.String())
+	}
+}
+
+// syncBuffer is a concurrency-safe bytes.Buffer (the up goroutine and the
+// test read/write it concurrently).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -57,7 +57,17 @@ func ParseTopology(data []byte) (*Topology, error) {
 		}
 		names[n.Name] = true
 	}
+	fabrics := map[string]bool{}
 	for _, f := range t.Fabrics {
+		if f.Name == "" {
+			return nil, fmt.Errorf("deploy: fabric without name")
+		}
+		// A duplicate would silently shadow its namesake in the device
+		// table (nodes are already rejected; fabrics must be too).
+		if fabrics[f.Name] {
+			return nil, fmt.Errorf("deploy: duplicate fabric %q", f.Name)
+		}
+		fabrics[f.Name] = true
 		switch f.Kind {
 		case "myrinet", "ethernet", "wan":
 		default:

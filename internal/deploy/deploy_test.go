@@ -1,6 +1,8 @@
 package deploy
 
 import (
+	"fmt"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -45,17 +47,137 @@ func TestParseAndBuildTopology(t *testing.T) {
 }
 
 func TestParseTopologyErrors(t *testing.T) {
-	cases := map[string]string{
-		"dup node":       `<grid><node name="a"/><node name="a"/></grid>`,
-		"nameless":       `<grid><node/></grid>`,
-		"bad kind":       `<grid><node name="a"/><fabric kind="tokenring" name="t" nodes="a"/></grid>`,
-		"unknown member": `<grid><node name="a"/><fabric kind="ethernet" name="e" nodes="a,ghost"/></grid>`,
-		"not xml":        `<<<`,
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // substring of the rejection ("" = accepted)
+	}{
+		{"ok", `<grid><node name="a"/><fabric kind="ethernet" name="e" nodes="a"/></grid>`, ""},
+		{"dup node", `<grid><node name="a"/><node name="a"/></grid>`, `duplicate node "a"`},
+		{"nameless node", `<grid><node/></grid>`, "node without name"},
+		{"bad kind", `<grid><node name="a"/><fabric kind="tokenring" name="t" nodes="a"/></grid>`, `unknown kind "tokenring"`},
+		{"unknown member", `<grid><node name="a"/><fabric kind="ethernet" name="e" nodes="a,ghost"/></grid>`, `unknown node "ghost"`},
+		{"not xml", `<<<`, "topology"},
+		// Duplicate fabrics used to parse fine and silently shadow each
+		// other in the device table; they are rejected like nodes now.
+		{"dup fabric", `<grid><node name="a"/><fabric kind="ethernet" name="e" nodes="a"/><fabric kind="wan" name="e" nodes="a"/></grid>`, `duplicate fabric "e"`},
+		{"nameless fabric", `<grid><node name="a"/><fabric kind="ethernet" nodes="a"/></grid>`, "fabric without name"},
 	}
-	for name, src := range cases {
-		if _, err := ParseTopology([]byte(src)); err == nil {
-			t.Errorf("%s: accepted", name)
+	for _, tc := range cases {
+		_, err := ParseTopology([]byte(tc.src))
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: rejected: %v", tc.name, err)
+			}
+			continue
 		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRegistryPlacementEdgeCases pins the placement rule (first node of
+// every administrative zone, in name order) on the degenerate grids, and
+// verifies the simulator's LaunchAll realizes exactly the placement
+// Topology.RegistryPlacement promises — the same function live padico-d
+// daemons and the padico-launch planner consult, so a simulated grid and a
+// live one started from the same XML always agree on where replicas live.
+func TestRegistryPlacementEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes string // name[:zone] comma list
+		want  []string
+	}{
+		{"single node", "only", []string{"only"}},
+		{"single node zoned", "only:z", []string{"only"}},
+		{"all one zone", "c:z,a:z,b:z", []string{"a"}},
+		{"empty zone attributes", "b,a,c", []string{"a"}},
+		{"one zone empty one named", "b,a,y:z,x:z", []string{"a", "x"}},
+		{"zone per node", "b:zb,a:za,c:zc", []string{"a", "b", "c"}},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		sb.WriteString(`<grid name="edge">`)
+		var names []string
+		for _, nd := range strings.Split(tc.nodes, ",") {
+			name, zone, _ := strings.Cut(nd, ":")
+			names = append(names, name)
+			fmt.Fprintf(&sb, `<node name="%s" zone="%s"/>`, name, zone)
+		}
+		fmt.Fprintf(&sb, `<fabric name="eth" kind="ethernet" nodes="%s"/></grid>`, strings.Join(names, ","))
+		topo, err := ParseTopology([]byte(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		if got := topo.RegistryPlacement(); !slices.Equal(got, tc.want) {
+			t.Errorf("%s: RegistryPlacement = %v, want %v", tc.name, got, tc.want)
+		}
+		zones := topo.ZoneMap()
+		if len(zones) != len(names) {
+			t.Errorf("%s: ZoneMap has %d entries, want %d", tc.name, len(zones), len(names))
+		}
+		for _, nd := range strings.Split(tc.nodes, ",") {
+			name, zone, _ := strings.Cut(nd, ":")
+			if zones[name] != zone {
+				t.Errorf("%s: ZoneMap[%s] = %q, want %q", tc.name, name, zones[name], zone)
+			}
+		}
+
+		// The simulator must realize the same placement.
+		p, err := Build(topo)
+		if err != nil {
+			t.Fatalf("%s: build: %v", tc.name, err)
+		}
+		p.Grid.Run(func() {
+			if _, err := p.LaunchAll(); err != nil {
+				t.Fatalf("%s: launch: %v", tc.name, err)
+			}
+			if !slices.Equal(p.Registries, tc.want) {
+				t.Errorf("%s: LaunchAll placed replicas on %v, want %v", tc.name, p.Registries, tc.want)
+			}
+		})
+	}
+}
+
+// TestLiveDaemonPlacementAgreement boots one real daemon from a grid XML's
+// placement (the padico-d -grid path) and checks it assumes exactly what
+// the simulator realizes for the same topology.
+func TestLiveDaemonPlacementAgreement(t *testing.T) {
+	src := []byte(`<grid name="agree">
+	  <node name="m0" zone="za"/>
+	  <node name="m1" zone="zb"/>
+	  <node name="m2" zone="zb"/>
+	  <fabric name="eth" kind="ethernet" nodes="m0,m1,m2"/>
+	</grid>`)
+	topo, err := ParseTopology(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Grid.Run(func() {
+		if _, err := p.LaunchAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	d, err := StartDaemon(DaemonConfig{
+		Node:       "m1",
+		Zone:       topo.ZoneMap()["m1"],
+		Registries: topo.RegistryPlacement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Registries(); !slices.Equal(got, p.Registries) {
+		t.Fatalf("live daemon assumes replicas on %v, simulator placed %v", got, p.Registries)
 	}
 }
 

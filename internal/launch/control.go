@@ -1,0 +1,185 @@
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// The launcher's control protocol: `padico-launch up` serves a tiny TCP
+// endpoint (loopback by default) and later `padico-launch status|restart|
+// down` invocations steer the running launcher through it — one JSON
+// request, one JSON response per connection. This is operator plumbing for
+// the supervisor itself; steering the *daemons* stays with padico-ctl and
+// the gatekeeper protocol.
+
+type ctlRequest struct {
+	Op   string `json:"op"` // "status" | "restart" | "down"
+	Zone string `json:"zone,omitempty"`
+	Node string `json:"node,omitempty"`
+}
+
+type ctlResponse struct {
+	Err   string       `json:"err,omitempty"`
+	Msg   string       `json:"msg,omitempty"`
+	Nodes []NodeStatus `json:"nodes,omitempty"`
+}
+
+// controlIOTimeout bounds one control exchange on the wire; restarts are
+// bounded separately (and more generously) by restartTimeout.
+const controlIOTimeout = 5 * time.Minute
+
+// restartTimeout bounds each phase of one node's operator-requested
+// restart (stop, respawn, ready).
+const restartTimeout = time.Minute
+
+// ControlServer serves the launcher's control endpoint.
+type ControlServer struct {
+	l    net.Listener
+	s    *Supervisor
+	down func()
+}
+
+// ServeControl binds the control listener and serves the supervisor over
+// it. down is invoked (once, asynchronously) when a "down" request asks
+// the launcher to tear the grid down and exit.
+func ServeControl(addr string, s *Supervisor, down func()) (*ControlServer, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("launch: control listen %s: %w", addr, err)
+	}
+	c := &ControlServer{l: l, s: s, down: down}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the control endpoint's actual address.
+func (c *ControlServer) Addr() string { return c.l.Addr().String() }
+
+// Close stops accepting control connections.
+func (c *ControlServer) Close() { _ = c.l.Close() }
+
+func (c *ControlServer) acceptLoop() {
+	for {
+		conn, err := c.l.Accept()
+		if err != nil {
+			return
+		}
+		go c.serve(conn)
+	}
+}
+
+func (c *ControlServer) serve(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(controlIOTimeout))
+	var req ctlRequest
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	resp := c.handle(req)
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+func (c *ControlServer) handle(req ctlRequest) *ctlResponse {
+	switch req.Op {
+	case "status":
+		return &ctlResponse{Nodes: c.s.Status()}
+	case "restart":
+		nodes, err := c.restartTargets(req)
+		if err != nil {
+			return &ctlResponse{Err: err.Error()}
+		}
+		if err := c.s.RestartNodes(nodes, restartTimeout); err != nil {
+			return &ctlResponse{Err: err.Error()}
+		}
+		return &ctlResponse{
+			Msg:   "restarted " + strings.Join(nodes, ","),
+			Nodes: c.s.Status(),
+		}
+	case "down":
+		if c.down != nil {
+			go c.down()
+		}
+		return &ctlResponse{Msg: "tearing down grid " + c.s.Plan().Grid}
+	default:
+		return &ctlResponse{Err: fmt.Sprintf("unknown control op %q", req.Op)}
+	}
+}
+
+// restartTargets resolves a restart request to a rolling-restart order:
+// one named node, one zone's nodes, or (neither given) the whole grid.
+func (c *ControlServer) restartTargets(req ctlRequest) ([]string, error) {
+	plan := c.s.Plan()
+	switch {
+	case req.Node != "" && req.Zone != "":
+		return nil, fmt.Errorf("restart wants a node or a zone, not both")
+	case req.Node != "":
+		if _, ok := plan.Spec(req.Node); !ok {
+			return nil, fmt.Errorf("unknown node %q", req.Node)
+		}
+		return []string{req.Node}, nil
+	case req.Zone != "":
+		nodes := plan.ZoneNodes(req.Zone)
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("no nodes in zone %q", req.Zone)
+		}
+		return nodes, nil
+	default:
+		return plan.Nodes(), nil
+	}
+}
+
+// controlRoundTrip performs one request/response exchange with a running
+// launcher's control endpoint.
+func controlRoundTrip(addr string, req ctlRequest) (*ctlResponse, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("launch: control dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(controlIOTimeout))
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("launch: control to %s: %w", addr, err)
+	}
+	var resp ctlResponse
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("launch: control from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("launch: control %s: %s", addr, resp.Err)
+	}
+	return &resp, nil
+}
+
+// ControlStatus fetches the supervision report from a running launcher.
+func ControlStatus(addr string) ([]NodeStatus, error) {
+	resp, err := controlRoundTrip(addr, ctlRequest{Op: "status"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Nodes, nil
+}
+
+// ControlRestart asks a running launcher for a rolling restart of one
+// node, one zone, or (both empty) the whole grid.
+func ControlRestart(addr, zone, node string) (string, []NodeStatus, error) {
+	resp, err := controlRoundTrip(addr, ctlRequest{Op: "restart", Zone: zone, Node: node})
+	if err != nil {
+		return "", nil, err
+	}
+	return resp.Msg, resp.Nodes, nil
+}
+
+// ControlDown asks a running launcher to tear its grid down and exit.
+func ControlDown(addr string) (string, error) {
+	resp, err := controlRoundTrip(addr, ctlRequest{Op: "down"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Msg, nil
+}

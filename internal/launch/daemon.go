@@ -1,0 +1,151 @@
+// Package launch is the grid launcher & supervision subsystem: the layer
+// that turns "a pile of padico-d daemons the operator starts by hand" into
+// "describe the grid once, Padico takes it from there". It reads the same
+// grid XML the simulator deploys from, computes one padico-d per node
+// (control ports, zones, registry-replica placement, peer endpoint seeds),
+// spawns the daemons through a pluggable executor — a local process for
+// loopback grids, a command template such as "ssh {host} padico-d" for real
+// machines — and babysits the result: readiness tracking, gatekeeper health
+// probes, supervised restart with exponential backoff, re-announce
+// verification, rolling restart by zone, and graceful teardown.
+package launch
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"slices"
+	"strings"
+	"syscall"
+
+	"padico/internal/deploy"
+)
+
+// Daemon exit codes. The supervisor keys its restart policy on them: a
+// crash or runtime failure is retried with backoff, a configuration refusal
+// is permanent — respawning an identically misconfigured daemon cannot
+// help.
+const (
+	// ExitOK is a clean shutdown (SIGINT/SIGTERM handled, registry
+	// entries withdrawn).
+	ExitOK = 0
+	// ExitRuntime is a runtime failure after the configuration was
+	// accepted — a bind error, a module load failure. Restartable.
+	ExitRuntime = 1
+	// ExitRefused is a configuration refusal — bad flags, bad grid XML, a
+	// node name the grid does not contain. Not restartable.
+	ExitRefused = 2
+)
+
+// DaemonMain is the padico-d entry point: cmd/padico-d wraps it, and
+// cmd/padico-launch re-execs itself through it so one binary can spawn a
+// whole grid. It returns an exit code from the table above and prints the
+// readiness line ParseReady recognizes on out once the daemon serves.
+func DaemonMain(argv []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("padico-d", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	node := fs.String("node", "", "this daemon's node name")
+	zone := fs.String("zone", "", "administrative zone (default: from -grid, if given)")
+	listen := fs.String("listen", "127.0.0.1:0", "bind address of the TCP control listener")
+	advertise := fs.String("advertise", "", "endpoint other processes dial (default: actual listen address)")
+	gridPath := fs.String("grid", "", "grid topology XML (zones and default registry placement)")
+	registry := fs.Bool("registry", false, "host a registry replica on this node")
+	registries := fs.String("registries", "", "comma-separated registry replica node names (overrides -grid placement)")
+	peers := fs.String("peers", "", "comma-separated node=host:port endpoint seeds")
+	modules := fs.String("modules", "", "comma-separated modules to load at boot")
+	lease := fs.Duration("lease", 0, "registry lease TTL (default 5s)")
+	syncIv := fs.Duration("sync", 0, "anti-entropy sync interval for a hosted replica (default 1s)")
+	if err := fs.Parse(argv); err != nil {
+		return ExitRefused
+	}
+
+	refuse := func(err error) int {
+		fmt.Fprintln(errOut, "padico-d:", err)
+		return ExitRefused
+	}
+	cfg := deploy.DaemonConfig{
+		Node:         *node,
+		Zone:         *zone,
+		Listen:       *listen,
+		Advertise:    *advertise,
+		LeaseTTL:     *lease,
+		SyncInterval: *syncIv,
+		Peers:        map[string]string{},
+	}
+	if cfg.Node == "" {
+		return refuse(fmt.Errorf("missing -node"))
+	}
+	if *gridPath != "" {
+		src, err := os.ReadFile(*gridPath)
+		if err != nil {
+			return refuse(err)
+		}
+		topo, err := deploy.ParseTopology(src)
+		if err != nil {
+			return refuse(err)
+		}
+		zones := topo.ZoneMap()
+		z, ok := zones[cfg.Node]
+		if !ok {
+			return refuse(fmt.Errorf("node %q is not in grid %q", cfg.Node, topo.Name))
+		}
+		if cfg.Zone == "" {
+			cfg.Zone = z
+		}
+		cfg.Registries = topo.RegistryPlacement()
+	}
+	if *registries != "" {
+		cfg.Registries = deploy.SplitList(*registries)
+	}
+	if *registry && !slices.Contains(cfg.Registries, cfg.Node) {
+		cfg.Registries = append(cfg.Registries, cfg.Node)
+	}
+	for _, kv := range deploy.SplitList(*peers) {
+		n, a, ok := strings.Cut(kv, "=")
+		if !ok {
+			return refuse(fmt.Errorf("bad -peers entry %q (want node=host:port)", kv))
+		}
+		cfg.Peers[n] = a
+	}
+	cfg.Modules = deploy.SplitList(*modules)
+
+	d, err := deploy.StartDaemon(cfg)
+	if err != nil {
+		fmt.Fprintln(errOut, "padico-d:", err)
+		return ExitRuntime
+	}
+	fmt.Fprintf(out, "padico-d: %s%s%s (registries %s)\n",
+		d.Node(), readyMarker, d.Addr(), strings.Join(d.Registries(), ","))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Fprintf(out, "padico-d: %s shutting down\n", d.Node())
+	d.Close()
+	return ExitOK
+}
+
+// readyMarker is the token DaemonMain's readiness line carries; the
+// supervisor scans a child's stdout for it.
+const readyMarker = " serving on "
+
+// ParseReady recognizes padico-d's readiness line ("padico-d: <node>
+// serving on <addr> ...") and extracts the node name and the advertised
+// endpoint.
+func ParseReady(line string) (node, addr string, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(line), "padico-d: ")
+	if !found {
+		return "", "", false
+	}
+	node, rest, found = strings.Cut(rest, readyMarker)
+	if !found || node == "" {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	return node, fields[0], true
+}

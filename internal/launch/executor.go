@@ -1,0 +1,137 @@
+package launch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Exit is the outcome of one supervised daemon process.
+type Exit struct {
+	// Code is the process exit code, or -1 when the process was ended by
+	// a signal (or never collected cleanly).
+	Code int
+	// Desc is the human-readable outcome ("exit status 2",
+	// "signal: killed", ...).
+	Desc string
+}
+
+// Refused reports whether the daemon refused its configuration — the one
+// outcome the supervisor never retries, because an identical respawn would
+// refuse identically.
+func (e Exit) Refused() bool { return e.Code == ExitRefused }
+
+func (e Exit) String() string { return e.Desc }
+
+// Proc is one spawned daemon process under supervision.
+type Proc interface {
+	// PID identifies the OS process (the local one, for a command
+	// executor that tunnels to another machine).
+	PID() int
+	// Signal delivers a signal — SIGTERM for graceful stop.
+	Signal(sig os.Signal) error
+	// Kill ends the process immediately.
+	Kill() error
+	// Wait blocks until the process exits and returns the outcome. It
+	// must be called exactly once.
+	Wait() Exit
+}
+
+// Executor spawns daemons. It is the portability seam between "how a grid
+// is described" and "how a process appears on a machine": the launcher
+// plans argv vectors, the executor decides what wraps them — a plain local
+// process, a re-exec of the launcher binary itself, ssh to a real host, or
+// (in tests) the test binary re-execed in daemon mode.
+type Executor interface {
+	// Start launches the daemon for spec with the given padico-d
+	// arguments, wiring the child's stdout/stderr to the writers (the
+	// supervisor watches stdout for the readiness line).
+	Start(spec NodeSpec, args []string, stdout, stderr io.Writer) (Proc, error)
+	// Describe renders the command line Start would run, for status
+	// output and logs.
+	Describe(spec NodeSpec, args []string) string
+}
+
+// ExecExecutor runs daemons through os/exec: the full argument vector is
+// Prefix (with placeholders expanded per node) followed by the planned
+// padico-d arguments. Prefix choices cover the deployment spectrum:
+//
+//	{"/path/to/padico-d"}                 a padico-d binary, locally
+//	{launcher, "__daemon__"}              the launcher re-execing itself
+//	{"ssh", "{host}", "padico-d"}         one daemon per real machine
+//
+// Placeholders in Prefix elements: {node} (node name), {host} and {port}
+// (split from the control endpoint), {addr} (the endpoint itself).
+type ExecExecutor struct {
+	Prefix []string
+	// Env entries are appended to the inherited environment.
+	Env []string
+}
+
+// LocalDaemon returns the executor spawning a padico-d binary locally.
+func LocalDaemon(path string) *ExecExecutor {
+	return &ExecExecutor{Prefix: []string{path}}
+}
+
+func (e *ExecExecutor) argv(spec NodeSpec, args []string) []string {
+	host, port, err := net.SplitHostPort(spec.Addr)
+	if err != nil {
+		host, port = spec.Addr, ""
+	}
+	r := strings.NewReplacer(
+		"{node}", spec.Node,
+		"{host}", host,
+		"{port}", port,
+		"{addr}", spec.Addr,
+	)
+	out := make([]string, 0, len(e.Prefix)+len(args))
+	for _, p := range e.Prefix {
+		out = append(out, r.Replace(p))
+	}
+	return append(out, args...)
+}
+
+// Start spawns the daemon process.
+func (e *ExecExecutor) Start(spec NodeSpec, args []string, stdout, stderr io.Writer) (Proc, error) {
+	argv := e.argv(spec, args)
+	if len(argv) == 0 || argv[0] == "" {
+		return nil, errors.New("launch: executor has no command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout, cmd.Stderr = stdout, stderr
+	if len(e.Env) > 0 {
+		cmd.Env = append(os.Environ(), e.Env...)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("launch: spawning %s for %s: %w", argv[0], spec.Node, err)
+	}
+	return &osProc{cmd: cmd}, nil
+}
+
+// Describe renders the expanded command line.
+func (e *ExecExecutor) Describe(spec NodeSpec, args []string) string {
+	return strings.Join(e.argv(spec, args), " ")
+}
+
+// osProc wraps an os/exec child.
+type osProc struct{ cmd *exec.Cmd }
+
+func (p *osProc) PID() int                   { return p.cmd.Process.Pid }
+func (p *osProc) Signal(sig os.Signal) error { return p.cmd.Process.Signal(sig) }
+func (p *osProc) Kill() error                { return p.cmd.Process.Kill() }
+
+func (p *osProc) Wait() Exit {
+	err := p.cmd.Wait()
+	if err == nil {
+		return Exit{Code: 0, Desc: "exit status 0"}
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return Exit{Code: ee.ExitCode(), Desc: ee.String()}
+	}
+	return Exit{Code: -1, Desc: err.Error()}
+}

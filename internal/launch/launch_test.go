@@ -1,0 +1,599 @@
+package launch
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"padico/internal/deploy"
+	"padico/internal/soap"
+)
+
+// TestHelperDaemon is not a test: it is the daemon the supervision tests
+// spawn. helperExecutor re-execs this test binary with -test.run pinned
+// here and the real padico-d arguments after "--"; the env guard keeps a
+// normal test run from ever entering daemon mode.
+func TestHelperDaemon(t *testing.T) {
+	if os.Getenv("PADICO_LAUNCH_HELPER") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Exit(DaemonMain(args, os.Stdout, os.Stderr))
+}
+
+// helperExecutor spawns genuine OS processes — this test binary re-execed
+// in daemon mode — so kill/restart supervision runs against the real
+// thing: real PIDs, real signals, real process exits.
+func helperExecutor() *ExecExecutor {
+	return &ExecExecutor{
+		Prefix: []string{os.Args[0], "-test.run=^TestHelperDaemon$", "--"},
+		Env:    []string{"PADICO_LAUNCH_HELPER=1"},
+	}
+}
+
+// freePorts reserves n distinct loopback ports and releases them for the
+// daemons about to bind them.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	out := make([]int, n)
+	ls := make([]net.Listener, n)
+	for i := range out {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls[i] = l
+		out[i] = l.Addr().(*net.TCPAddr).Port
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return out
+}
+
+// syncBuf is a concurrency-safe log sink for supervisor output.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+const trioXML = `<grid name="trio">
+  <node name="n0" zone="a"/>
+  <node name="n1" zone="b"/>
+  <node name="n2" zone="b"/>
+  <fabric name="eth" kind="ethernet" nodes="n0,n1,n2"/>
+</grid>`
+
+// trioPlan plans the canonical 3-node/2-zone test grid on free loopback
+// ports, soap on n2, fast leases so supervision outcomes show quickly.
+func trioPlan(t *testing.T) *Plan {
+	t.Helper()
+	topo, err := deploy.ParseTopology([]byte(trioXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := freePorts(t, 3)
+	plan, err := BuildPlan(topo, PlanOptions{
+		Ports:        map[string]int{"n0": ports[0], "n1": ports[1], "n2": ports[2]},
+		ExtraModules: map[string][]string{"n2": {"soap"}},
+		LeaseTTL:     750 * time.Millisecond,
+		SyncInterval: 75 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func testOptions(log io.Writer) Options {
+	return Options{
+		Out:            log,
+		ReadyTimeout:   20 * time.Second,
+		BackoffMin:     50 * time.Millisecond,
+		BackoffMax:     time.Second,
+		StableAfter:    10 * time.Second,
+		ProbeInterval:  100 * time.Millisecond,
+		ProbeFailLimit: 3,
+		Grace:          3 * time.Second,
+	}
+}
+
+func statusOf(t *testing.T, sup *Supervisor, node string) NodeStatus {
+	t.Helper()
+	for _, st := range sup.Status() {
+		if st.Node == node {
+			return st
+		}
+	}
+	t.Fatalf("no status for %s", node)
+	return NodeStatus{}
+}
+
+// TestLaunchSuperviseHeal is the subsystem's acceptance scenario end to
+// end: padico-launch boots a 3-daemon grid from grid XML on loopback with
+// zero manual flags, an operator attaches through one endpoint, then one
+// daemon's OS process is SIGKILLed — the supervisor restarts it with
+// backoff, the restarted daemon re-announces under a fresh lease, by-name
+// resolution from the attached seat recovers, and status reports the
+// restart. Finally the teardown is clean (children reaped).
+func TestLaunchSuperviseHeal(t *testing.T) {
+	plan := trioPlan(t)
+	if got := strings.Join(plan.Registries, ","); got != "n0,n1" {
+		t.Fatalf("planned registries = %s, want n0,n1 (first node of each zone)", got)
+	}
+
+	var log syncBuf
+	sup := NewSupervisor(plan, helperExecutor(), testOptions(&log))
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+
+	// Attach the way an operator would: one endpoint, no other flags.
+	dep, err := deploy.Attach(plan.Endpoints()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	dep.Registry().SetCacheTTL(0)
+	waitFor(t, "all three daemons in the registry", 10*time.Second, func() bool {
+		entries, err := dep.Registry().Lookup("module", "vlink")
+		return err == nil && len(entries) == 3
+	})
+
+	// The planned grid serves by name: dial n2's soap through its gateway.
+	waitFor(t, "soap:sys resolvable by name", 10*time.Second, func() bool {
+		st, err := dep.DialService("vlink", "soap:sys")
+		if err != nil {
+			return false
+		}
+		defer st.Close()
+		answer, err := soap.Call(st, "echo", "launched")
+		return err == nil && len(answer) == 1 && answer[0] == "launched"
+	})
+
+	// Crash n2's OS process the hard way. No withdraw happens — this is
+	// the lease-expiry path — and the supervisor must notice the exit,
+	// back off, respawn, and see the fresh announce.
+	before := statusOf(t, sup, "n2")
+	if before.PID <= 0 {
+		t.Fatalf("n2 status has no pid: %+v", before)
+	}
+	if err := syscall.Kill(before.PID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "supervised restart of n2", 15*time.Second, func() bool {
+		st := statusOf(t, sup, "n2")
+		return st.Restarts >= 1 && st.State == StateRunning && st.PID > 0 && st.PID != before.PID
+	})
+	after := statusOf(t, sup, "n2")
+	if !strings.Contains(after.LastExit, "killed") {
+		t.Fatalf("n2 last exit = %q, want a SIGKILL record", after.LastExit)
+	}
+
+	// Fresh lease: the supervisor's own sweep marks n2 announced again,
+	// and the attached seat sees a leased (TTL-carrying) record.
+	waitFor(t, "n2 re-announced under a fresh lease", 15*time.Second, func() bool {
+		if !statusOf(t, sup, "n2").Announced {
+			return false
+		}
+		entries, err := dep.Registry().Lookup("module", "vlink")
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if e.Node == "n2" && e.TTLMillis > 0 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// By-name resolution from the attached seat recovers: soap rides on
+	// the restarted daemon, rediscovered through the replicated registry.
+	waitFor(t, "by-name resolution to recover", 15*time.Second, func() bool {
+		st, err := dep.DialService("vlink", "soap:sys")
+		if err != nil {
+			return false
+		}
+		defer st.Close()
+		answer, err := soap.Call(st, "echo", "healed")
+		return err == nil && len(answer) == 1 && answer[0] == "healed"
+	})
+	if err := dep.Ctl.Ping("n2"); err != nil {
+		t.Fatalf("ping restarted n2: %v", err)
+	}
+
+	// Teardown reaps every child.
+	pids := make([]int, 0, 3)
+	for _, st := range sup.Status() {
+		if st.PID > 0 {
+			pids = append(pids, st.PID)
+		}
+	}
+	sup.Stop()
+	for _, st := range sup.Status() {
+		if st.State != StateStopped {
+			t.Fatalf("after Stop, %s is %s", st.Node, st.State)
+		}
+	}
+	for _, pid := range pids {
+		// The children were direct children and Stop waited on them, so
+		// the PIDs are reaped: signalling must fail.
+		if err := syscall.Kill(pid, syscall.Signal(0)); err == nil {
+			t.Fatalf("child %d still alive after Stop", pid)
+		}
+	}
+}
+
+// TestRollingRestartZone rolls zone b (n1, n2) one node at a time: both
+// come back with new PIDs and bumped restart counts, zone a's daemon is
+// untouched, and the grid never loses more than one daemon to the roll.
+func TestRollingRestartZone(t *testing.T) {
+	plan := trioPlan(t)
+	var log syncBuf
+	sup := NewSupervisor(plan, helperExecutor(), testOptions(&log))
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+
+	pidBefore := map[string]int{}
+	for _, st := range sup.Status() {
+		pidBefore[st.Node] = st.PID
+	}
+	if err := sup.RestartNodes(plan.ZoneNodes("b"), 30*time.Second); err != nil {
+		t.Fatalf("rolling restart: %v\nlog:\n%s", err, log.String())
+	}
+	for _, node := range []string{"n1", "n2"} {
+		st := statusOf(t, sup, node)
+		if st.State != StateRunning || st.Restarts != 1 || st.PID == pidBefore[node] {
+			t.Fatalf("%s after roll = %+v (pid before %d)", node, st, pidBefore[node])
+		}
+		// A rolling restart is the clean path: SIGTERM, withdraw, exit 0.
+		if st.LastExit != "exit status 0" {
+			t.Fatalf("%s rolled uncleanly: %q", node, st.LastExit)
+		}
+	}
+	if st := statusOf(t, sup, "n0"); st.Restarts != 0 || st.PID != pidBefore["n0"] {
+		t.Fatalf("zone a's n0 was disturbed by zone b's roll: %+v", st)
+	}
+}
+
+// TestRefusalIsNotRestarted: a daemon that exits with ExitRefused (bad
+// configuration) is a permanent failure — the supervisor reports it and
+// gives up instead of hammering respawns that refuse identically.
+func TestRefusalIsNotRestarted(t *testing.T) {
+	plan := &Plan{
+		Grid:       "bad",
+		Registries: []string{"x"},
+		Specs: []NodeSpec{{
+			Node: "x", Addr: "127.0.0.1:1",
+			Args: []string{"-node", ""}, // missing node name: refused
+		}},
+	}
+	var log syncBuf
+	sup := NewSupervisor(plan, helperExecutor(), testOptions(&log))
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	waitFor(t, "permanent failure", 10*time.Second, func() bool {
+		return statusOf(t, sup, "x").State == StateFailed
+	})
+	st := statusOf(t, sup, "x")
+	if st.Restarts != 0 {
+		t.Fatalf("refused daemon was restarted %d time(s)", st.Restarts)
+	}
+	if !strings.Contains(st.LastExit, "exit status 2") {
+		t.Fatalf("last exit = %q, want exit status 2", st.LastExit)
+	}
+	if err := sup.WaitReady(time.Second); err == nil {
+		t.Fatal("WaitReady succeeded over a failed node")
+	}
+}
+
+// TestControlProtocol drives a supervised grid through the launcher's TCP
+// control endpoint: status, a single-node restart, and down.
+func TestControlProtocol(t *testing.T) {
+	plan := trioPlan(t)
+	var log syncBuf
+	sup := NewSupervisor(plan, helperExecutor(), testOptions(&log))
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	downc := make(chan struct{})
+	var downOnce sync.Once
+	srv, err := ServeControl("127.0.0.1:0", sup, func() { downOnce.Do(func() { close(downc) }) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := sup.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+
+	sts, err := ControlStatus(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 3 || sts[0].Node != "n0" || sts[0].State != StateRunning {
+		t.Fatalf("control status = %+v", sts)
+	}
+
+	msg, sts, err := ControlRestart(srv.Addr(), "", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "n1") {
+		t.Fatalf("restart msg = %q", msg)
+	}
+	for _, st := range sts {
+		if st.Node == "n1" && st.Restarts != 1 {
+			t.Fatalf("n1 after control restart = %+v", st)
+		}
+	}
+
+	// Bad requests are refused with errors, not crashes.
+	if _, _, err := ControlRestart(srv.Addr(), "nowhere", ""); err == nil {
+		t.Fatal("restart of unknown zone succeeded")
+	}
+	if _, _, err := ControlRestart(srv.Addr(), "a", "n0"); err == nil {
+		t.Fatal("restart with both zone and node succeeded")
+	}
+
+	if _, err := ControlDown(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-downc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("down request never triggered the teardown hook")
+	}
+}
+
+// TestBuildPlan pins the planner's contract: deterministic ports, zone-
+// derived registry placement identical to the simulator's, full peer
+// seeding, per-node modules, and the validation paths.
+func TestBuildPlan(t *testing.T) {
+	topo, err := deploy.ParseTopology([]byte(trioXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(topo, PlanOptions{
+		BasePort:     8800,
+		Modules:      []string{"hla"},
+		ExtraModules: map[string][]string{"n2": {"soap"}},
+		LeaseTTL:     2 * time.Second,
+		SyncInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(plan.Nodes(), ","); got != "n0,n1,n2" {
+		t.Fatalf("nodes = %s", got)
+	}
+	if got := strings.Join(plan.Registries, ","); got != "n0,n1" {
+		t.Fatalf("registries = %s", got)
+	}
+	if got := strings.Join(plan.Endpoints(), ","); got != "127.0.0.1:8800,127.0.0.1:8801,127.0.0.1:8802" {
+		t.Fatalf("endpoints = %s", got)
+	}
+	if got := strings.Join(plan.ZoneNodes("b"), ","); got != "n1,n2" {
+		t.Fatalf("zone b = %s", got)
+	}
+	n2, ok := plan.Spec("n2")
+	if !ok {
+		t.Fatal("no spec for n2")
+	}
+	args := strings.Join(n2.Args, " ")
+	for _, want := range []string{
+		"-node n2", "-zone b", "-listen 127.0.0.1:8802",
+		"-registries n0,n1", "-peers n0=127.0.0.1:8800,n1=127.0.0.1:8801",
+		"-modules hla,soap", "-lease 2s", "-sync 250ms",
+	} {
+		if !strings.Contains(args, want) {
+			t.Fatalf("n2 args %q missing %q", args, want)
+		}
+	}
+	// Placement agreement with the simulator: BuildPlan and LaunchAll
+	// both realize Topology.RegistryPlacement.
+	if got := strings.Join(topo.RegistryPlacement(), ","); got != strings.Join(plan.Registries, ",") {
+		t.Fatalf("plan registries %v != topology placement %v", plan.Registries, got)
+	}
+
+	// Validation paths.
+	if _, err := BuildPlan(&deploy.Topology{Name: "empty"}, PlanOptions{}); err == nil {
+		t.Fatal("empty grid planned")
+	}
+	if _, err := BuildPlan(topo, PlanOptions{Registries: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown registry host planned")
+	}
+	if _, err := BuildPlan(topo, PlanOptions{Ports: map[string]int{"n0": 9000, "n1": 9000}}); err == nil {
+		t.Fatal("colliding endpoints planned")
+	}
+	// Registry override lands in every daemon's flags.
+	plan, err = BuildPlan(topo, PlanOptions{Registries: []string{"n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(plan.Registries, ","); got != "n2" {
+		t.Fatalf("override registries = %s", got)
+	}
+}
+
+// TestExecutorTemplate pins the placeholder expansion remote command
+// templates rely on.
+func TestExecutorTemplate(t *testing.T) {
+	e := &ExecExecutor{Prefix: []string{"ssh", "{host}", "padico-d-{node}", "{addr}", "p{port}"}}
+	spec := NodeSpec{Node: "n1", Addr: "10.0.0.7:7711"}
+	got := e.Describe(spec, []string{"-node", "n1"})
+	want := "ssh 10.0.0.7 padico-d-n1 10.0.0.7:7711 p7711 -node n1"
+	if got != want {
+		t.Fatalf("expanded command = %q, want %q", got, want)
+	}
+}
+
+// TestParseReady pins the readiness-line contract between DaemonMain and
+// the supervisor.
+func TestParseReady(t *testing.T) {
+	node, addr, ok := ParseReady("padico-d: n0 serving on 127.0.0.1:7710 (registries n0,n1)")
+	if !ok || node != "n0" || addr != "127.0.0.1:7710" {
+		t.Fatalf("ParseReady = %q %q %v", node, addr, ok)
+	}
+	for _, line := range []string{
+		"", "padico-d: n0 shutting down", "n0 serving on x", "padico-d:  serving on x",
+	} {
+		if _, _, ok := ParseReady(line); ok {
+			t.Fatalf("ParseReady accepted %q", line)
+		}
+	}
+}
+
+// TestDaemonMainExitCodes pins the refusal/runtime split the supervisor's
+// restart policy keys on.
+func TestDaemonMainExitCodes(t *testing.T) {
+	gridFile := func(content string) string {
+		t.Helper()
+		p := t.TempDir() + "/grid.xml"
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	refusals := [][]string{
+		{},                                    // missing -node
+		{"-bogus-flag"},                       // unknown flag
+		{"-node", "a", "-peers", "malformed"}, // bad peer seed
+		{"-node", "a", "-grid", "/does/not/exist.xml"},            // unreadable grid
+		{"-node", "ghost", "-grid", gridFile(trioXML)},            // node not in grid
+		{"-node", "a", "-grid", gridFile("<grid><node/></grid>")}, // invalid grid
+	}
+	for _, argv := range refusals {
+		var out, errOut bytes.Buffer
+		if code := DaemonMain(argv, &out, &errOut); code != ExitRefused {
+			t.Fatalf("DaemonMain(%v) = %d, want %d (refused)\nstderr:\n%s",
+				argv, code, ExitRefused, errOut.String())
+		}
+	}
+
+	// A valid configuration that fails at runtime (port already bound)
+	// exits ExitRuntime: the supervisor may retry that.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var out, errOut bytes.Buffer
+	if code := DaemonMain([]string{"-node", "a", "-listen", l.Addr().String()}, &out, &errOut); code != ExitRuntime {
+		t.Fatalf("bound-port DaemonMain = %d, want %d (runtime)\nstderr:\n%s",
+			code, ExitRuntime, errOut.String())
+	}
+}
+
+// TestLineWriter pins line splitting and the readiness callback across
+// fragmented writes.
+func TestLineWriter(t *testing.T) {
+	var got []string
+	var buf bytes.Buffer
+	w := &lineWriter{dst: &buf, prefix: "[x] ", onLine: func(l string) { got = append(got, l) }}
+	for _, chunk := range []string{"hel", "lo\nwor", "ld\n", "tail"} {
+		if _, err := io.WriteString(w, chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 || got[0] != "hello" || got[1] != "world" {
+		t.Fatalf("lines = %q", got)
+	}
+	if buf.String() != "[x] hello\n[x] world\n" {
+		t.Fatalf("forwarded = %q", buf.String())
+	}
+}
+
+// TestWedgedDaemonIsHealed: a daemon that stops answering its gatekeeper
+// without dying (here: SIGSTOPped, the classic wedged process) is detected
+// by consecutive probe failures, killed, and respawned.
+func TestWedgedDaemonIsHealed(t *testing.T) {
+	topo, err := deploy.ParseTopology([]byte(`<grid name="solo"><node name="s0"/></grid>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := freePorts(t, 1)
+	plan, err := BuildPlan(topo, PlanOptions{
+		Ports:        map[string]int{"s0": ports[0]},
+		LeaseTTL:     750 * time.Millisecond,
+		SyncInterval: 75 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log syncBuf
+	// Probes against a stopped process fail only at the 5s handshake
+	// deadline, so a low fail limit keeps the heal inside test patience.
+	opts := testOptions(&log)
+	opts.ProbeFailLimit = 2
+	sup := NewSupervisor(plan, helperExecutor(), opts)
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+
+	pid := statusOf(t, sup, "s0").PID
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "wedged daemon healed", 60*time.Second, func() bool {
+		st := statusOf(t, sup, "s0")
+		return st.Restarts >= 1 && st.State == StateRunning && st.PID != pid
+	})
+	if !strings.Contains(log.String(), "wedged") {
+		t.Fatalf("heal not attributed to probing:\n%s", log.String())
+	}
+}

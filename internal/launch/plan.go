@@ -1,0 +1,194 @@
+package launch
+
+import (
+	"fmt"
+	"net"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"padico/internal/deploy"
+)
+
+// DefaultBasePort is the first control port a plan assigns when the caller
+// does not choose: node i (in name order) listens on DefaultBasePort+i.
+const DefaultBasePort = 7710
+
+// PlanOptions parameterizes BuildPlan. The zero value plans a loopback
+// grid: every daemon on 127.0.0.1, ports from DefaultBasePort up, registry
+// replicas where the topology's zones put them.
+type PlanOptions struct {
+	// BasePort is the first control port (DefaultBasePort when zero);
+	// node i in name order gets BasePort+i.
+	BasePort int
+	// Ports overrides the port of individual nodes.
+	Ports map[string]int
+	// Host maps a node name to the host its daemon listens and is dialed
+	// on. Nil means 127.0.0.1 everywhere — the loopback grid.
+	Host func(node string) string
+	// Registries overrides the registry-replica placement (default: the
+	// topology's RegistryPlacement — first node of every zone).
+	Registries []string
+	// Modules are loaded at boot on every node.
+	Modules []string
+	// ExtraModules are loaded at boot on specific nodes, after Modules.
+	ExtraModules map[string][]string
+	// LeaseTTL and SyncInterval are forwarded to every daemon when set.
+	LeaseTTL     time.Duration
+	SyncInterval time.Duration
+}
+
+// NodeSpec is one planned daemon: where it runs, where its control
+// endpoint lives, and the exact padico-d argument vector that realizes it.
+type NodeSpec struct {
+	Node       string
+	Zone       string
+	Addr       string // control endpoint, "host:port"
+	Registries []string
+	Args       []string // padico-d flags, ready to exec
+}
+
+// Plan is a fully computed deployment: every flag every daemon needs,
+// derived from the grid XML alone — replica placement, peer endpoint
+// seeding and port assignment included, so daemons mesh without operator
+// input. Specs are sorted by node name.
+type Plan struct {
+	Grid       string
+	Registries []string
+	Specs      []NodeSpec
+}
+
+// BuildPlan computes the deployment plan for a topology. Placement follows
+// Topology.RegistryPlacement (the same rule deploy.LaunchAll realizes in
+// the simulator, so live and simulated grids agree on where replicas
+// live); every daemon is seeded with every planned endpoint, so the first
+// announce lands regardless of boot order.
+func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
+	if len(topo.Nodes) == 0 {
+		return nil, fmt.Errorf("launch: grid %q has no nodes", topo.Name)
+	}
+	zones := topo.ZoneMap()
+	names := make([]string, 0, len(zones))
+	for n := range zones {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regs := topo.RegistryPlacement()
+	if len(opts.Registries) > 0 {
+		regs = append([]string(nil), opts.Registries...)
+		sort.Strings(regs)
+		for _, r := range regs {
+			if _, ok := zones[r]; !ok {
+				return nil, fmt.Errorf("launch: registry host %q is not a grid node", r)
+			}
+		}
+	}
+
+	hostFor := opts.Host
+	if hostFor == nil {
+		hostFor = func(string) string { return "127.0.0.1" }
+	}
+	basePort := opts.BasePort
+	if basePort <= 0 {
+		basePort = DefaultBasePort
+	}
+	addrs := make(map[string]string, len(names))
+	byAddr := make(map[string]string, len(names))
+	for i, n := range names {
+		port, ok := opts.Ports[n]
+		if !ok {
+			port = basePort + i
+		}
+		addr := net.JoinHostPort(hostFor(n), strconv.Itoa(port))
+		if prev, dup := byAddr[addr]; dup {
+			return nil, fmt.Errorf("launch: nodes %s and %s share endpoint %s", prev, n, addr)
+		}
+		byAddr[addr] = n
+		addrs[n] = addr
+	}
+
+	p := &Plan{Grid: topo.Name, Registries: regs}
+	for _, n := range names {
+		peers := make([]string, 0, len(names)-1)
+		for _, o := range names {
+			if o != n {
+				peers = append(peers, o+"="+addrs[o])
+			}
+		}
+		modules := append(append([]string(nil), opts.Modules...), opts.ExtraModules[n]...)
+		args := []string{"-node", n}
+		if zones[n] != "" {
+			args = append(args, "-zone", zones[n])
+		}
+		args = append(args, "-listen", addrs[n], "-registries", strings.Join(regs, ","))
+		if len(peers) > 0 {
+			args = append(args, "-peers", strings.Join(peers, ","))
+		}
+		if len(modules) > 0 {
+			args = append(args, "-modules", strings.Join(modules, ","))
+		}
+		if opts.LeaseTTL > 0 {
+			args = append(args, "-lease", opts.LeaseTTL.String())
+		}
+		if opts.SyncInterval > 0 {
+			args = append(args, "-sync", opts.SyncInterval.String())
+		}
+		p.Specs = append(p.Specs, NodeSpec{
+			Node:       n,
+			Zone:       zones[n],
+			Addr:       addrs[n],
+			Registries: regs,
+			Args:       args,
+		})
+	}
+	return p, nil
+}
+
+// Nodes returns the planned node names, in plan (name) order.
+func (p *Plan) Nodes() []string {
+	out := make([]string, len(p.Specs))
+	for i, s := range p.Specs {
+		out[i] = s.Node
+	}
+	return out
+}
+
+// ZoneNodes returns the planned nodes of one administrative zone, in plan
+// order — the unit of a rolling restart.
+func (p *Plan) ZoneNodes(zone string) []string {
+	var out []string
+	for _, s := range p.Specs {
+		if s.Zone == zone {
+			out = append(out, s.Node)
+		}
+	}
+	return out
+}
+
+// Spec returns the plan of one node.
+func (p *Plan) Spec(node string) (NodeSpec, bool) {
+	for _, s := range p.Specs {
+		if s.Node == node {
+			return s, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+// Endpoints returns every planned control endpoint, in plan order — what
+// an operator would hand to `padico-ctl -attach`.
+func (p *Plan) Endpoints() []string {
+	out := make([]string, len(p.Specs))
+	for i, s := range p.Specs {
+		out[i] = s.Addr
+	}
+	return out
+}
+
+// HasZone reports whether any planned node belongs to the zone.
+func (p *Plan) HasZone(zone string) bool {
+	return slices.ContainsFunc(p.Specs, func(s NodeSpec) bool { return s.Zone == zone })
+}

@@ -1,0 +1,585 @@
+package launch
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"syscall"
+	"time"
+
+	"padico/internal/gatekeeper"
+	"padico/internal/orb"
+	"padico/internal/sockets"
+	"padico/internal/vtime"
+)
+
+// State is one supervised node's lifecycle phase.
+type State string
+
+const (
+	// StateStarting: spawned, waiting for the readiness line.
+	StateStarting State = "starting"
+	// StateRunning: ready and (as far as probing knows) healthy.
+	StateRunning State = "running"
+	// StateBackoff: crashed; waiting out the restart backoff.
+	StateBackoff State = "backoff"
+	// StateStopping: asked to terminate (shutdown or rolling restart).
+	StateStopping State = "stopping"
+	// StateStopped: terminated on purpose; not coming back.
+	StateStopped State = "stopped"
+	// StateFailed: the daemon refused its configuration (ExitRefused);
+	// the supervisor gave up on it.
+	StateFailed State = "failed"
+)
+
+// NodeStatus is one node's supervision report.
+type NodeStatus struct {
+	Node  string `json:"node"`
+	Zone  string `json:"zone,omitempty"`
+	Addr  string `json:"addr"`
+	State State  `json:"state"`
+	// PID of the current child process (0 when none is running).
+	PID int `json:"pid"`
+	// Restarts counts respawns after the initial launch — crashes healed
+	// and operator-requested restarts alike.
+	Restarts int `json:"restarts"`
+	// Announced reports whether the registry currently holds a live,
+	// leased record from this node — the evidence that a (re)started
+	// daemon re-announced under a fresh lease.
+	Announced bool `json:"announced"`
+	// LastExit describes the most recent process exit, if any.
+	LastExit string `json:"last_exit,omitempty"`
+}
+
+// Options tunes the supervisor. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Out receives the supervisor's log lines and the children's output,
+	// prefixed per node (default: discard).
+	Out io.Writer
+	// ReadyTimeout bounds how long a spawned daemon may take to print its
+	// readiness line before it is killed and retried (default 30s).
+	ReadyTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential restart backoff
+	// (defaults 200ms and 10s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// StableAfter is the uptime after which a daemon's backoff resets to
+	// BackoffMin — it evidently recovered (default 30s).
+	StableAfter time.Duration
+	// ProbeInterval is the gatekeeper health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeFailLimit is how many consecutive probe failures a running
+	// daemon survives before the supervisor declares it wedged and kills
+	// it for a restart (default 3).
+	ProbeFailLimit int
+	// Grace is the SIGTERM-to-SIGKILL window on stop and restart
+	// (default 5s).
+	Grace time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 30 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 200 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 10 * time.Second
+	}
+	if o.StableAfter <= 0 {
+		o.StableAfter = 30 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeFailLimit <= 0 {
+		o.ProbeFailLimit = 3
+	}
+	if o.Grace <= 0 {
+		o.Grace = 5 * time.Second
+	}
+}
+
+// Supervisor spawns one daemon per planned node and babysits the set: it
+// watches stdout for readiness, probes every running gatekeeper, restarts
+// crashed (or wedged) daemons with exponential backoff, verifies each
+// restarted daemon re-announces into the registry under a fresh lease, and
+// tears the grid down cleanly — SIGTERM first, so daemons withdraw their
+// registry entries, SIGKILL only after the grace window.
+type Supervisor struct {
+	plan *Plan
+	exec Executor
+	opt  Options
+
+	host *sockets.WallHost
+	ctl  *gatekeeper.Controller
+	rc   *gatekeeper.RegistryClient
+
+	nodes map[string]*node
+	order []string
+
+	quit      chan struct{}
+	probeDone chan struct{}
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	stopOnce sync.Once
+}
+
+// NewSupervisor prepares a supervisor for a plan. Start spawns the grid.
+// The node table is built here, before any goroutine exists, so Status and
+// restart requests (e.g. through an already-listening control endpoint)
+// never race its construction.
+func NewSupervisor(plan *Plan, exec Executor, opt Options) *Supervisor {
+	opt.fill()
+	s := &Supervisor{
+		plan:      plan,
+		exec:      exec,
+		opt:       opt,
+		nodes:     make(map[string]*node, len(plan.Specs)),
+		quit:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, spec := range plan.Specs {
+		n := &node{sup: s, spec: spec, cmds: make(chan nodeCmd)}
+		n.st = NodeStatus{Node: spec.Node, Zone: spec.Zone, Addr: spec.Addr, State: StateStarting}
+		s.nodes[spec.Node] = n
+		s.order = append(s.order, spec.Node)
+	}
+	return s
+}
+
+// Start spawns every planned daemon and begins supervising. It returns as
+// soon as the children are launched; WaitReady blocks until they serve.
+func (s *Supervisor) Start() error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("launch: supervisor already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	// The supervisor's own seat on the deployment: a dial-only wall host
+	// whose address book pins every planned endpoint (the plan is the
+	// authority on where daemons live — registry learning must not move
+	// them), a controller for health pings, and a registry client for
+	// lease visibility.
+	s.host = sockets.NewWallHost("padico-launch")
+	for _, spec := range s.plan.Specs {
+		s.host.Pin(spec.Node, spec.Addr)
+	}
+	wall := vtime.NewWall()
+	tr := orb.WallTransport{Host: s.host}
+	s.ctl = gatekeeper.NewController(wall, tr)
+	s.rc = gatekeeper.NewRegistryClient(wall, tr, s.plan.Registries...)
+	s.rc.SetCacheTTL(0)
+
+	s.wg.Add(len(s.order))
+	for _, name := range s.order {
+		go s.nodes[name].run()
+	}
+	go s.probeLoop()
+	return nil
+}
+
+// Status snapshots every node's supervision state, in plan order.
+func (s *Supervisor) Status() []NodeStatus {
+	out := make([]NodeStatus, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.nodes[name].status())
+	}
+	return out
+}
+
+// WaitReady blocks until every supervised node is running, or fails when
+// the timeout passes or a node permanently refuses.
+func (s *Supervisor) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var lagging []string
+		for _, st := range s.Status() {
+			if st.State == StateFailed {
+				return fmt.Errorf("launch: node %s failed permanently (%s)", st.Node, st.LastExit)
+			}
+			if st.State != StateRunning {
+				lagging = append(lagging, fmt.Sprintf("%s(%s)", st.Node, st.State))
+			}
+		}
+		if len(lagging) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("launch: grid not ready after %v: %v", timeout, lagging)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// RestartNode gracefully restarts one node: SIGTERM (the daemon withdraws
+// its registry entries), respawn, and a wait until it serves again. The
+// timeout bounds each phase.
+func (s *Supervisor) RestartNode(name string, timeout time.Duration) error {
+	n, ok := s.nodes[name]
+	if !ok {
+		return fmt.Errorf("launch: unknown node %q", name)
+	}
+	// A node whose run loop has ended (refused its config, or already
+	// stopped) has no command receiver anymore: fail now instead of
+	// blocking the operator for the whole send timeout.
+	if st := n.status(); st.State == StateFailed || st.State == StateStopped {
+		return fmt.Errorf("launch: %s is %s (%s) — not restartable", name, st.State, st.LastExit)
+	}
+	done := make(chan error, 1)
+	select {
+	case n.cmds <- nodeCmd{done: done}:
+	case <-time.After(timeout):
+		return fmt.Errorf("launch: %s is not accepting commands (state %s)", name, n.status().State)
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		return fmt.Errorf("launch: %s did not stop within %v", name, timeout)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		st := n.status()
+		if st.State == StateRunning {
+			return nil
+		}
+		if st.State == StateFailed || st.State == StateStopped {
+			return fmt.Errorf("launch: %s did not come back (state %s, %s)", name, st.State, st.LastExit)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("launch: %s not ready %v after restart", name, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// RestartNodes rolls a restart over the named nodes one at a time — each
+// node is back up before the next goes down, so a zone never loses more
+// than one daemon to the roll.
+func (s *Supervisor) RestartNodes(names []string, timeout time.Duration) error {
+	for _, n := range names {
+		if err := s.RestartNode(n, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan returns the plan under supervision.
+func (s *Supervisor) Plan() *Plan { return s.plan }
+
+// Stop tears the grid down: every child gets SIGTERM (a clean daemon
+// withdraws from the registry before exiting), stragglers are killed after
+// the grace window, and the supervisor's probe loop and seat shut down.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.quit)
+		s.mu.Lock()
+		started := s.started
+		s.mu.Unlock()
+		if started {
+			<-s.probeDone
+		}
+		s.wg.Wait()
+		if s.rc != nil {
+			s.rc.Close()
+		}
+		if s.host != nil {
+			s.host.Close()
+		}
+		s.logf("grid %q down", s.plan.Grid)
+	})
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	fmt.Fprintf(s.opt.Out, "padico-launch: "+format+"\n", args...)
+}
+
+// probeLoop is the babysitter proper: every interval it pings the
+// gatekeeper of each running daemon (a wedged process that still holds its
+// port is indistinguishable from a healthy one without this) and sweeps
+// the registry once to record which nodes hold a live lease.
+func (s *Supervisor) probeLoop() {
+	defer close(s.probeDone)
+	t := time.NewTicker(s.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+		}
+		var targets []string
+		for _, name := range s.order {
+			if s.nodes[name].status().State == StateRunning {
+				targets = append(targets, name)
+			}
+		}
+		for _, r := range s.ctl.Fanout(targets, &gatekeeper.Request{Op: gatekeeper.OpPing}) {
+			s.nodes[r.Node].probeResult(r.Err == nil)
+		}
+		// Every daemon announces its module table (vlink is always
+		// loaded), so one filtered lookup reveals who currently holds a
+		// live, leased record.
+		if entries, err := s.rc.Lookup("module", "vlink"); err == nil {
+			live := make(map[string]bool, len(entries))
+			for _, e := range entries {
+				if e.TTLMillis > 0 {
+					live[e.Node] = true
+				}
+			}
+			for _, name := range s.order {
+				s.nodes[name].setAnnounced(live[name])
+			}
+		}
+	}
+}
+
+// nodeCmd asks a node's run loop to restart its daemon; done is signalled
+// once the old process has exited.
+type nodeCmd struct{ done chan error }
+
+// node is one supervised daemon's state machine.
+type node struct {
+	sup  *Supervisor
+	spec NodeSpec
+	cmds chan nodeCmd
+
+	mu         sync.Mutex
+	proc       Proc
+	st         NodeStatus
+	probeFails int
+}
+
+func (n *node) status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.st
+}
+
+func (n *node) set(f func(*NodeStatus)) {
+	n.mu.Lock()
+	f(&n.st)
+	n.mu.Unlock()
+}
+
+func (n *node) setProc(p Proc) {
+	n.mu.Lock()
+	n.proc = p
+	n.probeFails = 0
+	n.mu.Unlock()
+}
+
+func (n *node) setAnnounced(v bool) {
+	n.mu.Lock()
+	if n.st.State == StateRunning {
+		n.st.Announced = v
+	}
+	n.mu.Unlock()
+}
+
+// probeResult records one health probe. ProbeFailLimit consecutive
+// failures against a live process mean the daemon is wedged — accepting
+// TCP but not answering, or not even accepting — and the only cure is a
+// kill; the exit path then restarts it with backoff.
+func (n *node) probeResult(ok bool) {
+	n.mu.Lock()
+	if n.st.State != StateRunning || ok {
+		n.probeFails = 0
+		n.mu.Unlock()
+		return
+	}
+	n.probeFails++
+	fails := n.probeFails
+	proc := n.proc
+	n.mu.Unlock()
+	if fails >= n.sup.opt.ProbeFailLimit && proc != nil {
+		n.sup.logf("%s: %d consecutive probe failures — killing wedged daemon", n.spec.Node, fails)
+		_ = proc.Kill()
+	}
+}
+
+// run is the node's supervision loop: spawn, wait for readiness, watch for
+// exit (or a stop/restart request), and decide what the exit means —
+// intentional stop, permanent refusal, or a crash to heal with backoff.
+func (n *node) run() {
+	defer n.sup.wg.Done()
+	backoff := n.sup.opt.BackoffMin
+	for {
+		n.set(func(st *NodeStatus) { st.State = StateStarting; st.PID = 0; st.Announced = false })
+		proc, ready, err := n.spawn()
+		if err != nil {
+			n.sup.logf("%s: %v", n.spec.Node, err)
+			n.set(func(st *NodeStatus) { st.LastExit = err.Error(); st.State = StateBackoff })
+			if !n.backoffWait(&backoff) {
+				return
+			}
+			continue
+		}
+		n.setProc(proc)
+		n.set(func(st *NodeStatus) { st.PID = proc.PID() })
+		exitCh := make(chan Exit, 1)
+		go func() { exitCh <- proc.Wait() }()
+
+		readyTimer := time.NewTimer(n.sup.opt.ReadyTimeout)
+		quit, cmds := n.sup.quit, n.cmds
+		var exit Exit
+		var stopReq, restartReq bool
+		var ack chan error
+		var graceTimer *time.Timer
+		var readyAt time.Time
+	wait:
+		for {
+			select {
+			case <-ready:
+				ready = nil
+				readyAt = time.Now()
+				readyTimer.Stop()
+				n.set(func(st *NodeStatus) { st.State = StateRunning })
+				n.sup.logf("%s: running (pid %d) on %s", n.spec.Node, proc.PID(), n.spec.Addr)
+			case <-readyTimer.C:
+				n.sup.logf("%s: no readiness after %v — killing for retry", n.spec.Node, n.sup.opt.ReadyTimeout)
+				_ = proc.Kill()
+			case <-quit:
+				quit, cmds = nil, nil
+				stopReq = true
+				n.set(func(st *NodeStatus) { st.State = StateStopping })
+				graceTimer = n.terminate(proc)
+			case cmd := <-cmds:
+				cmds = nil // one restart at a time; later senders wait for the respawned loop
+				restartReq = true
+				ack = cmd.done
+				n.set(func(st *NodeStatus) { st.State = StateStopping })
+				graceTimer = n.terminate(proc)
+			case exit = <-exitCh:
+				break wait
+			}
+		}
+		readyTimer.Stop()
+		if graceTimer != nil {
+			graceTimer.Stop()
+		}
+		n.setProc(nil)
+		n.set(func(st *NodeStatus) { st.PID = 0; st.Announced = false; st.LastExit = exit.String() })
+
+		switch {
+		case stopReq:
+			n.set(func(st *NodeStatus) { st.State = StateStopped })
+			n.sup.logf("%s: stopped (%s)", n.spec.Node, exit)
+			if ack != nil { // a restart request overtaken by shutdown
+				ack <- fmt.Errorf("launch: %s: shutting down", n.spec.Node)
+			}
+			return
+		case restartReq:
+			n.set(func(st *NodeStatus) { st.Restarts++ })
+			n.sup.logf("%s: restarting on request", n.spec.Node)
+			backoff = n.sup.opt.BackoffMin
+			ack <- nil
+			continue
+		case exit.Refused():
+			// Respawning an identically misconfigured daemon refuses
+			// identically: give up loudly instead of banging the backoff
+			// ceiling forever.
+			n.set(func(st *NodeStatus) { st.State = StateFailed })
+			n.sup.logf("%s: daemon refused its configuration (%s) — giving up", n.spec.Node, exit)
+			return
+		default:
+			n.set(func(st *NodeStatus) { st.Restarts++; st.State = StateBackoff })
+			if !readyAt.IsZero() && time.Since(readyAt) >= n.sup.opt.StableAfter {
+				backoff = n.sup.opt.BackoffMin
+			}
+			n.sup.logf("%s: exited (%s) — restarting in %v", n.spec.Node, exit, backoff)
+			if !n.backoffWait(&backoff) {
+				return
+			}
+		}
+	}
+}
+
+// spawn launches the daemon process and returns a channel closed when its
+// readiness line appears on stdout.
+func (n *node) spawn() (Proc, <-chan struct{}, error) {
+	ready := make(chan struct{})
+	var once sync.Once
+	stdout := &lineWriter{dst: n.sup.opt.Out, prefix: "[" + n.spec.Node + "] ", onLine: func(line string) {
+		if _, _, ok := ParseReady(line); ok {
+			once.Do(func() { close(ready) })
+		}
+	}}
+	stderr := &lineWriter{dst: n.sup.opt.Out, prefix: "[" + n.spec.Node + "!] "}
+	proc, err := n.sup.exec.Start(n.spec, n.spec.Args, stdout, stderr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proc, ready, nil
+}
+
+// terminate asks the process to stop cleanly and arms the SIGKILL grace
+// timer; the caller stops the timer once the exit is observed.
+func (n *node) terminate(proc Proc) *time.Timer {
+	_ = proc.Signal(syscall.SIGTERM)
+	return time.AfterFunc(n.sup.opt.Grace, func() { _ = proc.Kill() })
+}
+
+// backoffWait sleeps out the current backoff, doubling it (capped) for the
+// next crash. A shutdown ends the node; an operator restart request cuts
+// the wait short and resets the backoff to its floor.
+func (n *node) backoffWait(backoff *time.Duration) bool {
+	t := time.NewTimer(*backoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		*backoff = min(*backoff*2, n.sup.opt.BackoffMax)
+		return true
+	case <-n.sup.quit:
+		n.set(func(st *NodeStatus) { st.State = StateStopped })
+		return false
+	case cmd := <-n.cmds:
+		*backoff = n.sup.opt.BackoffMin
+		cmd.done <- nil
+		return true
+	}
+}
+
+// lineWriter forwards a child's output line by line — prefixed per node so
+// interleaved grids stay readable — and lets the supervisor watch each
+// stdout line for the readiness marker.
+type lineWriter struct {
+	dst    io.Writer
+	prefix string
+	onLine func(line string)
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := string(w.buf[:i])
+		w.buf = append(w.buf[:0], w.buf[i+1:]...)
+		if w.dst != nil {
+			fmt.Fprintf(w.dst, "%s%s\n", w.prefix, line)
+		}
+		if w.onLine != nil {
+			w.onLine(line)
+		}
+	}
+}
