@@ -6,12 +6,16 @@
 //
 //	padico-bench            # run everything
 //	padico-bench -run fig8  # run one experiment (fig7|lat|concurrent|fig8|eth|overhead|cross|security)
+//	padico-bench -out dir   # measure a live loopback grid and write the
+//	                        # BENCH_registry.json / BENCH_wall.json artifacts
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -20,7 +24,16 @@ import (
 
 func main() {
 	run := flag.String("run", "", "run a single experiment by id")
+	outDir := flag.String("out", "", "write observability artifacts (BENCH_*.json) into this directory")
 	flag.Parse()
+
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "padico-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := map[string]func() bench.Result{
 		"fig7":       bench.Fig7Bandwidth,
@@ -50,4 +63,32 @@ func main() {
 	for _, r := range bench.All() {
 		fmt.Println(r.Format())
 	}
+}
+
+// writeArtifacts runs the live-grid observability benchmarks and writes
+// one JSON artifact per suite — the files CI uploads and the repo commits
+// as a reference point.
+func writeArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, run := range []func() (bench.Artifact, error){
+		bench.RegistryArtifact,
+		bench.WallArtifact,
+	} {
+		a, err := run()
+		if err != nil {
+			return err
+		}
+		buf, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+a.Name+".json")
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
 }

@@ -41,6 +41,12 @@
 //	                     the seat can dial it by name
 //	registry status      per-replica replication report: live node/entry
 //	                     counts and anti-entropy sync lag per peer
+//	metrics              full telemetry snapshot of every targeted process:
+//	                     counters, gauges and latency histograms
+//	top                  one-line health table per node — dial rate, resolve
+//	                     p99, sync-round p99, lease renewals, restarts
+//	events [max]         recent control-plane trace events from each node's
+//	                     ring, trace IDs stitchable across nodes
 //	demo                 scripted scenario: list everywhere, hot-load the
 //	                     SOAP middleware into the last node, invoke it over
 //	                     SOAP, then unload it again
@@ -52,12 +58,14 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"padico/internal/core"
 	"padico/internal/deploy"
 	"padico/internal/gatekeeper"
 	"padico/internal/soap"
+	"padico/internal/telemetry"
 	"padico/internal/vlink"
 )
 
@@ -91,9 +99,18 @@ func realMain(argv []string, out, errOut io.Writer) int {
 	// Reject malformed invocations before spending a whole deployment
 	// bring-up (or a live attach) on them.
 	switch cmd {
-	case "list", "services", "stats", "ping", "demo":
+	case "list", "services", "stats", "ping", "metrics", "top", "demo":
 		if len(args) != 0 {
 			return fail(errOut, fmt.Errorf("%s takes no arguments", cmd))
+		}
+	case "events":
+		if len(args) > 1 {
+			return fail(errOut, fmt.Errorf("events takes at most a maximum event count"))
+		}
+		if len(args) == 1 {
+			if _, err := strconv.Atoi(args[0]); err != nil {
+				return fail(errOut, fmt.Errorf("events: bad count %q", args[0]))
+			}
 		}
 	case "load", "unload":
 		if len(args) != 1 {
@@ -319,7 +336,14 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 	case "stats":
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpStats}, func(r gatekeeper.FanResult) {
 			st := r.Resp.Stats
-			fmt.Fprintf(out, "%-8s modules=%v services=%v orbs=%v\n", st.Node, st.Modules, st.Services, st.ORBs)
+			extra := ""
+			if st.UptimeMillis > 0 {
+				extra = fmt.Sprintf(" uptime=%dms renewals=%d", st.UptimeMillis, st.LeaseRenewals)
+			}
+			fmt.Fprintf(out, "%-8s modules=%v services=%v orbs=%v%s\n", st.Node, st.Modules, st.Services, st.ORBs, extra)
+			// Sorted here too, not just server-side: an older daemon answers
+			// in map order, and the operator view must stay stable.
+			sort.Slice(st.Devices, func(i, j int) bool { return st.Devices[i].Name < st.Devices[j].Name })
 			for _, d := range st.Devices {
 				fmt.Fprintf(out, "         device %s (%s): routed=%d dropped=%d pending=%d\n",
 					d.Name, d.Kind, d.Routed, d.Dropped, d.Pending)
@@ -425,12 +449,94 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 			}
 		}
 		return ok
+	case "metrics":
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpMetrics}, func(r gatekeeper.FanResult) {
+			m := r.Resp.Metrics
+			if m == nil {
+				fmt.Fprintf(out, "%-8s no metrics\n", r.Node)
+				return
+			}
+			fmt.Fprintf(out, "%s:\n", r.Node)
+			for _, k := range sortedKeys(m.Counters) {
+				fmt.Fprintf(out, "         %-28s %d\n", k, m.Counters[k])
+			}
+			for _, k := range sortedKeys(m.Gauges) {
+				fmt.Fprintf(out, "         %-28s %d (gauge)\n", k, m.Gauges[k])
+			}
+			for _, k := range sortedKeys(m.Hists) {
+				h := m.Hists[k]
+				fmt.Fprintf(out, "         %-28s count=%d p50=%dus p99=%dus max=%dus\n",
+					k, h.Count, h.P50Micros, h.P99Micros, h.MaxMicros)
+			}
+		})
+	case "top":
+		return top(out, ctl, nodes)
+	case "events":
+		max := 0
+		if len(args) == 1 {
+			max, _ = strconv.Atoi(args[0])
+		}
+		return fan(&gatekeeper.Request{Op: gatekeeper.OpEvents, Max: max}, func(r gatekeeper.FanResult) {
+			if len(r.Resp.Events) == 0 {
+				fmt.Fprintf(out, "%-8s no events\n", r.Node)
+				return
+			}
+			for _, e := range r.Resp.Events {
+				fmt.Fprintf(out, "%-8s %s\n", r.Node, e.String())
+			}
+		})
 	case "demo":
 		return demo(out, s, nodes)
 	default: // unreachable: commands are validated before launch
 		fmt.Fprintf(errOut, "padico-ctl: unknown command %q\n", cmd)
 		return false
 	}
+}
+
+// top renders a one-line-per-node health table from each node's metrics
+// snapshot: dial rate, resolve and sync-round p99 latency, lease renewals,
+// request count, and the restart generation the supervisor respawned the
+// daemon with.
+func top(out io.Writer, ctl *gatekeeper.Controller, nodes []string) bool {
+	results := ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpMetrics})
+	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
+	fmt.Fprintf(out, "%-8s %9s %12s %12s %9s %9s %9s\n",
+		"NODE", "DIALS/S", "RESOLVE-P99", "SYNC-P99", "RENEWALS", "REQS", "RESTARTS")
+	p99 := func(h telemetry.HistStat) string {
+		if h.Count == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%dus", h.P99Micros)
+	}
+	ok := true
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-8s ERROR %v\n", r.Node, r.Err)
+			ok = false
+			continue
+		}
+		m := r.Resp.Metrics // nil-safe: accessors answer zero values
+		dials := m.Counter("vlink.dials_ok") + m.Counter("wall.dials")
+		rate := "-"
+		if up := m.Gauge("uptime_ms"); up > 0 {
+			rate = fmt.Sprintf("%.2f", float64(dials)/(float64(up)/1000))
+		}
+		fmt.Fprintf(out, "%-8s %9s %12s %12s %9d %9d %9d\n",
+			r.Node, rate, p99(m.Hist("vlink.resolve")), p99(m.Hist("reg.sync_round")),
+			m.Counter("gk.lease_renewals"), m.Counter("gk.requests"),
+			m.Gauge("daemon_restarts"))
+	}
+	return ok
+}
+
+// sortedKeys returns a map's keys in sorted order — stable operator output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // demo is the acceptance scenario: list modules on every process, hot-load

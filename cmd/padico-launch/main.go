@@ -13,7 +13,7 @@
 //	padico-launch -grid topology.xml [-base-port 7710] [-control 127.0.0.1:7709]
 //	              [-padico-d path | -exec "ssh {host} padico-d"] [-hosts n0=h0,...]
 //	              [-registry r1,r2] [-modules soap,...] [-lease 5s] [-sync 1s]
-//	              [-probe 1s] [-grace 5s] up
+//	              [-probe 1s] [-grace 5s] [-http-base 7800] up
 //	padico-launch -control host:port status
 //	padico-launch -control host:port restart [-zone z | -node n]
 //	padico-launch -control host:port down
@@ -66,6 +66,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 	hosts := fs.String("hosts", "", "comma-separated node=host mappings for multi-machine grids (default: 127.0.0.1 everywhere)")
 	registries := fs.String("registry", "", "comma-separated registry replica nodes (default: first node of each zone)")
 	modules := fs.String("modules", "", "comma-separated modules every daemon loads at boot")
+	httpBase := fs.Int("http-base", 0, "first observability HTTP port; node i serves /metrics and /debug/pprof on http-base+i (0 = off)")
 	lease := fs.Duration("lease", 0, "registry lease TTL handed to daemons (default 5s)")
 	syncIv := fs.Duration("sync", 0, "anti-entropy sync interval handed to replica hosts (default 1s)")
 	probe := fs.Duration("probe", 0, "health-probe interval (default 1s)")
@@ -112,7 +113,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 			return fail(errOut, fmt.Errorf("-padico-d and -exec are mutually exclusive"))
 		}
 		return runUp(out, errOut, upConfig{
-			gridPath: *gridPath, basePort: *basePort, control: *control,
+			gridPath: *gridPath, basePort: *basePort, httpBase: *httpBase, control: *control,
 			daemonBin: *daemonBin, execTmpl: *execTmpl, hosts: *hosts,
 			registries: *registries, modules: *modules,
 			lease: *lease, syncIv: *syncIv, probe: *probe, grace: *grace,
@@ -155,7 +156,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 
 type upConfig struct {
 	gridPath, control, daemonBin, execTmpl, hosts, registries, modules string
-	basePort                                                           int
+	basePort, httpBase                                                 int
 	lease, syncIv, probe, grace                                        time.Duration
 }
 
@@ -198,6 +199,7 @@ func runUp(out, errOut io.Writer, cfg upConfig) int {
 	}
 	plan, err := launch.BuildPlan(topo, launch.PlanOptions{
 		BasePort:     cfg.basePort,
+		HTTPBase:     cfg.httpBase,
 		Host:         hostFor,
 		Registries:   deploy.SplitList(cfg.registries),
 		Modules:      deploy.SplitList(cfg.modules),
@@ -276,8 +278,16 @@ func printStatus(out io.Writer, sts []launch.NodeStatus) {
 		if zone == "" {
 			zone = "-"
 		}
-		fmt.Fprintf(out, "%-8s zone=%-8s state=%-9s addr=%-21s pid=%-7d restarts=%-3d announced=%v\n",
-			st.Node, zone, st.State, st.Addr, st.PID, st.Restarts, st.Announced)
+		probe := "-"
+		if st.LastProbeMillis >= 0 {
+			probe = fmt.Sprintf("%dms", st.LastProbeMillis)
+		}
+		up := "-"
+		if st.ReadyForMillis > 0 {
+			up = (time.Duration(st.ReadyForMillis) * time.Millisecond).Truncate(time.Second).String()
+		}
+		fmt.Fprintf(out, "%-8s zone=%-8s state=%-9s addr=%-21s pid=%-7d restarts=%-3d probe=%-6s up=%-8s announced=%v\n",
+			st.Node, zone, st.State, st.Addr, st.PID, st.Restarts, probe, up, st.Announced)
 		if st.LastExit != "" {
 			fmt.Fprintf(out, "         last exit: %s\n", st.LastExit)
 		}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"padico/internal/deploy"
+)
+
+// Artifact is one committed benchmark artifact (BENCH_*.json): a named set
+// of values measured against a live loopback grid — real padico-d daemons
+// on real TCP, no simulation — written by `padico-bench -out`.
+type Artifact struct {
+	Name    string             `json:"name"`
+	Grid    string             `json:"grid"`
+	Iters   int                `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// observabilityIters is the per-measurement iteration count. Small enough
+// to keep CI fast, large enough for stable p99 on loopback.
+const observabilityIters = 200
+
+const benchGrid = "3 daemons, replicas on b0+b1, loopback TCP"
+
+// benchTrio boots the canonical live bench grid (the same shape the wall
+// e2e tests use): three daemons in two zones, registry replicas on the
+// first two, addresses seeded replica-first.
+func benchTrio() (ds [3]*deploy.Daemon, err error) {
+	const (
+		lease = 500 * time.Millisecond
+		syncI = 50 * time.Millisecond
+	)
+	regs := []string{"b0", "b1"}
+	peers := map[string]string{}
+	zones := [3]string{"a", "b", "b"}
+	for i := range ds {
+		node := fmt.Sprintf("b%d", i)
+		ds[i], err = deploy.StartDaemon(deploy.DaemonConfig{
+			Node: node, Zone: zones[i], Registries: regs,
+			Peers: peers, LeaseTTL: lease, SyncInterval: syncI,
+		})
+		if err != nil {
+			for _, d := range ds {
+				if d != nil {
+					d.Close()
+				}
+			}
+			return ds, err
+		}
+		peers[node] = ds[i].Addr()
+	}
+	return ds, nil
+}
+
+// attachWhenAnnounced attaches a seat through the first daemon and waits
+// until every daemon's lease landed in the registry, so measurements never
+// race the grid's own boot.
+func attachWhenAnnounced(addr string, nodes int) (*deploy.WallDeployment, error) {
+	dep, err := deploy.Attach([]string{addr})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		entries, err := dep.Registry().Lookup("module", "vlink")
+		if err == nil && len(entries) >= nodes {
+			return dep, nil
+		}
+		if time.Now().After(deadline) {
+			dep.Close()
+			return nil, fmt.Errorf("bench: grid not announced after 10s (%d/%d)", len(entries), nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// percentile returns the q-quantile of sorted durations, in nanoseconds.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// timeOps runs fn iters times and returns (mean ns/op, sorted samples).
+func timeOps(iters int, fn func() error) (float64, []time.Duration, error) {
+	samples := make([]time.Duration, 0, iters)
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, nil, err
+		}
+		d := time.Since(start)
+		samples = append(samples, d)
+		total += d
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return float64(total.Nanoseconds()) / float64(iters), samples, nil
+}
+
+// RegistryArtifact measures the replicated registry from an attached seat:
+// name-resolution latency with the client cache cold (every resolve is a
+// real TCP round trip to a replica) and warm (served from the seat's
+// cache), plus anti-entropy convergence — how long a freshly published
+// service takes to appear on every replica.
+func RegistryArtifact() (Artifact, error) {
+	a := Artifact{Name: "registry", Grid: benchGrid, Iters: observabilityIters,
+		Metrics: map[string]float64{}}
+	ds, err := benchTrio()
+	if err != nil {
+		return a, err
+	}
+	defer func() {
+		for _, d := range ds {
+			d.Close()
+		}
+	}()
+	dep, err := attachWhenAnnounced(ds[0].Addr(), len(ds))
+	if err != nil {
+		return a, err
+	}
+	defer dep.Close()
+	rc := dep.Registry()
+
+	// Convergence first — it also publishes the dialable service the
+	// resolve benchmarks target. Hot-load soap into the replica-less daemon
+	// (its lease re-announce publishes soap:sys) and clock how long until
+	// BOTH replicas answer for it: the anti-entropy path, not just the
+	// announce.
+	start := time.Now()
+	if _, err := dep.Ctl.Load("b2", "soap"); err != nil {
+		return a, fmt.Errorf("bench: load soap: %w", err)
+	}
+	deadline := start.Add(10 * time.Second)
+	for {
+		n := 0
+		for _, rep := range []string{"b0", "b1"} {
+			if entries, err := rc.LookupAt(rep, "vlink", "soap:sys"); err == nil && len(entries) > 0 {
+				n++
+			}
+		}
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return a, fmt.Errorf("bench: soap:sys never converged on both replicas")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.Metrics["sync_convergence_ms"] = float64(time.Since(start).Microseconds()) / 1000
+
+	// Cold cache: every resolve crosses the wire to a replica.
+	rc.SetCacheTTL(0)
+	uncached, _, err := timeOps(observabilityIters, func() error {
+		_, err := rc.Resolve("vlink", "soap:sys")
+		return err
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: uncached resolve: %w", err)
+	}
+	a.Metrics["resolve_uncached_ns_op"] = uncached
+
+	// Warm cache: one priming round trip, then pure in-process lookups.
+	rc.SetCacheTTL(time.Minute)
+	if _, err := rc.Resolve("vlink", "soap:sys"); err != nil {
+		return a, err
+	}
+	cached, _, err := timeOps(observabilityIters, func() error {
+		_, err := rc.Resolve("vlink", "soap:sys")
+		return err
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: cached resolve: %w", err)
+	}
+	a.Metrics["resolve_cached_ns_op"] = cached
+	return a, nil
+}
+
+// WallArtifact measures the live control plane over real TCP: gatekeeper
+// ping round-trip mean/p50/p99, and the per-request byte cost read back
+// from the pinged daemon's own telemetry counters — so the artifact also
+// proves the metrics op agrees with what the seat just did.
+func WallArtifact() (Artifact, error) {
+	a := Artifact{Name: "wall", Grid: benchGrid, Iters: observabilityIters,
+		Metrics: map[string]float64{}}
+	ds, err := benchTrio()
+	if err != nil {
+		return a, err
+	}
+	defer func() {
+		for _, d := range ds {
+			d.Close()
+		}
+	}()
+	dep, err := attachWhenAnnounced(ds[0].Addr(), len(ds))
+	if err != nil {
+		return a, err
+	}
+	defer dep.Close()
+
+	mean, samples, err := timeOps(observabilityIters, func() error {
+		return dep.Ctl.Ping("b0")
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: wall ping: %w", err)
+	}
+	a.Metrics["rtt_mean_ns"] = mean
+	a.Metrics["rtt_p50_ns"] = percentile(samples, 0.50)
+	a.Metrics["rtt_p99_ns"] = percentile(samples, 0.99)
+
+	snap, err := dep.Ctl.Metrics("b0")
+	if err != nil {
+		return a, fmt.Errorf("bench: scraping b0: %w", err)
+	}
+	if reqs := snap.Counter("gk.requests"); reqs > 0 {
+		a.Metrics["gk_bytes_in_per_req"] = float64(snap.Counter("gk.bytes_in")) / float64(reqs)
+		a.Metrics["gk_bytes_out_per_req"] = float64(snap.Counter("gk.bytes_out")) / float64(reqs)
+	}
+	h := snap.Hist("gk.handle")
+	a.Metrics["gk_handle_p99_us"] = float64(h.P99Micros)
+	return a, nil
+}

@@ -19,6 +19,7 @@ import (
 	"padico/internal/marcel"
 	"padico/internal/orb"
 	"padico/internal/simnet"
+	"padico/internal/telemetry"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
 )
@@ -99,6 +100,7 @@ func (g *Grid) Launch(node *simnet.Node) (*Process, error) {
 		rt:      g.rt,
 		mgr:     marcel.NewManager(g.rt),
 		repo:    idl.NewRepository(),
+		tel:     telemetry.New(node.Name, g.rt),
 		modules: make(map[string]*moduleState),
 		modSem:  vtime.NewSemaphore(g.rt, "core: module table "+node.Name, 1),
 	}
@@ -190,6 +192,7 @@ type Process struct {
 	rt   vtime.Runtime
 	mgr  *marcel.Manager
 	repo *idl.Repository
+	tel  *telemetry.Registry
 
 	// modSem serializes whole load/unload operations (module Init may
 	// block in virtual time, so a plain mutex cannot be held across it);
@@ -267,12 +270,19 @@ func (p *Process) Manager() *marcel.Manager { return p.mgr }
 // Repo returns the process's IDL repository.
 func (p *Process) Repo() *idl.Repository { return p.repo }
 
+// Telemetry returns the process's metric/trace registry. Every process gets
+// its own (keyed by node name), so multi-process simulations keep their
+// numbers apart; live daemons share it with the gatekeeper's metrics op and
+// the HTTP /metrics endpoint.
+func (p *Process) Telemetry() *telemetry.Registry { return p.tel }
+
 // Linker returns the process's VLink factory, creating it on first use.
 func (p *Process) Linker() *vlink.Linker {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.linker == nil {
 		p.linker = vlink.NewLinker(p.grid.Arb, p.node)
+		p.linker.SetTelemetry(p.tel)
 	}
 	return p.linker
 }
@@ -292,6 +302,7 @@ func (p *Process) ORB(profile simnet.ORBProfile) (*orb.ORB, error) {
 	ln := p.linker
 	if ln == nil {
 		ln = vlink.NewLinker(p.grid.Arb, p.node)
+		ln.SetTelemetry(p.tel)
 		p.linker = ln
 	}
 	service := "giop"

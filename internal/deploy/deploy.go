@@ -351,6 +351,7 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 		}
 		rc := gatekeeper.NewRegistryClient(p.Grid.Runtime(),
 			orb.VLinkTransport{Linker: out[n].Linker()}, p.replicaOrder(n, regNodes, zoneReplica)...)
+		rc.UseTelemetry(out[n].Telemetry())
 		gk.UseRegistry(rc)
 		out[n].Linker().SetResolver(rc)
 		// Best-effort: a node that reaches no replica simply stays

@@ -1,0 +1,97 @@
+package deploy
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWallMetricsHTTPAndOpAgree boots one daemon with its observability
+// HTTP listener on and asserts the two scrape paths tell the same story:
+// the supervisor-stamped restart generation reads identically through the
+// gatekeeper metrics op and the Prometheus endpoint, monotonic counters
+// only grow between the two scrapes, and pprof answers.
+func TestWallMetricsHTTPAndOpAgree(t *testing.T) {
+	d, err := StartDaemon(DaemonConfig{
+		Node: "m0", Zone: "a", Registries: []string{"m0"},
+		LeaseTTL: 500 * time.Millisecond, SyncInterval: 50 * time.Millisecond,
+		HTTP: "127.0.0.1:0", Epoch: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.HTTP == nil {
+		t.Fatal("daemon has no HTTP server despite cfg.HTTP")
+	}
+
+	dep, err := Attach([]string{d.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	const pings = 5
+	for i := 0; i < pings; i++ {
+		if err := dep.Ctl.Ping("m0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := dep.Ctl.Metrics("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Gauge("daemon_restarts"); got != 7 {
+		t.Fatalf("metrics op daemon_restarts = %d, want the spawn epoch 7", got)
+	}
+	opReqs := snap.Counter("gk.requests")
+	if opReqs < pings+1 {
+		t.Fatalf("metrics op gk.requests = %d, want >= %d", opReqs, pings+1)
+	}
+
+	// The HTTP scrape runs after the op scrape: the gauge must agree
+	// exactly, the request counter may only have grown.
+	resp, err := http.Get("http://" + d.HTTP.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	text := string(body)
+	if !strings.Contains(text, `padico_daemon_restarts{node="m0"} 7`) {
+		t.Fatalf("/metrics missing the epoch gauge:\n%s", text)
+	}
+	httpReqs := int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, `padico_gk_requests{node="m0"} `); ok {
+			httpReqs, err = strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad gk.requests sample %q: %v", line, err)
+			}
+		}
+	}
+	if httpReqs < opReqs {
+		t.Fatalf("/metrics gk.requests = %d, op scrape saw %d earlier — counter went backwards", httpReqs, opReqs)
+	}
+
+	// Latency histograms export their quantile series.
+	if !strings.Contains(text, `padico_gk_handle_p99_us{node="m0"}`) {
+		t.Fatalf("/metrics missing gk.handle quantiles:\n%s", text)
+	}
+
+	// pprof rides the same listener.
+	pp, err := http.Get("http://" + d.HTTP.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline: status %d", pp.StatusCode)
+	}
+}

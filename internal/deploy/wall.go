@@ -21,6 +21,7 @@ import (
 	"padico/internal/orb"
 	"padico/internal/simnet"
 	"padico/internal/sockets"
+	"padico/internal/telemetry"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
 )
@@ -52,6 +53,13 @@ type DaemonConfig struct {
 	// SyncInterval is the anti-entropy period for a hosted replica
 	// (DefaultSyncInterval when zero).
 	SyncInterval time.Duration
+	// HTTP, when non-empty, binds an observability listener at this
+	// address serving Prometheus-text /metrics and net/http/pprof.
+	HTTP string
+	// Epoch is the daemon's restart generation: 0 on first spawn, bumped
+	// by the supervisor on every respawn. Reported as the daemon_restarts
+	// gauge so `padico-ctl top` sources restart counts from the metrics op.
+	Epoch int
 }
 
 // Daemon is one running padico-d: a genuine Padico process on the wall
@@ -64,13 +72,19 @@ type Daemon struct {
 	Proc *core.Process
 	Host *sockets.WallHost
 	GK   *gatekeeper.Gatekeeper
-	Reg  *gatekeeper.Registry // nil unless this node hosts a replica
+	Reg  *gatekeeper.Registry  // nil unless this node hosts a replica
+	HTTP *telemetry.HTTPServer // nil unless cfg.HTTP was set
 
 	cfg         DaemonConfig
 	registries  []string
 	cancelWatch func()
 	closeOnce   sync.Once
 }
+
+// Telemetry returns the daemon's process-wide metric/trace registry — the
+// one shared by the gatekeeper's metrics op, the registry replica, the wall
+// host and the /metrics endpoint.
+func (d *Daemon) Telemetry() *telemetry.Registry { return d.Proc.Telemetry() }
 
 // StartDaemon boots one node daemon. The first registry announce is best
 // effort: when the replicas come up later (daemons boot in any order), the
@@ -109,7 +123,11 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		return nil, fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err)
 	}
 
+	tel := proc.Telemetry()
+	tel.Gauge("daemon_restarts").Set(int64(cfg.Epoch))
+
 	host := sockets.NewWallHost(cfg.Node)
+	host.SetTelemetry(tel)
 	addr, err := host.ListenTCP(cfg.Listen)
 	if err != nil {
 		proc.Shutdown()
@@ -139,6 +157,7 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		if err != nil {
 			return fail(fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err))
 		}
+		reg.UseTelemetry(tel)
 		d.Reg = reg
 		reg.StartSync(registries, cfg.SyncInterval)
 	}
@@ -147,6 +166,7 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if err != nil {
 		return fail(fmt.Errorf("deploy: daemon %s: %w", cfg.Node, err))
 	}
+	gk.UseTelemetry(tel)
 	d.GK = gk
 	gk.SetEndpoint(adv)
 	gk.ProvideInfo(func() gatekeeper.NodeInfo {
@@ -158,8 +178,20 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 			Peers:      host.Book(),
 		}
 	})
-	gk.UseRegistry(gatekeeper.NewRegistryClient(wall, tr, replicaPreference(cfg.Node, registries)...))
+	rc := gatekeeper.NewRegistryClient(wall, tr, replicaPreference(cfg.Node, registries)...)
+	rc.UseTelemetry(tel)
+	gk.UseRegistry(rc)
 	d.cancelWatch = gk.WatchModules(proc)
+
+	// Observability listener: Prometheus /metrics plus pprof, sharing the
+	// process's telemetry with the gatekeeper's metrics op.
+	if cfg.HTTP != "" {
+		hs, err := telemetry.StartHTTP(cfg.HTTP, tel)
+		if err != nil {
+			return fail(fmt.Errorf("deploy: daemon %s: http listener: %w", cfg.Node, err))
+		}
+		d.HTTP = hs
+	}
 
 	// Gateway: an inbound wall connection naming a service the mux does not
 	// serve (soap:sys, a GIOP endpoint, any application listener) is dialed
@@ -240,6 +272,7 @@ func (d *Daemon) Close() {
 		if d.Reg != nil {
 			d.Reg.Close()
 		}
+		_ = d.HTTP.Close()
 		d.Host.Close()
 		d.Proc.Close()
 	})
@@ -259,6 +292,7 @@ func (d *Daemon) Kill() {
 		if d.Reg != nil {
 			d.Reg.Close()
 		}
+		_ = d.HTTP.Close()
 		d.Host.Close()
 		d.Proc.Shutdown()
 	})
@@ -290,6 +324,10 @@ func Attach(addrs []string) (*WallDeployment, error) {
 	}
 	wall := vtime.NewWall()
 	host := sockets.NewWallHost("padico-ctl")
+	// The seat gets its own telemetry: it mints the trace IDs that stitch
+	// operator exchanges across daemon event rings.
+	seatTel := telemetry.New("padico-ctl", wall)
+	host.SetTelemetry(seatTel)
 	tr := orb.WallTransport{Host: host}
 
 	var errs []error
@@ -330,9 +368,13 @@ func Attach(addrs []string) (*WallDeployment, error) {
 		return nil, fmt.Errorf("deploy: attached daemons advertise no registry replica")
 	}
 
+	ctl := gatekeeper.NewController(wall, tr)
+	ctl.UseTelemetry(seatTel)
+	rc := gatekeeper.NewRegistryClient(wall, tr, regOrder...)
+	rc.UseTelemetry(seatTel)
 	w := &WallDeployment{Wall: wall, Host: host, Tr: tr,
-		Ctl:        gatekeeper.NewController(wall, tr),
-		rc:         gatekeeper.NewRegistryClient(wall, tr, regOrder...),
+		Ctl:        ctl,
+		rc:         rc,
 		registries: regOrder,
 		// A partially successful attach is usable, but the operator named
 		// every endpoint on purpose — the ones that failed must be

@@ -2,9 +2,11 @@ package gatekeeper
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"padico/internal/core"
 	"padico/internal/orb"
+	"padico/internal/telemetry"
 	"padico/internal/vtime"
 )
 
@@ -12,8 +14,9 @@ import (
 // one seat (any process of the deployment, or a wall-clock TCP host) and
 // steers them, one process at a time or fanning out to the whole grid.
 type Controller struct {
-	rt vtime.Runtime
-	tr orb.Transport
+	rt  vtime.Runtime
+	tr  orb.Transport
+	tel atomic.Pointer[telemetry.Registry]
 }
 
 // NewController returns a controller dialing through the given transport.
@@ -22,16 +25,27 @@ func NewController(rt vtime.Runtime, tr orb.Transport) *Controller {
 }
 
 // FromProcess seats the controller in a Padico process, dialing over its
-// VLink linker.
+// VLink linker and minting trace IDs from its telemetry — so any
+// cross-node steering from that seat is stitchable across event rings.
 func FromProcess(p *core.Process) *Controller {
-	return NewController(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()})
+	c := NewController(p.Runtime(), orb.VLinkTransport{Linker: p.Linker()})
+	c.UseTelemetry(p.Telemetry())
+	return c
 }
+
+// UseTelemetry gives the controller a telemetry registry: every outgoing
+// request without a trace ID gets one minted here, and the send is recorded
+// in the seat's own event ring. Nil (the default) leaves requests untraced.
+func (c *Controller) UseTelemetry(tel *telemetry.Registry) { c.tel.Store(tel) }
+
+func (c *Controller) telemetry() *telemetry.Registry { return c.tel.Load() }
 
 // Conn is a persistent control connection to one gatekeeper, carrying any
 // number of request/response exchanges.
 type Conn struct {
 	node string
 	st   orbStream
+	tel  *telemetry.Registry
 }
 
 // Dial opens a control connection to the gatekeeper on a node.
@@ -40,7 +54,7 @@ func (c *Controller) Dial(node string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gatekeeper: dialing %s: %w", node, err)
 	}
-	return &Conn{node: node, st: st}, nil
+	return &Conn{node: node, st: st, tel: c.telemetry()}, nil
 }
 
 // Node returns the steered node's name.
@@ -48,8 +62,16 @@ func (cn *Conn) Node() string { return cn.node }
 
 // Do performs one request/response exchange. A transport failure closes
 // the connection; a refused operation returns the response's error with a
-// usable *Response.
+// usable *Response. With seat telemetry configured, an untraced request is
+// stamped with a fresh trace ID before it leaves; the gatekeeper echoes it
+// on the response and records it in its ring.
 func (cn *Conn) Do(req *Request) (*Response, error) {
+	if req.TraceID == "" {
+		if id := cn.tel.NextTraceID(); id != "" {
+			req.TraceID = id
+		}
+	}
+	cn.tel.Trace(req.TraceID, "ctl.send", "node="+cn.node+" op="+req.Op)
 	defer ArmControlDeadline(cn.st)()
 	if err := WriteRequest(cn.st, req); err != nil {
 		return nil, fmt.Errorf("gatekeeper: to %s: %w", cn.node, err)
@@ -132,6 +154,28 @@ func (c *Controller) Stats(node string) (*Stats, error) {
 	return resp.Stats, nil
 }
 
+// Metrics scrapes a node's telemetry snapshot through the metrics op.
+func (c *Controller) Metrics(node string) (*telemetry.Snapshot, error) {
+	resp, err := c.Do(node, &Request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Metrics == nil {
+		return nil, fmt.Errorf("gatekeeper: %s returned no metrics", node)
+	}
+	return resp.Metrics, nil
+}
+
+// Events fetches up to max recent trace events from a node's ring (0 = all
+// retained), oldest first.
+func (c *Controller) Events(node string, max int) ([]telemetry.Event, error) {
+	resp, err := c.Do(node, &Request{Op: OpEvents, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Events, nil
+}
+
 // FanResult is one node's outcome in a fan-out.
 type FanResult struct {
 	Node string
@@ -143,6 +187,14 @@ type FanResult struct {
 // node, batched under a wait group) and returns the results in the input
 // order — the whole-deployment steering path.
 func (c *Controller) Fanout(nodes []string, req *Request) []FanResult {
+	// One fan-out is one logical exchange: mint a single trace ID up front
+	// (every node's ring records the same ID) — and never from the fanned
+	// actors, which share this request.
+	if req.TraceID == "" {
+		if id := c.telemetry().NextTraceID(); id != "" {
+			req.TraceID = id
+		}
+	}
 	out := make([]FanResult, len(nodes))
 	wg := vtime.NewWaitGroup(c.rt, "gatekeeper: fanout")
 	for i, node := range nodes {

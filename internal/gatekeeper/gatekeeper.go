@@ -2,12 +2,15 @@ package gatekeeper
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/core"
 	"padico/internal/orb"
 	"padico/internal/simnet"
+	"padico/internal/telemetry"
 	"padico/internal/vtime"
 )
 
@@ -38,7 +41,10 @@ type Gatekeeper struct {
 	target Target
 	lst    orb.Acceptor
 
+	renewals atomic.Int64 // completed lease renewals (reported in stats)
+
 	mu         sync.Mutex
+	tel        *telemetry.Registry // nil until UseTelemetry; all sites nil-safe
 	reg        *RegistryClient
 	conns      map[orbStream]struct{}
 	leaseTTL   time.Duration
@@ -100,6 +106,21 @@ func (g *Gatekeeper) Close() {
 	for _, st := range conns {
 		_ = st.Close()
 	}
+}
+
+// UseTelemetry points the gatekeeper at the process's telemetry registry:
+// control connections start counting requests, bytes and handle latency,
+// trace IDs get recorded, and the metrics/events operations answer from it.
+func (g *Gatekeeper) UseTelemetry(tel *telemetry.Registry) {
+	g.mu.Lock()
+	g.tel = tel
+	g.mu.Unlock()
+}
+
+func (g *Gatekeeper) telemetry() *telemetry.Registry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tel
 }
 
 // UseRegistry points the gatekeeper at the grid-wide registry; Announce and
@@ -246,7 +267,13 @@ func (g *Gatekeeper) scheduleLease() {
 			if closed {
 				return
 			}
-			_ = g.Announce() // best effort: an unreachable registry retries next period
+			// Best effort: an unreachable registry retries next period.
+			if err := g.Announce(); err == nil {
+				g.renewals.Add(1)
+				g.telemetry().Counter("gk.lease_renewals").Inc()
+			} else {
+				g.telemetry().Counter("gk.lease_renew_failures").Inc()
+			}
 			g.scheduleLease()
 		})
 	})
@@ -287,7 +314,12 @@ func (g *Gatekeeper) announceAsync() {
 }
 
 // serve handles one control connection: a sequence of framed requests.
-func (g *Gatekeeper) serve(st orbStream) {
+func (g *Gatekeeper) serve(raw orbStream) {
+	tel := g.telemetry()
+	// Count the connection's protocol bytes; with no telemetry configured
+	// the nil counters drop them.
+	var st orbStream = telemetry.CountStream(raw,
+		tel.Counter("gk.bytes_in"), tel.Counter("gk.bytes_out"))
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -317,7 +349,13 @@ func (g *Gatekeeper) serve(st orbStream) {
 		// before the connection dies.
 		delete(g.conns, st)
 		g.mu.Unlock()
-		err = WriteResponse(st, g.handle(req))
+		tel.Counter("gk.requests").Inc()
+		tel.Trace(req.TraceID, "gk.recv", "op="+req.Op)
+		start := tel.Now()
+		resp := g.handle(req)
+		tel.Histogram("gk.handle").Observe(tel.Since(start))
+		resp.TraceID = req.TraceID
+		err = WriteResponse(st, resp)
 		g.mu.Lock()
 		closed := g.closed
 		if !closed {
@@ -351,7 +389,23 @@ func (g *Gatekeeper) handle(req *Request) *Response {
 		return &Response{OK: true, Services: g.target.Services()}
 	case OpStats:
 		rep := g.target.Report()
+		rep.UptimeMillis = int64(g.rt.Now().Duration() / time.Millisecond)
+		rep.LeaseRenewals = g.renewals.Load()
+		sort.Slice(rep.Devices, func(i, j int) bool {
+			return rep.Devices[i].Name < rep.Devices[j].Name
+		})
 		return &Response{OK: true, Stats: &rep}
+	case OpMetrics:
+		// Stamp uptime into the snapshot so scrapers can turn counters into
+		// rates without a second stats round-trip.
+		g.telemetry().Gauge("uptime_ms").Set(int64(g.rt.Now().Duration() / time.Millisecond))
+		snap := g.telemetry().Snapshot()
+		if snap.Node == "" {
+			snap.Node = g.target.NodeName()
+		}
+		return &Response{OK: true, Metrics: &snap}
+	case OpEvents:
+		return &Response{OK: true, Events: g.telemetry().Events(req.Max)}
 	case OpAnnounce:
 		if err := g.Announce(); err != nil {
 			return fail(err)
@@ -485,6 +539,7 @@ func (m *gkModule) Init(p *core.Process) error {
 	if err != nil {
 		return err
 	}
+	gk.UseTelemetry(p.Telemetry())
 	m.p, m.gk = p, gk
 	// Module churn re-announces automatically: the registry follows every
 	// load/unload without anyone calling Announce by hand.
@@ -520,6 +575,7 @@ func (m *regModule) Init(p *core.Process) error {
 	if err != nil {
 		return err
 	}
+	reg.UseTelemetry(p.Telemetry())
 	m.p, m.reg = p, reg
 	instMu.Lock()
 	registries[p] = reg

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"padico/internal/telemetry"
 )
 
 // Service is the well-known VLink service name every gatekeeper listens on.
@@ -44,6 +46,9 @@ const (
 	OpRegList     = "reg-list"
 	OpRegSync     = "reg-sync"   // anti-entropy exchange between replicas
 	OpRegStatus   = "reg-status" // one replica's replication status
+
+	OpMetrics = "metrics" // telemetry snapshot: counters, gauges, histograms
+	OpEvents  = "events"  // recent control-plane trace events
 )
 
 // Entry is one published service in the grid-wide registry.
@@ -135,6 +140,12 @@ type Stats struct {
 	Services []string          `json:"services,omitempty"`
 	ORBs     map[string]string `json:"orbs,omitempty"` // profile → GIOP service
 	Devices  []DeviceStats     `json:"devices,omitempty"`
+	// UptimeMillis is how long the process's runtime has been up — virtual
+	// milliseconds under Sim, wall milliseconds in a live daemon.
+	UptimeMillis int64 `json:"uptime_ms,omitempty"`
+	// LeaseRenewals counts registry lease renewals completed by the
+	// gatekeeper's timer since the lease started.
+	LeaseRenewals int64 `json:"lease_renewals,omitempty"`
 }
 
 // Request is one gatekeeper/registry command.
@@ -154,6 +165,13 @@ type Request struct {
 	From string `json:"from,omitempty"`
 	// Sync is the initiator's record snapshot on a reg-sync.
 	Sync []SyncRecord `json:"sync,omitempty"`
+	// TraceID stitches one control exchange across processes: the caller
+	// mints it, every hop records it in its event ring, and the response
+	// echoes it. Empty from old clients — fully backward-compatible.
+	TraceID string `json:"trace,omitempty"`
+	// Max bounds the number of events answered to an events request
+	// (0 = all retained).
+	Max int `json:"max,omitempty"`
 }
 
 // Response answers one Request.
@@ -171,6 +189,14 @@ type Response struct {
 	Status *RegStatus `json:"status,omitempty"`
 	// Info answers an info request.
 	Info *NodeInfo `json:"info,omitempty"`
+	// TraceID echoes the request's trace ID.
+	TraceID string `json:"trace,omitempty"`
+	// Metrics answers a metrics request with the process's telemetry
+	// snapshot.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// Events answers an events request with recent trace events, oldest
+	// first.
+	Events []telemetry.Event `json:"events,omitempty"`
 }
 
 // Err converts a failed response into an error.

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/orb"
+	"padico/internal/telemetry"
 	"padico/internal/vlink"
 	"padico/internal/vtime"
 )
@@ -33,6 +35,7 @@ type Registry struct {
 	rt  vtime.Runtime
 	tr  orb.Transport
 	lst orb.Acceptor
+	tel atomic.Pointer[telemetry.Registry]
 
 	mu        sync.Mutex
 	records   map[string]record      // publishing node → its versioned record
@@ -103,6 +106,13 @@ func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	})
 	return r, nil
 }
+
+// UseTelemetry points the replica at a telemetry registry: served
+// operations, sync rounds (latency, entries merged, tombstones) and session
+// bytes start being recorded. Nil (the default) records nothing.
+func (r *Registry) UseTelemetry(tel *telemetry.Registry) { r.tel.Store(tel) }
+
+func (r *Registry) telemetry() *telemetry.Registry { return r.tel.Load() }
 
 // StartSync turns this registry into a replica: a dedicated actor
 // reconciles with every peer each interval through push-pull sync
@@ -210,16 +220,20 @@ func (r *Registry) syncWith(peer string) {
 	st := ps.st
 	r.mu.Unlock()
 
+	tel := r.telemetry()
 	if reach, ok := r.tr.(orb.Reachability); ok && !reach.CanReach(peer) {
+		tel.Counter("reg.sync_failures").Inc()
 		r.noteSync(peer, nil, false)
 		return
 	}
+	start := tel.Now()
 	req := &Request{Op: OpRegSync, From: r.tr.NodeName(), Sync: r.snapshot()}
 	for attempt := 0; attempt < 2; attempt++ {
 		if st == nil {
 			var err error
 			st, err = r.tr.Dial(peer, RegistryService)
 			if err != nil {
+				tel.Counter("reg.sync_failures").Inc()
 				r.noteSync(peer, nil, false)
 				return
 			}
@@ -229,6 +243,8 @@ func (r *Registry) syncWith(peer string) {
 			if resp, err := ReadResponse(st); err == nil && resp.OK {
 				disarm()
 				r.merge(resp.Sync)
+				tel.Counter("reg.sync_rounds").Inc()
+				tel.Histogram("reg.sync_round").Observe(tel.Since(start))
 				r.noteSync(peer, st, true)
 				return
 			}
@@ -236,6 +252,7 @@ func (r *Registry) syncWith(peer string) {
 		_ = st.Close()
 		st = nil
 	}
+	tel.Counter("reg.sync_failures").Inc()
 	r.noteSync(peer, nil, false)
 }
 
@@ -312,6 +329,7 @@ func (r *Registry) snapshot() []SyncRecord {
 func (r *Registry) merge(recs []SyncRecord) {
 	al, hasAL := r.tr.(orb.AddrLearner)
 	var accepted []SyncRecord
+	var merged, tombstones int64
 	now := r.rt.Now()
 	r.mu.Lock()
 	for _, in := range recs {
@@ -343,11 +361,18 @@ func (r *Registry) merge(recs []SyncRecord) {
 			}
 		}
 		r.records[in.Node] = rec
+		merged++
+		if in.Deleted {
+			tombstones++
+		}
 		if hasAL {
 			accepted = append(accepted, in)
 		}
 	}
 	r.mu.Unlock()
+	tel := r.telemetry()
+	tel.Counter("reg.sync_merged").Add(merged)
+	tel.Counter("reg.sync_tombstones").Add(tombstones)
 	// On a wall transport, sync records teach the address book — a replica
 	// seeded with no peer endpoints starts syncing outbound as soon as the
 	// first inbound exchange names its peers' daemons. Only records that
@@ -453,6 +478,11 @@ func (r *Registry) LookupsServed() int64 {
 }
 
 func (r *Registry) serve(st orbStream) {
+	tel := r.telemetry()
+	// Count protocol bytes without re-keying r.conns: the raw stream stays
+	// the session's identity for Close.
+	counted := telemetry.CountStream(st,
+		tel.Counter("reg.bytes_in"), tel.Counter("reg.bytes_out"))
 	defer func() {
 		r.mu.Lock()
 		delete(r.conns, st)
@@ -460,17 +490,21 @@ func (r *Registry) serve(st orbStream) {
 		st.Close()
 	}()
 	for {
-		req, err := ReadRequest(st)
+		req, err := ReadRequest(counted)
 		if err != nil {
 			return
 		}
-		if err := WriteResponse(st, r.handle(req)); err != nil {
+		tel.Trace(req.TraceID, "reg.recv", "op="+req.Op)
+		resp := r.handle(req)
+		resp.TraceID = req.TraceID
+		if err := WriteResponse(counted, resp); err != nil {
 			return
 		}
 	}
 }
 
 func (r *Registry) handle(req *Request) *Response {
+	r.telemetry().Counter("reg.ops." + req.Op).Inc()
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
@@ -592,6 +626,8 @@ type RegistryClient struct {
 	cur int       // replica the pooled session points at (sticky)
 	st  orbStream // pooled session to replicas[cur]; nil until the first exchange
 
+	tel atomic.Pointer[telemetry.Registry]
+
 	mu       sync.Mutex
 	cacheTTL time.Duration
 	cache    map[cacheKey]cachedEntry
@@ -624,6 +660,13 @@ func NewRegistryClient(rt vtime.Runtime, tr orb.Transport, replicas ...string) *
 		cache:    make(map[cacheKey]cachedEntry),
 	}
 }
+
+// UseTelemetry points the client at a telemetry registry: resolution-cache
+// hits/misses and replica failovers start being counted. Nil (the default)
+// records nothing.
+func (c *RegistryClient) UseTelemetry(tel *telemetry.Registry) { c.tel.Store(tel) }
+
+func (c *RegistryClient) telemetry() *telemetry.Registry { return c.tel.Load() }
 
 // Replicas returns the configured replica list in preference order.
 func (c *RegistryClient) Replicas() []string {
@@ -685,7 +728,7 @@ func (c *RegistryClient) do(req *Request) (*Response, error) {
 			tryOrder = append(tryOrder, i)
 		}
 	}
-	for _, i := range tryOrder {
+	for pos, i := range tryOrder {
 		node := c.replicas[i]
 		// Check reachability before dialing: an unknown or partitioned
 		// replica host must be skipped here, not fall into the transport's
@@ -698,6 +741,10 @@ func (c *RegistryClient) do(req *Request) (*Response, error) {
 		}
 		resp, err := c.exchange(i, req)
 		if err == nil {
+			if pos > 0 {
+				// The sticky replica was unusable and a later one answered.
+				c.telemetry().Counter("regc.failovers").Inc()
+			}
 			return resp, resp.Err()
 		}
 		errs = append(errs, fmt.Errorf("replica %s: %w", node, err))
@@ -875,8 +922,10 @@ func (c *RegistryClient) Resolve(kind, name string) (Entry, error) {
 // the cache when fresh.
 func (c *RegistryClient) candidates(kind, name string) ([]Entry, error) {
 	if list, ok := c.cachedList(kind, name); ok {
+		c.telemetry().Counter("regc.cache_hits").Inc()
 		return list, nil
 	}
+	c.telemetry().Counter("regc.cache_misses").Inc()
 	entries, err := c.Lookup(kind, name)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,130 @@
+package gatekeeper
+
+import (
+	"testing"
+
+	"padico/internal/telemetry"
+)
+
+// TestTracePropagationAcrossNodes is the cross-node tracing e2e: a control
+// exchange minted on the seat carries its trace ID through the framed
+// protocol, the target's gatekeeper records the same ID in its event ring,
+// and the response echoes it back — so one grep over per-node rings
+// stitches the whole exchange together.
+func TestTracePropagationAcrossNodes(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+
+		cn, err := ctl.Dial("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cn.Close()
+		req := &Request{Op: OpListModules}
+		resp, err := cn.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.TraceID == "" {
+			t.Fatal("seat telemetry did not mint a trace ID")
+		}
+		if resp.TraceID != req.TraceID {
+			t.Fatalf("response trace %q, want echo of %q", resp.TraceID, req.TraceID)
+		}
+
+		find := func(events []telemetry.Event, what string) (telemetry.Event, bool) {
+			for _, e := range events {
+				if e.What == what && e.Trace == req.TraceID {
+					return e, true
+				}
+			}
+			return telemetry.Event{}, false
+		}
+		sent, ok := find(procs[0].Telemetry().Events(0), "ctl.send")
+		if !ok {
+			t.Fatalf("seat ring has no ctl.send for trace %q: %v",
+				req.TraceID, procs[0].Telemetry().Events(0))
+		}
+		recv, ok := find(procs[1].Telemetry().Events(0), "gk.recv")
+		if !ok {
+			t.Fatalf("target ring has no gk.recv for trace %q: %v",
+				req.TraceID, procs[1].Telemetry().Events(0))
+		}
+		if sent.Detail != "node=n1 op="+OpListModules || recv.Detail != "op="+OpListModules {
+			t.Fatalf("event details: sent=%q recv=%q", sent.Detail, recv.Detail)
+		}
+
+		// A fan-out is one logical exchange: every target records the SAME
+		// trace ID.
+		fanReq := &Request{Op: OpPing}
+		for _, r := range ctl.Fanout([]string{"n0", "n1"}, fanReq) {
+			if r.Err != nil {
+				t.Fatalf("fanout %s: %v", r.Node, r.Err)
+			}
+			if r.Resp.TraceID != fanReq.TraceID {
+				t.Fatalf("%s echoed trace %q, fanout minted %q", r.Node, r.Resp.TraceID, fanReq.TraceID)
+			}
+		}
+		for _, p := range procs {
+			if _, ok := find(p.Telemetry().Events(0), "gk.recv"); !ok && fanReq.TraceID == req.TraceID {
+				t.Fatalf("%s ring missing fanout trace", p.Node().Name)
+			}
+		}
+	})
+}
+
+// TestMetricsOpSim exercises the metrics op under virtual time: control
+// traffic shows up in the target's counters and handle-latency histogram,
+// and the scrape carries the node name.
+func TestMetricsOpSim(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+
+		const pings = 5
+		for i := 0; i < pings; i++ {
+			if err := ctl.Ping("n1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := ctl.Metrics("n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Node != "n1" {
+			t.Fatalf("snapshot node = %q", snap.Node)
+		}
+		// pings + the metrics request itself.
+		if got := snap.Counter("gk.requests"); got < pings+1 {
+			t.Fatalf("gk.requests = %d, want >= %d", got, pings+1)
+		}
+		if h := snap.Hist("gk.handle"); h.Count < pings || h.P99Micros < h.P50Micros {
+			t.Fatalf("gk.handle histogram = %+v", h)
+		}
+		if snap.Counter("gk.bytes_in") == 0 || snap.Counter("gk.bytes_out") == 0 {
+			t.Fatalf("byte counters empty: in=%d out=%d",
+				snap.Counter("gk.bytes_in"), snap.Counter("gk.bytes_out"))
+		}
+		if snap.Gauge("uptime_ms") <= 0 {
+			t.Fatalf("uptime gauge = %d", snap.Gauge("uptime_ms"))
+		}
+
+		// The events op returns the ring through the protocol, trace IDs
+		// intact, and honors the max cap.
+		events, err := ctl.Events("n1", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("events(max=2) returned %d", len(events))
+		}
+		for _, e := range events {
+			if e.What != "gk.recv" || e.Trace == "" {
+				t.Fatalf("unexpected ring event %+v", e)
+			}
+		}
+	})
+}

@@ -57,6 +57,8 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 	modules := fs.String("modules", "", "comma-separated modules to load at boot")
 	lease := fs.Duration("lease", 0, "registry lease TTL (default 5s)")
 	syncIv := fs.Duration("sync", 0, "anti-entropy sync interval for a hosted replica (default 1s)")
+	httpAddr := fs.String("http", "", "observability HTTP listener (/metrics and /debug/pprof); empty = off")
+	epoch := fs.Int("epoch", 0, "restart generation, set by the supervisor on respawn")
 	if err := fs.Parse(argv); err != nil {
 		return ExitRefused
 	}
@@ -72,6 +74,8 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 		Advertise:    *advertise,
 		LeaseTTL:     *lease,
 		SyncInterval: *syncIv,
+		HTTP:         *httpAddr,
+		Epoch:        *epoch,
 		Peers:        map[string]string{},
 	}
 	if cfg.Node == "" {
@@ -116,8 +120,12 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "padico-d:", err)
 		return ExitRuntime
 	}
-	fmt.Fprintf(out, "padico-d: %s%s%s (registries %s)\n",
-		d.Node(), readyMarker, d.Addr(), strings.Join(d.Registries(), ","))
+	extra := ""
+	if d.HTTP != nil {
+		extra = " http=" + d.HTTP.Addr()
+	}
+	fmt.Fprintf(out, "padico-d: %s%s%s (registries %s)%s\n",
+		d.Node(), readyMarker, d.Addr(), strings.Join(d.Registries(), ","), extra)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -38,6 +38,10 @@ type PlanOptions struct {
 	// LeaseTTL and SyncInterval are forwarded to every daemon when set.
 	LeaseTTL     time.Duration
 	SyncInterval time.Duration
+	// HTTPBase, when positive, gives every daemon an observability HTTP
+	// listener (/metrics, /debug/pprof): node i in name order binds
+	// host:HTTPBase+i. Zero leaves the listeners off.
+	HTTPBase int
 }
 
 // NodeSpec is one planned daemon: where it runs, where its control
@@ -46,6 +50,7 @@ type NodeSpec struct {
 	Node       string
 	Zone       string
 	Addr       string // control endpoint, "host:port"
+	HTTPAddr   string // observability endpoint, "host:port" ("" = off)
 	Registries []string
 	Args       []string // padico-d flags, ready to exec
 }
@@ -111,7 +116,7 @@ func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
 	}
 
 	p := &Plan{Grid: topo.Name, Registries: regs}
-	for _, n := range names {
+	for i, n := range names {
 		peers := make([]string, 0, len(names)-1)
 		for _, o := range names {
 			if o != n {
@@ -136,10 +141,16 @@ func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
 		if opts.SyncInterval > 0 {
 			args = append(args, "-sync", opts.SyncInterval.String())
 		}
+		httpAddr := ""
+		if opts.HTTPBase > 0 {
+			httpAddr = net.JoinHostPort(hostFor(n), strconv.Itoa(opts.HTTPBase+i))
+			args = append(args, "-http", httpAddr)
+		}
 		p.Specs = append(p.Specs, NodeSpec{
 			Node:       n,
 			Zone:       zones[n],
 			Addr:       addrs[n],
+			HTTPAddr:   httpAddr,
 			Registries: regs,
 			Args:       args,
 		})

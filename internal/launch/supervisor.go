@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"padico/internal/gatekeeper"
 	"padico/internal/orb"
 	"padico/internal/sockets"
+	"padico/internal/telemetry"
 	"padico/internal/vtime"
 )
 
@@ -44,6 +46,12 @@ type NodeStatus struct {
 	// Restarts counts respawns after the initial launch — crashes healed
 	// and operator-requested restarts alike.
 	Restarts int `json:"restarts"`
+	// LastProbeMillis is the round-trip of the most recent successful
+	// gatekeeper health probe (-1 before the first one lands).
+	LastProbeMillis int64 `json:"last_probe_ms"`
+	// ReadyForMillis is how long the daemon has been running since its last
+	// readiness line (0 when not running).
+	ReadyForMillis int64 `json:"ready_for_ms"`
 	// Announced reports whether the registry currently holds a live,
 	// leased record from this node — the evidence that a (re)started
 	// daemon re-announced under a fresh lease.
@@ -120,6 +128,7 @@ type Supervisor struct {
 	host *sockets.WallHost
 	ctl  *gatekeeper.Controller
 	rc   *gatekeeper.RegistryClient
+	tel  *telemetry.Registry
 
 	nodes map[string]*node
 	order []string
@@ -149,7 +158,7 @@ func NewSupervisor(plan *Plan, exec Executor, opt Options) *Supervisor {
 	}
 	for _, spec := range plan.Specs {
 		n := &node{sup: s, spec: spec, cmds: make(chan nodeCmd)}
-		n.st = NodeStatus{Node: spec.Node, Zone: spec.Zone, Addr: spec.Addr, State: StateStarting}
+		n.st = NodeStatus{Node: spec.Node, Zone: spec.Zone, Addr: spec.Addr, State: StateStarting, LastProbeMillis: -1}
 		s.nodes[spec.Node] = n
 		s.order = append(s.order, spec.Node)
 	}
@@ -177,9 +186,13 @@ func (s *Supervisor) Start() error {
 		s.host.Pin(spec.Node, spec.Addr)
 	}
 	wall := vtime.NewWall()
+	s.tel = telemetry.New("padico-launch", wall)
+	s.host.SetTelemetry(s.tel)
 	tr := orb.WallTransport{Host: s.host}
 	s.ctl = gatekeeper.NewController(wall, tr)
+	s.ctl.UseTelemetry(s.tel)
 	s.rc = gatekeeper.NewRegistryClient(wall, tr, s.plan.Registries...)
+	s.rc.UseTelemetry(s.tel)
 	s.rc.SetCacheTTL(0)
 
 	s.wg.Add(len(s.order))
@@ -279,6 +292,10 @@ func (s *Supervisor) RestartNodes(names []string, timeout time.Duration) error {
 // Plan returns the plan under supervision.
 func (s *Supervisor) Plan() *Plan { return s.plan }
 
+// Telemetry returns the supervisor's own metric registry — probe latency,
+// probe failures, and restart/backoff gauges live here (nil before Start).
+func (s *Supervisor) Telemetry() *telemetry.Registry { return s.tel }
+
 // Stop tears the grid down: every child gets SIGTERM (a clean daemon
 // withdraws from the registry before exiting), stragglers are killed after
 // the grace window, and the supervisor's probe loop and seat shut down.
@@ -308,8 +325,9 @@ func (s *Supervisor) logf(format string, args ...any) {
 
 // probeLoop is the babysitter proper: every interval it pings the
 // gatekeeper of each running daemon (a wedged process that still holds its
-// port is indistinguishable from a healthy one without this) and sweeps
-// the registry once to record which nodes hold a live lease.
+// port is indistinguishable from a healthy one without this), timing each
+// round-trip into the supervisor's telemetry, and sweeps the registry once
+// to record which nodes hold a live lease.
 func (s *Supervisor) probeLoop() {
 	defer close(s.probeDone)
 	t := time.NewTicker(s.opt.ProbeInterval)
@@ -321,14 +339,39 @@ func (s *Supervisor) probeLoop() {
 		case <-t.C:
 		}
 		var targets []string
+		var restarts, backoff int64
 		for _, name := range s.order {
-			if s.nodes[name].status().State == StateRunning {
+			st := s.nodes[name].status()
+			restarts += int64(st.Restarts)
+			if st.State == StateBackoff {
+				backoff++
+			}
+			if st.State == StateRunning {
 				targets = append(targets, name)
 			}
 		}
-		for _, r := range s.ctl.Fanout(targets, &gatekeeper.Request{Op: gatekeeper.OpPing}) {
-			s.nodes[r.Node].probeResult(r.Err == nil)
+		s.tel.Gauge("launch.restarts").Set(restarts)
+		s.tel.Gauge("launch.backoff_nodes").Set(backoff)
+		// Each probe is timed individually — the Fanout helper answers
+		// "who is up", but the per-node round-trip is the health signal the
+		// status table and launch.probe histogram report.
+		var wg sync.WaitGroup
+		for _, name := range targets {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				start := s.tel.Now()
+				err := s.ctl.Ping(name)
+				rtt := s.tel.Since(start)
+				if err == nil {
+					s.tel.Histogram("launch.probe").Observe(rtt)
+				} else {
+					s.tel.Counter("launch.probe_failures").Inc()
+				}
+				s.nodes[name].probeResult(err == nil, rtt.Milliseconds())
+			}(name)
 		}
+		wg.Wait()
 		// Every daemon announces its module table (vlink is always
 		// loaded), so one filtered lookup reveals who currently holds a
 		// live, leased record.
@@ -360,12 +403,23 @@ type node struct {
 	proc       Proc
 	st         NodeStatus
 	probeFails int
+	readyAt    time.Time
 }
 
 func (n *node) status() NodeStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.st
+	st := n.st
+	if st.State == StateRunning && !n.readyAt.IsZero() {
+		st.ReadyForMillis = time.Since(n.readyAt).Milliseconds()
+	}
+	return st
+}
+
+func (n *node) setReadyAt(t time.Time) {
+	n.mu.Lock()
+	n.readyAt = t
+	n.mu.Unlock()
 }
 
 func (n *node) set(f func(*NodeStatus)) {
@@ -389,13 +443,17 @@ func (n *node) setAnnounced(v bool) {
 	n.mu.Unlock()
 }
 
-// probeResult records one health probe. ProbeFailLimit consecutive
-// failures against a live process mean the daemon is wedged — accepting
-// TCP but not answering, or not even accepting — and the only cure is a
-// kill; the exit path then restarts it with backoff.
-func (n *node) probeResult(ok bool) {
+// probeResult records one health probe (rttMillis is its round-trip,
+// meaningful when ok). ProbeFailLimit consecutive failures against a live
+// process mean the daemon is wedged — accepting TCP but not answering, or
+// not even accepting — and the only cure is a kill; the exit path then
+// restarts it with backoff.
+func (n *node) probeResult(ok bool, rttMillis int64) {
 	n.mu.Lock()
 	if n.st.State != StateRunning || ok {
+		if ok && n.st.State == StateRunning {
+			n.st.LastProbeMillis = rttMillis
+		}
 		n.probeFails = 0
 		n.mu.Unlock()
 		return
@@ -446,6 +504,7 @@ func (n *node) run() {
 				ready = nil
 				readyAt = time.Now()
 				readyTimer.Stop()
+				n.setReadyAt(readyAt)
 				n.set(func(st *NodeStatus) { st.State = StateRunning })
 				n.sup.logf("%s: running (pid %d) on %s", n.spec.Node, proc.PID(), n.spec.Addr)
 			case <-readyTimer.C:
@@ -471,7 +530,14 @@ func (n *node) run() {
 			graceTimer.Stop()
 		}
 		n.setProc(nil)
-		n.set(func(st *NodeStatus) { st.PID = 0; st.Announced = false; st.LastExit = exit.String() })
+		n.setReadyAt(time.Time{})
+		n.set(func(st *NodeStatus) {
+			st.PID = 0
+			st.Announced = false
+			st.LastExit = exit.String()
+			st.LastProbeMillis = -1
+			st.ReadyForMillis = 0
+		})
 
 		switch {
 		case stopReq:
@@ -508,7 +574,9 @@ func (n *node) run() {
 }
 
 // spawn launches the daemon process and returns a channel closed when its
-// readiness line appears on stdout.
+// readiness line appears on stdout. A respawn carries its restart
+// generation as -epoch, so the fresh daemon's metrics report which
+// incarnation they come from (the daemon_restarts gauge).
 func (n *node) spawn() (Proc, <-chan struct{}, error) {
 	ready := make(chan struct{})
 	var once sync.Once
@@ -518,7 +586,11 @@ func (n *node) spawn() (Proc, <-chan struct{}, error) {
 		}
 	}}
 	stderr := &lineWriter{dst: n.sup.opt.Out, prefix: "[" + n.spec.Node + "!] "}
-	proc, err := n.sup.exec.Start(n.spec, n.spec.Args, stdout, stderr)
+	args := n.spec.Args
+	if restarts := n.status().Restarts; restarts > 0 {
+		args = append(append([]string(nil), args...), "-epoch", strconv.Itoa(restarts))
+	}
+	proc, err := n.sup.exec.Start(n.spec, args, stdout, stderr)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,102 @@
+package launch
+
+import (
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"padico/internal/deploy"
+)
+
+// TestPlanHTTPBase verifies observability planning: with HTTPBase set,
+// every node gets an -http listener at base+i in name order, recorded on
+// the spec; without it, no daemon serves HTTP.
+func TestPlanHTTPBase(t *testing.T) {
+	topo, err := deploy.ParseTopology([]byte(trioXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildPlan(topo, PlanOptions{BasePort: 7900, HTTPBase: 7950})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range plan.Specs {
+		want := "127.0.0.1:" + strconv.Itoa(7950+i)
+		if spec.HTTPAddr != want {
+			t.Fatalf("%s HTTPAddr = %q, want %q", spec.Node, spec.HTTPAddr, want)
+		}
+		args := strings.Join(spec.Args, " ")
+		if !strings.Contains(args, "-http "+want) {
+			t.Fatalf("%s args missing -http: %v", spec.Node, spec.Args)
+		}
+	}
+	plain, err := BuildPlan(topo, PlanOptions{BasePort: 7900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range plain.Specs {
+		if spec.HTTPAddr != "" || strings.Contains(strings.Join(spec.Args, " "), "-http") {
+			t.Fatalf("%s got an HTTP listener without HTTPBase: %v", spec.Node, spec.Args)
+		}
+	}
+}
+
+// TestSupervisorTelemetryAndEpoch is the supervision observability e2e: the
+// probe loop populates per-node probe latency and time-since-ready in the
+// status report and the supervisor's own telemetry, and a healed daemon is
+// respawned with -epoch so its OWN metrics report the restart generation —
+// the counter `padico-ctl top` renders.
+func TestSupervisorTelemetryAndEpoch(t *testing.T) {
+	plan := trioPlan(t)
+	var log syncBuf
+	sup := NewSupervisor(plan, helperExecutor(), testOptions(&log))
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+	if err := sup.WaitReady(20 * time.Second); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+
+	// Probes land: status carries a real round-trip and an uptime, and the
+	// supervisor's histogram sees the same probes.
+	waitFor(t, "probe fields on n0", 10*time.Second, func() bool {
+		st := statusOf(t, sup, "n0")
+		return st.LastProbeMillis >= 0 && st.ReadyForMillis > 0
+	})
+	waitFor(t, "launch.probe histogram samples", 10*time.Second, func() bool {
+		snap := sup.Telemetry().Snapshot()
+		return snap.Hist("launch.probe").Count > 0
+	})
+	snap := sup.Telemetry().Snapshot()
+	if got := snap.Gauge("launch.restarts"); got != 0 {
+		t.Fatalf("launch.restarts = %d before any crash", got)
+	}
+
+	// Crash n2; the supervisor heals it and respawns with -epoch 1.
+	before := statusOf(t, sup, "n2")
+	if err := syscall.Kill(before.PID, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "supervised restart of n2", 15*time.Second, func() bool {
+		st := statusOf(t, sup, "n2")
+		return st.Restarts >= 1 && st.State == StateRunning && st.PID > 0 && st.PID != before.PID
+	})
+	waitFor(t, "launch.restarts gauge to catch up", 10*time.Second, func() bool {
+		snap := sup.Telemetry().Snapshot()
+		return snap.Gauge("launch.restarts") >= 1
+	})
+
+	// The respawned daemon's own telemetry carries the generation.
+	dep, err := deploy.Attach(plan.Endpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	waitFor(t, "n2's daemon_restarts gauge via the metrics op", 15*time.Second, func() bool {
+		snap, err := dep.Ctl.Metrics("n2")
+		return err == nil && snap.Gauge("daemon_restarts") == int64(statusOf(t, sup, "n2").Restarts)
+	})
+}

@@ -7,7 +7,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"padico/internal/telemetry"
 )
 
 // WallHost is one OS process's endpoint in a live (wall-clock) deployment:
@@ -30,6 +33,7 @@ import (
 // be driven from a virtual-time simulation.
 type WallHost struct {
 	name string
+	tel  atomic.Pointer[telemetry.Registry]
 
 	mu       sync.Mutex
 	book     map[string]string // node name → real "host:port"
@@ -64,6 +68,55 @@ func NewWallHost(name string) *WallHost {
 
 // NodeName identifies the local node.
 func (h *WallHost) NodeName() string { return h.name }
+
+// SetTelemetry points the host at a telemetry registry: every wall
+// connection starts counting frames and bytes in/out, and handshake
+// outcomes (accepts, dials, NAKs both ways) are recorded. Nil (the
+// default) records nothing and wraps nothing.
+func (h *WallHost) SetTelemetry(tel *telemetry.Registry) { h.tel.Store(tel) }
+
+func (h *WallHost) telemetry() *telemetry.Registry { return h.tel.Load() }
+
+// countWall wraps a real connection so its traffic feeds the host's wall
+// counters; without telemetry the connection passes through untouched.
+func (h *WallHost) countWall(nc net.Conn) net.Conn {
+	tel := h.telemetry()
+	if tel == nil {
+		return nc
+	}
+	return &countedNetConn{
+		Conn: nc,
+		in:   tel.Counter("wall.bytes_in"),
+		out:  tel.Counter("wall.bytes_out"),
+		fin:  tel.Counter("wall.frames_in"),
+		fout: tel.Counter("wall.frames_out"),
+	}
+}
+
+// countedNetConn counts a wall connection's traffic: every non-empty Read
+// is one inbound frame, every Write one outbound frame.
+type countedNetConn struct {
+	net.Conn
+	in, out, fin, fout *telemetry.Counter
+}
+
+func (c *countedNetConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(int64(n))
+		c.fin.Inc()
+	}
+	return n, err
+}
+
+func (c *countedNetConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(int64(n))
+		c.fout.Inc()
+	}
+	return n, err
+}
 
 // ListenTCP binds the host's real listener and starts accepting. It returns
 // the actual address (resolving a ":0" ephemeral port), which is also the
@@ -237,10 +290,14 @@ func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
 	var ack [1]byte
 	if _, err := io.ReadFull(nc, ack[:]); err != nil || ack[0] != 1 {
 		nc.Close()
+		h.telemetry().Counter("wall.dial_naks").Inc()
 		return nil, fmt.Errorf("%w: no service %q at %s", ErrRefused, service, addr)
 	}
 	_ = nc.SetDeadline(time.Time{})
-	return &tcpConn{Conn: nc, local: h.name, remote: addr}, nil
+	h.telemetry().Counter("wall.dials").Inc()
+	// Count inside the tcpConn wrapper: Dial re-labels the returned conn via
+	// a *tcpConn assertion, so the counting layer must sit underneath it.
+	return &tcpConn{Conn: h.countWall(nc), local: h.name, remote: addr}, nil
 }
 
 // Close shuts the host down: the real listener, every registered service
@@ -311,7 +368,8 @@ func (h *WallHost) serveConn(nc net.Conn) {
 			nc.Close()
 			return
 		}
-		l.deliver(&tcpConn{Conn: nc, local: h.name, remote: nc.RemoteAddr().String()})
+		h.telemetry().Counter("wall.accepts").Inc()
+		l.deliver(&tcpConn{Conn: h.countWall(nc), local: h.name, remote: nc.RemoteAddr().String()})
 		return
 	}
 	if fb != nil {
@@ -321,10 +379,12 @@ func (h *WallHost) serveConn(nc net.Conn) {
 				nc.Close()
 				return
 			}
-			proxy(nc, local)
+			h.telemetry().Counter("wall.accepts").Inc()
+			proxy(h.countWall(nc), local)
 			return
 		}
 	}
+	h.telemetry().Counter("wall.handshake_naks").Inc()
 	_, _ = nc.Write([]byte{0}) // NAK
 	nc.Close()
 }

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Metric names are prefixed padico_ and lower-cased with dots
+// mapped to underscores; every sample carries a node label. Histograms
+// export _count, _sum_us, _p50_us, _p99_us and _max_us series. Keys are
+// emitted sorted, so the output is stable for tests and diffing.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	label := fmt.Sprintf("{node=%q}", s.Node)
+	emit := func(name string, v int64) error {
+		_, err := fmt.Fprintf(w, "padico_%s%s %d\n", promName(name), label, v)
+		return err
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if err := emit(k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if err := emit(k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Hists) {
+		h := s.Hists[k]
+		for _, series := range []struct {
+			suffix string
+			v      int64
+		}{
+			{"_count", h.Count},
+			{"_sum_us", h.SumMicros},
+			{"_p50_us", h.P50Micros},
+			{"_p99_us", h.P99Micros},
+			{"_max_us", h.MaxMicros},
+		} {
+			if err := emit(k+series.suffix, series.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a metric name for the Prometheus exposition.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// HTTPServer is a live observability endpoint: /metrics in Prometheus text
+// plus the standard net/http/pprof handlers under /debug/pprof/.
+type HTTPServer struct {
+	lst net.Listener
+	srv *http.Server
+}
+
+// StartHTTP binds addr and serves /metrics for the given registry along
+// with the pprof suite. The returned server is already accepting; callers
+// own Close. Pprof runs on the real runtime stack regardless of which
+// clock the registry uses, so profiles of a live daemon are always honest.
+func StartHTTP(addr string, tel *Registry) (*HTTPServer, error) {
+	lst, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Stamp uptime at scrape time, exactly as the gatekeeper metrics
+		// op does, so both exposure paths let scrapers derive rates.
+		tel.Gauge("uptime_ms").Set(tel.Now() / 1000)
+		snap := tel.Snapshot()
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &HTTPServer{lst: lst, srv: &http.Server{Handler: mux}}
+	go func() { _ = hs.srv.Serve(lst) }()
+	return hs, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (h *HTTPServer) Addr() string { return h.lst.Addr().String() }
+
+// Close stops accepting and tears the server down. Nil-safe.
+func (h *HTTPServer) Close() error {
+	if h == nil {
+		return nil
+	}
+	return h.srv.Close()
+}

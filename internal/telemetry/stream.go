@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"io"
+	"time"
+)
+
+// CountedStream wraps a bidirectional stream and feeds bytes-in/bytes-out
+// counters on every Read/Write. It preserves the optional SetReadDeadline
+// capability of the inner stream so gatekeeper.ArmControlDeadline still
+// sees it through the wrapper (wall TCP streams keep their read deadlines;
+// sim streams, which never expose the method, stay deadline-free).
+type CountedStream struct {
+	inner    io.ReadWriteCloser
+	in, out  *Counter
+	deadline interface{ SetReadDeadline(time.Time) error }
+}
+
+// CountStream wraps st so reads feed in and writes feed out. Nil counters
+// are fine (they drop the numbers); a nil stream returns nil.
+func CountStream(st io.ReadWriteCloser, in, out *Counter) *CountedStream {
+	if st == nil {
+		return nil
+	}
+	cs := &CountedStream{inner: st, in: in, out: out}
+	if d, ok := st.(interface{ SetReadDeadline(time.Time) error }); ok {
+		cs.deadline = d
+	}
+	return cs
+}
+
+func (c *CountedStream) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *CountedStream) Write(p []byte) (int, error) {
+	n, err := c.inner.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+func (c *CountedStream) Close() error { return c.inner.Close() }
+
+// SetReadDeadline delegates to the inner stream when it supports deadlines
+// and is a no-op otherwise (sim streams have no deadline to arm).
+func (c *CountedStream) SetReadDeadline(t time.Time) error {
+	if c.deadline != nil {
+		return c.deadline.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// Inner returns the wrapped stream.
+func (c *CountedStream) Inner() io.ReadWriteCloser { return c.inner }

@@ -1,0 +1,389 @@
+// Package telemetry is Padico's measurement substrate: a dependency-free
+// per-process metrics registry (atomic counters, gauges, and fixed-bucket
+// latency histograms with p50/p99 snapshots) plus a bounded ring buffer of
+// control-plane trace events. It is the layer the ROADMAP's perf trajectory
+// stands on — every hot path (registry sync, by-name resolution, wall
+// framing, supervision) records here, and the gatekeeper's "metrics" op,
+// padico-d's optional HTTP listener and `padico-ctl top` all render the
+// same snapshots.
+//
+// The registry is clock-generic: it timestamps events through a
+// vtime.Runtime, so the very same instrumentation is deterministic under
+// the simulator (virtual microseconds) and honest under the wall clock.
+// Metric writes are lock-free atomics — safe from any goroutine, including
+// SAN traffic paths driven by the virtual-time scheduler.
+//
+// Every accessor is nil-safe: a component holding a nil *Registry (or a nil
+// *Counter from one) records nothing and allocates nothing, so
+// instrumentation sites stay unconditional.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"padico/internal/vtime"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters only go
+// up). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter. Nil-safe (zero).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (either direction). Nil-safe.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge. Nil-safe (zero).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every latency histogram: bucket
+// i counts observations in [2^(i-1), 2^i) microseconds (bucket 0 holds
+// sub-microsecond observations), so 48 buckets span sub-µs to ~4.5 years —
+// nothing a control plane measures falls off either end.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket latency histogram: power-of-two microsecond
+// buckets, recorded with one atomic add per observation — no locks on the
+// hot path — and summarized as approximate quantiles (the upper bound of
+// the bucket holding the quantile). Under the simulator, observations are
+// virtual durations and snapshots are fully deterministic.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64 // microseconds
+	max     atomic.Int64 // microseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // floor(log2(us)) + 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperUS is the inclusive upper bound (µs) reported for a bucket.
+func bucketUpperUS(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	return int64(1) << i
+}
+
+// Observe records one latency. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := int64(d / time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+// Stat summarizes the histogram. Nil-safe (zero stat).
+func (h *Histogram) Stat() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	var counts [histBuckets]int64
+	// Load buckets first, then the total as the floor of what the quantile
+	// scan must account for: concurrent observes may land between loads, and
+	// quantile ranks beyond the loaded buckets clamp to the max bucket seen.
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := HistStat{
+		Count:     total,
+		SumMicros: h.sum.Load(),
+		MaxMicros: h.max.Load(),
+	}
+	if total == 0 {
+		return st
+	}
+	quantile := func(q float64) int64 {
+		rank := int64(q*float64(total) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum >= rank {
+				return bucketUpperUS(i)
+			}
+		}
+		return bucketUpperUS(histBuckets - 1)
+	}
+	st.P50Micros = quantile(0.50)
+	st.P99Micros = quantile(0.99)
+	return st
+}
+
+// HistStat is one histogram's snapshot: count, sum, and approximate
+// quantiles in microseconds (quantiles report the upper bound of the
+// power-of-two bucket holding the rank).
+type HistStat struct {
+	Count     int64 `json:"count"`
+	SumMicros int64 `json:"sum_us"`
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+	MaxMicros int64 `json:"max_us"`
+}
+
+// Snapshot is a registry's full state at one instant, JSON-serializable so
+// it rides the gatekeeper protocol unchanged.
+type Snapshot struct {
+	Node     string              `json:"node,omitempty"`
+	Counters map[string]int64    `json:"counters,omitempty"`
+	Gauges   map[string]int64    `json:"gauges,omitempty"`
+	Hists    map[string]HistStat `json:"hists,omitempty"`
+}
+
+// Counter returns a snapshot counter value (zero when absent or nil).
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// Gauge returns a snapshot gauge value (zero when absent or nil).
+func (s *Snapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Gauges[name]
+}
+
+// Hist returns a snapshot histogram stat (zero when absent or nil).
+func (s *Snapshot) Hist(name string) HistStat {
+	if s == nil {
+		return HistStat{}
+	}
+	return s.Hists[name]
+}
+
+// Registry is one process's metric and trace namespace. Metrics are created
+// lazily on first use and live forever (the catalog is small and fixed);
+// handles are cached by the instrumented components, so steady-state
+// recording never touches the registry lock.
+type Registry struct {
+	node string
+	rt   vtime.Runtime // may be nil: events then carry no timestamps
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	ring    []Event // trace ring buffer, ringCap entries, seq-stamped
+	ringCap int
+	seq     int64
+
+	traceSeq atomic.Int64
+}
+
+// DefaultRingSize bounds the per-process trace ring: old events fall off as
+// new ones arrive, so a long-lived daemon's memory stays flat.
+const DefaultRingSize = 256
+
+// New returns a registry for a node. rt timestamps trace events — the
+// simulator for deterministic virtual stamps, the wall clock for real ones,
+// or nil for none.
+func New(node string, rt vtime.Runtime) *Registry {
+	return &Registry{
+		node:     node,
+		rt:       rt,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		ringCap:  DefaultRingSize,
+	}
+}
+
+// Node returns the registry's node name. Nil-safe.
+func (r *Registry) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Now returns the registry clock's instant in microseconds (zero without a
+// clock). Nil-safe.
+func (r *Registry) Now() int64 {
+	if r == nil || r.rt == nil {
+		return 0
+	}
+	return int64(r.rt.Now().Duration() / time.Microsecond)
+}
+
+// Since returns the elapsed duration since a start instant taken from the
+// registry clock (zero without a clock). Nil-safe.
+func (r *Registry) Since(startMicros int64) time.Duration {
+	if r == nil || r.rt == nil {
+		return 0
+	}
+	return time.Duration(r.Now()-startMicros) * time.Microsecond
+}
+
+// Counter returns (creating on first use) the named counter. Nil-safe: a
+// nil registry returns a nil counter, which records nothing.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named latency histogram.
+// Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric. The maps are fresh copies, safe to
+// serialize or mutate. Nil-safe (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	snap := Snapshot{
+		Node:     r.node,
+		Counters: make(map[string]int64, len(counters)),
+		Gauges:   make(map[string]int64, len(gauges)),
+		Hists:    make(map[string]HistStat, len(hists)),
+	}
+	for _, c := range counters {
+		snap.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hists {
+		snap.Hists[h.name] = h.Stat()
+	}
+	return snap
+}
+
+// sortedKeys returns m's keys sorted — stable rendering order for tables
+// and the Prometheus exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

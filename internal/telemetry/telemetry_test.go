@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"padico/internal/vtime"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(7)
+	r.Histogram("x").Observe(time.Millisecond)
+	r.Trace("", "noop", "")
+	if got := r.NextTraceID(); got != "" {
+		t.Fatalf("nil NextTraceID = %q", got)
+	}
+	if ev := r.Events(0); ev != nil {
+		t.Fatalf("nil Events = %v", ev)
+	}
+	snap := r.Snapshot()
+	if snap.Counter("x") != 0 || snap.Gauge("x") != 0 || snap.Hist("x").Count != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := New("n0", nil)
+	c := r.Counter("dials")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters refuse to go down
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("dials") != c {
+		t.Fatal("counter handle not cached per name")
+	}
+	g := r.Gauge("backoff")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+// TestHistogramDeterministicUnderSim drives observations from virtual-time
+// measurements inside a Sim run and asserts the exact snapshot: same
+// program, same virtual durations, same quantiles, every run.
+func TestHistogramDeterministicUnderSim(t *testing.T) {
+	sim := vtime.NewSim()
+	r := New("n0", sim)
+	sim.Run(func() {
+		for i := 0; i < 100; i++ {
+			start := sim.Now()
+			sim.Sleep(time.Duration(i+1) * 100 * time.Microsecond) // 100us..10ms
+			r.Histogram("op").Observe(sim.Now().Sub(start))
+		}
+	})
+	st := r.Histogram("op").Stat()
+	if st.Count != 100 {
+		t.Fatalf("count = %d, want 100", st.Count)
+	}
+	if st.SumMicros != 505000 { // sum of 100us..10ms in 100us steps
+		t.Fatalf("sum = %dus, want 505000", st.SumMicros)
+	}
+	// Median observation is ~5ms -> bucket (4096,8192]; p99 is ~9.9ms ->
+	// bucket (8192,16384]. Exact because Sim is deterministic.
+	if st.P50Micros != 8192 {
+		t.Fatalf("p50 = %dus, want 8192", st.P50Micros)
+	}
+	if st.P99Micros != 16384 {
+		t.Fatalf("p99 = %dus, want 16384", st.P99Micros)
+	}
+	if st.MaxMicros != 10000 {
+		t.Fatalf("max = %dus, want 10000", st.MaxMicros)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11}, {1 << 60, histBuckets - 1}}
+	for _, c := range cases {
+		if got := bucketOf(c.us); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+// TestTraceRingUnderSim checks the virtual timestamps and eviction order of
+// the event ring inside a deterministic run.
+func TestTraceRingUnderSim(t *testing.T) {
+	sim := vtime.NewSim()
+	r := New("n0", sim)
+	r.ringCap = 4
+	sim.Run(func() {
+		for i := 0; i < 6; i++ {
+			sim.Sleep(time.Millisecond)
+			r.Trace(r.NextTraceID(), "step", fmt.Sprintf("i=%d", i))
+		}
+	})
+	evs := r.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := int64(i + 3) // events 1,2 evicted
+		wantAt := int64((i + 3) * 1000)
+		if ev.Seq != wantSeq || ev.AtMicros != wantAt {
+			t.Fatalf("event %d = seq %d at %dus, want seq %d at %dus",
+				i, ev.Seq, ev.AtMicros, wantSeq, wantAt)
+		}
+		if ev.Trace != fmt.Sprintf("n0-%d", wantSeq) {
+			t.Fatalf("event %d trace = %q", i, ev.Trace)
+		}
+	}
+	if got := r.Events(2); len(got) != 2 || got[0].Seq != 5 {
+		t.Fatalf("Events(2) = %v", got)
+	}
+}
+
+// TestConcurrentWrites hammers one registry from many goroutines; run with
+// -race this is the lock-freedom proof for the hot path.
+func TestConcurrentWrites(t *testing.T) {
+	r := New("n0", vtime.NewWall())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					r.Trace(r.NextTraceID(), "work", "")
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counter("c"); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := snap.Hist("h").Count; got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New("n0", nil)
+	r.Counter("wall.bytes_in").Add(42)
+	r.Gauge("launch.backoff_ms").Set(250)
+	r.Histogram("resolve").Observe(3 * time.Microsecond)
+	var sb strings.Builder
+	snap := r.Snapshot()
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"padico_wall_bytes_in{node=\"n0\"} 42\n",
+		"padico_launch_backoff_ms{node=\"n0\"} 250\n",
+		"padico_resolve_count{node=\"n0\"} 1\n",
+		"padico_resolve_sum_us{node=\"n0\"} 3\n",
+		"padico_resolve_p99_us{node=\"n0\"} 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters then gauges then hists, each sorted: stable output.
+	var sb2 strings.Builder
+	if err := snap.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := New("n0", vtime.NewWall())
+	r.Counter("dials").Add(7)
+	srv, err := StartHTTP("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "padico_dials{node=\"n0\"} 7") {
+		t.Fatalf("/metrics output:\n%s", body)
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestCountedStream(t *testing.T) {
+	r := New("n0", nil)
+	in, out := r.Counter("in"), r.Counter("out")
+	a, b := newPipe()
+	cs := CountStream(a, in, out)
+	go func() {
+		_, _ = b.Write([]byte("hello"))
+		buf := make([]byte, 8)
+		_, _ = b.Read(buf)
+		b.Close()
+	}()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(cs, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Write([]byte("ok!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("no-op deadline errored: %v", err)
+	}
+	cs.Close()
+	if in.Value() != 5 || out.Value() != 3 {
+		t.Fatalf("counted in=%d out=%d, want 5/3", in.Value(), out.Value())
+	}
+}
+
+// newPipe builds an in-memory bidirectional stream pair.
+func newPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	ar, bw := io.Pipe()
+	br, aw := io.Pipe()
+	return pipeEnd{ar, aw}, pipeEnd{br, bw}
+}
+
+type pipeEnd struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func (p pipeEnd) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p pipeEnd) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p pipeEnd) Close() error                { p.r.Close(); return p.w.Close() }

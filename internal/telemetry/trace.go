@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Event is one control-plane trace record. Seq orders events within a
+// process; AtMicros is the registry clock (virtual under Sim — identical on
+// every run — or wall). Trace carries the request's trace ID so one
+// cross-node exchange can be stitched together from each hop's ring.
+type Event struct {
+	Seq      int64  `json:"seq"`
+	AtMicros int64  `json:"at_us"`
+	Trace    string `json:"trace,omitempty"`
+	What     string `json:"what"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d t=%dus %s", e.Seq, e.AtMicros, e.What)
+	if e.Trace != "" {
+		s += " trace=" + e.Trace
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Trace appends an event to the ring, evicting the oldest when full.
+// Nil-safe.
+func (r *Registry) Trace(traceID, what, detail string) {
+	if r == nil {
+		return
+	}
+	at := r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev := Event{Seq: r.seq, AtMicros: at, Trace: traceID, What: what, Detail: detail}
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, ev)
+		return
+	}
+	copy(r.ring, r.ring[1:])
+	r.ring[len(r.ring)-1] = ev
+}
+
+// Events returns up to max most-recent events, oldest first (all when
+// max <= 0). The slice is a copy. Nil-safe.
+func (r *Registry) Events(max int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.ring)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Event, n)
+	copy(out, r.ring[len(r.ring)-n:])
+	return out
+}
+
+// NextTraceID mints a process-unique trace ID: the node name plus a
+// sequence number. No randomness, no clock — under Sim the IDs of a given
+// run are reproducible. Nil-safe: a nil registry returns "".
+func (r *Registry) NextTraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.node + "-" + strconv.FormatInt(r.traceSeq.Add(1), 10)
+}

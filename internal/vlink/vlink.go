@@ -22,11 +22,13 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/arbitration"
 	"padico/internal/simnet"
 	"padico/internal/sockets"
+	"padico/internal/telemetry"
 	"padico/internal/vtime"
 )
 
@@ -91,6 +93,7 @@ type Linker struct {
 	arb  *arbitration.Arbiter
 	node *simnet.Node
 	Mode SecurityMode
+	tel  atomic.Pointer[telemetry.Registry]
 
 	mu       sync.Mutex
 	resolver Resolver
@@ -125,6 +128,13 @@ func (ln *Linker) Node() *simnet.Node { return ln.node }
 
 // Runtime returns the runtime the linker schedules on.
 func (ln *Linker) Runtime() vtime.Runtime { return ln.arb.Runtime() }
+
+// SetTelemetry points the linker at a process's telemetry registry: dials
+// and by-name resolutions start feeding outcome counters and the resolve
+// latency histogram. A nil registry (the default) records nothing.
+func (ln *Linker) SetTelemetry(tel *telemetry.Registry) { ln.tel.Store(tel) }
+
+func (ln *Linker) telemetry() *telemetry.Registry { return ln.tel.Load() }
 
 // SetResolver installs the name resolver DialService and the DialName
 // fallback consult. Deployments point every linker at a registry-backed
@@ -343,17 +353,26 @@ func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) 
 	if r == nil {
 		return nil, ErrNoResolver
 	}
+	tel := ln.telemetry()
+	start := tel.Now()
 	cands, err := r.ResolveVLink(kind, name)
+	tel.Histogram("vlink.resolve").Observe(tel.Since(start))
 	if err != nil {
+		tel.Counter("vlink.resolve_failures").Inc()
 		return nil, fmt.Errorf("vlink: resolving %s %q: %w", kind, name, err)
 	}
 	if len(cands) == 0 {
+		tel.Counter("vlink.resolve_failures").Inc()
 		return nil, fmt.Errorf("vlink: resolver returned no candidates for %s %q", kind, name)
 	}
 	var firstErr error
-	for _, c := range cands {
+	for i, c := range cands {
 		st, err := ln.dialResolved(c, kind, name)
 		if err == nil {
+			if i > 0 {
+				// A dead candidate was skipped in favour of a live one.
+				tel.Counter("vlink.dial_failovers").Inc()
+			}
 			return st, nil
 		}
 		if firstErr == nil {
@@ -373,7 +392,15 @@ func (ln *Linker) dialResolved(res Resolved, kind, name string) (Stream, error) 
 }
 
 // DialOn is Dial with an explicit device (ablation benchmarks).
-func (ln *Linker) DialOn(dev *arbitration.Device, dst *simnet.Node, service string) (Stream, error) {
+func (ln *Linker) DialOn(dev *arbitration.Device, dst *simnet.Node, service string) (st Stream, err error) {
+	tel := ln.telemetry()
+	defer func() {
+		if err == nil {
+			tel.Counter("vlink.dials_ok").Inc()
+		} else {
+			tel.Counter("vlink.dials_failed").Inc()
+		}
+	}()
 	if dev.Kind == simnet.SAN {
 		return ln.dialSAN(dev, dst, service)
 	}
