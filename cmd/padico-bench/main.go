@@ -75,6 +75,7 @@ func writeArtifacts(dir string) error {
 	for _, run := range []func() (bench.Artifact, error){
 		bench.RegistryArtifact,
 		bench.WallArtifact,
+		bench.DataplaneArtifact,
 	} {
 		a, err := run()
 		if err != nil {

@@ -494,14 +494,16 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 }
 
 // top renders a one-line-per-node health table from each node's metrics
-// snapshot: dial rate, resolve and sync-round p99 latency, lease renewals,
-// request count, and the restart generation the supervisor respawned the
-// daemon with.
+// snapshot: dial rate, mux health (pooled sessions and live streams —
+// SESS stays flat while STREAMS churns on a healthy data plane; SESS
+// tracking dial volume means connection pooling is not engaging), resolve
+// and sync-round p99 latency, lease renewals, request count, and the
+// restart generation the supervisor respawned the daemon with.
 func top(out io.Writer, ctl *gatekeeper.Controller, nodes []string) bool {
 	results := ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpMetrics})
 	sort.Slice(results, func(i, j int) bool { return results[i].Node < results[j].Node })
-	fmt.Fprintf(out, "%-8s %9s %12s %12s %9s %9s %9s\n",
-		"NODE", "DIALS/S", "RESOLVE-P99", "SYNC-P99", "RENEWALS", "REQS", "RESTARTS")
+	fmt.Fprintf(out, "%-8s %9s %5s %8s %12s %12s %9s %9s %9s\n",
+		"NODE", "DIALS/S", "SESS", "STREAMS", "RESOLVE-P99", "SYNC-P99", "RENEWALS", "REQS", "RESTARTS")
 	p99 := func(h telemetry.HistStat) string {
 		if h.Count == 0 {
 			return "-"
@@ -521,8 +523,9 @@ func top(out io.Writer, ctl *gatekeeper.Controller, nodes []string) bool {
 		if up := m.Gauge("uptime_ms"); up > 0 {
 			rate = fmt.Sprintf("%.2f", float64(dials)/(float64(up)/1000))
 		}
-		fmt.Fprintf(out, "%-8s %9s %12s %12s %9d %9d %9d\n",
-			r.Node, rate, p99(m.Hist("vlink.resolve")), p99(m.Hist("reg.sync_round")),
+		fmt.Fprintf(out, "%-8s %9s %5d %8d %12s %12s %9d %9d %9d\n",
+			r.Node, rate, m.Gauge("wall.sessions"), m.Gauge("wall.streams_active"),
+			p99(m.Hist("vlink.resolve")), p99(m.Hist("reg.sync_round")),
 			m.Counter("gk.lease_renewals"), m.Counter("gk.requests"),
 			m.Gauge("daemon_restarts"))
 	}

@@ -1,0 +1,248 @@
+package bench
+
+// This file is the hardware-bound data-plane suite (BENCH_dataplane.json):
+// it measures the multiplexed session layer, the pooled framing path and
+// the pipelined control plane against a live loopback grid — the artifacts
+// that prove one TCP connection per node pair, ~zero dials per resolve and
+// an allocation-free framed hot path actually hold on real sockets.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"padico/internal/gatekeeper"
+	"padico/internal/pool"
+	"padico/internal/sockets"
+)
+
+// frameAllocBaseline is the committed pre-pooling cost of one framed
+// encode+decode round (request out, request back in), measured before the
+// shared buffer pool landed: 13 allocations per op. The pooled path must
+// stay strictly below it — TestFramedAllocBudget turns a regression into a
+// CI failure, and the artifact records the live number next to the
+// baseline so the margin is visible in review.
+const frameAllocBaseline = 13
+
+// frameAllocsPerOp measures the allocation cost of one framed round on the
+// pooled encode/decode path: WriteRequest into a reused buffer, ReadRequest
+// back out. JSON marshalling itself accounts for the remaining allocations;
+// the frame buffers come from the pool.
+func frameAllocsPerOp() float64 {
+	req := &gatekeeper.Request{Op: gatekeeper.OpPing, Node: "bench", TraceID: "t-bench"}
+	var buf bytes.Buffer
+	return testing.AllocsPerRun(200, func() {
+		buf.Reset()
+		if err := gatekeeper.WriteRequest(&buf, req); err != nil {
+			panic(err)
+		}
+		if _, err := gatekeeper.ReadRequest(&buf); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// dataplaneBulkBytes is the payload one bulk-throughput round pushes
+// through a wall stream before the sink acks.
+const dataplaneBulkBytes = 8 << 20
+
+// streamThroughput measures one-way bulk throughput in MB/s over a wall
+// stream between two fresh hosts on loopback. With mux enabled the bytes
+// ride DATA frames under flow-control credits; disabling it on the
+// acceptor forces the legacy one-conn-per-dial path, so the pair of
+// numbers bounds the mux framing overhead.
+func streamThroughput(mux bool) (float64, error) {
+	acceptor := sockets.NewWallHost("bench-sink")
+	defer acceptor.Close()
+	if !mux {
+		acceptor.DisableMux()
+	}
+	addr, err := acceptor.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	ln, err := acceptor.Listen("bench:sink")
+	if err != nil {
+		return 0, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c sockets.Conn) {
+				defer c.Close()
+				// Drain the agreed payload, then ack one byte so the
+				// dialer's clock covers full delivery, not just the send.
+				if _, err := io.CopyN(io.Discard, c, dataplaneBulkBytes); err != nil {
+					return
+				}
+				_, _ = c.Write([]byte{1})
+			}(c)
+		}
+	}()
+
+	dialer := sockets.NewWallHost("bench-src")
+	defer dialer.Close()
+	st, err := dialer.DialAddr(addr, "bench:sink")
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+
+	chunk := pool.Get(64 << 10)
+	defer pool.Put(chunk)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	start := time.Now()
+	for sent := 0; sent < dataplaneBulkBytes; sent += len(chunk) {
+		if _, err := st.Write(chunk); err != nil {
+			return 0, err
+		}
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(st, ack[:]); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(dataplaneBulkBytes) / 1e6 / elapsed.Seconds(), nil
+}
+
+// DataplaneArtifact measures the multiplexed, pooled, pipelined data plane
+// end to end on a live loopback grid:
+//
+//   - rtt_*: control ping round-trips on the pooled mux session (no dial,
+//     no connection setup in the measured path);
+//   - dials_per_resolve: real TCP dials consumed by uncached by-name
+//     resolves — ≈0 when session reuse works;
+//   - streams_per_session: logical streams carried per TCP connection;
+//   - pipeline_speedup_x: a lockstep burst of control requests vs the same
+//     burst written back-to-back on one session;
+//   - mux/legacy_stream_mb_s: bulk throughput with and without the mux;
+//   - frame_allocs_op: allocations per framed encode+decode round, against
+//     the committed pre-pooling baseline.
+func DataplaneArtifact() (Artifact, error) {
+	a := Artifact{Name: "dataplane", Grid: benchGrid, Iters: observabilityIters,
+		Metrics: map[string]float64{}}
+	ds, err := benchTrio()
+	if err != nil {
+		return a, err
+	}
+	defer func() {
+		for _, d := range ds {
+			d.Close()
+		}
+	}()
+	dep, err := attachWhenAnnounced(ds[0].Addr(), len(ds))
+	if err != nil {
+		return a, err
+	}
+	defer dep.Close()
+
+	// Ping RTT on the pooled session. The first exchange dialed during
+	// attach; every measured round reuses the same mux stream's session.
+	mean, samples, err := timeOps(observabilityIters, func() error {
+		return dep.Ctl.Ping("b0")
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: mux ping: %w", err)
+	}
+	a.Metrics["rtt_mean_ns"] = mean
+	a.Metrics["rtt_p50_ns"] = percentile(samples, 0.50)
+	a.Metrics["rtt_p99_ns"] = percentile(samples, 0.99)
+
+	// Steady-state dial cost of by-name resolution: cache off, so every
+	// resolve is a registry round-trip — but each rides the pooled session,
+	// so the wall.dials counter (real TCP dials) must stay flat. Hot-load
+	// soap first: its soap:sys listener is the canonical dialable service.
+	if _, err := dep.Ctl.Load("b2", "soap"); err != nil {
+		return a, fmt.Errorf("bench: load soap: %w", err)
+	}
+	rc := dep.Registry()
+	rc.SetCacheTTL(0)
+	primed := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := rc.Resolve("vlink", "soap:sys"); err == nil {
+			break
+		} else if time.Now().After(primed) {
+			return a, fmt.Errorf("bench: priming resolve: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tel := dep.Telemetry()
+	dialsBefore := tel.Counter("wall.dials").Value()
+	for i := 0; i < observabilityIters; i++ {
+		if _, err := rc.Resolve("vlink", "soap:sys"); err != nil {
+			return a, fmt.Errorf("bench: resolve: %w", err)
+		}
+	}
+	dials := tel.Counter("wall.dials").Value() - dialsBefore
+	a.Metrics["dials_per_resolve"] = float64(dials) / float64(observabilityIters)
+
+	// Multiplexing ratio: every logical stream the seat opened, over every
+	// TCP connection it actually dialed.
+	if d := tel.Counter("wall.dials").Value(); d > 0 {
+		a.Metrics["streams_per_session"] = float64(tel.Counter("wall.streams").Value()) / float64(d)
+	}
+
+	// Control-plane pipelining: a burst of pings issued lockstep (each
+	// waiting out its round-trip) vs the same burst written back-to-back on
+	// one session and drained in order.
+	const burst = 16
+	reqs := make([]*gatekeeper.Request, burst)
+	for i := range reqs {
+		reqs[i] = &gatekeeper.Request{Op: gatekeeper.OpPing}
+	}
+	lockstep, _, err := timeOps(50, func() error {
+		for i := 0; i < burst; i++ {
+			if err := dep.Ctl.Ping("b1"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: lockstep burst: %w", err)
+	}
+	pipelined, _, err := timeOps(50, func() error {
+		resps, err := dep.Ctl.DoPipelined("b1", reqs)
+		if err != nil {
+			return err
+		}
+		for _, r := range resps {
+			if err := r.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return a, fmt.Errorf("bench: pipelined burst: %w", err)
+	}
+	a.Metrics["pipeline_burst"] = burst
+	a.Metrics["pipeline_lockstep_ns"] = lockstep
+	a.Metrics["pipeline_ns"] = pipelined
+	if pipelined > 0 {
+		a.Metrics["pipeline_speedup_x"] = lockstep / pipelined
+	}
+
+	// Bulk throughput, mux framing vs legacy conn-per-dial.
+	muxMBs, err := streamThroughput(true)
+	if err != nil {
+		return a, fmt.Errorf("bench: mux throughput: %w", err)
+	}
+	legacyMBs, err := streamThroughput(false)
+	if err != nil {
+		return a, fmt.Errorf("bench: legacy throughput: %w", err)
+	}
+	a.Metrics["mux_stream_mb_s"] = muxMBs
+	a.Metrics["legacy_stream_mb_s"] = legacyMBs
+
+	a.Metrics["frame_allocs_op"] = frameAllocsPerOp()
+	a.Metrics["frame_allocs_baseline"] = frameAllocBaseline
+	return a, nil
+}

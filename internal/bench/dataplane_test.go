@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestFramedAllocBudget is the CI allocation gate on the framed control
+// protocol: one encode+decode round must cost strictly fewer allocations
+// than the committed pre-pooling baseline. A change that reintroduces
+// per-frame buffer churn (dropping the pooled encoder, growing frames on
+// the heap) fails here, not in a benchmark nobody reads.
+func TestFramedAllocBudget(t *testing.T) {
+	got := frameAllocsPerOp()
+	if got >= frameAllocBaseline {
+		t.Fatalf("framed round costs %.1f allocs/op; pre-pooling baseline was %d — the pooled path regressed",
+			got, frameAllocBaseline)
+	}
+	t.Logf("framed round: %.1f allocs/op (baseline %d)", got, frameAllocBaseline)
+}
+
+// TestStreamThroughputSmoke drives the bulk-throughput harness both ways
+// — mux framing and legacy conn-per-dial — so the artifact generator's
+// measured path stays covered by plain `go test`.
+func TestStreamThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live TCP bulk transfer")
+	}
+	for _, mode := range []struct {
+		name string
+		mux  bool
+	}{{"mux", true}, {"legacy", false}} {
+		mbs, err := streamThroughput(mode.mux)
+		if err != nil {
+			t.Fatalf("%s throughput: %v", mode.name, err)
+		}
+		if mbs <= 0 {
+			t.Fatalf("%s throughput = %.1f MB/s", mode.name, mbs)
+		}
+		t.Logf("%s: %.0f MB/s", mode.name, mbs)
+	}
+}

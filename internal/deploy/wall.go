@@ -435,6 +435,11 @@ func (w *WallDeployment) Registries() []string { return append([]string(nil), w.
 // Registry returns the seat's replicated-registry client.
 func (w *WallDeployment) Registry() *gatekeeper.RegistryClient { return w.rc }
 
+// Telemetry returns the seat's own metric/trace registry — where the wall
+// host's session and stream gauges, dial counters and controller traces
+// land. This is the seat's view of the data plane, not any daemon's.
+func (w *WallDeployment) Telemetry() *telemetry.Registry { return w.Host.Telemetry() }
+
 // DialService resolves a published service by name and dials it over the
 // wall transport — through the owning daemon's gateway when the service
 // lives on the process's internal linker.
@@ -442,9 +447,11 @@ func (w *WallDeployment) DialService(kind, name string) (vlink.Stream, error) {
 	return gatekeeper.DialServiceOn(w.Tr, w.rc, kind, name)
 }
 
-// Close releases the seat: the registry session and the dialer. The
-// deployment itself keeps running — that is the point.
+// Close releases the seat: the pooled control sessions, the registry
+// session and the dialer. The deployment itself keeps running — that is
+// the point.
 func (w *WallDeployment) Close() {
+	w.Ctl.Close()
 	w.rc.Close()
 	w.Host.Close()
 }

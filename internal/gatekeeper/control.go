@@ -1,8 +1,13 @@
 package gatekeeper
 
 import (
+	"errors"
 	"fmt"
+	"net"
+	"os"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"padico/internal/core"
 	"padico/internal/orb"
@@ -13,15 +18,59 @@ import (
 // Controller is the PadicoControl client side: it dials gatekeepers from
 // one seat (any process of the deployment, or a wall-clock TCP host) and
 // steers them, one process at a time or fanning out to the whole grid.
+//
+// Connections are pooled per node: the first exchange dials, later ones
+// reuse the live control stream (on the wall clock that stream is one mux
+// stream on the shared per-node-pair session, so steady-state steering
+// performs zero TCP dials). A broken pooled stream is redialed once
+// transparently; a timed-out exchange is not retried — a wedged peer must
+// surface as a fast failure, not a doubled stall.
 type Controller struct {
 	rt  vtime.Runtime
 	tr  orb.Transport
 	tel atomic.Pointer[telemetry.Registry]
+
+	// mu guards the pool map only — never held across network I/O (under
+	// the simulator that would freeze the virtual clock).
+	mu   sync.Mutex
+	pool map[string]*pooledConn
+}
+
+// pooledConn is one node's slot in the controller pool. sem serializes
+// exchanges on the stream (a vtime.Semaphore, so waiting parks correctly
+// under the simulator); mu guards only the conn pointer itself.
+type pooledConn struct {
+	sem *vtime.Semaphore
+	mu  sync.Mutex
+	cn  *Conn
+}
+
+func (pc *pooledConn) get() *Conn {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.cn
+}
+
+func (pc *pooledConn) set(cn *Conn) {
+	pc.mu.Lock()
+	pc.cn = cn
+	pc.mu.Unlock()
+}
+
+// drop clears the slot if it still holds cn, returning it for closing.
+func (pc *pooledConn) drop(cn *Conn) bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.cn != cn {
+		return false
+	}
+	pc.cn = nil
+	return true
 }
 
 // NewController returns a controller dialing through the given transport.
 func NewController(rt vtime.Runtime, tr orb.Transport) *Controller {
-	return &Controller{rt: rt, tr: tr}
+	return &Controller{rt: rt, tr: tr, pool: make(map[string]*pooledConn)}
 }
 
 // FromProcess seats the controller in a Padico process, dialing over its
@@ -65,14 +114,18 @@ func (cn *Conn) Node() string { return cn.node }
 // usable *Response. With seat telemetry configured, an untraced request is
 // stamped with a fresh trace ID before it leaves; the gatekeeper echoes it
 // on the response and records it in its ring.
-func (cn *Conn) Do(req *Request) (*Response, error) {
+func (cn *Conn) Do(req *Request) (*Response, error) { return cn.DoTimeout(req, ControlTimeout) }
+
+// DoTimeout is Do with a caller-chosen exchange deadline — health probes
+// must judge a peer wedged far sooner than ControlTimeout allows.
+func (cn *Conn) DoTimeout(req *Request, d time.Duration) (*Response, error) {
 	if req.TraceID == "" {
 		if id := cn.tel.NextTraceID(); id != "" {
 			req.TraceID = id
 		}
 	}
 	cn.tel.Trace(req.TraceID, "ctl.send", "node="+cn.node+" op="+req.Op)
-	defer ArmControlDeadline(cn.st)()
+	defer ArmDeadline(cn.st, d)()
 	if err := WriteRequest(cn.st, req); err != nil {
 		return nil, fmt.Errorf("gatekeeper: to %s: %w", cn.node, err)
 	}
@@ -83,17 +136,139 @@ func (cn *Conn) Do(req *Request) (*Response, error) {
 	return resp, resp.Err()
 }
 
+// Pipeline issues a batch of requests on this connection as one flight
+// (all writes, then all reads — see the protocol-level Pipeline). Each
+// request is trace-stamped like Do.
+func (cn *Conn) Pipeline(reqs []*Request) ([]*Response, error) {
+	for _, req := range reqs {
+		if req.TraceID == "" {
+			if id := cn.tel.NextTraceID(); id != "" {
+				req.TraceID = id
+			}
+		}
+		cn.tel.Trace(req.TraceID, "ctl.send", "node="+cn.node+" op="+req.Op)
+	}
+	defer ArmControlDeadline(cn.st)()
+	resps, err := Pipeline(cn.st, reqs)
+	if err != nil {
+		return resps, fmt.Errorf("gatekeeper: pipeline to %s: %w", cn.node, err)
+	}
+	return resps, nil
+}
+
 // Close releases the connection.
 func (cn *Conn) Close() { _ = cn.st.Close() }
 
-// Do is a one-shot exchange with the gatekeeper on a node.
+// slot returns a node's pool entry, creating it on first use.
+func (c *Controller) slot(node string) *pooledConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pc, ok := c.pool[node]
+	if !ok {
+		pc = &pooledConn{sem: vtime.NewSemaphore(c.rt, "gatekeeper: control session "+node, 1)}
+		c.pool[node] = pc
+	}
+	return pc
+}
+
+// isTimeout reports an exchange that failed by deadline rather than by a
+// broken stream — the peer is wedged, and redialing would only double the
+// stall.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// exchange runs one operation against a node's pooled connection: dial on
+// first use, retry once on a stale stream (a redeployed or restarted peer
+// breaks the pooled conn; the retry dials fresh), never retry a timeout.
+// op reports (response-or-nil, error); a non-nil response — even an
+// application error — proves the stream healthy.
+func (c *Controller) exchange(node string, op func(cn *Conn) (*Response, error)) (*Response, error) {
+	pc := c.slot(node)
+	if err := pc.sem.Acquire(); err != nil {
+		return nil, fmt.Errorf("gatekeeper: control session %s: %w", node, err)
+	}
+	defer pc.sem.Release()
+	for attempt := 0; ; attempt++ {
+		cn := pc.get()
+		fresh := cn == nil
+		if fresh {
+			var err error
+			if cn, err = c.Dial(node); err != nil {
+				return nil, err
+			}
+			pc.set(cn)
+		}
+		resp, err := op(cn)
+		if err == nil || resp != nil {
+			return resp, err
+		}
+		// Transport failure: the pooled stream is dead either way.
+		if pc.drop(cn) {
+			cn.Close()
+		}
+		if fresh || attempt > 0 || isTimeout(err) {
+			return nil, err
+		}
+	}
+}
+
+// Do is one exchange with the gatekeeper on a node, over the pooled
+// control connection.
 func (c *Controller) Do(node string, req *Request) (*Response, error) {
-	cn, err := c.Dial(node)
+	return c.exchange(node, func(cn *Conn) (*Response, error) { return cn.Do(req) })
+}
+
+// DoTimeout is Do with a caller-chosen exchange deadline and no stale-
+// stream retry on timeout — the health-probe path.
+func (c *Controller) DoTimeout(node string, req *Request, d time.Duration) (*Response, error) {
+	return c.exchange(node, func(cn *Conn) (*Response, error) { return cn.DoTimeout(req, d) })
+}
+
+// DoPipelined issues a batch of requests to one node as a single flight on
+// the pooled connection: one round-trip's latency for the lot. On a stale
+// pooled stream the whole batch is retried once as a unit.
+func (c *Controller) DoPipelined(node string, reqs []*Request) ([]*Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	var resps []*Response
+	_, err := c.exchange(node, func(cn *Conn) (*Response, error) {
+		var err error
+		resps, err = cn.Pipeline(reqs)
+		if err != nil {
+			if len(resps) > 0 {
+				// Mid-batch failure: responses were consumed, so the batch
+				// cannot be replayed safely. Surface a healthy-stream marker
+				// to stop the retry, and the error itself.
+				return &Response{OK: false, Error: err.Error()}, err
+			}
+			return nil, err
+		}
+		return resps[0], nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer cn.Close()
-	return cn.Do(req)
+	return resps, nil
+}
+
+// Close releases every pooled control connection. The controller remains
+// usable afterwards; later exchanges dial afresh.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	pool := c.pool
+	c.pool = make(map[string]*pooledConn)
+	c.mu.Unlock()
+	for _, pc := range pool {
+		if cn := pc.get(); cn != nil && pc.drop(cn) {
+			cn.Close()
+		}
+	}
 }
 
 // Ping round-trips with a node's gatekeeper.

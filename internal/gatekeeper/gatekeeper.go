@@ -53,6 +53,7 @@ type Gatekeeper struct {
 	infoFn     func() NodeInfo // deployment descriptor behind OpInfo
 	annPending bool            // an async announce actor is alive
 	annDirty   bool            // churn happened since it last read the table
+	renewDue   bool            // a lease renewal rides the next announce
 	retired    bool            // Withdraw ran: never announce again
 	closed     bool
 }
@@ -251,8 +252,11 @@ func (g *Gatekeeper) StartLease(ttl time.Duration) error {
 }
 
 // scheduleLease arms the next renewal. The timer callback must not block
-// (Sim runs it on the scheduler's watch), so the announce itself happens
-// on a freshly spawned actor.
+// (Sim runs it on the scheduler's watch), so it only marks the renewal due
+// and kicks the shared announce coalescer: a renewal that lands while
+// module churn is already publishing rides that announce's round-trip
+// instead of paying its own, and a burst of overdue renewals (stalled
+// registry recovering) collapses into one flight.
 func (g *Gatekeeper) scheduleLease() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -260,22 +264,11 @@ func (g *Gatekeeper) scheduleLease() {
 		return
 	}
 	g.leaseTimer = g.rt.AfterFunc(g.leaseTTL/2, func() {
-		g.rt.Go("gatekeeper:lease:"+g.target.NodeName(), func() {
-			g.mu.Lock()
-			closed := g.closed || g.retired
-			g.mu.Unlock()
-			if closed {
-				return
-			}
-			// Best effort: an unreachable registry retries next period.
-			if err := g.Announce(); err == nil {
-				g.renewals.Add(1)
-				g.telemetry().Counter("gk.lease_renewals").Inc()
-			} else {
-				g.telemetry().Counter("gk.lease_renew_failures").Inc()
-			}
-			g.scheduleLease()
-		})
+		g.mu.Lock()
+		g.renewDue = true
+		g.mu.Unlock()
+		g.announceAsync()
+		g.scheduleLease()
 	})
 }
 
@@ -307,8 +300,18 @@ func (g *Gatekeeper) announceAsync() {
 				return
 			}
 			g.annDirty = false
+			renew := g.renewDue
+			g.renewDue = false
 			g.mu.Unlock()
-			_ = g.Announce() // Entries() snapshots the table at publish time
+			err := g.Announce() // Entries() snapshots the table at publish time
+			if renew {
+				if err == nil {
+					g.renewals.Add(1)
+					g.telemetry().Counter("gk.lease_renewals").Inc()
+				} else {
+					g.telemetry().Counter("gk.lease_renew_failures").Inc()
+				}
+			}
 		}
 	})
 }

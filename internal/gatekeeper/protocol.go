@@ -13,12 +13,15 @@
 package gatekeeper
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"padico/internal/pool"
 	"padico/internal/telemetry"
 )
 
@@ -230,28 +233,54 @@ type deadlineConn interface {
 // ArmControlDeadline bounds the reads of one control exchange on st, when
 // the stream supports deadlines (wall conns do, simulated ones do not).
 // The returned disarm clears the deadline so pooled sessions can idle.
-func ArmControlDeadline(st any) (disarm func()) {
+func ArmControlDeadline(st any) (disarm func()) { return ArmDeadline(st, ControlTimeout) }
+
+// ArmDeadline bounds the reads of one exchange on st with a caller-chosen
+// timeout — health probes, for example, must judge a peer wedged far
+// sooner than ControlTimeout allows. No-op on streams without deadlines.
+func ArmDeadline(st any, d time.Duration) (disarm func()) {
 	dc, ok := st.(deadlineConn)
 	if !ok {
 		return func() {}
 	}
-	_ = dc.SetReadDeadline(time.Now().Add(ControlTimeout))
+	_ = dc.SetReadDeadline(time.Now().Add(d))
 	return func() { _ = dc.SetReadDeadline(time.Time{}) }
 }
 
-// writeFrame sends a 4-byte big-endian length followed by the JSON body.
+// frameEncoder is one pooled encode context: the output buffer (length
+// prefix + JSON body built in place) and a json.Encoder bound to it, so a
+// steady-state writeFrame allocates neither a body nor a frame copy.
+type frameEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var frameEncoders = sync.Pool{New: func() any {
+	e := new(frameEncoder)
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// writeFrame sends a 4-byte big-endian length followed by the JSON body in
+// one Write. The body carries json.Encoder's trailing newline, which every
+// decoder (ours and old daemons': json.Unmarshal) ignores as whitespace —
+// the frames stay wire-compatible both directions.
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	e := frameEncoders.Get().(*frameEncoder)
+	defer frameEncoders.Put(e)
+	e.buf.Reset()
+	var lenb [4]byte
+	e.buf.Write(lenb[:]) // length placeholder, patched below
+	if err := e.enc.Encode(v); err != nil {
 		return fmt.Errorf("gatekeeper: encode: %w", err)
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("gatekeeper: frame too large (%d bytes)", len(body))
+	frame := e.buf.Bytes()
+	body := len(frame) - 4
+	if body > maxFrame {
+		return fmt.Errorf("gatekeeper: frame too large (%d bytes)", body)
 	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	_, err = w.Write(frame)
+	binary.BigEndian.PutUint32(frame, uint32(body))
+	_, err := w.Write(frame)
 	return err
 }
 
@@ -264,7 +293,10 @@ func readFrame(r io.Reader, v any) error {
 	if n == 0 || n > maxFrame {
 		return fmt.Errorf("gatekeeper: bad frame size %d", n)
 	}
-	body := make([]byte, n)
+	// The body buffer is pooled: json.Unmarshal copies what it keeps, so
+	// the bytes are recyclable the moment decoding returns.
+	body := pool.Get(int(n))
+	defer pool.Put(body)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
@@ -272,6 +304,29 @@ func readFrame(r io.Reader, v any) error {
 		return fmt.Errorf("gatekeeper: decode: %w", err)
 	}
 	return nil
+}
+
+// Pipeline issues a batch of requests as one flight: every request is
+// written back-to-back onto the stream, then the responses are read in
+// order — N exchanges for one round-trip's worth of latency instead of N.
+// Servers process frames sequentially per stream, so pipelining is
+// compatible with every peer, old daemons included. On error the responses
+// collected so far are returned alongside it.
+func Pipeline(st io.ReadWriter, reqs []*Request) ([]*Response, error) {
+	for _, req := range reqs {
+		if err := WriteRequest(st, req); err != nil {
+			return nil, err
+		}
+	}
+	resps := make([]*Response, 0, len(reqs))
+	for range reqs {
+		resp, err := ReadResponse(st)
+		if err != nil {
+			return resps, err
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
 }
 
 // WriteRequest frames a request onto the stream.

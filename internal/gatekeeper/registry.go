@@ -712,6 +712,18 @@ func (c *RegistryClient) Close() {
 // dead or unreachable. A replica that answers — even with an application
 // error — ends the scan: refusals are answers, not failures.
 func (c *RegistryClient) do(req *Request) (*Response, error) {
+	resps, err := c.doAll([]*Request{req})
+	if err != nil {
+		return nil, err
+	}
+	return resps[0], resps[0].Err()
+}
+
+// doAll performs a batch of exchanges as one pipelined flight on the
+// pooled session (see do for session and failover semantics — the batch
+// fails over and retries as a unit, which is safe for the registry's
+// idempotent, last-writer-wins operations).
+func (c *RegistryClient) doAll(reqs []*Request) ([]*Response, error) {
 	if err := c.sem.Acquire(); err != nil {
 		return nil, err
 	}
@@ -739,13 +751,13 @@ func (c *RegistryClient) do(req *Request) (*Response, error) {
 			errs = append(errs, fmt.Errorf("replica %s unreachable from %s", node, c.tr.NodeName()))
 			continue
 		}
-		resp, err := c.exchange(i, req)
+		resps, err := c.exchangeAll(i, reqs)
 		if err == nil {
 			if pos > 0 {
 				// The sticky replica was unusable and a later one answered.
 				c.telemetry().Counter("regc.failovers").Inc()
 			}
-			return resp, resp.Err()
+			return resps, nil
 		}
 		errs = append(errs, fmt.Errorf("replica %s: %w", node, err))
 	}
@@ -753,10 +765,11 @@ func (c *RegistryClient) do(req *Request) (*Response, error) {
 		c.tr.NodeName(), errors.Join(errs...))
 }
 
-// exchange runs one request/response on replica i, re-dialing once if the
-// pooled session broke since the last exchange (registry restarted, stream
-// torn down). On success the client stays pinned to i.
-func (c *RegistryClient) exchange(i int, req *Request) (*Response, error) {
+// exchangeAll runs a batch of request/responses on replica i — all writes,
+// then all reads, so the batch costs one round-trip — re-dialing once if
+// the pooled session broke since the last exchange (registry restarted,
+// stream torn down). On success the client stays pinned to i.
+func (c *RegistryClient) exchangeAll(i int, reqs []*Request) ([]*Response, error) {
 	if i != c.cur && c.st != nil {
 		_ = c.st.Close()
 		c.st = nil
@@ -772,17 +785,15 @@ func (c *RegistryClient) exchange(i int, req *Request) (*Response, error) {
 			c.st = st
 		}
 		disarm := ArmControlDeadline(c.st)
-		if err := WriteRequest(c.st, req); err != nil {
-			lastErr = err
-		} else {
-			resp, err := ReadResponse(c.st)
-			if err == nil {
-				disarm()
-				return resp, nil
-			}
-			lastErr = err
+		resps, err := Pipeline(c.st, reqs)
+		if err == nil {
+			disarm()
+			return resps, nil
 		}
-		// Broken session: drop it and retry once on a fresh dial.
+		lastErr = err
+		// Broken session: drop it and retry once on a fresh dial. The whole
+		// batch replays — at-least-once, like the single-exchange retry
+		// before it, and safe against the registry's idempotent ops.
 		_ = c.st.Close()
 		c.st = nil
 	}
@@ -902,6 +913,39 @@ func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
 	}
 	c.learnAddrs(resp.Entries)
 	return resp.Entries, nil
+}
+
+// LookupQuery names one lookup in a LookupBatch.
+type LookupQuery struct {
+	Kind string
+	Name string
+}
+
+// LookupBatch answers several lookups in a single pipelined flight on the
+// pooled replica session: all requests are written back-to-back and the
+// responses read in order, so the batch costs one round-trip instead of
+// one per query. Results are positional — out[i] answers queries[i].
+func (c *RegistryClient) LookupBatch(queries []LookupQuery) ([][]Entry, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	reqs := make([]*Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = &Request{Op: OpRegLookup, Kind: q.Kind, Name: q.Name}
+	}
+	resps, err := c.doAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Entry, len(resps))
+	for i, resp := range resps {
+		if err := resp.Err(); err != nil {
+			return nil, fmt.Errorf("lookup %s/%s: %w", queries[i].Kind, queries[i].Name, err)
+		}
+		c.learnAddrs(resp.Entries)
+		out[i] = resp.Entries
+	}
+	return out, nil
 }
 
 // Resolve returns the best dialable entry for a published service name:

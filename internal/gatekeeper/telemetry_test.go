@@ -2,6 +2,7 @@ package gatekeeper
 
 import (
 	"testing"
+	"time"
 
 	"padico/internal/telemetry"
 )
@@ -90,6 +91,10 @@ func TestMetricsOpSim(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		// Advance the virtual clock past a millisecond: pooled control
+		// connections make ping rounds so cheap that the sim clock would
+		// otherwise still read 0 ms when the uptime gauge is stamped.
+		procs[0].Runtime().Sleep(5 * time.Millisecond)
 		snap, err := ctl.Metrics("n1")
 		if err != nil {
 			t.Fatal(err)

@@ -87,6 +87,11 @@ type Options struct {
 	Grace time.Duration
 }
 
+// probeTimeout bounds one health-probe exchange. It matches the wall
+// handshake deadline, so a wedged daemon costs one probe round the same
+// stall whether the probe had to dial or rode a pooled stream.
+const probeTimeout = 5 * time.Second
+
 func (o *Options) fill() {
 	if o.Out == nil {
 		o.Out = io.Discard
@@ -361,7 +366,11 @@ func (s *Supervisor) probeLoop() {
 			go func(name string) {
 				defer wg.Done()
 				start := s.tel.Now()
-				err := s.ctl.Ping(name)
+				// A bounded probe deadline, not ControlTimeout: a wedged
+				// daemon holds its pooled control stream open, and the
+				// babysitter must call it dead within the probe cadence —
+				// not half a minute later.
+				_, err := s.ctl.DoTimeout(name, &gatekeeper.Request{Op: gatekeeper.OpPing}, probeTimeout)
 				rtt := s.tel.Since(start)
 				if err == nil {
 					s.tel.Histogram("launch.probe").Observe(rtt)

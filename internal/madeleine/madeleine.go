@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"padico/internal/pool"
 	"padico/internal/simnet"
 	"padico/internal/vtime"
 )
@@ -36,6 +37,19 @@ type Message struct {
 
 // Len returns the total wire size of the message.
 func (m Message) Len() int { return len(m.Header) + len(m.Payload) }
+
+// Recycle returns the message's buffers to the shared byte pool and empties
+// the message. Strictly opt-in, and only for the message's sole owner:
+// simulated delivery hands the SAME backing arrays to the receiver, so a
+// sender must never recycle a message it has sent in-process, and a
+// receiver may recycle only when its protocol guarantees the sender
+// transferred ownership. When in doubt, don't — skipping Recycle is always
+// correct, it merely leaves the buffers to the garbage collector.
+func (m *Message) Recycle() {
+	pool.Put(m.Header)
+	pool.Put(m.Payload)
+	m.Header, m.Payload = nil, nil
+}
 
 var owners sync.Map // *simnet.Fabric -> *Channel
 

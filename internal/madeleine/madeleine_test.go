@@ -254,3 +254,54 @@ func TestUnpackerCorruptLength(t *testing.T) {
 		t.Fatal("corrupt length accepted")
 	}
 }
+
+// TestPackerOwnershipTransfer pins the pooled-Packer contract: Message
+// empties the Packer, reuse packs a fresh message without disturbing the
+// first, and Recycle + repack runs allocation-free in steady state.
+func TestPackerOwnershipTransfer(t *testing.T) {
+	var p Packer
+	p.Pack([]byte("first-hdr"), Express)
+	p.Pack([]byte("first-bulk"), Cheaper)
+	m1 := p.Message()
+
+	// The Packer relinquished its buffers: the next message must not share
+	// backing with (or clobber) the finalized one.
+	p.Pack([]byte("SECOND-HDR"), Express)
+	m2 := p.Message()
+	if got, _ := NewUnpacker(m1).Unpack(Express); string(got) != "first-hdr" {
+		t.Fatalf("first message corrupted by reuse: header block %q", got)
+	}
+	if got, _ := NewUnpacker(m2).Unpack(Express); string(got) != "SECOND-HDR" {
+		t.Fatalf("second message header block %q", got)
+	}
+	m1.Recycle()
+	m2.Recycle()
+	if m1.Len() != 0 {
+		t.Fatalf("recycled message still reports %d bytes", m1.Len())
+	}
+
+	// Reset drops a half-packed message; the Packer stays usable.
+	p.Pack([]byte("abandoned"), Cheaper)
+	p.Reset()
+	p.Pack([]byte("kept"), Cheaper)
+	m := p.Message()
+	if got, _ := NewUnpacker(m).Unpack(Cheaper); string(got) != "kept" {
+		t.Fatalf("after Reset, payload block %q", got)
+	}
+	m.Recycle()
+
+	// Steady state: pack → finalize → recycle draws every buffer from the
+	// pool. (The Message value itself lives on the stack.)
+	block := bytes.Repeat([]byte{0xAB}, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		var p Packer
+		p.Pack(block, Express)
+		p.Pack(block, Cheaper)
+		p.Pack(block, Cheaper)
+		m := p.Message()
+		m.Recycle()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pack/recycle allocates %.1f per message", allocs)
+	}
+}

@@ -3,12 +3,18 @@ package madeleine
 import (
 	"encoding/binary"
 	"fmt"
+
+	"padico/internal/pool"
 )
 
 // Packer builds a Madeleine message incrementally, mirroring the original
 // begin_packing/pack/end_packing API. Blocks packed in Express mode land in
 // the eagerly-delivered header; Cheaper mode appends to the bulk payload.
 // Each block is length-prefixed so Unpacker can return the exact regions.
+//
+// Packing buffers are drawn from the shared byte pool; Message transfers
+// their ownership out, so a Packer may be reused for the next message
+// without touching the previous one.
 type Packer struct {
 	hdr     []byte
 	payload []byte
@@ -29,19 +35,40 @@ const (
 func (p *Packer) Pack(data []byte, mode PackMode) {
 	var lenbuf [4]byte
 	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(data)))
-	switch mode {
-	case Express:
-		p.hdr = append(p.hdr, lenbuf[:]...)
-		p.hdr = append(p.hdr, data...)
-	default:
-		p.payload = append(p.payload, lenbuf[:]...)
-		p.payload = append(p.payload, data...)
+	if mode == Express {
+		p.hdr = packBlock(p.hdr, lenbuf, data)
+		return
 	}
+	p.payload = packBlock(p.payload, lenbuf, data)
 }
 
-// Message finalizes the packing (end_packing) and returns the wire message.
+// packBlock appends one length-prefixed block, growing buf through the
+// shared pool so steady-state packing recycles backing arrays instead of
+// allocating them.
+func packBlock(buf []byte, lenbuf [4]byte, data []byte) []byte {
+	buf = pool.Grow(buf, len(buf)+4+len(data))
+	buf = append(buf, lenbuf[:]...)
+	return append(buf, data...)
+}
+
+// Message finalizes the packing (end_packing) and returns the wire message,
+// transferring buffer ownership out of the Packer: the Packer is left empty
+// and ready to pack the next message. When the caller is the message's sole
+// owner and done with it, Message.Recycle returns the buffers to the pool —
+// see its caveats before calling it on anything delivered in-process.
 func (p *Packer) Message() Message {
-	return Message{Header: p.hdr, Payload: p.payload}
+	m := Message{Header: p.hdr, Payload: p.payload}
+	p.hdr, p.payload = nil, nil
+	return m
+}
+
+// Reset abandons the message packed so far, recycling its buffers. A
+// previously finalized Message is unaffected — Message transferred those
+// buffers out.
+func (p *Packer) Reset() {
+	pool.Put(p.hdr)
+	pool.Put(p.payload)
+	p.hdr, p.payload = nil, nil
 }
 
 // Unpacker walks a received message block by block.

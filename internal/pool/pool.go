@@ -1,0 +1,101 @@
+// Package pool is the data plane's shared byte-buffer pool: wall mux
+// framing, the gatekeeper protocol's frame encode/decode and madeleine
+// packing all draw their scratch buffers here instead of the heap, so the
+// framed hot paths run allocation-free in steady state.
+//
+// Buffers are recycled in power-of-two size classes between 512 B and
+// 1 MiB. A Get outside that range falls back to a plain allocation and a
+// Put of such a buffer is dropped — the pool is an optimization, never a
+// correctness dependency, and callers may always treat the returned slice
+// as ordinary memory.
+//
+// Each class is a bounded channel freelist rather than a sync.Pool: slice
+// headers move through a channel without boxing, so a steady-state Get/Put
+// cycle performs zero allocations (a sync.Pool of []byte would allocate an
+// interface box or a *[]byte on every Put). Each class retains at most
+// ~256 KiB of idle buffers; overflow falls to the garbage collector.
+package pool
+
+import (
+	"math/bits"
+)
+
+const (
+	minShift = 9  // smallest pooled class: 512 B
+	maxShift = 20 // largest pooled class: 1 MiB
+
+	// classRetain bounds idle memory per class; a class keeps at most
+	// classRetain/size buffers (minimum 4).
+	classRetain = 256 << 10
+)
+
+var classes [maxShift - minShift + 1]chan []byte
+
+func init() {
+	for i := range classes {
+		n := classRetain >> (i + minShift)
+		if n < 4 {
+			n = 4
+		}
+		classes[i] = make(chan []byte, n)
+	}
+}
+
+// classFor returns the index of the smallest class holding n bytes, or -1
+// when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxShift {
+		return -1
+	}
+	s := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if s < minShift {
+		s = minShift
+	}
+	return s - minShift
+}
+
+// Get returns a length-n slice backed by pooled storage (capacity may
+// exceed n). The contents are unspecified — callers must overwrite before
+// reading.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-classes[c]:
+		return b[:n]
+	default:
+		return make([]byte, n, 1<<(c+minShift))
+	}
+}
+
+// Put recycles a buffer obtained from Get (or any slice of a pooled size).
+// Undersized and oversized buffers are dropped silently; the caller must
+// not use b afterwards.
+func Put(b []byte) {
+	c := classFor(cap(b))
+	if c < 0 || cap(b) != 1<<(c+minShift) {
+		return // foreign capacity: let the GC take it
+	}
+	select {
+	case classes[c] <- b[:cap(b)]:
+	default: // class is full: let the GC take it
+	}
+}
+
+// Grow returns a slice with b's contents and capacity for at least need
+// bytes, drawing the larger backing from the pool and recycling the old
+// one when it came from here. The append idiom for pooled buffers:
+//
+//	buf = pool.Grow(buf, len(buf)+n)
+//	buf = append(buf, data...)
+func Grow(b []byte, need int) []byte {
+	if cap(b) >= need {
+		return b
+	}
+	nb := Get(need)[:len(b)]
+	copy(nb[:len(b)], b)
+	Put(b)
+	return nb
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{1, 0}, {512, 0}, {513, 1}, {1024, 1}, {4096, 3},
+		{1 << 20, maxShift - minShift},
+		{1<<20 + 1, -1}, {0, -1}, {-5, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(700)
+	if len(b) != 700 || cap(b) != 1024 {
+		t.Fatalf("Get(700): len=%d cap=%d, want 700/1024", len(b), cap(b))
+	}
+	Put(b)
+	// Oversized requests degrade to plain allocations.
+	big := Get(2 << 20)
+	if len(big) != 2<<20 {
+		t.Fatalf("Get(2MiB): len=%d", len(big))
+	}
+	Put(big) // must not panic or poison a class
+}
+
+func TestGrowPreservesContents(t *testing.T) {
+	b := Get(16)
+	copy(b, "0123456789abcdef")
+	b = Grow(b, 5000)
+	if cap(b) < 5000 {
+		t.Fatalf("Grow: cap=%d, want >= 5000", cap(b))
+	}
+	if !bytes.Equal(b[:16], []byte("0123456789abcdef")) {
+		t.Fatalf("Grow lost contents: %q", b[:16])
+	}
+	Put(b)
+}
+
+func TestGetZeroAlloc(t *testing.T) {
+	// Warm the class, then verify steady-state Get/Put does not allocate.
+	Put(Get(4096))
+	n := testing.AllocsPerRun(100, func() {
+		b := Get(4096)
+		Put(b)
+	})
+	if n > 0 {
+		t.Fatalf("Get/Put allocated %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,711 @@
+package sockets
+
+// The wall mux: one long-lived TCP connection per node pair carrying many
+// logical streams, replacing conn-per-dial on the wall data plane.
+//
+// A dialer that wants a multiplexed session sends the ordinary name
+// preamble with the reserved service name muxService. A mux-aware acceptor
+// ACKs and both ends switch to framed mode; an old daemon fails the name
+// through its fallback gateway and NAKs, and the dialer transparently
+// falls back to the legacy conn-per-dial protocol (remembering the peer as
+// legacy so later dials skip the probe).
+//
+// Framed mode: every frame is a 9-byte header [type:1][stream:4][len:4]
+// (big-endian) followed by len payload bytes. Stream IDs are chosen by the
+// opener — odd from the connection's TCP dialer, even from its acceptor —
+// so both ends can open streams without collision. Flow control is
+// credit-based: each receiver grants muxWindow bytes per stream up front
+// and returns credit as the application consumes, so one saturated stream
+// cannot wedge the shared connection. DATA payloads are chunked at
+// muxMaxFrame to keep the mux fair between streams.
+//
+// Sessions a host dialed are pooled by endpoint and reused by every
+// subsequent DialAddr; an accepted session is adopted into the same pool
+// under the dialer's advertised endpoint (carried by its HELLO frame), so
+// a node pair genuinely shares one connection in both directions. A pooled
+// session with no streams is reaped after muxIdleTimeout; a session whose
+// connection dies fails every in-flight stream fast, and the next dial
+// re-establishes it.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"padico/internal/pool"
+	"padico/internal/telemetry"
+)
+
+// muxService is the reserved preamble name that upgrades a wall connection
+// to a multiplexed session. The "/1" is the framing version.
+const muxService = "padico:mux/1"
+
+// Frame types.
+const (
+	frameSYN    = 1 // open a stream; payload = service name
+	frameACK    = 2 // stream accepted
+	frameNAK    = 3 // stream refused (no such service)
+	frameDATA   = 4 // stream payload chunk
+	frameFIN    = 5 // clean end-of-stream from the sender
+	frameRST    = 6 // abrupt stream abort / data for an unknown stream
+	frameCREDIT = 7 // payload = 4-byte BE flow-control grant (bytes)
+	frameHELLO  = 8 // payload = dialer's advertised endpoint, for pooling
+)
+
+const muxHeaderLen = 9
+
+// muxFrameLimit is the hard protocol bound on one frame's payload; larger
+// lengths mark a corrupt or hostile peer and kill the session.
+const muxFrameLimit = 1 << 20
+
+// Tunables — vars so tests can shrink windows and reap timers.
+var (
+	// muxWindow is the initial (and maximum outstanding) per-stream
+	// receive window granted to the peer.
+	muxWindow = uint32(256 << 10)
+	// muxMaxFrame caps one DATA frame's payload, bounding per-frame pool
+	// buffers and keeping concurrent streams interleaved fairly.
+	muxMaxFrame = 64 << 10
+	// muxIdleTimeout reaps a pooled session that has had no streams for
+	// this long; zero or negative disables reaping.
+	muxIdleTimeout = 45 * time.Second
+)
+
+// errMuxUnsupported reports a peer that NAKed the mux preamble — an old
+// daemon; the dialer falls back to the legacy conn-per-dial protocol.
+var errMuxUnsupported = errors.New("sockets: peer does not speak the wall mux")
+
+// muxSession is one multiplexed wall connection and its live streams.
+type muxSession struct {
+	h      *WallHost
+	nc     net.Conn
+	addr   string // remote endpoint (dial address, or RemoteAddr when accepted)
+	client bool   // we dialed the underlying TCP connection
+
+	// Write path: one mutex serializes frames; header and vector storage
+	// are reused so a steady-state DATA frame allocates nothing and lands
+	// in a single writev syscall.
+	wmu   sync.Mutex
+	whdr  [muxHeaderLen]byte
+	warr  [2][]byte
+	wbufs net.Buffers
+
+	mu      sync.Mutex
+	streams map[uint32]*muxStream
+	nextID  uint32
+	poolKey string // h.sessions key this session is pooled under ("" = unpooled); guarded by h.mu
+	dead    bool
+	idle    *time.Timer
+
+	// Cached telemetry handles (nil-safe when the host has no registry).
+	bin, bout, fin, fout *telemetry.Counter
+	streamsTotal         *telemetry.Counter
+	gSessions, gStreams  *telemetry.Gauge
+}
+
+// newMuxSession registers a session with the host. Returns nil when the
+// host is already closed.
+func (h *WallHost) newMuxSession(nc net.Conn, addr string, client bool) *muxSession {
+	tel := h.telemetry()
+	s := &muxSession{
+		h:            h,
+		nc:           nc,
+		addr:         addr,
+		client:       client,
+		streams:      make(map[uint32]*muxStream),
+		bin:          tel.Counter("wall.bytes_in"),
+		bout:         tel.Counter("wall.bytes_out"),
+		fin:          tel.Counter("wall.frames_in"),
+		fout:         tel.Counter("wall.frames_out"),
+		streamsTotal: tel.Counter("wall.streams"),
+		gSessions:    tel.Gauge("wall.sessions"),
+		gStreams:     tel.Gauge("wall.streams_active"),
+	}
+	if client {
+		s.nextID = 1 // TCP dialer opens odd streams, acceptor even
+	} else {
+		s.nextID = 2
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.muxLive[s] = struct{}{}
+	h.mu.Unlock()
+	s.gSessions.Add(1)
+	return s
+}
+
+// sendFrame writes one frame under the session write lock. Header and
+// payload are coalesced into a single vectored write (one syscall on TCP);
+// the header buffer and io vector are session-owned, so the steady state
+// allocates nothing.
+func (s *muxSession) sendFrame(t byte, id uint32, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.whdr[0] = t
+	binary.BigEndian.PutUint32(s.whdr[1:5], id)
+	binary.BigEndian.PutUint32(s.whdr[5:9], uint32(len(payload)))
+	var n int64
+	var err error
+	if len(payload) == 0 {
+		var m int
+		m, err = s.nc.Write(s.whdr[:])
+		n = int64(m)
+	} else {
+		s.wbufs = append(net.Buffers(s.warr[:0]), s.whdr[:], payload)
+		n, err = s.wbufs.WriteTo(s.nc)
+	}
+	if n > 0 {
+		s.bout.Add(n)
+		s.fout.Inc()
+	}
+	return err
+}
+
+// readLoop owns the receive side of the connection until it dies, then
+// tears the session down.
+func (s *muxSession) readLoop() {
+	var hdr [muxHeaderLen]byte
+	var err error
+	for {
+		if _, err = io.ReadFull(s.nc, hdr[:]); err != nil {
+			break
+		}
+		t := hdr[0]
+		id := binary.BigEndian.Uint32(hdr[1:5])
+		n := int(binary.BigEndian.Uint32(hdr[5:9]))
+		if n > muxFrameLimit {
+			err = fmt.Errorf("sockets: wall mux frame of %d bytes from %s exceeds protocol limit", n, s.addr)
+			break
+		}
+		var payload []byte
+		if n > 0 {
+			payload = pool.Get(n)
+			if _, err = io.ReadFull(s.nc, payload); err != nil {
+				pool.Put(payload)
+				break
+			}
+		}
+		s.bin.Add(int64(muxHeaderLen + n))
+		s.fin.Inc()
+		if err = s.dispatch(t, id, payload); err != nil {
+			break
+		}
+	}
+	s.teardown(err)
+}
+
+// dispatch routes one received frame. It takes ownership of the pooled
+// payload buffer.
+func (s *muxSession) dispatch(t byte, id uint32, payload []byte) error {
+	switch t {
+	case frameSYN:
+		service := string(payload)
+		pool.Put(payload)
+		// Accept runs off the read loop: the fallback gateway may dial
+		// local services, and a slow accept must not stall other streams.
+		go s.acceptStream(id, service)
+	case frameACK:
+		pool.Put(payload)
+		if st := s.lookup(id); st != nil {
+			select {
+			case st.syn <- nil:
+			default:
+			}
+		}
+	case frameNAK:
+		pool.Put(payload)
+		if st := s.take(id); st != nil {
+			select {
+			case st.syn <- fmt.Errorf("%w: no service %q at %s", ErrRefused, st.service, s.addr):
+			default:
+			}
+		}
+	case frameDATA:
+		st := s.lookup(id)
+		if st == nil {
+			pool.Put(payload)
+			// The stream is gone on our side (closed, timed out): tell the
+			// peer so it stops sending.
+			return s.sendFrame(frameRST, id, nil)
+		}
+		st.push(payload)
+	case frameFIN:
+		pool.Put(payload)
+		if st := s.lookup(id); st != nil {
+			st.finish()
+		}
+	case frameRST:
+		pool.Put(payload)
+		if st := s.take(id); st != nil {
+			st.fail(fmt.Errorf("sockets: wall stream %d reset by %s", id, s.addr))
+		}
+	case frameCREDIT:
+		if len(payload) == 4 {
+			if st := s.lookup(id); st != nil {
+				st.credit(binary.BigEndian.Uint32(payload))
+			}
+		}
+		pool.Put(payload)
+	case frameHELLO:
+		addr := string(payload)
+		pool.Put(payload)
+		s.h.adoptSession(s, addr)
+	default:
+		pool.Put(payload)
+		return fmt.Errorf("sockets: unknown wall mux frame type %d from %s", t, s.addr)
+	}
+	return nil
+}
+
+// open starts a stream toward the peer and waits (until deadline) for its
+// ACK or NAK.
+func (s *muxSession) open(service string, deadline time.Time) (*muxStream, error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sockets: wall session to %s is down", s.addr)
+	}
+	id := s.nextID
+	s.nextID += 2
+	s.mu.Unlock()
+	st := s.newStream(id, service, s.addr)
+	if st == nil {
+		return nil, fmt.Errorf("sockets: wall session to %s is down", s.addr)
+	}
+	if err := s.sendFrame(frameSYN, id, []byte(service)); err != nil {
+		s.removeStream(st)
+		return nil, fmt.Errorf("sockets: wall mux open %q at %s: %w", service, s.addr, err)
+	}
+	var tch <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		tch = timer.C
+	}
+	select {
+	case err := <-st.syn:
+		if err != nil {
+			s.removeStream(st)
+			return nil, err
+		}
+		return st, nil
+	case <-tch:
+		s.removeStream(st)
+		return nil, fmt.Errorf("sockets: wall mux open %q at %s: %w", service, s.addr, os.ErrDeadlineExceeded)
+	}
+}
+
+// acceptStream handles one inbound SYN: route to a registered service, the
+// fallback gateway, or NAK. Runs in its own goroutine.
+func (s *muxSession) acceptStream(id uint32, service string) {
+	h := s.h
+	h.mu.Lock()
+	l, ok := h.services[service]
+	fb := h.fallback
+	h.mu.Unlock()
+
+	var local io.ReadWriteCloser
+	if !ok && fb != nil {
+		var err error
+		if local, err = fb(service); err != nil {
+			local = nil
+		}
+	}
+	if !ok && local == nil {
+		h.telemetry().Counter("wall.handshake_naks").Inc()
+		_ = s.sendFrame(frameNAK, id, nil)
+		return
+	}
+	// Register before ACKing: once the peer sees the ACK its DATA frames
+	// must find the stream.
+	st := s.newStream(id, service, s.addr)
+	if st == nil {
+		if local != nil {
+			local.Close()
+		}
+		return
+	}
+	if err := s.sendFrame(frameACK, id, nil); err != nil {
+		if local != nil {
+			local.Close()
+		}
+		return // session is dying; teardown cleans the stream up
+	}
+	h.telemetry().Counter("wall.accepts").Inc()
+	if ok {
+		l.deliver(st)
+		return
+	}
+	proxy(st, local)
+}
+
+// newStream creates and registers a stream. Returns nil when the session
+// is already dead.
+func (s *muxSession) newStream(id uint32, service, remote string) *muxStream {
+	st := &muxStream{
+		s:       s,
+		id:      id,
+		service: service,
+		local:   s.h.name,
+		remote:  remote,
+		syn:     make(chan error, 1),
+		window:  muxWindow,
+		wcredit: muxWindow,
+	}
+	st.rcond = sync.NewCond(&st.mu)
+	st.wcond = sync.NewCond(&st.mu)
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle != nil {
+		s.idle.Stop()
+		s.idle = nil
+	}
+	s.streams[id] = st
+	s.mu.Unlock()
+	s.gStreams.Add(1)
+	s.streamsTotal.Inc()
+	return st
+}
+
+func (s *muxSession) lookup(id uint32) *muxStream {
+	s.mu.Lock()
+	st := s.streams[id]
+	s.mu.Unlock()
+	return st
+}
+
+// take removes and returns a stream (nil when unknown).
+func (s *muxSession) take(id uint32) *muxStream {
+	s.mu.Lock()
+	st := s.streams[id]
+	if st != nil {
+		delete(s.streams, id)
+		s.noteRemovalLocked()
+	}
+	s.mu.Unlock()
+	if st != nil {
+		s.gStreams.Add(-1)
+	}
+	return st
+}
+
+// removeStream drops a stream from the table if it is still registered.
+func (s *muxSession) removeStream(st *muxStream) {
+	s.mu.Lock()
+	found := s.streams[st.id] == st
+	if found {
+		delete(s.streams, st.id)
+		s.noteRemovalLocked()
+	}
+	s.mu.Unlock()
+	if found {
+		s.gStreams.Add(-1)
+	}
+}
+
+// noteRemovalLocked arms the idle reaper when the last stream leaves a
+// pooled dialer-side session. Caller holds s.mu.
+func (s *muxSession) noteRemovalLocked() {
+	if !s.client || s.dead || len(s.streams) != 0 || muxIdleTimeout <= 0 {
+		return
+	}
+	if s.idle != nil {
+		s.idle.Stop()
+	}
+	s.idle = time.AfterFunc(muxIdleTimeout, s.reapIfIdle)
+}
+
+// reapIfIdle retires a session that is still streamless when the idle
+// timer fires.
+func (s *muxSession) reapIfIdle() {
+	s.mu.Lock()
+	busy := s.dead || len(s.streams) != 0
+	s.mu.Unlock()
+	if busy {
+		return
+	}
+	s.teardown(nil)
+}
+
+// teardown kills the session: the connection closes, the host forgets it,
+// and every in-flight stream fails fast. Idempotent; cause nil means a
+// deliberate (idle/shutdown) close.
+func (s *muxSession) teardown(cause error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	if s.idle != nil {
+		s.idle.Stop()
+		s.idle = nil
+	}
+	sts := make([]*muxStream, 0, len(s.streams))
+	for _, st := range s.streams {
+		sts = append(sts, st)
+	}
+	s.streams = make(map[uint32]*muxStream)
+	s.mu.Unlock()
+
+	_ = s.nc.Close()
+	s.h.dropSessionRefs(s)
+	s.gSessions.Add(-1)
+	s.gStreams.Add(-int64(len(sts)))
+
+	err := fmt.Errorf("sockets: wall session to %s closed", s.addr)
+	if cause != nil {
+		err = fmt.Errorf("sockets: wall session to %s lost: %w", s.addr, cause)
+	}
+	for _, st := range sts {
+		st.fail(err)
+	}
+}
+
+// muxStream is one logical stream on a session; it implements Conn (plus
+// SetReadDeadline, which the gatekeeper's control-deadline helper relies
+// on).
+type muxStream struct {
+	s       *muxSession
+	id      uint32
+	service string
+	local   string
+	remote  string
+
+	syn chan error // ACK/NAK/teardown outcome for an open() in flight
+
+	mu     sync.Mutex
+	rcond  *sync.Cond
+	wcond  *sync.Cond
+	rbuf   [][]byte // pooled receive chunks; rpos indexes into rbuf[0]
+	rpos   int
+	rFIN   bool
+	closed bool
+	failed error
+
+	window   uint32 // initial receive window granted to the peer
+	consumed uint32 // bytes read since the last credit grant
+	wcredit  uint32 // send credit remaining
+
+	rdl      time.Time
+	rdlTimer *time.Timer
+}
+
+func (st *muxStream) LocalAddr() string  { return st.local }
+func (st *muxStream) RemoteAddr() string { return st.remote }
+
+// setRemote relabels the peer (WallHost.Dial stamps the node name over the
+// raw endpoint).
+func (st *muxStream) setRemote(node string) { st.remote = node }
+
+// push appends one received DATA chunk, taking ownership of the pooled
+// buffer.
+func (st *muxStream) push(chunk []byte) {
+	st.mu.Lock()
+	if st.failed != nil || st.closed || st.rFIN {
+		st.mu.Unlock()
+		pool.Put(chunk)
+		return
+	}
+	st.rbuf = append(st.rbuf, chunk)
+	st.rcond.Signal()
+	st.mu.Unlock()
+}
+
+// finish marks the peer's clean end-of-stream.
+func (st *muxStream) finish() {
+	st.mu.Lock()
+	st.rFIN = true
+	st.rcond.Broadcast()
+	st.mu.Unlock()
+}
+
+// fail terminates the stream with an error: pending and future reads and
+// writes return it, buffered data is recycled, and any open() in flight is
+// released.
+func (st *muxStream) fail(err error) {
+	st.mu.Lock()
+	if st.failed == nil {
+		st.failed = err
+	}
+	st.recycleLocked()
+	st.rcond.Broadcast()
+	st.wcond.Broadcast()
+	st.mu.Unlock()
+	select {
+	case st.syn <- err:
+	default:
+	}
+}
+
+// recycleLocked returns buffered receive chunks to the pool. Caller holds
+// st.mu.
+func (st *muxStream) recycleLocked() {
+	for _, c := range st.rbuf {
+		pool.Put(c)
+	}
+	st.rbuf = nil
+	st.rpos = 0
+}
+
+func (st *muxStream) Read(p []byte) (int, error) {
+	st.mu.Lock()
+	for {
+		if st.failed != nil {
+			err := st.failed
+			st.mu.Unlock()
+			return 0, err
+		}
+		if st.closed {
+			st.mu.Unlock()
+			return 0, fmt.Errorf("%w: wall stream %q", ErrClosed, st.service)
+		}
+		if len(st.rbuf) > 0 {
+			break
+		}
+		if st.rFIN {
+			st.mu.Unlock()
+			return 0, io.EOF
+		}
+		if dl := st.rdl; !dl.IsZero() && !time.Now().Before(dl) {
+			st.mu.Unlock()
+			return 0, os.ErrDeadlineExceeded
+		}
+		if len(p) == 0 {
+			st.mu.Unlock()
+			return 0, nil
+		}
+		st.rcond.Wait()
+	}
+	n := 0
+	for n < len(p) && len(st.rbuf) > 0 {
+		c := st.rbuf[0]
+		m := copy(p[n:], c[st.rpos:])
+		n += m
+		st.rpos += m
+		if st.rpos == len(c) {
+			pool.Put(c)
+			st.rbuf[0] = nil
+			st.rbuf = st.rbuf[1:]
+			st.rpos = 0
+		}
+	}
+	// Return credit once half the window has been consumed — frequent
+	// enough to keep the peer streaming, batched enough to stay cheap.
+	var grant uint32
+	st.consumed += uint32(n)
+	if st.consumed >= st.window/2 || st.consumed >= st.window {
+		grant = st.consumed
+		st.consumed = 0
+	}
+	st.mu.Unlock()
+	if grant > 0 {
+		var g [4]byte
+		binary.BigEndian.PutUint32(g[:], grant)
+		_ = st.s.sendFrame(frameCREDIT, st.id, g[:])
+	}
+	return n, nil
+}
+
+func (st *muxStream) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		st.mu.Lock()
+		for {
+			if st.failed != nil {
+				err := st.failed
+				st.mu.Unlock()
+				return total, err
+			}
+			if st.closed {
+				st.mu.Unlock()
+				return total, fmt.Errorf("%w: wall stream %q", ErrClosed, st.service)
+			}
+			if st.wcredit > 0 {
+				break
+			}
+			st.wcond.Wait()
+		}
+		n := len(p)
+		if n > muxMaxFrame {
+			n = muxMaxFrame
+		}
+		if uint32(n) > st.wcredit {
+			n = int(st.wcredit)
+		}
+		st.wcredit -= uint32(n)
+		st.mu.Unlock()
+		// The chunk is written synchronously under the session write lock,
+		// so p is never retained: a zero-copy send.
+		if err := st.s.sendFrame(frameDATA, st.id, p[:n]); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// credit adds peer-granted send window and wakes blocked writers.
+func (st *muxStream) credit(grant uint32) {
+	st.mu.Lock()
+	st.wcredit += grant
+	st.wcond.Broadcast()
+	st.mu.Unlock()
+}
+
+// Close ends the stream locally: the peer sees a clean FIN, later local
+// operations fail, and the stream leaves the session table (arming the
+// idle reaper when it was the last).
+func (st *muxStream) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	alreadyDead := st.failed != nil
+	st.recycleLocked()
+	if st.rdlTimer != nil {
+		st.rdlTimer.Stop()
+		st.rdlTimer = nil
+	}
+	st.rcond.Broadcast()
+	st.wcond.Broadcast()
+	st.mu.Unlock()
+	st.s.removeStream(st)
+	if !alreadyDead {
+		_ = st.s.sendFrame(frameFIN, st.id, nil)
+	}
+	return nil
+}
+
+// SetReadDeadline bounds blocked Reads, satisfying the control plane's
+// deadline interface. The zero time clears the deadline.
+func (st *muxStream) SetReadDeadline(t time.Time) error {
+	st.mu.Lock()
+	st.rdl = t
+	if st.rdlTimer != nil {
+		st.rdlTimer.Stop()
+		st.rdlTimer = nil
+	}
+	if !t.IsZero() {
+		if d := time.Until(t); d > 0 {
+			st.rdlTimer = time.AfterFunc(d, st.rcond.Broadcast)
+		}
+	}
+	st.rcond.Broadcast()
+	st.mu.Unlock()
+	return nil
+}

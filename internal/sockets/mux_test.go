@@ -1,0 +1,401 @@
+package sockets
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHost builds a listening WallHost with an "echo" service that copies
+// every stream back to its sender.
+func echoHost(t *testing.T, name string) (*WallHost, string) {
+	t.Helper()
+	h := NewWallHost(name)
+	addr, err := h.ListenTCP("")
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	l, err := h.Listen("echo")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c Conn) {
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { h.Close() })
+	return h, addr
+}
+
+// roundTrip writes msg on a fresh stream and expects it echoed back.
+func roundTrip(t *testing.T, h *WallHost, addr string, msg string) {
+	t.Helper()
+	c, err := h.DialAddr(addr, "echo")
+	if err != nil {
+		t.Fatalf("DialAddr: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if string(got) != msg {
+		t.Fatalf("echo mismatch: got %q want %q", got, msg)
+	}
+}
+
+// dialerHost builds a dial-only host that is torn down with the test.
+func dialerHost(t *testing.T, name string) *WallHost {
+	t.Helper()
+	h := NewWallHost(name)
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// TestMuxSessionReuse is the tentpole invariant: many dials to one node
+// ride one TCP connection.
+func TestMuxSessionReuse(t *testing.T) {
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	var conns []Conn
+	for i := 0; i < 10; i++ {
+		c, err := d.DialAddr(addr, "echo")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	d.mu.Lock()
+	nsess := len(d.sessions)
+	d.mu.Unlock()
+	if nsess != 1 {
+		t.Fatalf("10 dials created %d sessions, want 1", nsess)
+	}
+	for i, c := range conns {
+		msg := fmt.Sprintf("stream-%d", i)
+		if _, err := c.Write([]byte(msg)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, c := range conns {
+		want := fmt.Sprintf("stream-%d", i)
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(c, got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("stream %d: got %q want %q", i, got, want)
+		}
+		c.Close()
+	}
+}
+
+// TestMuxBulkTransfer pushes well past the flow-control window both ways.
+func TestMuxBulkTransfer(t *testing.T) {
+	defer func(w uint32) { muxWindow = w }(muxWindow)
+	muxWindow = 8 << 10 // force many credit round-trips
+
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	c, err := d.DialAddr(addr, "echo")
+	if err != nil {
+		t.Fatalf("DialAddr: %v", err)
+	}
+	defer c.Close()
+
+	payload := bytes.Repeat([]byte("padico-data-plane!"), 32<<10/18+1) // ~32 KiB > 4 windows
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(payload)
+		done <- err
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("bulk payload corrupted in transit")
+	}
+}
+
+// TestMuxConcurrentStreams hammers one session from many goroutines —
+// run under -race this is the mux's data-race check.
+func TestMuxConcurrentStreams(t *testing.T) {
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := d.DialAddr(addr, "echo")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			msg := bytes.Repeat([]byte{byte('a' + i%26)}, 4096)
+			if _, err := c.Write(msg); err != nil {
+				errs <- err
+				return
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- fmt.Errorf("stream %d corrupted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxLegacyFallback dials a host that refuses the mux (an old daemon):
+// the dial must transparently fall back to conn-per-dial and remember.
+func TestMuxLegacyFallback(t *testing.T) {
+	h, addr := echoHost(t, "old")
+	h.DisableMux()
+	d := dialerHost(t, "cli")
+
+	roundTrip(t, d, addr, "legacy-1")
+	roundTrip(t, d, addr, "legacy-2")
+
+	d.mu.Lock()
+	leg, nsess := d.legacy[addr], len(d.sessions)
+	d.mu.Unlock()
+	if !leg {
+		t.Fatal("endpoint not remembered as legacy after mux NAK")
+	}
+	if nsess != 0 {
+		t.Fatalf("legacy peer left %d pooled sessions, want 0", nsess)
+	}
+	if got := d.telemetry().Counter("wall.mux_fallbacks").Value(); got != 0 {
+		t.Fatalf("fallback counter without telemetry registry: %d", got) // nil-safe path
+	}
+}
+
+// TestMuxRefusedService: a NAKed stream must surface ErrRefused without
+// poisoning the session for later dials.
+func TestMuxRefusedService(t *testing.T) {
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	if _, err := d.DialAddr(addr, "no-such-service"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial of unknown service: err=%v, want ErrRefused", err)
+	}
+	roundTrip(t, d, addr, "still-works")
+}
+
+// TestMuxSessionLossRecovery is the satellite-3 contract: kill the
+// underlying TCP connection mid-stream; in-flight streams must error fast
+// and the next dial must transparently re-establish the session.
+func TestMuxSessionLossRecovery(t *testing.T) {
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	c, err := d.DialAddr(addr, "echo")
+	if err != nil {
+		t.Fatalf("DialAddr: %v", err)
+	}
+	// Park a reader mid-stream, then cut the session underneath it.
+	readErr := make(chan error, 1)
+	go func() {
+		var b [1]byte
+		_, err := c.Read(b[:])
+		readErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader park
+	if n := d.DropSessions(); n != 1 {
+		t.Fatalf("DropSessions dropped %d sessions, want 1", n)
+	}
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("read on killed session returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight read did not fail after session loss")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on killed session returned nil error")
+	}
+	c.Close()
+
+	// The next dial must re-establish the session transparently.
+	roundTrip(t, d, addr, "recovered")
+	d.mu.Lock()
+	nsess := len(d.sessions)
+	d.mu.Unlock()
+	if nsess != 1 {
+		t.Fatalf("after recovery: %d pooled sessions, want 1", nsess)
+	}
+}
+
+// TestMuxIdleReap: a streamless session is retired after the idle timeout
+// and the next dial builds a new one.
+func TestMuxIdleReap(t *testing.T) {
+	defer func(d time.Duration) { muxIdleTimeout = d }(muxIdleTimeout)
+	muxIdleTimeout = 50 * time.Millisecond
+
+	_, addr := echoHost(t, "srv")
+	d := dialerHost(t, "cli")
+
+	roundTrip(t, d, addr, "before-reap")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		d.mu.Lock()
+		n := len(d.sessions)
+		d.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session not reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	roundTrip(t, d, addr, "after-reap")
+}
+
+// TestMuxReverseAdoption: when two listening hosts dial each other, the
+// second direction reuses the first's connection — one conn per node pair.
+func TestMuxReverseAdoption(t *testing.T) {
+	ha, addrA := echoHost(t, "a")
+	hb, addrB := echoHost(t, "b")
+	// Each host must know its own advertised endpoint for the HELLO.
+	ha.Register("a", addrA)
+	hb.Register("b", addrB)
+
+	roundTrip(t, ha, addrB, "forward")
+
+	// b should have adopted a's session under a's advertised endpoint and
+	// reuse it for the reverse dial instead of opening a second conn.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hb.mu.Lock()
+		_, adopted := hb.sessions[addrA]
+		hb.mu.Unlock()
+		if adopted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("acceptor never adopted the dialer's session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	roundTrip(t, hb, addrA, "reverse")
+	hb.mu.Lock()
+	rev := hb.sessions[addrA]
+	hb.mu.Unlock()
+	if rev == nil || rev.s == nil || rev.s.client {
+		t.Fatal("reverse dial did not reuse the adopted (accepted) session")
+	}
+}
+
+// TestDialHandshakeSingleDeadline is the satellite-1 contract: a peer that
+// accepts TCP but never answers the preamble stalls the dialer for at most
+// ~one handshakeTimeout, not one per handshake phase.
+func TestDialHandshakeSingleDeadline(t *testing.T) {
+	defer func(d time.Duration) { handshakeTimeout = d }(handshakeTimeout)
+	handshakeTimeout = 300 * time.Millisecond
+
+	// A raw listener that accepts and then says nothing.
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer nl.Close()
+	go func() {
+		for {
+			c, err := nl.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold the conn open, answer nothing
+		}
+	}()
+
+	d := dialerHost(t, "cli")
+	start := time.Now()
+	_, err = d.DialAddr(nl.Addr().String(), "echo")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial of a mute peer succeeded")
+	}
+	if elapsed > 2*handshakeTimeout {
+		t.Fatalf("dial stalled %v — deadline applied per phase, want one bound of ~%v", elapsed, handshakeTimeout)
+	}
+}
+
+// TestMuxStreamCloseEOF: closing the dialer's end delivers a clean EOF to
+// the acceptor, not an error.
+func TestMuxStreamCloseEOF(t *testing.T) {
+	h := NewWallHost("srv")
+	addr, err := h.ListenTCP("")
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer h.Close()
+	l, err := h.Listen("sink")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		defer c.Close()
+		_, err = io.ReadAll(c)
+		got <- err
+	}()
+
+	d := dialerHost(t, "cli")
+	c, err := d.DialAddr(addr, "sink")
+	if err != nil {
+		t.Fatalf("DialAddr: %v", err)
+	}
+	if _, err := c.Write([]byte("tail")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c.Close()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("acceptor read after peer close: %v, want clean EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acceptor never saw EOF")
+	}
+}

@@ -95,3 +95,7 @@ type tcpConn struct {
 
 func (c *tcpConn) LocalAddr() string  { return c.local }
 func (c *tcpConn) RemoteAddr() string { return c.remote }
+
+// setRemote relabels the peer; WallHost.Dial stamps the node name over the
+// raw endpoint on whatever conn type the dial produced.
+func (c *tcpConn) setRemote(node string) { c.remote = node }

@@ -2,14 +2,17 @@ package sockets
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"padico/internal/pool"
 	"padico/internal/telemetry"
 )
 
@@ -43,16 +46,36 @@ type WallHost struct {
 	nl       net.Listener
 	addr     string
 	closed   bool
+
+	// Mux session pool (see mux.go): endpoint → the one session DialAddr
+	// reuses; muxLive tracks every session (pooled or accepted) for
+	// shutdown; legacy remembers endpoints that NAKed the mux preamble so
+	// later dials skip straight to the conn-per-dial protocol.
+	sessions map[string]*wallSessionEntry
+	muxLive  map[*muxSession]struct{}
+	legacy   map[string]bool
+	muxOff   bool
+}
+
+// wallSessionEntry is one endpoint's slot in the session pool. The first
+// dialer creates the entry and performs the dial; concurrent dialers wait
+// on done instead of racing their own connections up.
+type wallSessionEntry struct {
+	done chan struct{}
+	s    *muxSession
+	err  error
 }
 
 // maxWallService bounds the service-name preamble; anything longer is a
 // protocol error, not a legitimate service.
 const maxWallService = 1024
 
-// handshakeTimeout bounds how long an accepted connection may take to send
-// its service preamble, so a stray dialer cannot park an accept goroutine
-// forever.
-const handshakeTimeout = 5 * time.Second
+// handshakeTimeout bounds a wall handshake end to end: on the accept side
+// how long a connection may take to send its preamble, on the dial side
+// the whole TCP connect + preamble + ACK sequence under one deadline — so
+// a half-open peer can stall a dialer for at most one timeout, not one per
+// phase. A var so tests can tighten it.
+var handshakeTimeout = 5 * time.Second
 
 // NewWallHost returns a host with an empty address book and no listener —
 // usable as a dial-only seat (an attached controller). Call ListenTCP to
@@ -63,6 +86,9 @@ func NewWallHost(name string) *WallHost {
 		book:     make(map[string]string),
 		pinned:   make(map[string]bool),
 		services: make(map[string]*wallListener),
+		sessions: make(map[string]*wallSessionEntry),
+		muxLive:  make(map[*muxSession]struct{}),
+		legacy:   make(map[string]bool),
 	}
 }
 
@@ -74,6 +100,10 @@ func (h *WallHost) NodeName() string { return h.name }
 // outcomes (accepts, dials, NAKs both ways) are recorded. Nil (the
 // default) records nothing and wraps nothing.
 func (h *WallHost) SetTelemetry(tel *telemetry.Registry) { h.tel.Store(tel) }
+
+// Telemetry returns the registry the host reports into (nil if none was
+// set; telemetry.Registry accessors are nil-safe).
+func (h *WallHost) Telemetry() *telemetry.Registry { return h.tel.Load() }
 
 func (h *WallHost) telemetry() *telemetry.Registry { return h.tel.Load() }
 
@@ -260,44 +290,237 @@ func (h *WallHost) Dial(node, service string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sockets: dialing %s (%s): %w", node, addr, err)
 	}
-	c.(*tcpConn).remote = node
+	if rn, ok := c.(interface{ setRemote(string) }); ok {
+		rn.setRemote(node)
+	}
 	return c, nil
 }
 
 // DialAddr connects to a service at an explicit real endpoint — the attach
-// bootstrap path, before any node name is known.
+// bootstrap path, before any node name is known. It rides the pooled mux
+// session to that endpoint when the peer supports it (one TCP connection
+// per node pair, one logical stream per dial) and falls back to the legacy
+// conn-per-dial handshake against old daemons.
 func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
 	if len(service) == 0 || len(service) > maxWallService {
 		return nil, fmt.Errorf("sockets: bad wall service name %q", service)
 	}
-	nc, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	deadline := time.Now().Add(handshakeTimeout)
+
+	h.mu.Lock()
+	tryMux := !h.muxOff && !h.legacy[addr] && !h.closed
+	h.mu.Unlock()
+
+	if tryMux {
+		c, err := h.dialMux(addr, service, deadline)
+		switch {
+		case err == nil:
+			return c, nil
+		case errors.Is(err, errMuxUnsupported):
+			// An old daemon: remember it and fall through to the legacy
+			// protocol — this dial and every later one skip the probe.
+			h.mu.Lock()
+			h.legacy[addr] = true
+			h.mu.Unlock()
+			h.telemetry().Counter("wall.mux_fallbacks").Inc()
+		default:
+			return nil, err
+		}
+	}
+
+	nc, nak, err := h.rawDial(addr, service, deadline)
 	if err != nil {
-		return nil, fmt.Errorf("sockets: wall dial %s: %w", addr, err)
+		return nil, err
 	}
-	// The handshake is bounded like the accept side's: a wedged daemon or
-	// a non-padico endpoint that accepts and then says nothing must fail
-	// the dial, not hang it — callers (the registry client in particular)
-	// hold serialization locks across dials and rely on failure to fail
-	// over.
-	_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
-	hs := make([]byte, 2+len(service))
-	binary.BigEndian.PutUint16(hs, uint16(len(service)))
-	copy(hs[2:], service)
-	if _, err := nc.Write(hs); err != nil {
-		nc.Close()
-		return nil, fmt.Errorf("sockets: wall handshake to %s: %w", addr, err)
-	}
-	var ack [1]byte
-	if _, err := io.ReadFull(nc, ack[:]); err != nil || ack[0] != 1 {
-		nc.Close()
+	if nak {
 		h.telemetry().Counter("wall.dial_naks").Inc()
 		return nil, fmt.Errorf("%w: no service %q at %s", ErrRefused, service, addr)
 	}
+	// Count inside the tcpConn wrapper: Dial re-labels the returned conn,
+	// so the counting layer must sit underneath it.
+	return &tcpConn{Conn: h.countWall(nc), local: h.name, remote: addr}, nil
+}
+
+// rawDial opens a TCP connection and runs the name-preamble handshake with
+// connect, preamble write and ACK wait all bounded by the one deadline.
+// nak reports a clean refusal (the peer answered NAK).
+func (h *WallHost) rawDial(addr, service string, deadline time.Time) (nc net.Conn, nak bool, err error) {
+	nc, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+	if err != nil {
+		return nil, false, fmt.Errorf("sockets: wall dial %s: %w", addr, err)
+	}
+	_ = nc.SetDeadline(deadline)
+	hs := pool.Get(2 + len(service))
+	binary.BigEndian.PutUint16(hs, uint16(len(service)))
+	copy(hs[2:], service)
+	_, err = nc.Write(hs)
+	pool.Put(hs)
+	if err != nil {
+		nc.Close()
+		return nil, false, fmt.Errorf("sockets: wall handshake to %s: %w", addr, err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(nc, ack[:]); err != nil {
+		nc.Close()
+		return nil, false, fmt.Errorf("sockets: wall handshake to %s: %w", addr, err)
+	}
+	if ack[0] != 1 {
+		nc.Close()
+		return nil, true, nil
+	}
 	_ = nc.SetDeadline(time.Time{})
 	h.telemetry().Counter("wall.dials").Inc()
-	// Count inside the tcpConn wrapper: Dial re-labels the returned conn via
-	// a *tcpConn assertion, so the counting layer must sit underneath it.
-	return &tcpConn{Conn: h.countWall(nc), local: h.name, remote: addr}, nil
+	return nc, false, nil
+}
+
+// dialMux opens a stream on the pooled session to addr, establishing the
+// session first if needed. A pooled session that died under us (idle reap
+// racing the dial, peer restart) is dropped and the dial retried once on a
+// fresh connection.
+func (h *WallHost) dialMux(addr, service string, deadline time.Time) (Conn, error) {
+	for attempt := 0; ; attempt++ {
+		s, fresh, err := h.sessionTo(addr, deadline)
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.open(service, deadline)
+		if err == nil {
+			return st, nil
+		}
+		if errors.Is(err, ErrRefused) || errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, err
+		}
+		h.dropSessionRefs(s)
+		if fresh || attempt > 0 {
+			return nil, err
+		}
+	}
+}
+
+// sessionTo returns the pooled mux session for an endpoint, dialing one if
+// none exists. Concurrent callers share a single dial; fresh reports that
+// this call created the session (so open failures should not retry).
+func (h *WallHost) sessionTo(addr string, deadline time.Time) (*muxSession, bool, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: wall host %s", ErrClosed, h.name)
+	}
+	if e, ok := h.sessions[addr]; ok {
+		h.mu.Unlock()
+		<-e.done
+		return e.s, false, e.err
+	}
+	e := &wallSessionEntry{done: make(chan struct{})}
+	h.sessions[addr] = e
+	h.mu.Unlock()
+
+	s, err := h.dialSession(addr, deadline)
+	e.s, e.err = s, err
+	if err != nil {
+		h.mu.Lock()
+		if h.sessions[addr] == e {
+			delete(h.sessions, addr)
+		}
+		h.mu.Unlock()
+	}
+	close(e.done)
+	return s, true, err
+}
+
+// dialSession establishes one mux session: the TCP dial and muxService
+// preamble, then the HELLO advertising our own endpoint so the peer pools
+// the reverse direction onto this same connection.
+func (h *WallHost) dialSession(addr string, deadline time.Time) (*muxSession, error) {
+	nc, nak, err := h.rawDial(addr, muxService, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if nak {
+		return nil, errMuxUnsupported
+	}
+	s := h.newMuxSession(nc, addr, true)
+	if s == nil {
+		nc.Close()
+		return nil, fmt.Errorf("%w: wall host %s", ErrClosed, h.name)
+	}
+	h.mu.Lock()
+	s.poolKey = addr
+	h.mu.Unlock()
+	if adv, ok := h.AddrOf(h.name); ok {
+		_ = s.sendFrame(frameHELLO, 0, []byte(adv))
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// adoptSession pools an accepted session under the dialing node's
+// advertised endpoint (from its HELLO), so our dials toward that node
+// reuse the connection it already opened — one conn per node *pair*, not
+// per direction. First session per endpoint wins.
+func (h *WallHost) adoptSession(s *muxSession, addr string) {
+	if addr == "" || s.client {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || s.poolKey != "" {
+		return
+	}
+	if _, taken := h.sessions[addr]; taken {
+		return
+	}
+	s.mu.Lock()
+	dead := s.dead
+	s.mu.Unlock()
+	if dead {
+		return
+	}
+	e := &wallSessionEntry{done: make(chan struct{}), s: s}
+	close(e.done)
+	h.sessions[addr] = e
+	s.poolKey = addr
+}
+
+// dropSessionRefs forgets a session: its pool slot (when it owns one) and
+// its liveness entry.
+func (h *WallHost) dropSessionRefs(s *muxSession) {
+	h.mu.Lock()
+	if s.poolKey != "" {
+		if e, ok := h.sessions[s.poolKey]; ok && e.s == s {
+			delete(h.sessions, s.poolKey)
+		}
+		s.poolKey = ""
+	}
+	delete(h.muxLive, s)
+	h.mu.Unlock()
+}
+
+// DropSessions force-closes every live mux session: in-flight streams
+// error out fast and the next dial transparently re-establishes sessions.
+// The session-loss test hook and an operator escape hatch. Returns the
+// number of sessions dropped.
+func (h *WallHost) DropSessions() int {
+	h.mu.Lock()
+	live := make([]*muxSession, 0, len(h.muxLive))
+	for s := range h.muxLive {
+		live = append(live, s)
+	}
+	h.mu.Unlock()
+	for _, s := range live {
+		s.teardown(errors.New("session dropped"))
+	}
+	return len(live)
+}
+
+// DisableMux reverts the host to the legacy conn-per-dial protocol for
+// both dialing and accepting — emulating a pre-mux daemon. Intended for
+// compatibility tests and as an operator escape hatch; flip it before the
+// host starts dialing.
+func (h *WallHost) DisableMux() {
+	h.mu.Lock()
+	h.muxOff = true
+	h.mu.Unlock()
 }
 
 // Close shuts the host down: the real listener, every registered service
@@ -315,6 +538,10 @@ func (h *WallHost) Close() error {
 		ls = append(ls, l)
 	}
 	h.services = make(map[string]*wallListener)
+	sess := make([]*muxSession, 0, len(h.muxLive))
+	for s := range h.muxLive {
+		sess = append(sess, s)
+	}
 	h.mu.Unlock()
 	var err error
 	if nl != nil {
@@ -322,6 +549,9 @@ func (h *WallHost) Close() error {
 	}
 	for _, l := range ls {
 		l.shut()
+	}
+	for _, s := range sess {
+		s.teardown(nil)
 	}
 	return err
 }
@@ -358,6 +588,11 @@ func (h *WallHost) serveConn(nc net.Conn) {
 	_ = nc.SetReadDeadline(time.Time{})
 	service := string(name)
 
+	if service == muxService {
+		h.serveMux(nc)
+		return
+	}
+
 	h.mu.Lock()
 	l, ok := h.services[service]
 	fb := h.fallback
@@ -389,22 +624,49 @@ func (h *WallHost) serveConn(nc net.Conn) {
 	nc.Close()
 }
 
+// serveMux upgrades an accepted connection whose preamble named the mux
+// service: ACK, then run the session's read loop on this goroutine. With
+// the mux disabled the host NAKs like an old daemon would.
+func (h *WallHost) serveMux(nc net.Conn) {
+	h.mu.Lock()
+	refuse := h.muxOff || h.closed
+	h.mu.Unlock()
+	if refuse {
+		h.telemetry().Counter("wall.handshake_naks").Inc()
+		_, _ = nc.Write([]byte{0}) // NAK
+		nc.Close()
+		return
+	}
+	if _, err := nc.Write([]byte{1}); err != nil {
+		nc.Close()
+		return
+	}
+	h.telemetry().Counter("wall.accepts").Inc()
+	s := h.newMuxSession(nc, nc.RemoteAddr().String(), false)
+	if s == nil {
+		nc.Close()
+		return
+	}
+	s.readLoop()
+}
+
 // proxy pipes bytes between a wall connection and a local stream until
-// either side ends, then closes both.
+// either side ends, then closes both. Copy buffers come from the shared
+// pool so gateway traffic does not allocate per connection.
 func proxy(a io.ReadWriteCloser, b io.ReadWriteCloser) {
 	var once sync.Once
 	shut := func() {
 		a.Close()
 		b.Close()
 	}
-	go func() {
-		_, _ = io.Copy(a, b)
+	pipe := func(dst io.Writer, src io.Reader) {
+		buf := pool.Get(32 << 10)
+		_, _ = io.CopyBuffer(dst, src, buf)
+		pool.Put(buf)
 		once.Do(shut)
-	}()
-	go func() {
-		_, _ = io.Copy(b, a)
-		once.Do(shut)
-	}()
+	}
+	go pipe(a, b)
+	go pipe(b, a)
 }
 
 // wallListener is one muxed service's accept queue.
