@@ -25,10 +25,11 @@ import (
 func main() {
 	run := flag.String("run", "", "run a single experiment by id")
 	outDir := flag.String("out", "", "write observability artifacts (BENCH_*.json) into this directory")
+	entries := flag.Int("entries", 100000, "directory entries for the registry-load artifact (CI scales this down)")
 	flag.Parse()
 
 	if *outDir != "" {
-		if err := writeArtifacts(*outDir); err != nil {
+		if err := writeArtifacts(*outDir, *entries); err != nil {
 			fmt.Fprintln(os.Stderr, "padico-bench:", err)
 			os.Exit(1)
 		}
@@ -68,12 +69,12 @@ func main() {
 // writeArtifacts runs the live-grid observability benchmarks and writes
 // one JSON artifact per suite — the files CI uploads and the repo commits
 // as a reference point.
-func writeArtifacts(dir string) error {
+func writeArtifacts(dir string, entries int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, run := range []func() (bench.Artifact, error){
-		bench.RegistryArtifact,
+		func() (bench.Artifact, error) { return bench.RegistryArtifact(entries) },
 		bench.WallArtifact,
 		bench.DataplaneArtifact,
 	} {

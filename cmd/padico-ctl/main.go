@@ -83,6 +83,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 	from := fs.String("from", "", "node to seat the controller on (simulated mode; default: first node)")
 	targets := fs.String("nodes", "all", "comma-separated target nodes, or \"all\"")
 	registries := fs.String("registry", "", "comma-separated registry replica hosts (simulated mode; default: first node of each zone)")
+	shards := fs.Int("shards", 0, "shard the registry directory this many ways (simulated mode; 0/1 = unsharded)")
 	cascade := fs.Bool("cascade", false, "unload dependents before the module itself")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -117,8 +118,8 @@ func realMain(argv []string, out, errOut io.Writer) int {
 			return fail(errOut, fmt.Errorf("%s wants exactly one module name", cmd))
 		}
 	case "resolve":
-		if len(args) != 2 {
-			return fail(errOut, fmt.Errorf("resolve wants a kind and a name"))
+		if len(args) < 2 {
+			return fail(errOut, fmt.Errorf("resolve wants a kind and at least one name"))
 		}
 	case "lookup":
 		if len(args) > 2 {
@@ -133,16 +134,19 @@ func realMain(argv []string, out, errOut io.Writer) int {
 	}
 
 	if *attach != "" {
-		if *from != "" || *registries != "" {
-			return fail(errOut, fmt.Errorf("-from and -registry apply to simulated mode only"))
+		if *from != "" || *registries != "" || *shards != 0 {
+			return fail(errOut, fmt.Errorf("-from, -registry and -shards apply to simulated mode only"))
 		}
 		return runAttached(out, errOut, deploy.SplitList(*attach), *targets, cmd, args, *cascade)
 	}
-	return runSimulated(out, errOut, *gridPath, *from, *targets, *registries, cmd, args, *cascade)
+	if *shards > 1 && *registries != "" {
+		return fail(errOut, fmt.Errorf("-registry names a single-shard placement; -shards places replicas itself"))
+	}
+	return runSimulated(out, errOut, *gridPath, *from, *targets, *registries, *shards, cmd, args, *cascade)
 }
 
 // runSimulated builds the grid in-process and steers it in virtual time.
-func runSimulated(out, errOut io.Writer, gridPath, from, targets, registries, cmd string, args []string, cascade bool) int {
+func runSimulated(out, errOut io.Writer, gridPath, from, targets, registries string, shards int, cmd string, args []string, cascade bool) int {
 	src, err := os.ReadFile(gridPath)
 	if err != nil {
 		return fail(errOut, err)
@@ -188,14 +192,24 @@ func runSimulated(out, errOut io.Writer, gridPath, from, targets, registries, cm
 	// — withdrawing registry entries — then stop) always executes.
 	exit := 0
 	platform.Grid.Run(func() {
-		procs, err := platform.LaunchAllOn(regNodes)
+		var procs map[string]*core.Process
+		var err error
+		if shards > 1 {
+			procs, err = platform.LaunchAllSharded(shards)
+		} else {
+			procs, err = platform.LaunchAllOn(regNodes)
+		}
 		if err != nil {
 			fmt.Fprintln(errOut, "padico-ctl:", err)
 			exit = 1
 			return
 		}
-		fmt.Fprintf(out, "deployment %q up: %d process(es), registry replicas on %s\n",
-			topo.Name, len(procs), strings.Join(platform.Registries, ","))
+		suffix := ""
+		if shards > 1 {
+			suffix = fmt.Sprintf(" (%d shards)", shards)
+		}
+		fmt.Fprintf(out, "deployment %q up: %d process(es), registry replicas on %s%s\n",
+			topo.Name, len(procs), strings.Join(platform.Registries, ","), suffix)
 		s := &simSeat{platform: platform, procs: procs, seat: seatNode}
 		if !run(out, errOut, s, nodes, cmd, args, cascade) {
 			exit = 1
@@ -387,6 +401,29 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 			fmt.Fprintln(out, "resolve: no registry client on this seat")
 			return false
 		}
+		if len(args) > 2 {
+			// Several names resolve as one batch: the client splits the set
+			// by owning shard and answers it with one pipelined flight per
+			// replica group, instead of one round trip per name.
+			names := args[1:]
+			cands, err := vlink.ResolveAll(rc, kind, names)
+			if err != nil {
+				fmt.Fprintf(out, "resolve: %v\n", err)
+				return false
+			}
+			ok := true
+			for i, name := range names {
+				if len(cands[i]) == 0 {
+					fmt.Fprintf(out, "%s %-24s no dialable candidates\n", kind, name)
+					ok = false
+					continue
+				}
+				fmt.Fprintf(out, "%s %-24s -> node %s, service %s (%d candidate%s)\n",
+					kind, name, cands[i][0].Node, cands[i][0].Service,
+					len(cands[i]), map[bool]string{true: "s"}[len(cands[i]) > 1])
+			}
+			return ok
+		}
 		// Every replica's view first, so the operator sees replication
 		// state: a freshly published entry appears on its zone's replica
 		// immediately and on the rest within one sync interval.
@@ -439,6 +476,24 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 			}
 			fmt.Fprintf(out, "replica %-8s %d node(s), %d entr%s\n",
 				st.Node, st.Nodes, st.Entries, map[bool]string{true: "y", false: "ies"}[st.Entries == 1])
+			// A sharded replica reports per shard: each hosted shard's slice
+			// of the directory and its own group's sync lag. Unsharded
+			// replicas keep the flat per-peer report.
+			for _, sh := range st.Shards {
+				fmt.Fprintf(out, "         SHARD %-3d %d node(s), %d entr%s\n",
+					sh.Shard, sh.Nodes, sh.Entries, map[bool]string{true: "y", false: "ies"}[sh.Entries == 1])
+				for _, p := range sh.Peers {
+					lag := "never synced"
+					if p.LagMillis >= 0 {
+						lag = fmt.Sprintf("synced %dms ago", p.LagMillis)
+					}
+					fmt.Fprintf(out, "                   peer %-8s %d sync(s), %d failure(s), %s\n",
+						p.Node, p.Syncs, p.Fails, lag)
+				}
+			}
+			if len(st.Shards) > 0 {
+				continue
+			}
 			for _, p := range st.Peers {
 				lag := "never synced"
 				if p.LagMillis >= 0 {

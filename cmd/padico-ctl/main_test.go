@@ -191,6 +191,26 @@ func TestAttachedCommands(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// Several names resolve as one batched flight; a name nobody published
+	// is a per-name miss, not a batch failure — it fails the exit code but
+	// the published names still print their endpoints.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "resolve", "vlink", "soap:sys", "no:such"}, &out, &errOut); code == 0 {
+		t.Fatalf("batch resolve with a miss exited 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "soap:sys") || !strings.Contains(out.String(), "-> node d1") {
+		t.Fatalf("batch resolve lost the published name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no:such") || !strings.Contains(out.String(), "no dialable candidates") {
+		t.Fatalf("batch resolve did not report the miss:\n%s", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "resolve", "vlink", "soap:sys", "soap:sys"}, &out, &errOut); code != 0 {
+		t.Fatalf("all-hit batch resolve exited %d:\n%s\n%s", code, out.String(), errOut.String())
+	}
+
 	// The deployment must have survived the steering: daemons still answer.
 	out.Reset()
 	errOut.Reset()

@@ -65,6 +65,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 	execTmpl := fs.String("exec", "", `executor command template, e.g. "ssh {host} padico-d" ({node},{host},{port},{addr} expand per node)`)
 	hosts := fs.String("hosts", "", "comma-separated node=host mappings for multi-machine grids (default: 127.0.0.1 everywhere)")
 	registries := fs.String("registry", "", "comma-separated registry replica nodes (default: first node of each zone)")
+	shards := fs.Int("shards", 0, "shard the registry directory this many ways (replica groups placed per zone; 0/1 = unsharded)")
 	modules := fs.String("modules", "", "comma-separated modules every daemon loads at boot")
 	httpBase := fs.Int("http-base", 0, "first observability HTTP port; node i serves /metrics and /debug/pprof on http-base+i (0 = off)")
 	lease := fs.Duration("lease", 0, "registry lease TTL handed to daemons (default 5s)")
@@ -115,7 +116,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 		return runUp(out, errOut, upConfig{
 			gridPath: *gridPath, basePort: *basePort, httpBase: *httpBase, control: *control,
 			daemonBin: *daemonBin, execTmpl: *execTmpl, hosts: *hosts,
-			registries: *registries, modules: *modules,
+			registries: *registries, shards: *shards, modules: *modules,
 			lease: *lease, syncIv: *syncIv, probe: *probe, grace: *grace,
 		})
 	case "status":
@@ -156,7 +157,7 @@ func realMain(argv []string, out, errOut io.Writer) int {
 
 type upConfig struct {
 	gridPath, control, daemonBin, execTmpl, hosts, registries, modules string
-	basePort, httpBase                                                 int
+	basePort, httpBase, shards                                         int
 	lease, syncIv, probe, grace                                        time.Duration
 }
 
@@ -202,6 +203,7 @@ func runUp(out, errOut io.Writer, cfg upConfig) int {
 		HTTPBase:     cfg.httpBase,
 		Host:         hostFor,
 		Registries:   deploy.SplitList(cfg.registries),
+		Shards:       cfg.shards,
 		Modules:      deploy.SplitList(cfg.modules),
 		LeaseTTL:     cfg.lease,
 		SyncInterval: cfg.syncIv,

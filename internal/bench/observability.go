@@ -106,8 +106,12 @@ func timeOps(iters int, fn func() error) (float64, []time.Duration, error) {
 // name-resolution latency with the client cache cold (every resolve is a
 // real TCP round trip to a replica) and warm (served from the seat's
 // cache), plus anti-entropy convergence — how long a freshly published
-// service takes to appear on every replica.
-func RegistryArtifact() (Artifact, error) {
+// service takes to appear on every replica. It then runs the sharded
+// registry-load benchmark (see registryLoad) with loadEntries directory
+// entries and merges its metrics — announce throughput batched vs
+// unbatched, loaded-lookup p99, post-crash convergence — into the same
+// artifact.
+func RegistryArtifact(loadEntries int) (Artifact, error) {
 	a := Artifact{Name: "registry", Grid: benchGrid, Iters: observabilityIters,
 		Metrics: map[string]float64{}}
 	ds, err := benchTrio()
@@ -177,6 +181,21 @@ func RegistryArtifact() (Artifact, error) {
 		return a, fmt.Errorf("bench: cached resolve: %w", err)
 	}
 	a.Metrics["resolve_cached_ns_op"] = cached
+
+	// The trio grid is done; the load benchmark boots its own sharded
+	// grid, so release this one first — two live grids at once just add
+	// scheduler noise to the measurements.
+	dep.Close()
+	for _, d := range ds {
+		d.Close()
+	}
+	load, err := registryLoad(loadEntries)
+	for k, v := range load {
+		a.Metrics[k] = v
+	}
+	if err != nil {
+		return a, fmt.Errorf("bench: registry load: %w", err)
+	}
 	return a, nil
 }
 

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"padico/internal/deploy"
+	"padico/internal/gatekeeper"
+)
+
+// Registry-load benchmark parameters. The grid is two replica daemons in
+// two zones hosting every shard of a loadShards-way sharded directory —
+// the smallest live grid where the announce-batch framing matters: a
+// publish touches all loadShards shards, which a batch-unaware client
+// must send as loadShards per-shard frames while the sharded client
+// coalesces them into one announce-batch per replica group.
+const (
+	loadShards = 32 // directory shards in the load grid
+	loadFanout = 16 // entries per synthetic publisher, spread across shards
+
+	// loadUnbatchedCap bounds the publishers replayed through the
+	// unbatched baseline: per-shard framing costs loadShards round trips
+	// per publish, so a sample is enough to establish the rate.
+	loadUnbatchedCap = 64
+
+	// loadLookupSamples is how many named lookups feed the p99; each one
+	// routes to its owning shard and costs one round trip.
+	loadLookupSamples = 512
+)
+
+// loadEntrySet builds publisher i's entry set: loadFanout entries whose
+// names hash across the directory's shards.
+func loadEntrySet(i int) (node string, entries []gatekeeper.Entry) {
+	node = fmt.Sprintf("ld%05d", i)
+	entries = make([]gatekeeper.Entry, loadFanout)
+	for j := range entries {
+		entries[j] = gatekeeper.Entry{
+			Node: node, Kind: "bench",
+			Name:    fmt.Sprintf("ld.%05d.%02d", i, j),
+			Service: "bench:load",
+		}
+	}
+	return node, entries
+}
+
+// registryLoad measures the sharded registry under a bulk directory load
+// of n entries, on a live loopback grid: batched vs unbatched announce
+// throughput, named-lookup p99 against the loaded directory, and how long
+// a hard-killed replica takes to recover the full directory through the
+// anti-entropy full-snapshot fallback after restart.
+func registryLoad(n int) (map[string]float64, error) {
+	m := map[string]float64{}
+	// Replicas sync at the production default. A tighter interval would
+	// shave the crash-convergence idle gap but makes the digest rounds —
+	// O(directory) stamp maps per tick — dominate both daemons' CPU at
+	// load, polluting the throughput and lookup measurements.
+	const syncI = gatekeeper.DefaultSyncInterval
+	zones := map[string]string{"r0": "a", "r1": "b"}
+	groups := deploy.ShardPlacement(zones, loadShards)
+	cfgs := map[string]deploy.DaemonConfig{}
+	peers := map[string]string{}
+	var ds []*deploy.Daemon
+	closeAll := func() {
+		for _, d := range ds {
+			d.Close()
+		}
+	}
+	for _, node := range []string{"r0", "r1"} {
+		cfg := deploy.DaemonConfig{
+			Node: node, Zone: zones[node], ShardGroups: groups,
+			Peers: peers, SyncInterval: syncI,
+		}
+		d, err := deploy.StartDaemon(cfg)
+		if err != nil {
+			closeAll()
+			return m, err
+		}
+		ds = append(ds, d)
+		peers = map[string]string{}
+		for _, prev := range ds {
+			peers[prev.Node()] = prev.Addr()
+		}
+		cfgs[node] = cfg
+	}
+	defer closeAll()
+
+	dep, err := attachWhenAnnounced(ds[0].Addr(), len(ds))
+	if err != nil {
+		return m, err
+	}
+	defer dep.Close()
+	rc := dep.Registry()
+
+	// Bulk load: every publisher's set lands as one announce-batch frame
+	// per replica group (this grid has one group signature, so one frame
+	// per publish), entries pre-split by shard inside the frame.
+	publishers := n / loadFanout
+	if publishers < 1 {
+		publishers = 1
+	}
+	total := publishers * loadFanout
+	m["load_entries"] = float64(total)
+	m["load_shards"] = loadShards
+	start := time.Now()
+	for i := 0; i < publishers; i++ {
+		node, entries := loadEntrySet(i)
+		if err := rc.PublishTTL(node, entries, 0); err != nil {
+			return m, fmt.Errorf("bench: bulk announce %d: %w", i, err)
+		}
+	}
+	m["load_bulk_per_s"] = float64(total) / time.Since(start).Seconds()
+
+	// Batched vs unbatched announce cost, matched: the same publisher
+	// sample re-announced against the same fully loaded directory, first
+	// as announce-batch frames, then as the per-shard OpRegPublish frames
+	// a batch-unaware client must send — replacing a publisher's entry
+	// set touches every shard (emptied shards must be cleared too), so
+	// each unbatched publish costs loadShards round trips. Re-publishing
+	// identical sets keeps the directory at exactly `total` entries.
+	replay := publishers
+	if replay > loadUnbatchedCap {
+		replay = loadUnbatchedCap
+	}
+	start = time.Now()
+	for i := 0; i < replay; i++ {
+		node, entries := loadEntrySet(i)
+		if err := rc.PublishTTL(node, entries, 0); err != nil {
+			return m, fmt.Errorf("bench: batched announce %d: %w", i, err)
+		}
+	}
+	m["announce_batched_per_s"] = float64(replay*loadFanout) / time.Since(start).Seconds()
+
+	start = time.Now()
+	for i := 0; i < replay; i++ {
+		node, entries := loadEntrySet(i)
+		byShard := make([][]gatekeeper.Entry, loadShards)
+		for _, e := range entries {
+			s := gatekeeper.ShardOf(e.Name, loadShards)
+			byShard[s] = append(byShard[s], e)
+		}
+		for s := 0; s < loadShards; s++ {
+			if err := rc.PublishShardTTL(node, s, byShard[s], 0); err != nil {
+				return m, fmt.Errorf("bench: unbatched announce %d shard %d: %w", i, s, err)
+			}
+		}
+	}
+	m["announce_unbatched_per_s"] = float64(replay*loadFanout) / time.Since(start).Seconds()
+	if m["announce_unbatched_per_s"] > 0 {
+		m["announce_batch_speedup"] = m["announce_batched_per_s"] / m["announce_unbatched_per_s"]
+	}
+
+	// Named-lookup p99 against the loaded directory: each lookup routes
+	// to its name's owning shard — one round trip regardless of shard
+	// count or directory size.
+	stride := publishers/loadLookupSamples + 1
+	k := 0
+	_, samples, err := timeOps(loadLookupSamples, func() error {
+		i := (k * stride) % publishers
+		name := fmt.Sprintf("ld.%05d.%02d", i, k%loadFanout)
+		k++
+		entries, err := rc.Lookup("bench", name)
+		if err == nil && len(entries) == 0 {
+			err = fmt.Errorf("bench: loaded name %s not found", name)
+		}
+		return err
+	})
+	if err != nil {
+		return m, err
+	}
+	m["lookup_p99_us"] = percentile(samples, 0.99) / 1e3
+	m["lookup_p50_us"] = percentile(samples, 0.50) / 1e3
+
+	// Post-crash convergence: hard-kill replica r1 (no withdraw, no
+	// graceful teardown), restart it empty, and clock how long the
+	// anti-entropy full-snapshot fallback takes to restore every shard.
+	ds[1].Kill()
+	start = time.Now()
+	rd, err := deploy.StartDaemon(cfgs["r1"])
+	if err != nil {
+		return m, fmt.Errorf("bench: restarting r1: %w", err)
+	}
+	ds = append(ds, rd)
+	seat, err := deploy.Attach([]string{rd.Addr()})
+	if err != nil {
+		return m, fmt.Errorf("bench: attaching to restarted r1: %w", err)
+	}
+	defer seat.Close()
+	deadline := start.Add(2 * time.Minute)
+	for {
+		st, err := seat.Registry().StatusOf("r1")
+		if err == nil && st.Entries >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			got := -1
+			if st != nil {
+				got = st.Entries
+			}
+			return m, fmt.Errorf("bench: restarted replica never converged (%d/%d entries)", got, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m["crash_convergence_ms"] = float64(time.Since(start).Microseconds()) / 1000
+	return m, nil
+}

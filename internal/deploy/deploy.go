@@ -95,6 +95,36 @@ func SplitList(s string) []string {
 	return out
 }
 
+// FormatShardGroups encodes a shard → replica-group placement for a
+// command line: groups joined by ";", each group's nodes by ",". The
+// inverse of ParseShardGroups.
+func FormatShardGroups(groups [][]string) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		parts[i] = strings.Join(g, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseShardGroups decodes a -shard-groups flag value: semicolon-separated
+// shard replica groups, each a comma-separated node list. Empty groups are
+// rejected — every shard needs at least one replica.
+func ParseShardGroups(s string) ([][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([][]string, len(parts))
+	for i, part := range parts {
+		g := SplitList(part)
+		if len(g) == 0 {
+			return nil, fmt.Errorf("deploy: shard %d has an empty replica group", i)
+		}
+		out[i] = g
+	}
+	return out, nil
+}
+
 // Platform is a built grid with its inventory.
 type Platform struct {
 	Grid  *core.Grid
@@ -102,8 +132,12 @@ type Platform struct {
 	Zones map[string]string // node → zone
 	// Registries is the registry-replica placement LaunchAll realized:
 	// one replica host per administrative zone by default, or the override
-	// handed to LaunchAllOn. Sorted by node name.
+	// handed to LaunchAllOn. Sorted by node name. Under LaunchAllSharded it
+	// is the union of every shard group's hosts.
 	Registries []string
+	// ShardGroups is the shard → replica-group placement LaunchAllSharded
+	// realized; a single group under unsharded launches.
+	ShardGroups [][]string
 }
 
 // Build realizes a topology: nodes, fabrics under arbitration, inventory.
@@ -256,6 +290,55 @@ func defaultRegistryPlacement(zones map[string]string) []string {
 	return out
 }
 
+// ShardPlacement computes the shard → replica-group placement for a
+// hash-partitioned registry over a node → zone map: shard s's group takes
+// the (s mod |zone|)-th node (in name order) of every administrative zone,
+// so each shard keeps one replica per zone (a zone-local announce target
+// for every publisher) while consecutive shards land on different machines
+// — the directory's load spreads across the zone instead of piling onto
+// its first node. S=1 collapses to the default single-group placement.
+// Deterministic: every launcher, daemon and tool reading the same grid XML
+// computes the same groups.
+func ShardPlacement(zones map[string]string, shards int) [][]string {
+	if shards <= 1 {
+		return [][]string{defaultRegistryPlacement(zones)}
+	}
+	byZone := map[string][]string{}
+	for n, zone := range zones {
+		byZone[zone] = append(byZone[zone], n)
+	}
+	zoneNames := make([]string, 0, len(byZone))
+	for zone := range byZone {
+		zoneNames = append(zoneNames, zone)
+		sort.Strings(byZone[zone])
+	}
+	sort.Strings(zoneNames)
+	out := make([][]string, shards)
+	for s := range out {
+		seen := map[string]bool{}
+		var g []string
+		for _, zone := range zoneNames {
+			nodes := byZone[zone]
+			pick := nodes[s%len(nodes)]
+			if !seen[pick] {
+				seen[pick] = true
+				g = append(g, pick)
+			}
+		}
+		sort.Strings(g)
+		out[s] = g
+	}
+	return out
+}
+
+// ShardPlacement returns the topology's shard → replica-group placement
+// for a hash-partitioned registry — the seam shared by the simulator's
+// LaunchAllSharded, padico-launch plans and padico-d daemons, so every
+// layer agrees on which nodes own which shard.
+func (t *Topology) ShardPlacement(shards int) [][]string {
+	return ShardPlacement(t.ZoneMap(), shards)
+}
+
 // ZoneMap returns the topology's node → zone map.
 func (t *Topology) ZoneMap() map[string]string {
 	out := make(map[string]string, len(t.Nodes))
@@ -297,17 +380,41 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 	} else {
 		regNodes = append([]string(nil), regNodes...)
 		sort.Strings(regNodes)
-		for _, n := range regNodes {
+	}
+	return p.launchAll([][]string{regNodes})
+}
+
+// LaunchAllSharded is LaunchAll over a hash-partitioned registry: the
+// directory splits into the given number of shards placed by
+// ShardPlacement, every replica hosts and reconciles exactly the shards
+// its groups assign it, and every gatekeeper gets a sharded client that
+// routes announces and lookups by name hash. shards <= 1 is LaunchAll.
+func (p *Platform) LaunchAllSharded(shards int) (map[string]*core.Process, error) {
+	return p.launchAll(ShardPlacement(p.Zones, shards))
+}
+
+// launchAll realizes a launch for a shard → replica-group placement; a
+// single group is the unsharded S=1 deployment.
+func (p *Platform) launchAll(groups [][]string) (map[string]*core.Process, error) {
+	shards := len(groups)
+	isReplica := map[string]bool{}
+	var regNodes []string
+	for _, g := range groups {
+		for _, n := range g {
 			if _, ok := p.Nodes[n]; !ok {
 				return nil, fmt.Errorf("deploy: registry host %q is not a grid node", n)
 			}
+			if !isReplica[n] {
+				isReplica[n] = true
+				regNodes = append(regNodes, n)
+			}
 		}
 	}
+	sort.Strings(regNodes)
 	p.Registries = regNodes
-	isReplica := map[string]bool{}
+	p.ShardGroups = groups
 	zoneReplica := map[string]string{} // zone → its replica host, if any
 	for _, n := range regNodes {
-		isReplica[n] = true
 		zone := p.Zones[n]
 		if cur, ok := zoneReplica[zone]; !ok || n < cur {
 			zoneReplica[zone] = n
@@ -337,11 +444,29 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 			return nil, fmt.Errorf("deploy: registry on %s: %w", n, err)
 		}
 	}
+	// Declare each replica's hosted shards before any anti-entropy or
+	// client traffic: a replica must refuse shards it does not own.
+	if shards > 1 {
+		owned := map[string][]int{}
+		for s, g := range groups {
+			for _, n := range g {
+				owned[n] = append(owned[n], s)
+			}
+		}
+		for _, n := range regNodes {
+			if reg, ok := gatekeeper.RegistryOn(out[n]); ok {
+				reg.SetShards(shards)
+				reg.HostShards(owned[n]...)
+			}
+		}
+	}
 	// Wire anti-entropy after every replica listens, so the first sync
 	// round already reaches live peers.
-	for _, n := range regNodes {
-		if reg, ok := gatekeeper.RegistryOn(out[n]); ok {
-			reg.StartSync(regNodes, gatekeeper.DefaultSyncInterval)
+	for s, g := range groups {
+		for _, n := range g {
+			if reg, ok := gatekeeper.RegistryOn(out[n]); ok {
+				reg.StartShardSync(s, g, gatekeeper.DefaultSyncInterval)
+			}
 		}
 	}
 	for _, n := range names {
@@ -349,8 +474,18 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 		if !ok {
 			continue
 		}
-		rc := gatekeeper.NewRegistryClient(p.Grid.Runtime(),
-			orb.VLinkTransport{Linker: out[n].Linker()}, p.replicaOrder(n, regNodes, zoneReplica)...)
+		tr := orb.VLinkTransport{Linker: out[n].Linker()}
+		var rc *gatekeeper.RegistryClient
+		if shards > 1 {
+			pref := make([][]string, shards)
+			for s, g := range groups {
+				pref[s] = p.groupOrder(n, g)
+			}
+			rc = gatekeeper.NewShardedRegistryClient(p.Grid.Runtime(), tr, pref)
+		} else {
+			rc = gatekeeper.NewRegistryClient(p.Grid.Runtime(), tr,
+				p.replicaOrder(n, regNodes, zoneReplica)...)
+		}
 		rc.UseTelemetry(out[n].Telemetry())
 		gk.UseRegistry(rc)
 		out[n].Linker().SetResolver(rc)
@@ -360,6 +495,30 @@ func (p *Platform) LaunchAllOn(regNodes []string) (map[string]*core.Process, err
 		_ = gk.StartLease(gatekeeper.DefaultLeaseTTL)
 	}
 	return out, nil
+}
+
+// groupOrder is one process's preference order within one shard group: the
+// group's replica in the process's own zone first (announces land a LAN
+// hop away; anti-entropy carries them across zones), the rest in name
+// order as failover targets.
+func (p *Platform) groupOrder(node string, group []string) []string {
+	local := ""
+	for _, n := range group {
+		if p.Zones[n] == p.Zones[node] && (local == "" || n < local) {
+			local = n
+		}
+	}
+	if local == "" {
+		return append([]string(nil), group...)
+	}
+	out := make([]string, 0, len(group))
+	out = append(out, local)
+	for _, n := range group {
+		if n != local {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // replicaOrder is one process's replica preference list: its zone-local

@@ -1,0 +1,240 @@
+package deploy
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/gatekeeper"
+	"padico/internal/orb"
+)
+
+func TestShardPlacement(t *testing.T) {
+	zones := map[string]string{
+		"c0": "irisa", "c1": "irisa", "c2": "irisa",
+		"x0": "companyX", "x1": "companyX",
+	}
+	// S<=1 collapses to the default single-group placement: the first node
+	// of every zone.
+	for _, s := range []int{0, 1} {
+		got := ShardPlacement(zones, s)
+		if !reflect.DeepEqual(got, [][]string{{"c0", "x0"}}) {
+			t.Fatalf("ShardPlacement(S=%d) = %v, want the default placement", s, got)
+		}
+	}
+	// S=4: every shard keeps one replica per zone, consecutive shards
+	// round-robin within each zone's name order.
+	got := ShardPlacement(zones, 4)
+	want := [][]string{
+		{"c0", "x0"}, // s=0: irisa[0], companyX[0]
+		{"c1", "x1"}, // s=1: irisa[1], companyX[1]
+		{"c2", "x0"}, // s=2: irisa[2], companyX[0]
+		{"c0", "x1"}, // s=3: irisa[0 again], companyX[1]
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ShardPlacement(S=4) = %v, want %v", got, want)
+	}
+	// Deterministic across calls (map iteration must not leak in).
+	for i := 0; i < 16; i++ {
+		if !reflect.DeepEqual(ShardPlacement(zones, 4), want) {
+			t.Fatal("ShardPlacement is not deterministic")
+		}
+	}
+	// A single-zone grid still spreads shards across the zone's nodes.
+	one := map[string]string{"a0": "z", "a1": "z"}
+	got = ShardPlacement(one, 3)
+	want = [][]string{{"a0"}, {"a1"}, {"a0"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-zone ShardPlacement = %v, want %v", got, want)
+	}
+}
+
+func TestShardGroupsCodec(t *testing.T) {
+	groups := [][]string{{"c0", "x0"}, {"c1", "x1"}, {"c2", "x0"}}
+	enc := FormatShardGroups(groups)
+	if enc != "c0,x0;c1,x1;c2,x0" {
+		t.Fatalf("FormatShardGroups = %q", enc)
+	}
+	dec, err := ParseShardGroups(enc)
+	if err != nil || !reflect.DeepEqual(dec, groups) {
+		t.Fatalf("roundtrip = %v, %v", dec, err)
+	}
+	if dec, err := ParseShardGroups(""); err != nil || dec != nil {
+		t.Fatalf("empty spec = %v, %v, want nil, nil", dec, err)
+	}
+	if _, err := ParseShardGroups("c0;;c1"); err == nil ||
+		!strings.Contains(err.Error(), "empty replica group") {
+		t.Fatalf("empty group accepted: %v", err)
+	}
+}
+
+// TestLaunchAllSharded: the simulator end of the shared placement seam. A
+// sharded launch places each shard's replica group by ShardPlacement,
+// loads the registry on the union of group hosts, wires every process with
+// a sharded client, and the whole deployment still resolves by name —
+// including entries that live in different shards.
+func TestLaunchAllSharded(t *testing.T) {
+	const shards = 4
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAllSharded(shards)
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		want := topo.ShardPlacement(shards)
+		if !reflect.DeepEqual(p.ShardGroups, want) {
+			t.Fatalf("platform shard groups = %v, want %v", p.ShardGroups, want)
+		}
+		// Registries is the sorted union of the groups' hosts, and each of
+		// them runs a replica hosting exactly its owned shards.
+		union := map[string][]int{}
+		for s, g := range want {
+			for _, n := range g {
+				union[n] = append(union[n], s)
+			}
+		}
+		if len(p.Registries) != len(union) {
+			t.Fatalf("registries = %v, want hosts %v", p.Registries, union)
+		}
+		for _, n := range p.Registries {
+			if !procs[n].Loaded("registry") {
+				t.Fatalf("no registry replica on group host %s", n)
+			}
+			reg, _ := gatekeeper.RegistryOn(procs[n])
+			if got := reg.ShardIDs(); !reflect.DeepEqual(got, union[n]) {
+				t.Fatalf("%s hosts shards %v, want %v", n, got, union[n])
+			}
+		}
+
+		// Every process announced through its sharded client; after one
+		// sync interval the gatekeeper service resolves from anywhere, and
+		// by-name dialing works across shards.
+		p.Grid.Sim.Sleep(gatekeeper.DefaultSyncInterval + time.Millisecond)
+		rc := gatekeeper.NewShardedRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["x1"].Linker()}, want)
+		rc.SetCacheTTL(0)
+		entries, err := rc.Lookup("vlink", gatekeeper.Service)
+		if err != nil || len(entries) != 4 {
+			t.Fatalf("announced gatekeepers = %v, %v (want all 4)", entries, err)
+		}
+		st, err := procs["x1"].Linker().DialService("vlink", gatekeeper.Service)
+		if err != nil {
+			t.Fatalf("by-name dial on the sharded deployment: %v", err)
+		}
+		st.Close()
+
+		// The per-shard status of a group host reports only its owned
+		// shards, with the grid-wide shard count driving the breakdown.
+		host := p.Registries[0]
+		stat, err := rc.StatusOf(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stat.Shards) != len(union[host]) {
+			t.Fatalf("%s status shards = %+v, want %d shards", host, stat.Shards, len(union[host]))
+		}
+	})
+}
+
+// TestLaunchAllShardedSingleShard: S=1 goes through the exact same
+// entry point and reproduces the classic single-group deployment.
+func TestLaunchAllShardedSingleShard(t *testing.T) {
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		if _, err := p.LaunchAllSharded(1); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		if got := strings.Join(p.Registries, ","); got != "c0,x0" {
+			t.Fatalf("S=1 placement = %s, want the classic c0,x0", got)
+		}
+		if len(p.ShardGroups) != 1 {
+			t.Fatalf("S=1 shard groups = %v", p.ShardGroups)
+		}
+	})
+}
+
+// TestShardedLeaseRenewalKeepsEntriesLive: on a sharded deployment the
+// gatekeeper's lease loop renews through renew-batch frames; entries
+// published into different shards stay live well past several TTLs.
+func TestShardedLeaseRenewalKeepsEntriesLive(t *testing.T) {
+	const shards = 3
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAllSharded(shards)
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		p.Grid.Sim.Sleep(4 * gatekeeper.DefaultLeaseTTL)
+		rc := gatekeeper.NewShardedRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["c1"].Linker()}, p.ShardGroups)
+		rc.SetCacheTTL(0)
+		entries, err := rc.Lookup("vlink", gatekeeper.Service)
+		if err != nil || len(entries) != 4 {
+			t.Fatalf("after 10 TTLs of renewals: %v, %v (want all 4 gatekeepers live)", entries, err)
+		}
+		for _, e := range entries {
+			if e.TTLMillis <= 0 {
+				t.Fatalf("entry %+v has no live lease", e)
+			}
+		}
+	})
+}
+
+// entriesByShard is a helper assertion: every entry's name must belong to
+// the shard of the replica serving it.
+func entriesByShard(t *testing.T, entries []gatekeeper.Entry, shards int, owned []int) {
+	t.Helper()
+	own := map[int]bool{}
+	for _, s := range owned {
+		own[s] = true
+	}
+	for _, e := range entries {
+		if s := gatekeeper.ShardOf(e.Name, shards); !own[s] {
+			t.Fatalf("entry %q (shard %d) served by a replica owning %v", e.Name, s, owned)
+		}
+	}
+}
+
+// TestShardedReplicaHoldsOnlyOwnedShards: publishes spread across shards
+// land only on owning replicas — a group host never stores another
+// shard's records.
+func TestShardedReplicaHoldsOnlyOwnedShards(t *testing.T) {
+	const shards = 4
+	topo, _ := ParseTopology([]byte(topoXML))
+	p, _ := Build(topo)
+	p.Grid.Run(func() {
+		procs, err := p.LaunchAllSharded(shards)
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		rc := gatekeeper.NewShardedRegistryClient(p.Grid.Sim,
+			orb.VLinkTransport{Linker: procs["x1"].Linker()}, p.ShardGroups)
+		rc.SetCacheTTL(0)
+		var entries []gatekeeper.Entry
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("spread%d", i)
+			entries = append(entries, gatekeeper.Entry{Node: "x1", Kind: "vlink", Name: name})
+		}
+		if err := rc.PublishTTL("x1", entries, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		owned := map[string][]int{}
+		for s, g := range p.ShardGroups {
+			for _, n := range g {
+				owned[n] = append(owned[n], s)
+			}
+		}
+		for _, host := range p.Registries {
+			got, err := rc.LookupAt(host, "vlink", "")
+			if err != nil {
+				t.Fatalf("LookupAt %s: %v", host, err)
+			}
+			entriesByShard(t, got, shards, owned[host])
+		}
+	})
+}

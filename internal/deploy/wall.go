@@ -42,6 +42,11 @@ type DaemonConfig struct {
 	// Registries names the nodes hosting registry replicas, in client
 	// preference order. Empty means this daemon hosts the only replica.
 	Registries []string
+	// ShardGroups is the shard → replica-group placement of a
+	// hash-partitioned registry (deploy.ShardPlacement output). Empty means
+	// a single shard whose group is Registries — the unsharded deployment.
+	// When set, Registries is derived as the union of the groups.
+	ShardGroups [][]string
 	// Peers seeds the address book with node → endpoint mappings —
 	// minimally the registry replicas, so the first announce can land.
 	// Everything else is learned from registry entries at run time.
@@ -99,9 +104,28 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if cfg.SyncInterval <= 0 {
 		cfg.SyncInterval = gatekeeper.DefaultSyncInterval
 	}
-	registries := append([]string(nil), cfg.Registries...)
-	if len(registries) == 0 {
-		registries = []string{cfg.Node}
+	groups := cfg.ShardGroups
+	var registries []string
+	if len(groups) > 0 {
+		seen := map[string]bool{}
+		for _, g := range groups {
+			for _, n := range g {
+				if !seen[n] {
+					seen[n] = true
+					registries = append(registries, n)
+				}
+			}
+		}
+		sort.Strings(registries)
+		if len(registries) == 0 {
+			return nil, fmt.Errorf("deploy: daemon %s: empty shard groups", cfg.Node)
+		}
+	} else {
+		registries = append([]string(nil), cfg.Registries...)
+		if len(registries) == 0 {
+			registries = []string{cfg.Node}
+		}
+		groups = [][]string{registries}
 	}
 
 	// The daemon's Padico process proper: a wall-clock grid holding just
@@ -151,7 +175,9 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 
 	// Registry replica, if this node hosts one: served on the same real
-	// listener, reconciling with its peers over real TCP.
+	// listener, reconciling per hosted shard with each shard group's peers
+	// over real TCP. The single-group case degenerates to the unsharded
+	// replica: shard 0, the whole replica list as its group.
 	if slices.Contains(registries, cfg.Node) {
 		reg, err := gatekeeper.StartRegistry(wall, tr)
 		if err != nil {
@@ -159,7 +185,21 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		}
 		reg.UseTelemetry(tel)
 		d.Reg = reg
-		reg.StartSync(registries, cfg.SyncInterval)
+		if len(groups) > 1 {
+			var owned []int
+			for s, g := range groups {
+				if slices.Contains(g, cfg.Node) {
+					owned = append(owned, s)
+				}
+			}
+			reg.SetShards(len(groups))
+			reg.HostShards(owned...)
+		}
+		for s, g := range groups {
+			if slices.Contains(g, cfg.Node) {
+				reg.StartShardSync(s, g, cfg.SyncInterval)
+			}
+		}
 	}
 
 	gk, err := gatekeeper.Serve(wall, tr, gatekeeper.TargetFor(proc))
@@ -170,15 +210,28 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	d.GK = gk
 	gk.SetEndpoint(adv)
 	gk.ProvideInfo(func() gatekeeper.NodeInfo {
-		return gatekeeper.NodeInfo{
+		info := gatekeeper.NodeInfo{
 			Node:       cfg.Node,
 			Zone:       cfg.Zone,
 			Addr:       adv,
 			Registries: append([]string(nil), registries...),
 			Peers:      host.Book(),
 		}
+		if len(groups) > 1 {
+			info.Shards = groups
+		}
+		return info
 	})
-	rc := gatekeeper.NewRegistryClient(wall, tr, replicaPreference(cfg.Node, registries)...)
+	var rc *gatekeeper.RegistryClient
+	if len(groups) > 1 {
+		pref := make([][]string, len(groups))
+		for s, g := range groups {
+			pref[s] = replicaPreference(cfg.Node, g)
+		}
+		rc = gatekeeper.NewShardedRegistryClient(wall, tr, pref)
+	} else {
+		rc = gatekeeper.NewRegistryClient(wall, tr, replicaPreference(cfg.Node, registries)...)
+	}
 	rc.UseTelemetry(tel)
 	gk.UseRegistry(rc)
 	d.cancelWatch = gk.WatchModules(proc)
@@ -311,6 +364,7 @@ type WallDeployment struct {
 	registries []string
 	nodes      []string
 	warnings   []error
+	closeOnce  sync.Once
 }
 
 // Attach connects the operator seat to a live deployment through one or
@@ -334,11 +388,15 @@ func Attach(addrs []string) (*WallDeployment, error) {
 	nodeSet := map[string]bool{}
 	regSet := map[string]bool{}
 	var regOrder []string
+	var shardGroups [][]string
 	for _, addr := range addrs {
 		info, err := fetchInfo(host, addr)
 		if err != nil {
 			errs = append(errs, err)
 			continue
+		}
+		if len(shardGroups) == 0 && len(info.Shards) > 1 {
+			shardGroups = info.Shards
 		}
 		for n, a := range info.Peers {
 			if n != info.Node {
@@ -370,7 +428,14 @@ func Attach(addrs []string) (*WallDeployment, error) {
 
 	ctl := gatekeeper.NewController(wall, tr)
 	ctl.UseTelemetry(seatTel)
-	rc := gatekeeper.NewRegistryClient(wall, tr, regOrder...)
+	// A sharded deployment advertises its shard map in the descriptor; the
+	// seat routes by it. Otherwise the classic single-group client.
+	var rc *gatekeeper.RegistryClient
+	if len(shardGroups) > 1 {
+		rc = gatekeeper.NewShardedRegistryClient(wall, tr, shardGroups)
+	} else {
+		rc = gatekeeper.NewRegistryClient(wall, tr, regOrder...)
+	}
 	rc.UseTelemetry(seatTel)
 	w := &WallDeployment{Wall: wall, Host: host, Tr: tr,
 		Ctl:        ctl,
@@ -451,7 +516,9 @@ func (w *WallDeployment) DialService(kind, name string) (vlink.Stream, error) {
 // session and the dialer. The deployment itself keeps running — that is
 // the point.
 func (w *WallDeployment) Close() {
-	w.Ctl.Close()
-	w.rc.Close()
-	w.Host.Close()
+	w.closeOnce.Do(func() {
+		w.Ctl.Close()
+		w.rc.Close()
+		w.Host.Close()
+	})
 }

@@ -267,7 +267,7 @@ func (g *Gatekeeper) scheduleLease() {
 		g.mu.Lock()
 		g.renewDue = true
 		g.mu.Unlock()
-		g.announceAsync()
+		g.kickAnnouncer()
 		g.scheduleLease()
 	})
 }
@@ -285,7 +285,18 @@ func (g *Gatekeeper) announceAsync() {
 		return
 	}
 	g.annDirty = true
-	if g.annPending {
+	g.mu.Unlock()
+	g.kickAnnouncer()
+}
+
+// kickAnnouncer ensures the coalescing announce actor is running. The
+// actor drains churn (annDirty → full announce) and renewals (renewDue
+// alone → in-place lease extension, one batched frame per replica group,
+// falling back to a full announce when the registry cannot extend: an old
+// replica, or a lease that already expired there).
+func (g *Gatekeeper) kickAnnouncer() {
+	g.mu.Lock()
+	if g.closed || g.retired || g.reg == nil || g.annPending {
 		g.mu.Unlock()
 		return
 	}
@@ -294,16 +305,24 @@ func (g *Gatekeeper) announceAsync() {
 	g.rt.Go("gatekeeper:announce:"+g.target.NodeName(), func() {
 		for {
 			g.mu.Lock()
-			if g.closed || !g.annDirty {
+			if g.closed || (!g.annDirty && !g.renewDue) {
 				g.annPending = false
 				g.mu.Unlock()
 				return
 			}
-			g.annDirty = false
+			dirty := g.annDirty
 			renew := g.renewDue
-			g.renewDue = false
+			rc, ttl := g.reg, g.leaseTTL
+			g.annDirty, g.renewDue = false, false
 			g.mu.Unlock()
-			err := g.Announce() // Entries() snapshots the table at publish time
+			var err error
+			if dirty || rc == nil || ttl <= 0 {
+				err = g.Announce() // Entries() snapshots the table at publish time
+			} else if err = rc.RenewLease(g.target.NodeName(), ttl); err != nil {
+				// The cheap path didn't take — re-establish the lease with
+				// the full entry set.
+				err = g.Announce()
+			}
 			if renew {
 				if err == nil {
 					g.renewals.Add(1)
@@ -406,7 +425,7 @@ func (g *Gatekeeper) handle(req *Request) *Response {
 		if snap.Node == "" {
 			snap.Node = g.target.NodeName()
 		}
-		return &Response{OK: true, Metrics: &snap}
+		return &Response{OK: true, Metrics: snap}
 	case OpEvents:
 		return &Response{OK: true, Events: g.telemetry().Events(req.Max)}
 	case OpAnnounce:

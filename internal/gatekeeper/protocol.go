@@ -50,6 +50,14 @@ const (
 	OpRegSync     = "reg-sync"   // anti-entropy exchange between replicas
 	OpRegStatus   = "reg-status" // one replica's replication status
 
+	// Sharded-registry operations. Old daemons answer them with an
+	// "unknown registry operation" refusal, which clients detect and fall
+	// back from, so mixed-version grids keep working.
+	OpRegAnnounceBatch = "reg-announce-batch" // per-shard publishes, one frame per replica group
+	OpRegRenewBatch    = "reg-renew-batch"    // extend a node's leases without resending entries
+	OpRegDigest        = "reg-digest"         // incremental anti-entropy: version digests first
+	OpRegPush          = "reg-push"           // records a digest round found the peer missing
+
 	OpMetrics = "metrics" // telemetry snapshot: counters, gauges, histograms
 	OpEvents  = "events"  // recent control-plane trace events
 )
@@ -69,6 +77,32 @@ type Entry struct {
 	// lease left before the entry expires un-renewed. Zero means the entry
 	// is permanent (published without a lease).
 	TTLMillis int64 `json:"ttl_remaining_ms,omitempty"`
+}
+
+// EntriesSum fingerprints an entry set for lease renewal: FNV-1a over the
+// identity fields of every entry, order-independent (per-entry hashes are
+// XOR-folded), so the publisher's announce-time slice and the replica's
+// stored copy agree however either happens to be ordered. TTLMillis is
+// excluded — it is lookup output, not published content.
+func EntriesSum(entries []Entry) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	var sum uint32
+	for _, e := range entries {
+		h := uint32(offset32)
+		for _, s := range []string{e.Node, e.Kind, e.Name, e.Service, e.Addr} {
+			for i := 0; i < len(s); i++ {
+				h ^= uint32(s[i])
+				h *= prime32
+			}
+			h ^= 0xff // field separator: ("a","") must not collide with ("","a")
+			h *= prime32
+		}
+		sum ^= h
+	}
+	return sum
 }
 
 // SyncRecord carries one publishing node's record in an anti-entropy
@@ -91,6 +125,15 @@ type SyncRecord struct {
 	Deleted bool `json:"deleted,omitempty"`
 }
 
+// ShardPublish is one shard's slice of a node's entry set inside an
+// announce-batch: the whole burst rides one frame per replica group instead
+// of one frame per shard. An empty Entries still replaces — module churn
+// that emptied a shard must clear the stale entries there.
+type ShardPublish struct {
+	Shard   int     `json:"shard"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
 // NodeInfo is one process's deployment descriptor, answered to OpInfo. In a
 // live deployment it is how an attaching controller bootstraps: the first
 // daemon it reaches names every registry replica and hands over its address
@@ -104,6 +147,11 @@ type NodeInfo struct {
 	// Registries names the nodes hosting registry replicas, in this
 	// process's preference order.
 	Registries []string `json:"registries,omitempty"`
+	// Shards is the shard → replica-group map of a hash-partitioned
+	// registry, in this process's per-group preference order. Omitted by
+	// single-shard deployments, where Registries alone describes the
+	// directory — the S=1 wire format is unchanged.
+	Shards [][]string `json:"shard_groups,omitempty"`
 	// Peers is the process's current node → endpoint address book.
 	Peers map[string]string `json:"peers,omitempty"`
 }
@@ -118,12 +166,23 @@ type PeerSyncStatus struct {
 	LagMillis int64 `json:"lag_ms"`
 }
 
-// RegStatus is one registry replica's replication report.
+// ShardStatus is one hosted shard's slice of a RegStatus.
+type ShardStatus struct {
+	Shard   int              `json:"shard"`
+	Nodes   int              `json:"nodes"`   // publishing nodes with live records in this shard
+	Entries int              `json:"entries"` // live entries across those nodes
+	Peers   []PeerSyncStatus `json:"peers,omitempty"`
+}
+
+// RegStatus is one registry replica's replication report. The top-level
+// counts aggregate across every hosted shard (a node publishing into two
+// shards counts once); Shards breaks them down per shard.
 type RegStatus struct {
 	Node    string           `json:"node"`    // replica host
 	Nodes   int              `json:"nodes"`   // publishing nodes with live records
 	Entries int              `json:"entries"` // live entries across those nodes
 	Peers   []PeerSyncStatus `json:"peers,omitempty"`
+	Shards  []ShardStatus    `json:"shards,omitempty"`
 }
 
 // DeviceStats mirrors one arbitration device's counters as seen from a
@@ -166,8 +225,32 @@ type Request struct {
 	TTLMillis int64 `json:"ttl_ms,omitempty"`
 	// From names the replica initiating a reg-sync exchange.
 	From string `json:"from,omitempty"`
-	// Sync is the initiator's record snapshot on a reg-sync.
+	// Sync is the initiator's record snapshot on a reg-sync (or the pushed
+	// records on a reg-push).
 	Sync []SyncRecord `json:"sync,omitempty"`
+	// Shard addresses one shard of a hash-partitioned registry on the
+	// registry operations. Zero (omitted on the wire) is shard 0 — the only
+	// shard of an unsharded deployment, keeping S=1 frames byte-identical
+	// to pre-sharding clients. ShardAll asks a lookup/list to search every
+	// shard the replica hosts.
+	Shard int `json:"shard,omitempty"`
+	// Batch carries the per-shard publishes of a reg-announce-batch.
+	Batch []ShardPublish `json:"batch,omitempty"`
+	// Shards names the shards a reg-renew-batch extends the node's lease in.
+	Shards []int `json:"shards,omitempty"`
+	// Sums, aligned with Shards, fingerprints the entry set the publisher
+	// believes each shard leases (EntriesSum). A replica whose record does
+	// not match reports the shard Missing instead of extending the lease:
+	// renewing in place is only sound for content the replica actually
+	// holds — a replica that joined the rotation through failover may hold
+	// a pre-divergence copy, and a bare deadline bump would keep that stale
+	// record alive forever. Omitted (old clients): no content check.
+	Sums []uint32 `json:"sums,omitempty"`
+	// Digest is the initiator's shard version vector on a reg-digest:
+	// publishing node → freshest record stamp (µs). The responder answers
+	// with the records it holds fresher plus the Want-list of nodes the
+	// initiator holds fresher.
+	Digest map[string]int64 `json:"digest,omitempty"`
 	// TraceID stitches one control exchange across processes: the caller
 	// mints it, every hop records it in its event ring, and the response
 	// echoes it. Empty from old clients — fully backward-compatible.
@@ -186,8 +269,16 @@ type Response struct {
 	Stats    *Stats   `json:"stats,omitempty"`
 	Entries  []Entry  `json:"entries,omitempty"`
 	// Sync is the responder's record snapshot answering a reg-sync, so one
-	// exchange reconciles both directions (push-pull anti-entropy).
+	// exchange reconciles both directions (push-pull anti-entropy). On a
+	// reg-digest it carries only the records the responder holds fresher
+	// than the initiator's digest.
 	Sync []SyncRecord `json:"sync,omitempty"`
+	// Want names the publishing nodes the reg-digest initiator holds
+	// fresher than the responder; the initiator pushes them back.
+	Want []string `json:"want,omitempty"`
+	// Missing names the shards a reg-renew-batch found no live leased
+	// record in — the publisher must fall back to a full announce there.
+	Missing []int `json:"missing,omitempty"`
 	// Status answers a reg-status.
 	Status *RegStatus `json:"status,omitempty"`
 	// Info answers an info request.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,12 +26,22 @@ import (
 // expires un-renewed, so a crashed process — one that never got to
 // withdraw — disappears from discovery on its own.
 //
-// Replicas reconcile through periodic push-pull anti-entropy (StartSync):
-// each exchange ships both sides' record snapshots and merges them
-// last-writer-wins on the record's version stamp, dropping expired records
-// on the way. An entry published in one zone therefore becomes resolvable
-// everywhere within one sync interval, and killing any single replica
-// leaves the directory served by the survivors.
+// The directory is hash-partitioned: entry names FNV-map into S shards
+// (ShardOf), each owned by its own replica group, and one replica hosts
+// whichever shards its groups assign it. An unsharded deployment is the
+// S=1 special case — every record lives in shard 0 and nothing on the
+// wire or in the maps differs from the pre-sharding registry.
+//
+// Replicas reconcile per shard through periodic anti-entropy (StartSync /
+// StartShardSync). The first exchange with a peer — and every exchange
+// with a peer too old to answer digests — is a full push-pull snapshot
+// merge, last-writer-wins on the record's version stamp. Once a peer has
+// synced, rounds go incremental: the initiator sends a version digest
+// (publishing node → freshest stamp), the responder answers with only the
+// records it holds fresher plus the list it wants back, and the initiator
+// pushes those — divergent records cross the wire, converged ones do not.
+// A restarted replica starts from an empty peer table and therefore falls
+// back to the full snapshot exchange automatically.
 type Registry struct {
 	rt  vtime.Runtime
 	tr  orb.Transport
@@ -38,13 +49,21 @@ type Registry struct {
 	tel atomic.Pointer[telemetry.Registry]
 
 	mu        sync.Mutex
-	records   map[string]record      // publishing node → its versioned record
+	nshards   int                    // grid-wide shard count (1 = unsharded)
+	shards    map[int]*shardState    // hosted shards, by shard id
 	conns     map[orbStream]struct{} // open pooled sessions, torn down on Close
-	peers     map[string]*peerState  // replica peers under anti-entropy
 	intervals map[vtime.Waiter]vtime.Timer
 	sessions  int64 // client sessions ever accepted
 	lookups   int64 // lookup/list operations served
+	looping   bool  // the anti-entropy loop actor is running
 	closed    bool
+}
+
+// shardState is one hosted shard: its slice of the directory plus the
+// peers of its replica group.
+type shardState struct {
+	records map[string]record     // publishing node → its versioned record
+	peers   map[string]*peerState // replica peers under anti-entropy
 }
 
 // record is one publishing node's state: its leased entry set, or a
@@ -57,13 +76,14 @@ type record struct {
 	deleted bool       // withdraw tombstone (always leased)
 }
 
-// peerState tracks anti-entropy with one peer replica.
+// peerState tracks anti-entropy with one peer replica of one shard group.
 type peerState struct {
-	st     orbStream  // pooled sync session; nil until dialed
-	syncs  int64      // successful exchanges
-	fails  int64      // failed attempts
-	last   vtime.Time // instant of the last successful exchange
-	synced bool       // at least one exchange succeeded
+	st       orbStream  // pooled sync session; nil until dialed
+	syncs    int64      // successful exchanges
+	fails    int64      // failed attempts
+	last     vtime.Time // instant of the last successful exchange
+	synced   bool       // at least one exchange succeeded (full sync done)
+	noDigest bool       // peer refused reg-digest (old daemon): full rounds only
 }
 
 // DefaultSyncInterval is the anti-entropy period deployments run replicas
@@ -77,15 +97,17 @@ const DefaultSyncInterval = time.Second
 const TombstoneTTL = DefaultLeaseTTL
 
 // StartRegistry binds the registry service on the transport and starts
-// answering publish/withdraw/lookup/sync queries.
+// answering publish/withdraw/lookup/sync queries. The fresh replica hosts
+// shard 0 of a single-shard directory until ServeShard/SetShards say
+// otherwise.
 func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	lst, err := tr.Listen(RegistryService)
 	if err != nil {
 		return nil, fmt.Errorf("gatekeeper: binding %s: %w", RegistryService, err)
 	}
-	r := &Registry{rt: rt, tr: tr, lst: lst,
-		records: make(map[string]record), conns: make(map[orbStream]struct{}),
-		peers: make(map[string]*peerState), intervals: make(map[vtime.Waiter]vtime.Timer)}
+	r := &Registry{rt: rt, tr: tr, lst: lst, nshards: 1,
+		shards: map[int]*shardState{0: newShardState()},
+		conns:  make(map[orbStream]struct{}), intervals: make(map[vtime.Waiter]vtime.Timer)}
 	rt.Go("registry:accept:"+tr.NodeName(), func() {
 		for {
 			st, err := lst.Accept()
@@ -107,6 +129,10 @@ func StartRegistry(rt vtime.Runtime, tr orb.Transport) (*Registry, error) {
 	return r, nil
 }
 
+func newShardState() *shardState {
+	return &shardState{records: make(map[string]record), peers: make(map[string]*peerState)}
+}
+
 // UseTelemetry points the replica at a telemetry registry: served
 // operations, sync rounds (latency, entries merged, tombstones) and session
 // bytes start being recorded. Nil (the default) records nothing.
@@ -114,33 +140,103 @@ func (r *Registry) UseTelemetry(tel *telemetry.Registry) { r.tel.Store(tel) }
 
 func (r *Registry) telemetry() *telemetry.Registry { return r.tel.Load() }
 
-// StartSync turns this registry into a replica: a dedicated actor
-// reconciles with every peer each interval through push-pull sync
-// exchanges. Unreachable or not-yet-started peers are retried next round.
-// The loop stops when the registry closes.
+// SetShards declares the grid-wide shard count this replica is part of, so
+// lookups without an explicit shard can be routed by name server-side and
+// status reports know whether to break down per shard.
+func (r *Registry) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	r.nshards = n
+	r.mu.Unlock()
+}
+
+// HostShards declares exactly which shards this replica hosts, replacing
+// the fresh registry's default shard-0 hosting. Shard states already held
+// for retained ids survive; dropped shards lose their records — call this
+// while configuring the replica, before it serves traffic or syncs.
+func (r *Registry) HostShards(ids ...int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make(map[int]*shardState, len(ids))
+	for _, id := range ids {
+		if sh := r.shards[id]; sh != nil {
+			next[id] = sh
+		} else {
+			next[id] = newShardState()
+		}
+	}
+	r.shards = next
+}
+
+// ShardIDs returns the shards this replica hosts, sorted.
+func (r *Registry) ShardIDs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shardIDsLocked()
+}
+
+func (r *Registry) shardIDsLocked() []int {
+	ids := make([]int, 0, len(r.shards))
+	for id := range r.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// StartSync turns this registry into a replica of a single-shard
+// deployment: shard 0's group is the given peer list, reconciled every
+// interval. The pre-sharding entry point, kept as the S=1 path.
 func (r *Registry) StartSync(peers []string, every time.Duration) {
+	r.StartShardSync(0, peers, every)
+}
+
+// StartShardSync registers this replica as a member of one shard's group
+// and starts (or joins) the anti-entropy loop: a single dedicated actor
+// reconciles every hosted shard with its group's peers each interval.
+// Unreachable or not-yet-started peers are retried next round. The loop
+// stops when the registry closes.
+func (r *Registry) StartShardSync(shard int, peers []string, every time.Duration) {
 	if every <= 0 {
 		every = DefaultSyncInterval
 	}
+	self := r.tr.NodeName()
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return
 	}
-	self := r.tr.NodeName()
-	var fresh []string
+	sh := r.shards[shard]
+	if sh == nil {
+		sh = newShardState()
+		r.shards[shard] = sh
+	}
 	for _, p := range peers {
 		if p == self || p == "" {
 			continue
 		}
-		if _, dup := r.peers[p]; dup {
+		if _, dup := sh.peers[p]; dup {
 			continue
 		}
-		r.peers[p] = &peerState{}
-		fresh = append(fresh, p)
+		sh.peers[p] = &peerState{}
+	}
+	// One loop serves every hosted shard; starting it with no peers at all
+	// would park an actor for nothing.
+	start := !r.looping
+	if start {
+		n := 0
+		for _, s := range r.shards {
+			n += len(s.peers)
+		}
+		start = n > 0
+	}
+	if start {
+		r.looping = true
 	}
 	r.mu.Unlock()
-	if len(fresh) == 0 {
+	if !start {
 		return
 	}
 	r.rt.Go("registry:sync:"+self, func() {
@@ -151,14 +247,38 @@ func (r *Registry) StartSync(peers []string, every time.Duration) {
 			if closed {
 				return
 			}
-			for _, peer := range fresh {
-				r.syncWith(peer)
+			for _, t := range r.syncTargets() {
+				r.syncWith(t.shard, t.peer)
 			}
 			if !r.waitInterval(every) {
 				return
 			}
 		}
 	})
+}
+
+// syncTarget is one (shard, peer) reconciliation the loop owes per round.
+type syncTarget struct {
+	shard int
+	peer  string
+}
+
+// syncTargets lists every hosted shard's peers in deterministic order.
+func (r *Registry) syncTargets() []syncTarget {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []syncTarget
+	for _, id := range r.shardIDsLocked() {
+		peers := make([]string, 0, len(r.shards[id].peers))
+		for p := range r.shards[id].peers {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			out = append(out, syncTarget{shard: id, peer: p})
+		}
+	}
+	return out
 }
 
 // waitInterval parks the sync loop for one anti-entropy period and reports
@@ -186,102 +306,161 @@ func (r *Registry) waitInterval(d time.Duration) bool {
 	return !closed
 }
 
-// SyncNow runs one synchronous anti-entropy round with every peer — the
-// clean-shutdown path for a replica host: a withdraw landing on the local
-// replica moments before it closes must still reach the survivors, and the
-// periodic loop (which only live replicas initiate) would never carry it.
+// SyncNow runs one synchronous anti-entropy round with every peer of every
+// hosted shard — the clean-shutdown path for a replica host: a withdraw
+// landing on the local replica moments before it closes must still reach
+// the survivors, and the periodic loop (which only live replicas initiate)
+// would never carry it.
 func (r *Registry) SyncNow() {
 	r.mu.Lock()
-	peers := make([]string, 0, len(r.peers))
-	for p := range r.peers {
-		peers = append(peers, p)
-	}
 	closed := r.closed
 	r.mu.Unlock()
 	if closed {
 		return
 	}
-	sort.Strings(peers)
-	for _, p := range peers {
-		r.syncWith(p)
+	for _, t := range r.syncTargets() {
+		r.syncWith(t.shard, t.peer)
 	}
 }
 
-// syncWith runs one push-pull exchange with a peer replica on a pooled
-// session, re-dialing once when the session broke since the last round.
-// Failures only bump the peer's counter: the next round retries.
-func (r *Registry) syncWith(peer string) {
+// syncExchange runs one framed request/response on a sync session under the
+// control deadline.
+func syncExchange(st orbStream, req *Request) (*Response, error) {
+	defer ArmControlDeadline(st)()
+	if err := WriteRequest(st, req); err != nil {
+		return nil, err
+	}
+	return ReadResponse(st)
+}
+
+// syncWith runs one anti-entropy exchange for one shard with a peer on a
+// pooled session, re-dialing once when the session broke since the last
+// round. The first successful exchange with a peer is a full push-pull
+// snapshot; after that, rounds open with a version digest and ship only
+// divergent records. A peer that refuses digests (an old daemon) is
+// remembered and gets full rounds forever. Failures only bump the peer's
+// counter: the next round retries.
+func (r *Registry) syncWith(shard int, peer string) {
 	r.mu.Lock()
-	ps, ok := r.peers[peer]
-	if !ok || r.closed {
+	sh := r.shards[shard]
+	if sh == nil || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	ps := sh.peers[peer]
+	if ps == nil {
 		r.mu.Unlock()
 		return
 	}
 	st := ps.st
+	full := !ps.synced || ps.noDigest
 	r.mu.Unlock()
 
 	tel := r.telemetry()
 	if reach, ok := r.tr.(orb.Reachability); ok && !reach.CanReach(peer) {
 		tel.Counter("reg.sync_failures").Inc()
-		r.noteSync(peer, nil, false)
+		r.noteSync(shard, peer, nil, false)
 		return
 	}
 	start := tel.Now()
-	req := &Request{Op: OpRegSync, From: r.tr.NodeName(), Sync: r.snapshot()}
+	self := r.tr.NodeName()
+	fullReq := func() *Request {
+		return &Request{Op: OpRegSync, From: self, Shard: shard, Sync: r.snapshotShard(shard)}
+	}
+	var req *Request
+	if full {
+		req = fullReq()
+	} else {
+		req = &Request{Op: OpRegDigest, From: self, Shard: shard, Digest: r.digestShard(shard)}
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if st == nil {
 			var err error
 			st, err = r.tr.Dial(peer, RegistryService)
 			if err != nil {
 				tel.Counter("reg.sync_failures").Inc()
-				r.noteSync(peer, nil, false)
+				r.noteSync(shard, peer, nil, false)
 				return
 			}
 		}
-		disarm := ArmControlDeadline(st)
-		if err := WriteRequest(st, req); err == nil {
-			if resp, err := ReadResponse(st); err == nil && resp.OK {
-				disarm()
-				r.merge(resp.Sync)
-				tel.Counter("reg.sync_rounds").Inc()
-				tel.Histogram("reg.sync_round").Observe(tel.Since(start))
-				r.noteSync(peer, st, true)
-				return
+		resp, err := syncExchange(st, req)
+		if err == nil && !resp.OK && !full {
+			// The peer answered but refused the digest — an old daemon that
+			// predates incremental sync. Remember it and replay this round
+			// as a full push-pull on the same healthy session.
+			r.mu.Lock()
+			ps.noDigest = true
+			r.mu.Unlock()
+			full = true
+			req = fullReq()
+			resp, err = syncExchange(st, req)
+		}
+		if err == nil && resp.OK {
+			r.mergeShard(shard, resp.Sync)
+			if full {
+				tel.Counter("reg.shard.full_rounds").Inc()
+			} else {
+				tel.Counter("reg.shard.records_recv").Add(int64(len(resp.Sync)))
+				if len(resp.Want) > 0 {
+					// The responder holds older copies of these records:
+					// push ours back on the same session to finish the
+					// round's reconciliation.
+					push := r.snapshotNodes(shard, resp.Want)
+					presp, perr := syncExchange(st, &Request{
+						Op: OpRegPush, From: self, Shard: shard, Sync: push})
+					if perr != nil || !presp.OK {
+						_ = st.Close()
+						st = nil
+						tel.Counter("reg.sync_failures").Inc()
+						r.noteSync(shard, peer, nil, false)
+						return
+					}
+					tel.Counter("reg.shard.records_sent").Add(int64(len(push)))
+				}
+				tel.Counter("reg.shard.digest_rounds").Inc()
+				tel.Histogram("reg.shard.digest_round").Observe(tel.Since(start))
 			}
+			tel.Counter("reg.sync_rounds").Inc()
+			tel.Histogram("reg.sync_round").Observe(tel.Since(start))
+			r.noteSync(shard, peer, st, true)
+			return
 		}
 		_ = st.Close()
 		st = nil
 	}
 	tel.Counter("reg.sync_failures").Inc()
-	r.noteSync(peer, nil, false)
+	r.noteSync(shard, peer, nil, false)
 }
 
 // noteSync records the outcome of one exchange and re-pools the session.
 // The replaced session is closed outside the lock: closing a SAN-mapped
 // stream sends a FIN, which blocks in virtual time, and r.mu must never be
 // held across a park (an actor stuck on the mutex would freeze the clock).
-func (r *Registry) noteSync(peer string, st orbStream, ok bool) {
+func (r *Registry) noteSync(shard int, peer string, st orbStream, ok bool) {
 	r.mu.Lock()
 	var old orbStream
-	if ps := r.peers[peer]; ps != nil {
-		if ps.st != nil && ps.st != st {
-			old = ps.st
-		}
-		ps.st = st
-		if r.closed {
-			// Close ran under an in-flight exchange: don't re-pool a
-			// session nothing will ever tear down again.
-			ps.st = nil
-			if st != nil {
-				old = st
+	sh := r.shards[shard]
+	if sh != nil {
+		if ps := sh.peers[peer]; ps != nil {
+			if ps.st != nil && ps.st != st {
+				old = ps.st
 			}
-		}
-		if ok {
-			ps.syncs++
-			ps.last = r.rt.Now()
-			ps.synced = true
-		} else {
-			ps.fails++
+			ps.st = st
+			if r.closed {
+				// Close ran under an in-flight exchange: don't re-pool a
+				// session nothing will ever tear down again.
+				ps.st = nil
+				if st != nil {
+					old = st
+				}
+			}
+			if ok {
+				ps.syncs++
+				ps.last = r.rt.Now()
+				ps.synced = true
+			} else {
+				ps.fails++
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -290,48 +469,155 @@ func (r *Registry) noteSync(peer string, st orbStream, ok bool) {
 	}
 }
 
-// snapshot captures every unexpired record for a sync exchange, encoding
-// leases as remaining TTL (re-anchored on the receiver's clock) and
-// versions as stamps. Expired records — leases and tombstones alike — are
-// reaped on the way, never shipped.
-func (r *Registry) snapshot() []SyncRecord {
+// syncRecordOf encodes one record for the wire: leases as remaining TTL
+// (re-anchored on the receiver's clock), versions as stamps. Reports false
+// for an expired record — reaped, never shipped.
+func syncRecordOf(node string, rec record, now vtime.Time) (SyncRecord, bool) {
+	var ttl int64
+	if rec.leased {
+		remain := rec.expires.Sub(now)
+		if remain <= 0 {
+			return SyncRecord{}, false
+		}
+		ttl = int64(remain / time.Millisecond)
+		if ttl <= 0 {
+			ttl = 1
+		}
+	}
+	return SyncRecord{
+		Node:        node,
+		Entries:     append([]Entry(nil), rec.entries...),
+		TTLMillis:   ttl,
+		StampMicros: int64(rec.stamp.Duration() / time.Microsecond),
+		Deleted:     rec.deleted,
+	}, true
+}
+
+// snapshot captures shard 0 for a sync exchange — the S=1 compatibility
+// accessor behind the original full push-pull protocol.
+func (r *Registry) snapshot() []SyncRecord { return r.snapshotShard(0) }
+
+// snapshotShard captures every unexpired record of one shard, reaping
+// expired leases and tombstones on the way.
+func (r *Registry) snapshotShard(shard int) []SyncRecord {
 	now := r.rt.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]SyncRecord, 0, len(r.records))
-	for node, rec := range r.records {
-		var ttl int64
-		if rec.leased {
-			remain := rec.expires.Sub(now)
-			if remain <= 0 {
-				delete(r.records, node)
-				continue
-			}
-			ttl = int64(remain / time.Millisecond)
-			if ttl <= 0 {
-				ttl = 1
-			}
+	sh := r.shards[shard]
+	if sh == nil {
+		return nil
+	}
+	out := make([]SyncRecord, 0, len(sh.records))
+	for node, rec := range sh.records {
+		sr, live := syncRecordOf(node, rec, now)
+		if !live {
+			delete(sh.records, node)
+			continue
 		}
-		out = append(out, SyncRecord{
-			Node:        node,
-			Entries:     append([]Entry(nil), rec.entries...),
-			TTLMillis:   ttl,
-			StampMicros: int64(rec.stamp.Duration() / time.Microsecond),
-			Deleted:     rec.deleted,
-		})
+		out = append(out, sr)
 	}
 	return out
 }
 
-// merge folds a peer's snapshot in: freshest stamp wins per publishing
-// node, already-expired records are dropped, and ties keep the local copy
-// (deterministic under simultaneous renewals).
-func (r *Registry) merge(recs []SyncRecord) {
+// snapshotNodes captures the named records of one shard — the push half of
+// a digest round, shipping exactly what the responder asked for.
+func (r *Registry) snapshotNodes(shard int, nodes []string) []SyncRecord {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[shard]
+	if sh == nil {
+		return nil
+	}
+	out := make([]SyncRecord, 0, len(nodes))
+	for _, node := range nodes {
+		rec, ok := sh.records[node]
+		if !ok {
+			continue
+		}
+		sr, live := syncRecordOf(node, rec, now)
+		if !live {
+			delete(sh.records, node)
+			continue
+		}
+		out = append(out, sr)
+	}
+	return out
+}
+
+// digestShard captures one shard's version vector: publishing node →
+// freshest stamp, expired records reaped. Stamps alone carry the whole
+// comparison — a tombstone is just a record whose latest stamp marks it
+// deleted, so digests resurrect nothing.
+func (r *Registry) digestShard(shard int) map[string]int64 {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[shard]
+	if sh == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(sh.records))
+	for node, rec := range sh.records {
+		if rec.leased && rec.expires.Sub(now) <= 0 {
+			delete(sh.records, node)
+			continue
+		}
+		out[node] = int64(rec.stamp.Duration() / time.Microsecond)
+	}
+	return out
+}
+
+// diffDigest answers a peer's digest for one shard: the records this
+// replica holds fresher (shipped back), and the publishing nodes the peer
+// holds fresher (wanted back).
+func (r *Registry) diffDigest(shard int, digest map[string]int64) (fresher []SyncRecord, want []string) {
+	now := r.rt.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sh := r.shards[shard]
+	if sh == nil {
+		return nil, nil
+	}
+	for node, rec := range sh.records {
+		sr, live := syncRecordOf(node, rec, now)
+		if !live {
+			delete(sh.records, node)
+			continue
+		}
+		if peerStamp, ok := digest[node]; !ok || sr.StampMicros > peerStamp {
+			fresher = append(fresher, sr)
+		}
+	}
+	for node, peerStamp := range digest {
+		rec, ok := sh.records[node]
+		if !ok || int64(rec.stamp.Duration()/time.Microsecond) < peerStamp {
+			want = append(want, node)
+		}
+	}
+	sort.Slice(fresher, func(i, j int) bool { return fresher[i].Node < fresher[j].Node })
+	sort.Strings(want)
+	return fresher, want
+}
+
+// merge folds a peer's snapshot into shard 0 — the S=1 compatibility
+// accessor.
+func (r *Registry) merge(recs []SyncRecord) { r.mergeShard(0, recs) }
+
+// mergeShard folds a peer's records into one shard: freshest stamp wins
+// per publishing node, already-expired records are dropped, and ties keep
+// the local copy (deterministic under simultaneous renewals).
+func (r *Registry) mergeShard(shard int, recs []SyncRecord) {
 	al, hasAL := r.tr.(orb.AddrLearner)
 	var accepted []SyncRecord
 	var merged, tombstones int64
 	now := r.rt.Now()
 	r.mu.Lock()
+	sh := r.shards[shard]
+	if sh == nil {
+		r.mu.Unlock()
+		return
+	}
 	for _, in := range recs {
 		if in.Node == "" {
 			continue
@@ -343,7 +629,7 @@ func (r *Registry) merge(recs []SyncRecord) {
 			continue // already expired; zero means permanent, not expired
 		}
 		stamp := vtime.Time(in.StampMicros * int64(time.Microsecond))
-		if loc, ok := r.records[in.Node]; ok {
+		if loc, ok := sh.records[in.Node]; ok {
 			alive := !loc.leased || now < loc.expires
 			if alive && stamp <= loc.stamp {
 				continue
@@ -360,7 +646,7 @@ func (r *Registry) merge(recs []SyncRecord) {
 				rec.expires = now.Add(time.Duration(in.TTLMillis) * time.Millisecond)
 			}
 		}
-		r.records[in.Node] = rec
+		sh.records[in.Node] = rec
 		merged++
 		if in.Deleted {
 			tombstones++
@@ -390,32 +676,76 @@ func (r *Registry) merge(recs []SyncRecord) {
 }
 
 // Status reports this replica's replication state: live record and entry
-// counts plus per-peer sync lag.
+// counts plus per-peer sync lag, aggregated across hosted shards, with a
+// per-shard breakdown when the directory is actually sharded.
 func (r *Registry) Status() RegStatus {
 	now := r.rt.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := RegStatus{Node: r.tr.NodeName()}
-	for _, rec := range r.records {
-		if rec.deleted || (rec.leased && now >= rec.expires) {
-			continue
-		}
-		st.Nodes++
-		st.Entries += len(rec.entries)
+	ids := r.shardIDsLocked()
+	sharded := r.nshards > 1 || len(ids) > 1 || (len(ids) == 1 && ids[0] != 0)
+	seenNodes := map[string]bool{}
+	type peerAgg struct {
+		syncs, fails int64
+		lag          int64
+		synced       bool
 	}
-	peers := make([]string, 0, len(r.peers))
-	for p := range r.peers {
-		peers = append(peers, p)
-	}
-	sort.Strings(peers)
-	for _, p := range peers {
-		ps := r.peers[p]
-		lag := int64(-1)
-		if ps.synced {
-			lag = int64(now.Sub(ps.last) / time.Millisecond)
+	aggPeers := map[string]*peerAgg{}
+	for _, id := range ids {
+		sh := r.shards[id]
+		ss := ShardStatus{Shard: id}
+		for node, rec := range sh.records {
+			if rec.deleted || (rec.leased && now >= rec.expires) {
+				continue
+			}
+			ss.Nodes++
+			ss.Entries += len(rec.entries)
+			if !seenNodes[node] {
+				seenNodes[node] = true
+				st.Nodes++
+			}
+			st.Entries += len(rec.entries)
 		}
+		peers := make([]string, 0, len(sh.peers))
+		for p := range sh.peers {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			ps := sh.peers[p]
+			lag := int64(-1)
+			if ps.synced {
+				lag = int64(now.Sub(ps.last) / time.Millisecond)
+			}
+			ss.Peers = append(ss.Peers, PeerSyncStatus{
+				Node: p, Syncs: ps.syncs, Fails: ps.fails, LagMillis: lag,
+			})
+			agg := aggPeers[p]
+			if agg == nil {
+				agg = &peerAgg{lag: -1}
+				aggPeers[p] = agg
+			}
+			agg.syncs += ps.syncs
+			agg.fails += ps.fails
+			if ps.synced && (!agg.synced || lag < agg.lag) {
+				agg.synced = true
+				agg.lag = lag
+			}
+		}
+		if sharded {
+			st.Shards = append(st.Shards, ss)
+		}
+	}
+	aggNames := make([]string, 0, len(aggPeers))
+	for p := range aggPeers {
+		aggNames = append(aggNames, p)
+	}
+	sort.Strings(aggNames)
+	for _, p := range aggNames {
+		agg := aggPeers[p]
 		st.Peers = append(st.Peers, PeerSyncStatus{
-			Node: p, Syncs: ps.syncs, Fails: ps.fails, LagMillis: lag,
+			Node: p, Syncs: agg.syncs, Fails: agg.fails, LagMillis: agg.lag,
 		})
 	}
 	return st
@@ -435,10 +765,12 @@ func (r *Registry) Close() {
 	for st := range r.conns {
 		conns = append(conns, st)
 	}
-	for _, ps := range r.peers {
-		if ps.st != nil {
-			conns = append(conns, ps.st)
-			ps.st = nil
+	for _, sh := range r.shards {
+		for _, ps := range sh.peers {
+			if ps.st != nil {
+				conns = append(conns, ps.st)
+				ps.st = nil
+			}
 		}
 	}
 	waits := make([]vtime.Waiter, 0, len(r.intervals))
@@ -503,6 +835,25 @@ func (r *Registry) serve(st orbStream) {
 	}
 }
 
+// reqShards resolves a request's shard address to hosted shard ids:
+// ShardAll means every hosted shard, anything else names exactly one,
+// which must be hosted here — a client whose shard map says otherwise is
+// talking to the wrong group and must hear so, not get silently empty
+// results.
+func (r *Registry) reqShards(shard int) ([]int, *Response) {
+	if shard == ShardAll {
+		return r.ShardIDs(), nil
+	}
+	r.mu.Lock()
+	_, ok := r.shards[shard]
+	r.mu.Unlock()
+	if !ok {
+		return nil, &Response{Error: fmt.Sprintf(
+			"replica %s does not host shard %d", r.tr.NodeName(), shard)}
+	}
+	return []int{shard}, nil
+}
+
 func (r *Registry) handle(req *Request) *Response {
 	r.telemetry().Counter("reg.ops." + req.Op).Inc()
 	switch req.Op {
@@ -516,6 +867,9 @@ func (r *Registry) handle(req *Request) *Response {
 		if node == "" {
 			return &Response{Error: "publish without node"}
 		}
+		if _, errResp := r.reqShards(req.Shard); errResp != nil {
+			return errResp
+		}
 		now := r.rt.Now()
 		rec := record{entries: append([]Entry(nil), req.Entries...), stamp: now}
 		if req.TTLMillis > 0 {
@@ -523,28 +877,128 @@ func (r *Registry) handle(req *Request) *Response {
 			rec.expires = now.Add(time.Duration(req.TTLMillis) * time.Millisecond)
 		}
 		r.mu.Lock()
-		r.records[node] = rec
+		r.shards[req.Shard].records[node] = rec
 		r.mu.Unlock()
 		return &Response{OK: true}
+	case OpRegAnnounceBatch:
+		if req.Node == "" {
+			return &Response{Error: "publish without node"}
+		}
+		now := r.rt.Now()
+		r.mu.Lock()
+		for _, sp := range req.Batch {
+			if r.shards[sp.Shard] == nil {
+				r.mu.Unlock()
+				return &Response{Error: fmt.Sprintf(
+					"replica %s does not host shard %d", r.tr.NodeName(), sp.Shard)}
+			}
+		}
+		for _, sp := range req.Batch {
+			rec := record{entries: append([]Entry(nil), sp.Entries...), stamp: now}
+			if req.TTLMillis > 0 {
+				rec.leased = true
+				rec.expires = now.Add(time.Duration(req.TTLMillis) * time.Millisecond)
+			}
+			r.shards[sp.Shard].records[req.Node] = rec
+		}
+		r.mu.Unlock()
+		return &Response{OK: true}
+	case OpRegRenewBatch:
+		// Extend a publisher's leases in place — entries stay as announced,
+		// only the deadline (and the version stamp, so the renewal
+		// propagates to peers) moves. A shard with no live leased record
+		// for the node is reported Missing: the publisher's full announce
+		// re-establishes it.
+		if req.Node == "" {
+			return &Response{Error: "renew without node"}
+		}
+		if req.TTLMillis <= 0 {
+			return &Response{Error: "renew without ttl"}
+		}
+		now := r.rt.Now()
+		targets := req.Shards
+		sums := req.Sums
+		if len(sums) != len(targets) {
+			sums = nil // unaligned or absent: no content check (old client)
+		}
+		r.mu.Lock()
+		if len(targets) == 0 {
+			targets = r.shardIDsLocked()
+		}
+		var missing []int
+		for i, id := range targets {
+			sh := r.shards[id]
+			if sh == nil {
+				missing = append(missing, id)
+				continue
+			}
+			rec, ok := sh.records[req.Node]
+			if !ok || rec.deleted || !rec.leased || now >= rec.expires {
+				missing = append(missing, id)
+				continue
+			}
+			if sums != nil && EntriesSum(rec.entries) != sums[i] {
+				// This replica's copy is not what the publisher leased — it
+				// diverged before this replica entered the rotation (failover
+				// onto a peer the last announce never reached). Extending the
+				// deadline would pin the stale content alive; make the
+				// publisher re-announce instead.
+				missing = append(missing, id)
+				continue
+			}
+			rec.expires = now.Add(time.Duration(req.TTLMillis) * time.Millisecond)
+			rec.stamp = now
+			sh.records[req.Node] = rec
+		}
+		r.mu.Unlock()
+		sort.Ints(missing)
+		return &Response{OK: true, Missing: missing}
 	case OpRegWithdraw:
 		// A withdraw leaves a tombstone, not a bare delete: anti-entropy
 		// from a replica that has not seen the withdraw yet must not
 		// resurrect the entries. The tombstone itself is soft state and
-		// falls out after TombstoneTTL.
+		// falls out after TombstoneTTL. Every hosted shard is tombstoned —
+		// the withdrawing node's entries may be spread across all of them.
 		now := r.rt.Now()
 		r.mu.Lock()
-		r.records[req.Node] = record{
-			stamp: now, deleted: true, leased: true, expires: now.Add(TombstoneTTL),
+		for _, sh := range r.shards {
+			sh.records[req.Node] = record{
+				stamp: now, deleted: true, leased: true, expires: now.Add(TombstoneTTL),
+			}
 		}
 		r.mu.Unlock()
 		return &Response{OK: true}
 	case OpRegLookup:
-		return &Response{OK: true, Entries: r.lookup(req.Kind, req.Name, true)}
+		ids, errResp := r.reqShards(req.Shard)
+		if errResp != nil {
+			return errResp
+		}
+		return &Response{OK: true, Entries: r.lookupIn(ids, req.Kind, req.Name, true)}
 	case OpRegList:
-		return &Response{OK: true, Entries: r.lookup("", "", true)}
+		return &Response{OK: true, Entries: r.lookupIn(r.ShardIDs(), "", "", true)}
 	case OpRegSync:
-		r.merge(req.Sync)
-		return &Response{OK: true, Sync: r.snapshot()}
+		ids, errResp := r.reqShards(req.Shard)
+		if errResp != nil {
+			return errResp
+		}
+		r.mergeShard(ids[0], req.Sync)
+		return &Response{OK: true, Sync: r.snapshotShard(ids[0])}
+	case OpRegDigest:
+		ids, errResp := r.reqShards(req.Shard)
+		if errResp != nil {
+			return errResp
+		}
+		fresher, want := r.diffDigest(ids[0], req.Digest)
+		r.telemetry().Counter("reg.shard.records_sent").Add(int64(len(fresher)))
+		return &Response{OK: true, Sync: fresher, Want: want}
+	case OpRegPush:
+		ids, errResp := r.reqShards(req.Shard)
+		if errResp != nil {
+			return errResp
+		}
+		r.mergeShard(ids[0], req.Sync)
+		r.telemetry().Counter("reg.shard.records_recv").Add(int64(len(req.Sync)))
+		return &Response{OK: true}
 	case OpRegStatus:
 		st := r.Status()
 		return &Response{OK: true, Status: &st}
@@ -553,48 +1007,63 @@ func (r *Registry) handle(req *Request) *Response {
 	}
 }
 
-// Lookup returns the published, unexpired entries matching the filters;
-// empty kind or name matches everything. Results are ordered by node,
-// kind, name, and carry the lease time remaining.
+// Lookup returns the published, unexpired entries matching the filters
+// across every hosted shard; empty kind or name matches everything.
+// Results are ordered by node, kind, name, and carry the lease time
+// remaining.
 func (r *Registry) Lookup(kind, name string) []Entry {
-	return r.lookup(kind, name, false)
+	return r.lookupIn(r.ShardIDs(), kind, name, false)
 }
 
-func (r *Registry) lookup(kind, name string, remote bool) []Entry {
+func (r *Registry) lookupIn(shards []int, kind, name string, remote bool) []Entry {
 	now := r.rt.Now()
 	r.mu.Lock()
 	if remote {
 		r.lookups++
 	}
 	var out []Entry
-	for node, rec := range r.records {
-		if rec.leased && now >= rec.expires {
-			// Expired lease or tombstone: the publisher died without
-			// withdrawing, or the withdraw has been remembered long
-			// enough. Reap lazily — correctness needs no background
-			// sweeper, and lazy reaping behaves identically under Sim
-			// and Wall.
-			delete(r.records, node)
+	for _, id := range shards {
+		sh := r.shards[id]
+		if sh == nil {
 			continue
 		}
-		if rec.deleted {
-			continue
-		}
-		var remain int64
-		if rec.leased {
-			remain = int64(rec.expires.Sub(now) / time.Millisecond)
-			if remain <= 0 {
-				remain = 1
+		for node, rec := range sh.records {
+			if rec.leased && now >= rec.expires {
+				// Expired lease or tombstone: the publisher died without
+				// withdrawing, or the withdraw has been remembered long
+				// enough. Reap lazily — correctness needs no background
+				// sweeper, and lazy reaping behaves identically under Sim
+				// and Wall.
+				delete(sh.records, node)
+				continue
 			}
-		}
-		for _, e := range rec.entries {
-			if (kind == "" || e.Kind == kind) && (name == "" || e.Name == name) {
-				e.TTLMillis = remain
-				out = append(out, e)
+			if rec.deleted {
+				continue
+			}
+			var remain int64
+			if rec.leased {
+				remain = int64(rec.expires.Sub(now) / time.Millisecond)
+				if remain <= 0 {
+					remain = 1
+				}
+			}
+			for _, e := range rec.entries {
+				if (kind == "" || e.Kind == kind) && (name == "" || e.Name == name) {
+					e.TTLMillis = remain
+					out = append(out, e)
+				}
 			}
 		}
 	}
 	r.mu.Unlock()
+	sortEntries(out)
+	return out
+}
+
+// sortEntries orders lookup results by node, kind, name — the registry's
+// canonical, deterministic answer order, shared by replicas and by clients
+// merging cross-shard results.
+func sortEntries(out []Entry) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
@@ -604,33 +1073,55 @@ func (r *Registry) lookup(kind, name string, remote bool) []Entry {
 		}
 		return out[i].Name < out[j].Name
 	})
-	return out
 }
 
-// RegistryClient talks to the grid-wide registry from one process over a
-// single pooled session to one replica of a configured replica list: the
+// RegistryClient talks to the grid-wide registry from one process. Each
+// replica group gets a single pooled session to one of its replicas: the
 // framed stream is dialed once, reused for every operation, re-dialed
 // transparently when it breaks, and failed over to the next reachable
-// replica when its host dies or partitions away. Resolve results are
-// additionally cached for a short TTL, so the hot by-name dial path
-// usually skips the registry round-trip entirely.
+// replica of the group when its host dies or partitions away (per-shard
+// sticky failover). Operations route by shard — ShardOf on the entry name
+// — so a by-name lookup costs one round-trip to one group however many
+// shards the directory runs, and a renewal burst costs one batched frame
+// per group. Resolve results are additionally cached for a short TTL, so
+// the hot by-name dial path usually skips the registry round-trip
+// entirely. An unsharded client (NewRegistryClient) is the S=1 special
+// case: one group, one session, wire frames identical to the pre-sharding
+// protocol.
 type RegistryClient struct {
-	rt       vtime.Runtime
-	tr       orb.Transport
-	replicas []string
+	rt vtime.Runtime
+	tr orb.Transport
 
+	groups   [][]string    // distinct replica groups, each a preference order
+	shardGrp []int         // shard → index into groups; len is the shard count
+	sess     []*regSession // one pooled session per distinct group
+
+	tel atomic.Pointer[telemetry.Registry]
+
+	// renewOff flips when a replica refuses reg-renew-batch (old daemon):
+	// renewals fall back to full announces permanently, today's behavior.
+	renewOff atomic.Bool
+
+	mu       sync.Mutex
+	cacheTTL time.Duration
+	cache    map[cacheKey]cachedEntry
+	// sums fingerprints (EntriesSum) the per-shard entry sets of the last
+	// PublishTTL through this client, indexed by shard; nil until the first
+	// publish. Renewals send them so a replica holding a diverged copy —
+	// one the announce never reached before failover — refuses the
+	// deadline bump and forces a re-announce.
+	sums []uint32
+}
+
+// regSession is one replica group's pooled session state.
+type regSession struct {
+	replicas []string
 	// sem serializes exchanges on the pooled stream. It is a virtual-time
 	// semaphore, not a mutex: an exchange blocks in network I/O, and under
 	// Sim a plain mutex held across a parked actor would stall the clock.
 	sem *vtime.Semaphore
 	cur int       // replica the pooled session points at (sticky)
 	st  orbStream // pooled session to replicas[cur]; nil until the first exchange
-
-	tel atomic.Pointer[telemetry.Registry]
-
-	mu       sync.Mutex
-	cacheTTL time.Duration
-	cache    map[cacheKey]cachedEntry
 }
 
 type cacheKey struct{ kind, name string }
@@ -649,16 +1140,46 @@ const DefaultResolveCacheTTL = time.Second
 // hosted on the given nodes through the given transport, scheduling on rt.
 // The list is a preference order: operations stick to the first replica
 // that answers (deployments put the caller's zone-local replica first) and
-// fail over down the list when it dies or partitions away.
+// fail over down the list when it dies or partitions away. This is the
+// unsharded (S=1) client; NewShardedRegistryClient routes a partitioned
+// directory.
 func NewRegistryClient(rt vtime.Runtime, tr orb.Transport, replicas ...string) *RegistryClient {
-	return &RegistryClient{
+	return NewShardedRegistryClient(rt, tr, [][]string{replicas})
+}
+
+// NewShardedRegistryClient returns a pooled client for a hash-partitioned
+// registry: groups[s] lists, in preference order, the replicas owning
+// shard s. Groups shared by several shards (the common case when zones
+// outnumber shards or vice versa) share one pooled session, so failover
+// stickiness is per group, not per shard.
+func NewShardedRegistryClient(rt vtime.Runtime, tr orb.Transport, groups [][]string) *RegistryClient {
+	if len(groups) == 0 {
+		groups = [][]string{nil}
+	}
+	c := &RegistryClient{
 		rt:       rt,
 		tr:       tr,
-		replicas: append([]string(nil), replicas...),
-		sem:      vtime.NewSemaphore(rt, "gatekeeper: registry session "+tr.NodeName(), 1),
+		shardGrp: make([]int, len(groups)),
 		cacheTTL: DefaultResolveCacheTTL,
 		cache:    make(map[cacheKey]cachedEntry),
 	}
+	seen := map[string]int{}
+	for s, g := range groups {
+		sig := strings.Join(g, "\x00")
+		gi, ok := seen[sig]
+		if !ok {
+			gi = len(c.groups)
+			seen[sig] = gi
+			c.groups = append(c.groups, append([]string(nil), g...))
+			c.sess = append(c.sess, &regSession{
+				replicas: append([]string(nil), g...),
+				sem: vtime.NewSemaphore(rt,
+					fmt.Sprintf("gatekeeper: registry session %s#%d", tr.NodeName(), gi), 1),
+			})
+		}
+		c.shardGrp[s] = gi
+	}
+	return c
 }
 
 // UseTelemetry points the client at a telemetry registry: resolution-cache
@@ -668,21 +1189,48 @@ func (c *RegistryClient) UseTelemetry(tel *telemetry.Registry) { c.tel.Store(tel
 
 func (c *RegistryClient) telemetry() *telemetry.Registry { return c.tel.Load() }
 
-// Replicas returns the configured replica list in preference order.
-func (c *RegistryClient) Replicas() []string {
-	return append([]string(nil), c.replicas...)
+// ShardCount returns the number of shards this client routes across (1 for
+// an unsharded client).
+func (c *RegistryClient) ShardCount() int { return len(c.shardGrp) }
+
+// Groups returns the shard → replica-group map this client routes with, in
+// each group's preference order.
+func (c *RegistryClient) Groups() [][]string {
+	out := make([][]string, len(c.shardGrp))
+	for s, gi := range c.shardGrp {
+		out[s] = append([]string(nil), c.groups[gi]...)
+	}
+	return out
 }
 
-// RegistryNode returns the replica the pooled session currently prefers.
+// Replicas returns every configured replica in preference order, distinct
+// groups concatenated (first-seen order, duplicates dropped).
+func (c *RegistryClient) Replicas() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, g := range c.groups {
+		for _, n := range g {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// RegistryNode returns the replica shard 0's pooled session currently
+// prefers.
 func (c *RegistryClient) RegistryNode() string {
-	if len(c.replicas) == 0 {
+	s := c.sess[c.shardGrp[0]]
+	if len(s.replicas) == 0 {
 		return ""
 	}
-	if err := c.sem.Acquire(); err != nil {
+	if err := s.sem.Acquire(); err != nil {
 		return ""
 	}
-	defer c.sem.Release()
-	return c.replicas[c.cur]
+	defer s.sem.Release()
+	return s.replicas[s.cur]
 }
 
 // SetCacheTTL adjusts the resolution-cache lifetime; zero or negative
@@ -694,54 +1242,76 @@ func (c *RegistryClient) SetCacheTTL(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// Close tears the pooled session down. A later operation re-dials.
+// Close tears the pooled sessions down. A later operation re-dials.
 func (c *RegistryClient) Close() {
-	if err := c.sem.Acquire(); err != nil {
-		return
-	}
-	defer c.sem.Release()
-	if c.st != nil {
-		_ = c.st.Close()
-		c.st = nil
+	for _, s := range c.sess {
+		if err := s.sem.Acquire(); err != nil {
+			continue
+		}
+		if s.st != nil {
+			_ = s.st.Close()
+			s.st = nil
+		}
+		s.sem.Release()
 	}
 }
 
-// do performs one request/response exchange: on the pooled session when it
-// is healthy, re-dialing once when it broke since the last exchange, and
-// failing over down the replica list when the current replica's host is
-// dead or unreachable. A replica that answers — even with an application
-// error — ends the scan: refusals are answers, not failures.
-func (c *RegistryClient) do(req *Request) (*Response, error) {
-	resps, err := c.doAll([]*Request{req})
+// sessionFor returns the pooled session owning a shard.
+func (c *RegistryClient) sessionFor(shard int) *regSession {
+	if shard < 0 || shard >= len(c.shardGrp) {
+		shard = 0
+	}
+	return c.sess[c.shardGrp[shard]]
+}
+
+// shardFieldFor returns the Shard value a request addressed to the given
+// shard should carry: the shard id when the directory is partitioned, and
+// zero — omitted on the wire — for the S=1 client, whose frames must stay
+// byte-identical to the pre-sharding protocol.
+func (c *RegistryClient) shardFieldFor(shard int) int {
+	if len(c.shardGrp) <= 1 {
+		return 0
+	}
+	return shard
+}
+
+// do performs one request/response exchange on one shard's session: on the
+// pooled session when it is healthy, re-dialing once when it broke since
+// the last exchange, and failing over down the group's replica list when
+// the current replica's host is dead or unreachable. A replica that
+// answers — even with an application error — ends the scan: refusals are
+// answers, not failures.
+func (c *RegistryClient) do(shard int, req *Request) (*Response, error) {
+	resps, err := c.doGroup(c.sessionFor(shard), []*Request{req})
 	if err != nil {
 		return nil, err
 	}
 	return resps[0], resps[0].Err()
 }
 
-// doAll performs a batch of exchanges as one pipelined flight on the
-// pooled session (see do for session and failover semantics — the batch
-// fails over and retries as a unit, which is safe for the registry's
-// idempotent, last-writer-wins operations).
-func (c *RegistryClient) doAll(reqs []*Request) ([]*Response, error) {
-	if err := c.sem.Acquire(); err != nil {
+// doGroup performs a batch of exchanges as one pipelined flight on a
+// group's pooled session (see do for session and failover semantics — the
+// batch fails over and retries as a unit within its group, which is safe
+// for the registry's idempotent, last-writer-wins operations).
+func (c *RegistryClient) doGroup(s *regSession, reqs []*Request) ([]*Response, error) {
+	if err := s.sem.Acquire(); err != nil {
 		return nil, err
 	}
-	defer c.sem.Release()
-	if len(c.replicas) == 0 {
+	defer s.sem.Release()
+	if len(s.replicas) == 0 {
 		return nil, fmt.Errorf("gatekeeper: no registry replicas configured on %s", c.tr.NodeName())
 	}
 	reach, hasReach := c.tr.(orb.Reachability)
 	var errs []error
-	tryOrder := make([]int, 0, len(c.replicas))
-	tryOrder = append(tryOrder, c.cur)
-	for i := range c.replicas {
-		if i != c.cur {
+	tryOrder := make([]int, 0, len(s.replicas))
+	tryOrder = append(tryOrder, s.cur)
+	for i := range s.replicas {
+		if i != s.cur {
 			tryOrder = append(tryOrder, i)
 		}
 	}
 	for pos, i := range tryOrder {
-		node := c.replicas[i]
+		node := s.replicas[i]
 		// Check reachability before dialing: an unknown or partitioned
 		// replica host must be skipped here, not fall into the transport's
 		// resolver fallback — this client may BE that resolver, and
@@ -751,7 +1321,7 @@ func (c *RegistryClient) doAll(reqs []*Request) ([]*Response, error) {
 			errs = append(errs, fmt.Errorf("replica %s unreachable from %s", node, c.tr.NodeName()))
 			continue
 		}
-		resps, err := c.exchangeAll(i, reqs)
+		resps, err := c.exchangeAll(s, i, reqs)
 		if err == nil {
 			if pos > 0 {
 				// The sticky replica was unusable and a later one answered.
@@ -765,27 +1335,28 @@ func (c *RegistryClient) doAll(reqs []*Request) ([]*Response, error) {
 		c.tr.NodeName(), errors.Join(errs...))
 }
 
-// exchangeAll runs a batch of request/responses on replica i — all writes,
-// then all reads, so the batch costs one round-trip — re-dialing once if
-// the pooled session broke since the last exchange (registry restarted,
-// stream torn down). On success the client stays pinned to i.
-func (c *RegistryClient) exchangeAll(i int, reqs []*Request) ([]*Response, error) {
-	if i != c.cur && c.st != nil {
-		_ = c.st.Close()
-		c.st = nil
+// exchangeAll runs a batch of request/responses on a group's replica i —
+// all writes, then all reads, so the batch costs one round-trip —
+// re-dialing once if the pooled session broke since the last exchange
+// (registry restarted, stream torn down). On success the session stays
+// pinned to i.
+func (c *RegistryClient) exchangeAll(s *regSession, i int, reqs []*Request) ([]*Response, error) {
+	if i != s.cur && s.st != nil {
+		_ = s.st.Close()
+		s.st = nil
 	}
-	c.cur = i
+	s.cur = i
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if c.st == nil {
-			st, err := c.tr.Dial(c.replicas[i], RegistryService)
+		if s.st == nil {
+			st, err := c.tr.Dial(s.replicas[i], RegistryService)
 			if err != nil {
 				return nil, err
 			}
-			c.st = st
+			s.st = st
 		}
-		disarm := ArmControlDeadline(c.st)
-		resps, err := Pipeline(c.st, reqs)
+		disarm := ArmControlDeadline(s.st)
+		resps, err := Pipeline(s.st, reqs)
 		if err == nil {
 			disarm()
 			return resps, nil
@@ -794,14 +1365,14 @@ func (c *RegistryClient) exchangeAll(i int, reqs []*Request) ([]*Response, error
 		// Broken session: drop it and retry once on a fresh dial. The whole
 		// batch replays — at-least-once, like the single-exchange retry
 		// before it, and safe against the registry's idempotent ops.
-		_ = c.st.Close()
-		c.st = nil
+		_ = s.st.Close()
+		s.st = nil
 	}
 	return nil, lastErr
 }
 
 // exchangeWith is a one-shot exchange pinned to a specific replica,
-// outside the pooled session — the operator path behind per-replica
+// outside the pooled sessions — the operator path behind per-replica
 // status and lookup, where failover would defeat the point.
 func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, error) {
 	if reach, ok := c.tr.(orb.Reachability); ok && !reach.CanReach(node) {
@@ -824,8 +1395,8 @@ func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, err
 }
 
 // StatusOf fetches one replica's replication status (live entry counts,
-// per-peer sync lag). It never fails over: the named replica answers or
-// the error says why.
+// per-peer and per-shard sync lag). It never fails over: the named replica
+// answers or the error says why.
 func (c *RegistryClient) StatusOf(node string) (*RegStatus, error) {
 	resp, err := c.exchangeWith(node, &Request{Op: OpRegStatus})
 	if err != nil {
@@ -838,9 +1409,14 @@ func (c *RegistryClient) StatusOf(node string) (*RegStatus, error) {
 }
 
 // LookupAt queries one specific replica's view, without failover — the
-// operator path for comparing replicas' replication state.
+// operator path for comparing replicas' replication state. Against a
+// sharded replica it searches every shard the replica hosts.
 func (c *RegistryClient) LookupAt(node, kind, name string) ([]Entry, error) {
-	resp, err := c.exchangeWith(node, &Request{Op: OpRegLookup, Kind: kind, Name: name})
+	req := &Request{Op: OpRegLookup, Kind: kind, Name: name}
+	if len(c.shardGrp) > 1 {
+		req.Shard = ShardAll
+	}
+	resp, err := c.exchangeWith(node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -873,27 +1449,172 @@ func (c *RegistryClient) Publish(node string, entries []Entry) error {
 
 // PublishTTL replaces the registry's entries for node under a soft-state
 // lease: they expire ttl after the registry accepts them unless
-// re-published. Non-positive ttl means no lease. The publish lands on the
-// preferred replica and reaches the others within one sync interval.
+// re-published. Non-positive ttl means no lease. On a sharded directory
+// the entries split by name hash and every replica group receives its
+// shards' slices in one announce-batch frame — including empty slices,
+// which clear entries that churned out of a shard. The publish lands on
+// each group's preferred replica and reaches the rest within one sync
+// interval.
 func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Duration) error {
-	req := &Request{Op: OpRegPublish, Node: node, Entries: entries}
+	defer c.invalidate()
+	var ttlMillis int64
 	if ttl > 0 {
-		req.TTLMillis = int64(ttl / time.Millisecond)
-		if req.TTLMillis <= 0 {
-			req.TTLMillis = 1 // sub-millisecond leases still lease
+		ttlMillis = int64(ttl / time.Millisecond)
+		if ttlMillis <= 0 {
+			ttlMillis = 1 // sub-millisecond leases still lease
 		}
 	}
-	_, err := c.do(req)
-	c.invalidate()
+	if len(c.shardGrp) <= 1 {
+		// Unsharded: the original single publish, frame-identical to the
+		// pre-sharding client.
+		c.storeSums([][]Entry{entries})
+		_, err := c.do(0, &Request{Op: OpRegPublish, Node: node, Entries: entries, TTLMillis: ttlMillis})
+		return err
+	}
+	byShard := make([][]Entry, len(c.shardGrp))
+	for _, e := range entries {
+		s := ShardOf(e.Name, len(c.shardGrp))
+		byShard[s] = append(byShard[s], e)
+	}
+	c.storeSums(byShard)
+	var errs []error
+	for gi, s := range c.sess {
+		var batch []ShardPublish
+		for shard, g := range c.shardGrp {
+			if g == gi {
+				batch = append(batch, ShardPublish{Shard: shard, Entries: byShard[shard]})
+			}
+		}
+		req := &Request{Op: OpRegAnnounceBatch, Node: node, TTLMillis: ttlMillis, Batch: batch}
+		resps, err := c.doGroup(s, []*Request{req})
+		if err == nil {
+			err = resps[0].Err()
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) == 0 {
+		c.telemetry().Counter("regc.announce_batches").Inc()
+	}
+	return errors.Join(errs...)
+}
+
+// PublishShardTTL replaces one shard's slice of node's entries with a
+// plain per-shard publish — the frame a batch-unaware client must send
+// once per shard to replace its full entry set. It exists for operator
+// tooling that patches a single shard, and as the unbatched baseline of
+// the registry-load benchmark; PublishTTL lands the same update in one
+// announce-batch frame per replica group.
+func (c *RegistryClient) PublishShardTTL(node string, shard int, entries []Entry, ttl time.Duration) error {
+	defer c.invalidate()
+	var ttlMillis int64
+	if ttl > 0 {
+		ttlMillis = int64(ttl / time.Millisecond)
+		if ttlMillis <= 0 {
+			ttlMillis = 1
+		}
+	}
+	_, err := c.do(shard, &Request{Op: OpRegPublish, Node: node,
+		Shard: c.shardFieldFor(shard), Entries: entries, TTLMillis: ttlMillis})
+	if err == nil {
+		// Keep the renewal fingerprint of the patched shard honest, so a
+		// later RenewLease asserts against what this publish installed.
+		c.mu.Lock()
+		if shard >= 0 && shard < len(c.sums) {
+			c.sums[shard] = EntriesSum(entries)
+		}
+		c.mu.Unlock()
+	}
 	return err
 }
 
-// Withdraw drops every entry published by node. The tombstone left behind
-// propagates to the other replicas within one sync interval.
+// storeSums remembers the per-shard entry-set fingerprints of an announce,
+// for later renewals to assert against.
+func (c *RegistryClient) storeSums(byShard [][]Entry) {
+	sums := make([]uint32, len(byShard))
+	for s, entries := range byShard {
+		sums[s] = EntriesSum(entries)
+	}
+	c.mu.Lock()
+	c.sums = sums
+	c.mu.Unlock()
+}
+
+// errRenewUnsupported marks a registry too old for reg-renew-batch; the
+// caller falls back to full announces, and the client remembers so later
+// renewals skip the doomed round-trip.
+var errRenewUnsupported = errors.New("gatekeeper: registry does not support lease renewal")
+
+// RenewLease extends node's published leases to ttl from now without
+// resending the entries — one batched frame per replica group instead of a
+// full announce. It fails (and the caller must fall back to Announce) when
+// any group reports the lease missing there — the record expired or was
+// never established — or when a replica predates the operation.
+func (c *RegistryClient) RenewLease(node string, ttl time.Duration) error {
+	if ttl <= 0 {
+		return fmt.Errorf("gatekeeper: non-positive lease TTL %v", ttl)
+	}
+	if c.renewOff.Load() {
+		return errRenewUnsupported
+	}
+	ttlMillis := int64(ttl / time.Millisecond)
+	if ttlMillis <= 0 {
+		ttlMillis = 1
+	}
+	c.mu.Lock()
+	sums := c.sums
+	c.mu.Unlock()
+	var missing []int
+	for gi, s := range c.sess {
+		var shards []int
+		var shardSums []uint32
+		for shard, g := range c.shardGrp {
+			if g == gi {
+				shards = append(shards, shard)
+				if sums != nil {
+					shardSums = append(shardSums, sums[shard])
+				}
+			}
+		}
+		req := &Request{Op: OpRegRenewBatch, Node: node, TTLMillis: ttlMillis,
+			Shards: shards, Sums: shardSums}
+		resps, err := c.doGroup(s, []*Request{req})
+		if err != nil {
+			return err
+		}
+		if err := resps[0].Err(); err != nil {
+			if strings.Contains(resps[0].Error, "unknown registry operation") {
+				c.renewOff.Store(true)
+				return errRenewUnsupported
+			}
+			return err
+		}
+		missing = append(missing, resps[0].Missing...)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("gatekeeper: lease for %s missing in shards %v", node, missing)
+	}
+	c.telemetry().Counter("regc.renew_batches").Inc()
+	return nil
+}
+
+// Withdraw drops every entry published by node, in every shard. The
+// tombstones left behind propagate within each shard's replica group
+// within one sync interval.
 func (c *RegistryClient) Withdraw(node string) error {
-	_, err := c.do(&Request{Op: OpRegWithdraw, Node: node})
-	c.invalidate()
-	return err
+	defer c.invalidate()
+	var errs []error
+	for _, s := range c.sess {
+		resps, err := c.doGroup(s, []*Request{{Op: OpRegWithdraw, Node: node}})
+		if err == nil {
+			err = resps[0].Err()
+		}
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // invalidate drops the resolution cache after a mutation through this
@@ -904,15 +1625,46 @@ func (c *RegistryClient) invalidate() {
 	c.mu.Unlock()
 }
 
-// Lookup queries the registry; empty kind or name matches everything.
-// Lookups always hit the registry — only Resolve results are cached.
+// Lookup queries the registry; empty kind or name matches everything. A
+// named lookup routes to the owning shard's group — one round-trip
+// regardless of shard count; an unnamed one fans out to every group (its
+// owned shards pipelined on one flight) and merges. Lookups always hit the
+// registry — only Resolve results are cached.
 func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
-	resp, err := c.do(&Request{Op: OpRegLookup, Kind: kind, Name: name})
-	if err != nil {
-		return nil, err
+	if name != "" || len(c.shardGrp) <= 1 {
+		shard := ShardOf(name, len(c.shardGrp))
+		resp, err := c.do(shard, &Request{
+			Op: OpRegLookup, Kind: kind, Name: name, Shard: c.shardFieldFor(shard)})
+		if err != nil {
+			return nil, err
+		}
+		c.learnAddrs(resp.Entries)
+		return resp.Entries, nil
 	}
-	c.learnAddrs(resp.Entries)
-	return resp.Entries, nil
+	var out []Entry
+	for gi, s := range c.sess {
+		var reqs []*Request
+		for shard, g := range c.shardGrp {
+			if g == gi {
+				reqs = append(reqs, &Request{Op: OpRegLookup, Kind: kind, Name: name, Shard: shard})
+			}
+		}
+		resps, err := c.doGroup(s, reqs)
+		if err != nil {
+			return nil, err
+		}
+		for _, resp := range resps {
+			if err := resp.Err(); err != nil {
+				return nil, err
+			}
+			c.learnAddrs(resp.Entries)
+			out = append(out, resp.Entries...)
+		}
+	}
+	// Shards partition by name, so the concatenation has no duplicates —
+	// it just needs the registry's canonical order restored.
+	sortEntries(out)
+	return out, nil
 }
 
 // LookupQuery names one lookup in a LookupBatch.
@@ -921,29 +1673,57 @@ type LookupQuery struct {
 	Name string
 }
 
-// LookupBatch answers several lookups in a single pipelined flight on the
-// pooled replica session: all requests are written back-to-back and the
-// responses read in order, so the batch costs one round-trip instead of
-// one per query. Results are positional — out[i] answers queries[i].
+// LookupBatch answers several lookups with one pipelined flight per
+// involved replica group: each query routes to its name's shard (unnamed
+// queries fan out to every shard) and the per-group batches ride single
+// round-trips. Failover is per group — one dead replica fails over inside
+// its group without touching the other groups' flights. Results are
+// positional — out[i] answers queries[i].
 func (c *RegistryClient) LookupBatch(queries []LookupQuery) ([][]Entry, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	reqs := make([]*Request, len(queries))
-	for i, q := range queries {
-		reqs[i] = &Request{Op: OpRegLookup, Kind: q.Kind, Name: q.Name}
-	}
-	resps, err := c.doAll(reqs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Entry, len(resps))
-	for i, resp := range resps {
-		if err := resp.Err(); err != nil {
-			return nil, fmt.Errorf("lookup %s/%s: %w", queries[i].Kind, queries[i].Name, err)
+	perReqs := make([][]*Request, len(c.sess))
+	perQIdx := make([][]int, len(c.sess))
+	for qi, q := range queries {
+		if q.Name != "" || len(c.shardGrp) <= 1 {
+			shard := ShardOf(q.Name, len(c.shardGrp))
+			gi := c.shardGrp[shard]
+			perReqs[gi] = append(perReqs[gi], &Request{
+				Op: OpRegLookup, Kind: q.Kind, Name: q.Name, Shard: c.shardFieldFor(shard)})
+			perQIdx[gi] = append(perQIdx[gi], qi)
+			continue
 		}
-		c.learnAddrs(resp.Entries)
-		out[i] = resp.Entries
+		for shard, gi := range c.shardGrp {
+			perReqs[gi] = append(perReqs[gi], &Request{
+				Op: OpRegLookup, Kind: q.Kind, Name: q.Name, Shard: shard})
+			perQIdx[gi] = append(perQIdx[gi], qi)
+		}
+	}
+	out := make([][]Entry, len(queries))
+	for gi, s := range c.sess {
+		if len(perReqs[gi]) == 0 {
+			continue
+		}
+		resps, err := c.doGroup(s, perReqs[gi])
+		if err != nil {
+			return nil, err
+		}
+		for k, resp := range resps {
+			qi := perQIdx[gi][k]
+			if err := resp.Err(); err != nil {
+				return nil, fmt.Errorf("lookup %s/%s: %w", queries[qi].Kind, queries[qi].Name, err)
+			}
+			c.learnAddrs(resp.Entries)
+			out[qi] = append(out[qi], resp.Entries...)
+		}
+	}
+	if len(c.shardGrp) > 1 {
+		// Cross-shard merges concatenated disjoint slices; restore the
+		// registry's canonical node/kind/name order per query.
+		for qi := range out {
+			sortEntries(out[qi])
+		}
 	}
 	return out, nil
 }
@@ -974,6 +1754,20 @@ func (c *RegistryClient) candidates(kind, name string) ([]Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	list := c.orderDialable(entries)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("gatekeeper: no dialable %s service %q in registry", kind, name)
+	}
+	c.storeList(kind, name, list)
+	return list, nil
+}
+
+// orderDialable filters lookup results down to dialable entries and orders
+// them for failover: reachable nodes first, registry order within each
+// class. Unreachable candidates stay in the list, after every reachable
+// one — the fallback is deterministic and the dial surfaces the topology
+// error.
+func (c *RegistryClient) orderDialable(entries []Entry) []Entry {
 	reach, hasReach := c.tr.(orb.Reachability)
 	var preferred, fallback []Entry
 	for _, e := range entries {
@@ -983,18 +1777,10 @@ func (c *RegistryClient) candidates(kind, name string) ([]Entry, error) {
 		if !hasReach || reach.CanReach(e.Node) {
 			preferred = append(preferred, e)
 		} else {
-			// Unreachable candidates stay in the list, after every
-			// reachable one: the fallback is deterministic and the dial
-			// surfaces the topology error.
 			fallback = append(fallback, e)
 		}
 	}
-	list := append(preferred, fallback...)
-	if len(list) == 0 {
-		return nil, fmt.Errorf("gatekeeper: no dialable %s service %q in registry", kind, name)
-	}
-	c.storeList(kind, name, list)
-	return list, nil
+	return append(preferred, fallback...)
 }
 
 func (c *RegistryClient) cachedList(kind, name string) ([]Entry, bool) {
@@ -1017,21 +1803,66 @@ func (c *RegistryClient) storeList(kind, name string, list []Entry) {
 
 // ResolveVLink implements vlink.Resolver, making the registry client the
 // production resolver behind Linker.DialService and the DialName fallback.
-// Because do() fails over inside the client, by-name dialing keeps working
-// across a replica crash without the linker noticing.
+// Because do() fails over inside each group, by-name dialing keeps working
+// across a replica crash without the linker noticing — and because named
+// lookups route by shard, the resolver path stays one round-trip however
+// far the directory is partitioned.
 func (c *RegistryClient) ResolveVLink(kind, name string) ([]vlink.Resolved, error) {
 	list, err := c.candidates(kind, name)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]vlink.Resolved, len(list))
-	for i, e := range list {
-		out[i] = vlink.Resolved{Node: e.Node, Service: e.Service}
+	return toResolved(list), nil
+}
+
+// ResolveVLinkBatch implements vlink.BatchResolver: names already in the
+// resolution cache are served from it, and all the misses go out as one
+// LookupBatch — a single pipelined flight per replica group however far the
+// directory is sharded, instead of one round trip per name. Resolved misses
+// are stored back into the cache, so a batch doubles as a warm-up for
+// subsequent one-name dials of the same services.
+func (c *RegistryClient) ResolveVLinkBatch(kind string, names []string) ([][]vlink.Resolved, error) {
+	out := make([][]vlink.Resolved, len(names))
+	var queries []LookupQuery
+	var missIdx []int
+	for i, name := range names {
+		if list, ok := c.cachedList(kind, name); ok {
+			c.telemetry().Counter("regc.cache_hits").Inc()
+			out[i] = toResolved(list)
+			continue
+		}
+		c.telemetry().Counter("regc.cache_misses").Inc()
+		queries = append(queries, LookupQuery{Kind: kind, Name: name})
+		missIdx = append(missIdx, i)
+	}
+	if len(queries) == 0 {
+		return out, nil
+	}
+	results, err := c.LookupBatch(queries)
+	if err != nil {
+		return nil, err
+	}
+	for qi, i := range missIdx {
+		list := c.orderDialable(results[qi])
+		if len(list) == 0 {
+			continue // per-contract: a miss is an empty slot, not an error
+		}
+		c.storeList(kind, names[i], list)
+		out[i] = toResolved(list)
 	}
 	return out, nil
 }
 
+func toResolved(list []Entry) []vlink.Resolved {
+	out := make([]vlink.Resolved, len(list))
+	for i, e := range list {
+		out[i] = vlink.Resolved{Node: e.Node, Service: e.Service}
+	}
+	return out
+}
+
 var _ vlink.Resolver = (*RegistryClient)(nil)
+var _ vlink.BatchResolver = (*RegistryClient)(nil)
 
 // DialService is VLink connection by registry name — a thin shim over
 // Linker.DialServiceVia for callers holding a client they have not

@@ -1,0 +1,31 @@
+package gatekeeper
+
+// The registry partitions its directory by published name: entry names are
+// FNV-1a-hashed into S shards, each owned by its own replica group, so a
+// by-name lookup touches exactly one group however large the grid's service
+// table grows. S=1 degenerates to the unsharded registry — every name maps
+// to shard 0 and the wire carries no shard field at all.
+
+// ShardAll addresses every shard a replica hosts on a lookup/list request —
+// the operator path, where one replica's whole holdings are the question.
+const ShardAll = -1
+
+// ShardOf maps a published service name to its shard: FNV-1a over the name,
+// mod the shard count. Deterministic across processes and runs — every
+// client, replica and tool computes the same placement from the same name.
+// Non-positive shard counts collapse to a single shard.
+func ShardOf(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return int(h % uint32(shards))
+}

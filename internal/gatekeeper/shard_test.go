@@ -1,0 +1,514 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/orb"
+	"padico/internal/telemetry"
+)
+
+// nameInShard returns a service name whose hash lands in the given shard.
+func nameInShard(t *testing.T, shard, shards int, prefix string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		n := fmt.Sprintf("%s%d", prefix, i)
+		if ShardOf(n, shards) == shard {
+			return n
+		}
+	}
+	t.Fatalf("no name for shard %d/%d", shard, shards)
+	return ""
+}
+
+func TestShardOf(t *testing.T) {
+	// Unsharded directories route everything to shard 0, whatever the name.
+	if ShardOf("anything", 1) != 0 || ShardOf("anything", 0) != 0 {
+		t.Fatal("S<=1 must map every name to shard 0")
+	}
+	// Deterministic, in range, and actually spreading across shards.
+	const shards = 8
+	hit := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		n := fmt.Sprintf("svc-%d", i)
+		s := ShardOf(n, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%q) = %d out of range", n, s)
+		}
+		if s != ShardOf(n, shards) {
+			t.Fatalf("ShardOf(%q) not deterministic", n)
+		}
+		hit[s] = true
+	}
+	if len(hit) != shards {
+		t.Fatalf("256 names hit only %d/%d shards", len(hit), shards)
+	}
+}
+
+// TestShardedRegistryRoutesAndStatus: a 4-shard directory split across two
+// replicas. Publishes split by name hash and land only on the owning
+// replica; named lookups route to the owning group, unnamed lookups fan
+// out and merge; per-shard status reports the partition; renew-batch
+// extends every shard's lease; withdraw clears all shards.
+func TestShardedRegistryRoutesAndStatus(t *testing.T) {
+	const shards = 4
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0]) // shards 0, 2
+		regB, _ := RegistryOn(procs[1]) // shards 1, 3
+		regA.SetShards(shards)
+		regA.HostShards(0, 2)
+		regB.SetShards(shards)
+		regB.HostShards(1, 3)
+
+		groups := [][]string{{"n0"}, {"n1"}, {"n0"}, {"n1"}}
+		rc := NewShardedRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()}, groups)
+		rc.SetCacheTTL(0)
+
+		names := make([]string, shards)
+		entries := make([]Entry, shards)
+		for s := range names {
+			names[s] = nameInShard(t, s, shards, "route")
+			entries[s] = Entry{Node: "n2", Kind: "vlink", Name: names[s], Service: names[s]}
+		}
+		if err := rc.PublishTTL("n2", entries, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		// Named lookups route to the owning shard's group.
+		for s, name := range names {
+			got, err := rc.Lookup("vlink", name)
+			if err != nil || len(got) != 1 || got[0].Name != name {
+				t.Fatalf("shard %d lookup %q = %v, %v", s, name, got, err)
+			}
+		}
+		// An unnamed lookup fans out to every group and merges all shards.
+		all, err := rc.Lookup("vlink", "")
+		if err != nil || len(all) != shards {
+			t.Fatalf("fan-out lookup = %v, %v (want %d entries)", all, err, shards)
+		}
+
+		// Each replica holds exactly its shards' slices — the publish split
+		// by hash, it did not broadcast.
+		atA, err := rc.LookupAt("n0", "vlink", "")
+		if err != nil || len(atA) != 2 {
+			t.Fatalf("n0 holds %v, %v (want its 2 shards' entries)", atA, err)
+		}
+		for _, e := range atA {
+			if s := ShardOf(e.Name, shards); s != 0 && s != 2 {
+				t.Fatalf("entry %q (shard %d) landed on n0, which hosts 0 and 2", e.Name, s)
+			}
+		}
+
+		// Status breaks the partition down per shard.
+		st, err := rc.StatusOf("n0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Shards) != 2 || st.Shards[0].Shard != 0 || st.Shards[1].Shard != 2 {
+			t.Fatalf("n0 shard status = %+v", st.Shards)
+		}
+		for _, sh := range st.Shards {
+			if sh.Entries != 1 {
+				t.Fatalf("shard %d reports %d entries, want 1", sh.Shard, sh.Entries)
+			}
+		}
+
+		// One batched renewal extends every shard's lease on both groups.
+		if err := rc.RenewLease("n2", time.Minute); err != nil {
+			t.Fatalf("renew across shards: %v", err)
+		}
+
+		// Withdraw tombstones every shard on every group.
+		if err := rc.Withdraw("n2"); err != nil {
+			t.Fatal(err)
+		}
+		if all, err := rc.Lookup("vlink", ""); err != nil || len(all) != 0 {
+			t.Fatalf("entries survive withdraw: %v, %v", all, err)
+		}
+	})
+}
+
+// TestShardDigestTransfersOnlyDivergent pins the incremental anti-entropy
+// contract with the reg.shard.* counters: after the first full push-pull,
+// rounds open with a digest and move only divergent records — a directory
+// of settled records costs zero record transfers per round, and one new
+// record costs exactly one.
+func TestShardDigestTransfersOnlyDivergent(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.UseTelemetry(procs[0].Telemetry())
+		regB.UseTelemetry(procs[1].Telemetry())
+
+		// Seed n0 with five settled records before any sync runs.
+		rc := clientFor(procs[2], "n0")
+		for i := 0; i < 5; i++ {
+			node := fmt.Sprintf("m%d", i)
+			if err := rc.PublishTTL(node,
+				[]Entry{{Node: node, Kind: "vlink", Name: fmt.Sprintf("seed%d", i)}},
+				time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Only A initiates, so its counters tell the whole story.
+		regA.StartSync([]string{"n1"}, syncInterval)
+		cnt := func(p int, name string) int64 {
+			return procs[p].Telemetry().Snapshot().Counter(name)
+		}
+
+		// Round 1 is the full push-pull snapshot.
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		if got := cnt(0, "reg.shard.full_rounds"); got != 1 {
+			t.Fatalf("full rounds after first sync = %d, want 1", got)
+		}
+
+		// Settled directory: digest rounds run, but no records move in
+		// either direction.
+		g.Sim.Sleep(3 * syncInterval)
+		if got := cnt(0, "reg.shard.digest_rounds"); got < 2 {
+			t.Fatalf("digest rounds on settled directory = %d, want >= 2", got)
+		}
+		if s, r := cnt(0, "reg.shard.records_sent"), cnt(0, "reg.shard.records_recv"); s != 0 || r != 0 {
+			t.Fatalf("settled digest rounds moved records: sent=%d recv=%d", s, r)
+		}
+		if got := cnt(1, "reg.shard.records_sent"); got != 0 {
+			t.Fatalf("responder sent %d records for settled digests, want 0", got)
+		}
+
+		// One divergent record: the next digest round moves exactly it —
+		// the five settled records never cross the wire again.
+		if err := rc.PublishTTL("m5",
+			[]Entry{{Node: "m5", Kind: "vlink", Name: "late"}}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		if got := cnt(0, "reg.shard.records_sent"); got != 1 {
+			t.Fatalf("divergent digest round sent %d records, want exactly 1", got)
+		}
+		if got := cnt(1, "reg.shard.records_recv"); got != 1 {
+			t.Fatalf("responder received %d pushed records, want exactly 1", got)
+		}
+		if got := cnt(0, "reg.shard.full_rounds"); got != 1 {
+			t.Fatalf("divergence triggered a full round (%d), digest should carry it", got)
+		}
+		// The record actually arrived.
+		rcB := clientFor(procs[2], "n1")
+		rcB.SetCacheTTL(0)
+		if got, err := rcB.Lookup("vlink", "late"); err != nil || len(got) != 1 {
+			t.Fatalf("pushed record not on n1: %v, %v", got, err)
+		}
+		// The digest-round histogram recorded the rounds.
+		if h := procs[0].Telemetry().Snapshot().Hist("reg.shard.digest_round"); h.Count < 3 {
+			t.Fatalf("digest-round histogram count = %d, want >= 3", h.Count)
+		}
+	})
+}
+
+// TestShardTombstoneLifecycle: under sharding a withdraw's tombstone
+// propagates within the owning shard's replica group only, never leaks a
+// record into another shard's group, blocks resurrection through digest
+// rounds, and is reaped after TombstoneTTL — all on the deterministic
+// virtual clock.
+func TestShardTombstoneLifecycle(t *testing.T) {
+	g, nodes := newGrid(t, 4, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for _, i := range []int{0, 1, 2} {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Shard 0 is replicated on n0+n1; shard 1 lives alone on n2.
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regC, _ := RegistryOn(procs[2])
+		for _, r := range []*Registry{regA, regB} {
+			r.SetShards(2)
+			r.HostShards(0)
+		}
+		regC.SetShards(2)
+		regC.HostShards(1)
+		regA.StartShardSync(0, []string{"n1"}, syncInterval)
+		regB.StartShardSync(0, []string{"n0"}, syncInterval)
+
+		groups := [][]string{{"n0", "n1"}, {"n2"}}
+		rc := NewShardedRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[3].Linker()}, groups)
+		rc.SetCacheTTL(0)
+
+		s0 := nameInShard(t, 0, 2, "tomb")
+		s1 := nameInShard(t, 1, 2, "tomb")
+		if err := rc.PublishTTL("n3", []Entry{
+			{Node: "n3", Kind: "vlink", Name: s0},
+			{Node: "n3", Kind: "vlink", Name: s1},
+		}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		// One sync interval replicates shard 0 within its group — and only
+		// there: n2 must never see a shard-0 record.
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		if got, err := rc.LookupAt("n1", "vlink", s0); err != nil || len(got) != 1 {
+			t.Fatalf("shard 0 record not on peer n1: %v, %v", got, err)
+		}
+		atC, err := rc.LookupAt("n2", "vlink", "")
+		if err != nil || len(atC) != 1 || atC[0].Name != s1 {
+			t.Fatalf("n2 (shard 1) holds %v, %v — want only %q", atC, err, s1)
+		}
+
+		// Withdraw: the tombstone lands on each group's preferred replica
+		// and reaches n1 through shard 0's anti-entropy within one round.
+		if err := rc.Withdraw("n3"); err != nil {
+			t.Fatal(err)
+		}
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		for _, rep := range []string{"n0", "n1", "n2"} {
+			if got, err := rc.LookupAt(rep, "vlink", ""); err != nil || len(got) != 0 {
+				t.Fatalf("%s still serves %v after withdraw (err %v)", rep, got, err)
+			}
+		}
+
+		// Digest rounds keep running while the tombstone lives; it must
+		// never resurrect the record it shadows.
+		g.Sim.Sleep(4 * syncInterval)
+		if got, _ := rc.LookupAt("n1", "vlink", s0); len(got) != 0 {
+			t.Fatalf("digest rounds resurrected %v on n1", got)
+		}
+
+		// After TombstoneTTL the tombstones fall out of snapshots and
+		// digests entirely on every replica.
+		g.Sim.Sleep(TombstoneTTL + syncInterval)
+		for _, r := range []*Registry{regA, regB} {
+			if snap := r.snapshotShard(0); len(snap) != 0 {
+				t.Fatalf("tombstone not reaped from snapshot: %+v", snap)
+			}
+			if dig := r.digestShard(0); len(dig) != 0 {
+				t.Fatalf("tombstone still advertised in digest: %v", dig)
+			}
+		}
+		if snap := regC.snapshotShard(1); len(snap) != 0 {
+			t.Fatalf("shard 1 tombstone not reaped: %+v", snap)
+		}
+	})
+}
+
+// TestLookupBatchFailsOverDeadReplica: a batched lookup spanning two
+// replica groups survives the death of one group's preferred replica —
+// that group's flight fails over inside the group while the other group's
+// flight is untouched.
+func TestLookupBatchFailsOverDeadReplica(t *testing.T) {
+	g, nodes := newGrid(t, 4, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for _, i := range []int{0, 1, 2} {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regC, _ := RegistryOn(procs[2])
+		for _, r := range []*Registry{regA, regB} {
+			r.SetShards(2)
+			r.HostShards(0)
+		}
+		regC.SetShards(2)
+		regC.HostShards(1)
+		regA.StartShardSync(0, []string{"n1"}, syncInterval)
+		regB.StartShardSync(0, []string{"n0"}, syncInterval)
+
+		groups := [][]string{{"n0", "n1"}, {"n2"}}
+		rc := NewShardedRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[3].Linker()}, groups)
+		rc.SetCacheTTL(0)
+		rc.UseTelemetry(procs[3].Telemetry())
+
+		s0 := nameInShard(t, 0, 2, "dead")
+		s1 := nameInShard(t, 1, 2, "dead")
+		if err := rc.PublishTTL("n3", []Entry{
+			{Node: "n3", Kind: "vlink", Name: s0},
+			{Node: "n3", Kind: "vlink", Name: s1},
+		}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		// Let shard 0 replicate to n1, then crash the group's preferred
+		// replica.
+		g.Sim.Sleep(syncInterval + time.Millisecond)
+		procs[0].Shutdown()
+
+		out, err := rc.LookupBatch([]LookupQuery{
+			{Kind: "vlink", Name: s0},
+			{Kind: "vlink", Name: s1},
+		})
+		if err != nil {
+			t.Fatalf("batch across a dead replica: %v", err)
+		}
+		if len(out) != 2 || len(out[0]) != 1 || len(out[1]) != 1 {
+			t.Fatalf("batch results = %v, want both queries answered", out)
+		}
+		if out[0][0].Name != s0 || out[1][0].Name != s1 {
+			t.Fatalf("batch results misrouted: %v", out)
+		}
+		if got := procs[3].Telemetry().Snapshot().Counter("regc.failovers"); got == 0 {
+			t.Fatal("no failover counted — did the batch really cross the dead replica?")
+		}
+	})
+}
+
+// TestRenewRefusesStaleCopy is the regression test for the renewal
+// fingerprint: failing over a renewal onto a replica whose copy of the
+// lease has diverged (the last announce never reached it) must NOT extend
+// the stale copy — the replica reports the shard missing and the
+// publisher's full re-announce repairs it.
+func TestRenewRefusesStaleCopy(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Deliberately NO sync between the replicas: n1's copy stays
+		// whatever lands there directly.
+
+		fresh := []Entry{{Node: "n2", Kind: "vlink", Name: "svc", Service: "fresh"}}
+		stale := []Entry{{Node: "n2", Kind: "vlink", Name: "svc", Service: "stale"}}
+
+		// The publisher leases `fresh` through its preferred replica n0;
+		// n1 holds a diverged live lease for the same node.
+		rc := NewRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()}, "n0", "n1")
+		rc.SetCacheTTL(0)
+		if err := rc.PublishTTL("n2", fresh, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		rcB := clientFor(procs[2], "n1")
+		if err := rcB.PublishTTL("n2", stale, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		// n0 dies; the renewal fails over to n1, whose live-but-diverged
+		// copy must be refused, not extended.
+		procs[0].Shutdown()
+		err := rc.RenewLease("n2", time.Minute)
+		if err == nil {
+			t.Fatal("renewal extended a stale replica copy")
+		}
+		if !strings.Contains(err.Error(), "missing in shards") {
+			t.Fatalf("renewal failed for the wrong reason: %v", err)
+		}
+
+		// The recovery path: a full announce replaces the stale copy, after
+		// which renewal through the survivor works.
+		if err := rc.PublishTTL("n2", fresh, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.RenewLease("n2", time.Minute); err != nil {
+			t.Fatalf("renew after re-announce: %v", err)
+		}
+		got, err := rc.Lookup("vlink", "svc")
+		if err != nil || len(got) != 1 || got[0].Service != "fresh" {
+			t.Fatalf("surviving replica serves %v, %v — want the re-announced copy", got, err)
+		}
+	})
+}
+
+// TestResolveVLinkBatchAcrossShards: batch resolution over a partitioned
+// directory. One flight resolves names living in different shards, misses
+// come back as empty slots, and resolved names land in the client cache —
+// a follow-up one-name resolution is a cache hit, no round trip.
+func TestResolveVLinkBatchAcrossShards(t *testing.T) {
+	const shards = 4
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.SetShards(shards)
+		regA.HostShards(0, 2)
+		regB.SetShards(shards)
+		regB.HostShards(1, 3)
+
+		groups := [][]string{{"n0"}, {"n1"}, {"n0"}, {"n1"}}
+		rc := NewShardedRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()}, groups)
+		rc.SetCacheTTL(time.Minute)
+		tel := telemetry.New("n2", g.Sim)
+		rc.UseTelemetry(tel)
+
+		names := make([]string, shards)
+		entries := make([]Entry, shards)
+		for s := range names {
+			names[s] = nameInShard(t, s, shards, "batchres")
+			entries[s] = Entry{Node: "n2", Kind: "vlink", Name: names[s], Service: names[s]}
+		}
+		if err := rc.PublishTTL("n2", entries, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		// One batch spanning all four shards plus a name nobody published.
+		queryNames := append(append([]string{}, names...), "batchres-nosuch")
+		cands, err := rc.ResolveVLinkBatch("vlink", queryNames)
+		if err != nil {
+			t.Fatalf("ResolveVLinkBatch: %v", err)
+		}
+		if len(cands) != shards+1 {
+			t.Fatalf("batch returned %d slots, want %d", len(cands), shards+1)
+		}
+		for s, name := range names {
+			if len(cands[s]) != 1 || cands[s][0].Service != name {
+				t.Fatalf("slot %d (name %q) = %v", s, name, cands[s])
+			}
+		}
+		if len(cands[shards]) != 0 {
+			t.Fatalf("unpublished name resolved to %v, want an empty slot", cands[shards])
+		}
+
+		// Every published name is now cached: re-resolving one of them must
+		// not reach the registry.
+		misses := tel.Snapshot().Counter("regc.cache_misses")
+		if _, err := rc.ResolveVLink("vlink", names[1]); err != nil {
+			t.Fatalf("cached re-resolve: %v", err)
+		}
+		snap := tel.Snapshot()
+		if snap.Counter("regc.cache_misses") != misses {
+			t.Fatal("re-resolving a batch-resolved name missed the cache")
+		}
+		if snap.Counter("regc.cache_hits") == 0 {
+			t.Fatal("cache hit counter never moved")
+		}
+
+		// A second batch of the same names is answered fully from cache.
+		cands2, err := rc.ResolveVLinkBatch("vlink", names)
+		if err != nil {
+			t.Fatalf("second batch: %v", err)
+		}
+		if tel.Snapshot().Counter("regc.cache_misses") != misses {
+			t.Fatal("warm batch still reached the registry")
+		}
+		for s := range names {
+			if len(cands2[s]) != 1 || cands2[s][0] != cands[s][0] {
+				t.Fatalf("warm slot %d = %v, want %v", s, cands2[s], cands[s])
+			}
+		}
+	})
+}

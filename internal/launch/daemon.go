@@ -53,6 +53,8 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 	gridPath := fs.String("grid", "", "grid topology XML (zones and default registry placement)")
 	registry := fs.Bool("registry", false, "host a registry replica on this node")
 	registries := fs.String("registries", "", "comma-separated registry replica node names (overrides -grid placement)")
+	shards := fs.Int("shards", 0, "shard the registry directory this many ways, placed from -grid (requires -grid)")
+	shardGroups := fs.String("shard-groups", "", "explicit shard replica groups: semicolon-separated, each a comma-separated node list (overrides -shards)")
 	peers := fs.String("peers", "", "comma-separated node=host:port endpoint seeds")
 	modules := fs.String("modules", "", "comma-separated modules to load at boot")
 	lease := fs.Duration("lease", 0, "registry lease TTL (default 5s)")
@@ -81,12 +83,13 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 	if cfg.Node == "" {
 		return refuse(fmt.Errorf("missing -node"))
 	}
+	var topo *deploy.Topology
 	if *gridPath != "" {
 		src, err := os.ReadFile(*gridPath)
 		if err != nil {
 			return refuse(err)
 		}
-		topo, err := deploy.ParseTopology(src)
+		topo, err = deploy.ParseTopology(src)
 		if err != nil {
 			return refuse(err)
 		}
@@ -105,6 +108,19 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 	}
 	if *registry && !slices.Contains(cfg.Registries, cfg.Node) {
 		cfg.Registries = append(cfg.Registries, cfg.Node)
+	}
+	switch {
+	case *shardGroups != "":
+		groups, err := deploy.ParseShardGroups(*shardGroups)
+		if err != nil {
+			return refuse(err)
+		}
+		cfg.ShardGroups = groups
+	case *shards > 1:
+		if topo == nil {
+			return refuse(fmt.Errorf("-shards needs -grid to place the shard groups (or pass -shard-groups explicitly)"))
+		}
+		cfg.ShardGroups = topo.ShardPlacement(*shards)
 	}
 	for _, kv := range deploy.SplitList(*peers) {
 		n, a, ok := strings.Cut(kv, "=")

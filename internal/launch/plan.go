@@ -29,8 +29,14 @@ type PlanOptions struct {
 	// on. Nil means 127.0.0.1 everywhere — the loopback grid.
 	Host func(node string) string
 	// Registries overrides the registry-replica placement (default: the
-	// topology's RegistryPlacement — first node of every zone).
+	// topology's RegistryPlacement — first node of every zone). Mutually
+	// exclusive with Shards > 1, whose placement is computed.
 	Registries []string
+	// Shards partitions the registry directory by name hash into this many
+	// shards, placed by the topology's ShardPlacement — the same seam the
+	// simulator's LaunchAllSharded and padico-d share. Zero or one plans
+	// the classic single-shard registry.
+	Shards int
 	// Modules are loaded at boot on every node.
 	Modules []string
 	// ExtraModules are loaded at boot on specific nodes, after Modules.
@@ -62,7 +68,11 @@ type NodeSpec struct {
 type Plan struct {
 	Grid       string
 	Registries []string
-	Specs      []NodeSpec
+	// ShardGroups is the shard → replica-group placement of a sharded
+	// plan (PlanOptions.Shards > 1); nil for the single-shard registry.
+	// Registries is then the union of the groups' hosts.
+	ShardGroups [][]string
+	Specs       []NodeSpec
 }
 
 // BuildPlan computes the deployment plan for a topology. Placement follows
@@ -82,7 +92,24 @@ func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
 	sort.Strings(names)
 
 	regs := topo.RegistryPlacement()
-	if len(opts.Registries) > 0 {
+	var shardGroups [][]string
+	if opts.Shards > 1 {
+		if len(opts.Registries) > 0 {
+			return nil, fmt.Errorf("launch: -registries names a single-shard placement; a sharded plan places replicas itself")
+		}
+		shardGroups = topo.ShardPlacement(opts.Shards)
+		seen := map[string]bool{}
+		regs = regs[:0]
+		for _, g := range shardGroups {
+			for _, n := range g {
+				if !seen[n] {
+					seen[n] = true
+					regs = append(regs, n)
+				}
+			}
+		}
+		sort.Strings(regs)
+	} else if len(opts.Registries) > 0 {
 		regs = append([]string(nil), opts.Registries...)
 		sort.Strings(regs)
 		for _, r := range regs {
@@ -115,7 +142,7 @@ func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
 		addrs[n] = addr
 	}
 
-	p := &Plan{Grid: topo.Name, Registries: regs}
+	p := &Plan{Grid: topo.Name, Registries: regs, ShardGroups: shardGroups}
 	for i, n := range names {
 		peers := make([]string, 0, len(names)-1)
 		for _, o := range names {
@@ -128,7 +155,12 @@ func BuildPlan(topo *deploy.Topology, opts PlanOptions) (*Plan, error) {
 		if zones[n] != "" {
 			args = append(args, "-zone", zones[n])
 		}
-		args = append(args, "-listen", addrs[n], "-registries", strings.Join(regs, ","))
+		args = append(args, "-listen", addrs[n])
+		if len(shardGroups) > 1 {
+			args = append(args, "-shard-groups", deploy.FormatShardGroups(shardGroups))
+		} else {
+			args = append(args, "-registries", strings.Join(regs, ","))
+		}
 		if len(peers) > 0 {
 			args = append(args, "-peers", strings.Join(peers, ","))
 		}

@@ -196,7 +196,11 @@ func (s *Supervisor) Start() error {
 	tr := orb.WallTransport{Host: s.host}
 	s.ctl = gatekeeper.NewController(wall, tr)
 	s.ctl.UseTelemetry(s.tel)
-	s.rc = gatekeeper.NewRegistryClient(wall, tr, s.plan.Registries...)
+	if len(s.plan.ShardGroups) > 1 {
+		s.rc = gatekeeper.NewShardedRegistryClient(wall, tr, s.plan.ShardGroups)
+	} else {
+		s.rc = gatekeeper.NewRegistryClient(wall, tr, s.plan.Registries...)
+	}
 	s.rc.UseTelemetry(s.tel)
 	s.rc.SetCacheTTL(0)
 

@@ -340,10 +340,13 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // Snapshot captures every metric. The maps are fresh copies, safe to
-// serialize or mutate. Nil-safe (empty snapshot).
-func (r *Registry) Snapshot() Snapshot {
+// serialize or mutate. Nil-safe (empty snapshot). It returns a pointer so
+// the Snapshot's own pointer-receiver accessors (Counter, Gauge, Hist) are
+// callable directly on the result — r.Snapshot().Counter("x") — instead of
+// forcing callers to bind the value to a variable first.
+func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
-		return Snapshot{}
+		return &Snapshot{}
 	}
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))
@@ -359,7 +362,7 @@ func (r *Registry) Snapshot() Snapshot {
 		hists = append(hists, h)
 	}
 	r.mu.Unlock()
-	snap := Snapshot{
+	snap := &Snapshot{
 		Node:     r.node,
 		Counters: make(map[string]int64, len(counters)),
 		Gauges:   make(map[string]int64, len(gauges)),

@@ -60,6 +60,40 @@ type Resolver interface {
 	ResolveVLink(kind, name string) ([]Resolved, error)
 }
 
+// BatchResolver is an optional extension of Resolver for resolvers backed
+// by a partitioned directory. With the registry sharded, each name routes
+// to its own replica group: resolving N names one by one costs N sequential
+// round trips, while a batch-aware resolver splits the set per shard and
+// answers it in one pipelined flight per group. Resolutions that fail or
+// find no candidates yield an empty slot, not an error — a batch caller
+// decides per name what a miss means.
+type BatchResolver interface {
+	Resolver
+	ResolveVLinkBatch(kind string, names []string) ([][]Resolved, error)
+}
+
+// ResolveAll resolves several names of one kind through r, batched when the
+// resolver supports it and name by name otherwise. The result is aligned
+// with names; a name that does not resolve gets an empty slot. Only a
+// transport-level failure (the whole directory unreachable) is an error.
+func ResolveAll(r Resolver, kind string, names []string) ([][]Resolved, error) {
+	if r == nil {
+		return nil, ErrNoResolver
+	}
+	if br, ok := r.(BatchResolver); ok {
+		return br.ResolveVLinkBatch(kind, names)
+	}
+	out := make([][]Resolved, len(names))
+	for i, name := range names {
+		cands, err := r.ResolveVLink(kind, name)
+		if err != nil {
+			continue // miss: this name's slot stays empty
+		}
+		out[i] = cands
+	}
+	return out, nil
+}
+
 // Stream is a VLink connection: a byte stream with peer identities.
 type Stream = sockets.Conn
 

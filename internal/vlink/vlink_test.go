@@ -436,3 +436,52 @@ func TestSecurityModes(t *testing.T) {
 		}
 	})
 }
+
+// batchTestResolver wraps testResolver with a batch hook, recording whether
+// the batch path was taken.
+type batchTestResolver struct {
+	testResolver
+	batched bool
+}
+
+func (r *batchTestResolver) ResolveVLinkBatch(kind string, names []string) ([][]Resolved, error) {
+	r.batched = true
+	out := make([][]Resolved, len(names))
+	for i, name := range names {
+		out[i] = r.testResolver[kind+"/"+name]
+	}
+	return out, nil
+}
+
+// TestResolveAll: the batch-resolution seam. A plain Resolver is driven
+// name by name with misses as empty slots; a BatchResolver gets the whole
+// set in one call.
+func TestResolveAll(t *testing.T) {
+	if _, err := ResolveAll(nil, "vlink", []string{"svc"}); !errors.Is(err, ErrNoResolver) {
+		t.Fatalf("ResolveAll(nil) = %v, want ErrNoResolver", err)
+	}
+	table := testResolver{
+		"vlink/a": {{Node: "n0", Service: "a"}},
+		"vlink/b": {{Node: "n1", Service: "b"}, {Node: "n0", Service: "b"}},
+	}
+	names := []string{"a", "missing", "b"}
+	out, err := ResolveAll(table, "vlink", names)
+	if err != nil {
+		t.Fatalf("ResolveAll fallback: %v", err)
+	}
+	if len(out) != 3 || len(out[0]) != 1 || len(out[1]) != 0 || len(out[2]) != 2 {
+		t.Fatalf("fallback slots = %v", out)
+	}
+	if out[0][0].Node != "n0" || out[2][0].Node != "n1" {
+		t.Fatalf("fallback candidates misaligned: %v", out)
+	}
+
+	br := &batchTestResolver{testResolver: table}
+	out2, err := ResolveAll(br, "vlink", names)
+	if err != nil || !br.batched {
+		t.Fatalf("batch path not taken (err=%v, batched=%v)", err, br.batched)
+	}
+	if len(out2) != 3 || len(out2[1]) != 0 || out2[0][0] != out[0][0] {
+		t.Fatalf("batch slots = %v, want same shape as fallback %v", out2, out)
+	}
+}
