@@ -47,6 +47,13 @@
 //	                     p99, sync-round p99, lease renewals, restarts
 //	events [max]         recent control-plane trace events from each node's
 //	                     ring, trace IDs stitchable across nodes
+//	events -grid [max]   the same rings merged into one time-sorted grid
+//	                     view, one line per event across every node
+//	trace <id>|-last     collect the buffered spans of one trace from every
+//	                     node and render the causal tree: parent/child
+//	                     edges, per-span durations, failover markers.
+//	                     -last picks the most recent operator-command trace
+//	                     the grid has seen
 //	demo                 scripted scenario: list everywhere, hot-load the
 //	                     SOAP middleware into the last node, invoke it over
 //	                     SOAP, then unload it again
@@ -105,13 +112,21 @@ func realMain(argv []string, out, errOut io.Writer) int {
 			return fail(errOut, fmt.Errorf("%s takes no arguments", cmd))
 		}
 	case "events":
-		if len(args) > 1 {
-			return fail(errOut, fmt.Errorf("events takes at most a maximum event count"))
+		rest := args
+		if len(rest) > 0 && rest[0] == "-grid" {
+			rest = rest[1:]
 		}
-		if len(args) == 1 {
-			if _, err := strconv.Atoi(args[0]); err != nil {
-				return fail(errOut, fmt.Errorf("events: bad count %q", args[0]))
+		if len(rest) > 1 {
+			return fail(errOut, fmt.Errorf("events takes at most -grid and a maximum event count"))
+		}
+		if len(rest) == 1 {
+			if _, err := strconv.Atoi(rest[0]); err != nil {
+				return fail(errOut, fmt.Errorf("events: bad count %q", rest[0]))
 			}
+		}
+	case "trace":
+		if len(args) != 1 {
+			return fail(errOut, fmt.Errorf("trace wants a trace ID or -last"))
 		}
 	case "load", "unload":
 		if len(args) != 1 {
@@ -210,6 +225,9 @@ func runSimulated(out, errOut io.Writer, gridPath, from, targets, registries str
 		}
 		fmt.Fprintf(out, "deployment %q up: %d process(es), registry replicas on %s%s\n",
 			topo.Name, len(procs), strings.Join(platform.Registries, ","), suffix)
+		// Operator commands from the seat are always traced, matching
+		// live mode where Attach samples everything the ctl initiates.
+		procs[seatNode].Telemetry().SetSpanSampling(1)
 		s := &simSeat{platform: platform, procs: procs, seat: seatNode}
 		if !run(out, errOut, s, nodes, cmd, args, cascade) {
 			exit = 1
@@ -245,10 +263,39 @@ func runAttached(out, errOut io.Writer, addrs []string, targets, cmd string, arg
 			}
 		}
 	}
-	if !run(out, errOut, &wallSeat{dep: dep}, nodes, cmd, args, cascade) {
+	ok := run(out, errOut, &wallSeat{dep: dep}, nodes, cmd, args, cascade)
+	flushSeatSpans(dep, nodes, cmd)
+	if !ok {
 		return 1
 	}
 	return 0
+}
+
+// flushSeatSpans ships the spans the ctl seat recorded during this command
+// to the first reachable daemon. The tool is a fresh process every
+// invocation, so without the push its half of the causal tree would die
+// with it: a later `padico-ctl trace` run could never show the root.
+// Pushing also anchors `trace -last` — the receiving daemon remembers the
+// freshest root span it was handed as the grid's most recent operator
+// trace. Observability commands themselves are not flushed, so inspecting
+// a trace never becomes the next "last trace".
+func flushSeatSpans(dep *deploy.WallDeployment, nodes []string, cmd string) {
+	if cmd == "trace" || cmd == "events" {
+		return
+	}
+	tel := dep.Telemetry()
+	spans := tel.Spans("")
+	if len(spans) == 0 {
+		return
+	}
+	// Pre-stamped trace ID: the push is plumbing, not an operator action,
+	// and must not mint a root span of its own.
+	req := &gatekeeper.Request{Op: gatekeeper.OpTracePut, Spans: spans, TraceID: tel.NextTraceID()}
+	for _, n := range nodes {
+		if _, err := dep.Ctl.Do(n, req); err == nil {
+			return
+		}
+	}
 }
 
 // seat is the operator's steering surface — identical over a freshly built
@@ -258,9 +305,16 @@ type seat interface {
 	Controller() *gatekeeper.Controller
 	Registry() *gatekeeper.RegistryClient // nil when the seat has none
 	Registries() []string
+	// Telemetry is the seat's own span recorder: operator commands mint
+	// their root spans here (always sampled — they are rare and always
+	// interesting).
+	Telemetry() *telemetry.Registry
 	// DialService resolves a published service by name and dials it from
 	// the seat.
 	DialService(kind, name string) (vlink.Stream, error)
+	// DialServiceCtx is DialService under the caller's span: the resolve
+	// and dial legs become children of ctx.
+	DialServiceCtx(ctx telemetry.SpanContext, kind, name string) (vlink.Stream, error)
 	// SoapCall invokes a SOAP method on a node's service from the seat.
 	SoapCall(node, service, method string, params ...string) ([]string, error)
 }
@@ -286,10 +340,17 @@ func (s *simSeat) Registry() *gatekeeper.RegistryClient {
 
 func (s *simSeat) Registries() []string { return s.platform.Registries }
 
+func (s *simSeat) Telemetry() *telemetry.Registry { return s.procs[s.seat].Telemetry() }
+
 func (s *simSeat) DialService(kind, name string) (vlink.Stream, error) {
 	// The deployment installed the registry client as every linker's
 	// resolver, so the seat dials purely by name — no node given.
 	return s.procs[s.seat].Linker().DialService(kind, name)
+}
+
+func (s *simSeat) DialServiceCtx(ctx telemetry.SpanContext, kind, name string) (vlink.Stream, error) {
+	ln := s.procs[s.seat].Linker()
+	return ln.DialServiceSpan(ctx, ln.Resolver(), kind, name)
 }
 
 func (s *simSeat) SoapCall(node, service, method string, params ...string) ([]string, error) {
@@ -303,9 +364,14 @@ type wallSeat struct{ dep *deploy.WallDeployment }
 func (s *wallSeat) Controller() *gatekeeper.Controller   { return s.dep.Ctl }
 func (s *wallSeat) Registry() *gatekeeper.RegistryClient { return s.dep.Registry() }
 func (s *wallSeat) Registries() []string                 { return s.dep.Registries() }
+func (s *wallSeat) Telemetry() *telemetry.Registry       { return s.dep.Telemetry() }
 
 func (s *wallSeat) DialService(kind, name string) (vlink.Stream, error) {
 	return s.dep.DialService(kind, name)
+}
+
+func (s *wallSeat) DialServiceCtx(ctx telemetry.SpanContext, kind, name string) (vlink.Stream, error) {
+	return gatekeeper.DialServiceOnCtx(ctx, s.dep.Tr, s.dep.Registry(), kind, name)
 }
 
 func (s *wallSeat) SoapCall(node, service, method string, params ...string) ([]string, error) {
@@ -424,11 +490,20 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 			}
 			return ok
 		}
+		// One root span covers the whole command: the per-replica lookups,
+		// the fabric-aware resolution, the by-name dial and the control-
+		// plane confirmation all become children, so `padico-ctl trace`
+		// later reconstructs the command as a single causal tree spanning
+		// the seat, the registry replicas and the hosting gatekeeper.
+		sp := s.Telemetry().StartSpan("ctl.resolve")
+		sp.Annotate("kind", kind)
+		sp.Annotate("name", name)
+		defer sp.End()
 		// Every replica's view first, so the operator sees replication
 		// state: a freshly published entry appears on its zone's replica
 		// immediately and on the rest within one sync interval.
 		for _, rep := range s.Registries() {
-			entries, err := rc.LookupAt(rep, kind, name)
+			entries, err := rc.LookupAtCtx(sp.Context(), rep, kind, name)
 			if err != nil {
 				fmt.Fprintf(out, "replica %-8s ERROR %v\n", rep, err)
 				continue
@@ -446,19 +521,35 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 					rep, e.Node, e.Kind, e.Name, e.Service, ttl)
 			}
 		}
-		e, err := rc.Resolve(kind, name)
+		e, err := rc.ResolveCtx(sp.Context(), kind, name)
 		if err != nil {
+			sp.Annotate("error", err.Error())
 			fmt.Fprintf(out, "resolve: %v\n", err)
 			return false
 		}
+		sp.Annotate("host", e.Node)
 		fmt.Fprintf(out, "%s %s -> node %s, service %s\n", kind, name, e.Node, e.Service)
-		st, err := s.DialService(kind, name)
+		st, err := s.DialServiceCtx(sp.Context(), kind, name)
 		if err != nil {
+			sp.Annotate("error", err.Error())
 			fmt.Fprintf(out, "resolve: dial by name: %v\n", err)
 			return false
 		}
 		st.Close()
 		fmt.Fprintf(out, "dialed %s by name from the seat ok\n", name)
+		// Confirm over the control plane that the hosting node still
+		// advertises the service — a pre-stamped exchange, so the remote
+		// gatekeeper's hop lands in this same tree.
+		creq := &gatekeeper.Request{Op: gatekeeper.OpListServices}
+		if sc := sp.Context(); sc.Valid() {
+			creq.TraceID, creq.Span = sc.Trace, sc.Span
+		}
+		cresp, err := ctl.Do(e.Node, creq)
+		if err != nil {
+			fmt.Fprintf(out, "resolve: confirm on %s: %v\n", e.Node, err)
+			return false
+		}
+		fmt.Fprintf(out, "node %s confirms %d service(s) over the control plane\n", e.Node, len(cresp.Services))
 		return true
 	case "registry": // registry status
 		rc := s.Registry()
@@ -527,9 +618,17 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 	case "top":
 		return top(out, ctl, nodes)
 	case "events":
+		grid := false
+		rest := args
+		if len(rest) > 0 && rest[0] == "-grid" {
+			grid, rest = true, rest[1:]
+		}
 		max := 0
-		if len(args) == 1 {
-			max, _ = strconv.Atoi(args[0])
+		if len(rest) == 1 {
+			max, _ = strconv.Atoi(rest[0])
+		}
+		if grid {
+			return gridEvents(out, ctl, nodes, max)
 		}
 		return fan(&gatekeeper.Request{Op: gatekeeper.OpEvents, Max: max}, func(r gatekeeper.FanResult) {
 			if len(r.Resp.Events) == 0 {
@@ -540,12 +639,166 @@ func run(out, errOut io.Writer, s seat, nodes []string, cmd string, args []strin
 				fmt.Fprintf(out, "%-8s %s\n", r.Node, e.String())
 			}
 		})
+	case "trace":
+		return traceCmd(out, s, ctl, nodes, args[0])
 	case "demo":
 		return demo(out, s, nodes)
 	default: // unreachable: commands are validated before launch
 		fmt.Fprintf(errOut, "padico-ctl: unknown command %q\n", cmd)
 		return false
 	}
+}
+
+// gridEvents merges every node's event ring into one time-sorted grid view —
+// the control plane as a single timeline rather than per-node fragments.
+// Time orders first (virtual time under Sim makes the merge deterministic),
+// then node name, then each ring's own sequence.
+func gridEvents(out io.Writer, ctl *gatekeeper.Controller, nodes []string, max int) bool {
+	type row struct {
+		node string
+		ev   telemetry.Event
+	}
+	var rows []row
+	answered, ok := 0, true
+	for _, r := range ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpEvents, Max: max}) {
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-8s ERROR %v\n", r.Node, r.Err)
+			ok = false
+			continue
+		}
+		answered++
+		for _, e := range r.Resp.Events {
+			rows = append(rows, row{r.Node, e})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.ev.AtMicros != b.ev.AtMicros {
+			return a.ev.AtMicros < b.ev.AtMicros
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.ev.Seq < b.ev.Seq
+	})
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-8s %s\n", r.node, r.ev.String())
+	}
+	fmt.Fprintf(out, "%d event(s) across %d node(s)\n", len(rows), answered)
+	return ok
+}
+
+// traceCmd collects one trace's spans from every node — plus the seat's own
+// buffer, which holds the live half of a command issued from this very
+// process — and renders the causal tree. "-last" first asks every node for
+// the most recent operator trace it was handed and picks the freshest.
+func traceCmd(out io.Writer, s seat, ctl *gatekeeper.Controller, nodes []string, id string) bool {
+	if id == "-last" {
+		var bestAt int64
+		best := ""
+		for _, r := range ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpTrace}) {
+			if r.Err != nil || r.Resp.LastTrace == "" {
+				continue
+			}
+			if best == "" || r.Resp.LastTraceAtMicros > bestAt {
+				best, bestAt = r.Resp.LastTrace, r.Resp.LastTraceAtMicros
+			}
+		}
+		if best == "" {
+			fmt.Fprintln(out, "trace: the grid has no recorded operator trace yet")
+			return false
+		}
+		id = best
+	}
+	spans := s.Telemetry().Spans(id)
+	ok := true
+	for _, r := range ctl.Fanout(nodes, &gatekeeper.Request{Op: gatekeeper.OpTrace, Name: id}) {
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-8s ERROR %v\n", r.Node, r.Err)
+			ok = false
+			continue
+		}
+		spans = append(spans, r.Resp.Spans...)
+	}
+	return renderTrace(out, id, spans) && ok
+}
+
+// renderTrace renders a span set as one causal tree: roots first, children
+// indented under their parents in start order. Starts are printed relative
+// to the trace's earliest span, so the operator reads per-hop offsets
+// rather than clock values. A span whose parent never arrived (evicted from
+// a busy node's buffer, or the node was unreachable) renders as a root,
+// marked, instead of disappearing.
+func renderTrace(out io.Writer, id string, spans []telemetry.Span) bool {
+	// Dedup on (node, span ID): in simulated mode the seat's own buffer and
+	// the seat node's fan-out answer are the same recorder.
+	seen := map[string]bool{}
+	uniq := spans[:0]
+	for _, sp := range spans {
+		k := sp.Node + "\x00" + sp.ID
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, sp)
+	}
+	if len(uniq) == 0 {
+		fmt.Fprintf(out, "trace %s: no spans found on any node\n", id)
+		return false
+	}
+	byID := map[string]bool{}
+	nodeSet := map[string]bool{}
+	base := uniq[0].StartMicros
+	for _, sp := range uniq {
+		byID[sp.ID] = true
+		nodeSet[sp.Node] = true
+		if sp.StartMicros < base {
+			base = sp.StartMicros
+		}
+	}
+	children := map[string][]telemetry.Span{}
+	var roots []telemetry.Span
+	for _, sp := range uniq {
+		if sp.Parent == "" || !byID[sp.Parent] {
+			roots = append(roots, sp)
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	order := func(s []telemetry.Span) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].StartMicros != s[j].StartMicros {
+				return s[i].StartMicros < s[j].StartMicros
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	order(roots)
+	for _, c := range children {
+		order(c)
+	}
+	fmt.Fprintf(out, "trace %s: %d span(s) across %d node(s)\n", id, len(uniq), len(nodeSet))
+	var render func(sp telemetry.Span, depth int)
+	render = func(sp telemetry.Span, depth int) {
+		notes := ""
+		for _, k := range sortedKeys(sp.Notes) {
+			notes += fmt.Sprintf(" %s=%s", k, sp.Notes[k])
+		}
+		orphan := ""
+		if sp.Parent != "" && !byID[sp.Parent] {
+			orphan = " (parent " + sp.Parent + " missing)"
+		}
+		fmt.Fprintf(out, "%s%-16s node=%-8s +%dus %dus%s%s\n",
+			strings.Repeat("  ", depth+1), sp.Op, sp.Node,
+			sp.StartMicros-base, sp.DurationMicros, notes, orphan)
+		for _, c := range children[sp.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return true
 }
 
 // top renders a one-line-per-node health table from each node's metrics

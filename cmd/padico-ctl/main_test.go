@@ -62,7 +62,7 @@ func TestSimulatedCommands(t *testing.T) {
 	topo := writeTopo(t)
 	for _, cmd := range [][]string{
 		{"list"}, {"ping"}, {"services"}, {"registry", "status"},
-		{"lookup", "module", "vlink"}, {"demo"},
+		{"lookup", "module", "vlink"}, {"demo"}, {"events", "-grid", "5"},
 	} {
 		var out, errOut bytes.Buffer
 		argv := append([]string{"-grid", topo}, cmd...)
@@ -86,6 +86,9 @@ func TestArgumentValidation(t *testing.T) {
 		{[]string{"-grid", topo, "load"}, 1},                   // missing module
 		{[]string{"-grid", topo, "bogus"}, 1},                  // unknown command
 		{[]string{"-grid", topo, "registry", "bogus"}, 1},      // bad subcommand
+		{[]string{"-grid", topo, "trace"}, 1},                  // trace wants an ID
+		{[]string{"-grid", topo, "events", "x"}, 1},            // bad event count
+		{[]string{"-grid", topo, "events", "-grid", "x"}, 1},   // bad count after -grid
 		{[]string{"-attach", "x:1", "-from", "a", "list"}, 1},  // sim-only flag
 		{[]string{"-grid", topo, "-nodes", "zz", "list"}, 1},   // unknown target
 		{[]string{"-attach", "127.0.0.1:1", "list"}, 1},        // nothing listening
@@ -216,5 +219,129 @@ func TestAttachedCommands(t *testing.T) {
 	errOut.Reset()
 	if code := realMain([]string{"-attach", d1.Addr(), "ping"}, &out, &errOut); code != 0 {
 		t.Fatalf("deployment did not survive steering\nstderr:\n%s", errOut.String())
+	}
+}
+
+// TestTraceAcrossWallGrid is the tracing acceptance e2e: a by-name resolve
+// from an attached seat against a 3-daemon, 2-shard wall grid, then a
+// separate `padico-ctl trace -last` invocation — a fresh process with an
+// empty span buffer — reconstructs the command into ONE causal tree holding
+// spans from the ctl seat, the hosting node's gatekeeper, and a registry
+// replica of each shard group the per-replica lookups touched.
+func TestTraceAcrossWallGrid(t *testing.T) {
+	groups := [][]string{{"e0"}, {"e1"}}
+	mk := func(node string, peers map[string]string) *deploy.Daemon {
+		d, err := deploy.StartDaemon(deploy.DaemonConfig{
+			Node: node, ShardGroups: groups, Peers: peers,
+			LeaseTTL: time.Second, SyncInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		return d
+	}
+	d0 := mk("e0", nil)
+	d1 := mk("e1", map[string]string{"e0": d0.Addr()})
+	d2 := mk("e2", map[string]string{"e0": d0.Addr(), "e1": d1.Addr()})
+	attach := d0.Addr() + "," + d1.Addr() + "," + d2.Addr()
+
+	// A dialable service on e2: hot-load soap and wait for its announce.
+	var out, errOut bytes.Buffer
+	if code := realMain([]string{"-attach", attach, "-nodes", "e2", "load", "soap"}, &out, &errOut); code != 0 {
+		t.Fatalf("load soap exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out.Reset()
+		errOut.Reset()
+		if code := realMain([]string{"-attach", attach, "resolve", "vlink", "soap:sys"}, &out, &errOut); code == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resolve never succeeded\nstdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "node e2 confirms") {
+		t.Fatalf("resolve did not confirm over the control plane:\n%s", out.String())
+	}
+
+	// A fresh invocation reconstructs the resolve from the grid alone.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "trace", "-last"}, &out, &errOut); code != 0 {
+		t.Fatalf("trace -last exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	rendered := out.String()
+	for _, want := range []string{
+		"ctl.resolve",      // the seat's root span, recovered from the flushed buffer
+		"node=padico-ctl",  // seat spans
+		"node=e0",          // replica of shard group 0 (per-replica lookup)
+		"node=e1",          // replica of shard group 1
+		"node=e2",          // the hosting gatekeeper's confirm span
+		"gk.list-services", // the control-plane confirmation hop
+		"reg.reg-lookup",   // replica serve spans
+		"kind=vlink",       // root annotations survived the flush
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("trace -last output missing %q:\n%s", want, rendered)
+		}
+	}
+	// One tree, not a forest: every span hangs under the single root —
+	// no orphan markers, and the root's line is the least indented.
+	if strings.Contains(rendered, "missing)") {
+		t.Fatalf("tree has orphaned spans:\n%s", rendered)
+	}
+	var rootIndent, childIndent = -1, -1
+	for _, line := range strings.Split(rendered, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		switch {
+		case strings.HasPrefix(trimmed, "ctl.resolve"):
+			rootIndent = indent
+		case strings.HasPrefix(trimmed, "gk.list-services"):
+			childIndent = indent
+		}
+	}
+	if rootIndent < 0 || childIndent <= rootIndent {
+		t.Fatalf("gatekeeper span (indent %d) does not hang under the root (indent %d):\n%s",
+			childIndent, rootIndent, rendered)
+	}
+
+	// An explicit trace ID collects the same tree; an unknown one is a
+	// clean miss.
+	id := ""
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.HasPrefix(line, "trace ") {
+			id = strings.TrimSuffix(strings.Fields(line)[1], ":")
+			break
+		}
+	}
+	if id == "" {
+		t.Fatalf("no trace header in output:\n%s", rendered)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "trace", id}, &out, &errOut); code != 0 ||
+		!strings.Contains(out.String(), "ctl.resolve") {
+		t.Fatalf("trace %s exited %d:\n%s", id, code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "trace", "no-such-trace"}, &out, &errOut); code == 0 {
+		t.Fatalf("unknown trace ID exited 0:\n%s", out.String())
+	}
+
+	// The grid-wide events view merges all three daemons' rings into one
+	// time-sorted timeline.
+	out.Reset()
+	errOut.Reset()
+	if code := realMain([]string{"-attach", attach, "events", "-grid"}, &out, &errOut); code != 0 {
+		t.Fatalf("events -grid exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "event(s) across 3 node(s)") ||
+		!strings.Contains(out.String(), "gk.recv") {
+		t.Fatalf("events -grid output:\n%s", out.String())
 	}
 }

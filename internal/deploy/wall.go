@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"padico/internal/core"
@@ -65,6 +67,11 @@ type DaemonConfig struct {
 	// by the supervisor on every respawn. Reported as the daemon_restarts
 	// gauge so `padico-ctl top` sources restart counts from the metrics op.
 	Epoch int
+	// TraceSample is the daemon's root-span head-sampling policy: 0 (the
+	// default) records no locally initiated root spans, 1 records all,
+	// n records one in every n. Spans arriving with a remote parent are
+	// always recorded — the root's decision propagates.
+	TraceSample int
 }
 
 // Daemon is one running padico-d: a genuine Padico process on the wall
@@ -149,6 +156,7 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 
 	tel := proc.Telemetry()
 	tel.Gauge("daemon_restarts").Set(int64(cfg.Epoch))
+	tel.SetSpanSampling(cfg.TraceSample)
 
 	host := sockets.NewWallHost(cfg.Node)
 	host.SetTelemetry(tel)
@@ -367,6 +375,10 @@ type WallDeployment struct {
 	closeOnce  sync.Once
 }
 
+// attachSeq disambiguates seat telemetry identities when one process
+// attaches repeatedly (tests, scripts driving realMain in a loop).
+var attachSeq atomic.Int64
+
 // Attach connects the operator seat to a live deployment through one or
 // more daemon endpoints ("host:port"). Any one reachable daemon suffices:
 // its deployment descriptor names the registry replicas and hands over its
@@ -379,8 +391,15 @@ func Attach(addrs []string) (*WallDeployment, error) {
 	wall := vtime.NewWall()
 	host := sockets.NewWallHost("padico-ctl")
 	// The seat gets its own telemetry: it mints the trace IDs that stitch
-	// operator exchanges across daemon event rings.
-	seatTel := telemetry.New("padico-ctl", wall)
+	// operator exchanges across daemon event rings. Operator commands are
+	// rare and always interesting, so the seat samples every root span —
+	// each attached command yields a collectable causal tree. The identity
+	// must be unique per attach, not a bare "padico-ctl": daemons buffer
+	// spans across many tool invocations, each of which restarts its trace
+	// sequence at 1 — identically named seats would collide on trace IDs
+	// and merge unrelated commands into one tree.
+	seatTel := telemetry.New(fmt.Sprintf("padico-ctl-%d-%d", os.Getpid(), attachSeq.Add(1)), wall)
+	seatTel.SetSpanSampling(1)
 	host.SetTelemetry(seatTel)
 	tr := orb.WallTransport{Host: host}
 

@@ -119,11 +119,22 @@ func (cn *Conn) Do(req *Request) (*Response, error) { return cn.DoTimeout(req, C
 // DoTimeout is Do with a caller-chosen exchange deadline — health probes
 // must judge a peer wedged far sooner than ControlTimeout allows.
 func (cn *Conn) DoTimeout(req *Request, d time.Duration) (*Response, error) {
+	// An untraced request becomes a root span when the seat samples it —
+	// the span context rides the frame so the gatekeeper parents under it.
+	// Unsampled (or span-less) seats keep the flat trace-ID mint, so event
+	// rings stay stitched either way. Requests arriving pre-stamped belong
+	// to a caller's span and are left alone.
+	var sp *telemetry.ActiveSpan
 	if req.TraceID == "" {
-		if id := cn.tel.NextTraceID(); id != "" {
+		if sp = cn.tel.StartSpan("ctl." + req.Op); sp != nil {
+			sp.Annotate("to", cn.node)
+			sc := sp.Context()
+			req.TraceID, req.Span = sc.Trace, sc.Span
+		} else if id := cn.tel.NextTraceID(); id != "" {
 			req.TraceID = id
 		}
 	}
+	defer sp.End()
 	cn.tel.Trace(req.TraceID, "ctl.send", "node="+cn.node+" op="+req.Op)
 	defer ArmDeadline(cn.st, d)()
 	if err := WriteRequest(cn.st, req); err != nil {
@@ -140,14 +151,27 @@ func (cn *Conn) DoTimeout(req *Request, d time.Duration) (*Response, error) {
 // (all writes, then all reads — see the protocol-level Pipeline). Each
 // request is trace-stamped like Do.
 func (cn *Conn) Pipeline(reqs []*Request) ([]*Response, error) {
+	// One pipelined batch is one flight: a single root span covers every
+	// untraced request in it (each still records its own ctl.send event).
+	var sp *telemetry.ActiveSpan
+	spanTried := false
 	for _, req := range reqs {
 		if req.TraceID == "" {
-			if id := cn.tel.NextTraceID(); id != "" {
+			if !spanTried {
+				spanTried = true
+				if sp = cn.tel.StartSpan("ctl.pipeline"); sp != nil {
+					sp.Annotate("to", cn.node)
+				}
+			}
+			if sc := sp.Context(); sc.Valid() {
+				req.TraceID, req.Span = sc.Trace, sc.Span
+			} else if id := cn.tel.NextTraceID(); id != "" {
 				req.TraceID = id
 			}
 		}
 		cn.tel.Trace(req.TraceID, "ctl.send", "node="+cn.node+" op="+req.Op)
 	}
+	defer sp.End()
 	defer ArmControlDeadline(cn.st)()
 	resps, err := Pipeline(cn.st, reqs)
 	if err != nil {
@@ -364,12 +388,21 @@ type FanResult struct {
 func (c *Controller) Fanout(nodes []string, req *Request) []FanResult {
 	// One fan-out is one logical exchange: mint a single trace ID up front
 	// (every node's ring records the same ID) — and never from the fanned
-	// actors, which share this request.
+	// actors, which share this request. When the seat samples spans, the
+	// fan-out is the root and each leg gets its own child span — stamped
+	// into a per-node shallow copy, because stamping the shared request
+	// from concurrent actors would race.
+	tel := c.telemetry()
+	var root *telemetry.ActiveSpan
 	if req.TraceID == "" {
-		if id := c.telemetry().NextTraceID(); id != "" {
+		if root = tel.StartSpan("ctl." + req.Op); root != nil {
+			sc := root.Context()
+			req.TraceID, req.Span = sc.Trace, sc.Span
+		} else if id := tel.NextTraceID(); id != "" {
 			req.TraceID = id
 		}
 	}
+	defer root.End()
 	out := make([]FanResult, len(nodes))
 	wg := vtime.NewWaitGroup(c.rt, "gatekeeper: fanout")
 	for i, node := range nodes {
@@ -377,7 +410,20 @@ func (c *Controller) Fanout(nodes []string, req *Request) []FanResult {
 		wg.Add(1)
 		c.rt.Go("gatekeeper:fanout:"+node, func() {
 			defer wg.Done()
-			resp, err := c.Do(node, req)
+			r := req
+			var leg *telemetry.ActiveSpan
+			if root != nil {
+				leg = root.Child("ctl.send")
+				leg.Annotate("to", node)
+				cp := *req
+				cp.Span = leg.Context().Span
+				r = &cp
+			}
+			resp, err := c.Do(node, r)
+			if err != nil {
+				leg.Annotate("error", err.Error())
+			}
+			leg.End()
 			out[i] = FanResult{Node: node, Resp: resp, Err: err}
 		})
 	}

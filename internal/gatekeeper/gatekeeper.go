@@ -188,7 +188,11 @@ func (g *Gatekeeper) Entries() []Entry {
 // Announce publishes the target's current services to the registry,
 // replacing this node's previous entries. With a lease running, the
 // publish carries the lease TTL so the entries stay soft state.
-func (g *Gatekeeper) Announce() error {
+func (g *Gatekeeper) Announce() error { return g.announce(telemetry.SpanContext{}) }
+
+// announce is Announce threading a caller's span context into the registry
+// client, so a steered or traced announce shows its batched flights.
+func (g *Gatekeeper) announce(ctx telemetry.SpanContext) error {
 	g.mu.Lock()
 	rc, ttl, retired := g.reg, g.leaseTTL, g.retired
 	g.mu.Unlock()
@@ -198,7 +202,7 @@ func (g *Gatekeeper) Announce() error {
 	if retired {
 		return fmt.Errorf("gatekeeper: %s has withdrawn from the registry", g.target.NodeName())
 	}
-	return rc.PublishTTL(g.target.NodeName(), g.Entries(), ttl)
+	return rc.PublishTTLCtx(ctx, g.target.NodeName(), g.Entries(), ttl)
 }
 
 // Withdraw is the clean-shutdown counterpart of StartLease: it stops lease
@@ -315,14 +319,23 @@ func (g *Gatekeeper) kickAnnouncer() {
 			rc, ttl := g.reg, g.leaseTTL
 			g.annDirty, g.renewDue = false, false
 			g.mu.Unlock()
+			// Root span per announce round — recorded only when this
+			// daemon's sampling policy says so, so steady-state renewals
+			// stay free by default.
+			sp := g.telemetry().StartSpan("gk.announce")
+			if renew && !dirty {
+				sp.Annotate("renew", "true")
+			}
 			var err error
 			if dirty || rc == nil || ttl <= 0 {
-				err = g.Announce() // Entries() snapshots the table at publish time
-			} else if err = rc.RenewLease(g.target.NodeName(), ttl); err != nil {
+				err = g.announce(sp.Context()) // Entries() snapshots the table at publish time
+			} else if err = rc.RenewLeaseCtx(sp.Context(), g.target.NodeName(), ttl); err != nil {
 				// The cheap path didn't take — re-establish the lease with
 				// the full entry set.
-				err = g.Announce()
+				sp.Annotate("renew_fallback", "true")
+				err = g.announce(sp.Context())
 			}
+			sp.End()
 			if renew {
 				if err == nil {
 					g.renewals.Add(1)
@@ -373,9 +386,14 @@ func (g *Gatekeeper) serve(raw orbStream) {
 		g.mu.Unlock()
 		tel.Counter("gk.requests").Inc()
 		tel.Trace(req.TraceID, "gk.recv", "op="+req.Op)
+		// Requests carrying a span context get a server-side child span —
+		// the root's sampling decision propagates, local policy does not
+		// apply. Span-less requests cost one comparison here.
+		sp := tel.StartSpanCtx(telemetry.SpanContext{Trace: req.TraceID, Span: req.Span}, "gk."+req.Op)
 		start := tel.Now()
-		resp := g.handle(req)
+		resp := g.handle(req, sp)
 		tel.Histogram("gk.handle").Observe(tel.Since(start))
+		sp.End()
 		resp.TraceID = req.TraceID
 		err = WriteResponse(st, resp)
 		g.mu.Lock()
@@ -390,7 +408,10 @@ func (g *Gatekeeper) serve(raw orbStream) {
 	}
 }
 
-func (g *Gatekeeper) handle(req *Request) *Response {
+// handle dispatches one request. sp is the server-side span of this request
+// (nil when untraced), threaded into handlers that fan further out so their
+// downstream flights parent under it.
+func (g *Gatekeeper) handle(req *Request, sp *telemetry.ActiveSpan) *Response {
 	fail := func(err error) *Response { return &Response{Error: err.Error()} }
 	switch req.Op {
 	case OpPing:
@@ -428,8 +449,31 @@ func (g *Gatekeeper) handle(req *Request) *Response {
 		return &Response{OK: true, Metrics: snap}
 	case OpEvents:
 		return &Response{OK: true, Events: g.telemetry().Events(req.Max)}
+	case OpTrace:
+		tel := g.telemetry()
+		last, at := tel.LastTrace()
+		id := req.Name
+		if id == "" {
+			id = last
+		}
+		resp := &Response{OK: true, LastTrace: last, LastTraceAtMicros: at}
+		if id != "" {
+			resp.Spans = tel.Spans(id)
+		}
+		return resp
+	case OpTracePut:
+		tel := g.telemetry()
+		tel.PutSpans(req.Spans)
+		// The freshest root among the pushed spans anchors `trace -last`.
+		for i := len(req.Spans) - 1; i >= 0; i-- {
+			if s := req.Spans[i]; s.Parent == "" && s.Trace != "" {
+				tel.NoteLastTrace(s.Trace)
+				break
+			}
+		}
+		return &Response{OK: true}
 	case OpAnnounce:
-		if err := g.Announce(); err != nil {
+		if err := g.announce(sp.Context()); err != nil {
 			return fail(err)
 		}
 		return &Response{OK: true, Entries: g.Entries()}

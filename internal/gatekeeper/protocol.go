@@ -60,6 +60,15 @@ const (
 
 	OpMetrics = "metrics" // telemetry snapshot: counters, gauges, histograms
 	OpEvents  = "events"  // recent control-plane trace events
+
+	// Causal-tracing collection. OpTrace returns the node's buffered spans
+	// for one trace ID (empty ID: the node's most recent operator-initiated
+	// trace). OpTracePut ingests finished spans recorded elsewhere — an
+	// attached seat flushes its buffer to a daemon before exiting, so
+	// `padico-ctl trace -last` can reconstruct the tree after the seat
+	// process is gone.
+	OpTrace    = "trace"
+	OpTracePut = "trace-put"
 )
 
 // Entry is one published service in the grid-wide registry.
@@ -255,6 +264,12 @@ type Request struct {
 	// mints it, every hop records it in its event ring, and the response
 	// echoes it. Empty from old clients — fully backward-compatible.
 	TraceID string `json:"trace,omitempty"`
+	// Span is the caller's span ID within TraceID — the parent the receiver
+	// hangs its own span under. Empty when the caller traces without spans
+	// (events-only) or predates the span model.
+	Span string `json:"span,omitempty"`
+	// Spans carries finished spans on a trace-put.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 	// Max bounds the number of events answered to an events request
 	// (0 = all retained).
 	Max int `json:"max,omitempty"`
@@ -291,6 +306,14 @@ type Response struct {
 	// Events answers an events request with recent trace events, oldest
 	// first.
 	Events []telemetry.Event `json:"events,omitempty"`
+	// Spans answers a trace request with the node's buffered spans for the
+	// requested trace, oldest first.
+	Spans []telemetry.Span `json:"spans,omitempty"`
+	// LastTrace and LastTraceAtMicros report the node's most recent
+	// operator-initiated trace on a trace request, so `trace -last` can
+	// pick the freshest anchor across the grid.
+	LastTrace         string `json:"last_trace,omitempty"`
+	LastTraceAtMicros int64  `json:"last_trace_us,omitempty"`
 }
 
 // Err converts a failed response into an error.

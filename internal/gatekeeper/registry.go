@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -364,14 +365,31 @@ func (r *Registry) syncWith(shard int, peer string) {
 	}
 	start := tel.Now()
 	self := r.tr.NodeName()
+	// One anti-entropy round is one trace: every frame of it (the opening
+	// sync or digest AND the push that may follow) carries the same ID, so
+	// batched rounds are visible to `events`/tracing like any other op. A
+	// sampled root span additionally records the round's causal shape.
+	sp := tel.StartSpan("reg.sync")
+	sp.Annotate("peer", peer)
+	sp.Annotate("shard", strconv.Itoa(shard))
+	sp.Annotate("full", strconv.FormatBool(full))
+	roundTrace, roundSpan := sp.Context().Trace, sp.Context().Span
+	if roundTrace == "" {
+		roundTrace = tel.NextTraceID()
+	}
+	defer sp.End()
+	stamp := func(q *Request) *Request {
+		q.TraceID, q.Span = roundTrace, roundSpan
+		return q
+	}
 	fullReq := func() *Request {
-		return &Request{Op: OpRegSync, From: self, Shard: shard, Sync: r.snapshotShard(shard)}
+		return stamp(&Request{Op: OpRegSync, From: self, Shard: shard, Sync: r.snapshotShard(shard)})
 	}
 	var req *Request
 	if full {
 		req = fullReq()
 	} else {
-		req = &Request{Op: OpRegDigest, From: self, Shard: shard, Digest: r.digestShard(shard)}
+		req = stamp(&Request{Op: OpRegDigest, From: self, Shard: shard, Digest: r.digestShard(shard)})
 	}
 	for attempt := 0; attempt < 2; attempt++ {
 		if st == nil {
@@ -406,8 +424,8 @@ func (r *Registry) syncWith(shard int, peer string) {
 					// push ours back on the same session to finish the
 					// round's reconciliation.
 					push := r.snapshotNodes(shard, resp.Want)
-					presp, perr := syncExchange(st, &Request{
-						Op: OpRegPush, From: self, Shard: shard, Sync: push})
+					presp, perr := syncExchange(st, stamp(&Request{
+						Op: OpRegPush, From: self, Shard: shard, Sync: push}))
 					if perr != nil || !presp.OK {
 						_ = st.Close()
 						st = nil
@@ -827,7 +845,12 @@ func (r *Registry) serve(st orbStream) {
 			return
 		}
 		tel.Trace(req.TraceID, "reg.recv", "op="+req.Op)
+		// Traced requests get a replica-side child span — which shard group
+		// leg a flight hit, and how long the replica worked on it.
+		sp := tel.StartSpanCtx(telemetry.SpanContext{Trace: req.TraceID, Span: req.Span}, "reg."+req.Op)
+		sp.Annotate("shard", strconv.Itoa(req.Shard))
 		resp := r.handle(req)
+		sp.End()
 		resp.TraceID = req.TraceID
 		if err := WriteResponse(counted, resp); err != nil {
 			return
@@ -1281,8 +1304,8 @@ func (c *RegistryClient) shardFieldFor(shard int) int {
 // the current replica's host is dead or unreachable. A replica that
 // answers — even with an application error — ends the scan: refusals are
 // answers, not failures.
-func (c *RegistryClient) do(shard int, req *Request) (*Response, error) {
-	resps, err := c.doGroup(c.sessionFor(shard), []*Request{req})
+func (c *RegistryClient) do(ctx telemetry.SpanContext, shard int, req *Request) (*Response, error) {
+	resps, err := c.doGroup(ctx, c.sessionFor(shard), []*Request{req})
 	if err != nil {
 		return nil, err
 	}
@@ -1293,7 +1316,29 @@ func (c *RegistryClient) do(shard int, req *Request) (*Response, error) {
 // group's pooled session (see do for session and failover semantics — the
 // batch fails over and retries as a unit within its group, which is safe
 // for the registry's idempotent, last-writer-wins operations).
-func (c *RegistryClient) doGroup(s *regSession, reqs []*Request) ([]*Response, error) {
+//
+// doGroup is the single chokepoint of client registry traffic, so tracing
+// lives here: every request without an ID gets the flight's shared trace ID
+// (batched announce/renew/lookup frames used to leave untraced), and a
+// caller span in ctx hangs a per-flight child span annotated with the
+// replica that answered and any failover the flight took.
+func (c *RegistryClient) doGroup(ctx telemetry.SpanContext, s *regSession, reqs []*Request) ([]*Response, error) {
+	tel := c.telemetry()
+	sp := tel.StartSpanCtx(ctx, "regc.flight")
+	defer sp.End()
+	trace, span := ctx.Trace, ""
+	if sc := sp.Context(); sc.Valid() {
+		trace, span = sc.Trace, sc.Span
+	}
+	if trace == "" {
+		trace = tel.NextTraceID()
+	}
+	for _, q := range reqs {
+		if q.TraceID == "" {
+			q.TraceID, q.Span = trace, span
+		}
+	}
+	sp.Annotate("ops", strconv.Itoa(len(reqs)))
 	if err := s.sem.Acquire(); err != nil {
 		return nil, err
 	}
@@ -1323,9 +1368,11 @@ func (c *RegistryClient) doGroup(s *regSession, reqs []*Request) ([]*Response, e
 		}
 		resps, err := c.exchangeAll(s, i, reqs)
 		if err == nil {
+			sp.Annotate("replica", node)
 			if pos > 0 {
 				// The sticky replica was unusable and a later one answered.
 				c.telemetry().Counter("regc.failovers").Inc()
+				sp.Annotate("failovers", strconv.Itoa(pos))
 			}
 			return resps, nil
 		}
@@ -1373,8 +1420,20 @@ func (c *RegistryClient) exchangeAll(s *regSession, i int, reqs []*Request) ([]*
 
 // exchangeWith is a one-shot exchange pinned to a specific replica,
 // outside the pooled sessions — the operator path behind per-replica
-// status and lookup, where failover would defeat the point.
-func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, error) {
+// status and lookup, where failover would defeat the point. Like doGroup,
+// it stamps un-traced requests and hangs a child span off a caller span.
+func (c *RegistryClient) exchangeWith(ctx telemetry.SpanContext, node string, req *Request) (*Response, error) {
+	tel := c.telemetry()
+	sp := tel.StartSpanCtx(ctx, "regc.replica")
+	sp.Annotate("replica", node)
+	defer sp.End()
+	if req.TraceID == "" {
+		if sc := sp.Context(); sc.Valid() {
+			req.TraceID, req.Span = sc.Trace, sc.Span
+		} else if id := tel.NextTraceID(); id != "" {
+			req.TraceID = id
+		}
+	}
 	if reach, ok := c.tr.(orb.Reachability); ok && !reach.CanReach(node) {
 		return nil, fmt.Errorf("gatekeeper: replica %s unreachable from %s", node, c.tr.NodeName())
 	}
@@ -1398,7 +1457,7 @@ func (c *RegistryClient) exchangeWith(node string, req *Request) (*Response, err
 // per-peer and per-shard sync lag). It never fails over: the named replica
 // answers or the error says why.
 func (c *RegistryClient) StatusOf(node string) (*RegStatus, error) {
-	resp, err := c.exchangeWith(node, &Request{Op: OpRegStatus})
+	resp, err := c.exchangeWith(telemetry.SpanContext{}, node, &Request{Op: OpRegStatus})
 	if err != nil {
 		return nil, err
 	}
@@ -1412,11 +1471,17 @@ func (c *RegistryClient) StatusOf(node string) (*RegStatus, error) {
 // operator path for comparing replicas' replication state. Against a
 // sharded replica it searches every shard the replica hosts.
 func (c *RegistryClient) LookupAt(node, kind, name string) ([]Entry, error) {
+	return c.LookupAtCtx(telemetry.SpanContext{}, node, kind, name)
+}
+
+// LookupAtCtx is LookupAt under a caller's span — each per-replica probe of
+// a traced operation shows up as its own leg.
+func (c *RegistryClient) LookupAtCtx(ctx telemetry.SpanContext, node, kind, name string) ([]Entry, error) {
 	req := &Request{Op: OpRegLookup, Kind: kind, Name: name}
 	if len(c.shardGrp) > 1 {
 		req.Shard = ShardAll
 	}
-	resp, err := c.exchangeWith(node, req)
+	resp, err := c.exchangeWith(ctx, node, req)
 	if err != nil {
 		return nil, err
 	}
@@ -1456,6 +1521,12 @@ func (c *RegistryClient) Publish(node string, entries []Entry) error {
 // each group's preferred replica and reaches the rest within one sync
 // interval.
 func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Duration) error {
+	return c.PublishTTLCtx(telemetry.SpanContext{}, node, entries, ttl)
+}
+
+// PublishTTLCtx is PublishTTL under a caller's span: each replica group's
+// announce-batch flight becomes a child leg of the caller's trace.
+func (c *RegistryClient) PublishTTLCtx(ctx telemetry.SpanContext, node string, entries []Entry, ttl time.Duration) error {
 	defer c.invalidate()
 	var ttlMillis int64
 	if ttl > 0 {
@@ -1468,7 +1539,7 @@ func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Durat
 		// Unsharded: the original single publish, frame-identical to the
 		// pre-sharding client.
 		c.storeSums([][]Entry{entries})
-		_, err := c.do(0, &Request{Op: OpRegPublish, Node: node, Entries: entries, TTLMillis: ttlMillis})
+		_, err := c.do(ctx, 0, &Request{Op: OpRegPublish, Node: node, Entries: entries, TTLMillis: ttlMillis})
 		return err
 	}
 	byShard := make([][]Entry, len(c.shardGrp))
@@ -1486,7 +1557,7 @@ func (c *RegistryClient) PublishTTL(node string, entries []Entry, ttl time.Durat
 			}
 		}
 		req := &Request{Op: OpRegAnnounceBatch, Node: node, TTLMillis: ttlMillis, Batch: batch}
-		resps, err := c.doGroup(s, []*Request{req})
+		resps, err := c.doGroup(ctx, s, []*Request{req})
 		if err == nil {
 			err = resps[0].Err()
 		}
@@ -1515,7 +1586,7 @@ func (c *RegistryClient) PublishShardTTL(node string, shard int, entries []Entry
 			ttlMillis = 1
 		}
 	}
-	_, err := c.do(shard, &Request{Op: OpRegPublish, Node: node,
+	_, err := c.do(telemetry.SpanContext{}, shard, &Request{Op: OpRegPublish, Node: node,
 		Shard: c.shardFieldFor(shard), Entries: entries, TTLMillis: ttlMillis})
 	if err == nil {
 		// Keep the renewal fingerprint of the patched shard honest, so a
@@ -1552,6 +1623,12 @@ var errRenewUnsupported = errors.New("gatekeeper: registry does not support leas
 // any group reports the lease missing there — the record expired or was
 // never established — or when a replica predates the operation.
 func (c *RegistryClient) RenewLease(node string, ttl time.Duration) error {
+	return c.RenewLeaseCtx(telemetry.SpanContext{}, node, ttl)
+}
+
+// RenewLeaseCtx is RenewLease under a caller's span — traced renewals show
+// their per-group renew-batch flights.
+func (c *RegistryClient) RenewLeaseCtx(ctx telemetry.SpanContext, node string, ttl time.Duration) error {
 	if ttl <= 0 {
 		return fmt.Errorf("gatekeeper: non-positive lease TTL %v", ttl)
 	}
@@ -1579,7 +1656,7 @@ func (c *RegistryClient) RenewLease(node string, ttl time.Duration) error {
 		}
 		req := &Request{Op: OpRegRenewBatch, Node: node, TTLMillis: ttlMillis,
 			Shards: shards, Sums: shardSums}
-		resps, err := c.doGroup(s, []*Request{req})
+		resps, err := c.doGroup(ctx, s, []*Request{req})
 		if err != nil {
 			return err
 		}
@@ -1606,7 +1683,7 @@ func (c *RegistryClient) Withdraw(node string) error {
 	defer c.invalidate()
 	var errs []error
 	for _, s := range c.sess {
-		resps, err := c.doGroup(s, []*Request{{Op: OpRegWithdraw, Node: node}})
+		resps, err := c.doGroup(telemetry.SpanContext{}, s, []*Request{{Op: OpRegWithdraw, Node: node}})
 		if err == nil {
 			err = resps[0].Err()
 		}
@@ -1631,9 +1708,15 @@ func (c *RegistryClient) invalidate() {
 // owned shards pipelined on one flight) and merges. Lookups always hit the
 // registry — only Resolve results are cached.
 func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
+	return c.LookupCtx(telemetry.SpanContext{}, kind, name)
+}
+
+// LookupCtx is Lookup under a caller's span — the shard-routed (or fanned)
+// flights become child legs of the caller's trace.
+func (c *RegistryClient) LookupCtx(ctx telemetry.SpanContext, kind, name string) ([]Entry, error) {
 	if name != "" || len(c.shardGrp) <= 1 {
 		shard := ShardOf(name, len(c.shardGrp))
-		resp, err := c.do(shard, &Request{
+		resp, err := c.do(ctx, shard, &Request{
 			Op: OpRegLookup, Kind: kind, Name: name, Shard: c.shardFieldFor(shard)})
 		if err != nil {
 			return nil, err
@@ -1649,7 +1732,7 @@ func (c *RegistryClient) Lookup(kind, name string) ([]Entry, error) {
 				reqs = append(reqs, &Request{Op: OpRegLookup, Kind: kind, Name: name, Shard: shard})
 			}
 		}
-		resps, err := c.doGroup(s, reqs)
+		resps, err := c.doGroup(ctx, s, reqs)
 		if err != nil {
 			return nil, err
 		}
@@ -1680,6 +1763,11 @@ type LookupQuery struct {
 // its group without touching the other groups' flights. Results are
 // positional — out[i] answers queries[i].
 func (c *RegistryClient) LookupBatch(queries []LookupQuery) ([][]Entry, error) {
+	return c.LookupBatchCtx(telemetry.SpanContext{}, queries)
+}
+
+// LookupBatchCtx is LookupBatch under a caller's span.
+func (c *RegistryClient) LookupBatchCtx(ctx telemetry.SpanContext, queries []LookupQuery) ([][]Entry, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -1705,7 +1793,7 @@ func (c *RegistryClient) LookupBatch(queries []LookupQuery) ([][]Entry, error) {
 		if len(perReqs[gi]) == 0 {
 			continue
 		}
-		resps, err := c.doGroup(s, perReqs[gi])
+		resps, err := c.doGroup(ctx, s, perReqs[gi])
 		if err != nil {
 			return nil, err
 		}
@@ -1734,7 +1822,14 @@ func (c *RegistryClient) LookupBatch(queries []LookupQuery) ([][]Entry, error) {
 // first dialable entry in the registry's node/kind/name order. The
 // candidate list is cached for the client's cache TTL.
 func (c *RegistryClient) Resolve(kind, name string) (Entry, error) {
-	list, err := c.candidates(kind, name)
+	return c.ResolveCtx(telemetry.SpanContext{}, kind, name)
+}
+
+// ResolveCtx is Resolve under a caller's span — a traced by-name resolve
+// shows whether it was served from cache or crossed the wire, and to which
+// replica.
+func (c *RegistryClient) ResolveCtx(ctx telemetry.SpanContext, kind, name string) (Entry, error) {
+	list, err := c.candidates(ctx, kind, name)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -1744,13 +1839,13 @@ func (c *RegistryClient) Resolve(kind, name string) (Entry, error) {
 // candidates returns the dialable entries for (kind, name) in preference
 // order — reachable nodes first, registry order within each class — from
 // the cache when fresh.
-func (c *RegistryClient) candidates(kind, name string) ([]Entry, error) {
+func (c *RegistryClient) candidates(ctx telemetry.SpanContext, kind, name string) ([]Entry, error) {
 	if list, ok := c.cachedList(kind, name); ok {
 		c.telemetry().Counter("regc.cache_hits").Inc()
 		return list, nil
 	}
 	c.telemetry().Counter("regc.cache_misses").Inc()
-	entries, err := c.Lookup(kind, name)
+	entries, err := c.LookupCtx(ctx, kind, name)
 	if err != nil {
 		return nil, err
 	}
@@ -1808,7 +1903,13 @@ func (c *RegistryClient) storeList(kind, name string, list []Entry) {
 // lookups route by shard, the resolver path stays one round-trip however
 // far the directory is partitioned.
 func (c *RegistryClient) ResolveVLink(kind, name string) ([]vlink.Resolved, error) {
-	list, err := c.candidates(kind, name)
+	return c.ResolveVLinkCtx(telemetry.SpanContext{}, kind, name)
+}
+
+// ResolveVLinkCtx implements vlink.SpanResolver: a traced by-name dial
+// threads its span through the resolution flight.
+func (c *RegistryClient) ResolveVLinkCtx(ctx telemetry.SpanContext, kind, name string) ([]vlink.Resolved, error) {
+	list, err := c.candidates(ctx, kind, name)
 	if err != nil {
 		return nil, err
 	}
@@ -1863,6 +1964,7 @@ func toResolved(list []Entry) []vlink.Resolved {
 
 var _ vlink.Resolver = (*RegistryClient)(nil)
 var _ vlink.BatchResolver = (*RegistryClient)(nil)
+var _ vlink.SpanResolver = (*RegistryClient)(nil)
 
 // DialService is VLink connection by registry name — a thin shim over
 // Linker.DialServiceVia for callers holding a client they have not
@@ -1875,7 +1977,13 @@ func DialService(ln *vlink.Linker, rc *RegistryClient, kind, name string) (vlink
 // transport — the wall-clock twin of Linker.DialService, used where no
 // simulated linker exists (e.g. real TCP deployments).
 func DialServiceOn(tr orb.Transport, rc *RegistryClient, kind, name string) (vlink.Stream, error) {
-	e, err := rc.Resolve(kind, name)
+	return DialServiceOnCtx(telemetry.SpanContext{}, tr, rc, kind, name)
+}
+
+// DialServiceOnCtx is DialServiceOn under a caller's span: the resolve
+// flight joins the caller's trace.
+func DialServiceOnCtx(ctx telemetry.SpanContext, tr orb.Transport, rc *RegistryClient, kind, name string) (vlink.Stream, error) {
+	e, err := rc.ResolveCtx(ctx, kind, name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,293 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"padico/internal/orb"
+	"padico/internal/telemetry"
+)
+
+// resolveTraceRun executes one traced operator resolve on a fresh 2-node
+// grid — registry on n0, seat on n1 — and returns every span the trace left
+// behind anywhere in the grid, sorted for comparison.
+func resolveTraceRun(t *testing.T) []telemetry.Span {
+	t.Helper()
+	g, nodes := newGrid(t, 2, "ethernet")
+	var spans []telemetry.Span
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		if err := procs[0].Load("registry"); err != nil {
+			t.Fatal(err)
+		}
+		publishEcho(t, procs[0], "n0")
+
+		tel := procs[1].Telemetry()
+		tel.SetSpanSampling(1)
+		rc := clientFor(procs[1], "n0")
+		rc.UseTelemetry(tel)
+		rc.SetCacheTTL(0)
+
+		sp := tel.StartSpan("ctl.resolve")
+		sp.Annotate("kind", "vlink")
+		sp.Annotate("name", "demo:echo")
+		if _, err := rc.LookupAtCtx(sp.Context(), "n0", "vlink", "demo:echo"); err != nil {
+			t.Fatalf("lookup at replica: %v", err)
+		}
+		if _, err := rc.ResolveCtx(sp.Context(), "vlink", "demo:echo"); err != nil {
+			t.Fatalf("resolve: %v", err)
+		}
+		sp.End()
+
+		trace := sp.TraceID()
+		spans = append(tel.Spans(trace), procs[0].Telemetry().Spans(trace)...)
+	})
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Node != spans[j].Node {
+			return spans[i].Node < spans[j].Node
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans
+}
+
+// TestCausalSpanTreeSim is the tentpole's determinism proof: one traced
+// resolve leaves a single causal tree spanning the seat and the registry
+// replica — every span carries the same trace ID, every non-root span's
+// parent exists, the replica's serve spans hang under the seat's client
+// legs — and a second identical run reproduces the tree byte for byte,
+// durations included, because IDs and clocks are all virtual.
+func TestCausalSpanTreeSim(t *testing.T) {
+	spans := resolveTraceRun(t)
+	if len(spans) < 5 {
+		t.Fatalf("trace left %d spans, want at least 5 (root, 2 client legs, 2 replica serves): %+v",
+			len(spans), spans)
+	}
+	byID := map[string]telemetry.Span{}
+	nodeSet := map[string]bool{}
+	ops := map[string]int{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		nodeSet[sp.Node] = true
+		ops[sp.Op]++
+		if sp.Trace != spans[0].Trace {
+			t.Fatalf("span %s carries trace %q, tree is %q", sp.ID, sp.Trace, spans[0].Trace)
+		}
+	}
+	if !nodeSet["n0"] || !nodeSet["n1"] {
+		t.Fatalf("tree spans nodes %v, want both n0 and n1", nodeSet)
+	}
+	roots := 0
+	for _, sp := range spans {
+		if sp.Parent == "" {
+			roots++
+			if sp.Op != "ctl.resolve" {
+				t.Fatalf("root span is %q, want ctl.resolve", sp.Op)
+			}
+			if sp.Notes["kind"] != "vlink" || sp.Notes["name"] != "demo:echo" {
+				t.Fatalf("root notes = %v", sp.Notes)
+			}
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %s (%s) has parent %s, which no node recorded", sp.ID, sp.Op, sp.Parent)
+		}
+		if sp.StartMicros < parent.StartMicros {
+			t.Fatalf("span %s starts at %dus before its parent's %dus", sp.ID, sp.StartMicros, parent.StartMicros)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("tree has %d roots, want exactly 1", roots)
+	}
+	// The client legs and the replica's serve spans are all present: the
+	// direct per-replica lookup and the routed flight on the seat, one
+	// reg-lookup serve on the replica under each.
+	if ops["regc.replica"] != 1 || ops["regc.flight"] != 1 || ops["reg."+OpRegLookup] != 2 {
+		t.Fatalf("ops in tree = %v", ops)
+	}
+	for _, sp := range spans {
+		if sp.Node == "n0" && byID[sp.Parent].Node != "n1" {
+			t.Fatalf("replica span %s hangs under %s, want a seat-side parent", sp.ID, sp.Parent)
+		}
+	}
+	// Run-twice-equal: virtual clocks and counter-minted IDs make the whole
+	// tree — durations included — reproducible.
+	again := resolveTraceRun(t)
+	if fmt.Sprint(spans) != fmt.Sprint(again) {
+		t.Fatalf("second run diverged:\n run1: %+v\n run2: %+v", spans, again)
+	}
+}
+
+// TestBatchFramesCarryTrace is the regression for the sharded-registry batch
+// frames silently dropping trace IDs: every reg-announce-batch and
+// reg-renew-batch frame a flight sends must land on the replica with a
+// non-empty trace — one trace per flight — even when the client's process
+// has sampling off (the daemon default, where no spans ride along).
+func TestBatchFramesCarryTrace(t *testing.T) {
+	const shards = 2
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.SetShards(shards)
+		regA.HostShards(0)
+		regB.SetShards(shards)
+		regB.HostShards(1)
+		regA.UseTelemetry(procs[0].Telemetry())
+		regB.UseTelemetry(procs[1].Telemetry())
+
+		rc := NewShardedRegistryClient(g.Sim, orb.VLinkTransport{Linker: procs[2].Linker()},
+			[][]string{{"n0"}, {"n1"}})
+		rc.UseTelemetry(procs[2].Telemetry()) // sampling off: bare trace IDs only
+		entries := []Entry{
+			{Node: "n2", Kind: "vlink", Name: nameInShard(t, 0, shards, "bt"), Service: "s0"},
+			{Node: "n2", Kind: "vlink", Name: nameInShard(t, 1, shards, "bt"), Service: "s1"},
+		}
+		if err := rc.PublishTTL("n2", entries, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.RenewLease("n2", time.Minute); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 2; i++ {
+			evs := procs[i].Telemetry().Events(0)
+			for _, op := range []string{OpRegAnnounceBatch, OpRegRenewBatch} {
+				found := false
+				for _, e := range evs {
+					if e.What != "reg.recv" || !strings.Contains(e.Detail, "op="+op) {
+						continue
+					}
+					found = true
+					if e.Trace == "" {
+						t.Fatalf("n%d received %s with no trace ID: %+v", i, op, e)
+					}
+				}
+				if !found {
+					t.Fatalf("n%d ring has no reg.recv for %s: %v", i, op, evs)
+				}
+			}
+		}
+	})
+}
+
+// TestAntiEntropyRoundsCarryTrace pins the other half of the batch-frame
+// regression: anti-entropy traffic — the first full reg-sync and the
+// reg-digest rounds after it — reaches the responder with one non-empty
+// trace ID per round, so a round's frames stitch together across both
+// replicas' event rings.
+func TestAntiEntropyRoundsCarryTrace(t *testing.T) {
+	g, nodes := newGrid(t, 3, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		for i := 0; i < 2; i++ {
+			if err := procs[i].Load("registry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		regA, _ := RegistryOn(procs[0])
+		regB, _ := RegistryOn(procs[1])
+		regA.UseTelemetry(procs[0].Telemetry())
+		regB.UseTelemetry(procs[1].Telemetry())
+
+		rc := clientFor(procs[2], "n0")
+		if err := rc.PublishTTL("m0",
+			[]Entry{{Node: "m0", Kind: "vlink", Name: "seed"}}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		regA.StartSync([]string{"n1"}, syncInterval)
+		g.Sim.Sleep(3*syncInterval + time.Millisecond)
+
+		traces := map[string]string{} // op -> trace of the first sighting
+		for _, e := range procs[1].Telemetry().Events(0) {
+			if e.What != "reg.recv" {
+				continue
+			}
+			op := strings.TrimPrefix(e.Detail, "op=")
+			if e.Trace == "" {
+				t.Fatalf("n1 received %s with no trace ID: %+v", op, e)
+			}
+			if _, ok := traces[op]; !ok {
+				traces[op] = e.Trace
+			}
+		}
+		if traces[OpRegSync] == "" {
+			t.Fatalf("responder never saw a full %s round: %v", OpRegSync, traces)
+		}
+		if traces[OpRegDigest] == "" {
+			t.Fatalf("responder never saw a %s round: %v", OpRegDigest, traces)
+		}
+		if traces[OpRegSync] == traces[OpRegDigest] {
+			t.Fatal("distinct anti-entropy rounds shared one trace ID")
+		}
+	})
+}
+
+// TestTraceOpCollectsSpans drives the collection op end to end in Sim: a
+// traced exchange leaves spans on the target, OpTrace returns exactly that
+// trace's spans, OpTracePut ingests a seat's pushed spans and anchors the
+// node's "last trace" on the freshest pushed root.
+func TestTraceOpCollectsSpans(t *testing.T) {
+	g, nodes := newGrid(t, 2, "ethernet")
+	g.Run(func() {
+		procs := launchSteerable(t, g, nodes)
+		ctl := FromProcess(procs[0])
+		tel := procs[0].Telemetry()
+		tel.SetSpanSampling(1)
+
+		// A traced exchange: the target's gk serve span lands in its buffer.
+		req := &Request{Op: OpListModules}
+		if _, err := ctl.Do("n1", req); err != nil {
+			t.Fatal(err)
+		}
+		if req.TraceID == "" || req.Span == "" {
+			t.Fatalf("sampled seat did not stamp span context: trace=%q span=%q", req.TraceID, req.Span)
+		}
+
+		resp, err := ctl.Do("n1", &Request{Op: OpTrace, Name: req.TraceID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Spans) != 1 || resp.Spans[0].Op != "gk."+OpListModules {
+			t.Fatalf("OpTrace returned %+v, want the one gk serve span", resp.Spans)
+		}
+		if resp.Spans[0].Parent != req.Span || resp.Spans[0].Trace != req.TraceID {
+			t.Fatalf("serve span %+v not parented under the request's span %q", resp.Spans[0], req.Span)
+		}
+
+		// Push a seat-recorded tree at the node; the freshest root becomes
+		// its last trace, and a fresh collector can read the spans back.
+		seat := []telemetry.Span{
+			{Trace: "ctl-9", ID: "ctl-s1", Op: "ctl.resolve", Node: "ctl", StartMicros: 10},
+			{Trace: "ctl-9", ID: "ctl-s2", Parent: "ctl-s1", Op: "regc.flight", Node: "ctl", StartMicros: 12},
+		}
+		put := &Request{Op: OpTracePut, Spans: seat, TraceID: tel.NextTraceID()}
+		if _, err := ctl.Do("n1", put); err != nil {
+			t.Fatal(err)
+		}
+		last, err := ctl.Do("n1", &Request{Op: OpTrace})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.LastTrace != "ctl-9" {
+			t.Fatalf("last trace = %q, want ctl-9", last.LastTrace)
+		}
+		got, err := ctl.Do("n1", &Request{Op: OpTrace, Name: "ctl-9"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Spans) != 2 || got.Spans[0].ID != "ctl-s1" || got.Spans[1].Parent != "ctl-s1" {
+			t.Fatalf("collected pushed spans = %+v", got.Spans)
+		}
+	})
+}

@@ -61,6 +61,7 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 	syncIv := fs.Duration("sync", 0, "anti-entropy sync interval for a hosted replica (default 1s)")
 	httpAddr := fs.String("http", "", "observability HTTP listener (/metrics and /debug/pprof); empty = off")
 	epoch := fs.Int("epoch", 0, "restart generation, set by the supervisor on respawn")
+	traceSample := fs.Int("trace-sample", 0, "record 1 in N locally initiated root spans (0 = off, 1 = all)")
 	if err := fs.Parse(argv); err != nil {
 		return ExitRefused
 	}
@@ -78,6 +79,7 @@ func DaemonMain(argv []string, out, errOut io.Writer) int {
 		SyncInterval: *syncIv,
 		HTTP:         *httpAddr,
 		Epoch:        *epoch,
+		TraceSample:  *traceSample,
 		Peers:        map[string]string{},
 	}
 	if cfg.Node == "" {

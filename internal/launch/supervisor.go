@@ -85,6 +85,10 @@ type Options struct {
 	// Grace is the SIGTERM-to-SIGKILL window on stop and restart
 	// (default 5s).
 	Grace time.Duration
+	// TraceSample is the supervisor seat's root-span head sampling: 0 (the
+	// default) records none, 1 records all, n records one in every n —
+	// when enabled, health probes become collectable causal traces.
+	TraceSample int
 }
 
 // probeTimeout bounds one health-probe exchange. It matches the wall
@@ -192,6 +196,7 @@ func (s *Supervisor) Start() error {
 	}
 	wall := vtime.NewWall()
 	s.tel = telemetry.New("padico-launch", wall)
+	s.tel.SetSpanSampling(s.opt.TraceSample)
 	s.host.SetTelemetry(s.tel)
 	tr := orb.WallTransport{Host: s.host}
 	s.ctl = gatekeeper.NewController(wall, tr)

@@ -307,6 +307,14 @@ func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
 	}
 	deadline := time.Now().Add(handshakeTimeout)
 
+	// A locally sampled root span covers the whole dial: mux stream setup,
+	// the legacy fallback when the peer predates the mux, and the NAK path.
+	// With sampling off (the daemon default) this is one atomic load.
+	sp := h.telemetry().StartSpan("wall.dial")
+	sp.Annotate("addr", addr)
+	sp.Annotate("service", service)
+	defer sp.End()
+
 	h.mu.Lock()
 	tryMux := !h.muxOff && !h.legacy[addr] && !h.closed
 	h.mu.Unlock()
@@ -315,6 +323,7 @@ func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
 		c, err := h.dialMux(addr, service, deadline)
 		switch {
 		case err == nil:
+			sp.Annotate("path", "mux")
 			return c, nil
 		case errors.Is(err, errMuxUnsupported):
 			// An old daemon: remember it and fall through to the legacy
@@ -323,19 +332,24 @@ func (h *WallHost) DialAddr(addr, service string) (Conn, error) {
 			h.legacy[addr] = true
 			h.mu.Unlock()
 			h.telemetry().Counter("wall.mux_fallbacks").Inc()
+			sp.Annotate("mux_fallback", "true")
 		default:
+			sp.Annotate("error", err.Error())
 			return nil, err
 		}
 	}
 
 	nc, nak, err := h.rawDial(addr, service, deadline)
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		return nil, err
 	}
 	if nak {
 		h.telemetry().Counter("wall.dial_naks").Inc()
+		sp.Annotate("nak", "true")
 		return nil, fmt.Errorf("%w: no service %q at %s", ErrRefused, service, addr)
 	}
+	sp.Annotate("path", "legacy")
 	// Count inside the tcpConn wrapper: Dial re-labels the returned conn,
 	// so the counting layer must sit underneath it.
 	return &tcpConn{Conn: h.countWall(nc), local: h.name, remote: addr}, nil

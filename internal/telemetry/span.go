@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Span is one recorded operation in a causal trace: where it ran, what it
+// did, when it started on that process's clock, how long it took, and which
+// span caused it. IDs are deterministic — minted from per-process sequence
+// counters, never from randomness or the clock — so a Sim run produces the
+// same tree every time. A trace is reconstructed by collecting every
+// process's spans for one TraceID and joining Parent edges.
+type Span struct {
+	Trace          string            `json:"trace"`
+	ID             string            `json:"id"`
+	Parent         string            `json:"parent,omitempty"`
+	Op             string            `json:"op"`
+	Node           string            `json:"node"`
+	StartMicros    int64             `json:"start_us"`
+	DurationMicros int64             `json:"dur_us"`
+	Notes          map[string]string `json:"notes,omitempty"`
+}
+
+// SpanContext is the wire-portable address of a live span: the trace it
+// belongs to and the span itself. It rides the framed protocol's trace/span
+// fields; a receiver that starts work on behalf of the request parents its
+// own span under Span.
+type SpanContext struct {
+	Trace string
+	Span  string
+}
+
+// Valid reports whether the context names a real parent to hang spans off.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != "" }
+
+// DefaultSpanBufferSize bounds the per-process span flight recorder: old
+// spans fall off as new ones land, keeping a long-lived daemon's memory
+// flat while holding enough history to reconstruct recent operations.
+const DefaultSpanBufferSize = 512
+
+// maxSpanNotes bounds per-span annotations so a loop annotating in error
+// paths cannot balloon a span.
+const maxSpanNotes = 8
+
+// ActiveSpan is an in-flight span handle. All methods are nil-safe no-ops,
+// so callers thread them unconditionally: an unsampled operation costs one
+// atomic load and a nil check per instrumentation site.
+type ActiveSpan struct {
+	r    *Registry
+	mu   sync.Mutex
+	span Span
+	done bool
+}
+
+// SetSpanSampling sets the head-based sampling policy for locally minted
+// root spans: 0 disables (the default — untraced hot paths stay near free),
+// 1 records every root, n>1 records one root in every n. The decision is a
+// deterministic counter, not a coin flip, so Sim runs reproduce. Child
+// spans of a remote parent are NOT subject to local sampling: the root's
+// decision propagates with the context. Nil-safe.
+func (r *Registry) SetSpanSampling(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.sampleEvery.Store(int64(n))
+}
+
+// sampleRoot is the head-based sampling decision for one would-be root.
+func (r *Registry) sampleRoot() bool {
+	every := r.sampleEvery.Load()
+	if every <= 0 {
+		return false
+	}
+	if every == 1 {
+		return true
+	}
+	return (r.sampleTick.Add(1)-1)%every == 0
+}
+
+// nextSpanID mints a process-unique span ID: node name plus "s" plus a
+// sequence number — deterministic, like NextTraceID.
+func (r *Registry) nextSpanID() string {
+	return r.node + "-s" + strconv.FormatInt(r.spanSeq.Add(1), 10)
+}
+
+// StartSpan starts a root span for a locally initiated operation, minting a
+// fresh trace ID. Returns nil (a no-op handle) when the registry is nil or
+// head-based sampling rejects the root — callers must tolerate nil and fall
+// back to plain trace-ID minting where events still want an ID.
+func (r *Registry) StartSpan(op string) *ActiveSpan {
+	if r == nil || !r.sampleRoot() {
+		return nil
+	}
+	return &ActiveSpan{r: r, span: Span{
+		Trace:       r.NextTraceID(),
+		ID:          r.nextSpanID(),
+		Op:          op,
+		Node:        r.node,
+		StartMicros: r.Now(),
+	}}
+}
+
+// StartSpanCtx starts a span as the child of a remote parent carried in
+// ctx. Recording is unconditional when ctx is valid — the root's sampling
+// decision propagates down the call tree — and nil when it is not, so
+// un-traced requests cost one comparison. Nil-safe.
+func (r *Registry) StartSpanCtx(ctx SpanContext, op string) *ActiveSpan {
+	if r == nil || !ctx.Valid() {
+		return nil
+	}
+	return &ActiveSpan{r: r, span: Span{
+		Trace:       ctx.Trace,
+		ID:          r.nextSpanID(),
+		Parent:      ctx.Span,
+		Op:          op,
+		Node:        r.node,
+		StartMicros: r.Now(),
+	}}
+}
+
+// Context returns the span's wire context, for stamping into outbound
+// requests. Nil-safe (zero context, which is not Valid).
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.span.Trace, Span: s.span.ID}
+}
+
+// TraceID returns the span's trace ID. Nil-safe ("").
+func (s *ActiveSpan) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.Trace
+}
+
+// Child starts a span under this one on the same process. Nil-safe: a nil
+// parent yields a nil child.
+func (s *ActiveSpan) Child(op string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	return s.r.StartSpanCtx(s.Context(), op)
+}
+
+// Annotate attaches a bounded key/value note (first maxSpanNotes keys win).
+// Nil-safe; safe from concurrent goroutines.
+func (s *ActiveSpan) Annotate(key, value string) {
+	if s == nil || key == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	if s.span.Notes == nil {
+		s.span.Notes = make(map[string]string, 4)
+	}
+	if _, ok := s.span.Notes[key]; !ok && len(s.span.Notes) >= maxSpanNotes {
+		return
+	}
+	s.span.Notes[key] = value
+}
+
+// End stamps the span's duration from the registry clock and commits it to
+// the process's span buffer. Idempotent and nil-safe.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	sp := s.span
+	s.mu.Unlock()
+	sp.DurationMicros = s.r.Now() - sp.StartMicros
+	if sp.DurationMicros < 0 {
+		sp.DurationMicros = 0
+	}
+	s.r.putSpan(sp)
+}
+
+// putSpan appends one finished span to the bounded buffer, evicting the
+// oldest when full.
+func (r *Registry) putSpan(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spanCap == 0 {
+		r.spanCap = DefaultSpanBufferSize
+	}
+	if len(r.spans) < r.spanCap {
+		r.spans = append(r.spans, sp)
+		return
+	}
+	// Circular overwrite, same as the event ring: O(1) per span keeps the
+	// always-on sampling tier off the memmove treadmill.
+	r.spans[r.spanHead] = sp
+	r.spanHead++
+	if r.spanHead == len(r.spans) {
+		r.spanHead = 0
+	}
+}
+
+// Spans returns the buffered spans for one trace, oldest first (all
+// buffered spans when traceID is empty). The slice is a copy. Nil-safe.
+func (r *Registry) Spans(traceID string) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	for i := range r.spans {
+		sp := r.spans[(r.spanHead+i)%len(r.spans)]
+		if traceID == "" || sp.Trace == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// PutSpans ingests finished spans recorded elsewhere (an attached seat
+// flushing its buffer to a daemon before exiting, so the trace survives the
+// seat process). Nil-safe.
+func (r *Registry) PutSpans(spans []Span) {
+	for _, sp := range spans {
+		r.putSpan(sp)
+	}
+}
+
+// NoteLastTrace records id as the most recent operator-initiated trace,
+// stamped with the registry clock — the anchor `padico-ctl trace -last`
+// resolves against. Nil-safe.
+func (r *Registry) NoteLastTrace(id string) {
+	if r == nil || id == "" {
+		return
+	}
+	at := r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastTrace, r.lastTraceAt = id, at
+}
+
+// LastTrace returns the most recently noted trace ID and its clock stamp in
+// microseconds. Nil-safe ("", 0).
+func (r *Registry) LastTrace() (string, int64) {
+	if r == nil {
+		return "", 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastTrace, r.lastTraceAt
+}

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"padico/internal/vtime"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	var r *Registry
+	r.SetSpanSampling(1)
+	if sp := r.StartSpan("op"); sp != nil {
+		t.Fatalf("nil registry minted a span: %+v", sp)
+	}
+	if sp := r.StartSpanCtx(SpanContext{Trace: "t", Span: "s"}, "op"); sp != nil {
+		t.Fatalf("nil registry minted a child span: %+v", sp)
+	}
+	if got := r.Spans(""); got != nil {
+		t.Fatalf("nil Spans = %v", got)
+	}
+	r.PutSpans([]Span{{Trace: "t", ID: "x"}})
+	r.NoteLastTrace("t")
+	if id, at := r.LastTrace(); id != "" || at != 0 {
+		t.Fatalf("nil LastTrace = %q, %d", id, at)
+	}
+	// A nil handle is a universal no-op.
+	var sp *ActiveSpan
+	sp.Annotate("k", "v")
+	if sp.Context().Valid() || sp.TraceID() != "" {
+		t.Fatal("nil span has a valid context")
+	}
+	if sp.Child("sub") != nil {
+		t.Fatal("nil span minted a child")
+	}
+	sp.End()
+}
+
+// TestSpanTreeDeterministicUnderSim builds a small tree on the virtual clock
+// and asserts the exact IDs, edges, starts and durations — the reproducibility
+// claim that lets a Sim test pin a whole causal tree.
+func TestSpanTreeDeterministicUnderSim(t *testing.T) {
+	run := func() []Span {
+		sim := vtime.NewSim()
+		r := New("n0", sim)
+		r.SetSpanSampling(1)
+		sim.Run(func() {
+			root := r.StartSpan("ctl.resolve")
+			root.Annotate("kind", "vlink")
+			sim.Sleep(time.Millisecond)
+			child := root.Child("regc.flight")
+			sim.Sleep(2 * time.Millisecond)
+			child.End()
+			sim.Sleep(time.Millisecond)
+			root.End()
+		})
+		return r.Spans("")
+	}
+	spans := run()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	child, root := spans[0], spans[1] // buffer holds finish order
+	if root.Trace != "n0-1" || root.ID != "n0-s1" || root.Parent != "" {
+		t.Fatalf("root = %+v", root)
+	}
+	if child.Trace != "n0-1" || child.ID != "n0-s2" || child.Parent != "n0-s1" {
+		t.Fatalf("child = %+v", child)
+	}
+	if root.StartMicros != 0 || root.DurationMicros != 4000 {
+		t.Fatalf("root timing = +%dus %dus, want +0us 4000us", root.StartMicros, root.DurationMicros)
+	}
+	if child.StartMicros != 1000 || child.DurationMicros != 2000 {
+		t.Fatalf("child timing = +%dus %dus, want +1000us 2000us", child.StartMicros, child.DurationMicros)
+	}
+	if root.Notes["kind"] != "vlink" {
+		t.Fatalf("root notes = %v", root.Notes)
+	}
+	// Run-twice-equal: the same program yields byte-identical spans.
+	again := run()
+	for i := range spans {
+		if fmt.Sprint(spans[i]) != fmt.Sprint(again[i]) {
+			t.Fatalf("run 2 span %d = %+v, want %+v", i, again[i], spans[i])
+		}
+	}
+}
+
+func TestSpanSampling(t *testing.T) {
+	r := New("n0", nil)
+	// Default: sampling off, roots refused.
+	if sp := r.StartSpan("op"); sp != nil {
+		t.Fatal("unsampled registry minted a root")
+	}
+	// But a remote parent's decision propagates regardless.
+	if sp := r.StartSpanCtx(SpanContext{Trace: "t1", Span: "s1"}, "op"); sp == nil {
+		t.Fatal("child of a remote parent refused while sampling off")
+	}
+	// An invalid context is not a parent.
+	if sp := r.StartSpanCtx(SpanContext{Trace: "t1"}, "op"); sp != nil {
+		t.Fatal("child minted from an invalid context")
+	}
+	// 1-in-3: deterministic counter, so exactly ceil(9/3) roots.
+	r.SetSpanSampling(3)
+	minted := 0
+	for i := 0; i < 9; i++ {
+		if sp := r.StartSpan("op"); sp != nil {
+			minted++
+			sp.End()
+		}
+	}
+	if minted != 3 {
+		t.Fatalf("1-in-3 sampling minted %d of 9, want 3", minted)
+	}
+	r.SetSpanSampling(-5) // clamps to off
+	if sp := r.StartSpan("op"); sp != nil {
+		t.Fatal("negative sampling rate minted a root")
+	}
+}
+
+func TestSpanBufferBound(t *testing.T) {
+	r := New("n0", nil)
+	r.spanCap = 4
+	r.SetSpanSampling(1)
+	for i := 0; i < 6; i++ {
+		sp := r.StartSpan("op")
+		sp.Annotate("i", fmt.Sprint(i))
+		sp.End()
+	}
+	got := r.Spans("")
+	if len(got) != 4 {
+		t.Fatalf("buffer kept %d spans, want 4", len(got))
+	}
+	for i, sp := range got {
+		if want := fmt.Sprint(i + 2); sp.Notes["i"] != want { // spans 0,1 evicted
+			t.Fatalf("span %d notes = %v, want i=%s", i, sp.Notes, want)
+		}
+	}
+	// Filtering by trace ID returns only that trace's spans.
+	if byTrace := r.Spans(got[1].Trace); len(byTrace) != 1 || byTrace[0].ID != got[1].ID {
+		t.Fatalf("Spans(%q) = %v", got[1].Trace, byTrace)
+	}
+}
+
+func TestSpanAnnotationBound(t *testing.T) {
+	r := New("n0", nil)
+	r.SetSpanSampling(1)
+	sp := r.StartSpan("op")
+	for i := 0; i < maxSpanNotes+5; i++ {
+		sp.Annotate(fmt.Sprintf("k%d", i), "v")
+	}
+	sp.Annotate("k0", "updated") // existing keys stay writable at the cap
+	sp.End()
+	sp.Annotate("late", "ignored") // after End: dropped, not recorded
+	got := r.Spans("")
+	if len(got) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(got))
+	}
+	if len(got[0].Notes) != maxSpanNotes {
+		t.Fatalf("span kept %d notes, want %d", len(got[0].Notes), maxSpanNotes)
+	}
+	if got[0].Notes["k0"] != "updated" {
+		t.Fatalf("k0 = %q, want updated", got[0].Notes["k0"])
+	}
+	if _, ok := got[0].Notes["late"]; ok {
+		t.Fatal("annotation after End was recorded")
+	}
+}
+
+func TestLastTrace(t *testing.T) {
+	sim := vtime.NewSim()
+	r := New("n0", sim)
+	sim.Run(func() {
+		sim.Sleep(3 * time.Millisecond)
+		r.NoteLastTrace("ctl-7")
+	})
+	if id, at := r.LastTrace(); id != "ctl-7" || at != 3000 {
+		t.Fatalf("LastTrace = %q at %dus, want ctl-7 at 3000us", id, at)
+	}
+	r.NoteLastTrace("") // empty IDs never overwrite
+	if id, _ := r.LastTrace(); id != "ctl-7" {
+		t.Fatalf("empty NoteLastTrace overwrote: %q", id)
+	}
+}
+
+func TestPutSpansIngest(t *testing.T) {
+	r := New("daemon", nil)
+	r.PutSpans([]Span{
+		{Trace: "ctl-1", ID: "ctl-s1", Op: "ctl.resolve", Node: "ctl"},
+		{Trace: "ctl-1", ID: "ctl-s2", Parent: "ctl-s1", Op: "regc.flight", Node: "ctl"},
+	})
+	got := r.Spans("ctl-1")
+	if len(got) != 2 || got[0].Node != "ctl" || got[1].Parent != "ctl-s1" {
+		t.Fatalf("ingested spans = %v", got)
+	}
+}
+
+// TestConcurrentSpans hammers the span path from many goroutines; under
+// -race this is the concurrency proof for recording, annotation, collection
+// and the sampling counter.
+func TestConcurrentSpans(t *testing.T) {
+	r := New("n0", vtime.NewWall())
+	r.SetSpanSampling(2)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				root := r.StartSpan("work")
+				root.Annotate("w", fmt.Sprint(w))
+				child := root.Child("sub")
+				child.Annotate("i", fmt.Sprint(i))
+				child.End()
+				root.End()
+				if i%50 == 0 {
+					_ = r.Spans("")
+					r.NoteLastTrace(root.TraceID())
+					_, _ = r.LastTrace()
+				}
+				if remote := r.StartSpanCtx(SpanContext{Trace: "ext", Span: "p"}, "serve"); remote != nil {
+					remote.End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Spans("")); got != DefaultSpanBufferSize {
+		t.Fatalf("buffer holds %d spans, want full %d", got, DefaultSpanBufferSize)
+	}
+}

@@ -241,11 +241,21 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	ring    []Event // trace ring buffer, ringCap entries, seq-stamped
-	ringCap int
-	seq     int64
+	ring     []Event // trace ring buffer, ringCap entries, seq-stamped
+	ringCap  int
+	ringHead int // once full: index of the oldest event (next overwrite slot)
+	seq      int64
 
-	traceSeq atomic.Int64
+	spans       []Span // span flight recorder, spanCap entries
+	spanCap     int
+	spanHead    int    // once full: index of the oldest span (next overwrite slot)
+	lastTrace   string // most recent operator-initiated trace (see NoteLastTrace)
+	lastTraceAt int64
+
+	traceSeq    atomic.Int64
+	spanSeq     atomic.Int64
+	sampleEvery atomic.Int64 // root-span head sampling: 0 off, 1 all, n 1-in-n
+	sampleTick  atomic.Int64
 }
 
 // DefaultRingSize bounds the per-process trace ring: old events fall off as
@@ -263,6 +273,7 @@ func New(node string, rt vtime.Runtime) *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		ringCap:  DefaultRingSize,
+		spanCap:  DefaultSpanBufferSize,
 	}
 }
 

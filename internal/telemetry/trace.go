@@ -43,8 +43,14 @@ func (r *Registry) Trace(traceID, what, detail string) {
 		r.ring = append(r.ring, ev)
 		return
 	}
-	copy(r.ring, r.ring[1:])
-	r.ring[len(r.ring)-1] = ev
+	// Circular overwrite: O(1) per event. A memmove-style eviction would put
+	// an O(ringCap) copy on every traced request once the ring warms up —
+	// measurable against the framed-RTT budget.
+	r.ring[r.ringHead] = ev
+	r.ringHead++
+	if r.ringHead == len(r.ring) {
+		r.ringHead = 0
+	}
 }
 
 // Events returns up to max most-recent events, oldest first (all when
@@ -55,12 +61,17 @@ func (r *Registry) Events(max int) []Event {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := len(r.ring)
+	total := len(r.ring)
+	n := total
 	if max > 0 && max < n {
 		n = max
 	}
-	out := make([]Event, n)
-	copy(out, r.ring[len(r.ring)-n:])
+	// Oldest-first order starts at ringHead (0 until the ring first fills);
+	// the newest n entries are the tail of that order.
+	out := make([]Event, 0, n)
+	for i := total - n; i < total; i++ {
+		out = append(out, r.ring[(r.ringHead+i)%total])
+	}
 	return out
 }
 

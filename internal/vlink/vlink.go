@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,20 +73,40 @@ type BatchResolver interface {
 	ResolveVLinkBatch(kind string, names []string) ([][]Resolved, error)
 }
 
+// SpanResolver is an optional extension of Resolver for resolvers that can
+// thread a caller's span context into their resolution flights — a traced
+// by-name dial then shows the directory round-trip as its own leg. Plain
+// resolvers keep working untraced; callers type-assert, never require.
+type SpanResolver interface {
+	Resolver
+	ResolveVLinkCtx(ctx telemetry.SpanContext, kind, name string) ([]Resolved, error)
+}
+
 // ResolveAll resolves several names of one kind through r, batched when the
 // resolver supports it and name by name otherwise. The result is aligned
 // with names; a name that does not resolve gets an empty slot. Only a
 // transport-level failure (the whole directory unreachable) is an error.
 func ResolveAll(r Resolver, kind string, names []string) ([][]Resolved, error) {
+	return ResolveAllCtx(telemetry.SpanContext{}, r, kind, names)
+}
+
+// ResolveAllCtx is ResolveAll under a caller's span, threaded through when
+// the resolver supports it (span-aware batch resolution stays per-name:
+// batch flights already trace via the resolver's own client spans).
+func ResolveAllCtx(ctx telemetry.SpanContext, r Resolver, kind string, names []string) ([][]Resolved, error) {
 	if r == nil {
 		return nil, ErrNoResolver
 	}
-	if br, ok := r.(BatchResolver); ok {
+	if br, ok := r.(BatchResolver); ok && !ctx.Valid() {
 		return br.ResolveVLinkBatch(kind, names)
+	}
+	resolve := func(name string) ([]Resolved, error) { return r.ResolveVLink(kind, name) }
+	if sr, ok := r.(SpanResolver); ok && ctx.Valid() {
+		resolve = func(name string) ([]Resolved, error) { return sr.ResolveVLinkCtx(ctx, kind, name) }
 	}
 	out := make([][]Resolved, len(names))
 	for i, name := range names {
-		cands, err := r.ResolveVLink(kind, name)
+		cands, err := resolve(name)
 		if err != nil {
 			continue // miss: this name's slot stays empty
 		}
@@ -384,12 +405,36 @@ func (ln *Linker) DialService(kind, name string) (Stream, error) {
 // skipped in favour of the next — mid-failover, a by-name dial must not
 // stay pinned to a dead replica the registry has not yet expired.
 func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) {
+	return ln.DialServiceSpan(telemetry.SpanContext{}, r, kind, name)
+}
+
+// DialServiceSpan is DialServiceVia under a span: with a valid ctx the
+// whole by-name dial becomes a child of the caller's span; without one it
+// becomes a locally sampled root — so daemons with sampling enabled record
+// their own dials too. The span context threads into span-aware resolvers,
+// making the directory round-trip a further leg of the same trace.
+func (ln *Linker) DialServiceSpan(ctx telemetry.SpanContext, r Resolver, kind, name string) (Stream, error) {
 	if r == nil {
 		return nil, ErrNoResolver
 	}
 	tel := ln.telemetry()
+	var sp *telemetry.ActiveSpan
+	if ctx.Valid() {
+		sp = tel.StartSpanCtx(ctx, "vlink.dial")
+	} else {
+		sp = tel.StartSpan("vlink.dial")
+	}
+	sp.Annotate("kind", kind)
+	sp.Annotate("name", name)
+	defer sp.End()
+	resolve := func() ([]Resolved, error) { return r.ResolveVLink(kind, name) }
+	if sr, ok := r.(SpanResolver); ok {
+		if sc := sp.Context(); sc.Valid() {
+			resolve = func() ([]Resolved, error) { return sr.ResolveVLinkCtx(sc, kind, name) }
+		}
+	}
 	start := tel.Now()
-	cands, err := r.ResolveVLink(kind, name)
+	cands, err := resolve()
 	tel.Histogram("vlink.resolve").Observe(tel.Since(start))
 	if err != nil {
 		tel.Counter("vlink.resolve_failures").Inc()
@@ -406,13 +451,16 @@ func (ln *Linker) DialServiceVia(r Resolver, kind, name string) (Stream, error) 
 			if i > 0 {
 				// A dead candidate was skipped in favour of a live one.
 				tel.Counter("vlink.dial_failovers").Inc()
+				sp.Annotate("failovers", strconv.Itoa(i))
 			}
+			sp.Annotate("host", c.Node)
 			return st, nil
 		}
 		if firstErr == nil {
 			firstErr = err
 		}
 	}
+	sp.Annotate("error", "all candidates failed")
 	return nil, firstErr
 }
 
